@@ -1,0 +1,80 @@
+//! Criterion bench: ablation 4 — bitmap covers vs sorted-vector covers for
+//! the mining loop's hot operation (union cardinality of k covers).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use maprat_cube::Bitmap;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+/// Sorted-vector union-count baseline (k-way merge).
+fn sorted_union_count(covers: &[Vec<u32>]) -> usize {
+    let mut cursors = vec![0usize; covers.len()];
+    let mut count = 0usize;
+    loop {
+        let mut min: Option<u32> = None;
+        for (c, cover) in covers.iter().enumerate() {
+            if let Some(&v) = cover.get(cursors[c]) {
+                min = Some(min.map_or(v, |m: u32| m.min(v)));
+            }
+        }
+        let Some(v) = min else { break };
+        count += 1;
+        for (c, cover) in covers.iter().enumerate() {
+            if cover.get(cursors[c]) == Some(&v) {
+                cursors[c] += 1;
+            }
+        }
+    }
+    count
+}
+
+fn bench_cover(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let universe = 50_000usize;
+
+    let mut group = c.benchmark_group("cover_union3");
+    for &density in &[0.01f64, 0.1, 0.3] {
+        let positions: Vec<Vec<u32>> = (0..3)
+            .map(|_| {
+                let mut v: Vec<u32> = (0..universe as u32)
+                    .filter(|_| rng.gen_bool(density))
+                    .collect();
+                v.sort_unstable();
+                v
+            })
+            .collect();
+        let bitmaps: Vec<Bitmap> = positions
+            .iter()
+            .map(|p| Bitmap::from_positions(universe, p.iter().map(|&x| x as usize)))
+            .collect();
+
+        // Consistency guard: both representations agree.
+        let mut union = bitmaps[0].clone();
+        union.union_with(&bitmaps[1]);
+        union.union_with(&bitmaps[2]);
+        assert_eq!(union.count(), sorted_union_count(&positions));
+
+        group.bench_with_input(
+            BenchmarkId::new("bitmap", format!("{density}")),
+            &bitmaps,
+            |b, bm| {
+                b.iter(|| {
+                    let mut u = bm[0].clone();
+                    u.union_with(&bm[1]);
+                    u.union_with(&bm[2]);
+                    black_box(u.count())
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sorted_vec", format!("{density}")),
+            &positions,
+            |b, p| b.iter(|| black_box(sorted_union_count(p))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cover);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion bench: iceberg-cube materialization throughput vs `|R_I|`
+//! (EXT-SCALING companion).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use maprat_bench::dataset;
+use maprat_cube::{CubeOptions, RatingCube};
+use std::hint::black_box;
+
+fn bench_cube(c: &mut Criterion) {
+    let d = dataset();
+    // Concatenate item slices to grow |R_I|.
+    let mut universe: Vec<u32> = Vec::new();
+    for item in d.items() {
+        universe.extend(d.rating_range_for_item(item.id));
+        if universe.len() >= 40_000 {
+            break;
+        }
+    }
+
+    let mut group = c.benchmark_group("cube_build");
+    group.sample_size(10);
+    for &n in &[1_000usize, 4_000, 16_000] {
+        if n > universe.len() {
+            continue;
+        }
+        let slice: Vec<u32> = universe[..n].to_vec();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("geo_arity4", n), &slice, |b, s| {
+            b.iter(|| {
+                black_box(RatingCube::build(
+                    d,
+                    s.clone(),
+                    CubeOptions {
+                        min_support: 5,
+                        require_geo: true,
+                        max_arity: 4,
+                    },
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("free_arity2", n), &slice, |b, s| {
+            b.iter(|| {
+                black_box(RatingCube::build(
+                    d,
+                    s.clone(),
+                    CubeOptions {
+                        min_support: 5,
+                        require_geo: false,
+                        max_arity: 2,
+                    },
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cube);
+criterion_main!(benches);

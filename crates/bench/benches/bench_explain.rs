@@ -1,0 +1,34 @@
+//! Criterion bench: end-to-end explain latency, cold vs cached
+//! (TXT-LATENCY companion — the §2.3 latency claim).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use maprat_bench::dataset;
+use maprat_core::query::ItemQuery;
+use maprat_core::{Miner, SearchSettings};
+use maprat_explore::ExplorationSession;
+use std::hint::black_box;
+
+fn bench_explain(c: &mut Criterion) {
+    let d = dataset();
+    let settings = SearchSettings::default().with_min_coverage(0.15);
+    let query = ItemQuery::title("Toy Story");
+
+    let mut group = c.benchmark_group("explain");
+    group.sample_size(10);
+
+    group.bench_function("cold_miner", |b| {
+        let miner = Miner::new(d);
+        b.iter(|| black_box(miner.explain(&query, &settings)))
+    });
+
+    group.bench_function("cached_session", |b| {
+        let session = ExplorationSession::new(d);
+        let _ = session.explain(&query, &settings); // warm
+        b.iter(|| black_box(session.explain(&query, &settings)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_explain);
+criterion_main!(benches);

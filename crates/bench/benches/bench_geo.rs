@@ -1,0 +1,51 @@
+//! Criterion bench: choropleth rendering (SVG and ASCII back-ends).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use maprat_data::{AttrValue, Gender, UsState};
+use maprat_geo::ascii::{self, AsciiOptions};
+use maprat_geo::choropleth::StateShade;
+use maprat_geo::svg::{render as render_svg, SvgOptions};
+use maprat_geo::Choropleth;
+use std::hint::black_box;
+
+fn sample_map(states: usize) -> Choropleth {
+    let mut map = Choropleth::new("bench map");
+    for (i, s) in UsState::ALL.iter().take(states).enumerate() {
+        map.add(StateShade::new(
+            *s,
+            1.0 + (i % 5) as f64,
+            format!("group {i}"),
+            i * 3 + 1,
+            &[AttrValue::Gender(Gender::Male)],
+        ));
+    }
+    map
+}
+
+fn bench_geo(c: &mut Criterion) {
+    let sparse = sample_map(3);
+    let dense = sample_map(51);
+
+    let mut group = c.benchmark_group("choropleth");
+    group.bench_function("svg_3_states", |b| {
+        b.iter(|| black_box(render_svg(&sparse, &SvgOptions::default())))
+    });
+    group.bench_function("svg_51_states", |b| {
+        b.iter(|| black_box(render_svg(&dense, &SvgOptions::default())))
+    });
+    group.bench_function("ascii_51_states", |b| {
+        b.iter(|| {
+            black_box(ascii::render(
+                &dense,
+                &AsciiOptions {
+                    color: true,
+                    caption: true,
+                },
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_geo);
+criterion_main!(benches);

@@ -1,0 +1,139 @@
+//! EXT-ABLATION — the design-choice sweeps DESIGN.md calls out:
+//!
+//! 1. DM consistency penalty λ (pure gap vs penalized objective);
+//! 2. RHE restart count (quality/latency trade-off);
+//! 3. iceberg min-support (candidate-pool size vs explanation quality).
+//!
+//! Run: `cargo run --release -p maprat-bench --bin exp_ablation [--check]`
+
+use maprat_bench::timing::{ms, time_once};
+use maprat_bench::{dataset, table::Table, ShapeCheck};
+use maprat_core::{rhe, MiningProblem, RheParams, Task};
+use maprat_cube::{CubeOptions, RatingCube};
+
+fn main() {
+    let mut check = ShapeCheck::new();
+    let d = dataset();
+
+    // --- (1) λ sweep on the controversial movie.
+    let eclipse = d.find_title("The Twilight Saga: Eclipse").expect("planted");
+    let idx: Vec<u32> = d.rating_range_for_item(eclipse).collect();
+    let cube = RatingCube::build(
+        d,
+        idx,
+        CubeOptions {
+            min_support: 5,
+            require_geo: false,
+            max_arity: 2,
+        },
+    );
+    println!("=== ABLATION 1: DM consistency penalty λ (Eclipse, k = 2) ===\n");
+    let mut t = Table::new(["λ", "gap (pts)", "mean within-group MAD", "selected groups"]);
+    let mut mads = Vec::new();
+    for lambda in [0.0, 0.25, 0.5, 1.0, 2.0] {
+        let problem = MiningProblem::new(&cube, 2, 0.08, lambda);
+        let sol = rhe::solve(&problem, Task::Diversity, &RheParams::default()).expect("solves");
+        let groups: Vec<_> = sol.indices.iter().map(|&i| &cube.groups()[i]).collect();
+        let gap = (groups[0].mean() - groups[groups.len() - 1].mean()).abs();
+        let mad = groups
+            .iter()
+            .map(|g| g.stats.mean_abs_deviation().unwrap_or(0.0))
+            .sum::<f64>()
+            / groups.len() as f64;
+        mads.push(mad);
+        t.row([
+            format!("{lambda:.2}"),
+            format!("{gap:.2}"),
+            format!("{mad:.3}"),
+            groups
+                .iter()
+                .map(|g| g.desc.label())
+                .collect::<Vec<_>>()
+                .join(" | "),
+        ]);
+    }
+    t.print();
+    check.expect(
+        "higher λ never increases within-group inconsistency",
+        mads.windows(2).all(|w| w[1] <= w[0] + 0.05),
+    );
+
+    // --- (2) restart sweep on Toy Story SM.
+    let toy = d.find_title("Toy Story").expect("planted");
+    let idx: Vec<u32> = d.rating_range_for_item(toy).collect();
+    let cube = RatingCube::build(
+        d,
+        idx,
+        CubeOptions {
+            min_support: 5,
+            require_geo: false,
+            max_arity: 3,
+        },
+    );
+    let problem = MiningProblem::new(&cube, 3, 0.15, 0.5);
+    println!("\n=== ABLATION 2: RHE restart count (Toy Story SM) ===\n");
+    let mut t = Table::new(["restarts", "objective", "evaluations", "time ms"]);
+    let mut objectives = Vec::new();
+    for restarts in [1usize, 2, 4, 8, 16, 32] {
+        let params = RheParams {
+            restarts,
+            max_iterations: 48,
+            seed: 0xCAFE,
+        };
+        let ((sol, stats), elapsed) = time_once(|| {
+            rhe::solve_with_stats(&problem, Task::Similarity, &params).expect("solves")
+        });
+        objectives.push(sol.objective);
+        t.row([
+            restarts.to_string(),
+            format!("{:.4}", sol.objective),
+            stats.evaluations.to_string(),
+            ms(elapsed),
+        ]);
+    }
+    t.print();
+    check.expect(
+        "objective is monotone in restarts (same seed prefix)",
+        objectives.windows(2).all(|w| w[1] >= w[0] - 1e-9),
+    );
+
+    // --- (3) iceberg min-support sweep.
+    println!("\n=== ABLATION 3: iceberg min-support (Toy Story SM) ===\n");
+    let idx: Vec<u32> = d.rating_range_for_item(toy).collect();
+    let mut t = Table::new(["min support", "pool size", "cube ms", "SM objective"]);
+    let mut pool_sizes = Vec::new();
+    for min_support in [3usize, 5, 10, 20, 40, 80] {
+        let (cube, cube_time) = time_once(|| {
+            RatingCube::build(
+                d,
+                idx.clone(),
+                CubeOptions {
+                    min_support,
+                    require_geo: false,
+                    max_arity: 3,
+                },
+            )
+        });
+        pool_sizes.push(cube.len());
+        let objective = if cube.is_empty() {
+            f64::NAN
+        } else {
+            let problem = MiningProblem::new(&cube, 3, 0.15, 0.5);
+            rhe::solve(&problem, Task::Similarity, &RheParams::default())
+                .map(|s| s.objective)
+                .unwrap_or(f64::NAN)
+        };
+        t.row([
+            min_support.to_string(),
+            cube.len().to_string(),
+            ms(cube_time),
+            format!("{objective:.4}"),
+        ]);
+    }
+    t.print();
+    check.expect(
+        "pool size shrinks monotonically with min-support",
+        pool_sizes.windows(2).all(|w| w[1] <= w[0]),
+    );
+    check.finish();
+}

@@ -1,0 +1,131 @@
+//! EXT-QUALITY — solver-quality comparison: RHE vs greedy vs random vs
+//! exhaustive over varying candidate-pool sizes, both mining tasks.
+//!
+//! Shape expectations (EXPERIMENTS.md): RHE ≈ exhaustive (small pools),
+//! RHE ≥ greedy ≥ random on average, and RHE's optimality gap stays in the
+//! low single digits.
+//!
+//! Run: `cargo run --release -p maprat-bench --bin exp_quality [--check]`
+
+use maprat_bench::{dataset, table::Table, ShapeCheck};
+use maprat_core::anneal::{self, AnnealParams};
+use maprat_core::{exhaustive, greedy, random, rhe, MiningProblem, RheParams, Task};
+use maprat_cube::{CubeOptions, RatingCube};
+
+struct PoolSpec {
+    label: &'static str,
+    min_support: usize,
+    max_arity: usize,
+}
+
+fn main() {
+    let mut check = ShapeCheck::new();
+    let d = dataset();
+    let item = d.find_title("Toy Story").expect("planted");
+    let idx: Vec<u32> = d.rating_range_for_item(item).collect();
+
+    let pools = [
+        PoolSpec { label: "small pool (arity 1, support 40)", min_support: 40, max_arity: 1 },
+        PoolSpec { label: "medium pool (arity 2, support 10)", min_support: 10, max_arity: 2 },
+        PoolSpec { label: "large pool (arity 3, support 5)", min_support: 5, max_arity: 3 },
+    ];
+    let seeds: Vec<u64> = (0..10).collect();
+
+    println!("=== EXT-QUALITY: solver comparison (k = 3, α = 0.15) ===\n");
+    let mut all_ok_rhe_vs_random = true;
+    let mut all_ok_rhe_vs_greedy_avg = true;
+
+    for task in Task::ALL {
+        println!("--- {} ---", task.name());
+        // `*` marks an annealed solution that violates the coverage
+        // constraint (its objective is not comparable to the others).
+        let mut t = Table::new([
+            "pool", "m", "exhaustive", "RHE (mean)", "gap %", "greedy", "anneal", "random (mean)",
+        ]);
+        for spec in &pools {
+            let cube = RatingCube::build(
+                d,
+                idx.clone(),
+                CubeOptions {
+                    min_support: spec.min_support,
+                    require_geo: false,
+                    max_arity: spec.max_arity,
+                },
+            );
+            let problem = MiningProblem::new(&cube, 3, 0.15, 0.5);
+
+            let exact = if exhaustive::enumeration_count(cube.len(), 3) <= 2_000_000 {
+                exhaustive::solve(&problem, task).map(|s| s.objective)
+            } else {
+                None
+            };
+            let rhe_mean = mean(seeds.iter().map(|&s| {
+                rhe::solve(
+                    &problem,
+                    task,
+                    &RheParams { restarts: 6, max_iterations: 48, seed: s },
+                )
+                .map(|sol| sol.objective)
+                .unwrap_or(f64::NAN)
+            }));
+            let greedy_obj = greedy::solve(&problem, task).map(|s| s.objective);
+            let random_mean = mean(
+                seeds
+                    .iter()
+                    .map(|&s| random::solve(&problem, task, 30, s).map(|sol| sol.objective).unwrap_or(f64::NAN)),
+            );
+            // Report the annealed objective only when the solution is
+            // feasible — an infeasible high objective is not comparable.
+            let anneal_obj = anneal::solve(&problem, task, &AnnealParams::default())
+                .map(|sol| (sol.objective, sol.meets_coverage));
+
+            let gap = exact
+                .map(|e| (e - rhe_mean) / e.abs().max(1e-9) * 100.0)
+                .unwrap_or(f64::NAN);
+            if let Some(e) = exact {
+                // Exhaustive must dominate (sanity of the exact baseline).
+                assert!(e >= rhe_mean - 1e-9, "exact below RHE?!");
+            }
+            all_ok_rhe_vs_random &= rhe_mean + 1e-9 >= random_mean;
+            if let Some(g) = greedy_obj {
+                all_ok_rhe_vs_greedy_avg &= rhe_mean + 0.02 >= g;
+            }
+
+            t.row([
+                spec.label.to_string(),
+                cube.len().to_string(),
+                exact.map(|e| format!("{e:.4}")).unwrap_or_else(|| "(skipped)".into()),
+                format!("{rhe_mean:.4}"),
+                if gap.is_nan() { "—".into() } else { format!("{gap:.1}") },
+                greedy_obj.map(|g| format!("{g:.4}")).unwrap_or_else(|| "—".into()),
+                anneal_obj
+                    .map(|(a, feasible)| {
+                        if feasible {
+                            format!("{a:.4}")
+                        } else {
+                            format!("{a:.4}*")
+                        }
+                    })
+                    .unwrap_or_else(|| "—".into()),
+                format!("{random_mean:.4}"),
+            ]);
+        }
+        t.print();
+        println!();
+    }
+
+    check.expect("RHE ≥ random on every pool/task", all_ok_rhe_vs_random);
+    check.expect(
+        "RHE within noise of (or above) greedy on average",
+        all_ok_rhe_vs_greedy_avg,
+    );
+    check.finish();
+}
+
+fn mean<I: IntoIterator<Item = f64>>(values: I) -> f64 {
+    let v: Vec<f64> = values.into_iter().filter(|x| x.is_finite()).collect();
+    if v.is_empty() {
+        return f64::NAN;
+    }
+    v.iter().sum::<f64>() / v.len() as f64
+}

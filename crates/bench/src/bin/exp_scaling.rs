@@ -1,0 +1,87 @@
+//! EXT-SCALING — end-to-end explain latency as `|R_I|` and the candidate
+//! pool grow, plus the cube-materialization share of the cost.
+//!
+//! Shape expectations: cube build is linear-ish in `|R_I|`; RHE cost grows
+//! with the pool (universe-sized bitmap unions dominate); total stays
+//! interactive at MovieLens scale.
+//!
+//! Run: `cargo run --release -p maprat-bench --bin exp_scaling [--check]`
+
+use maprat_bench::timing::{ms, time_once};
+use maprat_bench::{dataset, table::Table, ShapeCheck};
+use maprat_core::{rhe, MiningProblem, RheParams, Task};
+use maprat_cube::{CubeOptions, RatingCube};
+
+fn main() {
+    let mut check = ShapeCheck::new();
+    let d = dataset();
+    let item = d.find_title("Toy Story").expect("planted");
+    let full: Vec<u32> = d.rating_range_for_item(item).collect();
+
+    // Grow |R_I| by prefix-slicing the item's (time-ordered) ratings, then
+    // top up with other items' ratings for the larger sizes.
+    let mut universe: Vec<u32> = full.clone();
+    for other in d.items().iter().take(400) {
+        if other.id != item {
+            universe.extend(d.rating_range_for_item(other.id));
+        }
+    }
+    let sizes: Vec<usize> = [500usize, 2_000, 8_000, 32_000, 128_000, 512_000]
+        .into_iter()
+        .filter(|&n| n <= universe.len())
+        .collect();
+
+    println!(
+        "=== EXT-SCALING: cost vs |R_I| (universe available: {}) ===\n",
+        universe.len()
+    );
+    let mut t = Table::new(["|R_I|", "pool", "cube ms", "RHE(SM) ms", "RHE(DM) ms", "total ms"]);
+    let mut rows: Vec<(usize, f64)> = Vec::new();
+
+    for &n in &sizes {
+        let slice: Vec<u32> = universe[..n].to_vec();
+        let (cube, cube_time) = time_once(|| {
+            RatingCube::build(
+                d,
+                slice.clone(),
+                CubeOptions {
+                    min_support: 5.max(n / 2000),
+                    require_geo: false,
+                    max_arity: 2,
+                },
+            )
+        });
+        let problem = MiningProblem::new(&cube, 3, 0.15, 0.5);
+        let params = RheParams::default();
+        let (_, sm_time) = time_once(|| rhe::solve(&problem, Task::Similarity, &params));
+        let (_, dm_time) = time_once(|| rhe::solve(&problem, Task::Diversity, &params));
+        let total = cube_time + sm_time + dm_time;
+        rows.push((n, total.as_secs_f64()));
+        t.row([
+            n.to_string(),
+            cube.len().to_string(),
+            ms(cube_time),
+            ms(sm_time),
+            ms(dm_time),
+            ms(total),
+        ]);
+    }
+    t.print();
+
+    // Shape checks: super-linear blowup would break interactivity.
+    if rows.len() >= 3 {
+        let (n0, t0) = rows[0];
+        let (n_last, t_last) = rows[rows.len() - 1];
+        let growth = (t_last / t0.max(1e-9)) / (n_last as f64 / n0 as f64);
+        println!("\ncost growth per unit of |R_I| growth: {growth:.2}× (≈1 is linear)");
+        check.expect(
+            "total cost grows at most ~quadratically in |R_I|",
+            growth < (n_last as f64 / n0 as f64), // strictly below n² behaviour
+        );
+    }
+    check.expect(
+        "largest configuration stays interactive (< 5 s)",
+        rows.last().is_some_and(|&(_, t)| t < 5.0),
+    );
+    check.finish();
+}

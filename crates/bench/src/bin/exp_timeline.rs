@@ -1,0 +1,76 @@
+//! TXT-DRILL — the §3.1 narration: moving the time slider over Toy Story
+//! and watching the best interpretation groups evolve, plus the
+//! state→city drill-down at each position.
+//!
+//! The planted ground truth makes California's male reviewers extra
+//! enthusiastic early (4.85 before ~2001-11, 4.6 after), so the series
+//! must show the CA group's mean cooling over time.
+//!
+//! Run: `cargo run --release -p maprat-bench --bin exp_timeline [--check]`
+
+use maprat_bench::{dataset, table::Table, ShapeCheck};
+use maprat_core::query::ItemQuery;
+use maprat_core::SearchSettings;
+use maprat_explore::{ExplorationSession, TimeSlider};
+
+fn main() {
+    let mut check = ShapeCheck::new();
+    let d = dataset();
+    let session = ExplorationSession::new(d);
+    let settings = SearchSettings::default().with_min_coverage(0.1);
+    let query = ItemQuery::title("Toy Story");
+
+    let slider = TimeSlider::over_dataset(&session, 6, 6).expect("dataset has history");
+    let points = slider.sweep(&session, &query, &settings);
+
+    println!("=== TXT-DRILL: time-slider evolution for Toy Story ===\n");
+    let mut t = Table::new(["window", "ratings", "overall", "top groups (label avg)"]);
+    for p in &points {
+        t.row([
+            format!("{}..{}", p.from, p.to),
+            p.num_ratings.to_string(),
+            p.overall_mean
+                .map(|m| format!("{m:.2}"))
+                .unwrap_or_else(|| "—".into()),
+            if let Some(reason) = &p.skipped {
+                format!("({reason})")
+            } else {
+                p.top_groups
+                    .iter()
+                    .map(|(l, m, _)| format!("{l} ({m:.2})"))
+                    .collect::<Vec<_>>()
+                    .join("; ")
+            },
+        ]);
+    }
+    t.print();
+
+    // Track the CA group across windows.
+    let ca_series: Vec<(String, f64)> = points
+        .iter()
+        .filter_map(|p| {
+            p.top_groups
+                .iter()
+                .find(|(l, _, _)| l.contains("California"))
+                .map(|(_, m, _)| (format!("{}..{}", p.from, p.to), *m))
+        })
+        .collect();
+    println!("\nCalifornia group across windows:");
+    for (w, m) in &ca_series {
+        println!("  {w}: {m:.2}");
+    }
+
+    check.expect("≥4 slider positions", points.len() >= 4);
+    check.expect(
+        "most windows have ratings and groups",
+        points.iter().filter(|p| p.num_ratings > 0).count() * 2 >= points.len(),
+    );
+    check.expect("CA group visible in ≥2 windows", ca_series.len() >= 2);
+    if ca_series.len() >= 2 {
+        check.expect(
+            "CA enthusiasm cools over time (planted drift)",
+            ca_series.first().unwrap().1 > ca_series.last().unwrap().1,
+        );
+    }
+    check.finish();
+}

@@ -1,0 +1,99 @@
+//! FIG1 — reproduces Figure 1, the primary user interface of MapRat.
+//!
+//! The figure shows the query form: a search box ("Toy Story"), a query
+//! type selector (Movie Name), additional search settings (maximum number
+//! of groups, rating coverage) and the time slider. This binary builds the
+//! same form state, validates it the way the UI does, then drives the
+//! *actual* demo server through an HTTP round trip — proving the Figure-1
+//! pipeline (form → HTTP → mining → JSON) end to end.
+//!
+//! Run: `cargo run --release -p maprat-bench --bin fig1_query [--check]`
+
+use maprat_bench::{check_mode, dataset, table::Table, ShapeCheck};
+use maprat_core::query::ItemQuery;
+use maprat_core::SearchSettings;
+use maprat_data::{MonthKey, TimeRange};
+use maprat_server::{AppState, HttpServer, Json};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+fn http_get(port: u16, target: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(("127.0.0.1", port)).expect("connect demo server");
+    write!(stream, "GET {target} HTTP/1.1\r\nHost: l\r\n\r\n").expect("send request");
+    let mut buf = String::new();
+    stream.read_to_string(&mut buf).expect("read response");
+    let status: u16 = buf
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    (status, buf.split("\r\n\r\n").nth(1).unwrap_or("").to_string())
+}
+
+fn main() {
+    let mut check = ShapeCheck::new();
+
+    // --- The Figure-1 form state.
+    println!("=== FIG1: primary user interface state ===\n");
+    let mut form = Table::new(["control", "value"]);
+    form.row(["Search", "Toy Story"]);
+    form.row(["Type of query", "Movie Name"]);
+    form.row(["Max groups", "3"]);
+    form.row(["Rating coverage", "0.20"]);
+    form.row(["Time slider", "2000-04 .. 2003-02"]);
+    form.print();
+
+    // The same state as typed API objects, validated like the UI does.
+    let query = ItemQuery::title("Toy Story").within(TimeRange::months(
+        MonthKey::new(2000, 4)..=MonthKey::new(2003, 2),
+    ));
+    let settings = SearchSettings::default()
+        .with_max_groups(3)
+        .with_min_coverage(0.2);
+    check.expect("settings validate", settings.validate().is_ok());
+    println!("\nparsed query: {query}");
+
+    // Invalid settings are rejected with a message (the UI's error path).
+    let bad = SearchSettings::default().with_min_coverage(1.4);
+    check.expect("invalid coverage rejected", bad.validate().is_err());
+
+    // --- Drive the real server, exactly as the web form does.
+    let state = AppState::new(dataset());
+    let server =
+        HttpServer::start("127.0.0.1:0", 2, state.into_handler()).expect("start demo server");
+    println!("\ndemo server on 127.0.0.1:{}", server.port());
+
+    let (status, page) = http_get(server.port(), "/");
+    check.expect("index page serves", status == 200);
+    check.expect(
+        "page carries the Figure-1 controls",
+        page.contains("Explain Ratings") && page.contains("Movie Name"),
+    );
+
+    let (status, body) = http_get(
+        server.port(),
+        "/api/explain?q=Toy+Story&type=movie&k=3&coverage=0.2&from=2000-04&to=2003-02",
+    );
+    check.expect("explain round trip is 200", status == 200);
+    let v = Json::parse(&body).expect("valid JSON from the API");
+    println!(
+        "\nAPI answer: {} item(s), {} ratings, overall mean {:.2}",
+        v.get("items").and_then(Json::as_f64).unwrap_or(0.0),
+        v.get("ratings").and_then(Json::as_f64).unwrap_or(0.0),
+        v.get("overall_mean").and_then(Json::as_f64).unwrap_or(0.0),
+    );
+    let groups = v
+        .get("similarity")
+        .and_then(|s| s.get("groups"))
+        .and_then(Json::len)
+        .unwrap_or(0);
+    check.expect("clicking Explain Ratings returns groups", groups >= 1);
+    println!("similarity groups returned: {groups}");
+
+    if check_mode() {
+        check.finish();
+    } else {
+        check.finish();
+        println!("\n(open the UI yourself: cargo run --release --example serve_demo)");
+    }
+}

@@ -1,0 +1,132 @@
+//! FIG2 — reproduces Figure 2: "MapRat Explanation Result for Query in
+//! Figure 1".
+//!
+//! Paper caption/shape: the SM tab shows the best three groups for Toy
+//! Story — male reviewers from California, male reviewers from
+//! Massachusetts and female (teen student, at full MovieLens scale)
+//! reviewers from New York — all rating positively, the NY group lower
+//! than the others; groups are rendered on a choropleth with red→green
+//! shading, attribute icons and age pins; a second tab shows Diversity
+//! Mining.
+//!
+//! Run: `cargo run --release -p maprat-bench --bin fig2_explanation [--check]`
+//! Writes `fig2_sm.svg` and `fig2_dm.svg` to the working directory.
+
+use maprat_bench::{dataset, table::Table, ShapeCheck};
+use maprat_core::query::ItemQuery;
+use maprat_core::{Miner, SearchSettings};
+use maprat_data::UsState;
+use maprat_explore::exploration_maps;
+use maprat_geo::ascii::{self, AsciiOptions};
+use maprat_geo::svg::{render as render_svg, SvgOptions};
+
+fn main() {
+    let mut check = ShapeCheck::new();
+    let d = dataset();
+    let miner = Miner::new(d);
+    let settings = SearchSettings::default().with_min_coverage(0.2);
+    let query = ItemQuery::title("Toy Story");
+
+    let e = miner.explain(&query, &settings).expect("planted Toy Story explains");
+
+    println!("=== FIG2: explanation result for the Figure-1 query ===\n");
+    println!(
+        "query: {} — {} ratings, overall average {:.2}\n",
+        e.query,
+        e.num_ratings,
+        e.total.mean().unwrap_or(0.0)
+    );
+
+    for interp in [&e.similarity, &e.diversity] {
+        println!("--- {} tab ---", interp.task.name());
+        let mut t = Table::new(["group", "state", "avg", "n", "share"]);
+        for g in &interp.groups {
+            t.row([
+                g.label.clone(),
+                g.desc.state().map(|s| s.abbrev().to_string()).unwrap_or_default(),
+                format!("{:.2}", g.stats.mean().unwrap_or(0.0)),
+                g.support.to_string(),
+                format!("{:.1}%", g.coverage_share * 100.0),
+            ]);
+        }
+        t.print();
+        println!(
+            "objective {:.3}, joint coverage {:.1}%\n",
+            interp.objective,
+            interp.coverage * 100.0
+        );
+    }
+
+    // Choropleths (the actual Figure-2 artifact).
+    let (sm, dm) = exploration_maps(&e);
+    for (name, map) in [("fig2_sm.svg", &sm), ("fig2_dm.svg", &dm)] {
+        let svg = render_svg(map, &SvgOptions::default());
+        std::fs::write(name, &svg).expect("write figure svg");
+        println!("wrote {name} ({} bytes)", svg.len());
+    }
+    println!();
+    println!(
+        "{}",
+        ascii::render(
+            &sm,
+            &AsciiOptions {
+                color: std::env::var_os("NO_COLOR").is_none(),
+                caption: true
+            }
+        )
+    );
+
+    // --- Shape contract vs the paper.
+    check.expect("three SM groups", e.similarity.groups.len() == 3);
+    check.expect(
+        "every SM group carries a geo condition",
+        e.similarity.groups.iter().all(|g| g.desc.state().is_some()),
+    );
+    check.expect(
+        "all SM groups rate positively (paper: all three positive)",
+        e.similarity
+            .groups
+            .iter()
+            .all(|g| g.stats.mean().unwrap_or(0.0) > 3.0),
+    );
+    let planted = [UsState::CA, UsState::MA, UsState::NY];
+    let planted_hits = e
+        .similarity
+        .groups
+        .iter()
+        .filter(|g| g.desc.state().map(|s| planted.contains(&s)).unwrap_or(false))
+        .count();
+    check.expect(
+        "≥2 of the paper's states (CA/MA/NY) among the best three",
+        planted_hits >= 2,
+    );
+    let ca_group = e
+        .similarity
+        .groups
+        .iter()
+        .find(|g| g.desc.state() == Some(UsState::CA));
+    check.expect(
+        "the CA group is the most enthusiastic (paper: CA males highest)",
+        ca_group.is_some_and(|ca| {
+            let ca_mean = ca.stats.mean().unwrap_or(0.0);
+            e.similarity
+                .groups
+                .iter()
+                .all(|g| g.stats.mean().unwrap_or(0.0) <= ca_mean + 1e-9)
+        }),
+    );
+    if let Some(ny) = e
+        .similarity
+        .groups
+        .iter()
+        .find(|g| g.desc.state() == Some(UsState::NY))
+    {
+        check.expect(
+            "the NY group rates lower than CA (paper: NY group lower)",
+            ny.stats.mean().unwrap_or(0.0)
+                < ca_group.map(|g| g.stats.mean().unwrap()).unwrap_or(5.0),
+        );
+    }
+    check.expect("SM map shades the selected states", sm.len() + sm.extras().len() == 3);
+    check.finish();
+}

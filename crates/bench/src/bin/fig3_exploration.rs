@@ -1,0 +1,104 @@
+//! FIG3 — reproduces Figure 3: "MapRat Exploration Result for Explanation
+//! *Male reviewers from California*".
+//!
+//! Paper shape: clicking the CA-males group in the Figure-2 result opens a
+//! statistics panel with the group's rating distribution, a comparison
+//! against related groups, and (via further exploration) city-level
+//! aggregates.
+//!
+//! Run: `cargo run --release -p maprat-bench --bin fig3_exploration [--check]`
+
+use maprat_bench::{dataset, table::Table, ShapeCheck};
+use maprat_core::query::ItemQuery;
+use maprat_core::SearchSettings;
+use maprat_cube::GroupDesc;
+use maprat_data::{Gender, UsState};
+use maprat_explore::compare::{group_detail, Relation};
+use maprat_explore::drilldown::{drill_group, sparkline};
+use maprat_explore::ExplorationSession;
+
+fn main() {
+    let mut check = ShapeCheck::new();
+    let d = dataset();
+    let session = ExplorationSession::new(d);
+    let settings = SearchSettings::default().with_min_coverage(0.2);
+    let query = ItemQuery::title("Toy Story");
+
+    let result = session.explain(&query, &settings);
+    let r = result.as_ref().as_ref().expect("Toy Story explains");
+
+    // The user clicks "Male reviewers from California".
+    let desc = GroupDesc::from_pairs([Gender::Male.into(), UsState::CA.into()]);
+    let detail = group_detail(r, &desc).expect("CA males are a candidate group");
+
+    println!("=== FIG3: exploration result for '{}' ===\n", detail.label);
+    println!(
+        "ratings: n={}  avg {:.2}  σ {:.2}",
+        detail.stats.count(),
+        detail.stats.mean().unwrap_or(0.0),
+        detail.stats.std_dev().unwrap_or(0.0)
+    );
+    let hist = detail.stats.histogram();
+    println!("distribution (1..5): {hist:?}  {}", sparkline(&hist));
+    println!(
+        "vs all reviewers of the item: n={} avg {:.2}\n",
+        detail.total.count(),
+        detail.total.mean().unwrap_or(0.0)
+    );
+
+    println!("--- related groups (the comparison panel) ---");
+    let mut t = Table::new(["relation", "group", "avg", "n"]);
+    for rg in &detail.related {
+        t.row([
+            match rg.relation {
+                Relation::Parent => "roll-up",
+                Relation::Sibling => "sibling",
+            }
+            .to_string(),
+            rg.label.clone(),
+            format!("{:.2}", rg.stats.mean().unwrap_or(0.0)),
+            rg.stats.count().to_string(),
+        ]);
+    }
+    t.print();
+
+    println!("\n--- city-level drill-down (§3.1) ---");
+    let cities = drill_group(d, r, &desc).expect("geo group drills to cities");
+    let mut ct = Table::new(["city", "avg", "n", "hist"]);
+    let mut sorted: Vec<_> = cities.iter().filter(|c| !c.stats.is_empty()).collect();
+    sorted.sort_by_key(|c| std::cmp::Reverse(c.stats.count()));
+    for c in &sorted {
+        ct.row([
+            c.city.to_string(),
+            format!("{:.2}", c.stats.mean().unwrap()),
+            c.stats.count().to_string(),
+            sparkline(&c.stats.histogram()),
+        ]);
+    }
+    ct.print();
+
+    // --- Shape contract vs the paper.
+    check.expect(
+        "the CA-males group is large and enthusiastic",
+        detail.stats.count() >= 20 && detail.stats.mean().unwrap_or(0.0) > 4.4,
+    );
+    check.expect(
+        "group average exceeds the item's overall average",
+        detail.stats.mean().unwrap_or(0.0) > detail.total.mean().unwrap_or(5.0),
+    );
+    check.expect(
+        "comparison panel offers related groups",
+        !detail.related.is_empty(),
+    );
+    check.expect(
+        "related groups include a roll-up and a sibling",
+        detail.related.iter().any(|g| g.relation == Relation::Parent)
+            && detail.related.iter().any(|g| g.relation == Relation::Sibling),
+    );
+    check.expect(
+        "drill-down partitions the group's ratings",
+        cities.iter().map(|c| c.stats.count()).sum::<u64>() == detail.stats.count(),
+    );
+    check.expect("several CA cities have ratings", sorted.len() >= 3);
+    check.finish();
+}

@@ -1,0 +1,141 @@
+//! Shared harness for the figure-regeneration binaries and criterion
+//! benches (deliverable (d); see EXPERIMENTS.md for the experiment index).
+//!
+//! Scale selection: the binaries default to the `small` preset (~80k
+//! ratings, generates in under a second, recovers every planted scenario).
+//! Set `MAPRAT_SCALE=full` for the MovieLens-1M-sized run the paper demoed
+//! on, or `MAPRAT_SCALE=tiny` for smoke tests.
+
+#![warn(missing_docs)]
+
+pub mod table;
+pub mod timing;
+
+use maprat_data::synth::{generate, SynthConfig};
+use maprat_data::Dataset;
+use std::sync::OnceLock;
+
+/// The benchmark dataset scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// ~6k ratings (smoke tests).
+    Tiny,
+    /// ~80k ratings (default).
+    Small,
+    /// ~1M ratings (MovieLens-1M sized).
+    Full,
+}
+
+impl Scale {
+    /// Reads `MAPRAT_SCALE` (default `small`).
+    pub fn from_env() -> Scale {
+        match std::env::var("MAPRAT_SCALE").as_deref() {
+            Ok("full") => Scale::Full,
+            Ok("tiny") => Scale::Tiny,
+            _ => Scale::Small,
+        }
+    }
+
+    /// The generator configuration for this scale (seed 42 everywhere so
+    /// every experiment sees the same world).
+    pub fn config(self) -> SynthConfig {
+        match self {
+            Scale::Tiny => SynthConfig::tiny(42),
+            Scale::Small => SynthConfig::small(42),
+            Scale::Full => SynthConfig::movielens_1m(42),
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Tiny => "tiny",
+            Scale::Small => "small",
+            Scale::Full => "full (MovieLens-1M sized)",
+        }
+    }
+}
+
+/// The process-wide benchmark dataset at the environment-selected scale.
+pub fn dataset() -> &'static Dataset {
+    static DATASET: OnceLock<Dataset> = OnceLock::new();
+    DATASET.get_or_init(|| {
+        let scale = Scale::from_env();
+        eprintln!("[maprat-bench] generating {} dataset…", scale.name());
+        let d = generate(&scale.config()).expect("synthetic generation cannot fail");
+        eprintln!("[maprat-bench] {}", d.summary());
+        d
+    })
+}
+
+/// Whether `--check` was passed: figure binaries then verify their shape
+/// contract and exit non-zero on violation, so CI can smoke them.
+pub fn check_mode() -> bool {
+    std::env::args().any(|a| a == "--check")
+}
+
+/// Shape-contract helper: print and remember failures, used by `--check`.
+#[derive(Debug, Default)]
+pub struct ShapeCheck {
+    failures: Vec<String>,
+}
+
+impl ShapeCheck {
+    /// Fresh checker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Asserts a named condition.
+    pub fn expect(&mut self, name: &str, ok: bool) {
+        if ok {
+            eprintln!("[check] ok: {name}");
+        } else {
+            eprintln!("[check] FAILED: {name}");
+            self.failures.push(name.to_string());
+        }
+    }
+
+    /// Exits non-zero when `--check` was requested and anything failed.
+    pub fn finish(self) {
+        if !check_mode() {
+            return;
+        }
+        if self.failures.is_empty() {
+            eprintln!("[check] all shape checks passed");
+        } else {
+            eprintln!("[check] {} failure(s): {:?}", self.failures.len(), self.failures);
+            std::process::exit(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_default_is_small() {
+        // Do not mutate the environment (tests run in parallel); just
+        // check the default path.
+        if std::env::var("MAPRAT_SCALE").is_err() {
+            assert_eq!(Scale::from_env(), Scale::Small);
+        }
+    }
+
+    #[test]
+    fn configs_scale() {
+        assert!(Scale::Full.config().num_ratings > Scale::Small.config().num_ratings);
+        assert!(Scale::Small.config().num_ratings > Scale::Tiny.config().num_ratings);
+    }
+
+    #[test]
+    fn shape_check_records_failures() {
+        let mut c = ShapeCheck::new();
+        c.expect("passes", true);
+        c.expect("fails", false);
+        assert_eq!(c.failures.len(), 1);
+        // finish() only exits under --check; safe to call here.
+        c.finish();
+    }
+}

@@ -1,0 +1,101 @@
+//! Wall-clock measurement helpers for the latency/scaling experiments.
+
+use std::time::{Duration, Instant};
+
+/// Times one closure invocation.
+pub fn time_once<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let value = f();
+    (value, start.elapsed())
+}
+
+/// Runs `f` `n` times and returns the per-run durations, sorted ascending.
+pub fn time_n(n: usize, mut f: impl FnMut()) -> Vec<Duration> {
+    let mut durations = Vec::with_capacity(n);
+    for _ in 0..n {
+        let start = Instant::now();
+        f();
+        durations.push(start.elapsed());
+    }
+    durations.sort_unstable();
+    durations
+}
+
+/// Summary statistics over sorted durations.
+#[derive(Debug, Clone, Copy)]
+pub struct TimingSummary {
+    /// Minimum.
+    pub min: Duration,
+    /// Median.
+    pub p50: Duration,
+    /// Maximum.
+    pub max: Duration,
+    /// Arithmetic mean.
+    pub mean: Duration,
+}
+
+/// Summarizes sorted durations.
+///
+/// # Panics
+/// Panics on an empty slice.
+pub fn summarize(sorted: &[Duration]) -> TimingSummary {
+    assert!(!sorted.is_empty(), "no samples");
+    let total: Duration = sorted.iter().sum();
+    TimingSummary {
+        min: sorted[0],
+        p50: sorted[sorted.len() / 2],
+        max: sorted[sorted.len() - 1],
+        mean: total / sorted.len() as u32,
+    }
+}
+
+/// Formats a duration as fractional milliseconds.
+pub fn ms(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_once_returns_value() {
+        let (v, d) = time_once(|| 41 + 1);
+        assert_eq!(v, 42);
+        assert!(d < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn time_n_sorted() {
+        let ds = time_n(5, || {
+            std::hint::black_box((0..100).sum::<u64>());
+        });
+        assert_eq!(ds.len(), 5);
+        assert!(ds.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn summary_stats() {
+        let ds = vec![
+            Duration::from_millis(1),
+            Duration::from_millis(2),
+            Duration::from_millis(9),
+        ];
+        let s = summarize(&ds);
+        assert_eq!(s.min, Duration::from_millis(1));
+        assert_eq!(s.p50, Duration::from_millis(2));
+        assert_eq!(s.max, Duration::from_millis(9));
+        assert_eq!(s.mean, Duration::from_millis(4));
+    }
+
+    #[test]
+    fn ms_format() {
+        assert_eq!(ms(Duration::from_micros(1500)), "1.500");
+    }
+
+    #[test]
+    #[should_panic(expected = "no samples")]
+    fn summarize_empty_panics() {
+        let _ = summarize(&[]);
+    }
+}

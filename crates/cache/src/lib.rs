@@ -1,0 +1,25 @@
+//! Caching substrate for MapRat.
+//!
+//! §2.3: "Using a combination of aggressive data pre-processing, result
+//! pre-computation and caching techniques, the latency of MapRat is
+//! minimized." This crate provides the generic machinery:
+//!
+//! * [`lru::LruCache`] — a classic intrusive-list LRU with O(1) get/put;
+//! * [`shard::ShardedCache`] — a thread-safe, sharded wrapper (the demo
+//!   server answers concurrent requests);
+//! * [`stats::CacheStats`] — hit/miss/eviction telemetry for the latency
+//!   experiments (TXT-LATENCY in EXPERIMENTS.md).
+//!
+//! The exploration layer (`maprat-explore`) keys this cache by query
+//! fingerprints and pre-computes per-item explanations; keeping this crate
+//! generic keeps the dependency graph parallel.
+
+#![warn(missing_docs)]
+
+pub mod lru;
+pub mod shard;
+pub mod stats;
+
+pub use lru::LruCache;
+pub use shard::ShardedCache;
+pub use stats::CacheStats;

@@ -1,0 +1,318 @@
+//! A classic O(1) LRU cache: hash index over an intrusive doubly-linked
+//! list held in a slab.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+const NIL: usize = usize::MAX;
+
+/// A slab slot. `occupied` slots hold a live entry; freed slots keep their
+/// storage for reuse (no `unsafe`, no leaks — values move out through
+/// `Option::take`).
+struct Slot<K, V> {
+    key: Option<K>,
+    value: Option<V>,
+    prev: usize,
+    next: usize,
+}
+
+/// A least-recently-used cache with a fixed capacity.
+///
+/// `get` refreshes recency; `put` evicts the least recently used entry when
+/// full. All operations are O(1) expected.
+///
+/// ```
+/// use maprat_cache::LruCache;
+/// let mut cache = LruCache::new(2);
+/// cache.put("a", 1);
+/// cache.put("b", 2);
+/// cache.get(&"a");                      // refresh "a"
+/// assert_eq!(cache.put("c", 3), Some(("b", 2))); // "b" evicted
+/// ```
+pub struct LruCache<K, V> {
+    map: HashMap<K, usize>,
+    slab: Vec<Slot<K, V>>,
+    free: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    capacity: usize,
+}
+
+impl<K: Hash + Eq + Clone, V> LruCache<K, V> {
+    /// Creates a cache holding at most `capacity` entries.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "LRU capacity must be positive");
+        LruCache {
+            map: HashMap::with_capacity(capacity),
+            slab: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn detach(&mut self, idx: usize) {
+        let (prev, next) = (self.slab[idx].prev, self.slab[idx].next);
+        if prev != NIL {
+            self.slab[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slab[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn attach_front(&mut self, idx: usize) {
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    /// Looks up a key, refreshing its recency.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        let idx = *self.map.get(key)?;
+        if idx != self.head {
+            self.detach(idx);
+            self.attach_front(idx);
+        }
+        self.slab[idx].value.as_ref()
+    }
+
+    /// Looks up without refreshing recency (for introspection).
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        self.map
+            .get(key)
+            .and_then(|&idx| self.slab[idx].value.as_ref())
+    }
+
+    /// Inserts or replaces; returns the evicted `(key, value)` if the
+    /// capacity forced one out.
+    pub fn put(&mut self, key: K, value: V) -> Option<(K, V)> {
+        if let Some(&idx) = self.map.get(&key) {
+            self.slab[idx].value = Some(value);
+            if idx != self.head {
+                self.detach(idx);
+                self.attach_front(idx);
+            }
+            return None;
+        }
+        let evicted = if self.map.len() == self.capacity {
+            let tail = self.tail;
+            self.detach(tail);
+            let slot = &mut self.slab[tail];
+            let old_key = slot.key.take().expect("occupied tail");
+            let old_value = slot.value.take().expect("occupied tail");
+            self.map.remove(&old_key);
+            self.free.push(tail);
+            Some((old_key, old_value))
+        } else {
+            None
+        };
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                let slot = &mut self.slab[idx];
+                slot.key = Some(key.clone());
+                slot.value = Some(value);
+                idx
+            }
+            None => {
+                self.slab.push(Slot {
+                    key: Some(key.clone()),
+                    value: Some(value),
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.slab.len() - 1
+            }
+        };
+        self.map.insert(key, idx);
+        self.attach_front(idx);
+        evicted
+    }
+
+    /// Removes a key, returning its value.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let idx = self.map.remove(key)?;
+        self.detach(idx);
+        let slot = &mut self.slab[idx];
+        slot.key = None;
+        let value = slot.value.take();
+        self.free.push(idx);
+        value
+    }
+
+    /// Drops every entry.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slab.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    /// Keys from most to least recently used (for tests/diagnostics).
+    pub fn keys_by_recency(&self) -> Vec<K> {
+        let mut out = Vec::with_capacity(self.map.len());
+        let mut idx = self.head;
+        while idx != NIL {
+            out.push(self.slab[idx].key.clone().expect("list slots occupied"));
+            idx = self.slab[idx].next;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::rc::Rc;
+
+    #[test]
+    fn basic_get_put() {
+        let mut c = LruCache::new(2);
+        assert!(c.is_empty());
+        assert_eq!(c.put("a", 1), None);
+        assert_eq!(c.put("b", 2), None);
+        assert_eq!(c.get(&"a"), Some(&1));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.capacity(), 2);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.put("a", 1);
+        c.put("b", 2);
+        let _ = c.get(&"a"); // refresh a; b is now LRU
+        let evicted = c.put("c", 3);
+        assert_eq!(evicted, Some(("b", 2)));
+        assert_eq!(c.get(&"b"), None);
+        assert_eq!(c.get(&"a"), Some(&1));
+        assert_eq!(c.get(&"c"), Some(&3));
+    }
+
+    #[test]
+    fn put_existing_replaces_and_refreshes() {
+        let mut c = LruCache::new(2);
+        c.put("a", 1);
+        c.put("b", 2);
+        assert_eq!(c.put("a", 10), None);
+        assert_eq!(c.put("c", 3), Some(("b", 2)));
+        assert_eq!(c.get(&"a"), Some(&10));
+    }
+
+    #[test]
+    fn remove_and_reuse_slot() {
+        let mut c = LruCache::new(3);
+        c.put(1, "one");
+        c.put(2, "two");
+        assert_eq!(c.remove(&1), Some("one"));
+        assert_eq!(c.remove(&1), None);
+        assert_eq!(c.len(), 1);
+        c.put(3, "three");
+        c.put(4, "four");
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(&1), None);
+        assert_eq!(c.get(&3), Some(&"three"));
+    }
+
+    #[test]
+    fn recency_order_tracked() {
+        let mut c = LruCache::new(3);
+        c.put(1, ());
+        c.put(2, ());
+        c.put(3, ());
+        let _ = c.get(&1);
+        assert_eq!(c.keys_by_recency(), vec![1, 3, 2]);
+    }
+
+    #[test]
+    fn peek_does_not_refresh() {
+        let mut c = LruCache::new(2);
+        c.put(1, ());
+        c.put(2, ());
+        let _ = c.peek(&1);
+        assert_eq!(c.put(3, ()), Some((1, ())), "1 still LRU after peek");
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut c = LruCache::new(4);
+        for i in 0..4 {
+            c.put(i, i * 10);
+        }
+        c.clear();
+        assert!(c.is_empty());
+        c.put(9, 90);
+        assert_eq!(c.get(&9), Some(&90));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = LruCache::<u32, u32>::new(0);
+    }
+
+    #[test]
+    fn never_exceeds_capacity_under_churn() {
+        let mut c = LruCache::new(8);
+        for i in 0..1000u32 {
+            c.put(i % 37, i);
+            assert!(c.len() <= 8);
+        }
+    }
+
+    #[test]
+    fn single_capacity_cycles() {
+        let mut c = LruCache::new(1);
+        assert_eq!(c.put(1, "a"), None);
+        assert_eq!(c.put(2, "b"), Some((1, "a")));
+        assert_eq!(c.get(&2), Some(&"b"));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn drop_semantics_no_double_free() {
+        // Rc counts expose double drops and leaks: each stored clone must
+        // release exactly once.
+        let probe = Rc::new(());
+        {
+            let mut c = LruCache::new(2);
+            for i in 0..10 {
+                c.put(i, Rc::clone(&probe));
+            }
+            assert_eq!(Rc::strong_count(&probe), 1 + 2);
+            let _ = c.remove(&9);
+            assert_eq!(Rc::strong_count(&probe), 1 + 1);
+        }
+        assert_eq!(Rc::strong_count(&probe), 1);
+    }
+}

@@ -1,0 +1,137 @@
+//! Cache telemetry.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Thread-safe hit/miss/insert/evict counters.
+///
+/// The latency experiment (TXT-LATENCY) reports these alongside wall-clock
+/// numbers, mirroring the paper's "latency is minimized" claim with
+/// observable evidence.
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl CacheStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a hit.
+    pub fn hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a miss.
+    pub fn miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an insertion, optionally with an eviction.
+    pub fn insert(&self, evicted: bool) {
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        if evicted {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Insertions so far.
+    pub fn insertions(&self) -> u64 {
+        self.insertions.load(Ordering::Relaxed)
+    }
+
+    /// Evictions so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Hit rate in `[0, 1]`; `None` before any lookup.
+    pub fn hit_rate(&self) -> Option<f64> {
+        let h = self.hits() as f64;
+        let total = h + self.misses() as f64;
+        (total > 0.0).then(|| h / total)
+    }
+
+    /// Resets all counters.
+    pub fn reset(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.insertions.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = CacheStats::new();
+        s.hit();
+        s.hit();
+        s.miss();
+        s.insert(false);
+        s.insert(true);
+        assert_eq!(s.hits(), 2);
+        assert_eq!(s.misses(), 1);
+        assert_eq!(s.insertions(), 2);
+        assert_eq!(s.evictions(), 1);
+    }
+
+    #[test]
+    fn hit_rate() {
+        let s = CacheStats::new();
+        assert_eq!(s.hit_rate(), None);
+        s.hit();
+        s.hit();
+        s.miss();
+        s.miss();
+        assert_eq!(s.hit_rate(), Some(0.5));
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let s = CacheStats::new();
+        s.hit();
+        s.insert(true);
+        s.reset();
+        assert_eq!(s.hits(), 0);
+        assert_eq!(s.evictions(), 0);
+        assert_eq!(s.hit_rate(), None);
+    }
+
+    #[test]
+    fn concurrent_increments() {
+        use std::sync::Arc;
+        let s = Arc::new(CacheStats::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        s.hit();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.hits(), 4000);
+    }
+}

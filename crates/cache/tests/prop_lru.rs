@@ -1,0 +1,83 @@
+//! Property-based test: the LRU cache is observationally equivalent to a
+//! naive model (vector ordered by recency).
+
+use maprat_cache::LruCache;
+use proptest::prelude::*;
+
+/// Reference model: most recently used at the front.
+struct Model {
+    capacity: usize,
+    entries: Vec<(u8, u32)>,
+}
+
+impl Model {
+    fn get(&mut self, key: u8) -> Option<u32> {
+        let pos = self.entries.iter().position(|(k, _)| *k == key)?;
+        let entry = self.entries.remove(pos);
+        self.entries.insert(0, entry);
+        Some(self.entries[0].1)
+    }
+
+    fn put(&mut self, key: u8, value: u32) -> Option<(u8, u32)> {
+        if let Some(pos) = self.entries.iter().position(|(k, _)| *k == key) {
+            self.entries.remove(pos);
+            self.entries.insert(0, (key, value));
+            return None;
+        }
+        let evicted = if self.entries.len() == self.capacity {
+            self.entries.pop()
+        } else {
+            None
+        };
+        self.entries.insert(0, (key, value));
+        evicted
+    }
+
+    fn remove(&mut self, key: u8) -> Option<u32> {
+        let pos = self.entries.iter().position(|(k, _)| *k == key)?;
+        Some(self.entries.remove(pos).1)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Get(u8),
+    Put(u8, u32),
+    Remove(u8),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u8..24).prop_map(Op::Get),
+            (0u8..24, any::<u32>()).prop_map(|(k, v)| Op::Put(k, v)),
+            (0u8..24).prop_map(Op::Remove),
+        ],
+        0..200,
+    )
+}
+
+proptest! {
+    #[test]
+    fn lru_matches_model(capacity in 1usize..12, script in ops()) {
+        let mut cache = LruCache::new(capacity);
+        let mut model = Model { capacity, entries: Vec::new() };
+        for op in script {
+            match op {
+                Op::Get(k) => {
+                    prop_assert_eq!(cache.get(&k).copied(), model.get(k));
+                }
+                Op::Put(k, v) => {
+                    prop_assert_eq!(cache.put(k, v), model.put(k, v));
+                }
+                Op::Remove(k) => {
+                    prop_assert_eq!(cache.remove(&k), model.remove(k));
+                }
+            }
+            prop_assert_eq!(cache.len(), model.entries.len());
+            prop_assert!(cache.len() <= capacity);
+            let recency: Vec<u8> = model.entries.iter().map(|(k, _)| *k).collect();
+            prop_assert_eq!(cache.keys_by_recency(), recency);
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Simulated-annealing solver — an extension baseline beyond the paper.
+//!
+//! The MRI framework solves SM/DM with randomized-restart hill climbing
+//! (RHE). Annealing explores the same swap/add/drop neighbourhood but
+//! accepts worsening moves with temperature-controlled probability,
+//! trading RHE's restart diversity for in-run diversification. The
+//! EXT-QUALITY experiment compares both.
+
+use crate::problem::{MiningProblem, Task};
+use crate::solution::Solution;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Annealing parameters.
+#[derive(Debug, Clone)]
+pub struct AnnealParams {
+    /// Number of proposal steps.
+    pub steps: usize,
+    /// Initial temperature (objective units).
+    pub t_start: f64,
+    /// Final temperature.
+    pub t_end: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AnnealParams {
+    fn default() -> Self {
+        AnnealParams {
+            steps: 4000,
+            t_start: 0.08,
+            t_end: 0.001,
+            seed: 0xA11E,
+        }
+    }
+}
+
+/// Solves a task with simulated annealing over feasibility-penalized
+/// objective. Returns `None` on an empty pool.
+pub fn solve(problem: &MiningProblem<'_>, task: Task, params: &AnnealParams) -> Option<Solution> {
+    let m = problem.pool_size();
+    if m == 0 {
+        return None;
+    }
+    let k = problem.selection_size();
+    let mut rng = StdRng::seed_from_u64(params.seed);
+
+    // Penalized energy: coverage shortfall dominates the objective so the
+    // walk is pulled into (and kept near) the feasible region.
+    let energy = |sel: &[usize]| -> f64 {
+        let obj = problem.objective(task, sel);
+        let shortfall = (problem.min_coverage - problem.coverage(sel)).max(0.0);
+        obj - 3.0 * shortfall
+    };
+
+    // Start from a random selection.
+    let mut pool: Vec<usize> = (0..m).collect();
+    pool.shuffle(&mut rng);
+    let mut current: Vec<usize> = pool[..k.max(1)].to_vec();
+    let mut current_e = energy(&current);
+    let mut best = current.clone();
+    let mut best_e = current_e;
+
+    let steps = params.steps.max(1);
+    for step in 0..steps {
+        let progress = step as f64 / steps as f64;
+        let temperature =
+            params.t_start * (params.t_end / params.t_start).powf(progress);
+
+        // Propose a random neighbour: swap, add or drop.
+        let mut proposal = current.clone();
+        let kind = rng.gen_range(0..3);
+        match kind {
+            0 => {
+                // Swap a random member for a random outsider.
+                let pos = rng.gen_range(0..proposal.len());
+                let candidate = rng.gen_range(0..m);
+                if proposal.contains(&candidate) {
+                    continue;
+                }
+                proposal[pos] = candidate;
+            }
+            1 if proposal.len() < problem.max_groups => {
+                let candidate = rng.gen_range(0..m);
+                if proposal.contains(&candidate) {
+                    continue;
+                }
+                proposal.push(candidate);
+            }
+            2 if proposal.len() > 1 => {
+                let pos = rng.gen_range(0..proposal.len());
+                proposal.swap_remove(pos);
+            }
+            _ => continue,
+        }
+
+        let proposal_e = energy(&proposal);
+        let accept = proposal_e >= current_e
+            || rng.gen::<f64>() < ((proposal_e - current_e) / temperature.max(1e-9)).exp();
+        if accept {
+            current = proposal;
+            current_e = proposal_e;
+            if current_e > best_e {
+                best = current.clone();
+                best_e = current_e;
+            }
+        }
+    }
+
+    Some(Solution::evaluate(problem, task, best))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rhe::{self, RheParams};
+    use maprat_cube::{CubeOptions, RatingCube};
+    use maprat_data::synth::{generate, SynthConfig};
+
+    fn fixture() -> (maprat_data::Dataset, RatingCube) {
+        let dataset = generate(&SynthConfig::tiny(201)).unwrap();
+        let item = dataset.find_title("Toy Story").unwrap();
+        let idx: Vec<u32> = dataset.rating_range_for_item(item).collect();
+        let cube = RatingCube::build(
+            &dataset,
+            idx,
+            CubeOptions {
+                min_support: 3,
+                require_geo: false,
+                max_arity: 2,
+            },
+        );
+        (dataset, cube)
+    }
+
+    #[test]
+    fn produces_valid_solutions() {
+        let (_, cube) = fixture();
+        let p = MiningProblem::new(&cube, 3, 0.2, 0.5);
+        for task in Task::ALL {
+            let s = solve(&p, task, &AnnealParams::default()).unwrap();
+            assert!(!s.indices.is_empty());
+            assert!(s.indices.len() <= 3);
+            assert!(s.indices.iter().all(|&i| i < cube.len()));
+        }
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let (_, cube) = fixture();
+        let p = MiningProblem::new(&cube, 3, 0.2, 0.5);
+        assert_eq!(
+            solve(&p, Task::Similarity, &AnnealParams::default()),
+            solve(&p, Task::Similarity, &AnnealParams::default())
+        );
+    }
+
+    #[test]
+    fn competitive_with_rhe_on_similarity() {
+        let (_, cube) = fixture();
+        let p = MiningProblem::new(&cube, 3, 0.15, 0.5);
+        let annealed = solve(&p, Task::Similarity, &AnnealParams::default()).unwrap();
+        let climbed = rhe::solve(&p, Task::Similarity, &RheParams::default()).unwrap();
+        // Annealing should land within 15% of RHE (it is a baseline, not a
+        // replacement).
+        assert!(
+            annealed.objective >= climbed.objective * 0.85,
+            "anneal {} vs rhe {}",
+            annealed.objective,
+            climbed.objective
+        );
+    }
+
+    #[test]
+    fn usually_feasible_when_possible() {
+        let (_, cube) = fixture();
+        let p = MiningProblem::new(&cube, 3, 0.2, 0.5);
+        let s = solve(&p, Task::Similarity, &AnnealParams::default()).unwrap();
+        assert!(s.meets_coverage, "coverage 0.2 achievable at k=3");
+    }
+
+    #[test]
+    fn empty_pool_none() {
+        let dataset = generate(&SynthConfig::tiny(202)).unwrap();
+        let cube = RatingCube::build(&dataset, Vec::new(), CubeOptions::default());
+        let p = MiningProblem::new(&cube, 3, 0.2, 0.5);
+        assert!(solve(&p, Task::Similarity, &AnnealParams::default()).is_none());
+    }
+}

@@ -1,0 +1,47 @@
+//! Mining-layer errors.
+
+use std::fmt;
+
+/// Errors surfaced by the mining pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MineError {
+    /// The item query matched no item.
+    NoMatchingItems(String),
+    /// The matched items carry no ratings inside the requested time range.
+    NoRatings,
+    /// No candidate group survived the iceberg threshold.
+    NoCandidates,
+    /// Invalid search settings (e.g. zero groups, coverage outside [0,1]).
+    InvalidSettings(String),
+}
+
+impl fmt::Display for MineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MineError::NoMatchingItems(q) => write!(f, "no item matches query {q:?}"),
+            MineError::NoRatings => write!(f, "matched items have no ratings in range"),
+            MineError::NoCandidates => {
+                write!(f, "no reviewer group reaches the support threshold")
+            }
+            MineError::InvalidSettings(msg) => write!(f, "invalid search settings: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_descriptive() {
+        assert!(MineError::NoMatchingItems("xyz".into())
+            .to_string()
+            .contains("xyz"));
+        assert!(MineError::NoRatings.to_string().contains("no ratings"));
+        assert!(MineError::InvalidSettings("k = 0".into())
+            .to_string()
+            .contains("k = 0"));
+    }
+}

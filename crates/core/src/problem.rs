@@ -1,0 +1,315 @@
+//! The SM/DM optimization problems over a candidate pool (§2.2).
+//!
+//! A solution is a subset `S` of the cube's candidate groups with
+//! `|S| ≤ k`, subject to the *coverage constraint*
+//! `|∪_{g∈S} cover(g)| ≥ α·|R_I|`. The objective depends on the task:
+//!
+//! * **Similarity**: maximize `1 − err(S)/4`, where `err(S)` is the mean
+//!   absolute deviation of covered ratings from their group averages
+//!   (ratings covered by several selected groups count once per group, as
+//!   in the MRI description-error formulation);
+//! * **Diversity**: maximize the mean pairwise gap between group averages,
+//!   normalized to `[0, 1]`, minus `λ · err(S)/4` so that disagreeing
+//!   groups are still internally consistent.
+
+use maprat_cube::{Bitmap, CandidateGroup, RatingCube};
+
+/// Which of the two mining sub-problems to solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Task {
+    /// Similarity Mining: groups that rate consistently.
+    Similarity,
+    /// Diversity Mining: groups that disagree with each other.
+    Diversity,
+}
+
+impl Task {
+    /// Both tasks.
+    pub const ALL: [Task; 2] = [Task::Similarity, Task::Diversity];
+
+    /// Display name as used in the UI tabs.
+    pub fn name(self) -> &'static str {
+        match self {
+            Task::Similarity => "Similarity Mining",
+            Task::Diversity => "Diversity Mining",
+        }
+    }
+}
+
+/// A mining problem instance: candidate pool + constraints.
+pub struct MiningProblem<'a> {
+    cube: &'a RatingCube,
+    /// Group budget `k`.
+    pub max_groups: usize,
+    /// Coverage constraint `α`.
+    pub min_coverage: f64,
+    /// DM consistency penalty `λ`.
+    pub dm_lambda: f64,
+}
+
+impl<'a> MiningProblem<'a> {
+    /// Creates a problem over a materialized cube.
+    pub fn new(cube: &'a RatingCube, max_groups: usize, min_coverage: f64, dm_lambda: f64) -> Self {
+        MiningProblem {
+            cube,
+            max_groups,
+            min_coverage,
+            dm_lambda,
+        }
+    }
+
+    /// The candidate pool.
+    pub fn candidates(&self) -> &[CandidateGroup] {
+        self.cube.groups()
+    }
+
+    /// The cube the problem ranges over.
+    pub fn cube(&self) -> &RatingCube {
+        self.cube
+    }
+
+    /// Number of candidates.
+    pub fn pool_size(&self) -> usize {
+        self.cube.len()
+    }
+
+    /// The effective selection size: `min(k, pool)`.
+    pub fn selection_size(&self) -> usize {
+        self.max_groups.min(self.pool_size())
+    }
+
+    /// Union cover of a selection, written into `scratch` (cleared first).
+    pub fn union_into(&self, selection: &[usize], scratch: &mut Bitmap) {
+        scratch.clear();
+        for &i in selection {
+            scratch.union_with(&self.cube.groups()[i].cover);
+        }
+    }
+
+    /// Coverage fraction of a selection.
+    pub fn coverage(&self, selection: &[usize]) -> f64 {
+        if self.cube.universe() == 0 {
+            return 0.0;
+        }
+        let mut scratch = Bitmap::new(self.cube.universe());
+        self.union_into(selection, &mut scratch);
+        scratch.count() as f64 / self.cube.universe() as f64
+    }
+
+    /// Whether a selection satisfies both constraints.
+    pub fn is_feasible(&self, selection: &[usize]) -> bool {
+        selection.len() <= self.max_groups && self.coverage(selection) + 1e-12 >= self.min_coverage
+    }
+
+    /// The description error `err(S) ∈ [0, 4]`: covered-rating-weighted
+    /// mean absolute deviation from group averages.
+    pub fn description_error(&self, selection: &[usize]) -> f64 {
+        let mut weighted = 0.0;
+        let mut total = 0.0;
+        for &i in selection {
+            let g = &self.cube.groups()[i];
+            let n = g.stats.count() as f64;
+            weighted += g.stats.mean_abs_deviation().unwrap_or(0.0) * n;
+            total += n;
+        }
+        if total == 0.0 {
+            0.0
+        } else {
+            weighted / total
+        }
+    }
+
+    /// The similarity score `1 − err/4 ∈ [0, 1]` (higher = more consistent).
+    pub fn similarity_score(&self, selection: &[usize]) -> f64 {
+        1.0 - self.description_error(selection) / 4.0
+    }
+
+    /// Mean pairwise disagreement between group averages, normalized to
+    /// `[0, 1]`. Zero for selections of fewer than two groups.
+    pub fn diversity_gap(&self, selection: &[usize]) -> f64 {
+        if selection.len() < 2 {
+            return 0.0;
+        }
+        let means: Vec<f64> = selection
+            .iter()
+            .map(|&i| self.cube.groups()[i].mean())
+            .collect();
+        let mut sum = 0.0;
+        let mut pairs = 0usize;
+        for i in 0..means.len() {
+            for j in i + 1..means.len() {
+                sum += (means[i] - means[j]).abs();
+                pairs += 1;
+            }
+        }
+        sum / pairs as f64 / 4.0
+    }
+
+    /// The diversity score `gap − λ·err/4` (may be negative for terrible
+    /// selections; normalized components keep λ interpretable).
+    pub fn diversity_score(&self, selection: &[usize]) -> f64 {
+        self.diversity_gap(selection) - self.dm_lambda * self.description_error(selection) / 4.0
+    }
+
+    /// The task objective (always maximized).
+    pub fn objective(&self, task: Task, selection: &[usize]) -> f64 {
+        match task {
+            Task::Similarity => self.similarity_score(selection),
+            Task::Diversity => self.diversity_score(selection),
+        }
+    }
+
+    /// Provable upper bound on achievable coverage with `k` groups: the
+    /// sum of the `k` largest supports (which over-counts overlaps),
+    /// capped at 1.
+    ///
+    /// Used to detect provably infeasible constraint combinations before
+    /// searching; when the bound is met the constraint may still be
+    /// unachievable, in which case the solver reports
+    /// `meets_coverage = false` on its best effort.
+    pub fn max_achievable_coverage(&self) -> f64 {
+        if self.cube.universe() == 0 {
+            return 0.0;
+        }
+        let mut supports: Vec<usize> = self
+            .cube
+            .groups()
+            .iter()
+            .map(|g| g.support())
+            .collect();
+        supports.sort_unstable_by_key(|&s| std::cmp::Reverse(s));
+        let top: usize = supports.iter().take(self.selection_size()).sum();
+        (top as f64 / self.cube.universe() as f64).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maprat_cube::CubeOptions;
+    use maprat_data::synth::{generate, SynthConfig};
+    use maprat_data::Dataset;
+
+    fn setup() -> (Dataset, RatingCube) {
+        let dataset = generate(&SynthConfig::tiny(51)).unwrap();
+        let item = dataset.find_title("Toy Story").unwrap();
+        let idx: Vec<u32> = dataset.rating_range_for_item(item).collect();
+        let cube = RatingCube::build(
+            &dataset,
+            idx,
+            CubeOptions {
+                min_support: 3,
+                require_geo: false,
+                max_arity: 2,
+            },
+        );
+        (dataset, cube)
+    }
+
+    #[test]
+    fn coverage_matches_union_oracle() {
+        let (_, cube) = setup();
+        let p = MiningProblem::new(&cube, 3, 0.2, 0.5);
+        let sel = vec![0, 1.min(cube.len() - 1)];
+        let mut union = Bitmap::new(cube.universe());
+        for &i in &sel {
+            union.union_with(&cube.groups()[i].cover);
+        }
+        let expected = union.count() as f64 / cube.universe() as f64;
+        assert!((p.coverage(&sel) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn similarity_prefers_consistent_groups() {
+        let (_, cube) = setup();
+        let p = MiningProblem::new(&cube, 1, 0.0, 0.5);
+        // Find the most and least consistent candidates.
+        let mut best = 0;
+        let mut worst = 0;
+        for (i, g) in cube.groups().iter().enumerate() {
+            let mad = g.stats.mean_abs_deviation().unwrap();
+            if mad < cube.groups()[best].stats.mean_abs_deviation().unwrap() {
+                best = i;
+            }
+            if mad > cube.groups()[worst].stats.mean_abs_deviation().unwrap() {
+                worst = i;
+            }
+        }
+        assert!(p.similarity_score(&[best]) >= p.similarity_score(&[worst]));
+        assert!((0.0..=1.0).contains(&p.similarity_score(&[best])));
+    }
+
+    #[test]
+    fn diversity_needs_two_groups() {
+        let (_, cube) = setup();
+        let p = MiningProblem::new(&cube, 3, 0.0, 0.0);
+        assert_eq!(p.diversity_gap(&[0]), 0.0);
+        if cube.len() >= 2 {
+            assert!(p.diversity_gap(&[0, 1]) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn diversity_gap_matches_pairwise_oracle() {
+        let (_, cube) = setup();
+        assert!(cube.len() >= 3);
+        let p = MiningProblem::new(&cube, 3, 0.0, 0.0);
+        let sel = [0usize, 1, 2];
+        let m: Vec<f64> = sel.iter().map(|&i| cube.groups()[i].mean()).collect();
+        let oracle = ((m[0] - m[1]).abs() + (m[0] - m[2]).abs() + (m[1] - m[2]).abs()) / 3.0 / 4.0;
+        assert!((p.diversity_gap(&sel) - oracle).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lambda_penalizes_inconsistency() {
+        let (_, cube) = setup();
+        let strict = MiningProblem::new(&cube, 3, 0.0, 2.0);
+        let lax = MiningProblem::new(&cube, 3, 0.0, 0.0);
+        let sel = [0usize, 1];
+        assert!(strict.diversity_score(&sel) <= lax.diversity_score(&sel));
+    }
+
+    #[test]
+    fn feasibility_checks_both_constraints() {
+        let (_, cube) = setup();
+        let p = MiningProblem::new(&cube, 2, 0.0, 0.5);
+        assert!(p.is_feasible(&[0]));
+        assert!(!p.is_feasible(&[0, 1, 2]), "k violated");
+        let tight = MiningProblem::new(&cube, 1, 0.99, 0.5);
+        // A single 1-arity group rarely covers 99%.
+        let small = (0..cube.len())
+            .min_by_key(|&i| cube.groups()[i].support())
+            .unwrap();
+        assert!(!tight.is_feasible(&[small]));
+    }
+
+    #[test]
+    fn max_achievable_coverage_bounds_everything() {
+        let (_, cube) = setup();
+        let p = MiningProblem::new(&cube, 3, 0.2, 0.5);
+        let bound = p.max_achievable_coverage();
+        for i in 0..cube.len().min(10) {
+            for j in 0..cube.len().min(10) {
+                for l in 0..cube.len().min(10) {
+                    let c = p.coverage(&[i, j, l]);
+                    assert!(c <= bound + 1e-9, "{c} > {bound}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn description_error_weighted_by_cover_size() {
+        let (_, cube) = setup();
+        let p = MiningProblem::new(&cube, 3, 0.0, 0.5);
+        let sel = [0usize, 1];
+        let g0 = &cube.groups()[0];
+        let g1 = &cube.groups()[1];
+        let n0 = g0.stats.count() as f64;
+        let n1 = g1.stats.count() as f64;
+        let oracle = (g0.stats.mean_abs_deviation().unwrap() * n0
+            + g1.stats.mean_abs_deviation().unwrap() * n1)
+            / (n0 + n1);
+        assert!((p.description_error(&sel) - oracle).abs() < 1e-12);
+    }
+}

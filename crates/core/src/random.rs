@@ -1,0 +1,100 @@
+//! Random-selection baseline: best of `trials` uniformly random feasible
+//! selections. The weakest baseline of the quality experiments.
+
+use crate::problem::{MiningProblem, Task};
+use crate::solution::Solution;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Picks the best of `trials` random `k`-subsets. Returns `None` on an
+/// empty pool.
+pub fn solve(
+    problem: &MiningProblem<'_>,
+    task: Task,
+    trials: usize,
+    seed: u64,
+) -> Option<Solution> {
+    let m = problem.pool_size();
+    if m == 0 {
+        return None;
+    }
+    let k = problem.selection_size();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut best: Option<Solution> = None;
+    let mut pool: Vec<usize> = (0..m).collect();
+    for _ in 0..trials.max(1) {
+        pool.shuffle(&mut rng);
+        let solution = Solution::evaluate(problem, task, pool[..k].to_vec());
+        let better = match &best {
+            None => true,
+            Some(b) => {
+                (solution.meets_coverage, solution.objective) > (b.meets_coverage, b.objective)
+            }
+        };
+        if better {
+            best = Some(solution);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maprat_cube::{CubeOptions, RatingCube};
+    use maprat_data::synth::{generate, SynthConfig};
+
+    fn fixture() -> (maprat_data::Dataset, RatingCube) {
+        let dataset = generate(&SynthConfig::tiny(95)).unwrap();
+        let item = dataset.find_title("Toy Story").unwrap();
+        let idx: Vec<u32> = dataset.rating_range_for_item(item).collect();
+        let cube = RatingCube::build(
+            &dataset,
+            idx,
+            CubeOptions {
+                min_support: 3,
+                require_geo: false,
+                max_arity: 2,
+            },
+        );
+        (dataset, cube)
+    }
+
+    #[test]
+    fn returns_k_distinct_groups() {
+        let (_, cube) = fixture();
+        let p = MiningProblem::new(&cube, 3, 0.0, 0.5);
+        let s = solve(&p, Task::Similarity, 10, 1).unwrap();
+        assert_eq!(s.indices.len(), 3.min(cube.len()));
+    }
+
+    #[test]
+    fn more_trials_never_hurt() {
+        let (_, cube) = fixture();
+        let p = MiningProblem::new(&cube, 3, 0.1, 0.5);
+        let few = solve(&p, Task::Diversity, 1, 7).unwrap();
+        let many = solve(&p, Task::Diversity, 64, 7).unwrap();
+        assert!(
+            (many.meets_coverage, many.objective) >= (few.meets_coverage, few.objective - 1e-12)
+        );
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let (_, cube) = fixture();
+        let p = MiningProblem::new(&cube, 2, 0.0, 0.5);
+        assert_eq!(
+            solve(&p, Task::Similarity, 8, 3),
+            solve(&p, Task::Similarity, 8, 3)
+        );
+    }
+
+    #[test]
+    fn empty_pool_none() {
+        let dataset = generate(&SynthConfig::tiny(96)).unwrap();
+        let cube = RatingCube::build(&dataset, Vec::new(), CubeOptions::default());
+        let p = MiningProblem::new(&cube, 3, 0.2, 0.5);
+        assert!(solve(&p, Task::Similarity, 10, 1).is_none());
+    }
+}

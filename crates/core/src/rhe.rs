@@ -1,0 +1,471 @@
+//! Randomized Hill Exploration — the solver of the MRI framework [2] that
+//! MapRat employs for both mining tasks (§2.2).
+//!
+//! Each restart starts from a feasible (or coverage-repaired) random
+//! selection of `k` groups and hill-climbs over the *swap neighbourhood*
+//! (replace one selected group by one unselected candidate), taking the
+//! best feasible improving move until a local optimum. The best local
+//! optimum across restarts wins.
+//!
+//! When the coverage constraint is provably unachievable (even the `k`
+//! largest covers fall short), the solver *relaxes* the constraint to the
+//! achievable maximum and reports `meets_coverage = false`, mirroring how
+//! the demo degrades gracefully on obscure queries rather than failing.
+
+use crate::problem::{MiningProblem, Task};
+use crate::solution::Solution;
+use maprat_cube::Bitmap;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Solver parameters.
+#[derive(Debug, Clone)]
+pub struct RheParams {
+    /// Number of random restarts.
+    pub restarts: usize,
+    /// Hill-climbing iteration cap per restart (a safety valve; climbs
+    /// normally converge in far fewer steps).
+    pub max_iterations: usize,
+    /// RNG seed — results are deterministic in it.
+    pub seed: u64,
+}
+
+impl Default for RheParams {
+    fn default() -> Self {
+        RheParams {
+            restarts: 8,
+            max_iterations: 64,
+            seed: 0xCAFE,
+        }
+    }
+}
+
+/// Solver telemetry for the experiment harness.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RheStats {
+    /// Restarts executed.
+    pub restarts: usize,
+    /// Total hill-climbing iterations across restarts.
+    pub iterations: usize,
+    /// Objective evaluations performed.
+    pub evaluations: usize,
+}
+
+/// Solves a task with RHE. Returns `None` only for an empty candidate pool.
+pub fn solve(problem: &MiningProblem<'_>, task: Task, params: &RheParams) -> Option<Solution> {
+    solve_with_stats(problem, task, params).map(|(s, _)| s)
+}
+
+/// Like [`solve`], also returning telemetry.
+pub fn solve_with_stats(
+    problem: &MiningProblem<'_>,
+    task: Task,
+    params: &RheParams,
+) -> Option<(Solution, RheStats)> {
+    let m = problem.pool_size();
+    if m == 0 {
+        return None;
+    }
+    let k = problem.selection_size();
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut stats = RheStats::default();
+
+    // Effective coverage target: relax when provably unachievable.
+    let achievable = problem.max_achievable_coverage();
+    let target = if achievable + 1e-12 >= problem.min_coverage {
+        problem.min_coverage
+    } else {
+        achievable - 1e-9
+    };
+
+    let mut best: Option<Solution> = None;
+    for restart in 0..params.restarts {
+        stats.restarts += 1;
+        let mut selection = initial_selection(problem, task, k, target, restart, &mut rng);
+        let mut current_obj = problem.objective(task, &selection);
+        stats.evaluations += 1;
+
+        for _ in 0..params.max_iterations {
+            stats.iterations += 1;
+            match best_neighbor(problem, task, &selection, target, current_obj, &mut stats) {
+                Some((neighbor, obj)) => {
+                    selection = neighbor;
+                    current_obj = obj;
+                }
+                None => break, // local optimum
+            }
+        }
+
+        let solution = Solution::evaluate(problem, task, selection);
+        let better = match &best {
+            None => true,
+            Some(b) => {
+                // Feasibility first, then objective.
+                (solution.meets_coverage, solution.objective)
+                    > (b.meets_coverage, b.objective)
+            }
+        };
+        if better {
+            best = Some(solution);
+        }
+    }
+    best.map(|s| (s, stats))
+}
+
+/// Builds an initial selection. Restarts cycle through three strategies so
+/// the climbs start in genuinely different basins:
+///
+/// 0. *objective-greedy*: greedily extend by the candidate (from a random
+///    sample) that maximizes the task objective — lands near consistency /
+///    disagreement hot-spots;
+/// 1. *coverage-greedy*: maximize marginal coverage — lands feasible;
+/// 2. *uniform random* + coverage repair — pure exploration.
+fn initial_selection(
+    problem: &MiningProblem<'_>,
+    task: Task,
+    k: usize,
+    target: f64,
+    restart: usize,
+    rng: &mut StdRng,
+) -> Vec<usize> {
+    let m = problem.pool_size();
+    match restart % 3 {
+        0 => objective_greedy(problem, task, k, rng),
+        1 => coverage_greedy(problem, k, rng),
+        _ => {
+            let mut all: Vec<usize> = (0..m).collect();
+            all.shuffle(rng);
+            all.truncate(k);
+            repair_coverage(problem, all, target, rng)
+        }
+    }
+}
+
+/// Randomized greedy construction on the task objective itself.
+fn objective_greedy(
+    problem: &MiningProblem<'_>,
+    task: Task,
+    k: usize,
+    rng: &mut StdRng,
+) -> Vec<usize> {
+    let m = problem.pool_size();
+    let sample = (m / 2).clamp(1, 64);
+    let mut selection: Vec<usize> = Vec::with_capacity(k);
+    let mut trial: Vec<usize> = Vec::with_capacity(k);
+    for _ in 0..k {
+        let mut best_idx = None;
+        let mut best_obj = f64::NEG_INFINITY;
+        for _ in 0..sample {
+            let c = rng.gen_range(0..m);
+            if selection.contains(&c) {
+                continue;
+            }
+            trial.clear();
+            trial.extend_from_slice(&selection);
+            trial.push(c);
+            let obj = problem.objective(task, &trial);
+            if obj > best_obj {
+                best_obj = obj;
+                best_idx = Some(c);
+            }
+        }
+        if let Some(c) = best_idx {
+            selection.push(c);
+        }
+    }
+    if selection.is_empty() {
+        selection.push(rng.gen_range(0..m));
+    }
+    selection
+}
+
+/// Randomized greedy max-coverage construction: each step picks the best of
+/// a small random sample of candidates by marginal coverage.
+fn coverage_greedy(problem: &MiningProblem<'_>, k: usize, rng: &mut StdRng) -> Vec<usize> {
+    let m = problem.pool_size();
+    let groups = problem.candidates();
+    let universe = problem.cube().universe();
+    let mut union = Bitmap::new(universe);
+    let mut selection = Vec::with_capacity(k);
+    let sample = (m / 4).clamp(1, 32);
+    for _ in 0..k {
+        let mut best_idx = None;
+        let mut best_gain = 0usize;
+        for _ in 0..sample {
+            let c = rng.gen_range(0..m);
+            if selection.contains(&c) {
+                continue;
+            }
+            let gain = union.union_count(&groups[c].cover);
+            if best_idx.is_none() || gain > best_gain {
+                best_idx = Some(c);
+                best_gain = gain;
+            }
+        }
+        if let Some(c) = best_idx {
+            union.union_with(&groups[c].cover);
+            selection.push(c);
+        }
+    }
+    if selection.is_empty() {
+        selection.push(rng.gen_range(0..m));
+    }
+    selection
+}
+
+/// Swaps members for higher-coverage candidates until the target is met (or
+/// no progress is possible).
+fn repair_coverage(
+    problem: &MiningProblem<'_>,
+    mut selection: Vec<usize>,
+    target: f64,
+    rng: &mut StdRng,
+) -> Vec<usize> {
+    let groups = problem.candidates();
+    for _ in 0..selection.len() * 4 {
+        if problem.coverage(&selection) + 1e-12 >= target {
+            break;
+        }
+        // Replace the member with the smallest cover by a random candidate
+        // with a larger cover.
+        let (weakest_pos, _) = selection
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &i)| groups[i].support())
+            .expect("non-empty selection");
+        let replacement = rng.gen_range(0..problem.pool_size());
+        if !selection.contains(&replacement)
+            && groups[replacement].support() > groups[selection[weakest_pos]].support()
+        {
+            selection[weakest_pos] = replacement;
+        }
+    }
+    selection
+}
+
+/// Scans the neighbourhood — swap one member, drop one member, or add one
+/// candidate (respecting `|S| ≤ k`) — and returns the best feasible
+/// strictly improving neighbour, if any.
+fn best_neighbor(
+    problem: &MiningProblem<'_>,
+    task: Task,
+    selection: &[usize],
+    target: f64,
+    current_obj: f64,
+    stats: &mut RheStats,
+) -> Option<(Vec<usize>, f64)> {
+    let universe = problem.cube().universe().max(1);
+    let groups = problem.candidates();
+    let current_cov = problem.coverage(selection);
+    let current_feasible = current_cov + 1e-12 >= target;
+
+    let mut best: Option<(Vec<usize>, f64)> = None;
+    let mut rest_union = Bitmap::new(problem.cube().universe());
+    let mut scratch: Vec<usize> = Vec::with_capacity(selection.len() + 1);
+
+    // Accepts a candidate neighbour if it improves under the two-phase
+    // rule: climb coverage while infeasible, the objective once feasible.
+    let consider = |neighbor: &[usize],
+                        cov: f64,
+                        stats: &mut RheStats,
+                        best: &mut Option<(Vec<usize>, f64)>| {
+        let feasible = cov + 1e-12 >= target;
+        if current_feasible && !feasible {
+            return;
+        }
+        stats.evaluations += 1;
+        let obj = problem.objective(task, neighbor);
+        let improves = if current_feasible {
+            obj > current_obj + 1e-12
+        } else {
+            feasible || cov > current_cov + 1e-12
+        };
+        if improves {
+            let better = match best {
+                None => true,
+                Some((_, best_obj)) => obj > *best_obj,
+            };
+            if better {
+                *best = Some((neighbor.to_vec(), obj));
+            }
+        }
+    };
+
+    // Swap and drop moves share the "selection minus one member" union.
+    for pos in 0..selection.len() {
+        rest_union.clear();
+        for (j, &i) in selection.iter().enumerate() {
+            if j != pos {
+                rest_union.union_with(&groups[i].cover);
+            }
+        }
+        // Drop (keep at least one group).
+        if selection.len() > 1 {
+            scratch.clear();
+            scratch.extend(selection.iter().enumerate().filter_map(|(j, &i)| {
+                (j != pos).then_some(i)
+            }));
+            let cov = rest_union.count() as f64 / universe as f64;
+            consider(&scratch, cov, stats, &mut best);
+        }
+        // Swaps.
+        for (candidate, group) in groups.iter().enumerate() {
+            if selection.contains(&candidate) {
+                continue;
+            }
+            let cov = rest_union.union_count(&group.cover) as f64 / universe as f64;
+            scratch.clear();
+            scratch.extend_from_slice(selection);
+            scratch[pos] = candidate;
+            consider(&scratch, cov, stats, &mut best);
+        }
+    }
+
+    // Add moves.
+    if selection.len() < problem.max_groups {
+        rest_union.clear();
+        for &i in selection {
+            rest_union.union_with(&groups[i].cover);
+        }
+        for (candidate, group) in groups.iter().enumerate() {
+            if selection.contains(&candidate) {
+                continue;
+            }
+            let cov = rest_union.union_count(&group.cover) as f64 / universe as f64;
+            scratch.clear();
+            scratch.extend_from_slice(selection);
+            scratch.push(candidate);
+            consider(&scratch, cov, stats, &mut best);
+        }
+    }
+
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maprat_cube::{CubeOptions, RatingCube};
+    use maprat_data::synth::{generate, SynthConfig};
+
+    fn fixture(seed: u64, geo: bool) -> (maprat_data::Dataset, RatingCube) {
+        let dataset = generate(&SynthConfig::tiny(seed)).unwrap();
+        let item = dataset.find_title("Toy Story").unwrap();
+        let idx: Vec<u32> = dataset.rating_range_for_item(item).collect();
+        let cube = RatingCube::build(
+            &dataset,
+            idx,
+            CubeOptions {
+                min_support: 3,
+                require_geo: geo,
+                max_arity: 3,
+            },
+        );
+        (dataset, cube)
+    }
+
+    #[test]
+    fn solutions_respect_constraints() {
+        let (_, cube) = fixture(71, false);
+        let p = MiningProblem::new(&cube, 3, 0.3, 0.5);
+        for task in Task::ALL {
+            let s = solve(&p, task, &RheParams::default()).unwrap();
+            assert!(s.indices.len() <= 3);
+            if s.meets_coverage {
+                assert!(s.coverage + 1e-9 >= 0.3);
+            }
+            let unique: std::collections::HashSet<_> = s.indices.iter().collect();
+            assert_eq!(unique.len(), s.indices.len(), "no duplicate groups");
+        }
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let (_, cube) = fixture(72, false);
+        let p = MiningProblem::new(&cube, 3, 0.2, 0.5);
+        let a = solve(&p, Task::Similarity, &RheParams::default()).unwrap();
+        let b = solve(&p, Task::Similarity, &RheParams::default()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn more_restarts_never_hurt() {
+        let (_, cube) = fixture(73, false);
+        let p = MiningProblem::new(&cube, 3, 0.2, 0.5);
+        let few = solve(
+            &p,
+            Task::Similarity,
+            &RheParams {
+                restarts: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let many = solve(
+            &p,
+            Task::Similarity,
+            &RheParams {
+                restarts: 16,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(many.objective >= few.objective - 1e-12);
+    }
+
+    #[test]
+    fn unachievable_coverage_relaxes() {
+        let (_, cube) = fixture(74, true);
+        // α = 0.999 with k = 1 group is unachievable on geo candidates.
+        let p = MiningProblem::new(&cube, 1, 0.999, 0.5);
+        let s = solve(&p, Task::Similarity, &RheParams::default()).unwrap();
+        assert!(!s.meets_coverage);
+        assert!(!s.indices.is_empty());
+    }
+
+    #[test]
+    fn empty_pool_returns_none() {
+        let dataset = generate(&SynthConfig::tiny(75)).unwrap();
+        let cube = RatingCube::build(&dataset, Vec::new(), CubeOptions::default());
+        let p = MiningProblem::new(&cube, 3, 0.2, 0.5);
+        assert!(solve(&p, Task::Similarity, &RheParams::default()).is_none());
+    }
+
+    #[test]
+    fn diversity_solutions_actually_disagree() {
+        let dataset = generate(&SynthConfig::small(76)).unwrap();
+        let item = dataset.find_title("The Twilight Saga: Eclipse").unwrap();
+        let idx: Vec<u32> = dataset.rating_range_for_item(item).collect();
+        let cube = RatingCube::build(
+            &dataset,
+            idx,
+            CubeOptions {
+                min_support: 5,
+                require_geo: false,
+                max_arity: 2,
+            },
+        );
+        let p = MiningProblem::new(&cube, 2, 0.1, 0.5);
+        let s = solve(&p, Task::Diversity, &RheParams::default()).unwrap();
+        assert_eq!(s.indices.len(), 2);
+        let means: Vec<f64> = s
+            .indices
+            .iter()
+            .map(|&i| cube.groups()[i].mean())
+            .collect();
+        assert!(
+            (means[0] - means[1]).abs() > 1.5,
+            "planted controversy should yield a wide gap, got {means:?}"
+        );
+    }
+
+    #[test]
+    fn telemetry_counts_work() {
+        let (_, cube) = fixture(77, false);
+        let p = MiningProblem::new(&cube, 3, 0.2, 0.5);
+        let (_, stats) = solve_with_stats(&p, Task::Similarity, &RheParams::default()).unwrap();
+        assert_eq!(stats.restarts, RheParams::default().restarts);
+        assert!(stats.evaluations > stats.restarts);
+    }
+}

@@ -1,0 +1,131 @@
+//! User-tunable search settings (the "additional search settings" panel of
+//! Figure 1: maximum number of groups, rating coverage, …).
+
+use crate::error::MineError;
+use crate::rhe::RheParams;
+
+/// Settings of one explanation request.
+#[derive(Debug, Clone)]
+pub struct SearchSettings {
+    /// Maximum number of returned groups per interpretation (`k`); the demo
+    /// defaults to the paper's "best three groups".
+    pub max_groups: usize,
+    /// Minimum fraction of `R_I` the selected groups must jointly cover
+    /// (`α ∈ [0, 1]`).
+    pub min_coverage: f64,
+    /// Iceberg support threshold for candidate groups.
+    pub min_support: usize,
+    /// Whether every group must carry a state condition (on for the map
+    /// demo, §3.1; off reproduces the paper's §1 narration, which speaks of
+    /// demographic-only groups).
+    pub require_geo: bool,
+    /// Maximum descriptor arity (≤ 4).
+    pub max_arity: usize,
+    /// Consistency penalty λ of the DM objective.
+    pub dm_lambda: f64,
+    /// Solver parameters.
+    pub rhe: RheParams,
+}
+
+impl Default for SearchSettings {
+    fn default() -> Self {
+        SearchSettings {
+            max_groups: 3,
+            min_coverage: 0.25,
+            min_support: 5,
+            require_geo: true,
+            max_arity: 4,
+            dm_lambda: 0.5,
+            rhe: RheParams::default(),
+        }
+    }
+}
+
+impl SearchSettings {
+    /// Validates ranges; returns a descriptive error for the UI.
+    pub fn validate(&self) -> Result<(), MineError> {
+        if self.max_groups == 0 {
+            return Err(MineError::InvalidSettings("max_groups must be ≥ 1".into()));
+        }
+        if !(0.0..=1.0).contains(&self.min_coverage) {
+            return Err(MineError::InvalidSettings(format!(
+                "min_coverage {} outside [0, 1]",
+                self.min_coverage
+            )));
+        }
+        if self.max_arity == 0 || self.max_arity > 4 {
+            return Err(MineError::InvalidSettings(format!(
+                "max_arity {} outside 1..=4",
+                self.max_arity
+            )));
+        }
+        if self.dm_lambda < 0.0 {
+            return Err(MineError::InvalidSettings("dm_lambda must be ≥ 0".into()));
+        }
+        if self.rhe.restarts == 0 {
+            return Err(MineError::InvalidSettings("rhe.restarts must be ≥ 1".into()));
+        }
+        Ok(())
+    }
+
+    /// Convenience: adjust the group budget.
+    pub fn with_max_groups(mut self, k: usize) -> Self {
+        self.max_groups = k;
+        self
+    }
+
+    /// Convenience: adjust the coverage constraint.
+    pub fn with_min_coverage(mut self, alpha: f64) -> Self {
+        self.min_coverage = alpha;
+        self
+    }
+
+    /// Convenience: toggle the geo-condition requirement.
+    pub fn with_require_geo(mut self, on: bool) -> Self {
+        self.require_geo = on;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid_and_paperlike() {
+        let s = SearchSettings::default();
+        s.validate().unwrap();
+        assert_eq!(s.max_groups, 3, "Figure 2 shows the best three groups");
+        assert!(s.require_geo);
+    }
+
+    #[test]
+    fn invalid_settings_rejected() {
+        assert!(SearchSettings::default().with_max_groups(0).validate().is_err());
+        assert!(SearchSettings::default().with_min_coverage(1.5).validate().is_err());
+        let s = SearchSettings {
+            max_arity: 9,
+            ..Default::default()
+        };
+        assert!(s.validate().is_err());
+        let s = SearchSettings {
+            dm_lambda: -0.1,
+            ..Default::default()
+        };
+        assert!(s.validate().is_err());
+        let mut s = SearchSettings::default();
+        s.rhe.restarts = 0;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn builder_style_updates() {
+        let s = SearchSettings::default()
+            .with_max_groups(5)
+            .with_min_coverage(0.4)
+            .with_require_geo(false);
+        assert_eq!(s.max_groups, 5);
+        assert_eq!(s.min_coverage, 0.4);
+        assert!(!s.require_geo);
+    }
+}

@@ -1,0 +1,196 @@
+//! Solutions and their user-facing rendering.
+
+use crate::problem::{MiningProblem, Task};
+use maprat_cube::GroupDesc;
+use maprat_data::RatingStats;
+
+/// A raw solver solution: candidate indexes into the problem's pool.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// Selected candidate indexes (sorted, deduplicated).
+    pub indices: Vec<usize>,
+    /// Objective value (task-dependent, higher is better).
+    pub objective: f64,
+    /// Fraction of `R_I` jointly covered.
+    pub coverage: f64,
+    /// Whether the requested coverage constraint is satisfied (`false`
+    /// when the constraint was provably unachievable and the solver
+    /// returned the best coverage-relaxed solution instead).
+    pub meets_coverage: bool,
+}
+
+impl Solution {
+    /// Builds a solution record from a selection, evaluating the problem.
+    pub fn evaluate(problem: &MiningProblem<'_>, task: Task, mut indices: Vec<usize>) -> Self {
+        indices.sort_unstable();
+        indices.dedup();
+        let objective = problem.objective(task, &indices);
+        let coverage = problem.coverage(&indices);
+        Solution {
+            indices,
+            objective,
+            coverage,
+            meets_coverage: coverage + 1e-12 >= problem.min_coverage,
+        }
+    }
+}
+
+/// One selected group, rendered for the user.
+#[derive(Debug, Clone)]
+pub struct ExplainedGroup {
+    /// The descriptor.
+    pub desc: GroupDesc,
+    /// Paper-style label ("male reviewers from California").
+    pub label: String,
+    /// Aggregate over the group's covered ratings.
+    pub stats: RatingStats,
+    /// Number of covered rating tuples.
+    pub support: usize,
+    /// `support / |R_I|`.
+    pub coverage_share: f64,
+}
+
+/// One mining interpretation (the content of an SM or DM tab).
+#[derive(Debug, Clone)]
+pub struct Interpretation {
+    /// Which sub-problem produced it.
+    pub task: Task,
+    /// The selected groups, ordered by descending support.
+    pub groups: Vec<ExplainedGroup>,
+    /// Final objective value.
+    pub objective: f64,
+    /// Joint coverage of `R_I`.
+    pub coverage: f64,
+    /// Whether the coverage constraint was met (see [`Solution`]).
+    pub meets_coverage: bool,
+}
+
+impl Interpretation {
+    /// Renders a solver solution into the user-facing form.
+    pub fn from_solution(problem: &MiningProblem<'_>, task: Task, solution: &Solution) -> Self {
+        let universe = problem.cube().universe().max(1);
+        let mut groups: Vec<ExplainedGroup> = solution
+            .indices
+            .iter()
+            .map(|&i| {
+                let g = &problem.candidates()[i];
+                ExplainedGroup {
+                    desc: g.desc,
+                    label: g.desc.label(),
+                    stats: g.stats,
+                    support: g.support(),
+                    coverage_share: g.support() as f64 / universe as f64,
+                }
+            })
+            .collect();
+        groups.sort_by(|a, b| b.support.cmp(&a.support).then(a.desc.cmp(&b.desc)));
+        Interpretation {
+            task,
+            groups,
+            objective: solution.objective,
+            coverage: solution.coverage,
+            meets_coverage: solution.meets_coverage,
+        }
+    }
+
+    /// Finds a selected group by descriptor.
+    pub fn group(&self, desc: &GroupDesc) -> Option<&ExplainedGroup> {
+        self.groups.iter().find(|g| g.desc == *desc)
+    }
+
+    /// Multi-line text rendering used by the CLI examples.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{} — objective {:.3}, coverage {:.1}%{}",
+            self.task.name(),
+            self.objective,
+            self.coverage * 100.0,
+            if self.meets_coverage {
+                ""
+            } else {
+                " (coverage constraint relaxed)"
+            }
+        );
+        for g in &self.groups {
+            let _ = writeln!(
+                out,
+                "  • {:<55} avg {:.2}  n={:<5} ({:.1}% of ratings)",
+                g.label,
+                g.stats.mean().unwrap_or(0.0),
+                g.support,
+                g.coverage_share * 100.0
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maprat_cube::{CubeOptions, RatingCube};
+    use maprat_data::synth::{generate, SynthConfig};
+
+    fn problem_fixture() -> (maprat_data::Dataset, RatingCube) {
+        let dataset = generate(&SynthConfig::tiny(61)).unwrap();
+        let item = dataset.find_title("Toy Story").unwrap();
+        let idx: Vec<u32> = dataset.rating_range_for_item(item).collect();
+        let cube = RatingCube::build(
+            &dataset,
+            idx,
+            CubeOptions {
+                min_support: 3,
+                require_geo: false,
+                max_arity: 2,
+            },
+        );
+        (dataset, cube)
+    }
+
+    #[test]
+    fn evaluate_sorts_and_dedups() {
+        let (_, cube) = problem_fixture();
+        let p = MiningProblem::new(&cube, 3, 0.0, 0.5);
+        let s = Solution::evaluate(&p, Task::Similarity, vec![2, 0, 2]);
+        assert_eq!(s.indices, vec![0, 2]);
+        assert!(s.meets_coverage, "α = 0 is always met");
+    }
+
+    #[test]
+    fn interpretation_orders_by_support() {
+        let (_, cube) = problem_fixture();
+        let p = MiningProblem::new(&cube, 3, 0.0, 0.5);
+        let s = Solution::evaluate(&p, Task::Similarity, vec![0, 1, 2]);
+        let interp = Interpretation::from_solution(&p, Task::Similarity, &s);
+        for w in interp.groups.windows(2) {
+            assert!(w[0].support >= w[1].support);
+        }
+        assert_eq!(interp.groups.len(), 3);
+    }
+
+    #[test]
+    fn coverage_shares_consistent() {
+        let (_, cube) = problem_fixture();
+        let p = MiningProblem::new(&cube, 2, 0.0, 0.5);
+        let s = Solution::evaluate(&p, Task::Diversity, vec![0, 1]);
+        let interp = Interpretation::from_solution(&p, Task::Diversity, &s);
+        for g in &interp.groups {
+            let expected = g.support as f64 / cube.universe() as f64;
+            assert!((g.coverage_share - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn render_text_mentions_task_and_groups() {
+        let (_, cube) = problem_fixture();
+        let p = MiningProblem::new(&cube, 2, 0.0, 0.5);
+        let s = Solution::evaluate(&p, Task::Similarity, vec![0]);
+        let interp = Interpretation::from_solution(&p, Task::Similarity, &s);
+        let text = interp.render_text();
+        assert!(text.contains("Similarity Mining"));
+        assert!(text.contains("reviewers"));
+    }
+}

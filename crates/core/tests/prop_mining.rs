@@ -1,0 +1,142 @@
+//! Property-based tests on the mining layer: solver solutions always
+//! respect the constraint model; exhaustive dominates the heuristics.
+
+use maprat_core::{exhaustive, greedy, random, rhe, MiningProblem, RheParams, Task};
+use maprat_cube::{CubeOptions, RatingCube};
+use maprat_data::synth::{generate, SynthConfig};
+use maprat_data::Dataset;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// One shared small dataset — generation is the expensive part.
+fn dataset() -> &'static Dataset {
+    static DATASET: OnceLock<Dataset> = OnceLock::new();
+    DATASET.get_or_init(|| generate(&SynthConfig::tiny(2024)).unwrap())
+}
+
+fn cube_for(title: &str, min_support: usize, max_arity: usize) -> Option<RatingCube> {
+    let d = dataset();
+    let item = d.find_title(title)?;
+    let idx: Vec<u32> = d.rating_range_for_item(item).collect();
+    let cube = RatingCube::build(
+        d,
+        idx,
+        CubeOptions {
+            min_support,
+            require_geo: false,
+            max_arity,
+        },
+    );
+    (!cube.is_empty()).then_some(cube)
+}
+
+const TITLES: [&str; 4] = [
+    "Toy Story",
+    "The Twilight Saga: Eclipse",
+    "Forrest Gump",
+    "Saving Private Ryan",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// RHE output is always structurally valid: ≤ k distinct candidates,
+    /// coverage/objective correctly reported, feasible when claimed.
+    #[test]
+    fn rhe_solutions_valid(
+        title_idx in 0usize..TITLES.len(),
+        k in 1usize..5,
+        alpha in 0.0f64..0.9,
+        seed in 0u64..1000,
+        task_idx in 0usize..2,
+    ) {
+        let Some(cube) = cube_for(TITLES[title_idx], 4, 2) else { return Ok(()); };
+        let problem = MiningProblem::new(&cube, k, alpha, 0.5);
+        let task = Task::ALL[task_idx];
+        let params = RheParams { restarts: 3, max_iterations: 24, seed };
+        let Some(sol) = rhe::solve(&problem, task, &params) else { return Ok(()); };
+
+        prop_assert!(sol.indices.len() <= k);
+        prop_assert!(!sol.indices.is_empty());
+        prop_assert!(sol.indices.iter().all(|&i| i < cube.len()));
+        let mut dedup = sol.indices.clone();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), sol.indices.len());
+        // Reported metrics match recomputation.
+        prop_assert!((sol.coverage - problem.coverage(&sol.indices)).abs() < 1e-9);
+        prop_assert!((sol.objective - problem.objective(task, &sol.indices)).abs() < 1e-9);
+        prop_assert_eq!(sol.meets_coverage, sol.coverage + 1e-12 >= alpha);
+    }
+
+    /// On small pools the exact optimum dominates every heuristic, and RHE
+    /// dominates pure random selection given equal evaluation budgets.
+    #[test]
+    fn exhaustive_dominates(
+        title_idx in 0usize..TITLES.len(),
+        k in 1usize..4,
+        alpha in 0.0f64..0.5,
+        task_idx in 0usize..2,
+    ) {
+        let Some(cube) = cube_for(TITLES[title_idx], 10, 1) else { return Ok(()); };
+        if exhaustive::enumeration_count(cube.len(), k) > 200_000 {
+            return Ok(());
+        }
+        let problem = MiningProblem::new(&cube, k, alpha, 0.5);
+        let task = Task::ALL[task_idx];
+        let Some(exact) = exhaustive::solve(&problem, task) else { return Ok(()); };
+        let params = RheParams { restarts: 6, max_iterations: 32, seed: 7 };
+        if let Some(heuristic) = rhe::solve(&problem, task, &params) {
+            if exact.meets_coverage == heuristic.meets_coverage {
+                prop_assert!(
+                    exact.objective >= heuristic.objective - 1e-9,
+                    "exhaustive {} < rhe {}", exact.objective, heuristic.objective
+                );
+            }
+        }
+        if let Some(g) = greedy::solve(&problem, task) {
+            if exact.meets_coverage == g.meets_coverage {
+                prop_assert!(exact.objective >= g.objective - 1e-9);
+            }
+        }
+        if let Some(r) = random::solve(&problem, task, 4, 3) {
+            if exact.meets_coverage == r.meets_coverage {
+                prop_assert!(exact.objective >= r.objective - 1e-9);
+            }
+        }
+    }
+
+    /// The similarity objective is bounded in [0, 1] and the description
+    /// error in [0, 4] for arbitrary selections.
+    #[test]
+    fn objective_bounds(
+        title_idx in 0usize..TITLES.len(),
+        raw_sel in proptest::collection::vec(0usize..64, 1..5),
+    ) {
+        let Some(cube) = cube_for(TITLES[title_idx], 4, 2) else { return Ok(()); };
+        let problem = MiningProblem::new(&cube, 5, 0.0, 0.5);
+        let sel: Vec<usize> = raw_sel.iter().map(|&i| i % cube.len()).collect();
+        let err = problem.description_error(&sel);
+        prop_assert!((0.0..=4.0).contains(&err));
+        let sim = problem.similarity_score(&sel);
+        prop_assert!((0.0..=1.0).contains(&sim));
+        let gap = problem.diversity_gap(&sel);
+        prop_assert!((0.0..=1.0).contains(&gap));
+        let cov = problem.coverage(&sel);
+        prop_assert!((0.0..=1.0).contains(&cov));
+    }
+
+    /// Coverage is monotone: adding a group never reduces it.
+    #[test]
+    fn coverage_monotone(
+        title_idx in 0usize..TITLES.len(),
+        base in proptest::collection::vec(0usize..64, 1..4),
+        extra in 0usize..64,
+    ) {
+        let Some(cube) = cube_for(TITLES[title_idx], 4, 2) else { return Ok(()); };
+        let problem = MiningProblem::new(&cube, 8, 0.0, 0.5);
+        let sel: Vec<usize> = base.iter().map(|&i| i % cube.len()).collect();
+        let mut bigger = sel.clone();
+        bigger.push(extra % cube.len());
+        prop_assert!(problem.coverage(&bigger) + 1e-12 >= problem.coverage(&sel));
+    }
+}

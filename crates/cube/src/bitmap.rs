@@ -1,0 +1,250 @@
+//! A fixed-size bitset over rating-tuple positions.
+//!
+//! Group covers are subsets of `0..|R_I|`; the mining loop's hot operations
+//! are union (for the coverage constraint) and popcount, so covers are
+//! stored as dense `u64`-block bitmaps. At MovieLens scale (`|R_I|` in the
+//! tens of thousands) a cover is a few KiB, and unions run at memory
+//! bandwidth.
+
+/// A fixed-universe bitset.
+///
+/// ```
+/// use maprat_cube::Bitmap;
+/// let mut a = Bitmap::from_positions(100, [1, 5, 70]);
+/// let b = Bitmap::from_positions(100, [5, 99]);
+/// assert_eq!(a.union_count(&b), 4);
+/// assert_eq!(a.intersection_count(&b), 1);
+/// a.union_with(&b);
+/// assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 5, 70, 99]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitmap {
+    len: usize,
+    blocks: Vec<u64>,
+}
+
+impl Bitmap {
+    /// Creates an empty bitmap over the universe `0..len`.
+    pub fn new(len: usize) -> Self {
+        Bitmap {
+            len,
+            blocks: vec![0; len.div_ceil(64)],
+        }
+    }
+
+    /// The universe size (number of addressable positions).
+    #[inline]
+    pub fn universe(&self) -> usize {
+        self.len
+    }
+
+    /// Sets position `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is outside the universe.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.len, "bit {i} outside universe {}", self.len);
+        self.blocks[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Whether position `i` is set.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} outside universe {}", self.len);
+        self.blocks[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Number of set positions.
+    pub fn count(&self) -> usize {
+        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// Whether no position is set.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.iter().all(|&b| b == 0)
+    }
+
+    /// Clears all positions (keeps the universe).
+    pub fn clear(&mut self) {
+        self.blocks.fill(0);
+    }
+
+    /// In-place union: `self |= other`.
+    ///
+    /// # Panics
+    /// Panics on universe mismatch.
+    pub fn union_with(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "universe mismatch");
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a |= b;
+        }
+    }
+
+    /// In-place intersection: `self &= other`.
+    pub fn intersect_with(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "universe mismatch");
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a &= b;
+        }
+    }
+
+    /// In-place difference: `self &= !other`.
+    pub fn subtract(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "universe mismatch");
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a &= !b;
+        }
+    }
+
+    /// `|self ∩ other|` without allocating.
+    pub fn intersection_count(&self, other: &Bitmap) -> usize {
+        assert_eq!(self.len, other.len, "universe mismatch");
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// `|self ∪ other|` without allocating.
+    pub fn union_count(&self, other: &Bitmap) -> usize {
+        assert_eq!(self.len, other.len, "universe mismatch");
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .map(|(a, b)| (a | b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Whether every set position of `self` is also set in `other`.
+    pub fn is_subset_of(&self, other: &Bitmap) -> bool {
+        assert_eq!(self.len, other.len, "universe mismatch");
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Iterates the set positions in ascending order.
+    pub fn iter(&self) -> BitmapIter<'_> {
+        BitmapIter {
+            bitmap: self,
+            block_idx: 0,
+            current: self.blocks.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Builds a bitmap from set positions.
+    pub fn from_positions<I: IntoIterator<Item = usize>>(len: usize, positions: I) -> Self {
+        let mut bm = Bitmap::new(len);
+        for p in positions {
+            bm.set(p);
+        }
+        bm
+    }
+}
+
+/// Ascending iterator over set positions.
+pub struct BitmapIter<'a> {
+    bitmap: &'a Bitmap,
+    block_idx: usize,
+    current: u64,
+}
+
+impl Iterator for BitmapIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1; // clear lowest set bit
+                return Some(self.block_idx * 64 + bit);
+            }
+            self.block_idx += 1;
+            if self.block_idx >= self.bitmap.blocks.len() {
+                return None;
+            }
+            self.current = self.bitmap.blocks[self.block_idx];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_count() {
+        let mut bm = Bitmap::new(130);
+        assert!(bm.is_empty());
+        bm.set(0);
+        bm.set(64);
+        bm.set(129);
+        assert!(bm.get(0) && bm.get(64) && bm.get(129));
+        assert!(!bm.get(1));
+        assert_eq!(bm.count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside universe")]
+    fn out_of_universe_panics() {
+        let mut bm = Bitmap::new(10);
+        bm.set(10);
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let a = Bitmap::from_positions(100, [1, 5, 70]);
+        let b = Bitmap::from_positions(100, [5, 70, 99]);
+        assert_eq!(a.intersection_count(&b), 2);
+        assert_eq!(a.union_count(&b), 4);
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.count(), 4);
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.count(), 2);
+        assert!(i.is_subset_of(&a));
+        assert!(i.is_subset_of(&b));
+    }
+
+    #[test]
+    fn subtract_removes() {
+        let mut a = Bitmap::from_positions(10, [1, 2, 3]);
+        let b = Bitmap::from_positions(10, [2]);
+        a.subtract(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 3]);
+    }
+
+    #[test]
+    fn iter_ascending_across_blocks() {
+        let positions = vec![0, 63, 64, 65, 127, 128, 199];
+        let bm = Bitmap::from_positions(200, positions.clone());
+        assert_eq!(bm.iter().collect::<Vec<_>>(), positions);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut bm = Bitmap::from_positions(50, [3, 30]);
+        bm.clear();
+        assert!(bm.is_empty());
+        assert_eq!(bm.universe(), 50);
+    }
+
+    #[test]
+    fn empty_universe_ok() {
+        let bm = Bitmap::new(0);
+        assert_eq!(bm.count(), 0);
+        assert_eq!(bm.iter().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "universe mismatch")]
+    fn mismatched_universe_panics() {
+        let mut a = Bitmap::new(10);
+        let b = Bitmap::new(20);
+        a.union_with(&b);
+    }
+}

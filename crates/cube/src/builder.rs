@@ -1,0 +1,327 @@
+//! Iceberg-cube materialization of candidate groups over a rating set.
+
+use crate::bitmap::Bitmap;
+use crate::group::GroupDesc;
+use crate::lattice::{attribute_subsets, geo_cuboids, Cuboid};
+use maprat_data::{Dataset, RatingIdx, RatingStats};
+use std::collections::HashMap;
+
+/// Materialization options.
+#[derive(Debug, Clone)]
+pub struct CubeOptions {
+    /// Minimum number of covered rating tuples for a group to become a
+    /// candidate (the iceberg threshold; also the paper's requirement that
+    /// groups "cover a reasonable fraction" starts from non-trivial cells).
+    pub min_support: usize,
+    /// Whether every candidate must carry a state condition, as the demo
+    /// requires for map rendering (§3.1).
+    pub require_geo: bool,
+    /// Maximum number of constrained attributes (4 = the full base cuboid).
+    /// Lower values trade explanation specificity for a smaller pool.
+    pub max_arity: usize,
+}
+
+impl Default for CubeOptions {
+    fn default() -> Self {
+        CubeOptions {
+            min_support: 5,
+            require_geo: true,
+            max_arity: 4,
+        }
+    }
+}
+
+/// A materialized candidate group: descriptor, cover and aggregate.
+#[derive(Debug, Clone)]
+pub struct CandidateGroup {
+    /// The group descriptor.
+    pub desc: GroupDesc,
+    /// Cover over positions `0..universe` of the cube's rating set.
+    pub cover: Bitmap,
+    /// Aggregate statistics of the covered ratings.
+    pub stats: RatingStats,
+}
+
+impl CandidateGroup {
+    /// Number of covered rating tuples.
+    pub fn support(&self) -> usize {
+        self.stats.count() as usize
+    }
+
+    /// Mean rating (covers are non-empty by construction).
+    pub fn mean(&self) -> f64 {
+        self.stats.mean().expect("candidate covers are non-empty")
+    }
+}
+
+/// The iceberg cube over one query's rating set `R_I`.
+#[derive(Debug, Clone)]
+pub struct RatingCube {
+    /// Dense dataset rating indexes forming `R_I`; position `p` in every
+    /// cover refers to `rating_idx[p]`.
+    rating_idx: Vec<u32>,
+    groups: Vec<CandidateGroup>,
+    by_desc: HashMap<GroupDesc, usize>,
+    total: RatingStats,
+    options: CubeOptions,
+}
+
+impl RatingCube {
+    /// Materializes the iceberg cube over the given dataset rating indexes.
+    ///
+    /// Runs one pass over `|R_I| × #cuboids` cells (8 geo cuboids by
+    /// default), accumulating per-cell aggregates and position lists, then
+    /// freezes cells above the support threshold into bitmap-backed
+    /// candidates.
+    pub fn build(dataset: &Dataset, rating_idx: Vec<u32>, options: CubeOptions) -> Self {
+        let universe = rating_idx.len();
+        let cuboids: Vec<Cuboid> = if options.require_geo {
+            geo_cuboids()
+        } else {
+            attribute_subsets()
+        }
+        .into_iter()
+        .filter(|c| {
+            let d = c.dimensionality() as usize;
+            d >= 1 && d <= options.max_arity
+        })
+        .collect();
+
+        let mut cells: HashMap<GroupDesc, (RatingStats, Vec<u32>)> = HashMap::new();
+        let mut total = RatingStats::new();
+        for (pos, &ridx) in rating_idx.iter().enumerate() {
+            let rating = dataset.rating(RatingIdx(ridx));
+            let user = dataset.user(rating.user);
+            total.push(rating.score);
+            for &cuboid in &cuboids {
+                let desc = GroupDesc::project(user, cuboid.0);
+                let (stats, positions) = cells.entry(desc).or_default();
+                stats.push(rating.score);
+                positions.push(pos as u32);
+            }
+        }
+
+        let mut groups: Vec<CandidateGroup> = cells
+            .into_iter()
+            .filter(|(_, (stats, _))| stats.count() as usize >= options.min_support)
+            .map(|(desc, (stats, positions))| CandidateGroup {
+                desc,
+                cover: Bitmap::from_positions(universe, positions.iter().map(|&p| p as usize)),
+                stats,
+            })
+            .collect();
+        // Deterministic candidate order: coarse-to-fine, then descriptor.
+        groups.sort_by_key(|g| (g.desc.arity(), g.desc));
+
+        let by_desc = groups
+            .iter()
+            .enumerate()
+            .map(|(i, g)| (g.desc, i))
+            .collect();
+
+        RatingCube {
+            rating_idx,
+            groups,
+            by_desc,
+            total,
+            options,
+        }
+    }
+
+    /// The candidate groups, coarse-to-fine.
+    pub fn groups(&self) -> &[CandidateGroup] {
+        &self.groups
+    }
+
+    /// Number of candidates.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Whether no candidate survived the iceberg threshold.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// The size of the rating universe `|R_I|`.
+    pub fn universe(&self) -> usize {
+        self.rating_idx.len()
+    }
+
+    /// Aggregate over the whole of `R_I` (the paper's "overall average").
+    pub fn total_stats(&self) -> &RatingStats {
+        &self.total
+    }
+
+    /// Looks up a candidate by descriptor.
+    pub fn find(&self, desc: &GroupDesc) -> Option<&CandidateGroup> {
+        self.by_desc.get(desc).map(|&i| &self.groups[i])
+    }
+
+    /// Index of a candidate by descriptor.
+    pub fn index_of(&self, desc: &GroupDesc) -> Option<usize> {
+        self.by_desc.get(desc).copied()
+    }
+
+    /// Maps a cover position back to the dataset rating index.
+    #[inline]
+    pub fn rating_index_at(&self, pos: usize) -> RatingIdx {
+        RatingIdx(self.rating_idx[pos])
+    }
+
+    /// The dataset rating indexes of the universe, in position order.
+    pub fn rating_indexes(&self) -> &[u32] {
+        &self.rating_idx
+    }
+
+    /// The options the cube was built with.
+    pub fn options(&self) -> &CubeOptions {
+        &self.options
+    }
+
+    /// A copy of this cube restricted to candidates satisfying `keep`.
+    ///
+    /// Used by the personalization feature (§3.1: MapRat "can exploit any
+    /// user demographic information … to constrain the groups that are
+    /// highlighted"): the pool shrinks to groups compatible with the
+    /// visitor's profile before mining.
+    pub fn filtered(&self, mut keep: impl FnMut(&CandidateGroup) -> bool) -> RatingCube {
+        let groups: Vec<CandidateGroup> = self
+            .groups
+            .iter()
+            .filter(|g| keep(g))
+            .cloned()
+            .collect();
+        let by_desc = groups
+            .iter()
+            .enumerate()
+            .map(|(i, g)| (g.desc, i))
+            .collect();
+        RatingCube {
+            rating_idx: self.rating_idx.clone(),
+            groups,
+            by_desc,
+            total: self.total,
+            options: self.options.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maprat_data::synth::{generate, SynthConfig};
+    use maprat_data::{Gender, UsState};
+
+    fn cube(require_geo: bool) -> (Dataset, RatingCube) {
+        let dataset = generate(&SynthConfig::tiny(21)).unwrap();
+        let item = dataset.find_title("Toy Story").unwrap();
+        let idx: Vec<u32> = dataset.rating_range_for_item(item).collect();
+        let cube = RatingCube::build(
+            &dataset,
+            idx,
+            CubeOptions {
+                min_support: 3,
+                require_geo,
+                max_arity: 4,
+            },
+        );
+        (dataset, cube)
+    }
+
+    #[test]
+    fn covers_match_group_membership_oracle() {
+        let (dataset, cube) = cube(false);
+        for g in cube.groups().iter().take(50) {
+            // Oracle: recompute the cover by scanning R_I.
+            let mut expected = Vec::new();
+            let mut stats = RatingStats::new();
+            for (pos, &ridx) in cube.rating_indexes().iter().enumerate() {
+                let r = dataset.rating(RatingIdx(ridx));
+                if g.desc.matches(dataset.user(r.user)) {
+                    expected.push(pos);
+                    stats.push(r.score);
+                }
+            }
+            assert_eq!(g.cover.iter().collect::<Vec<_>>(), expected, "{}", g.desc);
+            assert_eq!(g.stats, stats, "{}", g.desc);
+        }
+    }
+
+    #[test]
+    fn iceberg_threshold_enforced() {
+        let (_, cube) = cube(false);
+        assert!(cube.groups().iter().all(|g| g.support() >= 3));
+    }
+
+    #[test]
+    fn geo_requirement_filters_candidates() {
+        let (_, geo_cube) = cube(true);
+        assert!(!geo_cube.is_empty());
+        assert!(geo_cube
+            .groups()
+            .iter()
+            .all(|g| g.desc.state().is_some()));
+        let (_, free_cube) = cube(false);
+        assert!(free_cube.len() > geo_cube.len());
+    }
+
+    #[test]
+    fn subsumed_groups_have_subset_covers() {
+        let (_, cube) = cube(false);
+        let male = GroupDesc::from_pairs([Gender::Male.into()]);
+        let male_ca = GroupDesc::from_pairs([Gender::Male.into(), UsState::CA.into()]);
+        let (Some(parent), Some(child)) = (cube.find(&male), cube.find(&male_ca)) else {
+            panic!("expected both groups above threshold in planted Toy Story data");
+        };
+        assert!(child.cover.is_subset_of(&parent.cover));
+        assert!(parent.support() >= child.support());
+    }
+
+    #[test]
+    fn total_stats_cover_whole_universe() {
+        let (_, cube) = cube(false);
+        assert_eq!(cube.total_stats().count() as usize, cube.universe());
+    }
+
+    #[test]
+    fn candidates_ordered_coarse_to_fine() {
+        let (_, cube) = cube(false);
+        for w in cube.groups().windows(2) {
+            assert!(w[0].desc.arity() <= w[1].desc.arity());
+        }
+    }
+
+    #[test]
+    fn no_apex_candidate() {
+        let (_, cube) = cube(false);
+        assert!(cube.find(&GroupDesc::ALL).is_none(), "apex is not a candidate");
+        assert!(cube.groups().iter().all(|g| g.desc.arity() >= 1));
+    }
+
+    #[test]
+    fn max_arity_limits_pool() {
+        let dataset = generate(&SynthConfig::tiny(22)).unwrap();
+        let item = dataset.find_title("Toy Story").unwrap();
+        let idx: Vec<u32> = dataset.rating_range_for_item(item).collect();
+        let narrow = RatingCube::build(
+            &dataset,
+            idx.clone(),
+            CubeOptions {
+                min_support: 3,
+                require_geo: false,
+                max_arity: 1,
+            },
+        );
+        assert!(narrow.groups().iter().all(|g| g.desc.arity() == 1));
+    }
+
+    #[test]
+    fn empty_rating_set_yields_empty_cube() {
+        let dataset = generate(&SynthConfig::tiny(23)).unwrap();
+        let cube = RatingCube::build(&dataset, Vec::new(), CubeOptions::default());
+        assert!(cube.is_empty());
+        assert_eq!(cube.universe(), 0);
+        assert!(cube.total_stats().is_empty());
+    }
+}

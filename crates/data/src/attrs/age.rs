@@ -1,0 +1,153 @@
+//! MovieLens age buckets.
+
+use crate::error::DataError;
+use std::fmt;
+
+/// The seven age buckets used by MovieLens-1M `users.dat`.
+///
+/// The paper's examples speak of "reviewers under 18" and "reviewers above
+/// 45"; those phrases map onto these buckets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum AgeGroup {
+    /// Under 18 (MovieLens code 1).
+    Under18 = 0,
+    /// 18–24 (code 18).
+    From18To24 = 1,
+    /// 25–34 (code 25).
+    From25To34 = 2,
+    /// 35–44 (code 35).
+    From35To44 = 3,
+    /// 45–49 (code 45).
+    From45To49 = 4,
+    /// 50–55 (code 50).
+    From50To55 = 5,
+    /// 56 and over (code 56).
+    Above56 = 6,
+}
+
+impl AgeGroup {
+    /// All buckets in ascending age order.
+    pub const ALL: [AgeGroup; 7] = [
+        AgeGroup::Under18,
+        AgeGroup::From18To24,
+        AgeGroup::From25To34,
+        AgeGroup::From35To44,
+        AgeGroup::From45To49,
+        AgeGroup::From50To55,
+        AgeGroup::Above56,
+    ];
+
+    /// Parses a MovieLens age code (1, 18, 25, 35, 45, 50, 56).
+    pub fn from_movielens_code(code: u32) -> Result<Self, DataError> {
+        match code {
+            1 => Ok(AgeGroup::Under18),
+            18 => Ok(AgeGroup::From18To24),
+            25 => Ok(AgeGroup::From25To34),
+            35 => Ok(AgeGroup::From35To44),
+            45 => Ok(AgeGroup::From45To49),
+            50 => Ok(AgeGroup::From50To55),
+            56 => Ok(AgeGroup::Above56),
+            other => Err(DataError::UnknownAgeCode(other)),
+        }
+    }
+
+    /// The MovieLens code for this bucket.
+    pub fn movielens_code(self) -> u32 {
+        match self {
+            AgeGroup::Under18 => 1,
+            AgeGroup::From18To24 => 18,
+            AgeGroup::From25To34 => 25,
+            AgeGroup::From35To44 => 35,
+            AgeGroup::From45To49 => 45,
+            AgeGroup::From50To55 => 50,
+            AgeGroup::Above56 => 56,
+        }
+    }
+
+    /// Compact label, e.g. `25-34`.
+    pub fn label(self) -> &'static str {
+        match self {
+            AgeGroup::Under18 => "<18",
+            AgeGroup::From18To24 => "18-24",
+            AgeGroup::From25To34 => "25-34",
+            AgeGroup::From35To44 => "35-44",
+            AgeGroup::From45To49 => "45-49",
+            AgeGroup::From50To55 => "50-55",
+            AgeGroup::Above56 => "56+",
+        }
+    }
+
+    /// Adjective used when rendering group labels ("teen reviewers",
+    /// "reviewers aged 25-34").
+    pub fn phrase(self) -> &'static str {
+        match self {
+            AgeGroup::Under18 => "teen",
+            AgeGroup::From18To24 => "aged 18-24",
+            AgeGroup::From25To34 => "aged 25-34",
+            AgeGroup::From35To44 => "aged 35-44",
+            AgeGroup::From45To49 => "aged 45-49",
+            AgeGroup::From50To55 => "aged 50-55",
+            AgeGroup::Above56 => "aged 56 or over",
+        }
+    }
+
+    /// Whether this label comes before the noun ("teen reviewers") rather
+    /// than after ("reviewers aged 25-34").
+    pub fn phrase_is_prefix(self) -> bool {
+        matches!(self, AgeGroup::Under18)
+    }
+
+    /// Builds from the dense index (inverse of `as usize`).
+    pub fn from_index(idx: usize) -> Option<Self> {
+        AgeGroup::ALL.get(idx).copied()
+    }
+}
+
+impl fmt::Display for AgeGroup {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip() {
+        for bucket in AgeGroup::ALL {
+            assert_eq!(
+                AgeGroup::from_movielens_code(bucket.movielens_code()).unwrap(),
+                bucket
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_code_rejected() {
+        assert!(AgeGroup::from_movielens_code(17).is_err());
+        assert!(AgeGroup::from_movielens_code(0).is_err());
+    }
+
+    #[test]
+    fn index_round_trip() {
+        for (i, bucket) in AgeGroup::ALL.iter().enumerate() {
+            assert_eq!(*bucket as usize, i);
+            assert_eq!(AgeGroup::from_index(i), Some(*bucket));
+        }
+        assert_eq!(AgeGroup::from_index(7), None);
+    }
+
+    #[test]
+    fn buckets_ordered_by_age() {
+        assert!(AgeGroup::Under18 < AgeGroup::Above56);
+    }
+
+    #[test]
+    fn labels_unique() {
+        let labels: std::collections::HashSet<_> =
+            AgeGroup::ALL.iter().map(|a| a.label()).collect();
+        assert_eq!(labels.len(), 7);
+    }
+}

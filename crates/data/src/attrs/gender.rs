@@ -1,0 +1,82 @@
+//! Reviewer gender, as recorded by MovieLens.
+
+use crate::error::DataError;
+use std::fmt;
+
+/// Reviewer gender (MovieLens records `M`/`F`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Gender {
+    /// Female (`F`).
+    Female = 0,
+    /// Male (`M`).
+    Male = 1,
+}
+
+impl Gender {
+    /// Both genders, in dense-index order.
+    pub const ALL: [Gender; 2] = [Gender::Female, Gender::Male];
+
+    /// Parses the MovieLens single-letter encoding.
+    pub fn from_letter(letter: &str) -> Result<Self, DataError> {
+        match letter {
+            "F" | "f" => Ok(Gender::Female),
+            "M" | "m" => Ok(Gender::Male),
+            other => Err(DataError::Invalid(format!("unknown gender {other:?}"))),
+        }
+    }
+
+    /// The MovieLens single-letter encoding.
+    pub fn letter(self) -> &'static str {
+        match self {
+            Gender::Female => "F",
+            Gender::Male => "M",
+        }
+    }
+
+    /// Adjective for group labels ("male reviewers").
+    pub fn phrase(self) -> &'static str {
+        match self {
+            Gender::Female => "female",
+            Gender::Male => "male",
+        }
+    }
+
+    /// Builds from the dense index.
+    pub fn from_index(idx: usize) -> Option<Self> {
+        Gender::ALL.get(idx).copied()
+    }
+}
+
+impl fmt::Display for Gender {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.phrase())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn letters_round_trip() {
+        for g in Gender::ALL {
+            assert_eq!(Gender::from_letter(g.letter()).unwrap(), g);
+        }
+        assert_eq!(Gender::from_letter("m").unwrap(), Gender::Male);
+    }
+
+    #[test]
+    fn unknown_letter_rejected() {
+        assert!(Gender::from_letter("X").is_err());
+        assert!(Gender::from_letter("").is_err());
+    }
+
+    #[test]
+    fn dense_indexes() {
+        assert_eq!(Gender::Female as usize, 0);
+        assert_eq!(Gender::Male as usize, 1);
+        assert_eq!(Gender::from_index(1), Some(Gender::Male));
+        assert_eq!(Gender::from_index(2), None);
+    }
+}

@@ -1,0 +1,275 @@
+//! Reviewer attribute domains and attribute/value pairs.
+//!
+//! MapRat explains ratings through *groups*: conjunctions of
+//! attribute/value pairs over the reviewer schema
+//! `{Age, Gender, Occupation, State}` (§2.1). All four domains are small
+//! categorical enums, which lets the cube layer enumerate cuboids cheaply
+//! and lets group labels be rendered exactly like the paper's examples
+//! ("male reviewers from California").
+
+mod age;
+mod gender;
+mod occupation;
+mod state;
+
+pub use age::AgeGroup;
+pub use gender::Gender;
+pub use occupation::Occupation;
+pub use state::UsState;
+
+use std::fmt;
+
+/// The reviewer attribute schema `UA` (§2.1).
+///
+/// The order of variants is the canonical attribute order used when sorting
+/// the pairs of a group descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum UserAttr {
+    /// Age bucket (MovieLens's seven buckets).
+    Age,
+    /// Gender.
+    Gender,
+    /// Occupation (MovieLens's 21 codes).
+    Occupation,
+    /// US state derived from the reviewer zip code — the geo anchor
+    /// every visualizable group must carry (§3.1).
+    State,
+}
+
+impl UserAttr {
+    /// All attributes in canonical order.
+    pub const ALL: [UserAttr; 4] = [
+        UserAttr::Age,
+        UserAttr::Gender,
+        UserAttr::Occupation,
+        UserAttr::State,
+    ];
+
+    /// The number of distinct values in this attribute's domain.
+    pub fn cardinality(self) -> usize {
+        match self {
+            UserAttr::Age => AgeGroup::ALL.len(),
+            UserAttr::Gender => Gender::ALL.len(),
+            UserAttr::Occupation => Occupation::ALL.len(),
+            UserAttr::State => UsState::ALL.len(),
+        }
+    }
+
+    /// Human-readable attribute name.
+    pub fn name(self) -> &'static str {
+        match self {
+            UserAttr::Age => "age",
+            UserAttr::Gender => "gender",
+            UserAttr::Occupation => "occupation",
+            UserAttr::State => "state",
+        }
+    }
+
+    /// Dense index of the attribute in [`UserAttr::ALL`].
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            UserAttr::Age => 0,
+            UserAttr::Gender => 1,
+            UserAttr::Occupation => 2,
+            UserAttr::State => 3,
+        }
+    }
+
+    /// Enumerates every value of this attribute's domain.
+    pub fn values(self) -> Vec<AttrValue> {
+        match self {
+            UserAttr::Age => AgeGroup::ALL.iter().copied().map(AttrValue::Age).collect(),
+            UserAttr::Gender => Gender::ALL.iter().copied().map(AttrValue::Gender).collect(),
+            UserAttr::Occupation => Occupation::ALL
+                .iter()
+                .copied()
+                .map(AttrValue::Occupation)
+                .collect(),
+            UserAttr::State => UsState::ALL.iter().copied().map(AttrValue::State).collect(),
+        }
+    }
+}
+
+impl fmt::Display for UserAttr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A value drawn from one of the four reviewer attribute domains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AttrValue {
+    /// An age bucket.
+    Age(AgeGroup),
+    /// A gender.
+    Gender(Gender),
+    /// An occupation.
+    Occupation(Occupation),
+    /// A US state.
+    State(UsState),
+}
+
+impl AttrValue {
+    /// The attribute this value belongs to.
+    pub fn attr(self) -> UserAttr {
+        match self {
+            AttrValue::Age(_) => UserAttr::Age,
+            AttrValue::Gender(_) => UserAttr::Gender,
+            AttrValue::Occupation(_) => UserAttr::Occupation,
+            AttrValue::State(_) => UserAttr::State,
+        }
+    }
+
+    /// Dense index of the value within its attribute domain.
+    pub fn value_index(self) -> usize {
+        match self {
+            AttrValue::Age(a) => a as usize,
+            AttrValue::Gender(g) => g as usize,
+            AttrValue::Occupation(o) => o as usize,
+            AttrValue::State(s) => s as usize,
+        }
+    }
+
+    /// Short token for compact output, e.g. `age=25-34` or `state=CA`.
+    pub fn token(self) -> String {
+        match self {
+            AttrValue::Age(a) => format!("age={}", a.label()),
+            AttrValue::Gender(g) => format!("gender={}", g.letter()),
+            AttrValue::Occupation(o) => format!("occupation={}", o.label()),
+            AttrValue::State(s) => format!("state={}", s.abbrev()),
+        }
+    }
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrValue::Age(a) => write!(f, "{a}"),
+            AttrValue::Gender(g) => write!(f, "{g}"),
+            AttrValue::Occupation(o) => write!(f, "{o}"),
+            AttrValue::State(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// An attribute/value pair, the building block of group descriptors (§2.1).
+///
+/// Ordering first compares the attribute (canonical order), then the value
+/// index, giving group descriptors a unique sorted form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AVPair {
+    /// The value (which also determines the attribute).
+    pub value: AttrValue,
+}
+
+impl AVPair {
+    /// Wraps a value into a pair.
+    pub fn new(value: AttrValue) -> Self {
+        AVPair { value }
+    }
+
+    /// The attribute side of the pair.
+    pub fn attr(&self) -> UserAttr {
+        self.value.attr()
+    }
+}
+
+impl PartialOrd for AVPair {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for AVPair {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.attr(), self.value.value_index()).cmp(&(other.attr(), other.value.value_index()))
+    }
+}
+
+impl fmt::Display for AVPair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨{}, {}⟩", self.attr(), self.value)
+    }
+}
+
+impl From<AgeGroup> for AVPair {
+    fn from(a: AgeGroup) -> Self {
+        AVPair::new(AttrValue::Age(a))
+    }
+}
+impl From<Gender> for AVPair {
+    fn from(g: Gender) -> Self {
+        AVPair::new(AttrValue::Gender(g))
+    }
+}
+impl From<Occupation> for AVPair {
+    fn from(o: Occupation) -> Self {
+        AVPair::new(AttrValue::Occupation(o))
+    }
+}
+impl From<UsState> for AVPair {
+    fn from(s: UsState) -> Self {
+        AVPair::new(AttrValue::State(s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cardinalities_match_domains() {
+        assert_eq!(UserAttr::Age.cardinality(), 7);
+        assert_eq!(UserAttr::Gender.cardinality(), 2);
+        assert_eq!(UserAttr::Occupation.cardinality(), 21);
+        assert_eq!(UserAttr::State.cardinality(), 51);
+    }
+
+    #[test]
+    fn values_enumerate_full_domain() {
+        for attr in UserAttr::ALL {
+            let values = attr.values();
+            assert_eq!(values.len(), attr.cardinality());
+            for (i, v) in values.iter().enumerate() {
+                assert_eq!(v.attr(), attr);
+                assert_eq!(v.value_index(), i);
+            }
+        }
+    }
+
+    #[test]
+    fn pair_ordering_attr_major() {
+        let age: AVPair = AgeGroup::Under18.into();
+        let gender: AVPair = Gender::Male.into();
+        let state: AVPair = UsState::CA.into();
+        assert!(age < gender);
+        assert!(gender < state);
+    }
+
+    #[test]
+    fn pair_ordering_within_attribute() {
+        let ca: AVPair = UsState::CA.into();
+        let ny: AVPair = UsState::NY.into();
+        assert!(ca < ny, "CA precedes NY alphabetically in the enum");
+    }
+
+    #[test]
+    fn tokens_are_compact() {
+        assert_eq!(AttrValue::State(UsState::CA).token(), "state=CA");
+        assert_eq!(AttrValue::Gender(Gender::Female).token(), "gender=F");
+    }
+
+    #[test]
+    fn display_pair_uses_angle_brackets() {
+        let p: AVPair = UsState::CA.into();
+        assert_eq!(p.to_string(), "⟨state, California⟩");
+    }
+
+    #[test]
+    fn attr_index_consistent_with_all() {
+        for (i, a) in UserAttr::ALL.iter().enumerate() {
+            assert_eq!(a.index(), i);
+        }
+    }
+}

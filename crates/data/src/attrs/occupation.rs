@@ -1,0 +1,177 @@
+//! The 21 MovieLens occupation codes.
+
+use crate::error::DataError;
+use std::fmt;
+
+/// Reviewer occupation, using MovieLens-1M's 21 documented codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Occupation {
+    /// Code 0: "other" or not specified.
+    Other = 0,
+    /// Code 1: academic/educator.
+    AcademicEducator = 1,
+    /// Code 2: artist.
+    Artist = 2,
+    /// Code 3: clerical/admin.
+    ClericalAdmin = 3,
+    /// Code 4: college/grad student.
+    CollegeGradStudent = 4,
+    /// Code 5: customer service.
+    CustomerService = 5,
+    /// Code 6: doctor/health care.
+    DoctorHealthCare = 6,
+    /// Code 7: executive/managerial.
+    ExecutiveManagerial = 7,
+    /// Code 8: farmer.
+    Farmer = 8,
+    /// Code 9: homemaker.
+    Homemaker = 9,
+    /// Code 10: K-12 student.
+    K12Student = 10,
+    /// Code 11: lawyer.
+    Lawyer = 11,
+    /// Code 12: programmer.
+    Programmer = 12,
+    /// Code 13: retired.
+    Retired = 13,
+    /// Code 14: sales/marketing.
+    SalesMarketing = 14,
+    /// Code 15: scientist.
+    Scientist = 15,
+    /// Code 16: self-employed.
+    SelfEmployed = 16,
+    /// Code 17: technician/engineer.
+    TechnicianEngineer = 17,
+    /// Code 18: tradesman/craftsman.
+    TradesmanCraftsman = 18,
+    /// Code 19: unemployed.
+    Unemployed = 19,
+    /// Code 20: writer.
+    Writer = 20,
+}
+
+impl Occupation {
+    /// All occupations in MovieLens code order.
+    pub const ALL: [Occupation; 21] = [
+        Occupation::Other,
+        Occupation::AcademicEducator,
+        Occupation::Artist,
+        Occupation::ClericalAdmin,
+        Occupation::CollegeGradStudent,
+        Occupation::CustomerService,
+        Occupation::DoctorHealthCare,
+        Occupation::ExecutiveManagerial,
+        Occupation::Farmer,
+        Occupation::Homemaker,
+        Occupation::K12Student,
+        Occupation::Lawyer,
+        Occupation::Programmer,
+        Occupation::Retired,
+        Occupation::SalesMarketing,
+        Occupation::Scientist,
+        Occupation::SelfEmployed,
+        Occupation::TechnicianEngineer,
+        Occupation::TradesmanCraftsman,
+        Occupation::Unemployed,
+        Occupation::Writer,
+    ];
+
+    /// Parses a MovieLens occupation code (`0..=20`).
+    pub fn from_movielens_code(code: u32) -> Result<Self, DataError> {
+        Occupation::ALL
+            .get(code as usize)
+            .copied()
+            .ok_or(DataError::UnknownOccupationCode(code))
+    }
+
+    /// The MovieLens code.
+    #[inline]
+    pub fn movielens_code(self) -> u32 {
+        self as u32
+    }
+
+    /// Compact label, e.g. `programmer`.
+    pub fn label(self) -> &'static str {
+        match self {
+            Occupation::Other => "other",
+            Occupation::AcademicEducator => "academic/educator",
+            Occupation::Artist => "artist",
+            Occupation::ClericalAdmin => "clerical/admin",
+            Occupation::CollegeGradStudent => "college student",
+            Occupation::CustomerService => "customer service",
+            Occupation::DoctorHealthCare => "doctor/health care",
+            Occupation::ExecutiveManagerial => "executive",
+            Occupation::Farmer => "farmer",
+            Occupation::Homemaker => "homemaker",
+            Occupation::K12Student => "student",
+            Occupation::Lawyer => "lawyer",
+            Occupation::Programmer => "programmer",
+            Occupation::Retired => "retired",
+            Occupation::SalesMarketing => "sales/marketing",
+            Occupation::Scientist => "scientist",
+            Occupation::SelfEmployed => "self-employed",
+            Occupation::TechnicianEngineer => "technician/engineer",
+            Occupation::TradesmanCraftsman => "tradesman",
+            Occupation::Unemployed => "unemployed",
+            Occupation::Writer => "writer",
+        }
+    }
+
+    /// Noun phrase for group labels ("student reviewers").
+    pub fn phrase(self) -> &'static str {
+        self.label()
+    }
+
+    /// Whether this occupation denotes a student (used by the demo's
+    /// "female teen student reviewers from New York" example).
+    pub fn is_student(self) -> bool {
+        matches!(
+            self,
+            Occupation::CollegeGradStudent | Occupation::K12Student
+        )
+    }
+
+    /// Builds from the dense index.
+    pub fn from_index(idx: usize) -> Option<Self> {
+        Occupation::ALL.get(idx).copied()
+    }
+}
+
+impl fmt::Display for Occupation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_dense_and_round_trip() {
+        for (i, occ) in Occupation::ALL.iter().enumerate() {
+            assert_eq!(occ.movielens_code() as usize, i);
+            assert_eq!(Occupation::from_movielens_code(i as u32).unwrap(), *occ);
+        }
+    }
+
+    #[test]
+    fn out_of_range_code_rejected() {
+        assert!(Occupation::from_movielens_code(21).is_err());
+    }
+
+    #[test]
+    fn student_detection() {
+        assert!(Occupation::K12Student.is_student());
+        assert!(Occupation::CollegeGradStudent.is_student());
+        assert!(!Occupation::Lawyer.is_student());
+    }
+
+    #[test]
+    fn labels_unique() {
+        let labels: std::collections::HashSet<_> =
+            Occupation::ALL.iter().map(|o| o.label()).collect();
+        assert_eq!(labels.len(), Occupation::ALL.len());
+    }
+}

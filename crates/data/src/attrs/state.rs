@@ -1,0 +1,201 @@
+//! The fifty US states plus the District of Columbia.
+//!
+//! States are the geo condition every MapRat group carries (§3.1); the
+//! `maprat-geo` crate adds tile-grid coordinates and city tables on top of
+//! this enum.
+
+use crate::error::DataError;
+use std::fmt;
+
+macro_rules! us_states {
+    ($(($variant:ident, $abbrev:literal, $name:literal, $pop:literal)),+ $(,)?) => {
+        /// A US state (or DC). Variants are the postal abbreviations and are
+        /// declared in alphabetical order, so the derived `Ord` sorts states
+        /// by abbreviation (`CA < NY` etc.).
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        #[repr(u8)]
+        #[allow(clippy::upper_case_acronyms)]
+        pub enum UsState {
+            $(#[doc = $name] $variant,)+
+        }
+
+        impl UsState {
+            /// All states in enum order.
+            pub const ALL: [UsState; us_states!(@count $($variant)+)] = [
+                $(UsState::$variant,)+
+            ];
+
+            /// The two-letter postal abbreviation.
+            pub fn abbrev(self) -> &'static str {
+                match self { $(UsState::$variant => $abbrev,)+ }
+            }
+
+            /// The full state name.
+            pub fn name(self) -> &'static str {
+                match self { $(UsState::$variant => $name,)+ }
+            }
+
+            /// Approximate population in thousands (2000 census order of
+            /// magnitude) — used by the synthetic generator to distribute
+            /// reviewers across states realistically.
+            pub fn population_weight(self) -> u32 {
+                match self { $(UsState::$variant => $pop,)+ }
+            }
+
+            /// Resolves a postal abbreviation (case-insensitive).
+            pub fn from_abbrev(abbrev: &str) -> Result<Self, DataError> {
+                let up = abbrev.to_ascii_uppercase();
+                match up.as_str() {
+                    $($abbrev => Ok(UsState::$variant),)+
+                    _ => Err(DataError::UnknownState(abbrev.to_string())),
+                }
+            }
+
+            /// Resolves a full name (case-insensitive).
+            pub fn from_name(name: &str) -> Result<Self, DataError> {
+                $(
+                    if name.eq_ignore_ascii_case($name) {
+                        return Ok(UsState::$variant);
+                    }
+                )+
+                Err(DataError::UnknownState(name.to_string()))
+            }
+        }
+    };
+    (@count $($x:ident)+) => { 0usize $(+ us_states!(@one $x))+ };
+    (@one $x:ident) => { 1usize };
+}
+
+us_states![
+    (AK, "AK", "Alaska", 627),
+    (AL, "AL", "Alabama", 4447),
+    (AR, "AR", "Arkansas", 2673),
+    (AZ, "AZ", "Arizona", 5131),
+    (CA, "CA", "California", 33872),
+    (CO, "CO", "Colorado", 4301),
+    (CT, "CT", "Connecticut", 3406),
+    (DC, "DC", "District of Columbia", 572),
+    (DE, "DE", "Delaware", 784),
+    (FL, "FL", "Florida", 15982),
+    (GA, "GA", "Georgia", 8186),
+    (HI, "HI", "Hawaii", 1212),
+    (IA, "IA", "Iowa", 2926),
+    (ID, "ID", "Idaho", 1294),
+    (IL, "IL", "Illinois", 12419),
+    (IN, "IN", "Indiana", 6080),
+    (KS, "KS", "Kansas", 2688),
+    (KY, "KY", "Kentucky", 4042),
+    (LA, "LA", "Louisiana", 4469),
+    (MA, "MA", "Massachusetts", 6349),
+    (MD, "MD", "Maryland", 5296),
+    (ME, "ME", "Maine", 1275),
+    (MI, "MI", "Michigan", 9938),
+    (MN, "MN", "Minnesota", 4919),
+    (MO, "MO", "Missouri", 5595),
+    (MS, "MS", "Mississippi", 2845),
+    (MT, "MT", "Montana", 902),
+    (NC, "NC", "North Carolina", 8049),
+    (ND, "ND", "North Dakota", 642),
+    (NE, "NE", "Nebraska", 1711),
+    (NH, "NH", "New Hampshire", 1236),
+    (NJ, "NJ", "New Jersey", 8414),
+    (NM, "NM", "New Mexico", 1819),
+    (NV, "NV", "Nevada", 1998),
+    (NY, "NY", "New York", 18976),
+    (OH, "OH", "Ohio", 11353),
+    (OK, "OK", "Oklahoma", 3451),
+    (OR, "OR", "Oregon", 3421),
+    (PA, "PA", "Pennsylvania", 12281),
+    (RI, "RI", "Rhode Island", 1048),
+    (SC, "SC", "South Carolina", 4012),
+    (SD, "SD", "South Dakota", 755),
+    (TN, "TN", "Tennessee", 5689),
+    (TX, "TX", "Texas", 20852),
+    (UT, "UT", "Utah", 2233),
+    (VA, "VA", "Virginia", 7079),
+    (VT, "VT", "Vermont", 609),
+    (WA, "WA", "Washington", 5894),
+    (WI, "WI", "Wisconsin", 5364),
+    (WV, "WV", "West Virginia", 1808),
+    (WY, "WY", "Wyoming", 494),
+];
+
+impl UsState {
+    /// Builds from the dense index.
+    pub fn from_index(idx: usize) -> Option<Self> {
+        UsState::ALL.get(idx).copied()
+    }
+
+    /// Phrase for group labels ("reviewers from California").
+    pub fn phrase(self) -> String {
+        format!("from {}", self.name())
+    }
+}
+
+impl fmt::Display for UsState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn fifty_one_states() {
+        assert_eq!(UsState::ALL.len(), 51);
+    }
+
+    #[test]
+    fn abbrevs_round_trip() {
+        for s in UsState::ALL {
+            assert_eq!(UsState::from_abbrev(s.abbrev()).unwrap(), s);
+            assert_eq!(UsState::from_abbrev(&s.abbrev().to_lowercase()).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for s in UsState::ALL {
+            assert_eq!(UsState::from_name(s.name()).unwrap(), s);
+        }
+        assert_eq!(UsState::from_name("california").unwrap(), UsState::CA);
+    }
+
+    #[test]
+    fn unknown_rejected() {
+        assert!(UsState::from_abbrev("ZZ").is_err());
+        assert!(UsState::from_name("Atlantis").is_err());
+    }
+
+    #[test]
+    fn abbrevs_unique() {
+        let set: HashSet<_> = UsState::ALL.iter().map(|s| s.abbrev()).collect();
+        assert_eq!(set.len(), 51);
+    }
+
+    #[test]
+    fn enum_order_matches_abbrev_order() {
+        for w in UsState::ALL.windows(2) {
+            assert!(w[0].abbrev() < w[1].abbrev());
+        }
+    }
+
+    #[test]
+    fn populations_plausible() {
+        assert!(UsState::CA.population_weight() > UsState::WY.population_weight());
+        let total: u64 = UsState::ALL
+            .iter()
+            .map(|s| u64::from(s.population_weight()))
+            .sum();
+        // US 2000 census ≈ 281M; we store thousands.
+        assert!((250_000..320_000).contains(&total), "total {total}");
+    }
+
+    #[test]
+    fn phrase_reads_naturally() {
+        assert_eq!(UsState::CA.phrase(), "from California");
+    }
+}

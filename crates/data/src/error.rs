@@ -1,0 +1,97 @@
+//! Error type for the data layer.
+
+use std::fmt;
+use std::io;
+
+/// Errors raised while constructing, loading or validating datasets.
+#[derive(Debug)]
+pub enum DataError {
+    /// A rating score outside the `[1, 5]` scale.
+    ScoreOutOfRange(u8),
+    /// A rating references a user id not present in the user table.
+    UnknownUser(u32),
+    /// A rating references an item id not present in the item table.
+    UnknownItem(u32),
+    /// A MovieLens age code that is not one of the seven documented buckets.
+    UnknownAgeCode(u32),
+    /// A MovieLens occupation code outside `0..=20`.
+    UnknownOccupationCode(u32),
+    /// A state abbreviation or name that could not be resolved.
+    UnknownState(String),
+    /// A malformed line in a MovieLens `.dat` file.
+    Parse {
+        /// Which file the line came from.
+        file: &'static str,
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// Underlying I/O failure while reading dataset files.
+    Io(io::Error),
+    /// A structurally invalid dataset (e.g. empty user table with ratings).
+    Invalid(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::ScoreOutOfRange(v) => {
+                write!(f, "rating score {v} outside the 1..=5 scale")
+            }
+            DataError::UnknownUser(id) => write!(f, "rating references unknown user id {id}"),
+            DataError::UnknownItem(id) => write!(f, "rating references unknown item id {id}"),
+            DataError::UnknownAgeCode(c) => write!(f, "unknown MovieLens age code {c}"),
+            DataError::UnknownOccupationCode(c) => {
+                write!(f, "unknown MovieLens occupation code {c}")
+            }
+            DataError::UnknownState(s) => write!(f, "unknown US state {s:?}"),
+            DataError::Parse {
+                file,
+                line,
+                message,
+            } => write!(f, "{file}:{line}: {message}"),
+            DataError::Io(e) => write!(f, "I/O error: {e}"),
+            DataError::Invalid(msg) => write!(f, "invalid dataset: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DataError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for DataError {
+    fn from(e: io::Error) -> Self {
+        DataError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_descriptive() {
+        assert!(DataError::ScoreOutOfRange(9).to_string().contains("9"));
+        assert!(DataError::UnknownState("XX".into()).to_string().contains("XX"));
+        let p = DataError::Parse {
+            file: "users.dat",
+            line: 3,
+            message: "bad field".into(),
+        };
+        assert_eq!(p.to_string(), "users.dat:3: bad field");
+    }
+
+    #[test]
+    fn io_error_preserves_source() {
+        use std::error::Error;
+        let e: DataError = io::Error::new(io::ErrorKind::NotFound, "nope").into();
+        assert!(e.source().is_some());
+    }
+}

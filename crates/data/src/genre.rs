@@ -1,0 +1,246 @@
+//! MovieLens genres and compact genre sets.
+
+use std::fmt;
+
+/// The eighteen genres used by MovieLens-1M `movies.dat`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Genre {
+    /// Action.
+    Action = 0,
+    /// Adventure.
+    Adventure = 1,
+    /// Animation.
+    Animation = 2,
+    /// Children's.
+    Childrens = 3,
+    /// Comedy.
+    Comedy = 4,
+    /// Crime.
+    Crime = 5,
+    /// Documentary.
+    Documentary = 6,
+    /// Drama.
+    Drama = 7,
+    /// Fantasy.
+    Fantasy = 8,
+    /// Film-Noir.
+    FilmNoir = 9,
+    /// Horror.
+    Horror = 10,
+    /// Musical.
+    Musical = 11,
+    /// Mystery.
+    Mystery = 12,
+    /// Romance.
+    Romance = 13,
+    /// Sci-Fi.
+    SciFi = 14,
+    /// Thriller.
+    Thriller = 15,
+    /// War.
+    War = 16,
+    /// Western.
+    Western = 17,
+}
+
+impl Genre {
+    /// All genres in dense order.
+    pub const ALL: [Genre; 18] = [
+        Genre::Action,
+        Genre::Adventure,
+        Genre::Animation,
+        Genre::Childrens,
+        Genre::Comedy,
+        Genre::Crime,
+        Genre::Documentary,
+        Genre::Drama,
+        Genre::Fantasy,
+        Genre::FilmNoir,
+        Genre::Horror,
+        Genre::Musical,
+        Genre::Mystery,
+        Genre::Romance,
+        Genre::SciFi,
+        Genre::Thriller,
+        Genre::War,
+        Genre::Western,
+    ];
+
+    /// The MovieLens spelling (`Children's`, `Film-Noir`, `Sci-Fi`, …).
+    pub fn label(self) -> &'static str {
+        match self {
+            Genre::Action => "Action",
+            Genre::Adventure => "Adventure",
+            Genre::Animation => "Animation",
+            Genre::Childrens => "Children's",
+            Genre::Comedy => "Comedy",
+            Genre::Crime => "Crime",
+            Genre::Documentary => "Documentary",
+            Genre::Drama => "Drama",
+            Genre::Fantasy => "Fantasy",
+            Genre::FilmNoir => "Film-Noir",
+            Genre::Horror => "Horror",
+            Genre::Musical => "Musical",
+            Genre::Mystery => "Mystery",
+            Genre::Romance => "Romance",
+            Genre::SciFi => "Sci-Fi",
+            Genre::Thriller => "Thriller",
+            Genre::War => "War",
+            Genre::Western => "Western",
+        }
+    }
+
+    /// Parses the MovieLens spelling (case-insensitive).
+    pub fn from_label(label: &str) -> Option<Self> {
+        Genre::ALL
+            .iter()
+            .copied()
+            .find(|g| g.label().eq_ignore_ascii_case(label))
+    }
+
+    /// Builds from the dense index.
+    pub fn from_index(idx: usize) -> Option<Self> {
+        Genre::ALL.get(idx).copied()
+    }
+}
+
+impl fmt::Display for Genre {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A set of genres packed into a `u32` bitmask.
+///
+/// Items routinely carry 1–3 genres; a bitmask keeps the per-item footprint
+/// at four bytes and makes genre predicates a single AND.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct GenreSet(u32);
+
+impl GenreSet {
+    /// The empty set.
+    pub const EMPTY: GenreSet = GenreSet(0);
+
+    /// Builds a set from genres (alias of the `FromIterator` impl with an
+    /// explicit name for call sites that prefer it).
+    pub fn of<I: IntoIterator<Item = Genre>>(genres: I) -> Self {
+        let mut set = GenreSet::EMPTY;
+        for g in genres {
+            set.insert(g);
+        }
+        set
+    }
+
+    /// Adds a genre.
+    #[inline]
+    pub fn insert(&mut self, genre: Genre) {
+        self.0 |= 1 << (genre as u32);
+    }
+
+    /// Whether the set contains `genre`.
+    #[inline]
+    pub fn contains(self, genre: Genre) -> bool {
+        self.0 & (1 << (genre as u32)) != 0
+    }
+
+    /// Whether the set shares any genre with `other`.
+    #[inline]
+    pub fn intersects(self, other: GenreSet) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Number of genres in the set.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates the genres in dense order.
+    pub fn iter(self) -> impl Iterator<Item = Genre> {
+        Genre::ALL.into_iter().filter(move |g| self.contains(*g))
+    }
+}
+
+impl fmt::Display for GenreSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for g in self.iter() {
+            if !first {
+                f.write_str("|")?;
+            }
+            f.write_str(g.label())?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Genre> for GenreSet {
+    fn from_iter<I: IntoIterator<Item = Genre>>(iter: I) -> Self {
+        GenreSet::of(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_round_trip() {
+        for g in Genre::ALL {
+            assert_eq!(Genre::from_label(g.label()), Some(g));
+        }
+        assert_eq!(Genre::from_label("sci-fi"), Some(Genre::SciFi));
+        assert_eq!(Genre::from_label("Jazz"), None);
+    }
+
+    #[test]
+    fn set_insert_contains() {
+        let mut s = GenreSet::EMPTY;
+        assert!(s.is_empty());
+        s.insert(Genre::Animation);
+        s.insert(Genre::Childrens);
+        assert!(s.contains(Genre::Animation));
+        assert!(!s.contains(Genre::Horror));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn set_iteration_ordered() {
+        let s: GenreSet = [Genre::Comedy, Genre::Animation].into_iter().collect();
+        let genres: Vec<_> = s.iter().collect();
+        assert_eq!(genres, vec![Genre::Animation, Genre::Comedy]);
+    }
+
+    #[test]
+    fn set_display_pipes() {
+        let s: GenreSet = [Genre::Animation, Genre::Childrens, Genre::Comedy]
+            .into_iter()
+            .collect();
+        assert_eq!(s.to_string(), "Animation|Children's|Comedy");
+    }
+
+    #[test]
+    fn intersects_detects_overlap() {
+        let a: GenreSet = [Genre::Action].into_iter().collect();
+        let b: GenreSet = [Genre::Action, Genre::War].into_iter().collect();
+        let c: GenreSet = [Genre::Romance].into_iter().collect();
+        assert!(a.intersects(b));
+        assert!(!a.intersects(c));
+    }
+
+    #[test]
+    fn duplicate_insert_idempotent() {
+        let mut s = GenreSet::EMPTY;
+        s.insert(Genre::Drama);
+        s.insert(Genre::Drama);
+        assert_eq!(s.len(), 1);
+    }
+}

@@ -1,0 +1,164 @@
+//! Items (movies) and the people (actors / directors) attached to them.
+
+use crate::genre::GenreSet;
+use crate::ids::{ItemId, PersonId};
+use std::fmt;
+
+/// The role a person plays in an item's metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Role {
+    /// Acts in the movie.
+    Actor,
+    /// Directs the movie.
+    Director,
+}
+
+impl fmt::Display for Role {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Role::Actor => "actor",
+            Role::Director => "director",
+        })
+    }
+}
+
+/// A person referenced by item metadata (from the IMDB join in the demo,
+/// synthetic in this reproduction).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Person {
+    /// Dense identifier.
+    pub id: PersonId,
+    /// Display name.
+    pub name: String,
+}
+
+/// An item of the collaborative rating site — a movie, in the demo.
+///
+/// Item attributes `IA` (§2.1): title, genre, plus the actor/director join
+/// MapRat adds from IMDB (§3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Item {
+    /// Dense identifier.
+    pub id: ItemId,
+    /// Movie title, without the `(year)` suffix MovieLens appends.
+    pub title: String,
+    /// Release year.
+    pub year: u16,
+    /// Genre set.
+    pub genres: GenreSet,
+    /// Actors credited on the item.
+    pub actors: Vec<PersonId>,
+    /// Directors credited on the item.
+    pub directors: Vec<PersonId>,
+}
+
+impl Item {
+    /// Creates an item with no people attached.
+    pub fn new(id: ItemId, title: impl Into<String>, year: u16, genres: GenreSet) -> Self {
+        Item {
+            id,
+            title: title.into(),
+            year,
+            genres,
+            actors: Vec::new(),
+            directors: Vec::new(),
+        }
+    }
+
+    /// Whether `person` is credited in `role` on this item.
+    pub fn has_person(&self, person: PersonId, role: Role) -> bool {
+        match role {
+            Role::Actor => self.actors.contains(&person),
+            Role::Director => self.directors.contains(&person),
+        }
+    }
+
+    /// The MovieLens-style display title, e.g. `Toy Story (1995)`.
+    pub fn display_title(&self) -> String {
+        format!("{} ({})", self.title, self.year)
+    }
+}
+
+/// Splits a MovieLens title field `"Toy Story (1995)"` into title and year.
+///
+/// Returns the whole field with year 0 when no `(year)` suffix is present.
+pub fn split_title_year(field: &str) -> (String, u16) {
+    let trimmed = field.trim();
+    if let Some(open) = trimmed.rfind('(') {
+        if let Some(stripped) = trimmed[open..].strip_prefix('(') {
+            if let Some(year_str) = stripped.strip_suffix(')') {
+                if let Ok(year) = year_str.trim().parse::<u16>() {
+                    return (trimmed[..open].trim().to_string(), year);
+                }
+            }
+        }
+    }
+    (trimmed.to_string(), 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genre::Genre;
+
+    fn item() -> Item {
+        let mut it = Item::new(
+            ItemId(1),
+            "Toy Story",
+            1995,
+            [Genre::Animation, Genre::Childrens, Genre::Comedy]
+                .into_iter()
+                .collect(),
+        );
+        it.actors.push(PersonId(10));
+        it.directors.push(PersonId(20));
+        it
+    }
+
+    #[test]
+    fn display_title_appends_year() {
+        assert_eq!(item().display_title(), "Toy Story (1995)");
+    }
+
+    #[test]
+    fn person_roles_are_distinguished() {
+        let it = item();
+        assert!(it.has_person(PersonId(10), Role::Actor));
+        assert!(!it.has_person(PersonId(10), Role::Director));
+        assert!(it.has_person(PersonId(20), Role::Director));
+    }
+
+    #[test]
+    fn split_title_year_standard() {
+        assert_eq!(
+            split_title_year("Toy Story (1995)"),
+            ("Toy Story".to_string(), 1995)
+        );
+    }
+
+    #[test]
+    fn split_title_year_nested_parens() {
+        assert_eq!(
+            split_title_year("Shawshank Redemption, The (1994)"),
+            ("Shawshank Redemption, The".to_string(), 1994)
+        );
+        assert_eq!(
+            split_title_year("City of Lost Children, The (Cité des enfants perdus, La) (1995)"),
+            (
+                "City of Lost Children, The (Cité des enfants perdus, La)".to_string(),
+                1995
+            )
+        );
+    }
+
+    #[test]
+    fn split_title_year_missing_year() {
+        assert_eq!(split_title_year("Untitled"), ("Untitled".to_string(), 0));
+    }
+
+    #[test]
+    fn role_display() {
+        assert_eq!(Role::Actor.to_string(), "actor");
+        assert_eq!(Role::Director.to_string(), "director");
+    }
+}

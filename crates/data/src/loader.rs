@@ -1,0 +1,422 @@
+//! Loader for the on-disk MovieLens-1M format (§3: the demo's dataset).
+//!
+//! The format is three `::`-separated files:
+//!
+//! * `users.dat` — `UserID::Gender::Age::Occupation::Zip-code`
+//! * `movies.dat` — `MovieID::Title::Genres` (genres `|`-separated; the file
+//!   is Latin-1 encoded, decoded lossily here)
+//! * `ratings.dat` — `UserID::MovieID::Rating::Timestamp`
+//!
+//! File ids are 1-based and sparse; the loader remaps them onto the dense
+//! ids of [`Dataset`]. An optional `people.dat`
+//! (`MovieID::Role::Name` with role `actor`/`director`) supplies the IMDB
+//! join of §3; without it items simply carry no people.
+
+use crate::attrs::{AgeGroup, Gender, Occupation};
+use crate::cities::city_for_zip;
+use crate::dataset::{Dataset, DatasetBuilder};
+use crate::error::DataError;
+use crate::genre::{Genre, GenreSet};
+use crate::ids::{ItemId, PersonId, UserId};
+use crate::item::{split_title_year, Item, Person};
+use crate::rating::Rating;
+use crate::score::Score;
+use crate::time::Timestamp;
+use crate::user::User;
+use crate::zipcode::Zip;
+use std::collections::HashMap;
+use std::fs;
+use std::path::Path;
+
+fn parse_err(file: &'static str, line: usize, message: impl Into<String>) -> DataError {
+    DataError::Parse {
+        file,
+        line,
+        message: message.into(),
+    }
+}
+
+/// Reads a Latin-1-ish file into a String, replacing invalid UTF-8 bytes.
+fn read_lossy(path: &Path) -> Result<String, DataError> {
+    let bytes = fs::read(path)?;
+    Ok(String::from_utf8_lossy(&bytes).into_owned())
+}
+
+/// In-memory representation of parsed MovieLens files, before dense
+/// remapping. Exposed for tests and for callers that want to splice data.
+#[derive(Debug, Default)]
+pub struct RawMovieLens {
+    /// `(file_user_id, gender, age, occupation, zip)` rows.
+    pub users: Vec<UserRow>,
+    /// `(file_movie_id, title, year, genres)` rows.
+    pub movies: Vec<(u32, String, u16, GenreSet)>,
+    /// `(file_user_id, file_movie_id, score, timestamp)` rows.
+    pub ratings: Vec<(u32, u32, Score, Timestamp)>,
+    /// `(file_movie_id, is_director, name)` rows.
+    pub people: Vec<(u32, bool, String)>,
+}
+
+/// A parsed `users.dat` row: `(file_user_id, gender, age, occupation, zip)`.
+pub type UserRow = (u32, Gender, AgeGroup, Occupation, Zip);
+
+/// Parses a `users.dat` body.
+pub fn parse_users(body: &str) -> Result<Vec<UserRow>, DataError> {
+    let mut out = Vec::new();
+    for (lineno, line) in body.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let n = lineno + 1;
+        let mut fields = line.split("::");
+        let mut next = |what: &str| {
+            fields
+                .next()
+                .ok_or_else(|| parse_err("users.dat", n, format!("missing field {what}")))
+        };
+        let id: u32 = next("UserID")?
+            .parse()
+            .map_err(|e| parse_err("users.dat", n, format!("bad UserID: {e}")))?;
+        let gender = Gender::from_letter(next("Gender")?)
+            .map_err(|e| parse_err("users.dat", n, e.to_string()))?;
+        let age_code: u32 = next("Age")?
+            .parse()
+            .map_err(|e| parse_err("users.dat", n, format!("bad Age: {e}")))?;
+        let age = AgeGroup::from_movielens_code(age_code)
+            .map_err(|e| parse_err("users.dat", n, e.to_string()))?;
+        let occ_code: u32 = next("Occupation")?
+            .parse()
+            .map_err(|e| parse_err("users.dat", n, format!("bad Occupation: {e}")))?;
+        let occupation = Occupation::from_movielens_code(occ_code)
+            .map_err(|e| parse_err("users.dat", n, e.to_string()))?;
+        let zip = Zip::parse(next("Zip-code")?)
+            .ok_or_else(|| parse_err("users.dat", n, "bad Zip-code"))?;
+        out.push((id, gender, age, occupation, zip));
+    }
+    Ok(out)
+}
+
+/// Parses a `movies.dat` body.
+pub fn parse_movies(body: &str) -> Result<Vec<(u32, String, u16, GenreSet)>, DataError> {
+    let mut out = Vec::new();
+    for (lineno, line) in body.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let n = lineno + 1;
+        // Titles may contain "::"? They do not in ml-1m, so a 3-way split
+        // from both ends is safe: id is the first field, genres the last.
+        let first = line
+            .find("::")
+            .ok_or_else(|| parse_err("movies.dat", n, "missing '::'"))?;
+        let last = line
+            .rfind("::")
+            .ok_or_else(|| parse_err("movies.dat", n, "missing '::'"))?;
+        if first == last {
+            return Err(parse_err("movies.dat", n, "expected three fields"));
+        }
+        let id: u32 = line[..first]
+            .parse()
+            .map_err(|e| parse_err("movies.dat", n, format!("bad MovieID: {e}")))?;
+        let (title, year) = split_title_year(&line[first + 2..last]);
+        let mut genres = GenreSet::EMPTY;
+        for g in line[last + 2..].split('|') {
+            let g = g.trim();
+            if g.is_empty() {
+                continue;
+            }
+            match Genre::from_label(g) {
+                Some(genre) => genres.insert(genre),
+                // ml-1m contains no unknown genres; tolerate them anyway so
+                // later MovieLens releases load.
+                None => continue,
+            }
+        }
+        out.push((id, title, year, genres));
+    }
+    Ok(out)
+}
+
+/// Parses a `ratings.dat` body.
+pub fn parse_ratings(body: &str) -> Result<Vec<(u32, u32, Score, Timestamp)>, DataError> {
+    let mut out = Vec::new();
+    for (lineno, line) in body.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let n = lineno + 1;
+        let mut fields = line.split("::");
+        let mut next = |what: &str| {
+            fields
+                .next()
+                .ok_or_else(|| parse_err("ratings.dat", n, format!("missing field {what}")))
+        };
+        let user: u32 = next("UserID")?
+            .parse()
+            .map_err(|e| parse_err("ratings.dat", n, format!("bad UserID: {e}")))?;
+        let movie: u32 = next("MovieID")?
+            .parse()
+            .map_err(|e| parse_err("ratings.dat", n, format!("bad MovieID: {e}")))?;
+        let raw: u8 = next("Rating")?
+            .parse()
+            .map_err(|e| parse_err("ratings.dat", n, format!("bad Rating: {e}")))?;
+        let score =
+            Score::new(raw).map_err(|e| parse_err("ratings.dat", n, e.to_string()))?;
+        let ts: i64 = next("Timestamp")?
+            .parse()
+            .map_err(|e| parse_err("ratings.dat", n, format!("bad Timestamp: {e}")))?;
+        out.push((user, movie, score, Timestamp(ts)));
+    }
+    Ok(out)
+}
+
+/// Parses an optional `people.dat` body (`MovieID::Role::Name`).
+pub fn parse_people(body: &str) -> Result<Vec<(u32, bool, String)>, DataError> {
+    let mut out = Vec::new();
+    for (lineno, line) in body.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let n = lineno + 1;
+        let mut fields = line.splitn(3, "::");
+        let id: u32 = fields
+            .next()
+            .unwrap_or("")
+            .parse()
+            .map_err(|e| parse_err("people.dat", n, format!("bad MovieID: {e}")))?;
+        let role = fields
+            .next()
+            .ok_or_else(|| parse_err("people.dat", n, "missing Role"))?;
+        let is_director = match role {
+            "director" => true,
+            "actor" => false,
+            other => {
+                return Err(parse_err("people.dat", n, format!("unknown role {other:?}")))
+            }
+        };
+        let name = fields
+            .next()
+            .ok_or_else(|| parse_err("people.dat", n, "missing Name"))?
+            .trim()
+            .to_string();
+        out.push((id, is_director, name));
+    }
+    Ok(out)
+}
+
+/// Assembles a [`Dataset`] from parsed raw rows, remapping sparse file ids to
+/// dense ids and resolving zip codes to states and cities.
+pub fn assemble(raw: RawMovieLens) -> Result<Dataset, DataError> {
+    let mut builder = DatasetBuilder::new();
+
+    let mut user_map: HashMap<u32, UserId> = HashMap::with_capacity(raw.users.len());
+    for (file_id, gender, age, occupation, zip) in raw.users {
+        let id = UserId::from_index(builder.num_users());
+        let state = zip.state_or_fallback();
+        builder.add_user(User {
+            id,
+            age,
+            gender,
+            occupation,
+            zip,
+            state,
+            city: city_for_zip(state, zip),
+        });
+        if user_map.insert(file_id, id).is_some() {
+            return Err(DataError::Invalid(format!("duplicate user id {file_id}")));
+        }
+    }
+
+    let mut item_map: HashMap<u32, ItemId> = HashMap::with_capacity(raw.movies.len());
+    let mut items: Vec<Item> = Vec::with_capacity(raw.movies.len());
+    for (file_id, title, year, genres) in raw.movies {
+        let id = ItemId::from_index(items.len());
+        items.push(Item::new(id, title, year, genres));
+        if item_map.insert(file_id, id).is_some() {
+            return Err(DataError::Invalid(format!("duplicate movie id {file_id}")));
+        }
+    }
+
+    let mut person_map: HashMap<String, PersonId> = HashMap::new();
+    let mut persons: Vec<Person> = Vec::new();
+    for (file_movie, is_director, name) in raw.people {
+        let item_id = *item_map.get(&file_movie).ok_or(DataError::UnknownItem(file_movie))?;
+        let pid = *person_map.entry(name.clone()).or_insert_with(|| {
+            let pid = PersonId::from_index(persons.len());
+            persons.push(Person { id: pid, name });
+            pid
+        });
+        let item = &mut items[item_id.index()];
+        let list = if is_director {
+            &mut item.directors
+        } else {
+            &mut item.actors
+        };
+        if !list.contains(&pid) {
+            list.push(pid);
+        }
+    }
+
+    for person in persons {
+        builder.add_person(person);
+    }
+    for item in items {
+        builder.add_item(item);
+    }
+
+    builder.reserve_ratings(raw.ratings.len());
+    for (file_user, file_movie, score, ts) in raw.ratings {
+        let user = *user_map
+            .get(&file_user)
+            .ok_or(DataError::UnknownUser(file_user))?;
+        let item = *item_map
+            .get(&file_movie)
+            .ok_or(DataError::UnknownItem(file_movie))?;
+        builder.add_rating(Rating::new(user, item, score, ts));
+    }
+
+    builder.build()
+}
+
+/// Loads a MovieLens-1M directory (`users.dat`, `movies.dat`, `ratings.dat`,
+/// optional `people.dat`).
+pub fn load_movielens_dir(dir: impl AsRef<Path>) -> Result<Dataset, DataError> {
+    let dir = dir.as_ref();
+    let raw = RawMovieLens {
+        users: parse_users(&read_lossy(&dir.join("users.dat"))?)?,
+        movies: parse_movies(&read_lossy(&dir.join("movies.dat"))?)?,
+        ratings: parse_ratings(&read_lossy(&dir.join("ratings.dat"))?)?,
+        people: {
+            let p = dir.join("people.dat");
+            if p.exists() {
+                parse_people(&read_lossy(&p)?)?
+            } else {
+                Vec::new()
+            }
+        },
+    };
+    assemble(raw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::UsState;
+    use crate::item::Role;
+
+    const USERS: &str = "1::F::1::10::48067\n2::M::56::16::70072\n3::M::25::15::55117\n";
+    const MOVIES: &str = "1::Toy Story (1995)::Animation|Children's|Comedy\n\
+                          48::Pocahontas (1995)::Animation|Children's|Musical|Romance\n";
+    const RATINGS: &str = "1::1::5::978300760\n2::1::4::978298413\n3::48::3::978297039\n";
+    const PEOPLE: &str = "1::actor::Tom Hanks\n1::director::John Lasseter\n48::actor::Mel Gibson\n";
+
+    fn load() -> Dataset {
+        assemble(RawMovieLens {
+            users: parse_users(USERS).unwrap(),
+            movies: parse_movies(MOVIES).unwrap(),
+            ratings: parse_ratings(RATINGS).unwrap(),
+            people: parse_people(PEOPLE).unwrap(),
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn parses_the_documented_format() {
+        let d = load();
+        assert_eq!(d.users().len(), 3);
+        assert_eq!(d.items().len(), 2);
+        assert_eq!(d.num_ratings(), 3);
+        assert_eq!(d.persons().len(), 3);
+    }
+
+    #[test]
+    fn sparse_movie_ids_remap_densely() {
+        let d = load();
+        let poca = d.find_title("Pocahontas").unwrap();
+        assert_eq!(poca, ItemId(1), "file id 48 → dense id 1");
+        assert_eq!(d.ratings_for_item(poca).len(), 1);
+    }
+
+    #[test]
+    fn user_demographics_decoded() {
+        let d = load();
+        let u0 = d.user(UserId(0));
+        assert_eq!(u0.gender, Gender::Female);
+        assert_eq!(u0.age, AgeGroup::Under18);
+        assert_eq!(u0.occupation, Occupation::K12Student);
+        assert_eq!(u0.state, UsState::MI); // 48067 = Royal Oak, MI
+        let u1 = d.user(UserId(1));
+        assert_eq!(u1.state, UsState::LA); // 70072 = Marrero, LA
+    }
+
+    #[test]
+    fn people_join_attached() {
+        let d = load();
+        let toy = d.find_title("Toy Story").unwrap();
+        let hanks = d.find_person("Tom Hanks").unwrap();
+        let lasseter = d.find_person("John Lasseter").unwrap();
+        assert!(d.item(toy).has_person(hanks, Role::Actor));
+        assert!(d.item(toy).has_person(lasseter, Role::Director));
+    }
+
+    #[test]
+    fn title_year_split() {
+        let d = load();
+        let toy = d.item(d.find_title("Toy Story").unwrap());
+        assert_eq!(toy.year, 1995);
+        assert_eq!(toy.title, "Toy Story");
+    }
+
+    #[test]
+    fn malformed_lines_error_with_location() {
+        let err = parse_users("1::F::1::10\n").unwrap_err();
+        assert!(err.to_string().contains("users.dat:1"));
+        let err = parse_ratings("1::1::9::978300760\n").unwrap_err();
+        assert!(err.to_string().contains("1..=5"));
+        assert!(parse_movies("oops\n").is_err());
+        assert!(parse_people("1::producer::X\n").is_err());
+    }
+
+    #[test]
+    fn duplicate_ids_rejected() {
+        let raw = RawMovieLens {
+            users: parse_users("1::F::1::10::48067\n1::M::25::0::10001\n").unwrap(),
+            ..Default::default()
+        };
+        assert!(assemble(raw).is_err());
+    }
+
+    #[test]
+    fn rating_referencing_missing_user_rejected() {
+        let raw = RawMovieLens {
+            users: parse_users(USERS).unwrap(),
+            movies: parse_movies(MOVIES).unwrap(),
+            ratings: parse_ratings("99::1::5::978300760\n").unwrap(),
+            people: Vec::new(),
+        };
+        assert!(matches!(assemble(raw), Err(DataError::UnknownUser(99))));
+    }
+
+    #[test]
+    fn empty_bodies_ok() {
+        assert!(parse_users("").unwrap().is_empty());
+        assert!(parse_movies("\n\n").unwrap().is_empty());
+        assert!(parse_ratings("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn load_dir_round_trip() {
+        let dir = std::env::temp_dir().join(format!("maprat-ml-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("users.dat"), USERS).unwrap();
+        std::fs::write(dir.join("movies.dat"), MOVIES).unwrap();
+        std::fs::write(dir.join("ratings.dat"), RATINGS).unwrap();
+        let d = load_movielens_dir(&dir).unwrap();
+        assert_eq!(d.num_ratings(), 3);
+        assert!(d.persons().is_empty(), "people.dat absent");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,121 @@
+//! The 1..=5 integer rating scale.
+
+use crate::error::DataError;
+use std::fmt;
+
+/// An integer rating score `s ∈ [1, 5]` as defined in §2.1 of the paper.
+///
+/// The type guarantees the invariant at construction, so aggregate code can
+/// rely on the range without re-validating.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Score(u8);
+
+impl Score {
+    /// Smallest expressible score.
+    pub const MIN: Score = Score(1);
+    /// Largest expressible score.
+    pub const MAX: Score = Score(5);
+    /// Width of the scale (`MAX − MIN`), used to normalize deviations.
+    pub const RANGE: f64 = 4.0;
+
+    /// Creates a score, validating the `[1, 5]` range.
+    pub fn new(value: u8) -> Result<Self, DataError> {
+        if (1..=5).contains(&value) {
+            Ok(Score(value))
+        } else {
+            Err(DataError::ScoreOutOfRange(value))
+        }
+    }
+
+    /// Creates a score, clamping out-of-range values into `[1, 5]`.
+    ///
+    /// Used by the synthetic generator where latent real-valued scores are
+    /// rounded onto the scale.
+    #[inline]
+    pub fn saturating(value: i64) -> Self {
+        Score(value.clamp(1, 5) as u8)
+    }
+
+    /// The raw integer value.
+    #[inline]
+    pub fn get(self) -> u8 {
+        self.0
+    }
+
+    /// The score as a float, for aggregate arithmetic.
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        f64::from(self.0)
+    }
+
+    /// Zero-based histogram bucket (score 1 → bucket 0).
+    #[inline]
+    pub fn bucket(self) -> usize {
+        usize::from(self.0 - 1)
+    }
+
+    /// All five scores in ascending order.
+    pub fn all() -> [Score; 5] {
+        [Score(1), Score(2), Score(3), Score(4), Score(5)]
+    }
+}
+
+impl fmt::Display for Score {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl TryFrom<u8> for Score {
+    type Error = DataError;
+    fn try_from(value: u8) -> Result<Self, Self::Error> {
+        Score::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_range_accepted() {
+        for v in 1..=5 {
+            assert_eq!(Score::new(v).unwrap().get(), v);
+        }
+    }
+
+    #[test]
+    fn invalid_rejected() {
+        assert!(Score::new(0).is_err());
+        assert!(Score::new(6).is_err());
+        assert!(Score::try_from(255).is_err());
+    }
+
+    #[test]
+    fn saturating_clamps() {
+        assert_eq!(Score::saturating(-3).get(), 1);
+        assert_eq!(Score::saturating(3).get(), 3);
+        assert_eq!(Score::saturating(99).get(), 5);
+    }
+
+    #[test]
+    fn buckets_are_zero_based() {
+        assert_eq!(Score::MIN.bucket(), 0);
+        assert_eq!(Score::MAX.bucket(), 4);
+    }
+
+    #[test]
+    fn all_is_sorted_and_complete() {
+        let all = Score::all();
+        assert_eq!(all.len(), 5);
+        assert!(all.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn range_matches_endpoints() {
+        assert_eq!(
+            Score::RANGE,
+            Score::MAX.as_f64() - Score::MIN.as_f64()
+        );
+    }
+}

@@ -1,0 +1,206 @@
+//! Streaming aggregate statistics over rating scores.
+
+use crate::score::Score;
+use std::fmt;
+
+/// Count / mean / variance / histogram accumulator for a set of ratings.
+///
+/// This is the aggregate MapRat attaches to every group: the mean drives the
+/// choropleth shading, the histogram feeds the Figure-3 statistics panel and
+/// the mean absolute deviation feeds the Similarity-Mining objective.
+/// Accumulators merge associatively, which lets the cube layer and the time
+/// slider combine precomputed partial aggregates.
+///
+/// ```
+/// use maprat_data::{RatingStats, Score};
+/// let stats = RatingStats::from_scores(
+///     [5, 5, 4].into_iter().map(|v| Score::new(v).unwrap()),
+/// );
+/// assert_eq!(stats.count(), 3);
+/// assert!((stats.mean().unwrap() - 14.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RatingStats {
+    count: u64,
+    sum: f64,
+    sum_sq: f64,
+    hist: [u64; 5],
+}
+
+impl RatingStats {
+    /// The empty aggregate.
+    pub fn new() -> Self {
+        RatingStats::default()
+    }
+
+    /// Folds one score into the aggregate.
+    #[inline]
+    pub fn push(&mut self, score: Score) {
+        let v = score.as_f64();
+        self.count += 1;
+        self.sum += v;
+        self.sum_sq += v * v;
+        self.hist[score.bucket()] += 1;
+    }
+
+    /// Merges another aggregate into this one.
+    pub fn merge(&mut self, other: &RatingStats) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.sum_sq += other.sum_sq;
+        for (a, b) in self.hist.iter_mut().zip(other.hist.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Builds the aggregate of an iterator of scores.
+    pub fn from_scores<I: IntoIterator<Item = Score>>(scores: I) -> Self {
+        let mut s = RatingStats::new();
+        for score in scores {
+            s.push(score);
+        }
+        s
+    }
+
+    /// Number of ratings aggregated.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no rating has been aggregated.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean score; `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Population variance; `None` when empty.
+    pub fn variance(&self) -> Option<f64> {
+        self.mean().map(|m| {
+            // Guard against tiny negative values from floating cancellation.
+            (self.sum_sq / self.count as f64 - m * m).max(0.0)
+        })
+    }
+
+    /// Population standard deviation; `None` when empty.
+    pub fn std_dev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+
+    /// Mean absolute deviation around the mean, computed exactly from the
+    /// histogram; `None` when empty.
+    ///
+    /// This is the *description error* term of the SM objective (§2.2 /
+    /// MRI [2]): how far the individual ratings sit from the group average.
+    pub fn mean_abs_deviation(&self) -> Option<f64> {
+        let mean = self.mean()?;
+        let total: f64 = self
+            .hist
+            .iter()
+            .zip(Score::all())
+            .map(|(&n, s)| n as f64 * (s.as_f64() - mean).abs())
+            .sum();
+        Some(total / self.count as f64)
+    }
+
+    /// The five-bucket histogram (index 0 = score 1).
+    pub fn histogram(&self) -> [u64; 5] {
+        self.hist
+    }
+
+    /// Fraction of ratings at or above 4 ("loves it" in the paper's
+    /// narration).
+    pub fn positive_fraction(&self) -> Option<f64> {
+        (self.count > 0).then(|| (self.hist[3] + self.hist[4]) as f64 / self.count as f64)
+    }
+}
+
+impl fmt::Display for RatingStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.mean() {
+            Some(m) => write!(
+                f,
+                "n={} mean={:.2} σ={:.2} hist={:?}",
+                self.count,
+                m,
+                self.std_dev().unwrap_or(0.0),
+                self.hist
+            ),
+            None => write!(f, "n=0"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: u8) -> Score {
+        Score::new(v).unwrap()
+    }
+
+    #[test]
+    fn empty_stats() {
+        let st = RatingStats::new();
+        assert!(st.is_empty());
+        assert_eq!(st.mean(), None);
+        assert_eq!(st.variance(), None);
+        assert_eq!(st.mean_abs_deviation(), None);
+        assert_eq!(st.to_string(), "n=0");
+    }
+
+    #[test]
+    fn mean_and_histogram() {
+        let st = RatingStats::from_scores([s(5), s(5), s(4), s(2)]);
+        assert_eq!(st.count(), 4);
+        assert!((st.mean().unwrap() - 4.0).abs() < 1e-12);
+        assert_eq!(st.histogram(), [0, 1, 0, 1, 2]);
+        assert!((st.positive_fraction().unwrap() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variance_matches_direct_computation() {
+        let scores = [s(1), s(3), s(5), s(5)];
+        let st = RatingStats::from_scores(scores);
+        let m = 3.5;
+        let var_direct: f64 = scores
+            .iter()
+            .map(|x| (x.as_f64() - m) * (x.as_f64() - m))
+            .sum::<f64>()
+            / 4.0;
+        assert!((st.variance().unwrap() - var_direct).abs() < 1e-12);
+        assert!((st.std_dev().unwrap() - var_direct.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mad_matches_direct_computation() {
+        let scores = [s(1), s(2), s(4), s(5)];
+        let st = RatingStats::from_scores(scores);
+        let m = 3.0;
+        let mad_direct: f64 =
+            scores.iter().map(|x| (x.as_f64() - m).abs()).sum::<f64>() / 4.0;
+        assert!((st.mean_abs_deviation().unwrap() - mad_direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_equals_combined_fold() {
+        let a = RatingStats::from_scores([s(1), s(2)]);
+        let b = RatingStats::from_scores([s(4), s(5), s(5)]);
+        let mut merged = a;
+        merged.merge(&b);
+        let direct = RatingStats::from_scores([s(1), s(2), s(4), s(5), s(5)]);
+        assert_eq!(merged, direct);
+    }
+
+    #[test]
+    fn uniform_scores_have_zero_deviation() {
+        let st = RatingStats::from_scores([s(4); 10]);
+        assert_eq!(st.variance().unwrap(), 0.0);
+        assert_eq!(st.mean_abs_deviation().unwrap(), 0.0);
+    }
+}

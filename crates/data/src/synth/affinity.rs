@@ -1,0 +1,228 @@
+//! The latent demographic-affinity rating model.
+//!
+//! Every synthetic movie carries a base quality plus small per-demographic
+//! offsets (age bucket, gender, occupation, census region). A reviewer's
+//! latent score is the sum of the applicable components plus observation
+//! noise, rounded onto the 1..=5 scale. This produces exactly the kind of
+//! structure MapRat mines: demographic sub-populations that genuinely agree
+//! internally and differ across groups.
+
+use crate::attrs::UsState;
+use crate::score::Score;
+use crate::user::User;
+use rand::Rng;
+
+/// Coarse census regions used for geographic taste correlation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Region {
+    /// Northeast.
+    Northeast = 0,
+    /// Midwest.
+    Midwest = 1,
+    /// South.
+    South = 2,
+    /// West.
+    West = 3,
+}
+
+impl Region {
+    /// Number of regions.
+    pub const COUNT: usize = 4;
+
+    /// The census region of a state.
+    pub fn of(state: UsState) -> Region {
+        use UsState::*;
+        match state {
+            CT | MA | ME | NH | NJ | NY | PA | RI | VT => Region::Northeast,
+            IA | IL | IN | KS | MI | MN | MO | ND | NE | OH | SD | WI => Region::Midwest,
+            AL | AR | DC | DE | FL | GA | KY | LA | MD | MS | NC | OK | SC | TN | TX | VA
+            | WV => Region::South,
+            AK | AZ | CA | CO | HI | ID | MT | NM | NV | OR | UT | WA | WY => Region::West,
+        }
+    }
+}
+
+/// Draws a standard normal via Box–Muller (rand ships no normal sampler in
+/// the approved feature set).
+pub fn randn<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        if u1 <= f64::EPSILON {
+            continue; // avoid ln(0)
+        }
+        let u2: f64 = rng.gen::<f64>();
+        return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    }
+}
+
+/// Per-movie latent rating model.
+#[derive(Debug, Clone)]
+pub struct MovieAffinity {
+    /// Base quality on the 1..=5 scale (≈ N(3.55, 0.45), clamped).
+    pub base: f64,
+    /// Offset per age bucket.
+    pub age: [f64; 7],
+    /// Offset per gender.
+    pub gender: [f64; 2],
+    /// Offset per occupation (applied at half strength: occupation is a
+    /// weaker taste signal than age/gender).
+    pub occupation: [f64; 21],
+    /// Offset per census region.
+    pub region: [f64; Region::COUNT],
+}
+
+impl MovieAffinity {
+    /// Samples a fresh affinity profile with demographic spread `sigma`.
+    pub fn sample<R: Rng + ?Sized>(rng: &mut R, sigma: f64) -> Self {
+        let mut affinity = MovieAffinity {
+            base: (3.55 + randn(rng) * 0.45).clamp(1.5, 4.8),
+            age: [0.0; 7],
+            gender: [0.0; 2],
+            occupation: [0.0; 21],
+            region: [0.0; Region::COUNT],
+        };
+        for v in affinity.age.iter_mut() {
+            *v = randn(rng) * sigma;
+        }
+        for v in affinity.gender.iter_mut() {
+            *v = randn(rng) * sigma;
+        }
+        for v in affinity.occupation.iter_mut() {
+            *v = randn(rng) * sigma * 0.5;
+        }
+        for v in affinity.region.iter_mut() {
+            *v = randn(rng) * sigma * 0.6;
+        }
+        affinity
+    }
+
+    /// A flat profile (null model): every reviewer sees the same latent mean.
+    pub fn flat(base: f64) -> Self {
+        MovieAffinity {
+            base,
+            age: [0.0; 7],
+            gender: [0.0; 2],
+            occupation: [0.0; 21],
+            region: [0.0; Region::COUNT],
+        }
+    }
+
+    /// The latent (real-valued) mean score for a reviewer.
+    pub fn latent_mean(&self, user: &User) -> f64 {
+        self.base
+            + self.age[user.age as usize]
+            + self.gender[user.gender as usize]
+            + self.occupation[user.occupation as usize]
+            + self.region[Region::of(user.state) as usize]
+    }
+
+    /// Samples an observed score for a reviewer.
+    pub fn sample_score<R: Rng + ?Sized>(
+        &self,
+        user: &User,
+        noise_sigma: f64,
+        rng: &mut R,
+    ) -> Score {
+        let latent = self.latent_mean(user) + randn(rng) * noise_sigma;
+        Score::saturating(latent.round() as i64)
+    }
+}
+
+/// Samples a score around an explicit mean (used by planted rules).
+pub fn sample_around<R: Rng + ?Sized>(mean: f64, sigma: f64, rng: &mut R) -> Score {
+    Score::saturating((mean + randn(rng) * sigma).round() as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::{AgeGroup, Gender, Occupation};
+    use crate::ids::UserId;
+    use crate::zipcode::Zip;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn user(state: UsState, gender: Gender) -> User {
+        User {
+            id: UserId(0),
+            age: AgeGroup::From25To34,
+            gender,
+            occupation: Occupation::Other,
+            zip: Zip::new(0),
+            state,
+            city: 0,
+        }
+    }
+
+    #[test]
+    fn every_state_has_a_region() {
+        for s in UsState::ALL {
+            let _ = Region::of(s); // total match, compile-time guaranteed
+        }
+        assert_eq!(Region::of(UsState::CA), Region::West);
+        assert_eq!(Region::of(UsState::NY), Region::Northeast);
+        assert_eq!(Region::of(UsState::TX), Region::South);
+        assert_eq!(Region::of(UsState::IL), Region::Midwest);
+    }
+
+    #[test]
+    fn randn_is_roughly_standard_normal() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| randn(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn flat_profile_ignores_demographics() {
+        let a = MovieAffinity::flat(4.0);
+        assert_eq!(a.latent_mean(&user(UsState::CA, Gender::Male)), 4.0);
+        assert_eq!(a.latent_mean(&user(UsState::NY, Gender::Female)), 4.0);
+    }
+
+    #[test]
+    fn latent_mean_adds_components() {
+        let mut a = MovieAffinity::flat(3.0);
+        a.gender[Gender::Male as usize] = 0.5;
+        a.region[Region::West as usize] = 0.25;
+        assert!(
+            (a.latent_mean(&user(UsState::CA, Gender::Male)) - 3.75).abs() < 1e-12
+        );
+        assert!(
+            (a.latent_mean(&user(UsState::NY, Gender::Female)) - 3.0).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn sampled_scores_track_latent_mean() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = MovieAffinity::flat(4.5);
+        let u = user(UsState::CA, Gender::Male);
+        let mean: f64 = (0..5000)
+            .map(|_| a.sample_score(&u, 0.4, &mut rng).as_f64())
+            .sum::<f64>()
+            / 5000.0;
+        assert!((mean - 4.5).abs() < 0.15, "observed mean {mean}");
+    }
+
+    #[test]
+    fn sample_around_respects_clamping() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..100 {
+            let s = sample_around(0.0, 0.5, &mut rng);
+            assert_eq!(s.get(), 1, "mean 0 must clamp to the floor");
+        }
+    }
+
+    #[test]
+    fn affinity_sigma_zero_means_no_spread() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = MovieAffinity::sample(&mut rng, 0.0);
+        assert!(a.age.iter().all(|&v| v == 0.0));
+        assert!(a.gender.iter().all(|&v| v == 0.0));
+    }
+}

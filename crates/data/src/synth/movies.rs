@@ -1,0 +1,262 @@
+//! Synthetic movie catalogue generation (background movies + planted
+//! scenarios), including the actor/director join.
+
+use crate::dataset::DatasetBuilder;
+use crate::genre::{Genre, GenreSet};
+use crate::ids::{ItemId, PersonId};
+use crate::item::{Item, Person};
+use crate::synth::affinity::MovieAffinity;
+use crate::synth::config::SynthConfig;
+use crate::synth::names;
+use crate::synth::planted::{paper_scenarios, PlantedScenario};
+use rand::distributions::{Distribution, WeightedIndex};
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Approximate genre frequencies in MovieLens-1M (per mille, rounded).
+const GENRE_WEIGHTS: [(Genre, u32); 18] = [
+    (Genre::Action, 130),
+    (Genre::Adventure, 73),
+    (Genre::Animation, 27),
+    (Genre::Childrens, 64),
+    (Genre::Comedy, 305),
+    (Genre::Crime, 54),
+    (Genre::Documentary, 32),
+    (Genre::Drama, 390),
+    (Genre::Fantasy, 17),
+    (Genre::FilmNoir, 11),
+    (Genre::Horror, 87),
+    (Genre::Musical, 29),
+    (Genre::Mystery, 27),
+    (Genre::Romance, 120),
+    (Genre::SciFi, 70),
+    (Genre::Thriller, 130),
+    (Genre::War, 37),
+    (Genre::Western, 17),
+];
+
+/// Everything the rating generator needs to know about the catalogue.
+#[derive(Debug)]
+pub struct MovieWorld {
+    /// Latent rating model per item (planted items get a flat default; their
+    /// structure comes from the scenario rules instead).
+    pub affinities: Vec<MovieAffinity>,
+    /// Background popularity weights per item (0 for planted items — their
+    /// rating volume is fixed by [`PlantedScenario::rating_share`]).
+    pub popularity: Vec<f64>,
+    /// Planted items and their scenarios.
+    pub planted: Vec<(ItemId, PlantedScenario)>,
+}
+
+fn sample_genres<R: Rng>(rng: &mut R, dist: &WeightedIndex<u32>) -> GenreSet {
+    let count = match rng.gen_range(0..10) {
+        0..=4 => 1,
+        5..=8 => 2,
+        _ => 3,
+    };
+    let mut set = GenreSet::EMPTY;
+    // Duplicates collapse in the bitset; occasionally yielding fewer genres
+    // than drawn is harmless.
+    for _ in 0..count {
+        set.insert(GENRE_WEIGHTS[dist.sample(rng)].0);
+    }
+    set
+}
+
+fn sample_year<R: Rng>(rng: &mut R) -> u16 {
+    // MovieLens skews heavily toward the 1990s with a long older tail.
+    let u: f64 = rng.gen();
+    let back = (u * u * 60.0) as u16; // quadratic skew toward 0
+    2000 - back
+}
+
+/// Appends persons and items to the builder; returns the [`MovieWorld`].
+pub fn generate_movies<R: Rng>(
+    config: &SynthConfig,
+    rng: &mut R,
+    builder: &mut DatasetBuilder,
+) -> MovieWorld {
+    let genre_dist =
+        WeightedIndex::new(GENRE_WEIGHTS.iter().map(|&(_, w)| w)).expect("static weights");
+
+    // Person pool. Planted scenario people are interned by name so that
+    // e.g. Tom Hanks is one person across scenarios.
+    let actor_names = names::unique_person_names(rng, config.num_actors);
+    let director_names = names::unique_person_names(rng, config.num_directors);
+    let mut persons: Vec<Person> = Vec::new();
+    let mut by_name: HashMap<String, PersonId> = HashMap::new();
+    let intern = |name: &str, persons: &mut Vec<Person>, by_name: &mut HashMap<String, PersonId>| {
+        if let Some(&id) = by_name.get(name) {
+            return id;
+        }
+        let id = PersonId::from_index(persons.len());
+        persons.push(Person {
+            id,
+            name: name.to_string(),
+        });
+        by_name.insert(name.to_string(), id);
+        id
+    };
+    let actor_ids: Vec<PersonId> = actor_names
+        .iter()
+        .map(|n| intern(n, &mut persons, &mut by_name))
+        .collect();
+    let director_ids: Vec<PersonId> = director_names
+        .iter()
+        .map(|n| intern(n, &mut persons, &mut by_name))
+        .collect();
+
+    // Popularity of people follows a Zipf-like curve: the first names in
+    // the shuffled pools are "stars" attached to many movies.
+    let actor_dist = WeightedIndex::new(
+        (0..actor_ids.len()).map(|i| 1.0 / (i as f64 + 1.0).powf(0.7)),
+    )
+    .expect("nonempty actor pool");
+    let director_dist = WeightedIndex::new(
+        (0..director_ids.len()).map(|i| 1.0 / (i as f64 + 1.0).powf(0.7)),
+    )
+    .expect("nonempty director pool");
+
+    let titles = names::unique_titles(rng, config.num_movies);
+    let mut items: Vec<Item> = Vec::with_capacity(config.num_movies + 16);
+    let mut affinities: Vec<MovieAffinity> = Vec::with_capacity(config.num_movies + 16);
+
+    for title in titles {
+        let id = ItemId::from_index(items.len());
+        let mut item = Item::new(id, title, sample_year(rng), sample_genres(rng, &genre_dist));
+        item.directors.push(director_ids[director_dist.sample(rng)]);
+        let n_actors = rng.gen_range(2..=4);
+        for _ in 0..n_actors {
+            let a = actor_ids[actor_dist.sample(rng)];
+            if !item.actors.contains(&a) {
+                item.actors.push(a);
+            }
+        }
+        items.push(item);
+        affinities.push(MovieAffinity::sample(rng, config.affinity_sigma));
+    }
+
+    // Background Zipf popularity over a random permutation of the catalogue.
+    let mut ranks: Vec<usize> = (0..items.len()).collect();
+    // Fisher-Yates with the generator RNG keeps everything seed-stable.
+    for i in (1..ranks.len()).rev() {
+        ranks.swap(i, rng.gen_range(0..=i));
+    }
+    let mut popularity = vec![0.0; items.len()];
+    for (rank, &idx) in ranks.iter().enumerate() {
+        popularity[idx] = 1.0 / (rank as f64 + 1.0).powf(config.popularity_exponent);
+    }
+
+    // Planted scenarios.
+    let mut planted = Vec::new();
+    if config.plant_scenarios {
+        for scenario in paper_scenarios() {
+            let id = ItemId::from_index(items.len());
+            let mut item = Item::new(id, scenario.title, scenario.year, scenario.genres);
+            item.directors
+                .push(intern(scenario.director, &mut persons, &mut by_name));
+            for actor in scenario.actors {
+                let a = intern(actor, &mut persons, &mut by_name);
+                if !item.actors.contains(&a) {
+                    item.actors.push(a);
+                }
+            }
+            items.push(item);
+            affinities.push(MovieAffinity::flat(scenario.default_mean));
+            popularity.push(0.0);
+            planted.push((id, scenario));
+        }
+    }
+
+    for person in persons {
+        builder.add_person(person);
+    }
+    for item in items {
+        builder.add_item(item);
+    }
+
+    MovieWorld {
+        affinities,
+        popularity,
+        planted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn world(seed: u64) -> (MovieWorld, crate::dataset::Dataset) {
+        let cfg = SynthConfig::tiny(seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut builder = DatasetBuilder::new();
+        let world = generate_movies(&cfg, &mut rng, &mut builder);
+        (world, builder.build().unwrap())
+    }
+
+    #[test]
+    fn catalogue_contains_background_plus_planted() {
+        let (w, d) = world(1);
+        let cfg = SynthConfig::tiny(1);
+        assert_eq!(d.items().len(), cfg.num_movies + w.planted.len());
+        assert!(!w.planted.is_empty());
+    }
+
+    #[test]
+    fn planted_items_have_zero_background_popularity() {
+        let (w, _) = world(2);
+        for (id, _) in &w.planted {
+            assert_eq!(w.popularity[id.index()], 0.0);
+        }
+    }
+
+    #[test]
+    fn background_popularity_positive_and_skewed() {
+        let (w, _) = world(3);
+        let bg: Vec<f64> = w
+            .popularity
+            .iter()
+            .copied()
+            .filter(|&p| p > 0.0)
+            .collect();
+        assert_eq!(bg.len(), SynthConfig::tiny(3).num_movies);
+        let max = bg.iter().cloned().fold(0.0, f64::max);
+        let min = bg.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(max / min > 5.0, "Zipf head/tail ratio {}", max / min);
+    }
+
+    #[test]
+    fn planted_people_interned_across_scenarios() {
+        let (_, d) = world(4);
+        // Tom Hanks appears in Toy Story, Saving Private Ryan, Forrest Gump.
+        let hanks = d.find_person("Tom Hanks").expect("Hanks exists");
+        let acted = d.items_with_person(hanks, crate::item::Role::Actor);
+        assert!(acted.len() >= 3, "Hanks in {} movies", acted.len());
+    }
+
+    #[test]
+    fn every_item_has_director_and_actors() {
+        let (_, d) = world(5);
+        for item in d.items() {
+            assert!(!item.directors.is_empty(), "{} lacks director", item.title);
+            assert!(!item.actors.is_empty(), "{} lacks actors", item.title);
+        }
+    }
+
+    #[test]
+    fn years_in_plausible_range() {
+        let (_, d) = world(6);
+        for item in d.items() {
+            assert!((1930..=2010).contains(&item.year), "{}", item.year);
+        }
+    }
+
+    #[test]
+    fn affinity_table_parallel_to_items() {
+        let (w, d) = world(7);
+        assert_eq!(w.affinities.len(), d.items().len());
+        assert_eq!(w.popularity.len(), d.items().len());
+    }
+}

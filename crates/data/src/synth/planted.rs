@@ -1,0 +1,467 @@
+//! Planted ground-truth scenarios reproducing the paper's named examples.
+//!
+//! The demo paper narrates concrete outcomes on concrete movies (Figure 2's
+//! Toy Story groups, the §1 Twilight Saga: Eclipse SM/DM example, the §3.2
+//! demonstration queries). Since the real MovieLens+IMDB data cannot be
+//! shipped, these scenarios plant the narrated structure into the synthetic
+//! data with known ground truth, so that the figure-regeneration binaries
+//! and integration tests can assert the *shape* of the paper's results.
+
+use crate::attrs::{AgeGroup, AttrValue, Gender, Occupation, UsState};
+use crate::genre::{Genre, GenreSet};
+use crate::user::User;
+
+/// A planted rating rule: reviewers matching *all* `conditions` rate the
+/// movie around `mean` with spread `sigma`, optionally only within a
+/// fractional time window of the dataset's global span.
+#[derive(Debug, Clone)]
+pub struct PlantRule {
+    /// Conjunction of attribute/value conditions on the reviewer.
+    pub conditions: Vec<AttrValue>,
+    /// Latent mean score for matching reviewers.
+    pub mean: f64,
+    /// Latent spread.
+    pub sigma: f64,
+    /// Optional fractional `[from, to)` window of the global time span in
+    /// which this rule applies (for the time-slider narration).
+    pub window: Option<(f64, f64)>,
+}
+
+impl PlantRule {
+    fn new(conditions: Vec<AttrValue>, mean: f64, sigma: f64) -> Self {
+        PlantRule {
+            conditions,
+            mean,
+            sigma,
+            window: None,
+        }
+    }
+
+    fn windowed(mut self, from: f64, to: f64) -> Self {
+        self.window = Some((from, to));
+        self
+    }
+
+    /// Whether a reviewer (at fractional time `t`) matches this rule.
+    pub fn matches(&self, user: &User, t: f64) -> bool {
+        if let Some((from, to)) = self.window {
+            if t < from || t >= to {
+                return false;
+            }
+        }
+        self.conditions.iter().all(|&c| user.matches(c))
+    }
+}
+
+/// A sampling bias: reviewers matching the conditions are `factor`× more
+/// likely to rate the movie. Used so that planted groups also have enough
+/// *coverage* to satisfy the mining constraints, mirroring how e.g.
+/// animation movies really are rated disproportionately by their market
+/// segments.
+#[derive(Debug, Clone)]
+pub struct RaterBias {
+    /// Conjunction of attribute/value conditions on the reviewer.
+    pub conditions: Vec<AttrValue>,
+    /// Sampling weight multiplier (> 1 boosts).
+    pub factor: f64,
+}
+
+/// A fully specified planted movie.
+#[derive(Debug, Clone)]
+pub struct PlantedScenario {
+    /// Exact movie title (queried verbatim by examples and figures).
+    pub title: &'static str,
+    /// Release year.
+    pub year: u16,
+    /// Genres.
+    pub genres: GenreSet,
+    /// Director name (created as a person).
+    pub director: &'static str,
+    /// Actor names (created as persons).
+    pub actors: &'static [&'static str],
+    /// Fraction of the configured total rating count this movie receives.
+    pub rating_share: f64,
+    /// Default latent mean for reviewers matching no rule.
+    pub default_mean: f64,
+    /// Default latent spread.
+    pub default_sigma: f64,
+    /// Planted rules, most specific first (the first match wins).
+    pub rules: Vec<PlantRule>,
+    /// Rater sampling biases.
+    pub biases: Vec<RaterBias>,
+}
+
+impl PlantedScenario {
+    /// The latent `(mean, sigma)` for a reviewer at fractional time `t`.
+    pub fn latent_for(&self, user: &User, t: f64) -> (f64, f64) {
+        for rule in &self.rules {
+            if rule.matches(user, t) {
+                return (rule.mean, rule.sigma);
+            }
+        }
+        (self.default_mean, self.default_sigma)
+    }
+
+    /// The sampling-weight multiplier for a reviewer.
+    pub fn bias_for(&self, user: &User) -> f64 {
+        let mut factor = 1.0;
+        for bias in &self.biases {
+            if bias.conditions.iter().all(|&c| user.matches(c)) {
+                factor *= bias.factor;
+            }
+        }
+        factor
+    }
+}
+
+fn av(values: &[AttrValue]) -> Vec<AttrValue> {
+    values.to_vec()
+}
+
+/// The full set of paper scenarios.
+pub fn paper_scenarios() -> Vec<PlantedScenario> {
+    use AttrValue::*;
+    let mut scenarios = Vec::new();
+
+    // Figure 2: Toy Story. Best-3 SM groups in the paper: male reviewers
+    // from California, male reviewers from Massachusetts, female teen
+    // student reviewers from New York — all positive, the NY group slightly
+    // lower. Early ratings skew even higher to give the time slider a story.
+    scenarios.push(PlantedScenario {
+        title: "Toy Story",
+        year: 1995,
+        genres: GenreSet::of([Genre::Animation, Genre::Childrens, Genre::Comedy]),
+        director: "John Lasseter",
+        actors: &["Tom Hanks", "Tim Allen"],
+        rating_share: 0.010,
+        default_mean: 3.8,
+        default_sigma: 1.0,
+        rules: vec![
+            PlantRule::new(
+                av(&[Gender(self::Gender::Male), State(UsState::CA)]),
+                4.85,
+                0.28,
+            )
+            .windowed(0.0, 0.55),
+            PlantRule::new(
+                av(&[Gender(self::Gender::Male), State(UsState::CA)]),
+                4.6,
+                0.32,
+            ),
+            PlantRule::new(
+                av(&[Gender(self::Gender::Male), State(UsState::MA)]),
+                4.55,
+                0.3,
+            ),
+            PlantRule::new(
+                av(&[Gender(self::Gender::Female), State(UsState::NY)]),
+                4.15,
+                0.3,
+            ),
+        ],
+        biases: vec![
+            RaterBias {
+                conditions: av(&[State(UsState::CA)]),
+                factor: 2.6,
+            },
+            RaterBias {
+                conditions: av(&[State(UsState::MA)]),
+                factor: 5.0,
+            },
+            RaterBias {
+                conditions: av(&[State(UsState::NY), Gender(self::Gender::Female)]),
+                factor: 5.0,
+            },
+            RaterBias {
+                conditions: av(&[Gender(self::Gender::Male)]),
+                factor: 1.3,
+            },
+        ],
+    });
+
+    // §1: The Twilight Saga: Eclipse — the controversial item. Females
+    // under 18 and above 45 love it; males under 18 hate it; overall mean
+    // lands near 2.4/5 (the paper's 4.8 on a 10-scale).
+    scenarios.push(PlantedScenario {
+        title: "The Twilight Saga: Eclipse",
+        year: 2010,
+        genres: GenreSet::of([Genre::Drama, Genre::Fantasy, Genre::Romance]),
+        director: "David Slade",
+        actors: &["Kristen Stewart", "Robert Pattinson"],
+        rating_share: 0.007,
+        default_mean: 2.1,
+        default_sigma: 0.8,
+        rules: vec![
+            PlantRule::new(
+                av(&[Gender(self::Gender::Female), Age(AgeGroup::Under18)]),
+                4.8,
+                0.25,
+            ),
+            PlantRule::new(
+                av(&[Gender(self::Gender::Female), Age(AgeGroup::From45To49)]),
+                4.6,
+                0.3,
+            ),
+            PlantRule::new(
+                av(&[Gender(self::Gender::Female), Age(AgeGroup::From50To55)]),
+                4.5,
+                0.3,
+            ),
+            PlantRule::new(
+                av(&[Gender(self::Gender::Male), Age(AgeGroup::Under18)]),
+                1.4,
+                0.3,
+            ),
+        ],
+        biases: vec![
+            RaterBias {
+                conditions: av(&[Age(AgeGroup::Under18)]),
+                factor: 8.0,
+            },
+            RaterBias {
+                conditions: av(&[Gender(self::Gender::Female)]),
+                factor: 2.0,
+            },
+            RaterBias {
+                conditions: av(&[Gender(self::Gender::Female), Age(AgeGroup::From45To49)]),
+                factor: 4.0,
+            },
+            RaterBias {
+                conditions: av(&[Gender(self::Gender::Female), Age(AgeGroup::From50To55)]),
+                factor: 4.0,
+            },
+        ],
+    });
+
+    // §3.2 demonstration queries.
+    scenarios.push(PlantedScenario {
+        title: "The Social Network",
+        year: 2010,
+        genres: GenreSet::of([Genre::Drama]),
+        director: "David Fincher",
+        actors: &["Jesse Eisenberg", "Andrew Garfield"],
+        rating_share: 0.012,
+        default_mean: 3.7,
+        default_sigma: 0.9,
+        rules: vec![
+            PlantRule::new(av(&[Occupation(self::Occupation::Programmer)]), 4.65, 0.3),
+            PlantRule::new(
+                av(&[Occupation(self::Occupation::CollegeGradStudent)]),
+                4.3,
+                0.35,
+            ),
+        ],
+        biases: vec![
+            RaterBias {
+                conditions: av(&[Occupation(self::Occupation::Programmer)]),
+                factor: 3.0,
+            },
+            RaterBias {
+                conditions: av(&[Occupation(self::Occupation::CollegeGradStudent)]),
+                factor: 2.0,
+            },
+        ],
+    });
+
+    // The Lord of the Rings film trilogy (shared director/lead actor so the
+    // item-set queries of the demo resolve the trilogy).
+    for (title, year) in [
+        ("The Lord of the Rings: The Fellowship of the Ring", 2001),
+        ("The Lord of the Rings: The Two Towers", 2002),
+        ("The Lord of the Rings: The Return of the King", 2003),
+    ] {
+        scenarios.push(PlantedScenario {
+            title,
+            year,
+            genres: GenreSet::of([Genre::Adventure, Genre::Fantasy, Genre::Action]),
+            director: "Peter Jackson",
+            actors: &["Elijah Wood", "Ian McKellen", "Viggo Mortensen"],
+            rating_share: 0.012,
+            default_mean: 4.0,
+            default_sigma: 0.8,
+            rules: vec![
+                PlantRule::new(
+                    av(&[Gender(self::Gender::Male), Age(AgeGroup::From18To24)]),
+                    4.7,
+                    0.3,
+                ),
+                PlantRule::new(av(&[Age(AgeGroup::Above56)]), 3.2, 0.6),
+            ],
+            biases: vec![RaterBias {
+                conditions: av(&[Gender(self::Gender::Male), Age(AgeGroup::From18To24)]),
+                factor: 2.5,
+            }],
+        });
+    }
+
+    // Thriller movies directed by Steven Spielberg + Tom Hanks vehicles.
+    scenarios.push(PlantedScenario {
+        title: "Jaws",
+        year: 1975,
+        genres: GenreSet::of([Genre::Action, Genre::Horror, Genre::Thriller]),
+        director: "Steven Spielberg",
+        actors: &["Roy Scheider", "Richard Dreyfuss"],
+        rating_share: 0.008,
+        default_mean: 4.0,
+        default_sigma: 0.8,
+        rules: vec![PlantRule::new(av(&[Age(AgeGroup::From45To49)]), 4.6, 0.3)],
+        biases: vec![],
+    });
+    scenarios.push(PlantedScenario {
+        title: "Minority Report",
+        year: 2002,
+        genres: GenreSet::of([Genre::Action, Genre::SciFi, Genre::Thriller]),
+        director: "Steven Spielberg",
+        actors: &["Tom Cruise", "Colin Farrell"],
+        rating_share: 0.008,
+        default_mean: 3.8,
+        default_sigma: 0.9,
+        rules: vec![PlantRule::new(
+            av(&[Occupation(self::Occupation::Scientist)]),
+            4.5,
+            0.3,
+        )],
+        biases: vec![],
+    });
+    scenarios.push(PlantedScenario {
+        title: "Saving Private Ryan",
+        year: 1998,
+        genres: GenreSet::of([Genre::Action, Genre::Drama, Genre::War]),
+        director: "Steven Spielberg",
+        actors: &["Tom Hanks", "Matt Damon"],
+        rating_share: 0.014,
+        default_mean: 4.2,
+        default_sigma: 0.7,
+        rules: vec![PlantRule::new(
+            av(&[Gender(self::Gender::Male), Age(AgeGroup::Above56)]),
+            4.8,
+            0.25,
+        )],
+        biases: vec![],
+    });
+    scenarios.push(PlantedScenario {
+        title: "Forrest Gump",
+        year: 1994,
+        genres: GenreSet::of([Genre::Comedy, Genre::Drama, Genre::Romance]),
+        director: "Robert Zemeckis",
+        actors: &["Tom Hanks", "Robin Wright"],
+        rating_share: 0.014,
+        default_mean: 4.1,
+        default_sigma: 0.8,
+        rules: vec![PlantRule::new(av(&[Gender(self::Gender::Female)]), 4.4, 0.4)],
+        biases: vec![],
+    });
+
+    scenarios
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::Gender as G;
+    use crate::ids::UserId;
+    use crate::zipcode::Zip;
+
+    fn user(gender: G, age: AgeGroup, state: UsState, occ: Occupation) -> User {
+        User {
+            id: UserId(0),
+            age,
+            gender,
+            occupation: occ,
+            zip: Zip::new(0),
+            state,
+            city: 0,
+        }
+    }
+
+    fn scenario(title: &str) -> PlantedScenario {
+        paper_scenarios()
+            .into_iter()
+            .find(|s| s.title == title)
+            .unwrap_or_else(|| panic!("scenario {title} missing"))
+    }
+
+    #[test]
+    fn toy_story_rules_match_figure2_groups() {
+        let ts = scenario("Toy Story");
+        let ca_male = user(G::Male, AgeGroup::From25To34, UsState::CA, Occupation::Other);
+        let (mean, _) = ts.latent_for(&ca_male, 0.9);
+        assert!(mean > 4.4, "CA males love Toy Story, mean {mean}");
+        let ny_female = user(
+            G::Female,
+            AgeGroup::Under18,
+            UsState::NY,
+            Occupation::K12Student,
+        );
+        let (mean_ny, _) = ts.latent_for(&ny_female, 0.5);
+        assert!(mean_ny > 3.9 && mean_ny < mean, "NY females positive but lower");
+        let other = user(G::Female, AgeGroup::From35To44, UsState::TX, Occupation::Lawyer);
+        let (mean_def, sigma_def) = ts.latent_for(&other, 0.5);
+        assert_eq!(mean_def, ts.default_mean);
+        assert_eq!(sigma_def, ts.default_sigma);
+    }
+
+    #[test]
+    fn toy_story_time_window_shifts_ca_mean() {
+        let ts = scenario("Toy Story");
+        let ca_male = user(G::Male, AgeGroup::From25To34, UsState::CA, Occupation::Other);
+        let (early, _) = ts.latent_for(&ca_male, 0.1);
+        let (late, _) = ts.latent_for(&ca_male, 0.9);
+        assert!(early > late, "early CA enthusiasm {early} vs late {late}");
+    }
+
+    #[test]
+    fn eclipse_is_controversial() {
+        let e = scenario("The Twilight Saga: Eclipse");
+        let f_teen = user(G::Female, AgeGroup::Under18, UsState::CA, Occupation::K12Student);
+        let m_teen = user(G::Male, AgeGroup::Under18, UsState::CA, Occupation::K12Student);
+        let (f_mean, _) = e.latent_for(&f_teen, 0.5);
+        let (m_mean, _) = e.latent_for(&m_teen, 0.5);
+        assert!(f_mean > 4.5);
+        assert!(m_mean < 1.8);
+        assert!(f_mean - m_mean > 3.0, "planted DM gap");
+    }
+
+    #[test]
+    fn biases_multiply() {
+        let e = scenario("The Twilight Saga: Eclipse");
+        let f_teen = user(G::Female, AgeGroup::Under18, UsState::CA, Occupation::K12Student);
+        let m_adult = user(G::Male, AgeGroup::From35To44, UsState::CA, Occupation::Other);
+        assert!(e.bias_for(&f_teen) > e.bias_for(&m_adult));
+        assert_eq!(e.bias_for(&m_adult), 1.0);
+    }
+
+    #[test]
+    fn spielberg_thrillers_exist() {
+        let all = paper_scenarios();
+        let spielberg_thrillers: Vec<_> = all
+            .iter()
+            .filter(|s| s.director == "Steven Spielberg" && s.genres.contains(Genre::Thriller))
+            .collect();
+        assert!(spielberg_thrillers.len() >= 2);
+    }
+
+    #[test]
+    fn trilogy_shares_director() {
+        let all = paper_scenarios();
+        let lotr: Vec<_> = all
+            .iter()
+            .filter(|s| s.title.starts_with("The Lord of the Rings"))
+            .collect();
+        assert_eq!(lotr.len(), 3);
+        assert!(lotr.iter().all(|s| s.director == "Peter Jackson"));
+    }
+
+    #[test]
+    fn titles_unique() {
+        let all = paper_scenarios();
+        let set: std::collections::HashSet<_> = all.iter().map(|s| s.title).collect();
+        assert_eq!(set.len(), all.len());
+    }
+
+    #[test]
+    fn shares_sum_below_fifteen_percent() {
+        let total: f64 = paper_scenarios().iter().map(|s| s.rating_share).sum();
+        assert!(total < 0.15, "planted shares {total} crowd out background");
+    }
+}

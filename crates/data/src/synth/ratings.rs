@@ -1,0 +1,148 @@
+//! Synthetic rating-tuple generation.
+//!
+//! Background ratings pair a Zipf-popular movie with a long-tail-active
+//! reviewer and sample the score from the movie's demographic affinity
+//! model. Planted movies receive a fixed share of the rating volume from a
+//! bias-weighted reviewer distribution and sample scores from their planted
+//! rules.
+
+use crate::dataset::DatasetBuilder;
+use crate::ids::{ItemId, UserId};
+use crate::rating::Rating;
+use crate::synth::affinity::{randn, sample_around};
+use crate::synth::config::SynthConfig;
+use crate::synth::movies::MovieWorld;
+use crate::time::Timestamp;
+use crate::user::User;
+use rand::distributions::{Distribution, WeightedIndex};
+use rand::Rng;
+use std::collections::HashSet;
+
+#[inline]
+fn pair_key(user: UserId, item: ItemId) -> u64 {
+    (u64::from(user.0) << 32) | u64::from(item.0)
+}
+
+/// Fractional position → timestamp within the configured window.
+fn ts_at(config: &SynthConfig, frac: f64) -> Timestamp {
+    let span = config.time_end.secs() - config.time_start.secs();
+    let frac = frac.clamp(0.0, 0.999_999);
+    Timestamp(config.time_start.secs() + (span as f64 * frac) as i64)
+}
+
+/// Samples a rating-time fraction given the movie's arrival fraction:
+/// volume is highest right after arrival and decays.
+fn sample_frac<R: Rng>(rng: &mut R, arrival: f64) -> f64 {
+    let u: f64 = rng.gen();
+    arrival + (1.0 - arrival) * u.powf(1.6)
+}
+
+/// Appends ~`config.num_ratings` rating tuples to the builder.
+pub fn generate_ratings<R: Rng>(
+    config: &SynthConfig,
+    rng: &mut R,
+    builder: &mut DatasetBuilder,
+    world: &MovieWorld,
+) {
+    // Snapshot the user table: the rating loop needs immutable access to
+    // demographics while mutably appending ratings to the same builder.
+    let users: Vec<User> = builder.users().to_vec();
+    assert_eq!(users.len(), config.num_users);
+    let users = &users[..];
+    builder.reserve_ratings(config.num_ratings + 1024);
+    let mut seen: HashSet<u64> = HashSet::with_capacity(config.num_ratings * 2);
+
+    // Long-tailed user activity (lognormal).
+    let activity: Vec<f64> = (0..users.len())
+        .map(|_| (randn(rng) * 1.1).exp())
+        .collect();
+    let user_dist = WeightedIndex::new(&activity).expect("positive activities");
+
+    // --- Planted movies: fixed volume, biased raters, rule-driven scores.
+    let mut planted_total = 0usize;
+    for (item_id, scenario) in &world.planted {
+        let target = ((config.num_ratings as f64) * scenario.rating_share).round() as usize;
+        planted_total += target;
+        let weights: Vec<f64> = users
+            .iter()
+            .zip(&activity)
+            .map(|(u, &a)| a * scenario.bias_for(u))
+            .collect();
+        let dist = WeightedIndex::new(&weights).expect("positive weights");
+        let mut produced = 0usize;
+        let mut attempts = 0usize;
+        let max_attempts = target * 20 + 100;
+        while produced < target && attempts < max_attempts {
+            attempts += 1;
+            let uidx = dist.sample(rng);
+            let user = &users[uidx];
+            if !seen.insert(pair_key(user.id, *item_id)) {
+                continue;
+            }
+            let frac = sample_frac(rng, 0.0);
+            let (mean, sigma) = scenario.latent_for(user, frac);
+            let score = sample_around(mean, sigma, rng);
+            builder.add_rating(Rating::new(user.id, *item_id, score, ts_at(config, frac)));
+            produced += 1;
+        }
+    }
+
+    // --- Background ratings.
+    let background_target = config.num_ratings.saturating_sub(planted_total);
+    let item_dist = match WeightedIndex::new(&world.popularity) {
+        Ok(d) => d,
+        Err(_) => return, // all weight planted (degenerate config)
+    };
+    // Per-movie arrival fraction.
+    let arrivals: Vec<f64> = (0..world.popularity.len())
+        .map(|_| rng.gen::<f64>() * 0.5)
+        .collect();
+
+    let mut produced = 0usize;
+    let mut attempts = 0usize;
+    let max_attempts = background_target * 4 + 1000;
+    while produced < background_target && attempts < max_attempts {
+        attempts += 1;
+        let iidx = item_dist.sample(rng);
+        let uidx = user_dist.sample(rng);
+        let user = &users[uidx];
+        let item = ItemId::from_index(iidx);
+        if !seen.insert(pair_key(user.id, item)) {
+            continue;
+        }
+        let frac = sample_frac(rng, arrivals[iidx]);
+        let score = world.affinities[iidx].sample_score(user, config.noise_sigma, rng);
+        builder.add_rating(Rating::new(user.id, item, score, ts_at(config, frac)));
+        produced += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_key_injective_enough() {
+        assert_ne!(
+            pair_key(UserId(1), ItemId(2)),
+            pair_key(UserId(2), ItemId(1))
+        );
+    }
+
+    #[test]
+    fn ts_at_bounds() {
+        let cfg = SynthConfig::tiny(1);
+        assert_eq!(ts_at(&cfg, 0.0), cfg.time_start);
+        assert!(ts_at(&cfg, 1.0) < cfg.time_end);
+        assert!(ts_at(&cfg, 0.5) > cfg.time_start);
+    }
+
+    #[test]
+    fn sample_frac_after_arrival() {
+        let mut rng = rand::rngs::mock::StepRng::new(0, 0x1111_1111_1111_1111);
+        for _ in 0..100 {
+            let f = sample_frac(&mut rng, 0.3);
+            assert!((0.3..=1.0).contains(&f));
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Synthetic reviewer generation with MovieLens-1M marginals.
+
+use crate::attrs::{AgeGroup, Gender, Occupation, UsState};
+use crate::cities::city_for_zip;
+use crate::dataset::DatasetBuilder;
+use crate::ids::UserId;
+use crate::synth::config::SynthConfig;
+use crate::user::User;
+use crate::zipcode::{self, Zip};
+use rand::distributions::{Distribution, WeightedIndex};
+use rand::Rng;
+
+/// ML-1M age-bucket shares (per the published dataset statistics), in
+/// bucket order: <18, 18-24, 25-34, 35-44, 45-49, 50-55, 56+.
+const AGE_WEIGHTS: [u32; 7] = [37, 183, 347, 198, 92, 83, 60];
+
+/// ML-1M is ~71.7% male.
+const MALE_PERMILLE: u32 = 717;
+
+/// Rough ML-1M occupation shares (per mille), in code order 0..=20.
+const OCCUPATION_WEIGHTS: [u32; 21] = [
+    118, // other
+    86,  // academic/educator
+    44,  // artist
+    29,  // clerical/admin
+    126, // college/grad student
+    21,  // customer service
+    39,  // doctor/health care
+    111, // executive/managerial
+    3,   // farmer
+    15,  // homemaker
+    32,  // K-12 student
+    22,  // lawyer
+    65,  // programmer
+    24,  // retired
+    50,  // sales/marketing
+    24,  // scientist
+    40,  // self-employed
+    85,  // technician/engineer
+    11,  // tradesman/craftsman
+    12,  // unemployed
+    46,  // writer
+];
+
+/// Mints a plausible zip code inside one of `state`'s USPS prefix ranges.
+fn mint_zip<R: Rng>(rng: &mut R, state: UsState) -> Zip {
+    let ranges: Vec<(u32, u32)> = zipcode::prefix_ranges(state).collect();
+    debug_assert!(!ranges.is_empty());
+    let (lo, hi) = ranges[rng.gen_range(0..ranges.len())];
+    let prefix = rng.gen_range(lo..=hi);
+    Zip::new(prefix * 100 + rng.gen_range(0..100))
+}
+
+/// Appends `config.num_users` reviewers to the builder.
+pub fn generate_users<R: Rng>(config: &SynthConfig, rng: &mut R, builder: &mut DatasetBuilder) {
+    let age_dist = WeightedIndex::new(AGE_WEIGHTS).expect("static weights valid");
+    let occ_dist = WeightedIndex::new(OCCUPATION_WEIGHTS).expect("static weights valid");
+    let state_dist = WeightedIndex::new(
+        UsState::ALL
+            .iter()
+            .map(|s| s.population_weight())
+            .collect::<Vec<_>>(),
+    )
+    .expect("static weights valid");
+
+    for i in 0..config.num_users {
+        let age = AgeGroup::ALL[age_dist.sample(rng)];
+        let gender = if rng.gen_range(0..1000) < MALE_PERMILLE {
+            Gender::Male
+        } else {
+            Gender::Female
+        };
+        // Correlate occupation with age the obvious way: minors are K-12
+        // students, retirees skew old. This keeps the cube from containing
+        // absurd cells (retired under-18s) that the paper's data would not.
+        let occupation = if age == AgeGroup::Under18 {
+            Occupation::K12Student
+        } else {
+            let occ = Occupation::ALL[occ_dist.sample(rng)];
+            match occ {
+                Occupation::K12Student => Occupation::CollegeGradStudent,
+                Occupation::Retired if age < AgeGroup::From45To49 => Occupation::Other,
+                other => other,
+            }
+        };
+        let state = UsState::ALL[state_dist.sample(rng)];
+        let zip = mint_zip(rng, state);
+        debug_assert_eq!(zip.state_or_fallback(), state, "minted zip resolves home state");
+        builder.add_user(User {
+            id: UserId::from_index(i),
+            age,
+            gender,
+            occupation,
+            zip,
+            state,
+            city: city_for_zip(state, zip),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn generate(n: usize, seed: u64) -> Vec<User> {
+        let mut cfg = SynthConfig::tiny(seed);
+        cfg.num_users = n;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut builder = DatasetBuilder::new();
+        generate_users(&cfg, &mut rng, &mut builder);
+        let d = builder.build().unwrap();
+        d.users().to_vec()
+    }
+
+    #[test]
+    fn minted_zips_resolve_to_home_state() {
+        for u in generate(2000, 3) {
+            assert_eq!(u.zip.state_or_fallback(), u.state);
+        }
+    }
+
+    #[test]
+    fn minors_are_students() {
+        for u in generate(3000, 4) {
+            if u.age == AgeGroup::Under18 {
+                assert_eq!(u.occupation, Occupation::K12Student);
+            } else {
+                assert_ne!(u.occupation, Occupation::K12Student);
+            }
+        }
+    }
+
+    #[test]
+    fn age_distribution_peaks_at_25_34() {
+        let users = generate(6000, 5);
+        let mut counts = [0usize; 7];
+        for u in &users {
+            counts[u.age as usize] += 1;
+        }
+        let max = counts.iter().enumerate().max_by_key(|(_, c)| **c).unwrap().0;
+        assert_eq!(max, AgeGroup::From25To34 as usize);
+    }
+
+    #[test]
+    fn populous_states_dominate() {
+        let users = generate(6000, 6);
+        let ca = users.iter().filter(|u| u.state == UsState::CA).count();
+        let wy = users.iter().filter(|u| u.state == UsState::WY).count();
+        assert!(ca > wy * 3, "CA {ca} vs WY {wy}");
+    }
+
+    #[test]
+    fn city_indexes_valid() {
+        for u in generate(2000, 7) {
+            assert!((u.city as usize) < crate::cities::cities(u.state).len());
+        }
+    }
+}

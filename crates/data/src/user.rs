@@ -1,0 +1,79 @@
+//! Reviewers and their demographic profile.
+
+use crate::attrs::{AgeGroup, AttrValue, Gender, Occupation, UsState, UserAttr};
+use crate::ids::UserId;
+use crate::zipcode::Zip;
+
+/// A reviewer with the MovieLens demographic profile (§2.1, §3).
+///
+/// The state and city are derived from the zip code at load time so that
+/// every reviewer carries the geo attribute MapRat's visualization anchors
+/// on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct User {
+    /// Dense identifier.
+    pub id: UserId,
+    /// Age bucket.
+    pub age: AgeGroup,
+    /// Gender.
+    pub gender: Gender,
+    /// Occupation.
+    pub occupation: Occupation,
+    /// Raw zip code.
+    pub zip: Zip,
+    /// State resolved from the zip code.
+    pub state: UsState,
+    /// Index of the reviewer's city inside its state's city table
+    /// (see [`crate::cities`]), for drill-down.
+    pub city: u8,
+}
+
+impl User {
+    /// The reviewer's value of a given attribute.
+    pub fn attr_value(&self, attr: UserAttr) -> AttrValue {
+        match attr {
+            UserAttr::Age => AttrValue::Age(self.age),
+            UserAttr::Gender => AttrValue::Gender(self.gender),
+            UserAttr::Occupation => AttrValue::Occupation(self.occupation),
+            UserAttr::State => AttrValue::State(self.state),
+        }
+    }
+
+    /// Whether the reviewer matches an attribute/value pair.
+    pub fn matches(&self, value: AttrValue) -> bool {
+        self.attr_value(value.attr()) == value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn user() -> User {
+        User {
+            id: UserId(1),
+            age: AgeGroup::From25To34,
+            gender: Gender::Male,
+            occupation: Occupation::Programmer,
+            zip: Zip::new(94103),
+            state: UsState::CA,
+            city: 0,
+        }
+    }
+
+    #[test]
+    fn attr_value_projection() {
+        let u = user();
+        assert_eq!(u.attr_value(UserAttr::Gender), AttrValue::Gender(Gender::Male));
+        assert_eq!(u.attr_value(UserAttr::State), AttrValue::State(UsState::CA));
+    }
+
+    #[test]
+    fn matches_checks_equality() {
+        let u = user();
+        assert!(u.matches(AttrValue::State(UsState::CA)));
+        assert!(!u.matches(AttrValue::State(UsState::NY)));
+        assert!(u.matches(AttrValue::Age(AgeGroup::From25To34)));
+        assert!(!u.matches(AttrValue::Gender(Gender::Female)));
+    }
+}

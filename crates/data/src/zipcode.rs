@@ -1,0 +1,224 @@
+//! Zip codes and the zip → state mapping.
+//!
+//! MovieLens users carry a raw zip code; MapRat's geo anchor is the state
+//! (§3.1), so the loader resolves every zip to a state through the standard
+//! USPS three-digit prefix ranges (approximated to state granularity: a few
+//! exotic sub-ranges — military, territories — resolve to `None` and the
+//! loader falls back deterministically).
+
+use crate::attrs::UsState;
+use std::fmt;
+
+/// A five-digit US zip code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Zip(u32);
+
+impl Zip {
+    /// Creates a zip code. Values are taken modulo 100000 so that arbitrary
+    /// integers (e.g. from ZIP+4 strings) normalize to five digits.
+    pub fn new(value: u32) -> Self {
+        Zip(value % 100_000)
+    }
+
+    /// Parses the leading five digits of a MovieLens zip field, which may be
+    /// `98101` or `98101-2203`.
+    pub fn parse(field: &str) -> Option<Self> {
+        let digits: String = field.chars().take_while(|c| c.is_ascii_digit()).collect();
+        if digits.is_empty() {
+            return None;
+        }
+        digits.parse::<u32>().ok().map(Zip::new)
+    }
+
+    /// The raw five-digit value.
+    #[inline]
+    pub fn value(self) -> u32 {
+        self.0
+    }
+
+    /// The three-digit USPS prefix.
+    #[inline]
+    pub fn prefix(self) -> u32 {
+        self.0 / 100
+    }
+
+    /// The state this zip belongs to, per the USPS prefix ranges;
+    /// `None` for territories / military prefixes.
+    pub fn state(self) -> Option<UsState> {
+        state_for_prefix(self.prefix())
+    }
+
+    /// Like [`Zip::state`], but resolves unmapped prefixes to a
+    /// deterministic fallback state (spreading them by prefix) so every
+    /// reviewer is visualizable on the map.
+    pub fn state_or_fallback(self) -> UsState {
+        self.state().unwrap_or_else(|| {
+            let idx = (self.prefix() as usize * 7 + 3) % UsState::ALL.len();
+            UsState::ALL[idx]
+        })
+    }
+}
+
+impl fmt::Display for Zip {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:05}", self.0)
+    }
+}
+
+/// USPS three-digit prefix ranges, state-granular. Sorted by range start;
+/// ranges are inclusive and non-overlapping.
+const PREFIX_RANGES: &[(u32, u32, UsState)] = &[
+    (5, 5, UsState::NY),
+    (10, 27, UsState::MA),
+    (28, 29, UsState::RI),
+    (30, 38, UsState::NH),
+    (39, 49, UsState::ME),
+    (50, 59, UsState::VT),
+    (60, 69, UsState::CT),
+    (70, 89, UsState::NJ),
+    (100, 149, UsState::NY),
+    (150, 196, UsState::PA),
+    (197, 199, UsState::DE),
+    (200, 205, UsState::DC),
+    (206, 219, UsState::MD),
+    (220, 246, UsState::VA),
+    (247, 268, UsState::WV),
+    (270, 289, UsState::NC),
+    (290, 299, UsState::SC),
+    (300, 319, UsState::GA),
+    (320, 349, UsState::FL),
+    (350, 369, UsState::AL),
+    (370, 385, UsState::TN),
+    (386, 397, UsState::MS),
+    (398, 399, UsState::GA),
+    (400, 427, UsState::KY),
+    (430, 459, UsState::OH),
+    (460, 479, UsState::IN),
+    (480, 499, UsState::MI),
+    (500, 528, UsState::IA),
+    (530, 549, UsState::WI),
+    (550, 567, UsState::MN),
+    (570, 577, UsState::SD),
+    (580, 588, UsState::ND),
+    (590, 599, UsState::MT),
+    (600, 629, UsState::IL),
+    (630, 658, UsState::MO),
+    (660, 679, UsState::KS),
+    (680, 693, UsState::NE),
+    (700, 714, UsState::LA),
+    (716, 729, UsState::AR),
+    (730, 749, UsState::OK),
+    (750, 799, UsState::TX),
+    (800, 816, UsState::CO),
+    (820, 831, UsState::WY),
+    (832, 838, UsState::ID),
+    (840, 847, UsState::UT),
+    (850, 865, UsState::AZ),
+    (870, 884, UsState::NM),
+    (885, 885, UsState::TX),
+    (889, 898, UsState::NV),
+    (900, 961, UsState::CA),
+    (967, 968, UsState::HI),
+    (970, 979, UsState::OR),
+    (980, 994, UsState::WA),
+    (995, 999, UsState::AK),
+];
+
+/// Resolves a three-digit prefix to a state.
+pub fn state_for_prefix(prefix: u32) -> Option<UsState> {
+    let idx = PREFIX_RANGES.partition_point(|&(start, _, _)| start <= prefix);
+    if idx == 0 {
+        return None;
+    }
+    let (start, end, state) = PREFIX_RANGES[idx - 1];
+    debug_assert!(start <= prefix);
+    (prefix <= end).then_some(state)
+}
+
+/// A representative prefix for a state (the start of its first range),
+/// used by the synthetic generator to mint consistent zips.
+pub fn canonical_prefix(state: UsState) -> u32 {
+    PREFIX_RANGES
+        .iter()
+        .find(|&&(_, _, s)| s == state)
+        .map(|&(start, _, _)| start)
+        .expect("every state has a prefix range")
+}
+
+/// All prefix ranges belonging to a state.
+pub fn prefix_ranges(state: UsState) -> impl Iterator<Item = (u32, u32)> {
+    PREFIX_RANGES
+        .iter()
+        .filter(move |&&(_, _, s)| s == state)
+        .map(|&(a, b, _)| (a, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_sorted_and_disjoint() {
+        for w in PREFIX_RANGES.windows(2) {
+            assert!(w[0].1 < w[1].0, "{:?} overlaps {:?}", w[0], w[1]);
+        }
+        for &(a, b, _) in PREFIX_RANGES {
+            assert!(a <= b);
+        }
+    }
+
+    #[test]
+    fn every_state_has_a_range() {
+        for s in UsState::ALL {
+            assert!(
+                PREFIX_RANGES.iter().any(|&(_, _, st)| st == s),
+                "{s} missing"
+            );
+            assert_eq!(state_for_prefix(canonical_prefix(s)), Some(s));
+        }
+    }
+
+    #[test]
+    fn known_city_zips_resolve() {
+        assert_eq!(Zip::new(94103).state(), Some(UsState::CA)); // San Francisco
+        assert_eq!(Zip::new(10001).state(), Some(UsState::NY)); // Manhattan
+        assert_eq!(Zip::new(2139).state(), Some(UsState::MA)); // Cambridge (02139)
+        assert_eq!(Zip::new(76019).state(), Some(UsState::TX)); // UT Arlington
+        assert_eq!(Zip::new(98101).state(), Some(UsState::WA)); // Seattle
+        assert_eq!(Zip::new(60601).state(), Some(UsState::IL)); // Chicago
+    }
+
+    #[test]
+    fn territory_prefixes_unmapped_but_fallback_total() {
+        assert_eq!(Zip::new(900).state(), None); // 009xx Puerto Rico
+        assert_eq!(Zip::new(96201).state(), None); // military AP
+        // Fallback must always produce a state.
+        let _ = Zip::new(900).state_or_fallback();
+        let _ = Zip::new(96201).state_or_fallback();
+    }
+
+    #[test]
+    fn parse_handles_plus4_and_garbage() {
+        assert_eq!(Zip::parse("98101-2203"), Some(Zip::new(98101)));
+        assert_eq!(Zip::parse("02139"), Some(Zip::new(2139)));
+        assert_eq!(Zip::parse(""), None);
+        assert_eq!(Zip::parse("abcde"), None);
+    }
+
+    #[test]
+    fn display_pads_to_five() {
+        assert_eq!(Zip::new(2139).to_string(), "02139");
+        assert_eq!(Zip::new(94103).to_string(), "94103");
+    }
+
+    #[test]
+    fn new_normalizes_modulo() {
+        assert_eq!(Zip::new(194103).value(), 94103);
+    }
+
+    #[test]
+    fn prefix_extraction() {
+        assert_eq!(Zip::new(94103).prefix(), 941);
+        assert_eq!(Zip::new(2139).prefix(), 21);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests on the data substrate's invariants.
+
+use maprat_data::{
+    zipcode, AgeGroup, Gender, Occupation, RatingStats, Score, TimeRange, Timestamp, UsState, Zip,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Civil calendar conversion round-trips over four decades of days.
+    #[test]
+    fn timestamp_ymd_round_trip(days in -10_000i64..20_000) {
+        let ts = Timestamp(days * 86_400);
+        let (y, m, d) = ts.to_ymd();
+        prop_assert_eq!(Timestamp::from_ymd(y, m, d), ts);
+        prop_assert!((1..=12).contains(&m));
+        prop_assert!((1..=31).contains(&d));
+    }
+
+    /// Mid-day timestamps bucket into the same month as their midnight.
+    #[test]
+    fn month_key_ignores_time_of_day(days in 0i64..20_000, secs in 0i64..86_400) {
+        let midnight = Timestamp(days * 86_400);
+        let later = Timestamp(days * 86_400 + secs);
+        prop_assert_eq!(midnight.month_key(), later.month_key());
+    }
+
+    /// `TimeRange::between` contains exactly `[start, end)`.
+    #[test]
+    fn time_range_half_open(a in -1_000_000i64..1_000_000, len in 0i64..1_000_000, probe in -2_000_000i64..2_000_000) {
+        let range = TimeRange::between(Timestamp(a), Timestamp(a + len));
+        let expected = probe >= a && probe < a + len;
+        prop_assert_eq!(range.contains(Timestamp(probe)), expected);
+    }
+
+    /// Score::saturating always lands on the scale and is monotone.
+    #[test]
+    fn score_saturating_on_scale(x in -100i64..100, y in -100i64..100) {
+        let sx = Score::saturating(x);
+        let sy = Score::saturating(y);
+        prop_assert!((1..=5).contains(&sx.get()));
+        if x <= y {
+            prop_assert!(sx <= sy);
+        }
+    }
+
+    /// Every zip code resolves to *some* state via the fallback, and the
+    /// direct mapping (when defined) agrees with it.
+    #[test]
+    fn zip_fallback_total(raw in 0u32..100_000) {
+        let zip = Zip::new(raw);
+        let fallback = zip.state_or_fallback();
+        if let Some(direct) = zip.state() {
+            prop_assert_eq!(direct, fallback);
+        }
+        // Display is always five digits.
+        prop_assert_eq!(zip.to_string().len(), 5);
+    }
+
+    /// Prefix ranges and `state_for_prefix` agree.
+    #[test]
+    fn prefix_ranges_consistent(prefix in 0u32..1000) {
+        match zipcode::state_for_prefix(prefix) {
+            Some(state) => {
+                prop_assert!(
+                    zipcode::prefix_ranges(state).any(|(lo, hi)| (lo..=hi).contains(&prefix))
+                );
+            }
+            None => {
+                for s in UsState::ALL {
+                    prop_assert!(
+                        !zipcode::prefix_ranges(s).any(|(lo, hi)| (lo..=hi).contains(&prefix))
+                    );
+                }
+            }
+        }
+    }
+
+    /// RatingStats::merge is equivalent to folding the concatenation, and
+    /// its derived statistics stay within the scale's bounds.
+    #[test]
+    fn stats_merge_associative(
+        xs in proptest::collection::vec(1u8..=5, 0..40),
+        ys in proptest::collection::vec(1u8..=5, 0..40),
+    ) {
+        let score = |v: u8| Score::new(v).unwrap();
+        let a = RatingStats::from_scores(xs.iter().copied().map(score));
+        let b = RatingStats::from_scores(ys.iter().copied().map(score));
+        let mut merged = a;
+        merged.merge(&b);
+        let direct = RatingStats::from_scores(xs.iter().chain(&ys).copied().map(score));
+        prop_assert_eq!(merged, direct);
+        if let Some(m) = merged.mean() {
+            prop_assert!((1.0..=5.0).contains(&m));
+            prop_assert!(merged.mean_abs_deviation().unwrap() <= 4.0);
+            prop_assert!(merged.variance().unwrap() >= 0.0);
+        }
+        prop_assert_eq!(merged.count() as usize, xs.len() + ys.len());
+    }
+
+    /// MAD is never larger than the standard deviation² relationship allows
+    /// and both vanish exactly for constant samples.
+    #[test]
+    fn stats_constant_samples(v in 1u8..=5, n in 1usize..50) {
+        let stats = RatingStats::from_scores(
+            std::iter::repeat_with(|| Score::new(v).unwrap()).take(n),
+        );
+        prop_assert_eq!(stats.mean().unwrap(), f64::from(v));
+        prop_assert_eq!(stats.variance().unwrap(), 0.0);
+        prop_assert_eq!(stats.mean_abs_deviation().unwrap(), 0.0);
+    }
+
+    /// MovieLens code round trips over the whole categorical domains.
+    #[test]
+    fn categorical_round_trips(age_idx in 0usize..7, occ_idx in 0usize..21, g in 0usize..2) {
+        let age = AgeGroup::from_index(age_idx).unwrap();
+        prop_assert_eq!(AgeGroup::from_movielens_code(age.movielens_code()).unwrap(), age);
+        let occ = Occupation::from_index(occ_idx).unwrap();
+        prop_assert_eq!(Occupation::from_movielens_code(occ.movielens_code()).unwrap(), occ);
+        let gender = Gender::from_index(g).unwrap();
+        prop_assert_eq!(Gender::from_letter(gender.letter()).unwrap(), gender);
+    }
+}

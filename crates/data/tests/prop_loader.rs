@@ -1,0 +1,87 @@
+//! Fuzz-style property tests: the MovieLens parsers are total (error,
+//! never panic) on arbitrary input, and the writer/loader pair round-trips
+//! arbitrary well-formed rows.
+
+use maprat_data::loader::{parse_movies, parse_people, parse_ratings, parse_users};
+use proptest::prelude::*;
+
+proptest! {
+    /// The four line parsers never panic on arbitrary text.
+    #[test]
+    fn parsers_are_total(input in ".{0,200}") {
+        let _ = parse_users(&input);
+        let _ = parse_movies(&input);
+        let _ = parse_ratings(&input);
+        let _ = parse_people(&input);
+    }
+
+    /// Structured garbage (correct field counts, wrong values) errors with
+    /// a line-located message rather than panicking.
+    #[test]
+    fn structured_garbage_reports_location(
+        a in "[a-z0-9]{1,6}",
+        b in "[a-z0-9]{1,6}",
+        c in "[a-z0-9]{1,6}",
+    ) {
+        let line = format!("{a}::{b}::{c}::nope::still-nope\n");
+        if let Err(e) = parse_users(&line) {
+            prop_assert!(e.to_string().contains("users.dat:1"), "{e}");
+        }
+        let line = format!("{a}::{b}::{c}::{c}\n");
+        if let Err(e) = parse_ratings(&line) {
+            prop_assert!(e.to_string().contains("ratings.dat:1"), "{e}");
+        }
+    }
+
+    /// Well-formed user rows always parse and preserve their fields.
+    #[test]
+    fn well_formed_users_round_trip(
+        id in 1u32..100_000,
+        male in any::<bool>(),
+        age_idx in 0usize..7,
+        occ in 0u32..21,
+        zip in 0u32..100_000,
+    ) {
+        let age_code = maprat_data::AgeGroup::from_index(age_idx).unwrap().movielens_code();
+        let gender = if male { "M" } else { "F" };
+        let line = format!("{id}::{gender}::{age_code}::{occ}::{zip:05}\n");
+        let rows = parse_users(&line).unwrap();
+        prop_assert_eq!(rows.len(), 1);
+        let (pid, pgender, page, pocc, pzip) = &rows[0];
+        prop_assert_eq!(*pid, id);
+        prop_assert_eq!(pgender.letter(), gender);
+        prop_assert_eq!(page.movielens_code(), age_code);
+        prop_assert_eq!(pocc.movielens_code(), occ);
+        prop_assert_eq!(pzip.value(), zip);
+    }
+
+    /// Well-formed rating rows round-trip.
+    #[test]
+    fn well_formed_ratings_round_trip(
+        user in 1u32..10_000,
+        movie in 1u32..10_000,
+        score in 1u8..=5,
+        ts in 0i64..2_000_000_000,
+    ) {
+        let line = format!("{user}::{movie}::{score}::{ts}\n");
+        let rows = parse_ratings(&line).unwrap();
+        prop_assert_eq!(rows.len(), 1);
+        prop_assert_eq!(rows[0].0, user);
+        prop_assert_eq!(rows[0].1, movie);
+        prop_assert_eq!(rows[0].2.get(), score);
+        prop_assert_eq!(rows[0].3.secs(), ts);
+    }
+
+    /// Movie titles with arbitrary interior text (no `::`) survive the
+    /// title/year split.
+    #[test]
+    fn movie_titles_survive(title in "[a-zA-Z0-9 ,'()é-]{1,40}", year in 1920u16..2020) {
+        let cleaned = title.trim().to_string();
+        prop_assume!(!cleaned.is_empty());
+        let line = format!("7::{cleaned} ({year})::Drama|Comedy\n");
+        let rows = parse_movies(&line).unwrap();
+        prop_assert_eq!(rows.len(), 1);
+        prop_assert_eq!(rows[0].2, year);
+        prop_assert_eq!(rows[0].1.clone(), cleaned);
+    }
+}

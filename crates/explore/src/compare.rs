@@ -1,0 +1,249 @@
+//! The Figure-3 statistics panel: clicking a group shows its rating
+//! histogram and "a convenient way to compare the rating patterns of
+//! related groups".
+//!
+//! *Related* groups are the group's lattice parents (roll-ups) and its
+//! one-attribute-away siblings (same descriptor with one value changed),
+//! restricted to candidates that survived the iceberg threshold.
+
+use crate::session::ExplorationResult;
+use maprat_cube::GroupDesc;
+use maprat_data::{RatingStats, UserAttr};
+
+/// How a related group relates to the selected one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// One constraint removed (lattice parent / roll-up).
+    Parent,
+    /// Same attributes, one value changed.
+    Sibling,
+}
+
+/// A related group and its aggregate.
+#[derive(Debug, Clone)]
+pub struct RelatedGroup {
+    /// Descriptor of the related group.
+    pub desc: GroupDesc,
+    /// Natural-language label.
+    pub label: String,
+    /// Relation to the selected group.
+    pub relation: Relation,
+    /// Aggregate statistics.
+    pub stats: RatingStats,
+}
+
+/// The full statistics panel of one selected group.
+#[derive(Debug, Clone)]
+pub struct GroupDetail {
+    /// The selected descriptor.
+    pub desc: GroupDesc,
+    /// Its label.
+    pub label: String,
+    /// Its aggregate (histogram feeds the panel's bar chart).
+    pub stats: RatingStats,
+    /// Aggregate over the whole `R_I` for contrast.
+    pub total: RatingStats,
+    /// Related groups, parents first, then siblings, each sorted by
+    /// support.
+    pub related: Vec<RelatedGroup>,
+}
+
+/// Builds the panel for a descriptor over a cached exploration result.
+///
+/// Returns `None` when the descriptor is not among the result's candidates.
+pub fn group_detail(result: &ExplorationResult, desc: &GroupDesc) -> Option<GroupDetail> {
+    let cube = &result.cube;
+    let selected = cube.find(desc)?;
+
+    let mut related: Vec<RelatedGroup> = Vec::new();
+    for parent in desc.parents() {
+        if parent.is_all() {
+            continue; // the R_I total plays that role
+        }
+        if let Some(g) = cube.find(&parent) {
+            related.push(RelatedGroup {
+                desc: parent,
+                label: parent.label(),
+                relation: Relation::Parent,
+                stats: g.stats,
+            });
+        }
+    }
+    for attr in UserAttr::ALL {
+        if desc.value(attr).is_none() {
+            continue;
+        }
+        // Rebuild the descriptor with each alternative value of `attr`.
+        for sibling in sibling_descs(desc, attr) {
+            if let Some(g) = cube.find(&sibling) {
+                related.push(RelatedGroup {
+                    desc: sibling,
+                    label: sibling.label(),
+                    relation: Relation::Sibling,
+                    stats: g.stats,
+                });
+            }
+        }
+    }
+    related.sort_by_key(|r| {
+        (
+            match r.relation {
+                Relation::Parent => 0u8,
+                Relation::Sibling => 1,
+            },
+            std::cmp::Reverse(r.stats.count()),
+        )
+    });
+
+    Some(GroupDetail {
+        desc: *desc,
+        label: desc.label(),
+        stats: selected.stats,
+        total: *cube.total_stats(),
+        related,
+    })
+}
+
+/// All descriptors equal to `desc` except for the value of `attr`.
+fn sibling_descs(desc: &GroupDesc, attr: UserAttr) -> Vec<GroupDesc> {
+    let current = desc.value(attr);
+    let mut parent = *desc;
+    // Remove the attr, then re-add each alternative.
+    parent = parent
+        .parents()
+        .into_iter()
+        .find(|p| p.value(attr).is_none())
+        .expect("attr was constrained");
+    parent
+        .children_over(attr)
+        .into_iter()
+        .filter(|child| child.value(attr) != current)
+        .collect()
+}
+
+/// Renders the panel as text (the CLI counterpart of Figure 3).
+pub fn render_detail(detail: &GroupDetail) -> String {
+    use crate::drilldown::sparkline;
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(out, "=== {} ===", detail.label);
+    let _ = writeln!(
+        out,
+        "ratings: n={} avg {:.2} σ {:.2}  histogram {}",
+        detail.stats.count(),
+        detail.stats.mean().unwrap_or(0.0),
+        detail.stats.std_dev().unwrap_or(0.0),
+        sparkline(&detail.stats.histogram()),
+    );
+    let _ = writeln!(
+        out,
+        "all reviewers of the item: n={} avg {:.2}",
+        detail.total.count(),
+        detail.total.mean().unwrap_or(0.0)
+    );
+    if !detail.related.is_empty() {
+        let _ = writeln!(out, "related groups:");
+        for r in &detail.related {
+            let tag = match r.relation {
+                Relation::Parent => "roll-up",
+                Relation::Sibling => "sibling",
+            };
+            let _ = writeln!(
+                out,
+                "  [{tag:<7}] {:<55} avg {:.2} n={}",
+                r.label,
+                r.stats.mean().unwrap_or(0.0),
+                r.stats.count()
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::ExplorationSession;
+    use maprat_core::query::ItemQuery;
+    use maprat_core::SearchSettings;
+    use maprat_cube::GroupDesc;
+    use maprat_data::synth::{generate, SynthConfig};
+    use maprat_data::{Gender, UsState};
+
+    fn fixture() -> (maprat_data::Dataset, SearchSettings) {
+        (
+            generate(&SynthConfig::small(151)).unwrap(),
+            SearchSettings::default().with_min_coverage(0.15),
+        )
+    }
+
+    #[test]
+    fn figure3_panel_for_ca_males() {
+        let (d, settings) = fixture();
+        let session = ExplorationSession::new(&d);
+        let result = session.explain(&ItemQuery::title("Toy Story"), &settings);
+        let r = result.as_ref().as_ref().unwrap();
+        let desc = GroupDesc::from_pairs([Gender::Male.into(), UsState::CA.into()]);
+        let detail = group_detail(r, &desc).expect("CA males are a candidate");
+        assert_eq!(detail.label, "male reviewers from California");
+        assert!(detail.stats.count() > 0);
+        assert!(detail.total.count() >= detail.stats.count());
+        // Related groups include the state roll-up and the female sibling
+        // when above threshold.
+        assert!(detail
+            .related
+            .iter()
+            .any(|g| g.relation == Relation::Parent));
+        let has_female_sibling = detail.related.iter().any(|g| {
+            g.relation == Relation::Sibling && g.label.contains("female")
+        });
+        assert!(has_female_sibling, "{:#?}", detail.related.iter().map(|r| &r.label).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parents_order_before_siblings() {
+        let (d, settings) = fixture();
+        let session = ExplorationSession::new(&d);
+        let result = session.explain(&ItemQuery::title("Toy Story"), &settings);
+        let r = result.as_ref().as_ref().unwrap();
+        let desc = GroupDesc::from_pairs([Gender::Male.into(), UsState::CA.into()]);
+        let detail = group_detail(r, &desc).unwrap();
+        let first_sibling = detail
+            .related
+            .iter()
+            .position(|g| g.relation == Relation::Sibling);
+        let last_parent = detail
+            .related
+            .iter()
+            .rposition(|g| g.relation == Relation::Parent);
+        if let (Some(fs), Some(lp)) = (first_sibling, last_parent) {
+            assert!(lp < fs);
+        }
+    }
+
+    #[test]
+    fn unknown_group_none() {
+        let (d, settings) = fixture();
+        let session = ExplorationSession::new(&d);
+        let result = session.explain(&ItemQuery::title("Toy Story"), &settings);
+        let r = result.as_ref().as_ref().unwrap();
+        let desc = GroupDesc::from_pairs([
+            maprat_data::AVPair::from(maprat_data::Occupation::Farmer),
+            UsState::WY.into(),
+        ]);
+        assert!(group_detail(r, &desc).is_none());
+    }
+
+    #[test]
+    fn render_contains_histogram_and_related() {
+        let (d, settings) = fixture();
+        let session = ExplorationSession::new(&d);
+        let result = session.explain(&ItemQuery::title("Toy Story"), &settings);
+        let r = result.as_ref().as_ref().unwrap();
+        let desc = r.explanation.similarity.groups[0].desc;
+        let detail = group_detail(r, &desc).unwrap();
+        let text = render_detail(&detail);
+        assert!(text.contains("histogram"));
+        assert!(text.contains("all reviewers of the item"));
+    }
+}

@@ -1,0 +1,129 @@
+//! State → city drill-down over an explained group (§3.1: "It is also
+//! possible to drill down and view the city level aggregate movie rating
+//! statistics for each of the groups").
+
+use crate::session::ExplorationResult;
+use maprat_cube::drill::{drill_to_cities, CityStats};
+use maprat_cube::GroupDesc;
+use maprat_data::Dataset;
+
+/// Drills into a group of a cached exploration result.
+///
+/// Returns `None` when the descriptor is not among the result's candidates
+/// or carries no state condition.
+pub fn drill_group(
+    dataset: &Dataset,
+    result: &ExplorationResult,
+    desc: &GroupDesc,
+) -> Option<Vec<CityStats>> {
+    let group = result.cube.find(desc)?;
+    drill_to_cities(dataset, &result.cube, group)
+}
+
+/// Renders a drill-down as a text table with histogram sparklines.
+pub fn render_drilldown(desc: &GroupDesc, cities: &[CityStats]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(out, "city-level statistics for {}", desc.label());
+    let mut sorted: Vec<&CityStats> = cities.iter().collect();
+    sorted.sort_by_key(|c| std::cmp::Reverse(c.stats.count()));
+    for c in sorted {
+        if c.stats.is_empty() {
+            let _ = writeln!(out, "  {:<18} (no ratings)", c.city);
+        } else {
+            let _ = writeln!(
+                out,
+                "  {:<18} avg {:.2}  n={:<4} {}",
+                c.city,
+                c.stats.mean().unwrap(),
+                c.stats.count(),
+                sparkline(&c.stats.histogram())
+            );
+        }
+    }
+    out
+}
+
+/// Unicode bar sparkline of a 5-bucket histogram.
+pub fn sparkline(hist: &[u64; 5]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = hist.iter().copied().max().unwrap_or(0);
+    if max == 0 {
+        return "▁▁▁▁▁".to_string();
+    }
+    hist.iter()
+        .map(|&v| {
+            let level = (v * (BARS.len() as u64 - 1)).div_ceil(max) as usize;
+            BARS[level.min(BARS.len() - 1)]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::ExplorationSession;
+    use maprat_core::query::ItemQuery;
+    use maprat_core::SearchSettings;
+    use maprat_data::synth::{generate, SynthConfig};
+    use maprat_data::{Gender, UsState};
+
+    #[test]
+    fn drill_into_explained_group() {
+        let d = generate(&SynthConfig::small(141)).unwrap();
+        let session = ExplorationSession::new(&d);
+        let settings = SearchSettings::default().with_min_coverage(0.15);
+        let result = session.explain(&ItemQuery::title("Toy Story"), &settings);
+        let r = result.as_ref().as_ref().expect("explanation succeeds");
+        // Drill into whichever SM group came back first.
+        let desc = r.explanation.similarity.groups[0].desc;
+        let cities = drill_group(&d, r, &desc).expect("geo group drills");
+        let total: u64 = cities.iter().map(|c| c.stats.count()).sum();
+        assert_eq!(total as usize, r.explanation.similarity.groups[0].support);
+    }
+
+    #[test]
+    fn unknown_descriptor_returns_none() {
+        let d = generate(&SynthConfig::tiny(142)).unwrap();
+        let session = ExplorationSession::new(&d);
+        let settings = SearchSettings::default()
+            .with_min_coverage(0.1)
+            .with_require_geo(false);
+        let result = session.explain(&ItemQuery::title("Toy Story"), &settings);
+        let r = result.as_ref().as_ref().unwrap();
+        // A maximally specific descriptor that almost surely missed the
+        // iceberg threshold:
+        let desc = GroupDesc::from_pairs([
+            maprat_data::AVPair::from(Gender::Female),
+            maprat_data::AgeGroup::Above56.into(),
+            maprat_data::Occupation::Farmer.into(),
+            UsState::WY.into(),
+        ]);
+        assert!(drill_group(&d, r, &desc).is_none());
+    }
+
+    #[test]
+    fn sparkline_levels() {
+        assert_eq!(sparkline(&[0, 0, 0, 0, 0]), "▁▁▁▁▁");
+        let s = sparkline(&[0, 1, 2, 4, 8]);
+        assert_eq!(s.chars().count(), 5);
+        let chars: Vec<char> = s.chars().collect();
+        assert_eq!(chars[0], '▁');
+        assert_eq!(chars[4], '█');
+        assert!(chars[3] > chars[1]);
+    }
+
+    #[test]
+    fn render_sorts_by_volume() {
+        let d = generate(&SynthConfig::small(143)).unwrap();
+        let session = ExplorationSession::new(&d);
+        let settings = SearchSettings::default().with_min_coverage(0.15);
+        let result = session.explain(&ItemQuery::title("Toy Story"), &settings);
+        let r = result.as_ref().as_ref().unwrap();
+        let desc = r.explanation.similarity.groups[0].desc;
+        let cities = drill_group(&d, r, &desc).unwrap();
+        let text = render_drilldown(&desc, &cities);
+        assert!(text.contains("city-level statistics"));
+        assert!(text.lines().count() >= cities.len());
+    }
+}

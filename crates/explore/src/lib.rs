@@ -1,0 +1,34 @@
+//! The interactive exploration engine of MapRat (§2.3, §3.1).
+//!
+//! This crate glues mining, geography and caching into the behaviours the
+//! demo exposes:
+//!
+//! * [`session::ExplorationSession`] — caches `(query, settings) →
+//!   explanation+cube` so repeated and drilled-into queries answer at
+//!   cache latency (§2.3's pre-computation/caching claim);
+//! * [`render`] — turns each interpretation into a [`maprat_geo`]
+//!   choropleth (the SM and DM tabs);
+//! * [`timeline`] — the time slider: month-windowed re-mining showing how
+//!   explanations evolve (§3.1's Toy Story narration);
+//! * [`drilldown`] — state → city statistics for a selected group;
+//! * [`compare`] — the Figure-3 statistics panel: histogram plus related
+//!   groups (parents and one-attribute-away siblings);
+//! * [`personalize`] — constrains the mined groups to a visitor profile so
+//!   "the resulting groups are the ones the user most self-identifies
+//!   with".
+
+#![warn(missing_docs)]
+
+pub mod compare;
+pub mod drilldown;
+pub mod overlay;
+pub mod personalize;
+pub mod render;
+pub mod session;
+pub mod timeline;
+
+pub use compare::{GroupDetail, RelatedGroup, Relation};
+pub use overlay::overlay_maps;
+pub use render::{exploration_maps, interpretation_map};
+pub use session::{ExplorationResult, ExplorationSession};
+pub use timeline::{TimelinePoint, TimeSlider};

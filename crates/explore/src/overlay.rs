@@ -1,0 +1,173 @@
+//! Overlaying explanations (§2.3: the geo anchor "provides a mechanism to
+//! overlay explanations from different interpretations").
+//!
+//! An overlay combines the SM and DM tabs of one exploration into a single
+//! choropleth: states selected by both interpretations are shaded by their
+//! *combined* (support-weighted) average and annotated with both labels,
+//! so a user sees at a glance where the consistent and the contested
+//! sub-populations live.
+
+use maprat_core::Explanation;
+use maprat_data::AttrValue;
+use maprat_geo::choropleth::{non_geo_values, StateShade};
+use maprat_geo::Choropleth;
+use std::collections::BTreeMap;
+
+/// One state's overlaid evidence.
+#[derive(Debug, Clone)]
+struct OverlayCell {
+    labels: Vec<String>,
+    weighted_sum: f64,
+    support: usize,
+    values: Vec<AttrValue>,
+}
+
+/// Builds the combined SM+DM choropleth of an explanation.
+pub fn overlay_maps(explanation: &Explanation) -> Choropleth {
+    let mut cells: BTreeMap<maprat_data::UsState, OverlayCell> = BTreeMap::new();
+    for (tag, interp) in [
+        ("SM", &explanation.similarity),
+        ("DM", &explanation.diversity),
+    ] {
+        for group in &interp.groups {
+            let Some(state) = group.desc.state() else {
+                continue;
+            };
+            let Some(mean) = group.stats.mean() else {
+                continue;
+            };
+            let entry = cells.entry(state).or_insert_with(|| OverlayCell {
+                labels: Vec::new(),
+                weighted_sum: 0.0,
+                support: 0,
+                values: Vec::new(),
+            });
+            let label = format!("[{tag}] {}", group.label);
+            if !entry.labels.contains(&label) {
+                entry.labels.push(label);
+                entry.weighted_sum += mean * group.support as f64;
+                entry.support += group.support;
+                for pair in group.desc.pairs() {
+                    if !entry.values.contains(&pair.value) {
+                        entry.values.push(pair.value);
+                    }
+                }
+            }
+        }
+    }
+
+    let mut map = Choropleth::new(format!("Overlay (SM + DM) — {}", explanation.query));
+    for (state, cell) in cells {
+        if cell.support == 0 {
+            continue;
+        }
+        map.add(StateShade::new(
+            state,
+            cell.weighted_sum / cell.support as f64,
+            cell.labels.join(" + "),
+            cell.support,
+            &non_geo_values(&cell.values),
+        ));
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maprat_core::query::ItemQuery;
+    use maprat_core::{Miner, SearchSettings};
+    use maprat_data::synth::{generate, SynthConfig};
+
+    fn explanation() -> Explanation {
+        let d = generate(&SynthConfig::small(411)).unwrap();
+        let miner = Miner::new(&d);
+        miner
+            .explain(
+                &ItemQuery::title("Toy Story"),
+                &SearchSettings::default().with_min_coverage(0.2),
+            )
+            .unwrap()
+    }
+
+    #[test]
+    fn overlay_unions_both_tabs() {
+        let e = explanation();
+        let overlay = overlay_maps(&e);
+        let sm_states: std::collections::BTreeSet<_> = e
+            .similarity
+            .groups
+            .iter()
+            .filter_map(|g| g.desc.state())
+            .collect();
+        let dm_states: std::collections::BTreeSet<_> = e
+            .diversity
+            .groups
+            .iter()
+            .filter_map(|g| g.desc.state())
+            .collect();
+        let union: std::collections::BTreeSet<_> =
+            sm_states.union(&dm_states).copied().collect();
+        assert_eq!(overlay.len(), union.len());
+        assert!(overlay.title.contains("Overlay"));
+    }
+
+    #[test]
+    fn shared_state_labels_mention_both_tasks() {
+        let e = explanation();
+        let overlay = overlay_maps(&e);
+        // If any state is picked by both interpretations, its label must
+        // carry both tags; otherwise every label carries exactly one tag.
+        for shade in overlay.shades() {
+            assert!(shade.label.contains("[SM]") || shade.label.contains("[DM]"));
+        }
+        let dup_state = e
+            .similarity
+            .groups
+            .iter()
+            .filter_map(|g| g.desc.state())
+            .find(|s| {
+                e.diversity
+                    .groups
+                    .iter()
+                    .filter_map(|g| g.desc.state())
+                    .any(|d| d == *s)
+            });
+        if let Some(state) = dup_state {
+            let shade = overlay.shade(state).unwrap();
+            assert!(
+                shade.label.contains("[SM]") && shade.label.contains("[DM]"),
+                "{}",
+                shade.label
+            );
+        }
+    }
+
+    #[test]
+    fn overlay_values_stay_on_scale() {
+        let e = explanation();
+        for shade in overlay_maps(&e).shades() {
+            assert!((1.0..=5.0).contains(&shade.value));
+            assert!(shade.support > 0);
+        }
+    }
+
+    #[test]
+    fn identical_group_in_both_tabs_counted_once() {
+        let e = explanation();
+        let overlay = overlay_maps(&e);
+        // Toy Story's CA-males frequently win both tabs; the combined
+        // support must not double-count the identical group.
+        for shade in overlay.shades() {
+            let max_single: usize = e
+                .similarity
+                .groups
+                .iter()
+                .chain(&e.diversity.groups)
+                .filter(|g| g.desc.state() == Some(shade.state))
+                .map(|g| g.support)
+                .sum();
+            assert!(shade.support <= max_single);
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Demographic personalization (§3.1): "MapRat can exploit any user
+//! demographic information (gender, age, location or occupation) available
+//! to constrain the groups that are highlighted. This ensures that the
+//! resulting groups are the ones that user most self-identifies with."
+
+use maprat_core::query::ItemQuery;
+use maprat_core::{Explanation, MineError, Miner, SearchSettings};
+use maprat_cube::CandidateGroup;
+use maprat_data::AttrValue;
+
+/// A (partial) visitor profile: any subset of the four demographics.
+#[derive(Debug, Clone, Default)]
+pub struct VisitorProfile {
+    values: Vec<AttrValue>,
+}
+
+impl VisitorProfile {
+    /// An empty profile (no constraint).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a known demographic; later values for the same attribute
+    /// replace earlier ones.
+    pub fn with(mut self, value: AttrValue) -> Self {
+        self.values.retain(|v| v.attr() != value.attr());
+        self.values.push(value);
+        self
+    }
+
+    /// The declared values.
+    pub fn values(&self) -> &[AttrValue] {
+        &self.values
+    }
+
+    /// Whether nothing is declared.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Whether a candidate group is one the visitor can self-identify
+    /// with: every attribute the group constrains *and* the visitor
+    /// declares must agree. Attributes the visitor left blank are
+    /// unconstrained.
+    pub fn compatible(&self, group: &CandidateGroup) -> bool {
+        self.values.iter().all(|&v| {
+            match group.desc.value(v.attr()) {
+                Some(group_value) => group_value == v,
+                None => true,
+            }
+        })
+    }
+}
+
+/// Explains a query with the candidate pool constrained to the visitor's
+/// profile.
+///
+/// Degrades gracefully: if the constrained pool is empty, falls back to the
+/// unconstrained pool (an anonymous visitor sees the ordinary result).
+pub fn personalized_explain(
+    miner: &Miner<'_>,
+    query: &ItemQuery,
+    settings: &SearchSettings,
+    profile: &VisitorProfile,
+) -> Result<Explanation, MineError> {
+    let (items, cube) = miner.build_cube(query, settings)?;
+    if profile.is_empty() {
+        return miner.explain_cube(query, items, &cube, settings);
+    }
+    let constrained = cube.filtered(|g| profile.compatible(g));
+    if constrained.is_empty() {
+        return miner.explain_cube(query, items, &cube, settings);
+    }
+    miner.explain_cube(query, items, &constrained, settings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maprat_data::synth::{generate, SynthConfig};
+    use maprat_data::{AgeGroup, Gender, UserAttr, UsState};
+
+    fn fixture() -> (maprat_data::Dataset, SearchSettings) {
+        (
+            generate(&SynthConfig::small(161)).unwrap(),
+            SearchSettings::default().with_min_coverage(0.05),
+        )
+    }
+
+    #[test]
+    fn profile_replaces_same_attribute() {
+        let p = VisitorProfile::new()
+            .with(AttrValue::Gender(Gender::Male))
+            .with(AttrValue::Gender(Gender::Female));
+        assert_eq!(p.values().len(), 1);
+        assert_eq!(p.values()[0], AttrValue::Gender(Gender::Female));
+    }
+
+    #[test]
+    fn personalized_groups_match_profile() {
+        let (d, settings) = fixture();
+        let miner = Miner::new(&d);
+        let profile = VisitorProfile::new()
+            .with(AttrValue::Gender(Gender::Female))
+            .with(AttrValue::Age(AgeGroup::Under18));
+        let e = personalized_explain(
+            &miner,
+            &ItemQuery::title("The Twilight Saga: Eclipse"),
+            &settings,
+            &profile,
+        )
+        .unwrap();
+        for g in e.similarity.groups.iter().chain(&e.diversity.groups) {
+            if let Some(AttrValue::Gender(gv)) = g.desc.value(UserAttr::Gender) {
+                assert_eq!(gv, Gender::Female, "{}", g.label);
+            }
+            if let Some(AttrValue::Age(av)) = g.desc.value(UserAttr::Age) {
+                assert_eq!(av, AgeGroup::Under18, "{}", g.label);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_profile_equals_plain_explain() {
+        let (d, settings) = fixture();
+        let miner = Miner::new(&d);
+        let q = ItemQuery::title("Toy Story");
+        let plain = miner.explain(&q, &settings).unwrap();
+        let personalized =
+            personalized_explain(&miner, &q, &settings, &VisitorProfile::new()).unwrap();
+        let labels = |e: &Explanation| -> Vec<String> {
+            e.similarity.groups.iter().map(|g| g.label.clone()).collect()
+        };
+        assert_eq!(labels(&plain), labels(&personalized));
+    }
+
+    #[test]
+    fn impossible_profile_falls_back() {
+        let (d, mut settings) = fixture();
+        settings.min_support = 10_000; // no group is this popular except none
+        settings.min_support = 50; // keep the cube non-empty
+        let miner = Miner::new(&d);
+        // A profile so specific that (at small scale) no candidate matches
+        // its exact state+age+occupation combination.
+        let profile = VisitorProfile::new()
+            .with(AttrValue::State(UsState::WY))
+            .with(AttrValue::Age(AgeGroup::Above56))
+            .with(AttrValue::Gender(Gender::Female));
+        let result = personalized_explain(
+            &miner,
+            &ItemQuery::title("Toy Story"),
+            &settings,
+            &profile,
+        );
+        // Either personalized (if candidates exist) or fallback — but never
+        // an error caused by the profile.
+        assert!(result.is_ok());
+    }
+
+    #[test]
+    fn compatibility_semantics() {
+        let (d, settings) = fixture();
+        let miner = Miner::new(&d);
+        let (_, cube) = miner
+            .build_cube(&ItemQuery::title("Toy Story"), &settings)
+            .unwrap();
+        let profile = VisitorProfile::new().with(AttrValue::Gender(Gender::Male));
+        for g in cube.groups() {
+            let expected = !matches!(
+                g.desc.value(UserAttr::Gender),
+                Some(AttrValue::Gender(Gender::Female))
+            );
+            assert_eq!(profile.compatible(g), expected, "{}", g.desc);
+        }
+    }
+}

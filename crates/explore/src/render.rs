@@ -1,0 +1,118 @@
+//! Interpretation → choropleth rendering (the SM / DM tabs of §2.3).
+
+use maprat_core::{Explanation, Interpretation};
+use maprat_geo::choropleth::{non_geo_values, StateShade};
+use maprat_geo::Choropleth;
+use maprat_data::AttrValue;
+
+/// Renders one interpretation tab as a choropleth. Groups without a geo
+/// condition (possible when `require_geo` is off) are skipped — they are
+/// not visualizable on the map, matching the demo's constraint.
+pub fn interpretation_map(interp: &Interpretation, title: impl Into<String>) -> Choropleth {
+    let mut map = Choropleth::new(title);
+    for group in &interp.groups {
+        let Some(state) = group.desc.state() else {
+            continue;
+        };
+        let values: Vec<AttrValue> = group.desc.pairs().iter().map(|p| p.value).collect();
+        map.add(StateShade::new(
+            state,
+            group.stats.mean().unwrap_or(3.0),
+            group.label.clone(),
+            group.support,
+            &non_geo_values(&values),
+        ));
+    }
+    map
+}
+
+/// Renders both tabs of an explanation — the "exploration" of §2.3: "The
+/// set of these Choropleth maps form an exploration."
+pub fn exploration_maps(explanation: &Explanation) -> (Choropleth, Choropleth) {
+    let sm = interpretation_map(
+        &explanation.similarity,
+        format!("Similarity Mining — {}", explanation.query),
+    );
+    let dm = interpretation_map(
+        &explanation.diversity,
+        format!("Diversity Mining — {}", explanation.query),
+    );
+    (sm, dm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maprat_core::query::ItemQuery;
+    use maprat_core::{Miner, SearchSettings};
+    use maprat_data::synth::{generate, SynthConfig};
+
+    #[test]
+    fn maps_carry_group_shades() {
+        let d = generate(&SynthConfig::tiny(121)).unwrap();
+        let miner = Miner::new(&d);
+        let e = miner
+            .explain(
+                &ItemQuery::title("Toy Story"),
+                &SearchSettings::default().with_min_coverage(0.1),
+            )
+            .unwrap();
+        let (sm, dm) = exploration_maps(&e);
+        assert!(!sm.is_empty());
+        assert!(!dm.is_empty());
+        assert!(sm.title.contains("Similarity"));
+        assert!(dm.title.contains("Diversity"));
+        // Shades + extras account for every geo-anchored group.
+        let geo_groups = e
+            .similarity
+            .groups
+            .iter()
+            .filter(|g| g.desc.state().is_some())
+            .count();
+        assert_eq!(sm.len() + sm.extras().len(), geo_groups);
+    }
+
+    #[test]
+    fn non_geo_groups_skipped() {
+        let d = generate(&SynthConfig::tiny(122)).unwrap();
+        let miner = Miner::new(&d);
+        let e = miner
+            .explain(
+                &ItemQuery::title("The Twilight Saga: Eclipse"),
+                &SearchSettings::default()
+                    .with_require_geo(false)
+                    .with_min_coverage(0.1),
+            )
+            .unwrap();
+        let (sm, _) = exploration_maps(&e);
+        let geo_groups = e
+            .similarity
+            .groups
+            .iter()
+            .filter(|g| g.desc.state().is_some())
+            .count();
+        assert_eq!(sm.len() + sm.extras().len(), geo_groups);
+    }
+
+    #[test]
+    fn shade_values_are_group_means() {
+        let d = generate(&SynthConfig::tiny(123)).unwrap();
+        let miner = Miner::new(&d);
+        let e = miner
+            .explain(
+                &ItemQuery::title("Toy Story"),
+                &SearchSettings::default().with_min_coverage(0.1),
+            )
+            .unwrap();
+        let (sm, _) = exploration_maps(&e);
+        for g in &e.similarity.groups {
+            if let Some(state) = g.desc.state() {
+                if let Some(shade) = sm.shade(state) {
+                    if shade.label == g.label {
+                        assert!((shade.value - g.stats.mean().unwrap()).abs() < 1e-12);
+                    }
+                }
+            }
+        }
+    }
+}

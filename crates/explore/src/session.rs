@@ -1,0 +1,221 @@
+//! Cached exploration sessions.
+
+use maprat_cache::{CacheStats, ShardedCache};
+use maprat_core::query::ItemQuery;
+use maprat_core::{Explanation, MineError, Miner, SearchSettings};
+use maprat_cube::RatingCube;
+use maprat_data::{Dataset, ItemId};
+use std::sync::Arc;
+
+/// Everything one explained query produces: the user-facing explanation
+/// plus the cube it was mined from (kept for drill-down and comparison,
+/// which revisit covers).
+#[derive(Debug)]
+pub struct ExplorationResult {
+    /// The explanation (both tabs).
+    pub explanation: Explanation,
+    /// The candidate cube (for drill-down / related-group statistics).
+    pub cube: RatingCube,
+    /// The matched items.
+    pub items: Vec<ItemId>,
+}
+
+/// A session: a dataset, a miner and a result cache.
+///
+/// The cache key fingerprints both the query and the settings, so moving
+/// the time slider or changing `k` never serves stale results.
+pub struct ExplorationSession<'a> {
+    miner: Miner<'a>,
+    cache: ShardedCache<String, Result<ExplorationResult, MineError>>,
+}
+
+/// Builds the cache key for a query/settings pair.
+pub fn query_key(query: &ItemQuery, settings: &SearchSettings) -> String {
+    format!(
+        "{}|k={}|α={:.4}|s={}|geo={}|arity={}|λ={:.4}|restarts={}|iters={}|seed={}",
+        query.describe(),
+        settings.max_groups,
+        settings.min_coverage,
+        settings.min_support,
+        settings.require_geo,
+        settings.max_arity,
+        settings.dm_lambda,
+        settings.rhe.restarts,
+        settings.rhe.max_iterations,
+        settings.rhe.seed,
+    )
+}
+
+impl<'a> ExplorationSession<'a> {
+    /// Creates a session with the default cache size (4 shards × 64).
+    pub fn new(dataset: &'a Dataset) -> Self {
+        Self::with_cache_size(dataset, 4, 64)
+    }
+
+    /// Creates a session with an explicit cache geometry.
+    pub fn with_cache_size(dataset: &'a Dataset, shards: usize, per_shard: usize) -> Self {
+        ExplorationSession {
+            miner: Miner::new(dataset),
+            cache: ShardedCache::new(shards, per_shard),
+        }
+    }
+
+    /// The underlying dataset.
+    pub fn dataset(&self) -> &'a Dataset {
+        self.miner.dataset()
+    }
+
+    /// The underlying miner (for uncached access).
+    pub fn miner(&self) -> &Miner<'a> {
+        &self.miner
+    }
+
+    /// Cache telemetry.
+    pub fn cache_stats(&self) -> Arc<CacheStats> {
+        self.cache.stats()
+    }
+
+    /// Explains a query, serving from cache when possible.
+    pub fn explain(
+        &self,
+        query: &ItemQuery,
+        settings: &SearchSettings,
+    ) -> Arc<Result<ExplorationResult, MineError>> {
+        let key = query_key(query, settings);
+        self.cache.get_or_insert_with(key, || {
+            self.miner.build_cube(query, settings).and_then(|(items, cube)| {
+                let explanation = self.miner.explain_cube(query, items.clone(), &cube, settings)?;
+                Ok(ExplorationResult {
+                    explanation,
+                    cube,
+                    items,
+                })
+            })
+        })
+    }
+
+    /// Pre-computes explanations for the `n` most-rated items (the paper's
+    /// "aggressive … result pre-computation": popular movies answer at
+    /// cache latency from the first request).
+    ///
+    /// Returns the number of items successfully pre-computed.
+    pub fn precompute_popular(&self, n: usize, settings: &SearchSettings) -> usize {
+        let dataset = self.dataset();
+        let mut by_count: Vec<(usize, ItemId)> = dataset
+            .items()
+            .iter()
+            .map(|it| (dataset.ratings_for_item(it.id).len(), it.id))
+            .collect();
+        by_count.sort_by_key(|&(n, id)| (std::cmp::Reverse(n), id));
+        let mut ok = 0;
+        for &(_, item) in by_count.iter().take(n) {
+            let query = ItemQuery::title(&dataset.item(item).title);
+            if self.explain(&query, settings).is_ok() {
+                ok += 1;
+            }
+        }
+        ok
+    }
+
+    /// Drops all cached results (the dataset changed, settings sweep, …).
+    pub fn clear_cache(&self) {
+        self.cache.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maprat_data::synth::{generate, SynthConfig};
+
+    fn dataset() -> Dataset {
+        generate(&SynthConfig::tiny(111)).unwrap()
+    }
+
+    fn settings() -> SearchSettings {
+        SearchSettings::default()
+            .with_min_coverage(0.1)
+            .with_require_geo(false)
+    }
+
+    #[test]
+    fn repeated_queries_hit_cache() {
+        let d = dataset();
+        let session = ExplorationSession::new(&d);
+        let q = ItemQuery::title("Toy Story");
+        let s = settings();
+        let first = session.explain(&q, &s);
+        assert!(first.is_ok());
+        let misses_after_first = session.cache_stats().misses();
+        let second = session.explain(&q, &s);
+        assert!(second.is_ok());
+        assert_eq!(
+            session.cache_stats().misses(),
+            misses_after_first,
+            "second query must not miss"
+        );
+        assert!(session.cache_stats().hits() >= 1);
+        assert!(Arc::ptr_eq(&first, &second), "same cached value");
+    }
+
+    #[test]
+    fn settings_change_invalidates_key() {
+        let d = dataset();
+        let session = ExplorationSession::new(&d);
+        let q = ItemQuery::title("Toy Story");
+        let a = session.explain(&q, &settings());
+        let b = session.explain(&q, &settings().with_max_groups(2));
+        assert!(!Arc::ptr_eq(&a, &b), "different settings → different entries");
+    }
+
+    #[test]
+    fn errors_are_cached_too() {
+        let d = dataset();
+        let session = ExplorationSession::new(&d);
+        let q = ItemQuery::title("No Such Movie");
+        let r = session.explain(&q, &settings());
+        assert!(matches!(&*r, Err(MineError::NoMatchingItems(_))));
+        let _ = session.explain(&q, &settings());
+        assert!(session.cache_stats().hits() >= 1, "negative caching");
+    }
+
+    #[test]
+    fn precompute_warms_cache() {
+        let d = dataset();
+        let session = ExplorationSession::new(&d);
+        let s = settings();
+        let warmed = session.precompute_popular(3, &s);
+        assert!(warmed >= 1);
+        let misses_before = session.cache_stats().misses();
+        // The most-rated item is planted Toy Story at tiny scale; query it.
+        let top = d
+            .items()
+            .iter()
+            .max_by_key(|it| d.ratings_for_item(it.id).len())
+            .unwrap();
+        let _ = session.explain(&ItemQuery::title(&top.title), &s);
+        assert_eq!(session.cache_stats().misses(), misses_before);
+    }
+
+    #[test]
+    fn clear_cache_forces_recompute() {
+        let d = dataset();
+        let session = ExplorationSession::new(&d);
+        let q = ItemQuery::title("Toy Story");
+        let s = settings();
+        let _ = session.explain(&q, &s);
+        session.clear_cache();
+        let misses_before = session.cache_stats().misses();
+        let _ = session.explain(&q, &s);
+        assert_eq!(session.cache_stats().misses(), misses_before + 1);
+    }
+
+    #[test]
+    fn key_distinguishes_time_windows() {
+        use maprat_data::{TimeRange, Timestamp};
+        let q1 = ItemQuery::title("Toy Story");
+        let q2 = ItemQuery::title("Toy Story")
+            .within(TimeRange::until(Timestamp::from_ymd(2001, 1, 1)));
+        assert_ne!(query_key(&q1, &settings()), query_key(&q2, &settings()));
+    }
+}

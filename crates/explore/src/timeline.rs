@@ -1,0 +1,231 @@
+//! The time slider (§3.1): "Moving the time slider over the range of
+//! values allows the user to observe reviewer groups that provide best
+//! interpretations for the movie and how they change over time."
+//!
+//! A [`TimeSlider`] splits the dataset's rating history into month windows
+//! and re-mines the query inside each, producing a [`TimelinePoint`]
+//! series: window, volume, overall mean and the top SM groups.
+
+use crate::session::ExplorationSession;
+use maprat_core::query::ItemQuery;
+use maprat_core::{MineError, SearchSettings};
+use maprat_data::{MonthKey, TimeRange};
+
+/// One position of the slider.
+#[derive(Debug, Clone)]
+pub struct TimelinePoint {
+    /// First month of the window (inclusive).
+    pub from: MonthKey,
+    /// Last month of the window (inclusive).
+    pub to: MonthKey,
+    /// Ratings in the window.
+    pub num_ratings: usize,
+    /// Overall mean in the window.
+    pub overall_mean: Option<f64>,
+    /// The SM groups of the window: `(label, mean, support)`.
+    pub top_groups: Vec<(String, f64, usize)>,
+    /// Why the window produced no groups, when it did not.
+    pub skipped: Option<String>,
+}
+
+/// A slider over a query.
+pub struct TimeSlider {
+    months: Vec<MonthKey>,
+    /// Window length in months.
+    pub window: usize,
+    /// Step between consecutive windows in months.
+    pub step: usize,
+}
+
+impl TimeSlider {
+    /// Builds a slider spanning the whole dataset history.
+    pub fn over_dataset(
+        session: &ExplorationSession<'_>,
+        window: usize,
+        step: usize,
+    ) -> Option<TimeSlider> {
+        let (lo, hi) = session.dataset().time_span()?;
+        let months: Vec<MonthKey> = lo.month_key().iter_through(hi.month_key()).collect();
+        (window >= 1 && step >= 1).then_some(TimeSlider {
+            months,
+            window,
+            step,
+        })
+    }
+
+    /// The window start months.
+    pub fn positions(&self) -> Vec<MonthKey> {
+        if self.months.is_empty() {
+            return Vec::new();
+        }
+        self.months.iter().copied().step_by(self.step).collect()
+    }
+
+    /// The inclusive month range of the window starting at `from`.
+    pub fn window_at(&self, from: MonthKey) -> (MonthKey, MonthKey) {
+        let mut to = from;
+        for _ in 1..self.window {
+            to = to.succ();
+        }
+        (from, to)
+    }
+
+    /// Mines every window and returns the evolution series.
+    pub fn sweep(
+        &self,
+        session: &ExplorationSession<'_>,
+        query: &ItemQuery,
+        settings: &SearchSettings,
+    ) -> Vec<TimelinePoint> {
+        let mut out = Vec::new();
+        for from in self.positions() {
+            let (from, to) = self.window_at(from);
+            let windowed = query.clone().within(TimeRange::months(from..=to));
+            let result = session.explain(&windowed, settings);
+            let point = match &*result {
+                Ok(r) => TimelinePoint {
+                    from,
+                    to,
+                    num_ratings: r.explanation.num_ratings,
+                    overall_mean: r.explanation.total.mean(),
+                    top_groups: r
+                        .explanation
+                        .similarity
+                        .groups
+                        .iter()
+                        .map(|g| (g.label.clone(), g.stats.mean().unwrap_or(0.0), g.support))
+                        .collect(),
+                    skipped: None,
+                },
+                Err(MineError::NoRatings) | Err(MineError::NoCandidates) => TimelinePoint {
+                    from,
+                    to,
+                    num_ratings: 0,
+                    overall_mean: None,
+                    top_groups: Vec::new(),
+                    skipped: Some("too few ratings in window".into()),
+                },
+                Err(e) => TimelinePoint {
+                    from,
+                    to,
+                    num_ratings: 0,
+                    overall_mean: None,
+                    top_groups: Vec::new(),
+                    skipped: Some(e.to_string()),
+                },
+            };
+            out.push(point);
+        }
+        out
+    }
+}
+
+/// Renders a sweep as a compact text table (CLI examples / experiments).
+pub fn render_sweep(points: &[TimelinePoint]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<18} {:>8} {:>6}  top similarity groups",
+        "window", "ratings", "mean"
+    );
+    for p in points {
+        let groups = if let Some(reason) = &p.skipped {
+            format!("— ({reason})")
+        } else {
+            p.top_groups
+                .iter()
+                .map(|(label, mean, _)| format!("{label} ({mean:.2})"))
+                .collect::<Vec<_>>()
+                .join("; ")
+        };
+        let _ = writeln!(
+            out,
+            "{:<18} {:>8} {:>6}  {}",
+            format!("{}..{}", p.from, p.to),
+            p.num_ratings,
+            p.overall_mean
+                .map(|m| format!("{m:.2}"))
+                .unwrap_or_else(|| "—".into()),
+            groups
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maprat_data::synth::{generate, SynthConfig};
+
+    fn settings() -> SearchSettings {
+        SearchSettings::default()
+            .with_min_coverage(0.1)
+            .with_require_geo(false)
+    }
+
+    #[test]
+    fn slider_covers_dataset_span() {
+        let d = generate(&SynthConfig::tiny(131)).unwrap();
+        let session = ExplorationSession::new(&d);
+        let slider = TimeSlider::over_dataset(&session, 6, 6).unwrap();
+        let positions = slider.positions();
+        assert!(!positions.is_empty());
+        let (lo, hi) = d.time_span().unwrap();
+        assert_eq!(positions[0], lo.month_key());
+        assert!(*positions.last().unwrap() <= hi.month_key());
+    }
+
+    #[test]
+    fn windows_have_requested_length() {
+        let d = generate(&SynthConfig::tiny(132)).unwrap();
+        let session = ExplorationSession::new(&d);
+        let slider = TimeSlider::over_dataset(&session, 6, 3).unwrap();
+        let (from, to) = slider.window_at(MonthKey::new(2001, 2));
+        assert_eq!(from.months_until(to), 5);
+    }
+
+    #[test]
+    fn sweep_produces_point_per_position() {
+        let d = generate(&SynthConfig::small(133)).unwrap();
+        let session = ExplorationSession::new(&d);
+        let slider = TimeSlider::over_dataset(&session, 9, 9).unwrap();
+        let points = slider.sweep(&session, &maprat_core::query::ItemQuery::title("Toy Story"), &settings());
+        assert_eq!(points.len(), slider.positions().len());
+        // Planted Toy Story spans the full history: most windows non-empty.
+        let non_empty = points.iter().filter(|p| p.num_ratings > 0).count();
+        assert!(non_empty * 2 >= points.len(), "{non_empty}/{}", points.len());
+        for p in &points {
+            if p.num_ratings > 0 && p.skipped.is_none() {
+                assert!(!p.top_groups.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_windows_differ_in_volume() {
+        let d = generate(&SynthConfig::small(134)).unwrap();
+        let session = ExplorationSession::new(&d);
+        let slider = TimeSlider::over_dataset(&session, 6, 6).unwrap();
+        let points = slider.sweep(&session, &maprat_core::query::ItemQuery::title("Toy Story"), &settings());
+        let volumes: Vec<usize> = points.iter().map(|p| p.num_ratings).collect();
+        let total: usize = volumes.iter().sum();
+        let full = session
+            .explain(&maprat_core::query::ItemQuery::title("Toy Story"), &settings());
+        if let Ok(r) = &*full {
+            // Non-overlapping windows partition the history.
+            assert_eq!(total, r.explanation.num_ratings);
+        }
+    }
+
+    #[test]
+    fn render_sweep_is_tabular() {
+        let d = generate(&SynthConfig::tiny(135)).unwrap();
+        let session = ExplorationSession::new(&d);
+        let slider = TimeSlider::over_dataset(&session, 12, 12).unwrap();
+        let points = slider.sweep(&session, &maprat_core::query::ItemQuery::title("Toy Story"), &settings());
+        let text = render_sweep(&points);
+        assert!(text.contains("window"));
+        assert!(text.lines().count() >= points.len());
+    }
+}

@@ -1,0 +1,147 @@
+//! Terminal choropleth rendering (ANSI-256 background shading).
+//!
+//! Each state occupies a 4-column cell of the tile grid. Shaded states show
+//! their abbreviation on the Likert background color; unshaded states are
+//! dim. A caption lists each group with its value, reproducing the map +
+//! caption channel of the web demo in a terminal.
+
+use crate::choropleth::Choropleth;
+use crate::color::likert_color;
+use crate::tiles::{state_at, GRID_COLS, GRID_ROWS};
+use std::fmt::Write;
+
+/// Rendering options.
+#[derive(Debug, Clone)]
+pub struct AsciiOptions {
+    /// Emit ANSI color escapes (disable for logs / tests).
+    pub color: bool,
+    /// Append the per-group caption below the map.
+    pub caption: bool,
+}
+
+impl Default for AsciiOptions {
+    fn default() -> Self {
+        AsciiOptions {
+            color: true,
+            caption: true,
+        }
+    }
+}
+
+/// Renders the map as terminal text.
+pub fn render(map: &Choropleth, options: &AsciiOptions) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", map.title);
+    for row in 0..GRID_ROWS {
+        for col in 0..GRID_COLS {
+            match state_at(col, row) {
+                Some(state) => match map.shade(state) {
+                    Some(shade) => {
+                        if options.color {
+                            let bg = likert_color(shade.value).ansi256();
+                            let _ = write!(out, "\x1b[48;5;{bg}m\x1b[30m {} \x1b[0m ", state.abbrev());
+                        } else {
+                            let _ = write!(out, "[{}] ", state.abbrev());
+                        }
+                    }
+                    None => {
+                        if options.color {
+                            let _ = write!(out, "\x1b[2m {} \x1b[0m ", state.abbrev().to_lowercase());
+                        } else {
+                            let _ = write!(out, " {}  ", state.abbrev().to_lowercase());
+                        }
+                    }
+                },
+                None => out.push_str("     "),
+            }
+        }
+        out.push('\n');
+    }
+    if options.caption {
+        for shade in map.shades() {
+            let _ = writeln!(
+                out,
+                "  {} {:<55} avg {:.2} (n={})",
+                shade.state.abbrev(),
+                shade.label,
+                shade.value,
+                shade.support
+            );
+        }
+        for extra in map.extras() {
+            let _ = writeln!(
+                out,
+                "  {} {:<55} avg {:.2} (n={}) [also]",
+                extra.state.abbrev(),
+                extra.label,
+                extra.value,
+                extra.support
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::choropleth::StateShade;
+    use maprat_data::UsState;
+
+    fn sample() -> Choropleth {
+        let mut map = Choropleth::new("DM tab");
+        map.add(StateShade::new(UsState::CA, 1.4, "m", 9, &[]));
+        map.add(StateShade::new(UsState::MA, 4.8, "f", 7, &[]));
+        map
+    }
+
+    #[test]
+    fn plain_render_marks_shaded_states() {
+        let text = render(
+            &sample(),
+            &AsciiOptions {
+                color: false,
+                caption: true,
+            },
+        );
+        assert!(text.contains("[CA]"));
+        assert!(text.contains("[MA]"));
+        assert!(text.contains(" tx "), "unshaded lowercase");
+        assert!(text.contains("avg 1.40"));
+    }
+
+    #[test]
+    fn color_render_uses_ansi() {
+        let text = render(&sample(), &AsciiOptions::default());
+        assert!(text.contains("\x1b[48;5;"));
+        assert!(text.contains("\x1b[0m"));
+    }
+
+    #[test]
+    fn caption_toggle() {
+        let without = render(
+            &sample(),
+            &AsciiOptions {
+                color: false,
+                caption: false,
+            },
+        );
+        assert!(!without.contains("avg"));
+    }
+
+    #[test]
+    fn every_state_appears() {
+        let text = render(
+            &sample(),
+            &AsciiOptions {
+                color: false,
+                caption: false,
+            },
+        );
+        for s in UsState::ALL {
+            let up = format!("[{}]", s.abbrev());
+            let low = format!(" {} ", s.abbrev().to_lowercase());
+            assert!(text.contains(&up) || text.contains(&low), "{s}");
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! The render model both choropleth back-ends consume.
+//!
+//! One [`Choropleth`] corresponds to one interpretation tab of the demo
+//! (§2.3): every selected group shades its state by average rating and
+//! annotates it with its non-geo attribute icons and age pin.
+
+use crate::icons;
+use maprat_data::{AgeGroup, AttrValue, UsState, UserAttr};
+use std::collections::BTreeMap;
+
+/// One shaded state on the map.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateShade {
+    /// The state (each MapRat group carries exactly one, §3.1).
+    pub state: UsState,
+    /// Average rating on `[1, 5]` — the shading value.
+    pub value: f64,
+    /// The group's natural-language label (tooltip / caption).
+    pub label: String,
+    /// Number of covered ratings (caption).
+    pub support: usize,
+    /// Icon glyphs for the non-geo attribute values.
+    pub icons: Vec<&'static str>,
+    /// Age-pin color (hex) — neutral when the group has no age condition.
+    pub pin_color: &'static str,
+}
+
+impl StateShade {
+    /// Builds a shade from a group's state, value, label and the non-geo
+    /// attribute values that define it.
+    pub fn new(
+        state: UsState,
+        value: f64,
+        label: impl Into<String>,
+        support: usize,
+        non_geo_values: &[AttrValue],
+    ) -> Self {
+        let icons = non_geo_values
+            .iter()
+            .map(|&v| icons::glyph(v))
+            .filter(|g| !g.is_empty())
+            .collect();
+        let pin_color = non_geo_values
+            .iter()
+            .find_map(|v| match v {
+                AttrValue::Age(a) => Some(icons::age_pin_color(*a)),
+                _ => None,
+            })
+            .unwrap_or(icons::NEUTRAL_PIN);
+        StateShade {
+            state,
+            value,
+            label: label.into(),
+            support,
+            icons,
+            pin_color,
+        }
+    }
+
+    /// The age condition of the shade, if any (decoded from the pin).
+    pub fn age_condition(values: &[AttrValue]) -> Option<AgeGroup> {
+        values.iter().find_map(|v| match v {
+            AttrValue::Age(a) => Some(*a),
+            _ => None,
+        })
+    }
+}
+
+/// A complete choropleth: title plus shaded states.
+///
+/// Multiple groups can share a state (e.g. two CA groups from different
+/// interpretations); the map keeps the one with the larger support and
+/// exposes the rest through [`Choropleth::extras`].
+#[derive(Debug, Clone, Default)]
+pub struct Choropleth {
+    /// Map title (e.g. "Similarity Mining — Toy Story").
+    pub title: String,
+    shades: BTreeMap<UsState, StateShade>,
+    extras: Vec<StateShade>,
+}
+
+impl Choropleth {
+    /// Creates an empty map with a title.
+    pub fn new(title: impl Into<String>) -> Self {
+        Choropleth {
+            title: title.into(),
+            shades: BTreeMap::new(),
+            extras: Vec::new(),
+        }
+    }
+
+    /// Adds a shade, demoting the smaller-support duplicate to `extras`.
+    pub fn add(&mut self, shade: StateShade) {
+        match self.shades.get_mut(&shade.state) {
+            None => {
+                self.shades.insert(shade.state, shade);
+            }
+            Some(existing) if shade.support > existing.support => {
+                let old = std::mem::replace(existing, shade);
+                self.extras.push(old);
+            }
+            Some(_) => self.extras.push(shade),
+        }
+    }
+
+    /// The primary shade per state, in state order.
+    pub fn shades(&self) -> impl Iterator<Item = &StateShade> {
+        self.shades.values()
+    }
+
+    /// The shade of a specific state.
+    pub fn shade(&self, state: UsState) -> Option<&StateShade> {
+        self.shades.get(&state)
+    }
+
+    /// Shades demoted by duplicates (rendered as secondary annotations).
+    pub fn extras(&self) -> &[StateShade] {
+        &self.extras
+    }
+
+    /// Number of shaded states.
+    pub fn len(&self) -> usize {
+        self.shades.len()
+    }
+
+    /// Whether nothing is shaded.
+    pub fn is_empty(&self) -> bool {
+        self.shades.is_empty()
+    }
+}
+
+/// Extracts the non-geo attribute values from descriptor pairs (helper for
+/// layers that hold `(attr, value)` lists).
+pub fn non_geo_values(pairs: &[AttrValue]) -> Vec<AttrValue> {
+    pairs
+        .iter()
+        .copied()
+        .filter(|v| v.attr() != UserAttr::State)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maprat_data::Gender;
+
+    fn shade(state: UsState, support: usize) -> StateShade {
+        StateShade::new(
+            state,
+            4.2,
+            "male reviewers",
+            support,
+            &[AttrValue::Gender(Gender::Male), AttrValue::Age(AgeGroup::Under18)],
+        )
+    }
+
+    #[test]
+    fn shade_carries_icons_and_pin() {
+        let s = shade(UsState::CA, 10);
+        assert_eq!(s.icons, vec!["♂", "📅"]);
+        assert_eq!(s.pin_color, icons::age_pin_color(AgeGroup::Under18));
+    }
+
+    #[test]
+    fn no_age_condition_neutral_pin() {
+        let s = StateShade::new(UsState::CA, 3.0, "x", 1, &[AttrValue::Gender(Gender::Female)]);
+        assert_eq!(s.pin_color, icons::NEUTRAL_PIN);
+    }
+
+    #[test]
+    fn duplicate_states_keep_larger_support() {
+        let mut map = Choropleth::new("t");
+        map.add(shade(UsState::CA, 5));
+        map.add(shade(UsState::CA, 50));
+        map.add(shade(UsState::NY, 7));
+        assert_eq!(map.len(), 2);
+        assert_eq!(map.shade(UsState::CA).unwrap().support, 50);
+        assert_eq!(map.extras().len(), 1);
+        assert_eq!(map.extras()[0].support, 5);
+    }
+
+    #[test]
+    fn smaller_duplicate_goes_to_extras_directly() {
+        let mut map = Choropleth::new("t");
+        map.add(shade(UsState::CA, 50));
+        map.add(shade(UsState::CA, 5));
+        assert_eq!(map.shade(UsState::CA).unwrap().support, 50);
+        assert_eq!(map.extras().len(), 1);
+    }
+
+    #[test]
+    fn non_geo_filter() {
+        let values = vec![
+            AttrValue::Gender(Gender::Male),
+            AttrValue::State(UsState::CA),
+        ];
+        let filtered = non_geo_values(&values);
+        assert_eq!(filtered, vec![AttrValue::Gender(Gender::Male)]);
+    }
+}

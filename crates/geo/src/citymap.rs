@@ -1,0 +1,179 @@
+//! City-level drill-down rendering — the zoomed view behind §2.3's "if the
+//! original geo condition was over a state, the drill down provides city
+//! level statistics".
+//!
+//! One drilled state renders as a large panel with one bubble per city:
+//! bubble area encodes the rating volume, fill encodes the city's average
+//! on the same red→green Likert scale as the state map.
+
+use crate::color::{likert_color, NO_DATA};
+use crate::svg::xml_escape;
+use maprat_data::UsState;
+use std::fmt::Write;
+
+/// One city bubble.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CityBubble {
+    /// City display name.
+    pub name: String,
+    /// Number of ratings from the city.
+    pub count: u64,
+    /// Mean rating, `None` when the city contributed no ratings.
+    pub mean: Option<f64>,
+}
+
+/// The drill-down panel model.
+#[derive(Debug, Clone)]
+pub struct CityMap {
+    /// The drilled state.
+    pub state: UsState,
+    /// Panel title (usually the group label).
+    pub title: String,
+    /// The city bubbles.
+    pub cities: Vec<CityBubble>,
+}
+
+/// Rendering geometry.
+#[derive(Debug, Clone)]
+pub struct CityMapOptions {
+    /// Panel width in pixels.
+    pub width: u32,
+    /// Bubble row height.
+    pub row: u32,
+    /// Largest bubble radius.
+    pub max_radius: f64,
+}
+
+impl Default for CityMapOptions {
+    fn default() -> Self {
+        CityMapOptions {
+            width: 520,
+            row: 54,
+            max_radius: 22.0,
+        }
+    }
+}
+
+/// Renders the drill-down panel to a standalone SVG document.
+///
+/// Cities are laid out as rows ordered by descending volume (a bubble
+/// list, not a geographic projection — city coordinates inside a tile-grid
+/// state carry no information, volume and shade do).
+pub fn render(map: &CityMap, options: &CityMapOptions) -> String {
+    let mut ordered: Vec<&CityBubble> = map.cities.iter().collect();
+    ordered.sort_by_key(|c| std::cmp::Reverse(c.count));
+    let max_count = ordered.iter().map(|c| c.count).max().unwrap_or(0).max(1);
+
+    let header = 46u32;
+    let height = header + options.row * ordered.len() as u32 + 12;
+    let mut svg = String::with_capacity(4096);
+    let _ = writeln!(
+        svg,
+        r##"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{height}" viewBox="0 0 {w} {height}" font-family="Helvetica, Arial, sans-serif">"##,
+        w = options.width
+    );
+    let _ = writeln!(
+        svg,
+        r##"<rect width="{w}" height="{height}" fill="#ffffff" stroke="#999"/>"##,
+        w = options.width
+    );
+    let _ = writeln!(
+        svg,
+        r##"<text x="12" y="24" font-size="15" font-weight="bold">{} — city drill-down ({})</text>"##,
+        xml_escape(&map.title),
+        map.state.name()
+    );
+
+    for (i, city) in ordered.iter().enumerate() {
+        let cy = header + options.row * i as u32 + options.row / 2;
+        let radius = if city.count == 0 {
+            3.0
+        } else {
+            // Area-proportional bubbles.
+            (city.count as f64 / max_count as f64).sqrt() * options.max_radius
+        }
+        .max(3.0);
+        let fill = city.mean.map_or(NO_DATA, likert_color);
+        let _ = writeln!(
+            svg,
+            r##"<circle cx="40" cy="{cy}" r="{radius:.1}" fill="{}" stroke="#555" stroke-width="0.8"/>"##,
+            fill.hex()
+        );
+        let label = match city.mean {
+            Some(m) => format!("{} — avg {:.2} (n={})", city.name, m, city.count),
+            None => format!("{} — no ratings", city.name),
+        };
+        let _ = writeln!(
+            svg,
+            r##"<text x="78" y="{}" font-size="13">{}</text>"##,
+            cy + 5,
+            xml_escape(&label)
+        );
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CityMap {
+        CityMap {
+            state: UsState::CA,
+            title: "male reviewers from California".into(),
+            cities: vec![
+                CityBubble {
+                    name: "Los Angeles".into(),
+                    count: 33,
+                    mean: Some(4.8),
+                },
+                CityBubble {
+                    name: "San Diego".into(),
+                    count: 13,
+                    mean: Some(4.7),
+                },
+                CityBubble {
+                    name: "Sacramento".into(),
+                    count: 0,
+                    mean: None,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn renders_every_city() {
+        let svg = render(&sample(), &CityMapOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.contains("Los Angeles"));
+        assert!(svg.contains("no ratings"));
+        assert!(svg.contains("California"));
+        assert_eq!(svg.matches("<circle").count(), 3);
+    }
+
+    #[test]
+    fn bubble_sizes_ordered_by_volume() {
+        let svg = render(&sample(), &CityMapOptions::default());
+        // LA (max count) gets the max radius; San Diego smaller.
+        let la_r = CityMapOptions::default().max_radius;
+        assert!(svg.contains(&format!("r=\"{la_r:.1}\"")));
+        let sd_r = (13f64 / 33.0).sqrt() * la_r;
+        assert!(svg.contains(&format!("r=\"{sd_r:.1}\"")));
+    }
+
+    #[test]
+    fn empty_city_gets_neutral_dot() {
+        let svg = render(&sample(), &CityMapOptions::default());
+        assert!(svg.contains(&NO_DATA.hex()));
+        assert!(svg.contains("r=\"3.0\""));
+    }
+
+    #[test]
+    fn hostile_titles_escaped() {
+        let mut m = sample();
+        m.title = "<b>&</b>".into();
+        let svg = render(&m, &CityMapOptions::default());
+        assert!(!svg.contains("<b>"));
+    }
+}

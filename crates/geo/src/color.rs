@@ -1,0 +1,144 @@
+//! The red→green Likert scale of §2.3: "Dark red corresponds to lowest
+//! rating while dark green denotes the highest and the intermediate values
+//! are represented by the red-green gradient."
+
+/// An sRGB color.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rgb {
+    /// Red channel.
+    pub r: u8,
+    /// Green channel.
+    pub g: u8,
+    /// Blue channel.
+    pub b: u8,
+}
+
+impl Rgb {
+    /// CSS hex form, e.g. `#a50026`.
+    pub fn hex(self) -> String {
+        format!("#{:02x}{:02x}{:02x}", self.r, self.g, self.b)
+    }
+
+    /// Nearest ANSI-256 color index (6×6×6 cube region), for terminals.
+    pub fn ansi256(self) -> u8 {
+        let q = |v: u8| -> u8 {
+            // Map 0..=255 onto the 0..=5 cube levels (0, 95, 135, 175, 215, 255).
+            match v {
+                0..=47 => 0,
+                48..=114 => 1,
+                115..=154 => 2,
+                155..=194 => 3,
+                195..=234 => 4,
+                _ => 5,
+            }
+        };
+        16 + 36 * q(self.r) + 6 * q(self.g) + q(self.b)
+    }
+}
+
+/// Gradient stops at scores 1..=5 (ColorBrewer RdYlGn-style).
+const STOPS: [(f64, Rgb); 5] = [
+    (1.0, Rgb { r: 165, g: 0, b: 38 }),
+    // ColorBrewer's stock stop is (215, 48, 39); the red channel is dialed
+    // back slightly so the green-minus-red balance increases monotonically
+    // across stops — "more green = better rated" holds exactly.
+    (2.0, Rgb { r: 205, g: 48, b: 39 }),
+    (3.0, Rgb { r: 254, g: 224, b: 139 }),
+    (4.0, Rgb { r: 102, g: 189, b: 99 }),
+    (5.0, Rgb { r: 0, g: 104, b: 55 }),
+];
+
+/// The Likert color for an average rating on the `[1, 5]` scale; values
+/// outside the scale clamp to the endpoints.
+///
+/// ```
+/// use maprat_geo::likert_color;
+/// assert_eq!(likert_color(1.0).hex(), "#a50026"); // dark red = hates it
+/// assert_eq!(likert_color(5.0).hex(), "#006837"); // dark green = loves it
+/// ```
+pub fn likert_color(rating: f64) -> Rgb {
+    let rating = if rating.is_nan() { 3.0 } else { rating.clamp(1.0, 5.0) };
+    let mut lo = STOPS[0];
+    for &hi in &STOPS[1..] {
+        if rating <= hi.0 {
+            let t = (rating - lo.0) / (hi.0 - lo.0);
+            let lerp = |a: u8, b: u8| -> u8 {
+                (f64::from(a) + (f64::from(b) - f64::from(a)) * t).round() as u8
+            };
+            return Rgb {
+                r: lerp(lo.1.r, hi.1.r),
+                g: lerp(lo.1.g, hi.1.g),
+                b: lerp(lo.1.b, hi.1.b),
+            };
+        }
+        lo = hi;
+    }
+    STOPS[4].1
+}
+
+/// Neutral fill for states without data.
+pub const NO_DATA: Rgb = Rgb {
+    r: 224,
+    g: 224,
+    b: 224,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_match_paper_semantics() {
+        assert_eq!(likert_color(1.0).hex(), "#a50026"); // dark red = lowest
+        assert_eq!(likert_color(5.0).hex(), "#006837"); // dark green = highest
+    }
+
+    #[test]
+    fn midpoint_is_yellowish() {
+        let c = likert_color(3.0);
+        assert!(c.r > 200 && c.g > 200 && c.b < 160, "{:?}", c);
+    }
+
+    #[test]
+    fn clamps_out_of_scale() {
+        assert_eq!(likert_color(0.0), likert_color(1.0));
+        assert_eq!(likert_color(9.0), likert_color(5.0));
+        assert_eq!(likert_color(f64::NAN), likert_color(3.0));
+    }
+
+    #[test]
+    fn stops_are_monotonic_in_green_minus_red() {
+        // The gradient wiggles *within* a segment (dark red → bright red
+        // raises both channels), but across the integer stops the red→green
+        // balance must strictly increase.
+        let balance = |r: f64| {
+            let c = likert_color(r);
+            f64::from(c.g) - f64::from(c.r)
+        };
+        for s in 1..5 {
+            assert!(balance(s as f64 + 1.0) > balance(s as f64), "stop {s}");
+        }
+    }
+
+    #[test]
+    fn interpolation_between_stops() {
+        let c = likert_color(4.5);
+        let lo = likert_color(4.0);
+        let hi = likert_color(5.0);
+        assert!(c.g <= lo.g && c.g >= hi.g);
+    }
+
+    #[test]
+    fn ansi256_in_cube_range() {
+        for i in 0..=40 {
+            let idx = likert_color(1.0 + i as f64 * 0.1).ansi256();
+            assert!((16..=231).contains(&idx));
+        }
+        assert_ne!(likert_color(1.0).ansi256(), likert_color(5.0).ansi256());
+    }
+
+    #[test]
+    fn hex_format() {
+        assert_eq!(Rgb { r: 0, g: 255, b: 16 }.hex(), "#00ff10");
+    }
+}

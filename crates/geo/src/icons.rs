@@ -1,0 +1,91 @@
+//! Attribute icons and age-pin colors.
+//!
+//! §3.1: "The other reviewer attributes associated with the group are
+//! highlighted through icons as a visual aid to the user. The color of the
+//! pin holding the icons depicts the age group of the sub-population."
+
+use maprat_data::{AgeGroup, AttrValue, Gender, Occupation};
+
+/// The glyph for a non-geo attribute value.
+pub fn glyph(value: AttrValue) -> &'static str {
+    match value {
+        AttrValue::Gender(Gender::Male) => "♂",
+        AttrValue::Gender(Gender::Female) => "♀",
+        AttrValue::Age(_) => "📅", // the age *pin color* is the main channel
+        AttrValue::Occupation(o) => occupation_glyph(o),
+        AttrValue::State(_) => "",
+    }
+}
+
+fn occupation_glyph(o: Occupation) -> &'static str {
+    match o {
+        Occupation::K12Student | Occupation::CollegeGradStudent => "🎓",
+        Occupation::Programmer | Occupation::TechnicianEngineer => "⌨",
+        Occupation::AcademicEducator | Occupation::Scientist => "🔬",
+        Occupation::Artist | Occupation::Writer => "✎",
+        Occupation::DoctorHealthCare => "⚕",
+        Occupation::ExecutiveManagerial | Occupation::SalesMarketing => "💼",
+        Occupation::Lawyer => "⚖",
+        Occupation::Farmer => "🌾",
+        Occupation::Homemaker => "🏠",
+        Occupation::Retired => "🕰",
+        Occupation::ClericalAdmin
+        | Occupation::CustomerService
+        | Occupation::SelfEmployed
+        | Occupation::TradesmanCraftsman
+        | Occupation::Unemployed
+        | Occupation::Other => "👤",
+    }
+}
+
+/// The pin color encoding an age bucket (young = warm, old = cool).
+pub fn age_pin_color(age: AgeGroup) -> &'static str {
+    match age {
+        AgeGroup::Under18 => "#ff66cc",
+        AgeGroup::From18To24 => "#ff9933",
+        AgeGroup::From25To34 => "#ffcc00",
+        AgeGroup::From35To44 => "#66cc66",
+        AgeGroup::From45To49 => "#3399cc",
+        AgeGroup::From50To55 => "#3366aa",
+        AgeGroup::Above56 => "#663399",
+    }
+}
+
+/// Default pin color for groups without an age condition.
+pub const NEUTRAL_PIN: &str = "#888888";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maprat_data::UsState;
+
+    #[test]
+    fn gender_glyphs_distinct() {
+        assert_ne!(
+            glyph(AttrValue::Gender(Gender::Male)),
+            glyph(AttrValue::Gender(Gender::Female))
+        );
+    }
+
+    #[test]
+    fn state_has_no_glyph() {
+        assert_eq!(glyph(AttrValue::State(UsState::CA)), "");
+    }
+
+    #[test]
+    fn every_occupation_has_a_glyph() {
+        for o in Occupation::ALL {
+            assert!(!occupation_glyph(o).is_empty());
+        }
+    }
+
+    #[test]
+    fn age_pin_colors_unique() {
+        let set: std::collections::HashSet<_> =
+            AgeGroup::ALL.iter().map(|a| age_pin_color(*a)).collect();
+        assert_eq!(set.len(), AgeGroup::ALL.len());
+        for a in AgeGroup::ALL {
+            assert!(age_pin_color(a).starts_with('#'));
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! US geography substrate and choropleth rendering for MapRat.
+//!
+//! The paper's Visualization module (§2.3) renders each interpretation as a
+//! Choropleth map shaded on a red→green Likert scale by average group
+//! rating, annotated with icons for the non-geo attribute/value pairs and a
+//! colored pin encoding the age bucket. This crate reproduces that channel
+//! with two dependency-free back-ends:
+//!
+//! * [`svg`] — a tile-grid US map (one tile per state, the layout used by
+//!   newsroom graphics) rendered to standalone SVG;
+//! * [`ascii`] — the same map for terminals, with ANSI-256 shading.
+//!
+//! [`tiles`] provides the layout, [`color`] the Likert scale, [`icons`] the
+//! attribute glyphs, and [`choropleth`] the render-model both back-ends
+//! consume.
+
+#![warn(missing_docs)]
+
+pub mod ascii;
+pub mod choropleth;
+pub mod citymap;
+pub mod color;
+pub mod icons;
+pub mod svg;
+pub mod tiles;
+
+pub use choropleth::{Choropleth, StateShade};
+pub use color::{likert_color, Rgb};
+pub use tiles::{tile_position, GRID_COLS, GRID_ROWS};

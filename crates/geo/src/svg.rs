@@ -1,0 +1,237 @@
+//! SVG tile-grid choropleth rendering.
+//!
+//! Produces a standalone SVG document: one rounded tile per state, shaded
+//! on the Likert scale where a group anchors the state, annotated with the
+//! group's icons and age pin, plus a legend reproducing the red→green
+//! gradient of §2.3.
+
+use crate::choropleth::Choropleth;
+use crate::color::{likert_color, NO_DATA};
+use crate::tiles::{tile_position, GRID_COLS, GRID_ROWS};
+use maprat_data::UsState;
+use std::fmt::Write;
+
+/// Rendering geometry.
+#[derive(Debug, Clone)]
+pub struct SvgOptions {
+    /// Tile edge length in pixels.
+    pub cell: u32,
+    /// Gap between tiles.
+    pub gap: u32,
+    /// Whether to render the legend strip.
+    pub legend: bool,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        SvgOptions {
+            cell: 56,
+            gap: 6,
+            legend: true,
+        }
+    }
+}
+
+/// Escapes text for SVG/XML content.
+pub fn xml_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Renders a choropleth to a standalone SVG document.
+pub fn render(map: &Choropleth, options: &SvgOptions) -> String {
+    let cell = options.cell;
+    let gap = options.gap;
+    let pitch = cell + gap;
+    let title_band = 34u32;
+    let legend_band = if options.legend { 46u32 } else { 0 };
+    let width = GRID_COLS as u32 * pitch + gap;
+    let height = GRID_ROWS as u32 * pitch + gap + title_band + legend_band;
+
+    let mut svg = String::with_capacity(16 * 1024);
+    let _ = writeln!(
+        svg,
+        r##"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" viewBox="0 0 {width} {height}" font-family="Helvetica, Arial, sans-serif">"##
+    );
+    let _ = writeln!(
+        svg,
+        r##"<rect width="{width}" height="{height}" fill="#ffffff"/>"##
+    );
+    let _ = writeln!(
+        svg,
+        r##"<text x="{}" y="22" font-size="16" font-weight="bold">{}</text>"##,
+        gap,
+        xml_escape(&map.title)
+    );
+
+    for state in UsState::ALL {
+        let (col, row) = tile_position(state);
+        let x = col as u32 * pitch + gap;
+        let y = row as u32 * pitch + gap + title_band;
+        let shade = map.shade(state);
+        let fill = shade.map_or(NO_DATA, |s| likert_color(s.value));
+        let _ = writeln!(
+            svg,
+            r##"<g><rect x="{x}" y="{y}" width="{cell}" height="{cell}" rx="6" fill="{}" stroke="#777" stroke-width="1">"##,
+            fill.hex()
+        );
+        if let Some(s) = shade {
+            let _ = writeln!(
+                svg,
+                r##"<title>{} — avg {:.2} (n={})</title>"##,
+                xml_escape(&s.label),
+                s.value,
+                s.support
+            );
+        }
+        let _ = writeln!(svg, "</rect>");
+        // State abbreviation.
+        let text_fill = if shade.is_some() { "#ffffff" } else { "#666666" };
+        let _ = writeln!(
+            svg,
+            r##"<text x="{}" y="{}" font-size="13" font-weight="bold" text-anchor="middle" fill="{text_fill}">{}</text>"##,
+            x + cell / 2,
+            y + cell / 2 - 2,
+            state.abbrev()
+        );
+        if let Some(s) = shade {
+            // Age pin + icons row.
+            let _ = writeln!(
+                svg,
+                r##"<circle cx="{}" cy="{}" r="5" fill="{}" stroke="#333" stroke-width="0.5"/>"##,
+                x + 10,
+                y + cell - 12,
+                s.pin_color
+            );
+            let icon_text: String = s.icons.join("");
+            if !icon_text.is_empty() {
+                let _ = writeln!(
+                    svg,
+                    r##"<text x="{}" y="{}" font-size="12" text-anchor="start">{}</text>"##,
+                    x + 18,
+                    y + cell - 8,
+                    xml_escape(&icon_text)
+                );
+            }
+            // Average under the abbreviation.
+            let _ = writeln!(
+                svg,
+                r##"<text x="{}" y="{}" font-size="10" text-anchor="middle" fill="#ffffff">{:.1}</text>"##,
+                x + cell / 2,
+                y + cell / 2 + 12,
+                s.value
+            );
+        }
+        let _ = writeln!(svg, "</g>");
+    }
+
+    if options.legend {
+        let ly = GRID_ROWS as u32 * pitch + gap + title_band + 10;
+        let steps = 40;
+        let lw = 8 * pitch;
+        for i in 0..steps {
+            let rating = 1.0 + 4.0 * i as f64 / (steps - 1) as f64;
+            let _ = writeln!(
+                svg,
+                r##"<rect x="{}" y="{ly}" width="{}" height="12" fill="{}"/>"##,
+                gap + i * lw / steps,
+                lw / steps + 1,
+                likert_color(rating).hex()
+            );
+        }
+        let _ = writeln!(
+            svg,
+            r##"<text x="{}" y="{}" font-size="11">1 (hates it)</text>"##,
+            gap,
+            ly + 26
+        );
+        let _ = writeln!(
+            svg,
+            r##"<text x="{}" y="{}" font-size="11" text-anchor="end">5 (loves it)</text>"##,
+            gap + lw,
+            ly + 26
+        );
+    }
+
+    svg.push_str("</svg>\n");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::choropleth::StateShade;
+    use maprat_data::{AttrValue, Gender};
+
+    fn sample() -> Choropleth {
+        let mut map = Choropleth::new("Similarity Mining — Toy Story");
+        map.add(StateShade::new(
+            UsState::CA,
+            4.6,
+            "male reviewers from California",
+            120,
+            &[AttrValue::Gender(Gender::Male)],
+        ));
+        map.add(StateShade::new(UsState::NY, 4.1, "ny", 50, &[]));
+        map
+    }
+
+    #[test]
+    fn renders_well_formed_svg() {
+        let svg = render(&sample(), &SvgOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // Every state tile is present.
+        for s in UsState::ALL {
+            assert!(svg.contains(&format!(">{}</text>", s.abbrev())), "{s}");
+        }
+    }
+
+    #[test]
+    fn shaded_states_get_likert_fill_and_tooltip() {
+        let svg = render(&sample(), &SvgOptions::default());
+        assert!(svg.contains(&likert_color(4.6).hex()));
+        assert!(svg.contains("male reviewers from California"));
+        assert!(svg.contains(&NO_DATA.hex()), "unshaded states neutral");
+    }
+
+    #[test]
+    fn legend_toggle() {
+        let with = render(&sample(), &SvgOptions::default());
+        let without = render(
+            &sample(),
+            &SvgOptions {
+                legend: false,
+                ..Default::default()
+            },
+        );
+        assert!(with.contains("loves it"));
+        assert!(!without.contains("loves it"));
+        assert!(with.len() > without.len());
+    }
+
+    #[test]
+    fn escaping_hostile_titles() {
+        let mut map = Choropleth::new("<script>&\"evil\"</script>");
+        map.add(StateShade::new(UsState::TX, 2.0, "a & b", 3, &[]));
+        let svg = render(&map, &SvgOptions::default());
+        assert!(!svg.contains("<script>"));
+        assert!(svg.contains("&lt;script&gt;"));
+        assert!(svg.contains("a &amp; b"));
+    }
+
+    #[test]
+    fn xml_escape_all_five() {
+        assert_eq!(xml_escape(r##"<&>"'"##), "&lt;&amp;&gt;&quot;&apos;");
+    }
+}

@@ -1,0 +1,116 @@
+//! Tile-grid layout of the fifty states plus DC.
+//!
+//! Every state occupies one cell of a coarse grid that preserves rough
+//! geographic adjacency (the familiar newsroom "tile map"). One tile per
+//! state keeps small north-eastern states as legible as the large western
+//! ones — the property that makes tile maps superior to area-true maps for
+//! state-level statistics.
+
+use maprat_data::UsState;
+
+/// Number of grid columns.
+pub const GRID_COLS: usize = 13;
+/// Number of grid rows.
+pub const GRID_ROWS: usize = 8;
+
+/// The `(column, row)` tile of a state.
+pub fn tile_position(state: UsState) -> (usize, usize) {
+    use UsState::*;
+    match state {
+        AK => (0, 0),
+        ME => (11, 0),
+        WA => (1, 1),
+        MT => (2, 1),
+        ND => (3, 1),
+        MN => (4, 1),
+        WI => (5, 1),
+        MI => (7, 1),
+        NY => (9, 1),
+        VT => (10, 1),
+        NH => (11, 1),
+        OR => (1, 2),
+        ID => (2, 2),
+        WY => (3, 2),
+        SD => (4, 2),
+        IA => (5, 2),
+        IL => (6, 2),
+        IN => (7, 2),
+        OH => (8, 2),
+        PA => (9, 2),
+        NJ => (10, 2),
+        MA => (11, 2),
+        CA => (1, 3),
+        NV => (2, 3),
+        UT => (3, 3),
+        NE => (4, 3),
+        MO => (5, 3),
+        KY => (6, 3),
+        WV => (7, 3),
+        VA => (8, 3),
+        MD => (9, 3),
+        DE => (10, 3),
+        CT => (11, 3),
+        RI => (12, 3),
+        AZ => (2, 4),
+        CO => (3, 4),
+        KS => (4, 4),
+        AR => (5, 4),
+        TN => (6, 4),
+        NC => (7, 4),
+        SC => (8, 4),
+        DC => (9, 4),
+        NM => (3, 5),
+        OK => (4, 5),
+        LA => (5, 5),
+        MS => (6, 5),
+        AL => (7, 5),
+        GA => (8, 5),
+        TX => (4, 6),
+        FL => (9, 6),
+        HI => (0, 7),
+    }
+}
+
+/// The state occupying a tile, if any.
+pub fn state_at(col: usize, row: usize) -> Option<UsState> {
+    UsState::ALL
+        .into_iter()
+        .find(|s| tile_position(*s) == (col, row))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn every_state_has_a_unique_tile_in_bounds() {
+        let mut seen = HashSet::new();
+        for s in UsState::ALL {
+            let (c, r) = tile_position(s);
+            assert!(c < GRID_COLS, "{s}: col {c}");
+            assert!(r < GRID_ROWS, "{s}: row {r}");
+            assert!(seen.insert((c, r)), "{s} collides at ({c},{r})");
+        }
+        assert_eq!(seen.len(), 51);
+    }
+
+    #[test]
+    fn rough_geography_preserved() {
+        let (ca_col, _) = tile_position(UsState::CA);
+        let (ny_col, _) = tile_position(UsState::NY);
+        let (_, wa_row) = tile_position(UsState::WA);
+        let (_, tx_row) = tile_position(UsState::TX);
+        assert!(ca_col < ny_col, "CA west of NY");
+        assert!(wa_row < tx_row, "WA north of TX");
+    }
+
+    #[test]
+    fn state_at_inverts_tile_position() {
+        for s in UsState::ALL {
+            let (c, r) = tile_position(s);
+            assert_eq!(state_at(c, r), Some(s));
+        }
+        assert_eq!(state_at(12, 0), None);
+    }
+}

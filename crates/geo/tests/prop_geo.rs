@@ -1,0 +1,93 @@
+//! Property-based tests on the color scale and choropleth model.
+
+use maprat_data::{AttrValue, Gender, UsState};
+use maprat_geo::choropleth::StateShade;
+use maprat_geo::svg::{render, xml_escape, SvgOptions};
+use maprat_geo::{likert_color, Choropleth};
+use proptest::prelude::*;
+
+proptest! {
+    /// Within one gradient segment every channel stays between the two
+    /// stop endpoints (the renderer is a plain linear interpolation), and
+    /// the green-minus-red balance is strictly increasing across the
+    /// integer stops (red at 1 → green at 5).
+    #[test]
+    fn likert_interpolates_between_stops(x in 1.0f64..5.0) {
+        let seg = (x.floor() as u8).min(4);
+        let lo = likert_color(f64::from(seg));
+        let hi = likert_color(f64::from(seg + 1));
+        let c = likert_color(x);
+        let within = |v: u8, a: u8, b: u8| {
+            let (min, max) = if a <= b { (a, b) } else { (b, a) };
+            (min.saturating_sub(1)..=max.saturating_add(1)).contains(&v)
+        };
+        prop_assert!(within(c.r, lo.r, hi.r), "r out of segment at {x}");
+        prop_assert!(within(c.g, lo.g, hi.g), "g out of segment at {x}");
+        prop_assert!(within(c.b, lo.b, hi.b), "b out of segment at {x}");
+        // Stop-level monotonicity of the red→green balance.
+        let balance = |c: maprat_geo::Rgb| i32::from(c.g) - i32::from(c.r);
+        for s in 1..5u8 {
+            prop_assert!(
+                balance(likert_color(f64::from(s + 1))) > balance(likert_color(f64::from(s)))
+            );
+        }
+    }
+
+    /// Colors are deterministic and clamped outside the scale.
+    #[test]
+    fn likert_total(x in -1e6f64..1e6) {
+        let c = likert_color(x);
+        prop_assert_eq!(c, likert_color(x));
+        if x <= 1.0 {
+            prop_assert_eq!(c, likert_color(1.0));
+        }
+        if x >= 5.0 {
+            prop_assert_eq!(c, likert_color(5.0));
+        }
+    }
+
+    /// XML escaping removes every raw metacharacter and is idempotent on
+    /// its fixed points.
+    #[test]
+    fn xml_escape_sound(s in ".{0,48}") {
+        let escaped = xml_escape(&s);
+        prop_assert!(!escaped.contains('<'));
+        prop_assert!(!escaped.contains('>'));
+        // '&' only as part of entities.
+        for (i, _) in escaped.match_indices('&') {
+            let rest = &escaped[i..];
+            prop_assert!(
+                rest.starts_with("&amp;")
+                    || rest.starts_with("&lt;")
+                    || rest.starts_with("&gt;")
+                    || rest.starts_with("&quot;")
+                    || rest.starts_with("&apos;"),
+                "raw & in {escaped:?}"
+            );
+        }
+    }
+
+    /// SVG rendering is total over arbitrary shades and always well-formed
+    /// at the bracket level.
+    #[test]
+    fn svg_total(
+        states in proptest::collection::vec(0usize..51, 0..8),
+        values in proptest::collection::vec(0.0f64..6.0, 8),
+        title in ".{0,24}",
+    ) {
+        let mut map = Choropleth::new(title);
+        for (i, s) in states.iter().enumerate() {
+            map.add(StateShade::new(
+                UsState::from_index(*s).unwrap(),
+                values[i % values.len()],
+                format!("group {i}"),
+                i + 1,
+                &[AttrValue::Gender(Gender::Male)],
+            ));
+        }
+        let svg = render(&map, &SvgOptions::default());
+        prop_assert!(svg.starts_with("<svg"));
+        prop_assert!(svg.trim_end().ends_with("</svg>"));
+        prop_assert_eq!(svg.matches("<g>").count(), svg.matches("</g>").count());
+    }
+}

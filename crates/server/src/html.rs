@@ -1,0 +1,164 @@
+//! The embedded single-page front-end — the Figure-1 query form plus the
+//! Figure-2/Figure-3 result views, in plain HTML + vanilla JS.
+
+/// The index page.
+pub const INDEX: &str = r##"<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>MapRat — Meaningful Explanation of Collaborative Ratings</title>
+<style>
+  body { font-family: Helvetica, Arial, sans-serif; margin: 1.5rem; color: #222; }
+  h1 { font-size: 1.4rem; }
+  fieldset { border: 1px solid #bbb; border-radius: 6px; margin-bottom: 1rem; }
+  label { margin-right: .8rem; }
+  input, select { margin-right: 1rem; }
+  #tabs button { padding: .4rem 1rem; border: 1px solid #888; background: #eee; cursor: pointer; }
+  #tabs button.active { background: #2c7fb8; color: white; }
+  #map { margin-top: .6rem; }
+  #groups li { cursor: pointer; margin: .2rem 0; }
+  #groups li:hover { text-decoration: underline; }
+  #detail, #timeline { background: #f7f7f7; border: 1px solid #ddd; padding: .6rem; margin-top: .8rem; white-space: pre-wrap; font-family: monospace; font-size: .85rem; }
+  .err { color: #a00; }
+</style>
+</head>
+<body>
+<h1>MapRat — explore &amp; explain collaborative ratings</h1>
+<fieldset>
+  <legend>Query (Figure 1)</legend>
+  <label>Search <input id="q" size="28" value="Toy Story"></label>
+  <label>Type
+    <select id="type">
+      <option value="movie">Movie Name</option>
+      <option value="contains">Title contains</option>
+      <option value="actor">Actor</option>
+      <option value="director">Director</option>
+      <option value="genre">Genre</option>
+    </select>
+  </label>
+  <label>Max groups <input id="k" type="number" value="3" min="1" max="8" style="width:3rem"></label>
+  <label>Coverage <input id="coverage" type="number" value="0.25" step="0.05" min="0" max="1" style="width:4rem"></label>
+  <label>From <input id="from" size="7" placeholder="YYYY-MM"></label>
+  <label>To <input id="to" size="7" placeholder="YYYY-MM"></label>
+  <button id="go">Explain Ratings</button>
+</fieldset>
+<div id="summary"></div>
+<div id="tabs">
+  <button id="tab-sm" class="active">Similarity Mining</button>
+  <button id="tab-dm">Diversity Mining</button>
+  <button id="tab-tl">Time slider</button>
+</div>
+<div id="map"></div>
+<ol id="groups"></ol>
+<div id="detail" hidden></div>
+<div id="timeline" hidden></div>
+<script>
+"use strict";
+let task = "sm";
+const $ = id => document.getElementById(id);
+
+function params() {
+  const p = new URLSearchParams();
+  p.set("q", $("q").value);
+  p.set("type", $("type").value);
+  p.set("k", $("k").value);
+  p.set("coverage", $("coverage").value);
+  if ($("from").value) p.set("from", $("from").value);
+  if ($("to").value) p.set("to", $("to").value);
+  return p;
+}
+
+async function explain() {
+  $("summary").textContent = "mining…";
+  $("detail").hidden = true;
+  $("timeline").hidden = true;
+  const r = await fetch("/api/explain?" + params());
+  const body = await r.json();
+  if (!r.ok) {
+    $("summary").innerHTML = '<span class="err">' + (body.error || r.status) + "</span>";
+    $("map").innerHTML = ""; $("groups").innerHTML = "";
+    return;
+  }
+  $("summary").textContent =
+    `query: ${body.query} — ${body.items} item(s), ${body.ratings} ratings, ` +
+    `overall average ${body.overall_mean ? body.overall_mean.toFixed(2) : "—"}`;
+  const svg = await fetch("/map.svg?" + params() + "&task=" + task);
+  $("map").innerHTML = await svg.text();
+  const tab = task === "dm" ? body.diversity : body.similarity;
+  $("groups").innerHTML = "";
+  tab.groups.forEach((g, i) => {
+    const li = document.createElement("li");
+    li.textContent = `${g.label} — avg ${g.mean.toFixed(2)} (n=${g.support}, ${(g.share * 100).toFixed(1)}% of ratings)`;
+    li.onclick = () => detail(i);
+    $("groups").appendChild(li);
+  });
+}
+
+async function detail(idx) {
+  const r = await fetch(`/api/detail?${params()}&task=${task}&idx=${idx}`);
+  const d = await r.json();
+  const rr = await fetch(`/api/drill?${params()}&task=${task}&idx=${idx}`);
+  let lines = [`=== ${d.label} ===`,
+    `n=${d.count} avg ${d.mean.toFixed(2)} vs overall ${d.overall_mean.toFixed(2)}`,
+    `histogram (1..5): ${d.histogram.join(" ")}`,
+    "related groups:"];
+  (d.related || []).forEach(g =>
+    lines.push(`  [${g.relation}] ${g.label} — avg ${g.mean ? g.mean.toFixed(2) : "—"} (n=${g.count})`));
+  if (rr.ok) {
+    const dr = await rr.json();
+    lines.push("city drill-down:");
+    dr.cities.filter(c => c.count > 0)
+      .sort((a, b) => b.count - a.count)
+      .forEach(c => lines.push(`  ${c.city}: avg ${c.mean.toFixed(2)} (n=${c.count})`));
+  }
+  $("detail").textContent = lines.join("\n");
+  $("detail").hidden = false;
+}
+
+async function timeline() {
+  $("timeline").textContent = "sweeping time windows…";
+  $("timeline").hidden = false;
+  const r = await fetch(`/api/timeline?${params()}&window=6&step=6`);
+  const body = await r.json();
+  if (!r.ok) { $("timeline").textContent = body.error || r.status; return; }
+  $("timeline").textContent = body.points.map(p =>
+    `${p.from}..${p.to}  n=${String(p.ratings).padStart(5)}  mean=${p.mean ? p.mean.toFixed(2) : "  — "}  ` +
+    p.groups.map(g => `${g.label} (${g.mean.toFixed(2)})`).join("; ")
+  ).join("\n");
+}
+
+$("go").onclick = explain;
+$("tab-sm").onclick = () => { task = "sm"; setTab("tab-sm"); explain(); };
+$("tab-dm").onclick = () => { task = "dm"; setTab("tab-dm"); explain(); };
+$("tab-tl").onclick = () => { setTab("tab-tl"); timeline(); };
+function setTab(id) {
+  for (const b of document.querySelectorAll("#tabs button")) b.classList.remove("active");
+  $(id).classList.add("active");
+}
+explain();
+</script>
+</body>
+</html>
+"##;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_contains_figure1_controls() {
+        assert!(INDEX.contains("Explain Ratings"));
+        assert!(INDEX.contains("Movie Name"));
+        assert!(INDEX.contains("Max groups"));
+        assert!(INDEX.contains("Coverage"));
+        assert!(INDEX.contains("Similarity Mining"));
+        assert!(INDEX.contains("Diversity Mining"));
+        assert!(INDEX.contains("Time slider"));
+    }
+
+    #[test]
+    fn page_is_self_contained() {
+        assert!(!INDEX.contains("http://"), "no external resources");
+        assert!(!INDEX.contains("https://"), "no external resources");
+    }
+}

@@ -1,0 +1,411 @@
+//! A small HTTP/1.1 server on `std::net` with a crossbeam worker pool.
+//!
+//! Scope: exactly what the demo front-end needs — `GET` requests, query
+//! strings with percent-decoding, fixed-length responses, graceful
+//! shutdown. Not a general-purpose web server.
+
+use crossbeam::channel::{bounded, Sender};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// HTTP method (`GET`, …).
+    pub method: String,
+    /// Decoded path, without the query string.
+    pub path: String,
+    /// Decoded query parameters (last value wins).
+    pub query: HashMap<String, String>,
+    /// Raw header lines, lower-cased names.
+    pub headers: HashMap<String, String>,
+}
+
+impl Request {
+    /// A query parameter.
+    pub fn param(&self, name: &str) -> Option<&str> {
+        self.query.get(name).map(String::as_str)
+    }
+
+    /// A query parameter parsed to a type.
+    pub fn param_as<T: std::str::FromStr>(&self, name: &str) -> Option<T> {
+        self.param(name)?.parse().ok()
+    }
+}
+
+/// A response to serialize.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// 200 with a JSON body.
+    pub fn json(body: String) -> Response {
+        Response {
+            status: 200,
+            content_type: "application/json; charset=utf-8",
+            body: body.into_bytes(),
+        }
+    }
+
+    /// 200 with an HTML body.
+    pub fn html(body: String) -> Response {
+        Response {
+            status: 200,
+            content_type: "text/html; charset=utf-8",
+            body: body.into_bytes(),
+        }
+    }
+
+    /// 200 with an SVG body.
+    pub fn svg(body: String) -> Response {
+        Response {
+            status: 200,
+            content_type: "image/svg+xml",
+            body: body.into_bytes(),
+        }
+    }
+
+    /// An error response with a plain-text body.
+    pub fn error(status: u16, message: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: message.into().into_bytes(),
+        }
+    }
+
+    fn status_text(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            _ => "Internal Server Error",
+        }
+    }
+
+    fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+        let head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            self.status_text(),
+            self.content_type,
+            self.body.len()
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+/// Percent-decodes a URL component (`%41` → `A`, `+` → space).
+pub fn percent_decode(input: &str) -> String {
+    let bytes = input.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                // Need two ASCII hex digits after '%'; fall through to a
+                // literal '%' when they are absent or invalid. Checked on
+                // raw bytes — the following characters may be multi-byte.
+                if i + 2 < bytes.len()
+                    && bytes[i + 1].is_ascii_hexdigit()
+                    && bytes[i + 2].is_ascii_hexdigit()
+                {
+                    let hex = |b: u8| (b as char).to_digit(16).expect("hex checked") as u8;
+                    out.push(hex(bytes[i + 1]) * 16 + hex(bytes[i + 2]));
+                    i += 3;
+                } else {
+                    out.push(b'%');
+                    i += 1;
+                }
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Parses a query string into a map.
+pub fn parse_query(query: &str) -> HashMap<String, String> {
+    let mut map = HashMap::new();
+    for pair in query.split('&') {
+        if pair.is_empty() {
+            continue;
+        }
+        let (k, v) = match pair.split_once('=') {
+            Some((k, v)) => (k, v),
+            None => (pair, ""),
+        };
+        map.insert(percent_decode(k), percent_decode(v));
+    }
+    map
+}
+
+/// Parses the head of an HTTP/1.1 request from a buffered stream.
+pub fn parse_request(reader: &mut impl BufRead) -> Result<Request, String> {
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| format!("read error: {e}"))?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().ok_or("missing method")?.to_string();
+    let target = parts.next().ok_or("missing target")?;
+    let version = parts.next().ok_or("missing version")?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(format!("unsupported version {version}"));
+    }
+    let (path_raw, query_raw) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let mut headers = HashMap::new();
+    loop {
+        let mut hline = String::new();
+        reader
+            .read_line(&mut hline)
+            .map_err(|e| format!("read error: {e}"))?;
+        let trimmed = hline.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = trimmed.split_once(':') {
+            headers.insert(name.trim().to_lowercase(), value.trim().to_string());
+        }
+    }
+    Ok(Request {
+        method,
+        path: percent_decode(path_raw),
+        query: parse_query(query_raw),
+        headers,
+    })
+}
+
+/// The request handler signature.
+pub type Handler = Arc<dyn Fn(&Request) -> Response + Send + Sync>;
+
+/// A running server (worker pool + acceptor thread).
+pub struct HttpServer {
+    port: u16,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    _conn_tx: Sender<TcpStream>,
+}
+
+impl HttpServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts serving
+    /// `handler` on `workers` threads.
+    pub fn start(addr: &str, workers: usize, handler: Handler) -> std::io::Result<HttpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let port = listener.local_addr()?.port();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (conn_tx, conn_rx) = bounded::<TcpStream>(64);
+
+        let worker_handles: Vec<JoinHandle<()>> = (0..workers.max(1))
+            .map(|_| {
+                let rx = conn_rx.clone();
+                let handler = Arc::clone(&handler);
+                std::thread::spawn(move || {
+                    while let Ok(mut stream) = rx.recv() {
+                        let mut reader = BufReader::new(match stream.try_clone() {
+                            Ok(s) => s,
+                            Err(_) => continue,
+                        });
+                        let response = match parse_request(&mut reader) {
+                            Ok(req) if req.method == "GET" => handler(&req),
+                            Ok(_) => Response::error(405, "only GET is supported"),
+                            Err(e) => Response::error(400, e),
+                        };
+                        let _ = response.write_to(&mut stream);
+                    }
+                })
+            })
+            .collect();
+
+        let acceptor = {
+            let shutdown = Arc::clone(&shutdown);
+            let tx = conn_tx.clone();
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    if let Ok(stream) = stream {
+                        if tx.send(stream).is_err() {
+                            break;
+                        }
+                    }
+                }
+            })
+        };
+
+        Ok(HttpServer {
+            port,
+            shutdown,
+            acceptor: Some(acceptor),
+            workers: worker_handles,
+            _conn_tx: conn_tx,
+        })
+    }
+
+    /// The bound port.
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// Requests shutdown and joins the acceptor (workers drain and exit
+    /// when the connection channel closes on drop).
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Kick the blocking accept with a dummy connection.
+        let _ = TcpStream::connect(("127.0.0.1", self.port));
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+        // Close the channel so workers exit, then join them.
+        // (The Sender field drops after this body; workers join on a
+        // best-effort basis via detached threads.)
+        self.workers.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+
+    fn get(port: u16, target: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(("127.0.0.1", port)).unwrap();
+        write!(stream, "GET {target} HTTP/1.1\r\nHost: localhost\r\n\r\n").unwrap();
+        let mut buf = String::new();
+        stream.read_to_string(&mut buf).unwrap();
+        let status: u16 = buf
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap();
+        let body = buf.split("\r\n\r\n").nth(1).unwrap_or("").to_string();
+        (status, body)
+    }
+
+    fn echo_server() -> HttpServer {
+        HttpServer::start(
+            "127.0.0.1:0",
+            2,
+            Arc::new(|req: &Request| {
+                let q = req.param("q").unwrap_or("-");
+                Response::json(format!("{{\"path\":\"{}\",\"q\":\"{}\"}}", req.path, q))
+            }),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn serves_and_parses_query() {
+        let server = echo_server();
+        let (status, body) = get(server.port(), "/api/test?q=Toy%20Story&x=1");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"q\":\"Toy Story\""));
+        assert!(body.contains("\"path\":\"/api/test\""));
+    }
+
+    #[test]
+    fn plus_decodes_to_space() {
+        let server = echo_server();
+        let (_, body) = get(server.port(), "/x?q=Tom+Hanks");
+        assert!(body.contains("Tom Hanks"));
+    }
+
+    #[test]
+    fn non_get_rejected() {
+        let server = echo_server();
+        let mut stream = TcpStream::connect(("127.0.0.1", server.port())).unwrap();
+        write!(stream, "POST / HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut buf = String::new();
+        stream.read_to_string(&mut buf).unwrap();
+        assert!(buf.starts_with("HTTP/1.1 405"));
+    }
+
+    #[test]
+    fn malformed_request_is_400() {
+        let server = echo_server();
+        let mut stream = TcpStream::connect(("127.0.0.1", server.port())).unwrap();
+        write!(stream, "GARBAGE\r\n\r\n").unwrap();
+        let mut buf = String::new();
+        stream.read_to_string(&mut buf).unwrap();
+        assert!(buf.starts_with("HTTP/1.1 400"), "{buf}");
+    }
+
+    #[test]
+    fn concurrent_requests() {
+        let server = echo_server();
+        let port = server.port();
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let (status, body) = get(port, &format!("/t?q=v{i}"));
+                    assert_eq!(status, 200);
+                    assert!(body.contains(&format!("v{i}")));
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn percent_decode_edge_cases() {
+        assert_eq!(percent_decode("a%20b"), "a b");
+        assert_eq!(percent_decode("a+b"), "a b");
+        assert_eq!(percent_decode("100%"), "100%");
+        assert_eq!(percent_decode("%zz"), "%zz");
+        assert_eq!(percent_decode("caf%C3%A9"), "café");
+    }
+
+    #[test]
+    fn parse_query_pairs() {
+        let q = parse_query("a=1&b=&c&a=2");
+        assert_eq!(q.get("a").map(String::as_str), Some("2"));
+        assert_eq!(q.get("b").map(String::as_str), Some(""));
+        assert_eq!(q.get("c").map(String::as_str), Some(""));
+    }
+
+    #[test]
+    fn shutdown_stops_accepting() {
+        let mut server = echo_server();
+        let port = server.port();
+        server.shutdown();
+        // After shutdown the acceptor is gone; connects may succeed at the
+        // TCP level (backlog) but never get served. Just assert shutdown
+        // returned and a follow-up shutdown is a no-op.
+        server.shutdown();
+        let _ = port;
+    }
+}

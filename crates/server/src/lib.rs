@@ -1,0 +1,23 @@
+//! The MapRat demo server: a dependency-free reproduction of the paper's
+//! web front-end (§3.1, Figure 1).
+//!
+//! * [`json`] — a minimal, escaping-correct JSON value type with a writer
+//!   and a small parser (used by tests and tooling; `serde_json` is not on
+//!   the approved dependency list);
+//! * [`http`] — an HTTP/1.1 listener on `std::net::TcpListener` with a
+//!   crossbeam-channel worker pool, request parsing (query-string and
+//!   percent-decoding included) and graceful shutdown;
+//! * [`routes`] — the application: `/api/explain`, `/api/timeline`,
+//!   `/api/drill`, `/api/detail`, `/map.svg` and the embedded HTML page;
+//! * [`html`] — the single-page front-end (vanilla JS) driving the API.
+
+#![warn(missing_docs)]
+
+pub mod html;
+pub mod http;
+pub mod json;
+pub mod routes;
+
+pub use http::{HttpServer, Request, Response};
+pub use json::Json;
+pub use routes::AppState;

@@ -1,0 +1,691 @@
+//! The demo application: URL routes over an exploration session.
+//!
+//! The API mirrors the Figure-1 front-end controls: query text + query
+//! type, max-groups / coverage settings, a time window, and per-group
+//! drill-down and statistics endpoints.
+
+use crate::html;
+use crate::http::{Handler, Request, Response};
+use crate::json::Json;
+use maprat_core::query::{ItemQuery, QueryTerm};
+use maprat_core::{Explanation, Interpretation, MineError, SearchSettings};
+use maprat_data::{Dataset, Genre, MonthKey, TimeRange};
+use maprat_data::{AgeGroup, AttrValue, Gender, Occupation, UsState};
+use maprat_explore::drilldown::drill_group;
+use maprat_explore::personalize::{personalized_explain, VisitorProfile};
+use maprat_explore::{compare, exploration_maps, ExplorationSession, TimeSlider};
+use maprat_geo::citymap::{self, CityBubble, CityMap};
+use maprat_geo::svg::{render as render_svg, SvgOptions};
+use std::sync::Arc;
+
+/// The application state behind every route.
+///
+/// The dataset is `'static` (the demo binary leaks one on startup — a
+/// deliberate, documented choice: the dataset lives for the process).
+pub struct AppState {
+    session: ExplorationSession<'static>,
+}
+
+impl AppState {
+    /// Builds the state over a `'static` dataset.
+    pub fn new(dataset: &'static Dataset) -> Self {
+        AppState {
+            session: ExplorationSession::new(dataset),
+        }
+    }
+
+    /// The exploration session (for pre-warming by the binary).
+    pub fn session(&self) -> &ExplorationSession<'static> {
+        &self.session
+    }
+
+    /// Builds the HTTP handler closure.
+    pub fn into_handler(self) -> Handler {
+        let state = Arc::new(self);
+        Arc::new(move |req: &Request| state.dispatch(req))
+    }
+
+    fn dispatch(&self, req: &Request) -> Response {
+        match req.path.as_str() {
+            "/" | "/index.html" => Response::html(html::INDEX.to_string()),
+            "/api/explain" => self.explain_route(req),
+            "/api/timeline" => self.timeline_route(req),
+            "/api/drill" => self.drill_route(req),
+            "/api/detail" => self.detail_route(req),
+            "/api/personalize" => self.personalize_route(req),
+            "/map.svg" => self.map_route(req),
+            "/citymap.svg" => self.citymap_route(req),
+            _ => Response::error(404, format!("no route for {}", req.path)),
+        }
+    }
+
+    /// Parses the query/settings parameters shared by every API route.
+    fn parse_query_params(&self, req: &Request) -> Result<(ItemQuery, SearchSettings), String> {
+        let q = req.param("q").ok_or("missing parameter q")?.to_string();
+        if q.trim().is_empty() {
+            return Err("empty query".into());
+        }
+        let term = match req.param("type").unwrap_or("movie") {
+            "movie" => QueryTerm::TitleIs(q),
+            "contains" => QueryTerm::TitleContains(q),
+            "actor" => QueryTerm::Actor(q),
+            "director" => QueryTerm::Director(q),
+            "genre" => QueryTerm::Genre(
+                Genre::from_label(&q).ok_or_else(|| format!("unknown genre {q:?}"))?,
+            ),
+            other => return Err(format!("unknown query type {other:?}")),
+        };
+        let mut query = ItemQuery::new(term);
+        if let Some(genre) = req.param("genre") {
+            let g = Genre::from_label(genre).ok_or_else(|| format!("unknown genre {genre:?}"))?;
+            query = query.and(QueryTerm::Genre(g));
+        }
+        match (parse_month(req.param("from")), parse_month(req.param("to"))) {
+            (Err(e), _) | (_, Err(e)) => return Err(e),
+            (Ok(Some(from)), Ok(Some(to))) => {
+                if from > to {
+                    return Err("from after to".into());
+                }
+                query = query.within(TimeRange::months(from..=to));
+            }
+            (Ok(Some(from)), Ok(None)) => {
+                query = query.within(TimeRange::from_start(from.start()));
+            }
+            (Ok(None), Ok(Some(to))) => {
+                query = query.within(TimeRange::until(to.end_exclusive()));
+            }
+            (Ok(None), Ok(None)) => {}
+        }
+
+        let mut settings = SearchSettings::default();
+        if let Some(k) = req.param_as::<usize>("k") {
+            settings.max_groups = k;
+        }
+        if let Some(alpha) = req.param_as::<f64>("coverage") {
+            settings.min_coverage = alpha;
+        }
+        if let Some(geo) = req.param("geo") {
+            settings.require_geo = geo != "0" && geo != "false";
+        }
+        if let Some(support) = req.param_as::<usize>("support") {
+            settings.min_support = support;
+        }
+        Ok((query, settings))
+    }
+
+    fn explain_route(&self, req: &Request) -> Response {
+        let (query, settings) = match self.parse_query_params(req) {
+            Ok(v) => v,
+            Err(e) => return Response::error(400, e),
+        };
+        let result = self.session.explain(&query, &settings);
+        match &*result {
+            Ok(r) => Response::json(explanation_json(&r.explanation).render()),
+            Err(e) => mine_error_response(e),
+        }
+    }
+
+    fn map_route(&self, req: &Request) -> Response {
+        let (query, settings) = match self.parse_query_params(req) {
+            Ok(v) => v,
+            Err(e) => return Response::error(400, e),
+        };
+        let result = self.session.explain(&query, &settings);
+        match &*result {
+            Ok(r) => {
+                let (sm, dm) = exploration_maps(&r.explanation);
+                let map = match req.param("task").unwrap_or("sm") {
+                    "dm" => dm,
+                    _ => sm,
+                };
+                Response::svg(render_svg(&map, &SvgOptions::default()))
+            }
+            Err(e) => mine_error_response(e),
+        }
+    }
+
+    fn timeline_route(&self, req: &Request) -> Response {
+        let (query, settings) = match self.parse_query_params(req) {
+            Ok(v) => v,
+            Err(e) => return Response::error(400, e),
+        };
+        let window = req.param_as::<usize>("window").unwrap_or(6).max(1);
+        let step = req.param_as::<usize>("step").unwrap_or(window).max(1);
+        let Some(slider) = TimeSlider::over_dataset(&self.session, window, step) else {
+            return Response::error(400, "dataset has no ratings");
+        };
+        let points = slider.sweep(&self.session, &query, &settings);
+        let arr = points
+            .iter()
+            .map(|p| {
+                Json::obj([
+                    ("from", Json::str(p.from.to_string())),
+                    ("to", Json::str(p.to.to_string())),
+                    ("ratings", Json::Num(p.num_ratings as f64)),
+                    (
+                        "mean",
+                        p.overall_mean.map(Json::Num).unwrap_or(Json::Null),
+                    ),
+                    (
+                        "groups",
+                        Json::Arr(
+                            p.top_groups
+                                .iter()
+                                .map(|(label, mean, support)| {
+                                    Json::obj([
+                                        ("label", Json::str(label.clone())),
+                                        ("mean", Json::Num(*mean)),
+                                        ("support", Json::Num(*support as f64)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        Json::obj([("points", Json::Arr(arr))]).render_ok()
+    }
+
+    fn drill_route(&self, req: &Request) -> Response {
+        let (query, settings) = match self.parse_query_params(req) {
+            Ok(v) => v,
+            Err(e) => return Response::error(400, e),
+        };
+        let Some(idx) = req.param_as::<usize>("idx") else {
+            return Response::error(400, "missing parameter idx");
+        };
+        let task = req.param("task").unwrap_or("sm").to_string();
+        let result = self.session.explain(&query, &settings);
+        let r = match &*result {
+            Ok(r) => r,
+            Err(e) => return mine_error_response(e),
+        };
+        let interp = interp_of(&r.explanation, &task);
+        let Some(group) = interp.groups.get(idx) else {
+            return Response::error(404, format!("no group {idx} in {task}"));
+        };
+        match drill_group(self.session.dataset(), r, &group.desc) {
+            Some(cities) => {
+                let arr = cities
+                    .iter()
+                    .map(|c| {
+                        Json::obj([
+                            ("city", Json::str(c.city)),
+                            ("count", Json::Num(c.stats.count() as f64)),
+                            (
+                                "mean",
+                                c.stats.mean().map(Json::Num).unwrap_or(Json::Null),
+                            ),
+                        ])
+                    })
+                    .collect();
+                Json::obj([
+                    ("group", Json::str(group.label.clone())),
+                    ("cities", Json::Arr(arr)),
+                ])
+                .render_ok()
+            }
+            None => Response::error(400, "group has no geo condition"),
+        }
+    }
+
+    fn citymap_route(&self, req: &Request) -> Response {
+        let (query, settings) = match self.parse_query_params(req) {
+            Ok(v) => v,
+            Err(e) => return Response::error(400, e),
+        };
+        let Some(idx) = req.param_as::<usize>("idx") else {
+            return Response::error(400, "missing parameter idx");
+        };
+        let task = req.param("task").unwrap_or("sm").to_string();
+        let result = self.session.explain(&query, &settings);
+        let r = match &*result {
+            Ok(r) => r,
+            Err(e) => return mine_error_response(e),
+        };
+        let interp = interp_of(&r.explanation, &task);
+        let Some(group) = interp.groups.get(idx) else {
+            return Response::error(404, format!("no group {idx} in {task}"));
+        };
+        let Some(state) = group.desc.state() else {
+            return Response::error(400, "group has no geo condition");
+        };
+        let Some(cities) = drill_group(self.session.dataset(), r, &group.desc) else {
+            return Response::error(404, "group not among candidates");
+        };
+        let map = CityMap {
+            state,
+            title: group.label.clone(),
+            cities: cities
+                .iter()
+                .map(|c| CityBubble {
+                    name: c.city.to_string(),
+                    count: c.stats.count(),
+                    mean: c.stats.mean(),
+                })
+                .collect(),
+        };
+        Response::svg(citymap::render(&map, &citymap::CityMapOptions::default()))
+    }
+
+    /// Parses the visitor-profile parameters of `/api/personalize`.
+    fn parse_profile(req: &Request) -> Result<VisitorProfile, String> {
+        let mut profile = VisitorProfile::new();
+        if let Some(g) = req.param("gender") {
+            let gender = Gender::from_letter(g).map_err(|e| e.to_string())?;
+            profile = profile.with(AttrValue::Gender(gender));
+        }
+        if let Some(a) = req.param("age") {
+            let code: u32 = a.parse().map_err(|_| format!("bad age code {a:?}"))?;
+            let age = AgeGroup::from_movielens_code(code).map_err(|e| e.to_string())?;
+            profile = profile.with(AttrValue::Age(age));
+        }
+        if let Some(o) = req.param("occupation") {
+            let code: u32 = o.parse().map_err(|_| format!("bad occupation {o:?}"))?;
+            let occ = Occupation::from_movielens_code(code).map_err(|e| e.to_string())?;
+            profile = profile.with(AttrValue::Occupation(occ));
+        }
+        if let Some(st) = req.param("state") {
+            let state = UsState::from_abbrev(st).map_err(|e| e.to_string())?;
+            profile = profile.with(AttrValue::State(state));
+        }
+        Ok(profile)
+    }
+
+    fn personalize_route(&self, req: &Request) -> Response {
+        let (query, settings) = match self.parse_query_params(req) {
+            Ok(v) => v,
+            Err(e) => return Response::error(400, e),
+        };
+        let profile = match Self::parse_profile(req) {
+            Ok(p) => p,
+            Err(e) => return Response::error(400, e),
+        };
+        // Personalized mining bypasses the shared cache (one entry per
+        // visitor profile would thrash it); the miner is cheap to borrow.
+        let miner = maprat_core::Miner::new(self.session.dataset());
+        match personalized_explain(&miner, &query, &settings, &profile) {
+            Ok(explanation) => Response::json(explanation_json(&explanation).render()),
+            Err(e) => mine_error_response(&e),
+        }
+    }
+
+    fn detail_route(&self, req: &Request) -> Response {
+        let (query, settings) = match self.parse_query_params(req) {
+            Ok(v) => v,
+            Err(e) => return Response::error(400, e),
+        };
+        let Some(idx) = req.param_as::<usize>("idx") else {
+            return Response::error(400, "missing parameter idx");
+        };
+        let task = req.param("task").unwrap_or("sm").to_string();
+        let result = self.session.explain(&query, &settings);
+        let r = match &*result {
+            Ok(r) => r,
+            Err(e) => return mine_error_response(e),
+        };
+        let interp = interp_of(&r.explanation, &task);
+        let Some(group) = interp.groups.get(idx) else {
+            return Response::error(404, format!("no group {idx} in {task}"));
+        };
+        let Some(detail) = compare::group_detail(r, &group.desc) else {
+            return Response::error(404, "group not among candidates");
+        };
+        let hist = detail
+            .stats
+            .histogram()
+            .iter()
+            .map(|&n| Json::Num(n as f64))
+            .collect();
+        let related = detail
+            .related
+            .iter()
+            .map(|rg| {
+                Json::obj([
+                    ("label", Json::str(rg.label.clone())),
+                    (
+                        "relation",
+                        Json::str(match rg.relation {
+                            compare::Relation::Parent => "roll-up",
+                            compare::Relation::Sibling => "sibling",
+                        }),
+                    ),
+                    (
+                        "mean",
+                        rg.stats.mean().map(Json::Num).unwrap_or(Json::Null),
+                    ),
+                    ("count", Json::Num(rg.stats.count() as f64)),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("label", Json::str(detail.label.clone())),
+            ("count", Json::Num(detail.stats.count() as f64)),
+            (
+                "mean",
+                detail.stats.mean().map(Json::Num).unwrap_or(Json::Null),
+            ),
+            ("histogram", Json::Arr(hist)),
+            (
+                "overall_mean",
+                detail.total.mean().map(Json::Num).unwrap_or(Json::Null),
+            ),
+            ("related", Json::Arr(related)),
+        ])
+        .render_ok()
+    }
+}
+
+trait RenderOk {
+    fn render_ok(&self) -> Response;
+}
+
+impl RenderOk for Json {
+    fn render_ok(&self) -> Response {
+        Response::json(self.render())
+    }
+}
+
+fn interp_of<'e>(explanation: &'e Explanation, task: &str) -> &'e Interpretation {
+    match task {
+        "dm" => &explanation.diversity,
+        _ => &explanation.similarity,
+    }
+}
+
+fn mine_error_response(e: &MineError) -> Response {
+    let status = match e {
+        MineError::NoMatchingItems(_) | MineError::NoRatings | MineError::NoCandidates => 404,
+        MineError::InvalidSettings(_) => 400,
+    };
+    Response {
+        status,
+        content_type: "application/json; charset=utf-8",
+        body: Json::obj([("error", Json::str(e.to_string()))])
+            .render()
+            .into_bytes(),
+    }
+}
+
+/// Parses `YYYY-MM` into a month key.
+fn parse_month(value: Option<&str>) -> Result<Option<MonthKey>, String> {
+    let Some(value) = value else {
+        return Ok(None);
+    };
+    if value.is_empty() {
+        return Ok(None);
+    }
+    let (y, m) = value
+        .split_once('-')
+        .ok_or_else(|| format!("bad month {value:?} (expected YYYY-MM)"))?;
+    let year: i32 = y.parse().map_err(|_| format!("bad year in {value:?}"))?;
+    let month: u32 = m.parse().map_err(|_| format!("bad month in {value:?}"))?;
+    if !(1..=12).contains(&month) {
+        return Err(format!("month {month} outside 1..=12"));
+    }
+    Ok(Some(MonthKey::new(year, month)))
+}
+
+/// Serializes an interpretation tab.
+fn interpretation_json(interp: &Interpretation) -> Json {
+    Json::obj([
+        ("task", Json::str(interp.task.name())),
+        ("objective", Json::Num(interp.objective)),
+        ("coverage", Json::Num(interp.coverage)),
+        ("meets_coverage", Json::Bool(interp.meets_coverage)),
+        (
+            "groups",
+            Json::Arr(
+                interp
+                    .groups
+                    .iter()
+                    .map(|g| {
+                        Json::obj([
+                            ("label", Json::str(g.label.clone())),
+                            (
+                                "state",
+                                g.desc
+                                    .state()
+                                    .map(|s| Json::str(s.abbrev()))
+                                    .unwrap_or(Json::Null),
+                            ),
+                            (
+                                "mean",
+                                g.stats.mean().map(Json::Num).unwrap_or(Json::Null),
+                            ),
+                            ("support", Json::Num(g.support as f64)),
+                            ("share", Json::Num(g.coverage_share)),
+                            ("token", Json::str(g.desc.token())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Serializes a full explanation.
+pub fn explanation_json(explanation: &Explanation) -> Json {
+    Json::obj([
+        ("query", Json::str(explanation.query.clone())),
+        ("items", Json::Num(explanation.items.len() as f64)),
+        ("ratings", Json::Num(explanation.num_ratings as f64)),
+        (
+            "overall_mean",
+            explanation
+                .total
+                .mean()
+                .map(Json::Num)
+                .unwrap_or(Json::Null),
+        ),
+        ("similarity", interpretation_json(&explanation.similarity)),
+        ("diversity", interpretation_json(&explanation.diversity)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::HttpServer;
+    use maprat_data::synth::{generate, SynthConfig};
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+    use std::sync::OnceLock;
+
+    fn static_dataset() -> &'static Dataset {
+        static DATASET: OnceLock<Dataset> = OnceLock::new();
+        DATASET.get_or_init(|| generate(&SynthConfig::tiny(171)).unwrap())
+    }
+
+    fn server() -> HttpServer {
+        let state = AppState::new(static_dataset());
+        HttpServer::start("127.0.0.1:0", 2, state.into_handler()).unwrap()
+    }
+
+    fn get(port: u16, target: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(("127.0.0.1", port)).unwrap();
+        write!(stream, "GET {target} HTTP/1.1\r\nHost: l\r\n\r\n").unwrap();
+        let mut buf = Vec::new();
+        stream.read_to_end(&mut buf).unwrap();
+        let text = String::from_utf8_lossy(&buf).into_owned();
+        let status: u16 = text
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap();
+        let body = text.split("\r\n\r\n").nth(1).unwrap_or("").to_string();
+        (status, body)
+    }
+
+    #[test]
+    fn index_serves_ui() {
+        let s = server();
+        let (status, body) = get(s.port(), "/");
+        assert_eq!(status, 200);
+        assert!(body.contains("MapRat"));
+        assert!(body.contains("Explain Ratings"), "Figure-1 button present");
+    }
+
+    #[test]
+    fn explain_returns_both_tabs() {
+        let s = server();
+        let (status, body) = get(
+            s.port(),
+            "/api/explain?q=Toy+Story&coverage=0.1&geo=0",
+        );
+        assert_eq!(status, 200, "{body}");
+        let v = Json::parse(&body).unwrap();
+        assert!(v.get("similarity").is_some());
+        assert!(v.get("diversity").is_some());
+        assert!(v.get("similarity").unwrap().get("groups").unwrap().len().unwrap() >= 1);
+    }
+
+    #[test]
+    fn unknown_movie_is_404_json() {
+        let s = server();
+        let (status, body) = get(s.port(), "/api/explain?q=Nonexistent+Movie");
+        assert_eq!(status, 404);
+        assert!(Json::parse(&body).unwrap().get("error").is_some());
+    }
+
+    #[test]
+    fn missing_query_is_400() {
+        let s = server();
+        let (status, _) = get(s.port(), "/api/explain");
+        assert_eq!(status, 400);
+    }
+
+    #[test]
+    fn map_svg_renders() {
+        let s = server();
+        let (status, body) = get(s.port(), "/map.svg?q=Toy+Story&coverage=0.1");
+        assert_eq!(status, 200);
+        assert!(body.starts_with("<svg"));
+        assert!(body.contains("Similarity Mining"));
+        let (_, dm) = get(s.port(), "/map.svg?q=Toy+Story&coverage=0.1&task=dm");
+        assert!(dm.contains("Diversity Mining"));
+    }
+
+    #[test]
+    fn timeline_returns_points() {
+        let s = server();
+        let (status, body) = get(
+            s.port(),
+            "/api/timeline?q=Toy+Story&coverage=0.1&geo=0&window=12&step=12",
+        );
+        assert_eq!(status, 200, "{body}");
+        let v = Json::parse(&body).unwrap();
+        assert!(v.get("points").unwrap().len().unwrap() >= 2);
+    }
+
+    #[test]
+    fn drill_and_detail_routes() {
+        let s = server();
+        let (status, body) = get(
+            s.port(),
+            "/api/drill?q=Toy+Story&coverage=0.1&task=sm&idx=0",
+        );
+        assert_eq!(status, 200, "{body}");
+        let v = Json::parse(&body).unwrap();
+        assert!(v.get("cities").unwrap().len().unwrap() >= 1);
+
+        let (status, body) = get(
+            s.port(),
+            "/api/detail?q=Toy+Story&coverage=0.1&task=sm&idx=0",
+        );
+        assert_eq!(status, 200, "{body}");
+        let v = Json::parse(&body).unwrap();
+        assert_eq!(v.get("histogram").unwrap().len().unwrap(), 5);
+    }
+
+    #[test]
+    fn out_of_range_group_404() {
+        let s = server();
+        let (status, _) = get(
+            s.port(),
+            "/api/drill?q=Toy+Story&coverage=0.1&task=sm&idx=99",
+        );
+        assert_eq!(status, 404);
+    }
+
+    #[test]
+    fn time_window_parameters() {
+        let s = server();
+        let (status, body) = get(
+            s.port(),
+            "/api/explain?q=Toy+Story&coverage=0.05&geo=0&from=2000-05&to=2001-06",
+        );
+        assert_eq!(status, 200, "{body}");
+        let v = Json::parse(&body).unwrap();
+        let windowed = v.get("ratings").unwrap().as_f64().unwrap();
+        let (_, full_body) = get(s.port(), "/api/explain?q=Toy+Story&coverage=0.05&geo=0");
+        let full = Json::parse(&full_body)
+            .unwrap()
+            .get("ratings")
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        assert!(windowed < full);
+        // Malformed months are rejected.
+        let (status, _) = get(s.port(), "/api/explain?q=Toy+Story&from=200005");
+        assert_eq!(status, 400);
+        let (status, _) = get(s.port(), "/api/explain?q=Toy+Story&from=2001-01&to=2000-01");
+        assert_eq!(status, 400);
+    }
+
+    #[test]
+    fn query_types_route_correctly() {
+        let s = server();
+        let (status, body) = get(s.port(), "/api/explain?q=Tom+Hanks&type=actor&coverage=0.05&geo=0");
+        assert_eq!(status, 200, "{body}");
+        let v = Json::parse(&body).unwrap();
+        assert!(v.get("items").unwrap().as_f64().unwrap() >= 3.0);
+        let (status, _) = get(s.port(), "/api/explain?q=X&type=bogus");
+        assert_eq!(status, 400);
+    }
+
+    #[test]
+    fn citymap_route_renders_svg() {
+        let s = server();
+        let (status, body) = get(
+            s.port(),
+            "/citymap.svg?q=Toy+Story&coverage=0.1&task=sm&idx=0",
+        );
+        assert_eq!(status, 200, "{body}");
+        assert!(body.starts_with("<svg"));
+        assert!(body.contains("city drill-down"));
+        let (status, _) = get(s.port(), "/citymap.svg?q=Toy+Story&coverage=0.1&idx=99");
+        assert_eq!(status, 404);
+    }
+
+    #[test]
+    fn personalize_route_constrains_groups() {
+        let s = server();
+        let (status, body) = get(
+            s.port(),
+            "/api/personalize?q=Toy+Story&coverage=0.05&geo=0&gender=M",
+        );
+        assert_eq!(status, 200, "{body}");
+        let v = Json::parse(&body).unwrap();
+        let groups = v.get("similarity").unwrap().get("groups").unwrap();
+        for i in 0..groups.len().unwrap() {
+            let token = groups.at(i).unwrap().get("token").unwrap().as_str().unwrap();
+            assert!(!token.contains("gender=F"), "female group for male visitor: {token}");
+        }
+        // Bad profile values are 400.
+        let (status, _) = get(s.port(), "/api/personalize?q=Toy+Story&gender=X");
+        assert_eq!(status, 400);
+        let (status, _) = get(s.port(), "/api/personalize?q=Toy+Story&age=17");
+        assert_eq!(status, 400);
+        let (status, _) = get(s.port(), "/api/personalize?q=Toy+Story&state=ZZ");
+        assert_eq!(status, 400);
+    }
+
+    #[test]
+    fn unknown_route_404() {
+        let s = server();
+        let (status, _) = get(s.port(), "/api/unknown");
+        assert_eq!(status, 404);
+    }
+}

@@ -1,0 +1,85 @@
+//! Property-based tests on the JSON codec and URL decoding.
+
+use maprat_server::http::{parse_query, percent_decode};
+use maprat_server::Json;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Strategy for arbitrary JSON trees of bounded depth.
+fn arb_json() -> impl Strategy<Value = Json> {
+    let leaf = prop_oneof![
+        Just(Json::Null),
+        any::<bool>().prop_map(Json::Bool),
+        (-1e12f64..1e12).prop_map(Json::Num),
+        "[a-zA-Z0-9 \\\\\"\n\t♂é🎓]{0,12}".prop_map(Json::Str),
+    ];
+    leaf.prop_recursive(3, 32, 6, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..6).prop_map(Json::Arr),
+            proptest::collection::btree_map("[a-z]{1,6}", inner, 0..6)
+                .prop_map(|m| Json::Obj(m.into_iter().collect::<BTreeMap<_, _>>())),
+        ]
+    })
+}
+
+proptest! {
+    /// render → parse is the identity (up to float formatting, which the
+    /// renderer keeps exact for the magnitudes generated here).
+    #[test]
+    fn json_round_trip(value in arb_json()) {
+        let rendered = Json::parse(&value.render());
+        prop_assert!(rendered.is_ok(), "render produced unparseable output");
+        // Numbers re-render identically, so a second round trip is a fixed
+        // point.
+        let once = rendered.unwrap();
+        prop_assert_eq!(Json::parse(&once.render()).unwrap(), once);
+    }
+
+    /// The parser never panics on arbitrary input.
+    #[test]
+    fn json_parse_total(input in ".{0,64}") {
+        let _ = Json::parse(&input);
+    }
+
+    /// Percent-decoding never panics and is the inverse of a simple
+    /// encoder over arbitrary byte-ish strings.
+    #[test]
+    fn percent_round_trip(s in "[a-zA-Z0-9 /?&=+%éß♀]{0,32}") {
+        let encoded: String = s
+            .bytes()
+            .map(|b| {
+                if b.is_ascii_alphanumeric() {
+                    (b as char).to_string()
+                } else {
+                    format!("%{b:02X}")
+                }
+            })
+            .collect();
+        prop_assert_eq!(percent_decode(&encoded), s);
+    }
+
+    /// percent_decode is total on arbitrary input.
+    #[test]
+    fn percent_decode_total(s in ".{0,48}") {
+        let _ = percent_decode(&s);
+    }
+
+    /// Query strings parse every `k=v` pair, last value winning.
+    #[test]
+    fn query_pairs(keys in proptest::collection::vec("[a-z]{1,4}", 0..6)) {
+        let qs: String = keys
+            .iter()
+            .enumerate()
+            .map(|(i, k)| format!("{k}={i}"))
+            .collect::<Vec<_>>()
+            .join("&");
+        let parsed = parse_query(&qs);
+        for (i, k) in keys.iter().enumerate() {
+            let last = keys.iter().rposition(|x| x == k).unwrap();
+            if i == last {
+                let expected = i.to_string();
+                prop_assert_eq!(parsed.get(k), Some(&expected));
+            }
+        }
+    }
+}

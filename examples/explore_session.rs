@@ -1,0 +1,78 @@
+//! Full interactive-exploration tour (§2.3 / §3.1 / Figure 3):
+//! query → pick a group → statistics panel with related groups →
+//! city-level drill-down → personalized re-mining for a visitor profile.
+//!
+//! Run with `cargo run --release --example explore_session`.
+
+use maprat::core::query::{ItemQuery, QueryTerm};
+use maprat::core::{Miner, SearchSettings};
+use maprat::data::synth::{generate, SynthConfig};
+use maprat::data::{AgeGroup, AttrValue, Gender};
+use maprat::explore::compare::{group_detail, render_detail};
+use maprat::explore::drilldown::{drill_group, render_drilldown};
+use maprat::explore::personalize::{personalized_explain, VisitorProfile};
+use maprat::explore::ExplorationSession;
+
+fn main() {
+    let dataset = generate(&SynthConfig::small(42)).expect("generation succeeds");
+    let session = ExplorationSession::new(&dataset);
+    let settings = SearchSettings::default().with_min_coverage(0.2);
+
+    // Pre-compute popular items (§2.3: "aggressive data pre-processing,
+    // result pre-computation and caching").
+    let warmed = session.precompute_popular(5, &settings);
+    println!("pre-computed explanations for {warmed} popular items\n");
+
+    // Figure 2: the explanation for Toy Story.
+    let query = ItemQuery::title("Toy Story");
+    let result = session.explain(&query, &settings);
+    let r = result.as_ref().as_ref().expect("planted movie");
+    print!("{}", r.explanation.similarity.render_text());
+
+    // Figure 3: click the first SM group.
+    let selected = r.explanation.similarity.groups[0].desc;
+    let detail = group_detail(r, &selected).expect("selected group is a candidate");
+    print!("\n{}", render_detail(&detail));
+
+    // Drill down to city level.
+    if let Some(cities) = drill_group(&dataset, r, &selected) {
+        print!("\n{}", render_drilldown(&selected, &cities));
+    }
+
+    // A multi-attribute demo query: thriller movies directed by Spielberg.
+    let spielberg = ItemQuery::director("Steven Spielberg")
+        .and(QueryTerm::Genre(maprat::data::Genre::Thriller));
+    match &*session.explain(&spielberg, &settings) {
+        Ok(res) => {
+            println!("\nquery: {}", res.explanation.query);
+            print!("{}", res.explanation.similarity.render_text());
+        }
+        Err(e) => println!("\nSpielberg thriller query failed: {e}"),
+    }
+
+    // Personalization: a teenage female visitor gets groups she
+    // self-identifies with.
+    let miner = Miner::new(&dataset);
+    let profile = VisitorProfile::new()
+        .with(AttrValue::Gender(Gender::Female))
+        .with(AttrValue::Age(AgeGroup::Under18));
+    let personalized = personalized_explain(
+        &miner,
+        &ItemQuery::title("The Twilight Saga: Eclipse"),
+        &SearchSettings::default()
+            .with_require_geo(false)
+            .with_min_coverage(0.1),
+        &profile,
+    )
+    .expect("personalized explanation");
+    println!("\npersonalized for a female teen visitor:");
+    print!("{}", personalized.similarity.render_text());
+
+    let stats = session.cache_stats();
+    println!(
+        "\nsession cache: {} hits, {} misses, hit rate {:.0}%",
+        stats.hits(),
+        stats.misses(),
+        stats.hit_rate().unwrap_or(0.0) * 100.0
+    );
+}

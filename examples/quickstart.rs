@@ -1,0 +1,38 @@
+//! Quickstart: generate the demo dataset, explain one movie, print both
+//! interpretation tabs and an ASCII choropleth.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use maprat::core::query::ItemQuery;
+use maprat::core::{Miner, SearchSettings};
+use maprat::data::synth;
+use maprat::explore::exploration_maps;
+use maprat::geo::ascii::{self, AsciiOptions};
+
+fn main() {
+    // A deterministic MovieLens-like dataset with the paper's planted
+    // scenarios (~80k ratings; use SynthConfig::movielens_1m for full
+    // scale).
+    let dataset = synth::demo_dataset();
+    println!("dataset: {}", dataset.summary());
+
+    let miner = Miner::new(&dataset);
+    let settings = SearchSettings::default().with_min_coverage(0.2);
+    let query = ItemQuery::title("Toy Story");
+
+    let explanation = miner.explain(&query, &settings).expect("Toy Story is planted");
+    print!("{}", explanation.render_text());
+
+    let (sm_map, _dm_map) = exploration_maps(&explanation);
+    let color = std::env::var_os("NO_COLOR").is_none();
+    println!(
+        "{}",
+        ascii::render(
+            &sm_map,
+            &AsciiOptions {
+                color,
+                caption: true,
+            }
+        )
+    );
+}

@@ -1,0 +1,40 @@
+//! Launches the web demo: the Figure-1 front-end on an embedded HTTP
+//! server, exactly like the paper's demonstration plan (§3.2).
+//!
+//! Run with `cargo run --release --example serve_demo [port]`, then open
+//! `http://127.0.0.1:<port>/`. Try the queries of §3.2: "The Social
+//! Network", "Tom Hanks" (type Actor), "Lord of the Rings" (type Title
+//! contains), "Steven Spielberg" (type Director).
+
+use maprat::core::SearchSettings;
+use maprat::data::synth::{generate, SynthConfig};
+use maprat::server::{AppState, HttpServer};
+
+fn main() {
+    let port: u16 = std::env::args()
+        .nth(1)
+        .and_then(|p| p.parse().ok())
+        .unwrap_or(8748);
+
+    eprintln!("generating the demo dataset…");
+    let dataset = generate(&SynthConfig::small(42)).expect("generation succeeds");
+    eprintln!("dataset: {}", dataset.summary());
+    // The dataset lives for the whole process; leaking it gives the
+    // server threads a 'static borrow without unsafe.
+    let dataset = Box::leak(Box::new(dataset));
+
+    let state = AppState::new(dataset);
+    eprintln!("pre-computing popular items…");
+    let warmed = state
+        .session()
+        .precompute_popular(8, &SearchSettings::default().with_min_coverage(0.2));
+    eprintln!("warmed {warmed} cache entries");
+
+    let server = HttpServer::start(&format!("127.0.0.1:{port}"), 4, state.into_handler())
+        .expect("bind demo port");
+    eprintln!("MapRat demo listening on http://127.0.0.1:{}/", server.port());
+    eprintln!("press Ctrl-C to stop");
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}

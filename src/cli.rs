@@ -1,0 +1,320 @@
+//! Command-line interface for the `maprat` binary.
+//!
+//! Subcommands mirror the demo's capabilities: `generate` materializes a
+//! synthetic dataset in MovieLens format, `explain` runs the two mining
+//! tasks for a query, `timeline` sweeps the time slider, `drill` shows
+//! city statistics for an explained group, and `serve` starts the web
+//! demo. Argument parsing is hand-rolled (no CLI dependency) and lives
+//! here so it is unit-testable.
+
+use crate::core::query::{ItemQuery, QueryTerm};
+use crate::core::SearchSettings;
+use std::collections::HashMap;
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Generate a synthetic dataset into a MovieLens-format directory.
+    Generate {
+        /// Output directory.
+        out: String,
+        /// Scale preset (`tiny` / `small` / `full`).
+        scale: String,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// Explain a query (both mining tasks).
+    Explain {
+        /// The query argument and options.
+        spec: QuerySpec,
+        /// Optional path to write the SM choropleth SVG.
+        svg: Option<String>,
+    },
+    /// Sweep the time slider.
+    Timeline {
+        /// The query argument and options.
+        spec: QuerySpec,
+        /// Window length in months.
+        window: usize,
+    },
+    /// Drill into one explained group.
+    Drill {
+        /// The query argument and options.
+        spec: QuerySpec,
+        /// Index of the SM group to drill into.
+        index: usize,
+    },
+    /// Start the web demo.
+    Serve {
+        /// Listen port.
+        port: u16,
+        /// Optional MovieLens directory to load instead of synthesizing.
+        data: Option<String>,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Query + settings shared by the mining subcommands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuerySpec {
+    /// The query text.
+    pub query: String,
+    /// The query type (`movie` / `contains` / `actor` / `director`).
+    pub query_type: String,
+    /// `k`, the group budget.
+    pub max_groups: usize,
+    /// `α`, the coverage constraint.
+    pub min_coverage: f64,
+    /// Whether groups must carry a state condition.
+    pub require_geo: bool,
+    /// Optional MovieLens directory to load instead of synthesizing.
+    pub data: Option<String>,
+}
+
+impl QuerySpec {
+    /// Builds the typed query.
+    pub fn to_query(&self) -> Result<ItemQuery, String> {
+        let term = match self.query_type.as_str() {
+            "movie" => QueryTerm::TitleIs(self.query.clone()),
+            "contains" => QueryTerm::TitleContains(self.query.clone()),
+            "actor" => QueryTerm::Actor(self.query.clone()),
+            "director" => QueryTerm::Director(self.query.clone()),
+            other => return Err(format!("unknown --type {other:?}")),
+        };
+        Ok(ItemQuery::new(term))
+    }
+
+    /// Builds the search settings.
+    pub fn to_settings(&self) -> SearchSettings {
+        SearchSettings::default()
+            .with_max_groups(self.max_groups)
+            .with_min_coverage(self.min_coverage)
+            .with_require_geo(self.require_geo)
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+maprat — meaningful explanation of collaborative ratings (VLDB'12 reproduction)
+
+USAGE:
+  maprat generate --out DIR [--scale tiny|small|full] [--seed N]
+  maprat explain  QUERY [--type movie|contains|actor|director]
+                  [--k N] [--coverage F] [--no-geo] [--data DIR] [--svg PATH]
+  maprat timeline QUERY [--window MONTHS] [query options]
+  maprat drill    QUERY --index N [query options]
+  maprat serve    [--port P] [--data DIR]
+  maprat help
+
+EXAMPLES:
+  maprat explain \"Toy Story\"
+  maprat explain \"Tom Hanks\" --type actor --coverage 0.1
+  maprat timeline \"Toy Story\" --window 6
+  maprat drill \"Toy Story\" --index 0
+  maprat generate --out ./ml-synth --scale small
+  maprat serve --port 8748
+";
+
+fn split_flags(args: &[String]) -> Result<(Vec<String>, HashMap<String, String>), String> {
+    let mut positional = Vec::new();
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        if let Some(name) = arg.strip_prefix("--") {
+            if name == "no-geo" || name == "check" {
+                flags.insert(name.to_string(), "true".to_string());
+                i += 1;
+            } else {
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("--{name} requires a value"))?;
+                flags.insert(name.to_string(), value.clone());
+                i += 2;
+            }
+        } else {
+            positional.push(arg.clone());
+            i += 1;
+        }
+    }
+    Ok((positional, flags))
+}
+
+fn parse_flag<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    name: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| format!("--{name}: cannot parse {raw:?}")),
+    }
+}
+
+fn parse_spec(
+    positional: &[String],
+    flags: &HashMap<String, String>,
+) -> Result<QuerySpec, String> {
+    let query = positional
+        .first()
+        .cloned()
+        .ok_or_else(|| "missing QUERY argument".to_string())?;
+    Ok(QuerySpec {
+        query,
+        query_type: flags.get("type").cloned().unwrap_or_else(|| "movie".into()),
+        max_groups: parse_flag(flags, "k", 3)?,
+        min_coverage: parse_flag(flags, "coverage", 0.2)?,
+        require_geo: !flags.contains_key("no-geo"),
+        data: flags.get("data").cloned(),
+    })
+}
+
+/// Parses a full command line (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, String> {
+    let Some(subcommand) = args.first() else {
+        return Ok(Command::Help);
+    };
+    let rest = &args[1..];
+    let (positional, flags) = split_flags(rest)?;
+    match subcommand.as_str() {
+        "generate" => Ok(Command::Generate {
+            out: flags
+                .get("out")
+                .cloned()
+                .ok_or_else(|| "generate requires --out DIR".to_string())?,
+            scale: flags.get("scale").cloned().unwrap_or_else(|| "small".into()),
+            seed: parse_flag(&flags, "seed", 42)?,
+        }),
+        "explain" => Ok(Command::Explain {
+            spec: parse_spec(&positional, &flags)?,
+            svg: flags.get("svg").cloned(),
+        }),
+        "timeline" => Ok(Command::Timeline {
+            spec: parse_spec(&positional, &flags)?,
+            window: parse_flag(&flags, "window", 6)?,
+        }),
+        "drill" => Ok(Command::Drill {
+            spec: parse_spec(&positional, &flags)?,
+            index: parse_flag(&flags, "index", 0)?,
+        }),
+        "serve" => Ok(Command::Serve {
+            port: parse_flag(&flags, "port", 8748)?,
+            data: flags.get("data").cloned(),
+        }),
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(format!("unknown subcommand {other:?}\n\n{USAGE}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_explain_with_defaults() {
+        let cmd = parse(&argv("explain Toy-Story")).unwrap();
+        let Command::Explain { spec, svg } = cmd else {
+            panic!("wrong variant");
+        };
+        assert_eq!(spec.query, "Toy-Story");
+        assert_eq!(spec.query_type, "movie");
+        assert_eq!(spec.max_groups, 3);
+        assert!(spec.require_geo);
+        assert!(svg.is_none());
+    }
+
+    #[test]
+    fn parses_flags() {
+        let cmd = parse(&argv(
+            "explain Hanks --type actor --k 5 --coverage 0.1 --no-geo --svg out.svg",
+        ))
+        .unwrap();
+        let Command::Explain { spec, svg } = cmd else {
+            panic!("wrong variant");
+        };
+        assert_eq!(spec.query_type, "actor");
+        assert_eq!(spec.max_groups, 5);
+        assert_eq!(spec.min_coverage, 0.1);
+        assert!(!spec.require_geo);
+        assert_eq!(svg.as_deref(), Some("out.svg"));
+    }
+
+    #[test]
+    fn spec_converts_to_query_and_settings() {
+        let cmd = parse(&argv("explain X --type director --k 2")).unwrap();
+        let Command::Explain { spec, .. } = cmd else {
+            panic!();
+        };
+        let q = spec.to_query().unwrap();
+        assert!(q.describe().contains("director"));
+        let s = spec.to_settings();
+        assert_eq!(s.max_groups, 2);
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn bad_type_rejected_at_query_build() {
+        let spec = QuerySpec {
+            query: "x".into(),
+            query_type: "bogus".into(),
+            max_groups: 3,
+            min_coverage: 0.2,
+            require_geo: true,
+            data: None,
+        };
+        assert!(spec.to_query().is_err());
+    }
+
+    #[test]
+    fn generate_requires_out() {
+        assert!(parse(&argv("generate")).is_err());
+        let cmd = parse(&argv("generate --out /tmp/x --scale tiny --seed 7")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Generate {
+                out: "/tmp/x".into(),
+                scale: "tiny".into(),
+                seed: 7
+            }
+        );
+    }
+
+    #[test]
+    fn serve_and_drill() {
+        assert_eq!(
+            parse(&argv("serve --port 9000")).unwrap(),
+            Command::Serve {
+                port: 9000,
+                data: None
+            }
+        );
+        let Command::Drill { index, .. } = parse(&argv("drill Q --index 2")).unwrap() else {
+            panic!();
+        };
+        assert_eq!(index, 2);
+    }
+
+    #[test]
+    fn missing_query_is_error() {
+        assert!(parse(&argv("explain")).is_err());
+    }
+
+    #[test]
+    fn missing_flag_value_is_error() {
+        assert!(parse(&argv("explain Q --k")).is_err());
+    }
+
+    #[test]
+    fn help_variants() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
+        assert!(parse(&argv("frobnicate")).is_err());
+    }
+}

@@ -1,0 +1,47 @@
+//! # MapRat
+//!
+//! A from-scratch reproduction of *MapRat: Meaningful Explanation,
+//! Interactive Exploration and Geo-Visualization of Collaborative Ratings*
+//! (Thirumuruganathan et al., PVLDB 5(12), VLDB 2012).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`data`] — the `⟨I, U, R⟩` data model, MovieLens loader and the
+//!   synthetic MovieLens-scale generator with planted paper scenarios;
+//! * [`cube`] — the data-cube group lattice over reviewer attributes;
+//! * [`core`] — Similarity/Diversity Mining with the Randomized Hill
+//!   Exploration solver and its baselines, plus the item query language;
+//! * [`geo`] — US geography and choropleth (SVG / ASCII) rendering;
+//! * [`cache`] — the result cache and precomputation layer;
+//! * [`explore`] — the interactive exploration engine (time slider,
+//!   drill-down, group statistics, personalization);
+//! * [`server`] — the dependency-free HTTP demo server.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use maprat::data::synth;
+//! use maprat::core::{Miner, SearchSettings};
+//! use maprat::core::query::ItemQuery;
+//!
+//! let dataset = synth::generate(&synth::SynthConfig::tiny(42)).unwrap();
+//! let miner = Miner::new(&dataset);
+//! let explanation = miner
+//!     .explain(&ItemQuery::title("Toy Story"), &SearchSettings::default())
+//!     .unwrap();
+//! for group in &explanation.similarity.groups {
+//!     println!("{}: {:.2}", group.label, group.stats.mean().unwrap());
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cli;
+
+pub use maprat_cache as cache;
+pub use maprat_core as core;
+pub use maprat_cube as cube;
+pub use maprat_data as data;
+pub use maprat_explore as explore;
+pub use maprat_geo as geo;
+pub use maprat_server as server;

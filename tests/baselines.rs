@@ -1,0 +1,150 @@
+//! Cross-crate solver-quality integration tests (the EXT-QUALITY contract
+//! of EXPERIMENTS.md): RHE ≈ exhaustive on small pools; RHE beats random;
+//! solution quality ordering is stable across planted movies.
+
+use maprat::core::{exhaustive, greedy, random, rhe, MiningProblem, RheParams, Task};
+use maprat::cube::{CubeOptions, RatingCube};
+use maprat::data::synth::{generate, SynthConfig};
+use maprat::data::Dataset;
+use std::sync::OnceLock;
+
+fn dataset() -> &'static Dataset {
+    static DATASET: OnceLock<Dataset> = OnceLock::new();
+    DATASET.get_or_init(|| generate(&SynthConfig::small(42)).unwrap())
+}
+
+fn cube(title: &str, min_support: usize, max_arity: usize) -> RatingCube {
+    let d = dataset();
+    let item = d.find_title(title).expect("planted title");
+    let idx: Vec<u32> = d.rating_range_for_item(item).collect();
+    RatingCube::build(
+        d,
+        idx,
+        CubeOptions {
+            min_support,
+            require_geo: false,
+            max_arity,
+        },
+    )
+}
+
+const TITLES: [&str; 3] = ["Toy Story", "The Twilight Saga: Eclipse", "Forrest Gump"];
+
+#[test]
+fn rhe_matches_exhaustive_on_small_pools() {
+    for title in TITLES {
+        let cube = cube(title, 40, 1);
+        assert!(
+            exhaustive::enumeration_count(cube.len(), 3) < 1_000_000,
+            "pool {} too large for the exact baseline",
+            cube.len()
+        );
+        for task in Task::ALL {
+            let problem = MiningProblem::new(&cube, 3, 0.2, 0.5);
+            let exact = exhaustive::solve(&problem, task).unwrap();
+            let heur = rhe::solve(
+                &problem,
+                task,
+                &RheParams {
+                    restarts: 24,
+                    max_iterations: 64,
+                    seed: 99,
+                },
+            )
+            .unwrap();
+            if exact.meets_coverage {
+                assert!(heur.meets_coverage, "{title}/{task:?}: RHE missed coverage");
+                let gap = (exact.objective - heur.objective) / exact.objective.abs().max(1e-9);
+                assert!(
+                    gap <= 0.05,
+                    "{title}/{task:?}: optimality gap {:.1}% (exact {:.4}, rhe {:.4})",
+                    gap * 100.0,
+                    exact.objective,
+                    heur.objective
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn quality_ordering_rhe_geq_random() {
+    // With matched budgets, RHE must beat (or tie) the random baseline on
+    // every planted movie and both tasks.
+    for title in TITLES {
+        let cube = cube(title, 10, 2);
+        let problem = MiningProblem::new(&cube, 3, 0.2, 0.5);
+        for task in Task::ALL {
+            let heur = rhe::solve(
+                &problem,
+                task,
+                &RheParams {
+                    restarts: 8,
+                    max_iterations: 48,
+                    seed: 5,
+                },
+            )
+            .unwrap();
+            let rand_sol = random::solve(&problem, task, 32, 5).unwrap();
+            assert!(
+                (heur.meets_coverage, heur.objective + 1e-9)
+                    >= (rand_sol.meets_coverage, rand_sol.objective),
+                "{title}/{task:?}: rhe {:.4} < random {:.4}",
+                heur.objective,
+                rand_sol.objective
+            );
+        }
+    }
+}
+
+#[test]
+fn greedy_is_competitive_but_not_above_exact() {
+    for title in TITLES {
+        let cube = cube(title, 40, 1);
+        for task in Task::ALL {
+            let problem = MiningProblem::new(&cube, 2, 0.1, 0.5);
+            let exact = exhaustive::solve(&problem, task).unwrap();
+            let g = greedy::solve(&problem, task).unwrap();
+            if exact.meets_coverage && g.meets_coverage {
+                assert!(exact.objective >= g.objective - 1e-9);
+            }
+        }
+    }
+}
+
+#[test]
+fn null_model_yields_weak_structure() {
+    // On affinity-free data (no demographic structure) DM's best gap is
+    // markedly smaller than on the planted controversial movie.
+    let null = generate(&SynthConfig::small(42).without_affinity()).unwrap();
+    let item = null
+        .items()
+        .iter()
+        .max_by_key(|it| null.ratings_for_item(it.id).len())
+        .unwrap()
+        .id;
+    let idx: Vec<u32> = null.rating_range_for_item(item).collect();
+    let null_cube = RatingCube::build(
+        &null,
+        idx,
+        CubeOptions {
+            min_support: 10,
+            require_geo: false,
+            max_arity: 2,
+        },
+    );
+    let null_problem = MiningProblem::new(&null_cube, 2, 0.1, 0.0);
+    let null_dm = rhe::solve(&null_problem, Task::Diversity, &RheParams::default()).unwrap();
+
+    let eclipse_cube = cube("The Twilight Saga: Eclipse", 10, 2);
+    let eclipse_problem = MiningProblem::new(&eclipse_cube, 2, 0.1, 0.0);
+    let eclipse_dm =
+        rhe::solve(&eclipse_problem, Task::Diversity, &RheParams::default()).unwrap();
+
+    assert!(
+        eclipse_dm.objective > null_dm.objective * 2.0,
+        "planted controversy {:.3} should dwarf null-model gap {:.3}",
+        eclipse_dm.objective,
+        null_dm.objective
+    );
+}

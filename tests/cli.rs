@@ -1,0 +1,96 @@
+//! Integration tests driving the compiled `maprat` CLI binary end to end.
+
+use std::process::Command;
+
+fn maprat(args: &[&str]) -> (bool, String, String) {
+    let output = Command::new(env!("CARGO_BIN_EXE_maprat"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        output.status.success(),
+        String::from_utf8_lossy(&output.stdout).into_owned(),
+        String::from_utf8_lossy(&output.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn help_prints_usage() {
+    let (ok, stdout, _) = maprat(&["help"]);
+    assert!(ok);
+    assert!(stdout.contains("USAGE"));
+    assert!(stdout.contains("explain"));
+}
+
+#[test]
+fn unknown_subcommand_fails_with_usage() {
+    let (ok, _, stderr) = maprat(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown subcommand"));
+}
+
+#[test]
+fn explain_runs_on_synthetic_data() {
+    let (ok, stdout, stderr) = maprat(&["explain", "Toy Story", "--coverage", "0.2"]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("Similarity Mining"));
+    assert!(stdout.contains("Diversity Mining"));
+    assert!(stdout.contains("California"), "planted group expected:\n{stdout}");
+}
+
+#[test]
+fn explain_unknown_movie_fails_cleanly() {
+    let (ok, _, stderr) = maprat(&["explain", "No Such Movie Whatsoever"]);
+    assert!(!ok);
+    assert!(stderr.contains("no item matches"));
+}
+
+#[test]
+fn generate_then_explain_round_trip() {
+    let dir = std::env::temp_dir().join(format!("maprat-cli-{}", std::process::id()));
+    let dir_str = dir.to_str().unwrap();
+    let (ok, _, stderr) = maprat(&["generate", "--out", dir_str, "--scale", "tiny", "--seed", "9"]);
+    assert!(ok, "{stderr}");
+    assert!(dir.join("ratings.dat").exists());
+    assert!(dir.join("people.dat").exists());
+
+    let (ok, stdout, stderr) = maprat(&[
+        "explain",
+        "Toy Story",
+        "--data",
+        dir_str,
+        "--coverage",
+        "0.1",
+        "--no-geo",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("Similarity Mining"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn timeline_renders_windows() {
+    let (ok, stdout, stderr) = maprat(&["timeline", "Toy Story", "--window", "9", "--coverage", "0.1"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("window"));
+    assert!(stdout.lines().count() >= 3);
+}
+
+#[test]
+fn drill_prints_city_table() {
+    let (ok, stdout, stderr) = maprat(&["drill", "Toy Story", "--index", "0", "--coverage", "0.2"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("city-level statistics"));
+}
+
+#[test]
+fn explain_writes_svg() {
+    let path = std::env::temp_dir().join(format!("maprat-cli-svg-{}.svg", std::process::id()));
+    let path_str = path.to_str().unwrap();
+    let (ok, stdout, stderr) = maprat(&["explain", "Toy Story", "--coverage", "0.2", "--svg", path_str]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("wrote"));
+    let svg = std::fs::read_to_string(&path).unwrap();
+    assert!(svg.starts_with("<svg"));
+    std::fs::remove_file(&path).ok();
+}

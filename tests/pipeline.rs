@@ -1,0 +1,170 @@
+//! End-to-end integration: synthetic dataset → query → mining →
+//! geo-visualization → HTTP demo server, all through the public facade.
+
+use maprat::core::query::ItemQuery;
+use maprat::core::{Miner, SearchSettings};
+use maprat::data::synth::{generate, SynthConfig};
+use maprat::data::Dataset;
+use maprat::explore::{exploration_maps, ExplorationSession};
+use maprat::geo::ascii::{self, AsciiOptions};
+use maprat::geo::svg::{render as render_svg, SvgOptions};
+use maprat::server::{AppState, HttpServer, Json};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::OnceLock;
+
+fn dataset() -> &'static Dataset {
+    static DATASET: OnceLock<Dataset> = OnceLock::new();
+    DATASET.get_or_init(|| generate(&SynthConfig::small(42)).unwrap())
+}
+
+fn settings() -> SearchSettings {
+    SearchSettings::default().with_min_coverage(0.2)
+}
+
+#[test]
+fn mine_render_and_serve() {
+    let d = dataset();
+    let miner = Miner::new(d);
+    let explanation = miner
+        .explain(&ItemQuery::title("Toy Story"), &settings())
+        .expect("planted movie explains");
+    assert_eq!(explanation.similarity.groups.len(), 3);
+
+    // Geo rendering.
+    let (sm, dm) = exploration_maps(&explanation);
+    let svg = render_svg(&sm, &SvgOptions::default());
+    assert!(svg.contains("Similarity Mining"));
+    assert!(svg.len() > 5_000, "all 51 tiles rendered");
+    let text = ascii::render(
+        &dm,
+        &AsciiOptions {
+            color: false,
+            caption: true,
+        },
+    );
+    assert!(text.contains("Diversity Mining"));
+
+    // HTTP round trip against the same dataset.
+    let server = HttpServer::start(
+        "127.0.0.1:0",
+        2,
+        AppState::new(dataset()).into_handler(),
+    )
+    .unwrap();
+    let mut stream = TcpStream::connect(("127.0.0.1", server.port())).unwrap();
+    write!(
+        stream,
+        "GET /api/explain?q=Toy+Story&coverage=0.2 HTTP/1.1\r\nHost: l\r\n\r\n"
+    )
+    .unwrap();
+    let mut buf = String::new();
+    stream.read_to_string(&mut buf).unwrap();
+    assert!(buf.starts_with("HTTP/1.1 200"), "{buf}");
+    let body = buf.split("\r\n\r\n").nth(1).unwrap();
+    let v = Json::parse(body).unwrap();
+    // The served result and the direct mining agree on the rating volume.
+    assert_eq!(
+        v.get("ratings").unwrap().as_f64().unwrap() as usize,
+        explanation.num_ratings
+    );
+    let served_groups = v
+        .get("similarity")
+        .unwrap()
+        .get("groups")
+        .unwrap()
+        .len()
+        .unwrap();
+    assert_eq!(served_groups, explanation.similarity.groups.len());
+}
+
+#[test]
+fn cache_makes_repeat_queries_cheap() {
+    let d = dataset();
+    let session = ExplorationSession::new(d);
+    let q = ItemQuery::title("Forrest Gump");
+    let s = settings();
+
+    let t0 = std::time::Instant::now();
+    let first = session.explain(&q, &s);
+    assert!(first.is_ok());
+    let cold = t0.elapsed();
+
+    let t1 = std::time::Instant::now();
+    for _ in 0..50 {
+        let again = session.explain(&q, &s);
+        assert!(again.is_ok());
+    }
+    let warm_each = t1.elapsed() / 50;
+
+    // The paper's latency claim, as an order-of-magnitude assertion (kept
+    // loose: CI machines vary).
+    assert!(
+        warm_each < cold,
+        "cached {warm_each:?} should beat cold {cold:?}"
+    );
+    assert!(session.cache_stats().hits() >= 50);
+}
+
+#[test]
+fn facade_reexports_are_usable() {
+    // Each workspace crate is reachable through the facade.
+    let d = dataset();
+    let _cube = maprat::cube::RatingCube::build(
+        d,
+        d.rating_range_for_item(d.find_title("Jaws").unwrap()).collect(),
+        maprat::cube::CubeOptions::default(),
+    );
+    let _color = maprat::geo::likert_color(4.2);
+    let _lru: maprat::cache::LruCache<u32, u32> = maprat::cache::LruCache::new(4);
+    let _json = maprat::server::Json::Null.render();
+}
+
+#[test]
+fn movielens_loader_integrates_with_mining() {
+    // Write a micro MovieLens directory, load it, and mine it — proving
+    // the real-data path works end to end.
+    let dir = std::env::temp_dir().join(format!("maprat-it-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut users = String::new();
+    let mut ratings = String::new();
+    // 30 users: CA males love movie 1 (score 5), NY females hate it
+    // (score 1), everyone rates movie 2 as 3.
+    for i in 1..=30 {
+        let (gender, zip) = if i % 2 == 0 { ("M", "94103") } else { ("F", "10001") };
+        users.push_str(&format!("{i}::{gender}::25::12::{zip}\n"));
+        let score = if i % 2 == 0 { 5 } else { 1 };
+        ratings.push_str(&format!("{i}::1::{score}::96530000{}\n", i % 10));
+        ratings.push_str(&format!("{i}::2::3::96530000{}\n", i % 10));
+    }
+    std::fs::write(dir.join("users.dat"), users).unwrap();
+    std::fs::write(
+        dir.join("movies.dat"),
+        "1::Split Opinion (1999)::Drama\n2::Consensus (1999)::Comedy\n",
+    )
+    .unwrap();
+    std::fs::write(dir.join("ratings.dat"), ratings).unwrap();
+
+    let loaded = maprat::data::loader::load_movielens_dir(&dir).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+
+    let miner = Miner::new(&loaded);
+    let mut s = SearchSettings::default().with_min_coverage(0.5).with_max_groups(2);
+    s.min_support = 3;
+    let e = miner
+        .explain(&ItemQuery::title("Split Opinion"), &s)
+        .expect("loaded data mines");
+    // DM must find the planted controversy.
+    let means: Vec<f64> = e
+        .diversity
+        .groups
+        .iter()
+        .map(|g| g.stats.mean().unwrap())
+        .collect();
+    let spread = means
+        .iter()
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max)
+        - means.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(spread > 3.0, "CA-male 5s vs NY-female 1s, got {means:?}");
+}
