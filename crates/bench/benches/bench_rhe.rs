@@ -14,9 +14,11 @@ fn bench_rhe(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("rhe_solve");
     group.sample_size(10);
-    for (label, min_support, max_arity) in
-        [("pool_s", 40usize, 1usize), ("pool_m", 10, 2), ("pool_l", 5, 3)]
-    {
+    for (label, min_support, max_arity) in [
+        ("pool_s", 40usize, 1usize),
+        ("pool_m", 10, 2),
+        ("pool_l", 5, 3),
+    ] {
         let cube = RatingCube::build(
             d,
             idx.clone(),

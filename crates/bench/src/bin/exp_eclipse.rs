@@ -28,7 +28,9 @@ fn main() {
         .with_max_groups(2);
     let query = ItemQuery::title("The Twilight Saga: Eclipse");
 
-    let e = miner.explain(&query, &settings).expect("planted Eclipse explains");
+    let e = miner
+        .explain(&query, &settings)
+        .expect("planted Eclipse explains");
     let overall = e.total.mean().unwrap_or(0.0);
 
     println!("=== TXT-ECLIPSE: the §1 controversial-movie example ===\n");

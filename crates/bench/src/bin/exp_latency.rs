@@ -94,6 +94,9 @@ fn main() {
         "cached answers are ≥10× faster than cold on every class",
         speedups.iter().all(|&s| s >= 10.0),
     );
-    check.expect("popular query served from pre-computed cache", served_from_cache);
+    check.expect(
+        "popular query served from pre-computed cache",
+        served_from_cache,
+    );
     check.finish();
 }

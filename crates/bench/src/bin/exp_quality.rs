@@ -25,9 +25,21 @@ fn main() {
     let idx: Vec<u32> = d.rating_range_for_item(item).collect();
 
     let pools = [
-        PoolSpec { label: "small pool (arity 1, support 40)", min_support: 40, max_arity: 1 },
-        PoolSpec { label: "medium pool (arity 2, support 10)", min_support: 10, max_arity: 2 },
-        PoolSpec { label: "large pool (arity 3, support 5)", min_support: 5, max_arity: 3 },
+        PoolSpec {
+            label: "small pool (arity 1, support 40)",
+            min_support: 40,
+            max_arity: 1,
+        },
+        PoolSpec {
+            label: "medium pool (arity 2, support 10)",
+            min_support: 10,
+            max_arity: 2,
+        },
+        PoolSpec {
+            label: "large pool (arity 3, support 5)",
+            min_support: 5,
+            max_arity: 3,
+        },
     ];
     let seeds: Vec<u64> = (0..10).collect();
 
@@ -40,7 +52,14 @@ fn main() {
         // `*` marks an annealed solution that violates the coverage
         // constraint (its objective is not comparable to the others).
         let mut t = Table::new([
-            "pool", "m", "exhaustive", "RHE (mean)", "gap %", "greedy", "anneal", "random (mean)",
+            "pool",
+            "m",
+            "exhaustive",
+            "RHE (mean)",
+            "gap %",
+            "greedy",
+            "anneal",
+            "random (mean)",
         ]);
         for spec in &pools {
             let cube = RatingCube::build(
@@ -63,17 +82,21 @@ fn main() {
                 rhe::solve(
                     &problem,
                     task,
-                    &RheParams { restarts: 6, max_iterations: 48, seed: s },
+                    &RheParams {
+                        restarts: 6,
+                        max_iterations: 48,
+                        seed: s,
+                    },
                 )
                 .map(|sol| sol.objective)
                 .unwrap_or(f64::NAN)
             }));
             let greedy_obj = greedy::solve(&problem, task).map(|s| s.objective);
-            let random_mean = mean(
-                seeds
-                    .iter()
-                    .map(|&s| random::solve(&problem, task, 30, s).map(|sol| sol.objective).unwrap_or(f64::NAN)),
-            );
+            let random_mean = mean(seeds.iter().map(|&s| {
+                random::solve(&problem, task, 30, s)
+                    .map(|sol| sol.objective)
+                    .unwrap_or(f64::NAN)
+            }));
             // Report the annealed objective only when the solution is
             // feasible — an infeasible high objective is not comparable.
             let anneal_obj = anneal::solve(&problem, task, &AnnealParams::default())
@@ -94,10 +117,18 @@ fn main() {
             t.row([
                 spec.label.to_string(),
                 cube.len().to_string(),
-                exact.map(|e| format!("{e:.4}")).unwrap_or_else(|| "(skipped)".into()),
+                exact
+                    .map(|e| format!("{e:.4}"))
+                    .unwrap_or_else(|| "(skipped)".into()),
                 format!("{rhe_mean:.4}"),
-                if gap.is_nan() { "—".into() } else { format!("{gap:.1}") },
-                greedy_obj.map(|g| format!("{g:.4}")).unwrap_or_else(|| "—".into()),
+                if gap.is_nan() {
+                    "—".into()
+                } else {
+                    format!("{gap:.1}")
+                },
+                greedy_obj
+                    .map(|g| format!("{g:.4}"))
+                    .unwrap_or_else(|| "—".into()),
                 anneal_obj
                     .map(|(a, feasible)| {
                         if feasible {

@@ -35,7 +35,14 @@ fn main() {
         "=== EXT-SCALING: cost vs |R_I| (universe available: {}) ===\n",
         universe.len()
     );
-    let mut t = Table::new(["|R_I|", "pool", "cube ms", "RHE(SM) ms", "RHE(DM) ms", "total ms"]);
+    let mut t = Table::new([
+        "|R_I|",
+        "pool",
+        "cube ms",
+        "RHE(SM) ms",
+        "RHE(DM) ms",
+        "total ms",
+    ]);
     let mut rows: Vec<(usize, f64)> = Vec::new();
 
     for &n in &sizes {

@@ -27,7 +27,10 @@ fn http_get(port: u16, target: &str) -> (u16, String) {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(0);
-    (status, buf.split("\r\n\r\n").nth(1).unwrap_or("").to_string())
+    (
+        status,
+        buf.split("\r\n\r\n").nth(1).unwrap_or("").to_string(),
+    )
 }
 
 fn main() {

@@ -27,7 +27,9 @@ fn main() {
     let settings = SearchSettings::default().with_min_coverage(0.2);
     let query = ItemQuery::title("Toy Story");
 
-    let e = miner.explain(&query, &settings).expect("planted Toy Story explains");
+    let e = miner
+        .explain(&query, &settings)
+        .expect("planted Toy Story explains");
 
     println!("=== FIG2: explanation result for the Figure-1 query ===\n");
     println!(
@@ -43,7 +45,10 @@ fn main() {
         for g in &interp.groups {
             t.row([
                 g.label.clone(),
-                g.desc.state().map(|s| s.abbrev().to_string()).unwrap_or_default(),
+                g.desc
+                    .state()
+                    .map(|s| s.abbrev().to_string())
+                    .unwrap_or_default(),
                 format!("{:.2}", g.stats.mean().unwrap_or(0.0)),
                 g.support.to_string(),
                 format!("{:.1}%", g.coverage_share * 100.0),
@@ -94,7 +99,12 @@ fn main() {
         .similarity
         .groups
         .iter()
-        .filter(|g| g.desc.state().map(|s| planted.contains(&s)).unwrap_or(false))
+        .filter(|g| {
+            g.desc
+                .state()
+                .map(|s| planted.contains(&s))
+                .unwrap_or(false)
+        })
         .count();
     check.expect(
         "≥2 of the paper's states (CA/MA/NY) among the best three",
@@ -127,6 +137,9 @@ fn main() {
                 < ca_group.map(|g| g.stats.mean().unwrap()).unwrap_or(5.0),
         );
     }
-    check.expect("SM map shades the selected states", sm.len() + sm.extras().len() == 3);
+    check.expect(
+        "SM map shades the selected states",
+        sm.len() + sm.extras().len() == 3,
+    );
     check.finish();
 }

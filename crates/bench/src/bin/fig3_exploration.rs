@@ -92,8 +92,14 @@ fn main() {
     );
     check.expect(
         "related groups include a roll-up and a sibling",
-        detail.related.iter().any(|g| g.relation == Relation::Parent)
-            && detail.related.iter().any(|g| g.relation == Relation::Sibling),
+        detail
+            .related
+            .iter()
+            .any(|g| g.relation == Relation::Parent)
+            && detail
+                .related
+                .iter()
+                .any(|g| g.relation == Relation::Sibling),
     );
     check.expect(
         "drill-down partitions the group's ratings",

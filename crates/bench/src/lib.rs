@@ -104,7 +104,11 @@ impl ShapeCheck {
         if self.failures.is_empty() {
             eprintln!("[check] all shape checks passed");
         } else {
-            eprintln!("[check] {} failure(s): {:?}", self.failures.len(), self.failures);
+            eprintln!(
+                "[check] {} failure(s): {:?}",
+                self.failures.len(),
+                self.failures
+            );
             std::process::exit(1);
         }
     }

@@ -25,7 +25,9 @@ impl<K: Hash + Eq + Clone, V> ShardedCache<K, V> {
     pub fn new(shards: usize, per_shard: usize) -> Self {
         assert!(shards > 0, "need at least one shard");
         ShardedCache {
-            shards: (0..shards).map(|_| Mutex::new(LruCache::new(per_shard))).collect(),
+            shards: (0..shards)
+                .map(|_| Mutex::new(LruCache::new(per_shard)))
+                .collect(),
             hasher: RandomState::new(),
             stats: Arc::new(CacheStats::new()),
         }

@@ -65,8 +65,7 @@ pub fn solve(problem: &MiningProblem<'_>, task: Task, params: &AnnealParams) -> 
     let steps = params.steps.max(1);
     for step in 0..steps {
         let progress = step as f64 / steps as f64;
-        let temperature =
-            params.t_start * (params.t_end / params.t_start).powf(progress);
+        let temperature = params.t_start * (params.t_end / params.t_start).powf(progress);
 
         // Propose a random neighbour: swap, add or drop.
         let mut proposal = current.clone();

@@ -44,19 +44,27 @@ pub fn solve(problem: &MiningProblem<'_>, task: Task) -> Option<Solution> {
     let mut best_any: Option<(f64, f64, Vec<usize>)> = None; // (coverage, obj)
 
     let mut selection: Vec<usize> = Vec::with_capacity(k);
-    enumerate(problem, task, 0, m, k, &mut selection, &mut |sel, obj, cov| {
-        if cov + 1e-12 >= problem.min_coverage
-            && best_feasible.as_ref().is_none_or(|(b, _)| obj > *b)
-        {
-            best_feasible = Some((obj, sel.to_vec()));
-        }
-        if best_any
-            .as_ref()
-            .is_none_or(|(bc, bo, _)| (cov, obj) > (*bc, *bo))
-        {
-            best_any = Some((cov, obj, sel.to_vec()));
-        }
-    });
+    enumerate(
+        problem,
+        task,
+        0,
+        m,
+        k,
+        &mut selection,
+        &mut |sel, obj, cov| {
+            if cov + 1e-12 >= problem.min_coverage
+                && best_feasible.as_ref().is_none_or(|(b, _)| obj > *b)
+            {
+                best_feasible = Some((obj, sel.to_vec()));
+            }
+            if best_any
+                .as_ref()
+                .is_none_or(|(bc, bo, _)| (cov, obj) > (*bc, *bo))
+            {
+                best_any = Some((cov, obj, sel.to_vec()));
+            }
+        },
+    );
 
     let indices = match (best_feasible, best_any) {
         (Some((_, sel)), _) => sel,

@@ -149,7 +149,7 @@ impl<'a> Miner<'a> {
 mod tests {
     use super::*;
     use maprat_data::synth::{generate, SynthConfig};
-    use maprat_data::{Gender, UsState, UserAttr, AttrValue};
+    use maprat_data::{AttrValue, Gender, UsState, UserAttr};
 
     fn dataset() -> Dataset {
         generate(&SynthConfig::small(101)).unwrap()
@@ -160,7 +160,9 @@ mod tests {
         let d = dataset();
         let miner = Miner::new(&d);
         let settings = SearchSettings::default().with_min_coverage(0.15);
-        let e = miner.explain(&ItemQuery::title("Toy Story"), &settings).unwrap();
+        let e = miner
+            .explain(&ItemQuery::title("Toy Story"), &settings)
+            .unwrap();
         assert_eq!(e.similarity.groups.len(), 3);
         // All SM groups carry the geo anchor and rate positively.
         for g in &e.similarity.groups {
@@ -223,7 +225,10 @@ mod tests {
         let d = dataset();
         let miner = Miner::new(&d);
         let err = miner
-            .explain(&ItemQuery::title("No Such Movie"), &SearchSettings::default())
+            .explain(
+                &ItemQuery::title("No Such Movie"),
+                &SearchSettings::default(),
+            )
             .unwrap_err();
         assert!(matches!(err, MineError::NoMatchingItems(_)));
     }

@@ -171,12 +171,7 @@ impl<'a> MiningProblem<'a> {
         if self.cube.universe() == 0 {
             return 0.0;
         }
-        let mut supports: Vec<usize> = self
-            .cube
-            .groups()
-            .iter()
-            .map(|g| g.support())
-            .collect();
+        let mut supports: Vec<usize> = self.cube.groups().iter().map(|g| g.support()).collect();
         supports.sort_unstable_by_key(|&s| std::cmp::Reverse(s));
         let top: usize = supports.iter().take(self.selection_size()).sum();
         (top as f64 / self.cube.universe() as f64).min(1.0)

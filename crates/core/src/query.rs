@@ -32,7 +32,13 @@ impl QueryTerm {
             QueryTerm::TitleContains(t) => dataset.search_titles(t).into_iter().collect(),
             QueryTerm::Actor(name) => dataset
                 .find_person(name)
-                .map(|p| dataset.items_with_person(p, Role::Actor).iter().copied().collect())
+                .map(|p| {
+                    dataset
+                        .items_with_person(p, Role::Actor)
+                        .iter()
+                        .copied()
+                        .collect()
+                })
                 .unwrap_or_default(),
             QueryTerm::Director(name) => dataset
                 .find_person(name)

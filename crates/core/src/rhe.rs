@@ -102,8 +102,7 @@ pub fn solve_with_stats(
             None => true,
             Some(b) => {
                 // Feasibility first, then objective.
-                (solution.meets_coverage, solution.objective)
-                    > (b.meets_coverage, b.objective)
+                (solution.meets_coverage, solution.objective) > (b.meets_coverage, b.objective)
             }
         };
         if better {
@@ -267,9 +266,9 @@ fn best_neighbor(
     // Accepts a candidate neighbour if it improves under the two-phase
     // rule: climb coverage while infeasible, the objective once feasible.
     let consider = |neighbor: &[usize],
-                        cov: f64,
-                        stats: &mut RheStats,
-                        best: &mut Option<(Vec<usize>, f64)>| {
+                    cov: f64,
+                    stats: &mut RheStats,
+                    best: &mut Option<(Vec<usize>, f64)>| {
         let feasible = cov + 1e-12 >= target;
         if current_feasible && !feasible {
             return;
@@ -303,9 +302,12 @@ fn best_neighbor(
         // Drop (keep at least one group).
         if selection.len() > 1 {
             scratch.clear();
-            scratch.extend(selection.iter().enumerate().filter_map(|(j, &i)| {
-                (j != pos).then_some(i)
-            }));
+            scratch.extend(
+                selection
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(j, &i)| (j != pos).then_some(i)),
+            );
             let cov = rest_union.count() as f64 / universe as f64;
             consider(&scratch, cov, stats, &mut best);
         }
@@ -449,11 +451,7 @@ mod tests {
         let p = MiningProblem::new(&cube, 2, 0.1, 0.5);
         let s = solve(&p, Task::Diversity, &RheParams::default()).unwrap();
         assert_eq!(s.indices.len(), 2);
-        let means: Vec<f64> = s
-            .indices
-            .iter()
-            .map(|&i| cube.groups()[i].mean())
-            .collect();
+        let means: Vec<f64> = s.indices.iter().map(|&i| cube.groups()[i].mean()).collect();
         assert!(
             (means[0] - means[1]).abs() > 1.5,
             "planted controversy should yield a wide gap, got {means:?}"

@@ -63,7 +63,9 @@ impl SearchSettings {
             return Err(MineError::InvalidSettings("dm_lambda must be ≥ 0".into()));
         }
         if self.rhe.restarts == 0 {
-            return Err(MineError::InvalidSettings("rhe.restarts must be ≥ 1".into()));
+            return Err(MineError::InvalidSettings(
+                "rhe.restarts must be ≥ 1".into(),
+            ));
         }
         Ok(())
     }
@@ -101,8 +103,14 @@ mod tests {
 
     #[test]
     fn invalid_settings_rejected() {
-        assert!(SearchSettings::default().with_max_groups(0).validate().is_err());
-        assert!(SearchSettings::default().with_min_coverage(1.5).validate().is_err());
+        assert!(SearchSettings::default()
+            .with_max_groups(0)
+            .validate()
+            .is_err());
+        assert!(SearchSettings::default()
+            .with_min_coverage(1.5)
+            .validate()
+            .is_err());
         let s = SearchSettings {
             max_arity: 9,
             ..Default::default()

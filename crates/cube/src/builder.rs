@@ -186,12 +186,7 @@ impl RatingCube {
     /// highlighted"): the pool shrinks to groups compatible with the
     /// visitor's profile before mining.
     pub fn filtered(&self, mut keep: impl FnMut(&CandidateGroup) -> bool) -> RatingCube {
-        let groups: Vec<CandidateGroup> = self
-            .groups
-            .iter()
-            .filter(|g| keep(g))
-            .cloned()
-            .collect();
+        let groups: Vec<CandidateGroup> = self.groups.iter().filter(|g| keep(g)).cloned().collect();
         let by_desc = groups
             .iter()
             .enumerate()
@@ -258,10 +253,7 @@ mod tests {
     fn geo_requirement_filters_candidates() {
         let (_, geo_cube) = cube(true);
         assert!(!geo_cube.is_empty());
-        assert!(geo_cube
-            .groups()
-            .iter()
-            .all(|g| g.desc.state().is_some()));
+        assert!(geo_cube.groups().iter().all(|g| g.desc.state().is_some()));
         let (_, free_cube) = cube(false);
         assert!(free_cube.len() > geo_cube.len());
     }
@@ -295,7 +287,10 @@ mod tests {
     #[test]
     fn no_apex_candidate() {
         let (_, cube) = cube(false);
-        assert!(cube.find(&GroupDesc::ALL).is_none(), "apex is not a candidate");
+        assert!(
+            cube.find(&GroupDesc::ALL).is_none(),
+            "apex is not a candidate"
+        );
         assert!(cube.groups().iter().all(|g| g.desc.arity() >= 1));
     }
 

@@ -95,7 +95,9 @@ mod tests {
             },
         );
         let group = cube
-            .find(&GroupDesc::from_pairs([maprat_data::AVPair::from(Gender::Male)]))
+            .find(&GroupDesc::from_pairs([maprat_data::AVPair::from(
+                Gender::Male,
+            )]))
             .expect("male group present");
         assert!(drill_to_cities(&dataset, &cube, group).is_none());
     }

@@ -1,6 +1,6 @@
 //! Group descriptors — cube cells over the reviewer schema.
 
-use maprat_data::{AgeGroup, AttrValue, Gender, Occupation, UsState, User, UserAttr, AVPair};
+use maprat_data::{AVPair, AgeGroup, AttrValue, Gender, Occupation, UsState, User, UserAttr};
 use std::fmt;
 
 /// A group descriptor: for each reviewer attribute, either "unspecified" or
@@ -69,9 +69,9 @@ impl GroupDesc {
             UserAttr::Gender => {
                 AttrValue::Gender(Gender::from_index(idx).expect("valid gender index"))
             }
-            UserAttr::Occupation => AttrValue::Occupation(
-                Occupation::from_index(idx).expect("valid occupation index"),
-            ),
+            UserAttr::Occupation => {
+                AttrValue::Occupation(Occupation::from_index(idx).expect("valid occupation index"))
+            }
             UserAttr::State => {
                 AttrValue::State(UsState::from_index(idx).expect("valid state index"))
             }
@@ -264,9 +264,24 @@ mod tests {
     #[test]
     fn matches_requires_all_constraints() {
         let g = GroupDesc::from_pairs([Gender::Male.into(), UsState::CA.into()]);
-        let ca_male = user(Gender::Male, AgeGroup::From25To34, Occupation::Other, UsState::CA);
-        let ca_female = user(Gender::Female, AgeGroup::From25To34, Occupation::Other, UsState::CA);
-        let ny_male = user(Gender::Male, AgeGroup::From25To34, Occupation::Other, UsState::NY);
+        let ca_male = user(
+            Gender::Male,
+            AgeGroup::From25To34,
+            Occupation::Other,
+            UsState::CA,
+        );
+        let ca_female = user(
+            Gender::Female,
+            AgeGroup::From25To34,
+            Occupation::Other,
+            UsState::CA,
+        );
+        let ny_male = user(
+            Gender::Male,
+            AgeGroup::From25To34,
+            Occupation::Other,
+            UsState::NY,
+        );
         assert!(g.matches(&ca_male));
         assert!(!g.matches(&ca_female));
         assert!(!g.matches(&ny_male));
@@ -275,7 +290,12 @@ mod tests {
 
     #[test]
     fn project_extracts_cuboid_cell() {
-        let u = user(Gender::Male, AgeGroup::Under18, Occupation::K12Student, UsState::TX);
+        let u = user(
+            Gender::Male,
+            AgeGroup::Under18,
+            Occupation::K12Student,
+            UsState::TX,
+        );
         let mask = (1 << UserAttr::Gender.index()) | (1 << UserAttr::State.index());
         let g = GroupDesc::project(&u, mask);
         assert_eq!(g.arity(), 2);
@@ -320,10 +340,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "conflicting")]
     fn conflicting_pairs_panic() {
-        let _ = GroupDesc::from_pairs([
-            AVPair::from(UsState::CA),
-            AVPair::from(UsState::NY),
-        ]);
+        let _ = GroupDesc::from_pairs([AVPair::from(UsState::CA), AVPair::from(UsState::NY)]);
     }
 
     #[test]

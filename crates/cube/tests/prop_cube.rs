@@ -4,7 +4,7 @@
 use maprat_cube::{Bitmap, GroupDesc};
 use maprat_data::ids::UserId;
 use maprat_data::zipcode::Zip;
-use maprat_data::{AgeGroup, Gender, Occupation, User, UsState};
+use maprat_data::{AgeGroup, Gender, Occupation, UsState, User};
 use proptest::prelude::*;
 use std::collections::BTreeSet;
 
@@ -15,21 +15,15 @@ fn positions() -> impl Strategy<Value = Vec<usize>> {
 }
 
 fn arb_user() -> impl Strategy<Value = User> {
-    (
-        0usize..7,
-        0usize..2,
-        0usize..21,
-        0usize..51,
-    )
-        .prop_map(|(age, gender, occ, state)| User {
-            id: UserId(0),
-            age: AgeGroup::from_index(age).unwrap(),
-            gender: Gender::from_index(gender).unwrap(),
-            occupation: Occupation::from_index(occ).unwrap(),
-            zip: Zip::new(0),
-            state: UsState::from_index(state).unwrap(),
-            city: 0,
-        })
+    (0usize..7, 0usize..2, 0usize..21, 0usize..51).prop_map(|(age, gender, occ, state)| User {
+        id: UserId(0),
+        age: AgeGroup::from_index(age).unwrap(),
+        gender: Gender::from_index(gender).unwrap(),
+        occupation: Occupation::from_index(occ).unwrap(),
+        zip: Zip::new(0),
+        state: UsState::from_index(state).unwrap(),
+        city: 0,
+    })
 }
 
 proptest! {

@@ -34,9 +34,23 @@ pub fn cities(state: UsState) -> &'static [CityInfo] {
     use UsState::*;
     match state {
         AK => tbl![c("Anchorage", 26), c("Fairbanks", 3), c("Juneau", 3)],
-        AL => tbl![c("Birmingham", 24), c("Montgomery", 20), c("Mobile", 20), c("Huntsville", 16)],
-        AR => tbl![c("Little Rock", 18), c("Fort Smith", 8), c("Fayetteville", 6)],
-        AZ => tbl![c("Phoenix", 132), c("Tucson", 49), c("Mesa", 40), c("Scottsdale", 20)],
+        AL => tbl![
+            c("Birmingham", 24),
+            c("Montgomery", 20),
+            c("Mobile", 20),
+            c("Huntsville", 16)
+        ],
+        AR => tbl![
+            c("Little Rock", 18),
+            c("Fort Smith", 8),
+            c("Fayetteville", 6)
+        ],
+        AZ => tbl![
+            c("Phoenix", 132),
+            c("Tucson", 49),
+            c("Mesa", 40),
+            c("Scottsdale", 20)
+        ],
         CA => tbl![
             c("Los Angeles", 369),
             c("San Diego", 122),
@@ -45,8 +59,18 @@ pub fn cities(state: UsState) -> &'static [CityInfo] {
             c("Sacramento", 41),
             c("Oakland", 40),
         ],
-        CO => tbl![c("Denver", 55), c("Colorado Springs", 36), c("Aurora", 28), c("Boulder", 9)],
-        CT => tbl![c("Bridgeport", 14), c("New Haven", 12), c("Hartford", 12), c("Stamford", 12)],
+        CO => tbl![
+            c("Denver", 55),
+            c("Colorado Springs", 36),
+            c("Aurora", 28),
+            c("Boulder", 9)
+        ],
+        CT => tbl![
+            c("Bridgeport", 14),
+            c("New Haven", 12),
+            c("Hartford", 12),
+            c("Stamford", 12)
+        ],
         DC => tbl![c("Washington", 57)],
         DE => tbl![c("Wilmington", 7), c("Dover", 3), c("Newark", 3)],
         FL => tbl![
@@ -56,28 +80,100 @@ pub fn cities(state: UsState) -> &'static [CityInfo] {
             c("Orlando", 19),
             c("St. Petersburg", 25),
         ],
-        GA => tbl![c("Atlanta", 42), c("Augusta", 20), c("Columbus", 19), c("Savannah", 13)],
+        GA => tbl![
+            c("Atlanta", 42),
+            c("Augusta", 20),
+            c("Columbus", 19),
+            c("Savannah", 13)
+        ],
         HI => tbl![c("Honolulu", 37), c("Hilo", 4)],
-        IA => tbl![c("Des Moines", 20), c("Cedar Rapids", 12), c("Davenport", 10), c("Iowa City", 6)],
+        IA => tbl![
+            c("Des Moines", 20),
+            c("Cedar Rapids", 12),
+            c("Davenport", 10),
+            c("Iowa City", 6)
+        ],
         ID => tbl![c("Boise", 19), c("Nampa", 5), c("Pocatello", 5)],
-        IL => tbl![c("Chicago", 290), c("Aurora", 14), c("Rockford", 15), c("Springfield", 11), c("Naperville", 13)],
-        IN => tbl![c("Indianapolis", 79), c("Fort Wayne", 21), c("Evansville", 12), c("South Bend", 11)],
-        KS => tbl![c("Wichita", 34), c("Overland Park", 15), c("Kansas City", 15), c("Topeka", 12)],
-        KY => tbl![c("Louisville", 26), c("Lexington", 26), c("Bowling Green", 5)],
-        LA => tbl![c("New Orleans", 48), c("Baton Rouge", 23), c("Shreveport", 20), c("Lafayette", 11)],
-        MA => tbl![c("Boston", 59), c("Worcester", 17), c("Springfield", 15), c("Cambridge", 10), c("Lowell", 11)],
-        MD => tbl![c("Baltimore", 65), c("Frederick", 5), c("Rockville", 5), c("Gaithersburg", 5)],
+        IL => tbl![
+            c("Chicago", 290),
+            c("Aurora", 14),
+            c("Rockford", 15),
+            c("Springfield", 11),
+            c("Naperville", 13)
+        ],
+        IN => tbl![
+            c("Indianapolis", 79),
+            c("Fort Wayne", 21),
+            c("Evansville", 12),
+            c("South Bend", 11)
+        ],
+        KS => tbl![
+            c("Wichita", 34),
+            c("Overland Park", 15),
+            c("Kansas City", 15),
+            c("Topeka", 12)
+        ],
+        KY => tbl![
+            c("Louisville", 26),
+            c("Lexington", 26),
+            c("Bowling Green", 5)
+        ],
+        LA => tbl![
+            c("New Orleans", 48),
+            c("Baton Rouge", 23),
+            c("Shreveport", 20),
+            c("Lafayette", 11)
+        ],
+        MA => tbl![
+            c("Boston", 59),
+            c("Worcester", 17),
+            c("Springfield", 15),
+            c("Cambridge", 10),
+            c("Lowell", 11)
+        ],
+        MD => tbl![
+            c("Baltimore", 65),
+            c("Frederick", 5),
+            c("Rockville", 5),
+            c("Gaithersburg", 5)
+        ],
         ME => tbl![c("Portland", 6), c("Lewiston", 4), c("Bangor", 3)],
-        MI => tbl![c("Detroit", 95), c("Grand Rapids", 20), c("Warren", 14), c("Ann Arbor", 11), c("Lansing", 12)],
-        MN => tbl![c("Minneapolis", 38), c("St. Paul", 29), c("Rochester", 9), c("Duluth", 9)],
-        MO => tbl![c("Kansas City", 44), c("St. Louis", 35), c("Springfield", 15), c("Columbia", 8)],
+        MI => tbl![
+            c("Detroit", 95),
+            c("Grand Rapids", 20),
+            c("Warren", 14),
+            c("Ann Arbor", 11),
+            c("Lansing", 12)
+        ],
+        MN => tbl![
+            c("Minneapolis", 38),
+            c("St. Paul", 29),
+            c("Rochester", 9),
+            c("Duluth", 9)
+        ],
+        MO => tbl![
+            c("Kansas City", 44),
+            c("St. Louis", 35),
+            c("Springfield", 15),
+            c("Columbia", 8)
+        ],
         MS => tbl![c("Jackson", 18), c("Gulfport", 7), c("Hattiesburg", 4)],
         MT => tbl![c("Billings", 9), c("Missoula", 6), c("Great Falls", 6)],
-        NC => tbl![c("Charlotte", 54), c("Raleigh", 28), c("Greensboro", 22), c("Durham", 19)],
+        NC => tbl![
+            c("Charlotte", 54),
+            c("Raleigh", 28),
+            c("Greensboro", 22),
+            c("Durham", 19)
+        ],
         ND => tbl![c("Fargo", 9), c("Bismarck", 6), c("Grand Forks", 5)],
         NE => tbl![c("Omaha", 39), c("Lincoln", 23), c("Bellevue", 4)],
         NH => tbl![c("Manchester", 11), c("Nashua", 9), c("Concord", 4)],
-        NJ => tbl![c("Newark", 27), c("Jersey City", 24), c("Paterson", 15), c("Trenton", 9)],
+        NJ => tbl![
+            c("Newark", 27),
+            c("Jersey City", 24),
+            c("Paterson", 15),
+            c("Trenton", 9)
+        ],
         NM => tbl![c("Albuquerque", 45), c("Las Cruces", 7), c("Santa Fe", 6)],
         NV => tbl![c("Las Vegas", 48), c("Reno", 18), c("Henderson", 18)],
         NY => tbl![
@@ -88,14 +184,30 @@ pub fn cities(state: UsState) -> &'static [CityInfo] {
             c("Syracuse", 15),
             c("Albany", 10),
         ],
-        OH => tbl![c("Columbus", 71), c("Cleveland", 48), c("Cincinnati", 33), c("Toledo", 31), c("Akron", 22)],
+        OH => tbl![
+            c("Columbus", 71),
+            c("Cleveland", 48),
+            c("Cincinnati", 33),
+            c("Toledo", 31),
+            c("Akron", 22)
+        ],
         OK => tbl![c("Oklahoma City", 51), c("Tulsa", 39), c("Norman", 10)],
         OR => tbl![c("Portland", 53), c("Salem", 14), c("Eugene", 14)],
-        PA => tbl![c("Philadelphia", 152), c("Pittsburgh", 33), c("Allentown", 11), c("Erie", 10)],
+        PA => tbl![
+            c("Philadelphia", 152),
+            c("Pittsburgh", 33),
+            c("Allentown", 11),
+            c("Erie", 10)
+        ],
         RI => tbl![c("Providence", 17), c("Warwick", 9), c("Cranston", 8)],
         SC => tbl![c("Columbia", 12), c("Charleston", 10), c("Greenville", 6)],
         SD => tbl![c("Sioux Falls", 12), c("Rapid City", 6), c("Aberdeen", 2)],
-        TN => tbl![c("Memphis", 65), c("Nashville", 55), c("Knoxville", 17), c("Chattanooga", 16)],
+        TN => tbl![
+            c("Memphis", 65),
+            c("Nashville", 55),
+            c("Knoxville", 17),
+            c("Chattanooga", 16)
+        ],
         TX => tbl![
             c("Houston", 195),
             c("Dallas", 119),
@@ -105,11 +217,31 @@ pub fn cities(state: UsState) -> &'static [CityInfo] {
             c("El Paso", 56),
             c("Arlington", 33),
         ],
-        UT => tbl![c("Salt Lake City", 18), c("West Valley City", 11), c("Provo", 11)],
-        VA => tbl![c("Virginia Beach", 43), c("Norfolk", 23), c("Richmond", 20), c("Arlington", 19)],
+        UT => tbl![
+            c("Salt Lake City", 18),
+            c("West Valley City", 11),
+            c("Provo", 11)
+        ],
+        VA => tbl![
+            c("Virginia Beach", 43),
+            c("Norfolk", 23),
+            c("Richmond", 20),
+            c("Arlington", 19)
+        ],
         VT => tbl![c("Burlington", 4), c("Rutland", 2), c("Montpelier", 1)],
-        WA => tbl![c("Seattle", 56), c("Spokane", 20), c("Tacoma", 19), c("Bellevue", 11), c("Redmond", 5)],
-        WI => tbl![c("Milwaukee", 60), c("Madison", 21), c("Green Bay", 10), c("Kenosha", 9)],
+        WA => tbl![
+            c("Seattle", 56),
+            c("Spokane", 20),
+            c("Tacoma", 19),
+            c("Bellevue", 11),
+            c("Redmond", 5)
+        ],
+        WI => tbl![
+            c("Milwaukee", 60),
+            c("Madison", 21),
+            c("Green Bay", 10),
+            c("Kenosha", 9)
+        ],
         WV => tbl![c("Charleston", 5), c("Huntington", 5), c("Morgantown", 3)],
         WY => tbl![c("Cheyenne", 5), c("Casper", 5), c("Laramie", 3)],
     }

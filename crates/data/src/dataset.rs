@@ -350,12 +350,7 @@ mod tests {
     }
 
     fn mk_item(id: u32, title: &str) -> Item {
-        Item::new(
-            ItemId(id),
-            title,
-            1995,
-            GenreSet::of([Genre::Comedy]),
-        )
+        Item::new(ItemId(id), title, 1995, GenreSet::of([Genre::Comedy]))
     }
 
     fn sample() -> Dataset {
@@ -371,9 +366,24 @@ mod tests {
         b.add_item(it0);
         b.add_item(mk_item(1, "Heat"));
         let t = |d| Timestamp::from_ymd(2000, 6, d);
-        b.add_rating(Rating::new(UserId(0), ItemId(1), Score::new(3).unwrap(), t(5)));
-        b.add_rating(Rating::new(UserId(0), ItemId(0), Score::new(5).unwrap(), t(2)));
-        b.add_rating(Rating::new(UserId(1), ItemId(0), Score::new(4).unwrap(), t(1)));
+        b.add_rating(Rating::new(
+            UserId(0),
+            ItemId(1),
+            Score::new(3).unwrap(),
+            t(5),
+        ));
+        b.add_rating(Rating::new(
+            UserId(0),
+            ItemId(0),
+            Score::new(5).unwrap(),
+            t(2),
+        ));
+        b.add_rating(Rating::new(
+            UserId(1),
+            ItemId(0),
+            Score::new(4).unwrap(),
+            t(1),
+        ));
         b.build().unwrap()
     }
 

@@ -79,7 +79,9 @@ mod tests {
     #[test]
     fn display_messages_are_descriptive() {
         assert!(DataError::ScoreOutOfRange(9).to_string().contains("9"));
-        assert!(DataError::UnknownState("XX".into()).to_string().contains("XX"));
+        assert!(DataError::UnknownState("XX".into())
+            .to_string()
+            .contains("XX"));
         let p = DataError::Parse {
             file: "users.dat",
             line: 3,

@@ -40,7 +40,7 @@ pub mod user;
 pub mod writer;
 pub mod zipcode;
 
-pub use attrs::{AgeGroup, AttrValue, Gender, Occupation, UserAttr, UsState, AVPair};
+pub use attrs::{AVPair, AgeGroup, AttrValue, Gender, Occupation, UsState, UserAttr};
 pub use dataset::{Dataset, DatasetBuilder};
 pub use error::DataError;
 pub use genre::{Genre, GenreSet};

@@ -162,8 +162,7 @@ pub fn parse_ratings(body: &str) -> Result<Vec<(u32, u32, Score, Timestamp)>, Da
         let raw: u8 = next("Rating")?
             .parse()
             .map_err(|e| parse_err("ratings.dat", n, format!("bad Rating: {e}")))?;
-        let score =
-            Score::new(raw).map_err(|e| parse_err("ratings.dat", n, e.to_string()))?;
+        let score = Score::new(raw).map_err(|e| parse_err("ratings.dat", n, e.to_string()))?;
         let ts: i64 = next("Timestamp")?
             .parse()
             .map_err(|e| parse_err("ratings.dat", n, format!("bad Timestamp: {e}")))?;
@@ -194,7 +193,11 @@ pub fn parse_people(body: &str) -> Result<Vec<(u32, bool, String)>, DataError> {
             "director" => true,
             "actor" => false,
             other => {
-                return Err(parse_err("people.dat", n, format!("unknown role {other:?}")))
+                return Err(parse_err(
+                    "people.dat",
+                    n,
+                    format!("unknown role {other:?}"),
+                ))
             }
         };
         let name = fields
@@ -243,7 +246,9 @@ pub fn assemble(raw: RawMovieLens) -> Result<Dataset, DataError> {
     let mut person_map: HashMap<String, PersonId> = HashMap::new();
     let mut persons: Vec<Person> = Vec::new();
     for (file_movie, is_director, name) in raw.people {
-        let item_id = *item_map.get(&file_movie).ok_or(DataError::UnknownItem(file_movie))?;
+        let item_id = *item_map
+            .get(&file_movie)
+            .ok_or(DataError::UnknownItem(file_movie))?;
         let pid = *person_map.entry(name.clone()).or_insert_with(|| {
             let pid = PersonId::from_index(persons.len());
             persons.push(Person { id: pid, name });

@@ -113,9 +113,6 @@ mod tests {
 
     #[test]
     fn range_matches_endpoints() {
-        assert_eq!(
-            Score::RANGE,
-            Score::MAX.as_f64() - Score::MIN.as_f64()
-        );
+        assert_eq!(Score::RANGE, Score::MAX.as_f64() - Score::MIN.as_f64());
     }
 }

@@ -182,8 +182,7 @@ mod tests {
         let scores = [s(1), s(2), s(4), s(5)];
         let st = RatingStats::from_scores(scores);
         let m = 3.0;
-        let mad_direct: f64 =
-            scores.iter().map(|x| (x.as_f64() - m).abs()).sum::<f64>() / 4.0;
+        let mad_direct: f64 = scores.iter().map(|x| (x.as_f64() - m).abs()).sum::<f64>() / 4.0;
         assert!((st.mean_abs_deviation().unwrap() - mad_direct).abs() < 1e-12);
     }
 

@@ -48,7 +48,11 @@ pub fn subset(dataset: &Dataset, spec: &SubsetSpec<'_>) -> Result<Dataset, DataE
         .ratings()
         .iter()
         .filter(|r| spec.time.contains(r.ts))
-        .filter(|r| item_allowed.as_ref().is_none_or(|set| set.contains(&r.item)))
+        .filter(|r| {
+            item_allowed
+                .as_ref()
+                .is_none_or(|set| set.contains(&r.item))
+        })
         .filter(|r| {
             spec.user_filter
                 .map(|f| f(dataset.user(r.user)))
@@ -222,7 +226,9 @@ mod tests {
         let sub = by_items(&d, &[toy]).unwrap();
         let hanks = sub.find_person("Tom Hanks").expect("join preserved");
         let new_toy = sub.find_title("Toy Story").unwrap();
-        assert!(sub.item(new_toy).has_person(hanks, crate::item::Role::Actor));
+        assert!(sub
+            .item(new_toy)
+            .has_person(hanks, crate::item::Role::Actor));
     }
 
     #[test]
@@ -258,7 +264,10 @@ mod tests {
         let d = dataset();
         let sub = by_time(
             &d,
-            TimeRange::between(Timestamp::from_ymd(1990, 1, 1), Timestamp::from_ymd(1990, 1, 2)),
+            TimeRange::between(
+                Timestamp::from_ymd(1990, 1, 1),
+                Timestamp::from_ymd(1990, 1, 2),
+            ),
         )
         .unwrap();
         assert_eq!(sub.num_ratings(), 0);

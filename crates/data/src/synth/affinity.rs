@@ -36,8 +36,9 @@ impl Region {
         match state {
             CT | MA | ME | NH | NJ | NY | PA | RI | VT => Region::Northeast,
             IA | IL | IN | KS | MI | MN | MO | ND | NE | OH | SD | WI => Region::Midwest,
-            AL | AR | DC | DE | FL | GA | KY | LA | MD | MS | NC | OK | SC | TN | TX | VA
-            | WV => Region::South,
+            AL | AR | DC | DE | FL | GA | KY | LA | MD | MS | NC | OK | SC | TN | TX | VA | WV => {
+                Region::South
+            }
             AK | AZ | CA | CO | HI | ID | MT | NM | NV | OR | UT | WA | WY => Region::West,
         }
     }
@@ -189,12 +190,8 @@ mod tests {
         let mut a = MovieAffinity::flat(3.0);
         a.gender[Gender::Male as usize] = 0.5;
         a.region[Region::West as usize] = 0.25;
-        assert!(
-            (a.latent_mean(&user(UsState::CA, Gender::Male)) - 3.75).abs() < 1e-12
-        );
-        assert!(
-            (a.latent_mean(&user(UsState::NY, Gender::Female)) - 3.0).abs() < 1e-12
-        );
+        assert!((a.latent_mean(&user(UsState::CA, Gender::Male)) - 3.75).abs() < 1e-12);
+        assert!((a.latent_mean(&user(UsState::NY, Gender::Female)) - 3.0).abs() < 1e-12);
     }
 
     #[test]

@@ -90,7 +90,10 @@ mod tests {
         let cfg = SynthConfig::tiny(3);
         let d = generate(&cfg).unwrap();
         assert_eq!(d.users().len(), cfg.num_users);
-        assert!(d.items().len() >= cfg.num_movies, "planted movies add extras");
+        assert!(
+            d.items().len() >= cfg.num_movies,
+            "planted movies add extras"
+        );
         // Rating count is approximate (duplicate (user,item) draws are
         // rejected) but must be close.
         let target = cfg.num_ratings;

@@ -85,18 +85,19 @@ pub fn generate_movies<R: Rng>(
     let director_names = names::unique_person_names(rng, config.num_directors);
     let mut persons: Vec<Person> = Vec::new();
     let mut by_name: HashMap<String, PersonId> = HashMap::new();
-    let intern = |name: &str, persons: &mut Vec<Person>, by_name: &mut HashMap<String, PersonId>| {
-        if let Some(&id) = by_name.get(name) {
-            return id;
-        }
-        let id = PersonId::from_index(persons.len());
-        persons.push(Person {
-            id,
-            name: name.to_string(),
-        });
-        by_name.insert(name.to_string(), id);
-        id
-    };
+    let intern =
+        |name: &str, persons: &mut Vec<Person>, by_name: &mut HashMap<String, PersonId>| {
+            if let Some(&id) = by_name.get(name) {
+                return id;
+            }
+            let id = PersonId::from_index(persons.len());
+            persons.push(Person {
+                id,
+                name: name.to_string(),
+            });
+            by_name.insert(name.to_string(), id);
+            id
+        };
     let actor_ids: Vec<PersonId> = actor_names
         .iter()
         .map(|n| intern(n, &mut persons, &mut by_name))
@@ -108,14 +109,12 @@ pub fn generate_movies<R: Rng>(
 
     // Popularity of people follows a Zipf-like curve: the first names in
     // the shuffled pools are "stars" attached to many movies.
-    let actor_dist = WeightedIndex::new(
-        (0..actor_ids.len()).map(|i| 1.0 / (i as f64 + 1.0).powf(0.7)),
-    )
-    .expect("nonempty actor pool");
-    let director_dist = WeightedIndex::new(
-        (0..director_ids.len()).map(|i| 1.0 / (i as f64 + 1.0).powf(0.7)),
-    )
-    .expect("nonempty director pool");
+    let actor_dist =
+        WeightedIndex::new((0..actor_ids.len()).map(|i| 1.0 / (i as f64 + 1.0).powf(0.7)))
+            .expect("nonempty actor pool");
+    let director_dist =
+        WeightedIndex::new((0..director_ids.len()).map(|i| 1.0 / (i as f64 + 1.0).powf(0.7)))
+            .expect("nonempty director pool");
 
     let titles = names::unique_titles(rng, config.num_movies);
     let mut items: Vec<Item> = Vec::with_capacity(config.num_movies + 16);
@@ -215,12 +214,7 @@ mod tests {
     #[test]
     fn background_popularity_positive_and_skewed() {
         let (w, _) = world(3);
-        let bg: Vec<f64> = w
-            .popularity
-            .iter()
-            .copied()
-            .filter(|&p| p > 0.0)
-            .collect();
+        let bg: Vec<f64> = w.popularity.iter().copied().filter(|&p| p > 0.0).collect();
         assert_eq!(bg.len(), SynthConfig::tiny(3).num_movies);
         let max = bg.iter().cloned().fold(0.0, f64::max);
         let min = bg.iter().cloned().fold(f64::INFINITY, f64::min);

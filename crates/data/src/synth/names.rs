@@ -9,46 +9,162 @@ use rand::Rng;
 use std::collections::HashSet;
 
 const TITLE_ADJECTIVES: &[&str] = &[
-    "Crimson", "Silent", "Golden", "Broken", "Midnight", "Electric", "Forgotten", "Burning",
-    "Hidden", "Savage", "Winter", "Paper", "Iron", "Hollow", "Distant", "Neon", "Wandering",
-    "Lucky", "Final", "Restless", "Velvet", "Quiet", "Stolen", "Wild", "Lonely", "Emerald",
-    "Shattered", "Rising", "Falling", "Secret",
+    "Crimson",
+    "Silent",
+    "Golden",
+    "Broken",
+    "Midnight",
+    "Electric",
+    "Forgotten",
+    "Burning",
+    "Hidden",
+    "Savage",
+    "Winter",
+    "Paper",
+    "Iron",
+    "Hollow",
+    "Distant",
+    "Neon",
+    "Wandering",
+    "Lucky",
+    "Final",
+    "Restless",
+    "Velvet",
+    "Quiet",
+    "Stolen",
+    "Wild",
+    "Lonely",
+    "Emerald",
+    "Shattered",
+    "Rising",
+    "Falling",
+    "Secret",
 ];
 
 const TITLE_NOUNS: &[&str] = &[
-    "Horizon", "Garden", "River", "Empire", "Letter", "Promise", "Shadow", "Station", "Harvest",
-    "Voyage", "Symphony", "Detective", "Kingdom", "Carnival", "Frontier", "Mirage", "Echo",
-    "Orchard", "Lighthouse", "Avenue", "Winter", "Engine", "Harbor", "Meadow", "Cathedral",
-    "Compass", "Labyrinth", "Tempest", "Parade", "Satellite",
+    "Horizon",
+    "Garden",
+    "River",
+    "Empire",
+    "Letter",
+    "Promise",
+    "Shadow",
+    "Station",
+    "Harvest",
+    "Voyage",
+    "Symphony",
+    "Detective",
+    "Kingdom",
+    "Carnival",
+    "Frontier",
+    "Mirage",
+    "Echo",
+    "Orchard",
+    "Lighthouse",
+    "Avenue",
+    "Winter",
+    "Engine",
+    "Harbor",
+    "Meadow",
+    "Cathedral",
+    "Compass",
+    "Labyrinth",
+    "Tempest",
+    "Parade",
+    "Satellite",
 ];
 
 const TITLE_PATTERNS: &[&str] = &["{a} {n}", "The {a} {n}", "{n} of the {a}", "A {a} {n}"];
 
 const FIRST_NAMES: &[&str] = &[
-    "James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael", "Linda", "David",
-    "Elizabeth", "William", "Barbara", "Richard", "Susan", "Joseph", "Jessica", "Thomas",
-    "Sarah", "Charles", "Karen", "Daniel", "Nancy", "Matthew", "Lisa", "Anthony", "Betty",
-    "Mark", "Margaret", "Steven", "Sandra", "Andrew", "Ashley", "Kenneth", "Kimberly",
-    "Paul", "Emily", "Joshua", "Donna", "Kevin", "Michelle",
+    "James",
+    "Mary",
+    "Robert",
+    "Patricia",
+    "John",
+    "Jennifer",
+    "Michael",
+    "Linda",
+    "David",
+    "Elizabeth",
+    "William",
+    "Barbara",
+    "Richard",
+    "Susan",
+    "Joseph",
+    "Jessica",
+    "Thomas",
+    "Sarah",
+    "Charles",
+    "Karen",
+    "Daniel",
+    "Nancy",
+    "Matthew",
+    "Lisa",
+    "Anthony",
+    "Betty",
+    "Mark",
+    "Margaret",
+    "Steven",
+    "Sandra",
+    "Andrew",
+    "Ashley",
+    "Kenneth",
+    "Kimberly",
+    "Paul",
+    "Emily",
+    "Joshua",
+    "Donna",
+    "Kevin",
+    "Michelle",
 ];
 
 const LAST_NAMES: &[&str] = &[
-    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis", "Rodriguez",
-    "Martinez", "Hernandez", "Lopez", "Gonzalez", "Wilson", "Anderson", "Thomas", "Taylor",
-    "Moore", "Jackson", "Martin", "Lee", "Perez", "Thompson", "White", "Harris", "Sanchez",
-    "Clark", "Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King", "Wright",
-    "Scott", "Torres", "Nguyen", "Hill", "Flores",
+    "Smith",
+    "Johnson",
+    "Williams",
+    "Brown",
+    "Jones",
+    "Garcia",
+    "Miller",
+    "Davis",
+    "Rodriguez",
+    "Martinez",
+    "Hernandez",
+    "Lopez",
+    "Gonzalez",
+    "Wilson",
+    "Anderson",
+    "Thomas",
+    "Taylor",
+    "Moore",
+    "Jackson",
+    "Martin",
+    "Lee",
+    "Perez",
+    "Thompson",
+    "White",
+    "Harris",
+    "Sanchez",
+    "Clark",
+    "Ramirez",
+    "Lewis",
+    "Robinson",
+    "Walker",
+    "Young",
+    "Allen",
+    "King",
+    "Wright",
+    "Scott",
+    "Torres",
+    "Nguyen",
+    "Hill",
+    "Flores",
 ];
 
 fn roman(mut n: usize) -> String {
     // Only small numerals are ever needed (collision suffixes).
-    const TABLE: &[(usize, &str)] = &[
-        (10, "X"),
-        (9, "IX"),
-        (5, "V"),
-        (4, "IV"),
-        (1, "I"),
-    ];
+    const TABLE: &[(usize, &str)] = &[(10, "X"), (9, "IX"), (5, "V"), (4, "IV"), (1, "I")];
     let mut out = String::new();
     for &(v, s) in TABLE {
         while n >= v {

@@ -348,7 +348,11 @@ pub fn paper_scenarios() -> Vec<PlantedScenario> {
         rating_share: 0.014,
         default_mean: 4.1,
         default_sigma: 0.8,
-        rules: vec![PlantRule::new(av(&[Gender(self::Gender::Female)]), 4.4, 0.4)],
+        rules: vec![PlantRule::new(
+            av(&[Gender(self::Gender::Female)]),
+            4.4,
+            0.4,
+        )],
         biases: vec![],
     });
 
@@ -384,7 +388,12 @@ mod tests {
     #[test]
     fn toy_story_rules_match_figure2_groups() {
         let ts = scenario("Toy Story");
-        let ca_male = user(G::Male, AgeGroup::From25To34, UsState::CA, Occupation::Other);
+        let ca_male = user(
+            G::Male,
+            AgeGroup::From25To34,
+            UsState::CA,
+            Occupation::Other,
+        );
         let (mean, _) = ts.latent_for(&ca_male, 0.9);
         assert!(mean > 4.4, "CA males love Toy Story, mean {mean}");
         let ny_female = user(
@@ -394,8 +403,16 @@ mod tests {
             Occupation::K12Student,
         );
         let (mean_ny, _) = ts.latent_for(&ny_female, 0.5);
-        assert!(mean_ny > 3.9 && mean_ny < mean, "NY females positive but lower");
-        let other = user(G::Female, AgeGroup::From35To44, UsState::TX, Occupation::Lawyer);
+        assert!(
+            mean_ny > 3.9 && mean_ny < mean,
+            "NY females positive but lower"
+        );
+        let other = user(
+            G::Female,
+            AgeGroup::From35To44,
+            UsState::TX,
+            Occupation::Lawyer,
+        );
         let (mean_def, sigma_def) = ts.latent_for(&other, 0.5);
         assert_eq!(mean_def, ts.default_mean);
         assert_eq!(sigma_def, ts.default_sigma);
@@ -404,7 +421,12 @@ mod tests {
     #[test]
     fn toy_story_time_window_shifts_ca_mean() {
         let ts = scenario("Toy Story");
-        let ca_male = user(G::Male, AgeGroup::From25To34, UsState::CA, Occupation::Other);
+        let ca_male = user(
+            G::Male,
+            AgeGroup::From25To34,
+            UsState::CA,
+            Occupation::Other,
+        );
         let (early, _) = ts.latent_for(&ca_male, 0.1);
         let (late, _) = ts.latent_for(&ca_male, 0.9);
         assert!(early > late, "early CA enthusiasm {early} vs late {late}");
@@ -413,8 +435,18 @@ mod tests {
     #[test]
     fn eclipse_is_controversial() {
         let e = scenario("The Twilight Saga: Eclipse");
-        let f_teen = user(G::Female, AgeGroup::Under18, UsState::CA, Occupation::K12Student);
-        let m_teen = user(G::Male, AgeGroup::Under18, UsState::CA, Occupation::K12Student);
+        let f_teen = user(
+            G::Female,
+            AgeGroup::Under18,
+            UsState::CA,
+            Occupation::K12Student,
+        );
+        let m_teen = user(
+            G::Male,
+            AgeGroup::Under18,
+            UsState::CA,
+            Occupation::K12Student,
+        );
         let (f_mean, _) = e.latent_for(&f_teen, 0.5);
         let (m_mean, _) = e.latent_for(&m_teen, 0.5);
         assert!(f_mean > 4.5);
@@ -425,8 +457,18 @@ mod tests {
     #[test]
     fn biases_multiply() {
         let e = scenario("The Twilight Saga: Eclipse");
-        let f_teen = user(G::Female, AgeGroup::Under18, UsState::CA, Occupation::K12Student);
-        let m_adult = user(G::Male, AgeGroup::From35To44, UsState::CA, Occupation::Other);
+        let f_teen = user(
+            G::Female,
+            AgeGroup::Under18,
+            UsState::CA,
+            Occupation::K12Student,
+        );
+        let m_adult = user(
+            G::Male,
+            AgeGroup::From35To44,
+            UsState::CA,
+            Occupation::Other,
+        );
         assert!(e.bias_for(&f_teen) > e.bias_for(&m_adult));
         assert_eq!(e.bias_for(&m_adult), 1.0);
     }

@@ -53,9 +53,7 @@ pub fn generate_ratings<R: Rng>(
     let mut seen: HashSet<u64> = HashSet::with_capacity(config.num_ratings * 2);
 
     // Long-tailed user activity (lognormal).
-    let activity: Vec<f64> = (0..users.len())
-        .map(|_| (randn(rng) * 1.1).exp())
-        .collect();
+    let activity: Vec<f64> = (0..users.len()).map(|_| (randn(rng) * 1.1).exp()).collect();
     let user_dist = WeightedIndex::new(&activity).expect("positive activities");
 
     // --- Planted movies: fixed volume, biased raters, rule-driven scores.

@@ -48,7 +48,7 @@ fn mint_zip<R: Rng>(rng: &mut R, state: UsState) -> Zip {
     debug_assert!(!ranges.is_empty());
     let (lo, hi) = ranges[rng.gen_range(0..ranges.len())];
     let prefix = rng.gen_range(lo..=hi);
-    Zip::new(prefix * 100 + rng.gen_range(0..100))
+    Zip::new(prefix * 100 + rng.gen_range(0..100u32))
 }
 
 /// Appends `config.num_users` reviewers to the builder.
@@ -65,7 +65,7 @@ pub fn generate_users<R: Rng>(config: &SynthConfig, rng: &mut R, builder: &mut D
 
     for i in 0..config.num_users {
         let age = AgeGroup::ALL[age_dist.sample(rng)];
-        let gender = if rng.gen_range(0..1000) < MALE_PERMILLE {
+        let gender = if rng.gen_range(0..1000u32) < MALE_PERMILLE {
             Gender::Male
         } else {
             Gender::Female
@@ -85,7 +85,11 @@ pub fn generate_users<R: Rng>(config: &SynthConfig, rng: &mut R, builder: &mut D
         };
         let state = UsState::ALL[state_dist.sample(rng)];
         let zip = mint_zip(rng, state);
-        debug_assert_eq!(zip.state_or_fallback(), state, "minted zip resolves home state");
+        debug_assert_eq!(
+            zip.state_or_fallback(),
+            state,
+            "minted zip resolves home state"
+        );
         builder.add_user(User {
             id: UserId::from_index(i),
             age,
@@ -139,7 +143,12 @@ mod tests {
         for u in &users {
             counts[u.age as usize] += 1;
         }
-        let max = counts.iter().enumerate().max_by_key(|(_, c)| **c).unwrap().0;
+        let max = counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, c)| **c)
+            .unwrap()
+            .0;
         assert_eq!(max, AgeGroup::From25To34 as usize);
     }
 

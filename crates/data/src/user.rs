@@ -64,7 +64,10 @@ mod tests {
     #[test]
     fn attr_value_projection() {
         let u = user();
-        assert_eq!(u.attr_value(UserAttr::Gender), AttrValue::Gender(Gender::Male));
+        assert_eq!(
+            u.attr_value(UserAttr::Gender),
+            AttrValue::Gender(Gender::Male)
+        );
         assert_eq!(u.attr_value(UserAttr::State), AttrValue::State(UsState::CA));
     }
 

@@ -69,7 +69,10 @@ pub fn ratings_dat(dataset: &Dataset) -> String {
 pub fn people_dat(dataset: &Dataset) -> String {
     let mut out = String::new();
     for item in dataset.items() {
-        for (role, list) in [(Role::Actor, &item.actors), (Role::Director, &item.directors)] {
+        for (role, list) in [
+            (Role::Actor, &item.actors),
+            (Role::Director, &item.directors),
+        ] {
             for &pid in list {
                 out.push_str(&format!(
                     "{}::{}::{}\n",

@@ -192,7 +192,7 @@ mod tests {
     fn territory_prefixes_unmapped_but_fallback_total() {
         assert_eq!(Zip::new(900).state(), None); // 009xx Puerto Rico
         assert_eq!(Zip::new(96201).state(), None); // military AP
-        // Fallback must always produce a state.
+                                                   // Fallback must always produce a state.
         let _ = Zip::new(900).state_or_fallback();
         let _ = Zip::new(96201).state_or_fallback();
     }

@@ -194,10 +194,15 @@ mod tests {
             .related
             .iter()
             .any(|g| g.relation == Relation::Parent));
-        let has_female_sibling = detail.related.iter().any(|g| {
-            g.relation == Relation::Sibling && g.label.contains("female")
-        });
-        assert!(has_female_sibling, "{:#?}", detail.related.iter().map(|r| &r.label).collect::<Vec<_>>());
+        let has_female_sibling = detail
+            .related
+            .iter()
+            .any(|g| g.relation == Relation::Sibling && g.label.contains("female"));
+        assert!(
+            has_female_sibling,
+            "{:#?}",
+            detail.related.iter().map(|r| &r.label).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -31,4 +31,4 @@ pub use compare::{GroupDetail, RelatedGroup, Relation};
 pub use overlay::overlay_maps;
 pub use render::{exploration_maps, interpretation_map};
 pub use session::{ExplorationResult, ExplorationSession};
-pub use timeline::{TimelinePoint, TimeSlider};
+pub use timeline::{TimeSlider, TimelinePoint};

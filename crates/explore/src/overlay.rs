@@ -106,8 +106,7 @@ mod tests {
             .iter()
             .filter_map(|g| g.desc.state())
             .collect();
-        let union: std::collections::BTreeSet<_> =
-            sm_states.union(&dm_states).copied().collect();
+        let union: std::collections::BTreeSet<_> = sm_states.union(&dm_states).copied().collect();
         assert_eq!(overlay.len(), union.len());
         assert!(overlay.title.contains("Overlay"));
     }

@@ -43,12 +43,12 @@ impl VisitorProfile {
     /// declares must agree. Attributes the visitor left blank are
     /// unconstrained.
     pub fn compatible(&self, group: &CandidateGroup) -> bool {
-        self.values.iter().all(|&v| {
-            match group.desc.value(v.attr()) {
+        self.values
+            .iter()
+            .all(|&v| match group.desc.value(v.attr()) {
                 Some(group_value) => group_value == v,
                 None => true,
-            }
-        })
+            })
     }
 }
 
@@ -78,7 +78,7 @@ pub fn personalized_explain(
 mod tests {
     use super::*;
     use maprat_data::synth::{generate, SynthConfig};
-    use maprat_data::{AgeGroup, Gender, UserAttr, UsState};
+    use maprat_data::{AgeGroup, Gender, UsState, UserAttr};
 
     fn fixture() -> (maprat_data::Dataset, SearchSettings) {
         (
@@ -129,7 +129,11 @@ mod tests {
         let personalized =
             personalized_explain(&miner, &q, &settings, &VisitorProfile::new()).unwrap();
         let labels = |e: &Explanation| -> Vec<String> {
-            e.similarity.groups.iter().map(|g| g.label.clone()).collect()
+            e.similarity
+                .groups
+                .iter()
+                .map(|g| g.label.clone())
+                .collect()
         };
         assert_eq!(labels(&plain), labels(&personalized));
     }
@@ -146,12 +150,8 @@ mod tests {
             .with(AttrValue::State(UsState::WY))
             .with(AttrValue::Age(AgeGroup::Above56))
             .with(AttrValue::Gender(Gender::Female));
-        let result = personalized_explain(
-            &miner,
-            &ItemQuery::title("Toy Story"),
-            &settings,
-            &profile,
-        );
+        let result =
+            personalized_explain(&miner, &ItemQuery::title("Toy Story"), &settings, &profile);
         // Either personalized (if candidates exist) or fallback — but never
         // an error caused by the profile.
         assert!(result.is_ok());

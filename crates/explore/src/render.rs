@@ -1,9 +1,9 @@
 //! Interpretation → choropleth rendering (the SM / DM tabs of §2.3).
 
 use maprat_core::{Explanation, Interpretation};
+use maprat_data::AttrValue;
 use maprat_geo::choropleth::{non_geo_values, StateShade};
 use maprat_geo::Choropleth;
-use maprat_data::AttrValue;
 
 /// Renders one interpretation tab as a choropleth. Groups without a geo
 /// condition (possible when `require_geo` is off) are skipped — they are

@@ -83,14 +83,18 @@ impl<'a> ExplorationSession<'a> {
     ) -> Arc<Result<ExplorationResult, MineError>> {
         let key = query_key(query, settings);
         self.cache.get_or_insert_with(key, || {
-            self.miner.build_cube(query, settings).and_then(|(items, cube)| {
-                let explanation = self.miner.explain_cube(query, items.clone(), &cube, settings)?;
-                Ok(ExplorationResult {
-                    explanation,
-                    cube,
-                    items,
+            self.miner
+                .build_cube(query, settings)
+                .and_then(|(items, cube)| {
+                    let explanation =
+                        self.miner
+                            .explain_cube(query, items.clone(), &cube, settings)?;
+                    Ok(ExplorationResult {
+                        explanation,
+                        cube,
+                        items,
+                    })
                 })
-            })
         })
     }
 
@@ -165,7 +169,10 @@ mod tests {
         let q = ItemQuery::title("Toy Story");
         let a = session.explain(&q, &settings());
         let b = session.explain(&q, &settings().with_max_groups(2));
-        assert!(!Arc::ptr_eq(&a, &b), "different settings → different entries");
+        assert!(
+            !Arc::ptr_eq(&a, &b),
+            "different settings → different entries"
+        );
     }
 
     #[test]
@@ -214,8 +221,8 @@ mod tests {
     fn key_distinguishes_time_windows() {
         use maprat_data::{TimeRange, Timestamp};
         let q1 = ItemQuery::title("Toy Story");
-        let q2 = ItemQuery::title("Toy Story")
-            .within(TimeRange::until(Timestamp::from_ymd(2001, 1, 1)));
+        let q2 =
+            ItemQuery::title("Toy Story").within(TimeRange::until(Timestamp::from_ymd(2001, 1, 1)));
         assert_ne!(query_key(&q1, &settings()), query_key(&q2, &settings()));
     }
 }

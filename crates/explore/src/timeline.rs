@@ -190,11 +190,19 @@ mod tests {
         let d = generate(&SynthConfig::small(133)).unwrap();
         let session = ExplorationSession::new(&d);
         let slider = TimeSlider::over_dataset(&session, 9, 9).unwrap();
-        let points = slider.sweep(&session, &maprat_core::query::ItemQuery::title("Toy Story"), &settings());
+        let points = slider.sweep(
+            &session,
+            &maprat_core::query::ItemQuery::title("Toy Story"),
+            &settings(),
+        );
         assert_eq!(points.len(), slider.positions().len());
         // Planted Toy Story spans the full history: most windows non-empty.
         let non_empty = points.iter().filter(|p| p.num_ratings > 0).count();
-        assert!(non_empty * 2 >= points.len(), "{non_empty}/{}", points.len());
+        assert!(
+            non_empty * 2 >= points.len(),
+            "{non_empty}/{}",
+            points.len()
+        );
         for p in &points {
             if p.num_ratings > 0 && p.skipped.is_none() {
                 assert!(!p.top_groups.is_empty());
@@ -207,11 +215,17 @@ mod tests {
         let d = generate(&SynthConfig::small(134)).unwrap();
         let session = ExplorationSession::new(&d);
         let slider = TimeSlider::over_dataset(&session, 6, 6).unwrap();
-        let points = slider.sweep(&session, &maprat_core::query::ItemQuery::title("Toy Story"), &settings());
+        let points = slider.sweep(
+            &session,
+            &maprat_core::query::ItemQuery::title("Toy Story"),
+            &settings(),
+        );
         let volumes: Vec<usize> = points.iter().map(|p| p.num_ratings).collect();
         let total: usize = volumes.iter().sum();
-        let full = session
-            .explain(&maprat_core::query::ItemQuery::title("Toy Story"), &settings());
+        let full = session.explain(
+            &maprat_core::query::ItemQuery::title("Toy Story"),
+            &settings(),
+        );
         if let Ok(r) = &*full {
             // Non-overlapping windows partition the history.
             assert_eq!(total, r.explanation.num_ratings);
@@ -223,7 +237,11 @@ mod tests {
         let d = generate(&SynthConfig::tiny(135)).unwrap();
         let session = ExplorationSession::new(&d);
         let slider = TimeSlider::over_dataset(&session, 12, 12).unwrap();
-        let points = slider.sweep(&session, &maprat_core::query::ItemQuery::title("Toy Story"), &settings());
+        let points = slider.sweep(
+            &session,
+            &maprat_core::query::ItemQuery::title("Toy Story"),
+            &settings(),
+        );
         let text = render_sweep(&points);
         assert!(text.contains("window"));
         assert!(text.lines().count() >= points.len());

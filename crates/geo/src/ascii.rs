@@ -39,14 +39,16 @@ pub fn render(map: &Choropleth, options: &AsciiOptions) -> String {
                     Some(shade) => {
                         if options.color {
                             let bg = likert_color(shade.value).ansi256();
-                            let _ = write!(out, "\x1b[48;5;{bg}m\x1b[30m {} \x1b[0m ", state.abbrev());
+                            let _ =
+                                write!(out, "\x1b[48;5;{bg}m\x1b[30m {} \x1b[0m ", state.abbrev());
                         } else {
                             let _ = write!(out, "[{}] ", state.abbrev());
                         }
                     }
                     None => {
                         if options.color {
-                            let _ = write!(out, "\x1b[2m {} \x1b[0m ", state.abbrev().to_lowercase());
+                            let _ =
+                                write!(out, "\x1b[2m {} \x1b[0m ", state.abbrev().to_lowercase());
                         } else {
                             let _ = write!(out, " {}  ", state.abbrev().to_lowercase());
                         }

@@ -150,7 +150,10 @@ mod tests {
             4.2,
             "male reviewers",
             support,
-            &[AttrValue::Gender(Gender::Male), AttrValue::Age(AgeGroup::Under18)],
+            &[
+                AttrValue::Gender(Gender::Male),
+                AttrValue::Age(AgeGroup::Under18),
+            ],
         )
     }
 
@@ -163,7 +166,13 @@ mod tests {
 
     #[test]
     fn no_age_condition_neutral_pin() {
-        let s = StateShade::new(UsState::CA, 3.0, "x", 1, &[AttrValue::Gender(Gender::Female)]);
+        let s = StateShade::new(
+            UsState::CA,
+            3.0,
+            "x",
+            1,
+            &[AttrValue::Gender(Gender::Female)],
+        );
         assert_eq!(s.pin_color, icons::NEUTRAL_PIN);
     }
 

@@ -38,14 +38,49 @@ impl Rgb {
 
 /// Gradient stops at scores 1..=5 (ColorBrewer RdYlGn-style).
 const STOPS: [(f64, Rgb); 5] = [
-    (1.0, Rgb { r: 165, g: 0, b: 38 }),
+    (
+        1.0,
+        Rgb {
+            r: 165,
+            g: 0,
+            b: 38,
+        },
+    ),
     // ColorBrewer's stock stop is (215, 48, 39); the red channel is dialed
     // back slightly so the green-minus-red balance increases monotonically
     // across stops — "more green = better rated" holds exactly.
-    (2.0, Rgb { r: 205, g: 48, b: 39 }),
-    (3.0, Rgb { r: 254, g: 224, b: 139 }),
-    (4.0, Rgb { r: 102, g: 189, b: 99 }),
-    (5.0, Rgb { r: 0, g: 104, b: 55 }),
+    (
+        2.0,
+        Rgb {
+            r: 205,
+            g: 48,
+            b: 39,
+        },
+    ),
+    (
+        3.0,
+        Rgb {
+            r: 254,
+            g: 224,
+            b: 139,
+        },
+    ),
+    (
+        4.0,
+        Rgb {
+            r: 102,
+            g: 189,
+            b: 99,
+        },
+    ),
+    (
+        5.0,
+        Rgb {
+            r: 0,
+            g: 104,
+            b: 55,
+        },
+    ),
 ];
 
 /// The Likert color for an average rating on the `[1, 5]` scale; values
@@ -57,7 +92,11 @@ const STOPS: [(f64, Rgb); 5] = [
 /// assert_eq!(likert_color(5.0).hex(), "#006837"); // dark green = loves it
 /// ```
 pub fn likert_color(rating: f64) -> Rgb {
-    let rating = if rating.is_nan() { 3.0 } else { rating.clamp(1.0, 5.0) };
+    let rating = if rating.is_nan() {
+        3.0
+    } else {
+        rating.clamp(1.0, 5.0)
+    };
     let mut lo = STOPS[0];
     for &hi in &STOPS[1..] {
         if rating <= hi.0 {
@@ -139,6 +178,14 @@ mod tests {
 
     #[test]
     fn hex_format() {
-        assert_eq!(Rgb { r: 0, g: 255, b: 16 }.hex(), "#00ff10");
+        assert_eq!(
+            Rgb {
+                r: 0,
+                g: 255,
+                b: 16
+            }
+            .hex(),
+            "#00ff10"
+        );
     }
 }

@@ -96,7 +96,11 @@ pub fn render(map: &Choropleth, options: &SvgOptions) -> String {
         }
         let _ = writeln!(svg, "</rect>");
         // State abbreviation.
-        let text_fill = if shade.is_some() { "#ffffff" } else { "#666666" };
+        let text_fill = if shade.is_some() {
+            "#ffffff"
+        } else {
+            "#666666"
+        };
         let _ = writeln!(
             svg,
             r##"<text x="{}" y="{}" font-size="13" font-weight="bold" text-anchor="middle" fill="{text_fill}">{}</text>"##,

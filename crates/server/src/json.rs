@@ -36,12 +36,7 @@ pub enum Json {
 impl Json {
     /// Builds an object from pairs.
     pub fn obj<I: IntoIterator<Item = (&'static str, Json)>>(pairs: I) -> Json {
-        Json::Obj(
-            pairs
-                .into_iter()
-                .map(|(k, v)| (k.to_string(), v))
-                .collect(),
-        )
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
     }
 
     /// Builds a string value.
@@ -258,9 +253,7 @@ impl Parser<'_> {
                 }
                 Some(b'\\') => {
                     self.pos += 1;
-                    let esc = self
-                        .peek()
-                        .ok_or_else(|| "eof in escape".to_string())?;
+                    let esc = self.peek().ok_or_else(|| "eof in escape".to_string())?;
                     self.pos += 1;
                     match esc {
                         b'"' => out.push('"'),
@@ -285,10 +278,9 @@ impl Parser<'_> {
                             let ch = if (0xD800..0xDC00).contains(&code) {
                                 if self.bytes[self.pos..].starts_with(b"\\u") {
                                     self.pos += 2;
-                                    let hex2 = std::str::from_utf8(
-                                        &self.bytes[self.pos..self.pos + 4],
-                                    )
-                                    .map_err(|_| "bad low surrogate".to_string())?;
+                                    let hex2 =
+                                        std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                                            .map_err(|_| "bad low surrogate".to_string())?;
                                     let low = u32::from_str_radix(hex2, 16)
                                         .map_err(|_| "bad low surrogate".to_string())?;
                                     self.pos += 4;

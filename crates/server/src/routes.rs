@@ -9,8 +9,8 @@ use crate::http::{Handler, Request, Response};
 use crate::json::Json;
 use maprat_core::query::{ItemQuery, QueryTerm};
 use maprat_core::{Explanation, Interpretation, MineError, SearchSettings};
-use maprat_data::{Dataset, Genre, MonthKey, TimeRange};
 use maprat_data::{AgeGroup, AttrValue, Gender, Occupation, UsState};
+use maprat_data::{Dataset, Genre, MonthKey, TimeRange};
 use maprat_explore::drilldown::drill_group;
 use maprat_explore::personalize::{personalized_explain, VisitorProfile};
 use maprat_explore::{compare, exploration_maps, ExplorationSession, TimeSlider};
@@ -162,10 +162,7 @@ impl AppState {
                     ("from", Json::str(p.from.to_string())),
                     ("to", Json::str(p.to.to_string())),
                     ("ratings", Json::Num(p.num_ratings as f64)),
-                    (
-                        "mean",
-                        p.overall_mean.map(Json::Num).unwrap_or(Json::Null),
-                    ),
+                    ("mean", p.overall_mean.map(Json::Num).unwrap_or(Json::Null)),
                     (
                         "groups",
                         Json::Arr(
@@ -213,10 +210,7 @@ impl AppState {
                         Json::obj([
                             ("city", Json::str(c.city)),
                             ("count", Json::Num(c.stats.count() as f64)),
-                            (
-                                "mean",
-                                c.stats.mean().map(Json::Num).unwrap_or(Json::Null),
-                            ),
+                            ("mean", c.stats.mean().map(Json::Num).unwrap_or(Json::Null)),
                         ])
                     })
                     .collect();
@@ -351,10 +345,7 @@ impl AppState {
                             compare::Relation::Sibling => "sibling",
                         }),
                     ),
-                    (
-                        "mean",
-                        rg.stats.mean().map(Json::Num).unwrap_or(Json::Null),
-                    ),
+                    ("mean", rg.stats.mean().map(Json::Num).unwrap_or(Json::Null)),
                     ("count", Json::Num(rg.stats.count() as f64)),
                 ])
             })
@@ -450,10 +441,7 @@ fn interpretation_json(interp: &Interpretation) -> Json {
                                     .map(|s| Json::str(s.abbrev()))
                                     .unwrap_or(Json::Null),
                             ),
-                            (
-                                "mean",
-                                g.stats.mean().map(Json::Num).unwrap_or(Json::Null),
-                            ),
+                            ("mean", g.stats.mean().map(Json::Num).unwrap_or(Json::Null)),
                             ("support", Json::Num(g.support as f64)),
                             ("share", Json::Num(g.coverage_share)),
                             ("token", Json::str(g.desc.token())),
@@ -530,15 +518,20 @@ mod tests {
     #[test]
     fn explain_returns_both_tabs() {
         let s = server();
-        let (status, body) = get(
-            s.port(),
-            "/api/explain?q=Toy+Story&coverage=0.1&geo=0",
-        );
+        let (status, body) = get(s.port(), "/api/explain?q=Toy+Story&coverage=0.1&geo=0");
         assert_eq!(status, 200, "{body}");
         let v = Json::parse(&body).unwrap();
         assert!(v.get("similarity").is_some());
         assert!(v.get("diversity").is_some());
-        assert!(v.get("similarity").unwrap().get("groups").unwrap().len().unwrap() >= 1);
+        assert!(
+            v.get("similarity")
+                .unwrap()
+                .get("groups")
+                .unwrap()
+                .len()
+                .unwrap()
+                >= 1
+        );
     }
 
     #[test]
@@ -637,7 +630,10 @@ mod tests {
     #[test]
     fn query_types_route_correctly() {
         let s = server();
-        let (status, body) = get(s.port(), "/api/explain?q=Tom+Hanks&type=actor&coverage=0.05&geo=0");
+        let (status, body) = get(
+            s.port(),
+            "/api/explain?q=Tom+Hanks&type=actor&coverage=0.05&geo=0",
+        );
         assert_eq!(status, 200, "{body}");
         let v = Json::parse(&body).unwrap();
         assert!(v.get("items").unwrap().as_f64().unwrap() >= 3.0);
@@ -670,8 +666,17 @@ mod tests {
         let v = Json::parse(&body).unwrap();
         let groups = v.get("similarity").unwrap().get("groups").unwrap();
         for i in 0..groups.len().unwrap() {
-            let token = groups.at(i).unwrap().get("token").unwrap().as_str().unwrap();
-            assert!(!token.contains("gender=F"), "female group for male visitor: {token}");
+            let token = groups
+                .at(i)
+                .unwrap()
+                .get("token")
+                .unwrap()
+                .as_str()
+                .unwrap();
+            assert!(
+                !token.contains("gender=F"),
+                "female group for male visitor: {token}"
+            );
         }
         // Bad profile values are 400.
         let (status, _) = get(s.port(), "/api/personalize?q=Toy+Story&gender=X");

@@ -1,0 +1,311 @@
+//! Offline stand-in for the subset of the `criterion` API that MapRat's
+//! benches use: [`Criterion`], benchmark groups, [`BenchmarkId`],
+//! [`Throughput`], [`criterion_group!`] and [`criterion_main!`].
+//!
+//! Instead of upstream's statistical engine it runs a warm-up, then a
+//! fixed measurement pass, and prints the mean/min wall-clock time per
+//! iteration — enough to give the workspace a latency trajectory without
+//! a crates.io dependency. Differences:
+//!
+//! * no HTML reports and no `target/criterion` state;
+//! * `--quick` (or `CRITERION_QUICK=1`) shortens measurement for CI
+//!   smoke jobs;
+//! * a benchmark-name filter argument is honored as a substring match,
+//!   so `cargo bench -p maprat-bench -- explain` works as expected.
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// One benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> BenchmarkId {
+        BenchmarkId {
+            name: name.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> BenchmarkId {
+        BenchmarkId { name }
+    }
+}
+
+/// Throughput annotation (accepted, echoed in the report line).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The measurement handle passed to benchmark closures.
+pub struct Bencher {
+    /// Collected per-iteration means of the measurement batches.
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    sample_count: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, recording `sample_count` batches.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up batch (not recorded).
+        for _ in 0..self.iters_per_sample {
+            std::hint::black_box(routine());
+        }
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.samples.push(elapsed / self.iters_per_sample as u32);
+        }
+    }
+}
+
+fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+        || std::env::var("CRITERION_QUICK")
+            .map(|v| v == "1")
+            .unwrap_or(false)
+}
+
+/// The name filter: the first free (non-flag) CLI argument, if any.
+fn name_filter() -> Option<String> {
+    std::env::args().skip(1).find(|a| !a.starts_with('-'))
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            filter: name_filter(),
+            quick: quick_mode(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+
+    /// Runs a stand-alone benchmark (an implicit single-entry group).
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("");
+        group.bench_function(id, f);
+        group.finish();
+    }
+}
+
+/// A named collection of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many measurement batches each benchmark records.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(2);
+        self
+    }
+
+    /// Annotates per-iteration throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id.name, |b| f(b));
+        self
+    }
+
+    /// Runs one benchmark parameterized by a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        self.run(&id.name, |b| f(b, input));
+        self
+    }
+
+    fn run(&mut self, bench_name: &str, mut f: impl FnMut(&mut Bencher)) {
+        let full = if self.name.is_empty() {
+            bench_name.to_string()
+        } else {
+            format!("{}/{}", self.name, bench_name)
+        };
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let (samples, iters) = if self.criterion.quick {
+            (2usize, 1u64)
+        } else {
+            (self.sample_size, 3u64)
+        };
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            iters_per_sample: iters,
+            sample_count: samples,
+        };
+        f(&mut bencher);
+        report(&full, &bencher.samples, self.throughput);
+    }
+
+    /// Ends the group (upstream flushes reports here; ours are printed
+    /// per-benchmark, so this is shape-compatible and otherwise inert).
+    pub fn finish(self) {}
+}
+
+fn report(name: &str, samples: &[Duration], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("{name:<40} (no samples — closure never called iter?)");
+        return;
+    }
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    let min = samples.iter().min().copied().unwrap_or_default();
+    let mut line = String::new();
+    let _ = write!(
+        line,
+        "{name:<44} mean {:>12} min {:>12} ({} samples)",
+        fmt_duration(mean),
+        fmt_duration(min),
+        samples.len()
+    );
+    if let Some(t) = throughput {
+        let per_sec = |count: u64| {
+            let secs = mean.as_secs_f64();
+            if secs > 0.0 {
+                count as f64 / secs
+            } else {
+                f64::INFINITY
+            }
+        };
+        match t {
+            Throughput::Elements(n) => {
+                let _ = write!(line, "  {:.3e} elem/s", per_sec(n));
+            }
+            Throughput::Bytes(n) => {
+                let _ = write!(line, "  {:.3e} B/s", per_sec(n));
+            }
+        }
+    }
+    println!("{line}");
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 10_000 {
+        format!("{nanos} ns")
+    } else if nanos < 10_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 10_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Declares the benchmark entry function, mirroring upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main`, mirroring upstream.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("bitmap", 0.1).name, "bitmap/0.1");
+        assert_eq!(BenchmarkId::from("plain").name, "plain");
+    }
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 2,
+            sample_count: 3,
+        };
+        let mut count = 0u64;
+        b.iter(|| count += 1);
+        assert_eq!(b.samples.len(), 3);
+        // warm-up (2) + 3 samples × 2 iters
+        assert_eq!(count, 8);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert!(fmt_duration(Duration::from_micros(150)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(150)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(15)).ends_with(" s"));
+    }
+}

@@ -1,0 +1,7 @@
+//! Offline stand-in for the subset of the `crossbeam` API that MapRat
+//! uses: bounded MPMC channels with disconnect-on-drop semantics,
+//! implemented over `Mutex` + `Condvar`.
+
+#![warn(missing_docs)]
+
+pub mod channel;

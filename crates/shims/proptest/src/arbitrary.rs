@@ -1,0 +1,71 @@
+//! The [`any`] entry point and the [`Arbitrary`] trait for primitives.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::fmt::Debug;
+use std::marker::PhantomData;
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Debug + Sized {
+    /// Draw one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy generating any value of `A`.
+pub fn any<A: Arbitrary>() -> Any<A> {
+    Any(PhantomData)
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<A>(PhantomData<A>);
+
+impl<A: Arbitrary> Strategy for Any<A> {
+    type Value = A;
+
+    fn generate(&self, rng: &mut TestRng) -> A {
+        A::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite-heavy mixture over a wide magnitude span.
+        let mag = rng.next_f64() * 600.0 - 300.0;
+        let sign = if rng.next_u64() & 1 == 0 { 1.0 } else { -1.0 };
+        sign * mag.exp2()
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        loop {
+            if let Some(c) = char::from_u32(rng.below(0x11_0000) as u32) {
+                return c;
+            }
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Collection strategies: [`vec`] and [`btree_map`].
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::BTreeMap;
+use std::fmt::Debug;
+
+/// A size specification: an exact length or a half-open range, mirroring
+/// upstream's `SizeRange` conversions.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    /// Exclusive.
+    max: usize,
+}
+
+impl SizeRange {
+    fn sample(self, rng: &mut TestRng) -> usize {
+        debug_assert!(self.min < self.max);
+        self.min + rng.below((self.max - self.min) as u64) as usize
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> SizeRange {
+        SizeRange {
+            min: exact,
+            max: exact + 1,
+        }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(range: core::ops::Range<usize>) -> SizeRange {
+        assert!(range.start < range.end, "empty collection size range");
+        SizeRange {
+            min: range.start,
+            max: range.end,
+        }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(range: core::ops::RangeInclusive<usize>) -> SizeRange {
+        SizeRange {
+            min: *range.start(),
+            max: range.end() + 1,
+        }
+    }
+}
+
+/// Generates `Vec`s of `element` with a length drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// The strategy returned by [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.size.sample(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Generates `BTreeMap`s from key/value strategies; duplicate keys
+/// collapse, so the final length may be below the drawn size.
+pub fn btree_map<K, V>(keys: K, values: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+{
+    BTreeMapStrategy {
+        keys,
+        values,
+        size: size.into(),
+    }
+}
+
+/// The strategy returned by [`btree_map`].
+#[derive(Debug, Clone)]
+pub struct BTreeMapStrategy<K, V> {
+    keys: K,
+    values: V,
+    size: SizeRange,
+}
+
+impl<K, V> Strategy for BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    K::Value: Ord + Debug,
+    V: Strategy,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+        let n = self.size.sample(rng);
+        (0..n)
+            .map(|_| (self.keys.generate(rng), self.values.generate(rng)))
+            .collect()
+    }
+}

@@ -1,0 +1,162 @@
+//! Offline stand-in for the subset of the `proptest` API that MapRat's
+//! property-test suites use.
+//!
+//! The build environment has no crates.io access, so this workspace ships
+//! a small property-testing engine with the same surface: the
+//! [`proptest!`] macro, [`strategy::Strategy`] with `prop_map` /
+//! `prop_recursive` / `boxed`, range and regex-subset string strategies,
+//! [`collection`] strategies, [`prop_oneof!`], [`arbitrary::any`],
+//! `Just`, the `prop_assert*` family and
+//! [`test_runner::ProptestConfig`].
+//!
+//! Differences from upstream, by design:
+//!
+//! * cases are generated from a seed derived from the test name, so runs
+//!   are fully deterministic (no persistence files, no env seeds);
+//! * there is **no shrinking** — a failure reports the already-generated
+//!   inputs instead;
+//! * the regex-string strategy supports the subset actually used in this
+//!   repository: character classes (with ranges and escapes), `.`, and
+//!   `{m}` / `{m,n}` repetition.
+
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// The glob import every test module starts with, mirroring upstream.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines property tests: each `fn` runs its body over generated inputs.
+///
+/// Supported grammar (the subset upstream's macro accepts that this
+/// repository uses): an optional `#![proptest_config(expr)]` header
+/// followed by any number of `#[test] fn name(pat in strategy, ...)
+/// { body }` items, each with optional doc comments and attributes.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg); $($rest)*);
+    };
+    (@impl ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $arg:pat in $strat:expr ),+ $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let seed = $crate::test_runner::seed_for(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_runner::TestRng::for_case(seed, case);
+                    let values = ( $(
+                        $crate::strategy::Strategy::generate(&($strat), &mut rng),
+                    )+ );
+                    let described = format!("{values:?}");
+                    let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || {
+                            let ( $($arg,)+ ) = values;
+                            $body
+                            #[allow(unreachable_code)]
+                            ::core::result::Result::Ok(())
+                        })();
+                    if let ::core::result::Result::Err(e) = outcome {
+                        panic!(
+                            "proptest case {case}/{total} of `{name}` failed: {e}\n\
+                             inputs: {described}",
+                            case = case + 1,
+                            total = config.cases,
+                            name = stringify!($name),
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Fails the current case with a message when the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current case when the two expressions are unequal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, $($fmt)+);
+    }};
+}
+
+/// Fails the current case when the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}
+
+/// Discards the current case (counts as a pass) when the condition fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Ok(());
+        }
+    };
+}
+
+/// Uniformly picks one of several same-valued strategies per generated
+/// case.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

@@ -1,0 +1,224 @@
+//! String strategies from a regex subset.
+//!
+//! `&str` implements [`Strategy`] so that `"[a-z]{1,6}"` works directly
+//! in `proptest!` headers. The supported grammar is the subset this
+//! repository's suites use:
+//!
+//! * character classes `[...]` with literal chars, `a-z` ranges and
+//!   backslash escapes (`\\`, `\n`, `\t`, `\r`, `\"`, …);
+//! * `.` — an arbitrary char drawn from a printable-heavy mixture that
+//!   includes whitespace and non-ASCII code points;
+//! * an optional trailing `{m}` / `{m,n}` repetition per atom (default:
+//!   exactly one).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// Inclusive char ranges to choose among.
+    Class(Vec<(char, char)>),
+    /// The `.` wildcard.
+    Any,
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: u32,
+    max: u32,
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other,
+    }
+}
+
+/// Parses the supported regex subset; panics on anything else so that an
+/// unsupported pattern fails loudly at test time rather than silently
+/// generating the wrong language.
+fn parse(pattern: &str) -> Vec<Piece> {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '.' => Atom::Any,
+            '[' => {
+                let mut entries: Vec<(char, char)> = Vec::new();
+                let mut pending: Option<char> = None;
+                loop {
+                    let c = chars
+                        .next()
+                        .unwrap_or_else(|| panic!("unterminated class in regex {pattern:?}"));
+                    match c {
+                        ']' => break,
+                        '\\' => {
+                            let esc = chars
+                                .next()
+                                .unwrap_or_else(|| panic!("trailing escape in {pattern:?}"));
+                            if let Some(p) = pending.replace(unescape(esc)) {
+                                entries.push((p, p));
+                            }
+                        }
+                        '-' if pending.is_some() && chars.peek() != Some(&']') => {
+                            let lo = pending.take().expect("checked");
+                            let hi = chars.next().expect("peeked");
+                            let hi =
+                                if hi == '\\' {
+                                    unescape(chars.next().unwrap_or_else(|| {
+                                        panic!("trailing escape in {pattern:?}")
+                                    }))
+                                } else {
+                                    hi
+                                };
+                            assert!(lo <= hi, "inverted class range in {pattern:?}");
+                            entries.push((lo, hi));
+                        }
+                        other => {
+                            if let Some(p) = pending.replace(other) {
+                                entries.push((p, p));
+                            }
+                        }
+                    }
+                }
+                if let Some(p) = pending {
+                    entries.push((p, p));
+                }
+                assert!(!entries.is_empty(), "empty class in regex {pattern:?}");
+                Atom::Class(entries)
+            }
+            '\\' => {
+                let esc = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("trailing escape in {pattern:?}"));
+                let lit = unescape(esc);
+                Atom::Class(vec![(lit, lit)])
+            }
+            other => Atom::Class(vec![(other, other)]),
+        };
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    break;
+                }
+                spec.push(c);
+            }
+            match spec.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse().expect("repeat lower bound"),
+                    n.trim().parse().expect("repeat upper bound"),
+                ),
+                None => {
+                    let n = spec.trim().parse().expect("repeat count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+/// The pool `.` draws from: every printable ASCII char, a few controls,
+/// and a spread of non-ASCII code points (accented latin, symbols, an
+/// astral-plane emoji) so parser-totality tests see multi-byte UTF-8.
+fn any_char(rng: &mut TestRng) -> char {
+    const EXTRAS: &[char] = &[
+        '\n', '\t', 'é', 'ß', '♀', '♂', '\u{00a0}', 'λ', 'Ж', '中', '🎓', '�',
+    ];
+    if rng.below(8) == 0 {
+        EXTRAS[rng.below(EXTRAS.len() as u64) as usize]
+    } else {
+        char::from(32 + rng.below(95) as u8)
+    }
+}
+
+fn sample_class(entries: &[(char, char)], rng: &mut TestRng) -> char {
+    let (lo, hi) = entries[rng.below(entries.len() as u64) as usize];
+    let span = (hi as u32 - lo as u32) as u64 + 1;
+    // Skip the surrogate gap if a range were ever to span it.
+    loop {
+        let v = lo as u32 + rng.below(span) as u32;
+        if let Some(c) = char::from_u32(v) {
+            return c;
+        }
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let pieces = parse(self);
+        let mut out = String::new();
+        for piece in &pieces {
+            let count = piece.min + rng.below(u64::from(piece.max - piece.min) + 1) as u32;
+            for _ in 0..count {
+                match &piece.atom {
+                    Atom::Any => out.push(any_char(rng)),
+                    Atom::Class(entries) => out.push(sample_class(entries, rng)),
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_case(42, 0)
+    }
+
+    #[test]
+    fn class_with_ranges() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = "[a-z0-9]{1,6}".generate(&mut rng);
+            assert!((1..=6).contains(&s.chars().count()), "{s:?}");
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn escapes_and_unicode_literals() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = "[\\\\\"\n\t♂é]{1,4}".generate(&mut rng);
+            assert!(s.chars().all(|c| "\\\"\n\t♂é".contains(c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn dot_repeat_bounds() {
+        let mut rng = rng();
+        let mut max_seen = 0;
+        for _ in 0..200 {
+            let s = ".{0,12}".generate(&mut rng);
+            let n = s.chars().count();
+            assert!(n <= 12);
+            max_seen = max_seen.max(n);
+        }
+        assert!(max_seen >= 8, "repetition should explore its upper range");
+    }
+
+    #[test]
+    fn exact_repeat_and_literals() {
+        let mut rng = rng();
+        let s = "ab{3}".generate(&mut rng);
+        assert_eq!(s, "abbb");
+    }
+}

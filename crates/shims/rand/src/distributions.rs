@@ -1,0 +1,200 @@
+//! Distributions: the [`Distribution`] trait and [`WeightedIndex`].
+
+use crate::{u64_to_f64, Rng, RngCore};
+use std::fmt;
+
+/// Types that can be sampled to yield values of `T`.
+pub trait Distribution<T> {
+    /// Draw one value.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Errors from [`WeightedIndex::new`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WeightedError {
+    /// The weight sequence was empty.
+    NoItem,
+    /// A weight was negative or not finite.
+    InvalidWeight,
+    /// Every weight was zero.
+    AllWeightsZero,
+}
+
+impl fmt::Display for WeightedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WeightedError::NoItem => write!(f, "no weights provided"),
+            WeightedError::InvalidWeight => write!(f, "a weight is invalid"),
+            WeightedError::AllWeightsZero => write!(f, "all weights are zero"),
+        }
+    }
+}
+
+impl std::error::Error for WeightedError {}
+
+/// Weight scalar types accepted by [`WeightedIndex`].
+pub trait Weight: Copy + PartialOrd {
+    /// The additive identity.
+    const ZERO: Self;
+    /// Checked-ish addition (saturating is fine for sampling purposes).
+    fn add(self, other: Self) -> Self;
+    /// `true` when usable as a weight (finite, non-negative).
+    fn is_valid(self) -> bool;
+    /// Uniform value in `[ZERO, bound)`.
+    fn sample_below<R: RngCore + ?Sized>(bound: Self, rng: &mut R) -> Self;
+}
+
+macro_rules! impl_weight_uint {
+    ($($t:ty),*) => {$(
+        impl Weight for $t {
+            const ZERO: Self = 0;
+            fn add(self, other: Self) -> Self { self.saturating_add(other) }
+            fn is_valid(self) -> bool { true }
+            fn sample_below<R: RngCore + ?Sized>(bound: Self, rng: &mut R) -> Self {
+                rng.gen_range(0..bound)
+            }
+        }
+    )*};
+}
+impl_weight_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_weight_int {
+    ($($t:ty),*) => {$(
+        impl Weight for $t {
+            const ZERO: Self = 0;
+            fn add(self, other: Self) -> Self { self.saturating_add(other) }
+            fn is_valid(self) -> bool { self >= 0 }
+            fn sample_below<R: RngCore + ?Sized>(bound: Self, rng: &mut R) -> Self {
+                rng.gen_range(0..bound)
+            }
+        }
+    )*};
+}
+impl_weight_int!(i16, i32, i64);
+
+macro_rules! impl_weight_float {
+    ($($t:ty),*) => {$(
+        impl Weight for $t {
+            const ZERO: Self = 0.0;
+            fn add(self, other: Self) -> Self { self + other }
+            fn is_valid(self) -> bool { self.is_finite() && self >= 0.0 }
+            fn sample_below<R: RngCore + ?Sized>(bound: Self, rng: &mut R) -> Self {
+                bound * u64_to_f64(rng.next_u64()) as $t
+            }
+        }
+    )*};
+}
+impl_weight_float!(f32, f64);
+
+/// Items convertible to a borrowed weight (covers `X` and `&X` inputs,
+/// mirroring upstream's `SampleBorrow`).
+pub trait SampleBorrow<X> {
+    /// Borrow the underlying weight.
+    fn borrow_weight(&self) -> &X;
+}
+
+impl<X: Weight> SampleBorrow<X> for X {
+    fn borrow_weight(&self) -> &X {
+        self
+    }
+}
+
+impl<X: Weight> SampleBorrow<X> for &X {
+    fn borrow_weight(&self) -> &X {
+        self
+    }
+}
+
+/// Samples indices `0..n` proportionally to a weight table.
+#[derive(Debug, Clone)]
+pub struct WeightedIndex<X: Weight> {
+    cumulative: Vec<X>,
+    total: X,
+}
+
+impl<X: Weight> WeightedIndex<X> {
+    /// Builds the sampler from any iterable of weights.
+    pub fn new<I>(weights: I) -> Result<WeightedIndex<X>, WeightedError>
+    where
+        I: IntoIterator,
+        I::Item: SampleBorrow<X>,
+    {
+        let mut cumulative = Vec::new();
+        let mut total = X::ZERO;
+        for w in weights {
+            let w = *w.borrow_weight();
+            if !w.is_valid() {
+                return Err(WeightedError::InvalidWeight);
+            }
+            total = total.add(w);
+            cumulative.push(total);
+        }
+        if cumulative.is_empty() {
+            return Err(WeightedError::NoItem);
+        }
+        if total.partial_cmp(&X::ZERO) != Some(std::cmp::Ordering::Greater) {
+            return Err(WeightedError::AllWeightsZero);
+        }
+        Ok(WeightedIndex { cumulative, total })
+    }
+}
+
+impl<X: Weight> Distribution<usize> for WeightedIndex<X> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let needle = X::sample_below(self.total, rng);
+        // First cumulative weight strictly greater than the needle;
+        // zero-weight entries are never selected.
+        self.cumulative
+            .partition_point(|&c| c <= needle)
+            .min(self.cumulative.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let dist = WeightedIndex::new([1u32, 0, 9]).unwrap();
+        let mut counts = [0usize; 3];
+        for _ in 0..5000 {
+            counts[dist.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        assert!(counts[2] > counts[0] * 4, "{counts:?}");
+    }
+
+    #[test]
+    fn weighted_index_float_refs() {
+        let weights = vec![0.25f64, 0.75];
+        let dist = WeightedIndex::new(&weights).unwrap();
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut hi = 0usize;
+        for _ in 0..2000 {
+            if dist.sample(&mut rng) == 1 {
+                hi += 1;
+            }
+        }
+        assert!(hi > 1200, "{hi}");
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(
+            WeightedIndex::<u32>::new(Vec::<u32>::new()).unwrap_err(),
+            WeightedError::NoItem
+        );
+        assert_eq!(
+            WeightedIndex::new([0u32, 0]).unwrap_err(),
+            WeightedError::AllWeightsZero
+        );
+        assert_eq!(
+            WeightedIndex::new([f64::NAN]).unwrap_err(),
+            WeightedError::InvalidWeight
+        );
+    }
+}

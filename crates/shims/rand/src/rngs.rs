@@ -1,0 +1,77 @@
+//! The generators: [`StdRng`] and the [`mock`] module.
+
+use crate::{splitmix64, RngCore, SeedableRng};
+
+/// The workspace's standard deterministic generator (xoshiro256++).
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, chunk) in seed.chunks_exact(8).enumerate() {
+            s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        }
+        // A pathological all-zero state would be a fixed point; reseed it
+        // through SplitMix64 like the reference implementation suggests.
+        if s == [0; 4] {
+            let mut sm = 0x9e37_79b9_7f4a_7c15u64;
+            for slot in &mut s {
+                *slot = splitmix64(&mut sm);
+            }
+        }
+        StdRng { s }
+    }
+}
+
+/// Mock generators for deterministic tests.
+pub mod mock {
+    use crate::RngCore;
+
+    /// A generator that returns `initial`, `initial + increment`, … — the
+    /// same contract as `rand::rngs::mock::StepRng`.
+    #[derive(Debug, Clone)]
+    pub struct StepRng {
+        v: u64,
+        increment: u64,
+    }
+
+    impl StepRng {
+        /// A new counter starting at `initial` and advancing by `increment`.
+        pub fn new(initial: u64, increment: u64) -> StepRng {
+            StepRng {
+                v: initial,
+                increment,
+            }
+        }
+    }
+
+    impl RngCore for StepRng {
+        fn next_u64(&mut self) -> u64 {
+            let out = self.v;
+            self.v = self.v.wrapping_add(self.increment);
+            out
+        }
+    }
+}

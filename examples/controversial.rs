@@ -10,8 +10,8 @@
 //! Run with `cargo run --release --example controversial`.
 
 use maprat::core::query::ItemQuery;
-use maprat::core::SearchSettings;
 use maprat::core::Miner;
+use maprat::core::SearchSettings;
 use maprat::data::synth::{generate, SynthConfig};
 
 fn main() {

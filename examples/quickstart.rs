@@ -20,7 +20,9 @@ fn main() {
     let settings = SearchSettings::default().with_min_coverage(0.2);
     let query = ItemQuery::title("Toy Story");
 
-    let explanation = miner.explain(&query, &settings).expect("Toy Story is planted");
+    let explanation = miner
+        .explain(&query, &settings)
+        .expect("Toy Story is planted");
     print!("{}", explanation.render_text());
 
     let (sm_map, _dm_map) = exploration_maps(&explanation);

@@ -5,16 +5,36 @@
 //! `http://127.0.0.1:<port>/`. Try the queries of §3.2: "The Social
 //! Network", "Tom Hanks" (type Actor), "Lord of the Rings" (type Title
 //! contains), "Steven Spielberg" (type Director).
+//!
+//! `--smoke` binds an ephemeral port, issues one `/api/explain` request
+//! through the full stack, prints the verdict and exits — used by the CI
+//! smoke job.
 
 use maprat::core::SearchSettings;
 use maprat::data::synth::{generate, SynthConfig};
 use maprat::server::{AppState, HttpServer};
+use std::io::{Read, Write};
+
+/// One blocking GET against the running demo server; returns the status
+/// line plus body.
+fn http_get(port: u16, target: &str) -> std::io::Result<String> {
+    let mut stream = std::net::TcpStream::connect(("127.0.0.1", port))?;
+    write!(stream, "GET {target} HTTP/1.1\r\nHost: localhost\r\n\r\n")?;
+    let mut buf = String::new();
+    stream.read_to_string(&mut buf)?;
+    Ok(buf)
+}
 
 fn main() {
-    let port: u16 = std::env::args()
-        .nth(1)
-        .and_then(|p| p.parse().ok())
-        .unwrap_or(8748);
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let port: u16 = if smoke {
+        0
+    } else {
+        std::env::args()
+            .nth(1)
+            .and_then(|p| p.parse().ok())
+            .unwrap_or(8748)
+    };
 
     eprintln!("generating the demo dataset…");
     let dataset = generate(&SynthConfig::small(42)).expect("generation succeeds");
@@ -30,9 +50,30 @@ fn main() {
         .precompute_popular(8, &SearchSettings::default().with_min_coverage(0.2));
     eprintln!("warmed {warmed} cache entries");
 
-    let server = HttpServer::start(&format!("127.0.0.1:{port}"), 4, state.into_handler())
+    let mut server = HttpServer::start(&format!("127.0.0.1:{port}"), 4, state.into_handler())
         .expect("bind demo port");
-    eprintln!("MapRat demo listening on http://127.0.0.1:{}/", server.port());
+    eprintln!(
+        "MapRat demo listening on http://127.0.0.1:{}/",
+        server.port()
+    );
+
+    if smoke {
+        let reply = http_get(server.port(), "/api/explain?q=Toy+Story&coverage=0.1&geo=0")
+            .expect("smoke request reaches the server");
+        assert!(
+            reply.starts_with("HTTP/1.1 200"),
+            "smoke request failed: {}",
+            reply.lines().next().unwrap_or("<empty>")
+        );
+        assert!(
+            reply.contains("\"similarity\""),
+            "explain payload missing interpretation tabs"
+        );
+        eprintln!("smoke OK: /api/explain served an explanation");
+        server.shutdown();
+        return;
+    }
+
     eprintln!("press Ctrl-C to stop");
     loop {
         std::thread::sleep(std::time::Duration::from_secs(3600));

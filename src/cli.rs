@@ -154,10 +154,7 @@ fn parse_flag<T: std::str::FromStr>(
     }
 }
 
-fn parse_spec(
-    positional: &[String],
-    flags: &HashMap<String, String>,
-) -> Result<QuerySpec, String> {
+fn parse_spec(positional: &[String], flags: &HashMap<String, String>) -> Result<QuerySpec, String> {
     let query = positional
         .first()
         .cloned()
@@ -185,7 +182,10 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 .get("out")
                 .cloned()
                 .ok_or_else(|| "generate requires --out DIR".to_string())?,
-            scale: flags.get("scale").cloned().unwrap_or_else(|| "small".into()),
+            scale: flags
+                .get("scale")
+                .cloned()
+                .unwrap_or_else(|| "small".into()),
             seed: parse_flag(&flags, "seed", 42)?,
         }),
         "explain" => Ok(Command::Explain {

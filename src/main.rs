@@ -98,7 +98,10 @@ fn run_serve(port: u16, data: Option<String>) -> Result<(), String> {
     eprintln!("pre-computed {warmed} popular items");
     let server = HttpServer::start(&format!("127.0.0.1:{port}"), 4, state.into_handler())
         .map_err(|e| format!("cannot bind port {port}: {e}"))?;
-    println!("MapRat demo listening on http://127.0.0.1:{}/", server.port());
+    println!(
+        "MapRat demo listening on http://127.0.0.1:{}/",
+        server.port()
+    );
     println!("press Ctrl-C to stop");
     loop {
         std::thread::sleep(std::time::Duration::from_secs(3600));

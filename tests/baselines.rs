@@ -138,8 +138,7 @@ fn null_model_yields_weak_structure() {
 
     let eclipse_cube = cube("The Twilight Saga: Eclipse", 10, 2);
     let eclipse_problem = MiningProblem::new(&eclipse_cube, 2, 0.1, 0.0);
-    let eclipse_dm =
-        rhe::solve(&eclipse_problem, Task::Diversity, &RheParams::default()).unwrap();
+    let eclipse_dm = rhe::solve(&eclipse_problem, Task::Diversity, &RheParams::default()).unwrap();
 
     assert!(
         eclipse_dm.objective > null_dm.objective * 2.0,

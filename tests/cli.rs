@@ -35,7 +35,10 @@ fn explain_runs_on_synthetic_data() {
     assert!(ok, "stderr: {stderr}");
     assert!(stdout.contains("Similarity Mining"));
     assert!(stdout.contains("Diversity Mining"));
-    assert!(stdout.contains("California"), "planted group expected:\n{stdout}");
+    assert!(
+        stdout.contains("California"),
+        "planted group expected:\n{stdout}"
+    );
 }
 
 #[test]
@@ -49,7 +52,9 @@ fn explain_unknown_movie_fails_cleanly() {
 fn generate_then_explain_round_trip() {
     let dir = std::env::temp_dir().join(format!("maprat-cli-{}", std::process::id()));
     let dir_str = dir.to_str().unwrap();
-    let (ok, _, stderr) = maprat(&["generate", "--out", dir_str, "--scale", "tiny", "--seed", "9"]);
+    let (ok, _, stderr) = maprat(&[
+        "generate", "--out", dir_str, "--scale", "tiny", "--seed", "9",
+    ]);
     assert!(ok, "{stderr}");
     assert!(dir.join("ratings.dat").exists());
     assert!(dir.join("people.dat").exists());
@@ -70,7 +75,14 @@ fn generate_then_explain_round_trip() {
 
 #[test]
 fn timeline_renders_windows() {
-    let (ok, stdout, stderr) = maprat(&["timeline", "Toy Story", "--window", "9", "--coverage", "0.1"]);
+    let (ok, stdout, stderr) = maprat(&[
+        "timeline",
+        "Toy Story",
+        "--window",
+        "9",
+        "--coverage",
+        "0.1",
+    ]);
     assert!(ok, "{stderr}");
     assert!(stdout.contains("window"));
     assert!(stdout.lines().count() >= 3);
@@ -87,7 +99,14 @@ fn drill_prints_city_table() {
 fn explain_writes_svg() {
     let path = std::env::temp_dir().join(format!("maprat-cli-svg-{}.svg", std::process::id()));
     let path_str = path.to_str().unwrap();
-    let (ok, stdout, stderr) = maprat(&["explain", "Toy Story", "--coverage", "0.2", "--svg", path_str]);
+    let (ok, stdout, stderr) = maprat(&[
+        "explain",
+        "Toy Story",
+        "--coverage",
+        "0.2",
+        "--svg",
+        path_str,
+    ]);
     assert!(ok, "{stderr}");
     assert!(stdout.contains("wrote"));
     let svg = std::fs::read_to_string(&path).unwrap();

@@ -46,12 +46,8 @@ fn mine_render_and_serve() {
     assert!(text.contains("Diversity Mining"));
 
     // HTTP round trip against the same dataset.
-    let server = HttpServer::start(
-        "127.0.0.1:0",
-        2,
-        AppState::new(dataset()).into_handler(),
-    )
-    .unwrap();
+    let server =
+        HttpServer::start("127.0.0.1:0", 2, AppState::new(dataset()).into_handler()).unwrap();
     let mut stream = TcpStream::connect(("127.0.0.1", server.port())).unwrap();
     write!(
         stream,
@@ -112,7 +108,8 @@ fn facade_reexports_are_usable() {
     let d = dataset();
     let _cube = maprat::cube::RatingCube::build(
         d,
-        d.rating_range_for_item(d.find_title("Jaws").unwrap()).collect(),
+        d.rating_range_for_item(d.find_title("Jaws").unwrap())
+            .collect(),
         maprat::cube::CubeOptions::default(),
     );
     let _color = maprat::geo::likert_color(4.2);
@@ -131,7 +128,11 @@ fn movielens_loader_integrates_with_mining() {
     // 30 users: CA males love movie 1 (score 5), NY females hate it
     // (score 1), everyone rates movie 2 as 3.
     for i in 1..=30 {
-        let (gender, zip) = if i % 2 == 0 { ("M", "94103") } else { ("F", "10001") };
+        let (gender, zip) = if i % 2 == 0 {
+            ("M", "94103")
+        } else {
+            ("F", "10001")
+        };
         users.push_str(&format!("{i}::{gender}::25::12::{zip}\n"));
         let score = if i % 2 == 0 { 5 } else { 1 };
         ratings.push_str(&format!("{i}::1::{score}::96530000{}\n", i % 10));
@@ -149,7 +150,9 @@ fn movielens_loader_integrates_with_mining() {
     std::fs::remove_dir_all(&dir).ok();
 
     let miner = Miner::new(&loaded);
-    let mut s = SearchSettings::default().with_min_coverage(0.5).with_max_groups(2);
+    let mut s = SearchSettings::default()
+        .with_min_coverage(0.5)
+        .with_max_groups(2);
     s.min_support = 3;
     let e = miner
         .explain(&ItemQuery::title("Split Opinion"), &s)
@@ -161,10 +164,7 @@ fn movielens_loader_integrates_with_mining() {
         .iter()
         .map(|g| g.stats.mean().unwrap())
         .collect();
-    let spread = means
-        .iter()
-        .cloned()
-        .fold(f64::NEG_INFINITY, f64::max)
+    let spread = means.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
         - means.iter().cloned().fold(f64::INFINITY, f64::min);
     assert!(spread > 3.0, "CA-male 5s vs NY-female 1s, got {means:?}");
 }

@@ -191,6 +191,39 @@ fn time_slider_shows_ca_enthusiasm_cooling() {
     );
 }
 
+/// Full-scale recovery of the Figure-2 scenario on a MovieLens-1M sized
+/// world (~1M ratings). Ignored by default to keep the per-push suite at
+/// the small scale; the CI workflow exercises it in the `deep-ignored`
+/// job via `cargo test --release -- --ignored`.
+#[test]
+#[ignore = "full-scale (~1M ratings); run with `cargo test --release -- --ignored`"]
+fn full_scale_fig2_recovery() {
+    let d = generate(&SynthConfig::movielens_1m(42)).expect("full-scale generation");
+    let miner = Miner::new(&d);
+    let e = miner
+        .explain(
+            &ItemQuery::title("Toy Story"),
+            &SearchSettings::default().with_min_coverage(0.2),
+        )
+        .expect("explains at full scale");
+    let planted_states = [UsState::CA, UsState::MA, UsState::NY];
+    let hits = e
+        .similarity
+        .groups
+        .iter()
+        .filter(|g| planted_states.contains(&g.desc.state().unwrap()))
+        .count();
+    assert!(
+        hits >= 2,
+        "expected ≥2 planted states at full scale in {:?}",
+        e.similarity
+            .groups
+            .iter()
+            .map(|g| g.label.clone())
+            .collect::<Vec<_>>()
+    );
+}
+
 #[test]
 fn multi_item_trilogy_mines_jointly() {
     let miner = Miner::new(dataset());
