@@ -2,10 +2,10 @@
 //! (TXT-LATENCY companion — the §2.3 latency claim).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use maprat_bench::dataset;
+use maprat_bench::{dataset, dataset_arc};
 use maprat_core::query::ItemQuery;
 use maprat_core::{Miner, SearchSettings};
-use maprat_explore::ExplorationSession;
+use maprat_explore::MapRatEngine;
 use std::hint::black_box;
 
 fn bench_explain(c: &mut Criterion) {
@@ -21,10 +21,10 @@ fn bench_explain(c: &mut Criterion) {
         b.iter(|| black_box(miner.explain(&query, &settings)))
     });
 
-    group.bench_function("cached_session", |b| {
-        let session = ExplorationSession::new(d);
-        let _ = session.explain(&query, &settings); // warm
-        b.iter(|| black_box(session.explain(&query, &settings)))
+    group.bench_function("cached_engine", |b| {
+        let engine = MapRatEngine::new(dataset_arc());
+        let _ = engine.explain_query(&query, &settings); // warm
+        b.iter(|| black_box(engine.explain_query(&query, &settings)))
     });
 
     group.finish();

@@ -9,10 +9,10 @@
 //! Run: `cargo run --release -p maprat-bench --bin exp_latency [--check]`
 
 use maprat_bench::timing::{ms, summarize, time_n, time_once};
-use maprat_bench::{dataset, table::Table, ShapeCheck};
+use maprat_bench::{dataset, dataset_arc, table::Table, ShapeCheck};
 use maprat_core::query::{ItemQuery, QueryTerm};
 use maprat_core::SearchSettings;
-use maprat_explore::ExplorationSession;
+use maprat_explore::MapRatEngine;
 
 fn main() {
     let mut check = ShapeCheck::new();
@@ -33,14 +33,14 @@ fn main() {
     let mut speedups = Vec::new();
 
     for (name, query) in &queries {
-        // Cold: fresh session, first mine.
-        let session = ExplorationSession::new(d);
-        let (result, cold) = time_once(|| session.explain(query, &settings));
+        // Cold: fresh engine, first mine.
+        let engine = MapRatEngine::new(dataset_arc());
+        let (result, cold) = time_once(|| engine.explain_query(query, &settings));
         assert!(result.is_ok(), "{name} must explain");
 
         // Cached: repeat the same query.
         let warm = summarize(&time_n(30, || {
-            let r = session.explain(query, &settings);
+            let r = engine.explain_query(query, &settings);
             assert!(r.is_ok());
         }));
         let speedup = cold.as_secs_f64() / warm.p50.as_secs_f64().max(1e-9);
@@ -54,11 +54,11 @@ fn main() {
     }
     t.print();
 
-    // Pre-computation: a fresh session that warms popular items up front
+    // Pre-computation: a fresh engine that warms popular items up front
     // answers the popular-item query at cache speed immediately.
-    let session = ExplorationSession::new(d);
-    let (_, precompute_cost) = time_once(|| session.precompute_popular(8, &settings));
-    let misses_before = session.cache_stats().misses();
+    let engine = MapRatEngine::new(dataset_arc());
+    let (_, precompute_cost) = time_once(|| engine.precompute_popular(8, &settings));
+    let misses_before = engine.cache_stats().misses();
     // The user then asks about the most-rated item — the precompute target.
     let top_title = d
         .items()
@@ -67,10 +67,10 @@ fn main() {
         .map(|it| it.title.clone())
         .expect("non-empty catalogue");
     let (_, first_query) = time_once(|| {
-        let r = session.explain(&ItemQuery::title(&top_title), &settings);
+        let r = engine.explain_query(&ItemQuery::title(&top_title), &settings);
         assert!(r.is_ok());
     });
-    let served_from_cache = session.cache_stats().misses() == misses_before;
+    let served_from_cache = engine.cache_stats().misses() == misses_before;
     println!(
         "\npre-computation of 8 popular items took {} ms; the first user query then \
          took {} ms ({})",
@@ -82,7 +82,7 @@ fn main() {
             "cache miss"
         }
     );
-    let stats = session.cache_stats();
+    let stats = engine.cache_stats();
     println!(
         "cache stats: {} hits, {} misses, hit rate {:.0}%",
         stats.hits(),

@@ -8,20 +8,19 @@
 //!
 //! Run: `cargo run --release -p maprat-bench --bin exp_timeline [--check]`
 
-use maprat_bench::{dataset, table::Table, ShapeCheck};
+use maprat_bench::{dataset_arc, table::Table, ShapeCheck};
 use maprat_core::query::ItemQuery;
 use maprat_core::SearchSettings;
-use maprat_explore::{ExplorationSession, TimeSlider};
+use maprat_explore::{MapRatEngine, TimeSlider};
 
 fn main() {
     let mut check = ShapeCheck::new();
-    let d = dataset();
-    let session = ExplorationSession::new(d);
+    let engine = MapRatEngine::new(dataset_arc());
     let settings = SearchSettings::default().with_min_coverage(0.1);
     let query = ItemQuery::title("Toy Story");
 
-    let slider = TimeSlider::over_dataset(&session, 6, 6).expect("dataset has history");
-    let points = slider.sweep(&session, &query, &settings);
+    let slider = TimeSlider::over_dataset(engine.dataset(), 6, 6).expect("dataset has history");
+    let points = slider.sweep(&engine, &query, &settings);
 
     println!("=== TXT-DRILL: time-slider evolution for Toy Story ===\n");
     let mut t = Table::new(["window", "ratings", "overall", "top groups (label avg)"]);

@@ -9,10 +9,11 @@
 //!
 //! Run: `cargo run --release -p maprat-bench --bin fig1_query [--check]`
 
-use maprat_bench::{check_mode, dataset, table::Table, ShapeCheck};
+use maprat_bench::{check_mode, dataset_arc, table::Table, ShapeCheck};
 use maprat_core::query::ItemQuery;
 use maprat_core::SearchSettings;
 use maprat_data::{MonthKey, TimeRange};
+use maprat_explore::MapRatEngine;
 use maprat_server::{AppState, HttpServer, Json};
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -61,7 +62,7 @@ fn main() {
     check.expect("invalid coverage rejected", bad.validate().is_err());
 
     // --- Drive the real server, exactly as the web form does.
-    let state = AppState::new(dataset());
+    let state = AppState::new(MapRatEngine::new(dataset_arc()));
     let server =
         HttpServer::start("127.0.0.1:0", 2, state.into_handler()).expect("start demo server");
     println!("\ndemo server on 127.0.0.1:{}", server.port());
@@ -75,7 +76,7 @@ fn main() {
 
     let (status, body) = http_get(
         server.port(),
-        "/api/explain?q=Toy+Story&type=movie&k=3&coverage=0.2&from=2000-04&to=2003-02",
+        "/api/v1/explain?q=Toy+Story&type=movie&k=3&coverage=0.2&from=2000-04&to=2003-02",
     );
     check.expect("explain round trip is 200", status == 200);
     let v = Json::parse(&body).expect("valid JSON from the API");

@@ -8,23 +8,22 @@
 //!
 //! Run: `cargo run --release -p maprat-bench --bin fig3_exploration [--check]`
 
-use maprat_bench::{dataset, table::Table, ShapeCheck};
+use maprat_bench::{dataset_arc, table::Table, ShapeCheck};
 use maprat_core::query::ItemQuery;
 use maprat_core::SearchSettings;
 use maprat_cube::GroupDesc;
 use maprat_data::{Gender, UsState};
 use maprat_explore::compare::{group_detail, Relation};
 use maprat_explore::drilldown::{drill_group, sparkline};
-use maprat_explore::ExplorationSession;
+use maprat_explore::MapRatEngine;
 
 fn main() {
     let mut check = ShapeCheck::new();
-    let d = dataset();
-    let session = ExplorationSession::new(d);
+    let engine = MapRatEngine::new(dataset_arc());
     let settings = SearchSettings::default().with_min_coverage(0.2);
     let query = ItemQuery::title("Toy Story");
 
-    let result = session.explain(&query, &settings);
+    let result = engine.explain_query(&query, &settings);
     let r = result.as_ref().as_ref().expect("Toy Story explains");
 
     // The user clicks "Male reviewers from California".
@@ -63,7 +62,7 @@ fn main() {
     t.print();
 
     println!("\n--- city-level drill-down (§3.1) ---");
-    let cities = drill_group(d, r, &desc).expect("geo group drills to cities");
+    let cities = drill_group(engine.dataset(), r, &desc).expect("geo group drills to cities");
     let mut ct = Table::new(["city", "avg", "n", "hist"]);
     let mut sorted: Vec<_> = cities.iter().filter(|c| !c.stats.is_empty()).collect();
     sorted.sort_by_key(|c| std::cmp::Reverse(c.stats.count()));

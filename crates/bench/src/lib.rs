@@ -13,7 +13,7 @@ pub mod timing;
 
 use maprat_data::synth::{generate, SynthConfig};
 use maprat_data::Dataset;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// The benchmark dataset scale.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,16 +56,26 @@ impl Scale {
     }
 }
 
-/// The process-wide benchmark dataset at the environment-selected scale.
-pub fn dataset() -> &'static Dataset {
-    static DATASET: OnceLock<Dataset> = OnceLock::new();
+fn dataset_cell() -> &'static Arc<Dataset> {
+    static DATASET: OnceLock<Arc<Dataset>> = OnceLock::new();
     DATASET.get_or_init(|| {
         let scale = Scale::from_env();
         eprintln!("[maprat-bench] generating {} dataset…", scale.name());
         let d = generate(&scale.config()).expect("synthetic generation cannot fail");
         eprintln!("[maprat-bench] {}", d.summary());
-        d
+        Arc::new(d)
     })
+}
+
+/// The process-wide benchmark dataset at the environment-selected scale.
+pub fn dataset() -> &'static Dataset {
+    dataset_cell()
+}
+
+/// A shareable handle to the process-wide benchmark dataset — what
+/// `MapRatEngine` construction wants.
+pub fn dataset_arc() -> Arc<Dataset> {
+    Arc::clone(dataset_cell())
 }
 
 /// Whether `--check` was passed: figure binaries then verify their shape

@@ -10,9 +10,9 @@
 //! * [`stats::CacheStats`] — hit/miss/eviction telemetry for the latency
 //!   experiments (TXT-LATENCY in EXPERIMENTS.md).
 //!
-//! The exploration layer (`maprat-explore`) keys this cache by query
-//! fingerprints and pre-computes per-item explanations; keeping this crate
-//! generic keeps the dependency graph parallel.
+//! The exploration layer (`maprat-explore`) keys this cache by the typed
+//! explain request and pre-computes per-item explanations; keeping this
+//! crate generic keeps the dependency graph parallel.
 
 #![warn(missing_docs)]
 

@@ -11,7 +11,7 @@ pub enum MineError {
     NoRatings,
     /// No candidate group survived the iceberg threshold.
     NoCandidates,
-    /// Invalid search settings (e.g. zero groups, coverage outside [0,1]).
+    /// Invalid search settings (e.g. zero groups, coverage outside \[0,1\]).
     InvalidSettings(String),
 }
 

@@ -1,6 +1,6 @@
 //! Exhaustive baseline: exact optimum by subset enumeration.
 //!
-//! Both SM and DM are NP-hard [2], so this solver is only usable on small
+//! Both SM and DM are NP-hard \[2\], so this solver is only usable on small
 //! candidate pools; the experiment harness uses it to measure RHE's
 //! optimality gap. Enumeration covers all subsets of size `1..=k`.
 

@@ -39,5 +39,5 @@ pub use error::MineError;
 pub use miner::{Explanation, Miner};
 pub use problem::{MiningProblem, Task};
 pub use rhe::{RheParams, RheStats};
-pub use settings::SearchSettings;
+pub use settings::{SearchSettings, SearchSettingsBuilder};
 pub use solution::{ExplainedGroup, Interpretation, Solution};

@@ -3,12 +3,12 @@
 //! title, actor, director, genre), optionally restricted to a time
 //! interval (§3.1).
 
-use maprat_data::{Dataset, Genre, ItemId, Role, TimeRange};
+use maprat_data::{Dataset, Genre, ItemId, MonthKey, Role, TimeRange};
 use std::collections::BTreeSet;
 use std::fmt;
 
 /// One attribute/value predicate over items.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum QueryTerm {
     /// Exact title match (case-insensitive) — the "Movie Name" query type.
     TitleIs(String),
@@ -80,7 +80,7 @@ impl fmt::Display for QueryTerm {
 }
 
 /// How multiple terms combine.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Combine {
     /// All terms must hold (intersection).
     #[default]
@@ -98,7 +98,7 @@ pub enum Combine {
 ///     .and(QueryTerm::Genre(Genre::Thriller));
 /// assert!(q.describe().contains("AND"));
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ItemQuery {
     /// The predicates.
     pub terms: Vec<QueryTerm>,
@@ -151,6 +151,28 @@ impl ItemQuery {
     pub fn within(mut self, time: TimeRange) -> Self {
         self.time = time;
         self
+    }
+
+    /// Restricts the mined ratings to an optionally-bounded month window —
+    /// the shape the front-end's `from`/`to` fields produce. Handles all
+    /// four bound combinations so callers never assemble the three
+    /// [`TimeRange`] cases by hand:
+    ///
+    /// * both bounds → the inclusive month span,
+    /// * only `from` → everything from that month on,
+    /// * only `to` → everything through that month,
+    /// * neither → unchanged (all time).
+    ///
+    /// # Panics
+    /// Panics when `from` is after `to`; reject that combination at the
+    /// request boundary first.
+    pub fn within_months(self, from: Option<MonthKey>, to: Option<MonthKey>) -> Self {
+        match (from, to) {
+            (Some(f), Some(t)) => self.within(TimeRange::months(f..=t)),
+            (Some(f), None) => self.within(TimeRange::from_start(f.start())),
+            (None, Some(t)) => self.within(TimeRange::until(t.end_exclusive())),
+            (None, None) => self,
+        }
     }
 
     /// Evaluates the query to the matched item set (sorted, deduplicated).
@@ -300,6 +322,22 @@ mod tests {
         for idx in &half {
             assert!(d.ratings()[*idx as usize].ts < Timestamp::from_ymd(2001, 9, 1));
         }
+    }
+
+    #[test]
+    fn within_months_covers_all_bound_combinations() {
+        let base = || ItemQuery::title("Toy Story");
+        let f = MonthKey::new(2000, 5);
+        let t = MonthKey::new(2001, 6);
+        assert!(base().within_months(None, None).time.is_unrestricted());
+        let both = base().within_months(Some(f), Some(t)).time;
+        assert_eq!(both, TimeRange::months(f..=t));
+        let from_only = base().within_months(Some(f), None).time;
+        assert_eq!(from_only.start(), Some(f.start()));
+        assert_eq!(from_only.end(), None);
+        let to_only = base().within_months(None, Some(t)).time;
+        assert_eq!(to_only.start(), None);
+        assert_eq!(to_only.end(), Some(t.end_exclusive()));
     }
 
     #[test]

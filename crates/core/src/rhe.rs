@@ -1,4 +1,4 @@
-//! Randomized Hill Exploration — the solver of the MRI framework [2] that
+//! Randomized Hill Exploration — the solver of the MRI framework \[2\] that
 //! MapRat employs for both mining tasks (§2.2).
 //!
 //! Each restart starts from a feasible (or coverage-repaired) random
@@ -20,7 +20,7 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
 /// Solver parameters.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct RheParams {
     /// Number of random restarts.
     pub restarts: usize,

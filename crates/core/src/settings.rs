@@ -3,9 +3,10 @@
 
 use crate::error::MineError;
 use crate::rhe::RheParams;
+use std::hash::{Hash, Hasher};
 
 /// Settings of one explanation request.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SearchSettings {
     /// Maximum number of returned groups per interpretation (`k`); the demo
     /// defaults to the paper's "best three groups".
@@ -41,7 +42,48 @@ impl Default for SearchSettings {
     }
 }
 
+impl Hash for SearchSettings {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.max_groups.hash(state);
+        hash_f64(self.min_coverage, state);
+        self.min_support.hash(state);
+        self.require_geo.hash(state);
+        self.max_arity.hash(state);
+        hash_f64(self.dm_lambda, state);
+        self.rhe.hash(state);
+    }
+}
+
+/// Hashes a float by bit pattern, folding `-0.0` onto `0.0`: the derived
+/// `PartialEq` treats the two zeros as equal, so the hash must too
+/// (`-0.0` survives validation — it is neither `< 0.0` nor outside
+/// `[0, 1]`).
+fn hash_f64<H: Hasher>(x: f64, state: &mut H) {
+    (x + 0.0).to_bits().hash(state);
+}
+
 impl SearchSettings {
+    /// Starts a validating builder from the defaults.
+    ///
+    /// The builder is the boundary where invalid combinations are rejected
+    /// once, so the mining layers can assume well-formed settings:
+    ///
+    /// ```
+    /// use maprat_core::SearchSettings;
+    /// let s = SearchSettings::builder()
+    ///     .max_groups(5)
+    ///     .min_coverage(0.8)
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(s.max_groups, 5);
+    /// assert!(SearchSettings::builder().min_coverage(0.0).build().is_err());
+    /// ```
+    pub fn builder() -> SearchSettingsBuilder {
+        SearchSettingsBuilder {
+            settings: SearchSettings::default(),
+        }
+    }
+
     /// Validates ranges; returns a descriptive error for the UI.
     pub fn validate(&self) -> Result<(), MineError> {
         if self.max_groups == 0 {
@@ -89,9 +131,110 @@ impl SearchSettings {
     }
 }
 
+/// Builder for [`SearchSettings`] that validates at `build()` time.
+///
+/// Beyond [`SearchSettings::validate`], the builder enforces the stricter
+/// request-boundary contract of the typed API: the coverage constraint
+/// must lie in `(0, 1]` (a zero target makes the constraint vacuous) and
+/// the iceberg support threshold must be at least 1.
+#[derive(Debug, Clone)]
+pub struct SearchSettingsBuilder {
+    settings: SearchSettings,
+}
+
+impl SearchSettingsBuilder {
+    /// Sets `k`, the group budget.
+    pub fn max_groups(mut self, k: usize) -> Self {
+        self.settings.max_groups = k;
+        self
+    }
+
+    /// Sets `α`, the minimum joint rating coverage.
+    pub fn min_coverage(mut self, alpha: f64) -> Self {
+        self.settings.min_coverage = alpha;
+        self
+    }
+
+    /// Sets the iceberg support threshold.
+    pub fn min_support(mut self, support: usize) -> Self {
+        self.settings.min_support = support;
+        self
+    }
+
+    /// Toggles the geo-condition requirement.
+    pub fn require_geo(mut self, on: bool) -> Self {
+        self.settings.require_geo = on;
+        self
+    }
+
+    /// Sets the maximum descriptor arity.
+    pub fn max_arity(mut self, arity: usize) -> Self {
+        self.settings.max_arity = arity;
+        self
+    }
+
+    /// Sets the DM consistency penalty λ.
+    pub fn dm_lambda(mut self, lambda: f64) -> Self {
+        self.settings.dm_lambda = lambda;
+        self
+    }
+
+    /// Replaces the solver parameters.
+    pub fn rhe(mut self, params: RheParams) -> Self {
+        self.settings.rhe = params;
+        self
+    }
+
+    /// Sets only the solver seed (results are deterministic in it).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.settings.rhe.seed = seed;
+        self
+    }
+
+    /// Validates and returns the settings.
+    pub fn build(self) -> Result<SearchSettings, MineError> {
+        let s = self.settings;
+        s.validate()?;
+        if s.min_coverage <= 0.0 {
+            return Err(MineError::InvalidSettings(format!(
+                "min_coverage {} outside (0, 1]",
+                s.min_coverage
+            )));
+        }
+        if s.min_support == 0 {
+            return Err(MineError::InvalidSettings("min_support must be ≥ 1".into()));
+        }
+        Ok(s)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn negative_zero_hashes_like_zero() {
+        // Hash/Eq contract: lambda=-0.0 passes validation and compares
+        // equal to lambda=0.0, so the two must share a hash (otherwise a
+        // HashMap keyed on settings holds two entries for equal keys).
+        fn h(s: &SearchSettings) -> u64 {
+            use std::hash::{DefaultHasher, Hasher as _};
+            let mut hasher = DefaultHasher::new();
+            s.hash(&mut hasher);
+            hasher.finish()
+        }
+        let pos = SearchSettings {
+            dm_lambda: 0.0,
+            ..Default::default()
+        };
+        let neg = SearchSettings {
+            dm_lambda: -0.0,
+            ..Default::default()
+        };
+        neg.validate().unwrap();
+        assert_eq!(pos, neg);
+        assert_eq!(h(&pos), h(&neg));
+    }
 
     #[test]
     fn defaults_are_valid_and_paperlike() {
@@ -124,6 +267,52 @@ mod tests {
         let mut s = SearchSettings::default();
         s.rhe.restarts = 0;
         assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn builder_validates_at_the_boundary() {
+        let s = SearchSettings::builder()
+            .max_groups(5)
+            .min_coverage(0.8)
+            .min_support(3)
+            .require_geo(false)
+            .build()
+            .unwrap();
+        assert_eq!(s.max_groups, 5);
+        assert_eq!(s.min_coverage, 0.8);
+        assert_eq!(s.min_support, 3);
+        assert!(!s.require_geo);
+
+        // The satellite contract: coverage ∉ (0, 1], k = 0, support = 0.
+        assert!(SearchSettings::builder().min_coverage(0.0).build().is_err());
+        assert!(SearchSettings::builder()
+            .min_coverage(-0.5)
+            .build()
+            .is_err());
+        assert!(SearchSettings::builder().min_coverage(1.5).build().is_err());
+        assert!(SearchSettings::builder().max_groups(0).build().is_err());
+        assert!(SearchSettings::builder().min_support(0).build().is_err());
+        assert!(SearchSettings::builder().max_arity(5).build().is_err());
+        assert!(SearchSettings::builder().dm_lambda(-1.0).build().is_err());
+    }
+
+    #[test]
+    fn hash_covers_every_field() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let hash_of = |s: &SearchSettings| {
+            let mut h = DefaultHasher::new();
+            s.hash(&mut h);
+            h.finish()
+        };
+        let base = SearchSettings::default();
+        let mut lambda = base.clone();
+        lambda.dm_lambda += 0.25;
+        let mut seeded = base.clone();
+        seeded.rhe.seed ^= 1;
+        assert_ne!(hash_of(&base), hash_of(&lambda));
+        assert_ne!(hash_of(&base), hash_of(&seeded));
+        assert_eq!(hash_of(&base), hash_of(&base.clone()));
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! Following §2.1 of the paper, a *group* is the set of rating tuples
 //! describable by a conjunction of reviewer attribute/value pairs — a cell
-//! of the data cube of Gray et al. [3] over the reviewer schema
+//! of the data cube of Gray et al. \[3\] over the reviewer schema
 //! `{age, gender, occupation, state}`. Given the input rating set `R_I` of
 //! a query, this crate materializes every non-empty group above a support
 //! threshold (an *iceberg cube*), each with:

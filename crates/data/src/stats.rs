@@ -96,7 +96,7 @@ impl RatingStats {
     /// histogram; `None` when empty.
     ///
     /// This is the *description error* term of the SM objective (§2.2 /
-    /// MRI [2]): how far the individual ratings sit from the group average.
+    /// MRI \[2\]): how far the individual ratings sit from the group average.
     pub fn mean_abs_deviation(&self) -> Option<f64> {
         let mean = self.mean()?;
         let total: f64 = self

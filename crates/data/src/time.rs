@@ -142,6 +142,29 @@ impl fmt::Display for MonthKey {
     }
 }
 
+impl std::str::FromStr for MonthKey {
+    type Err = String;
+
+    /// Parses the `YYYY-MM` form the front-end's time fields use. The
+    /// error names the offending input so request boundaries can surface
+    /// it verbatim.
+    fn from_str(value: &str) -> Result<Self, Self::Err> {
+        let (y, m) = value
+            .split_once('-')
+            .ok_or_else(|| format!("bad month {value:?} (expected YYYY-MM)"))?;
+        let year: i32 = y
+            .parse()
+            .map_err(|_| format!("bad year in {value:?} (expected YYYY-MM)"))?;
+        let month: u32 = m
+            .parse()
+            .map_err(|_| format!("bad month in {value:?} (expected YYYY-MM)"))?;
+        if !(1..=12).contains(&month) {
+            return Err(format!("month {month} in {value:?} outside 1..=12"));
+        }
+        Ok(MonthKey::new(year, month))
+    }
+}
+
 /// A half-open time interval `[start, end)` used to restrict mining (§3.1).
 ///
 /// `TimeRange::all()` places no restriction.
@@ -254,6 +277,15 @@ mod tests {
         assert_eq!(k.year(), 2001);
         assert_eq!(k.month(), 7);
         assert_eq!(k.to_string(), "2001-07");
+    }
+
+    #[test]
+    fn month_key_parses_and_rejects() {
+        assert_eq!("2001-07".parse::<MonthKey>(), Ok(MonthKey::new(2001, 7)));
+        for bad in ["200107", "x-07", "2001-xx", "2001-13", "2001-0"] {
+            let err = bad.parse::<MonthKey>().unwrap_err();
+            assert!(err.contains(bad) || err.contains("outside"), "{err}");
+        }
     }
 
     #[test]

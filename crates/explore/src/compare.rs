@@ -6,7 +6,7 @@
 //! one-attribute-away siblings (same descriptor with one value changed),
 //! restricted to candidates that survived the iceberg threshold.
 
-use crate::session::ExplorationResult;
+use crate::engine::ExplorationResult;
 use maprat_cube::GroupDesc;
 use maprat_data::{RatingStats, UserAttr};
 
@@ -163,25 +163,24 @@ pub fn render_detail(detail: &GroupDetail) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::session::ExplorationSession;
+    use crate::engine::MapRatEngine;
     use maprat_core::query::ItemQuery;
     use maprat_core::SearchSettings;
     use maprat_cube::GroupDesc;
     use maprat_data::synth::{generate, SynthConfig};
     use maprat_data::{Gender, UsState};
 
-    fn fixture() -> (maprat_data::Dataset, SearchSettings) {
+    fn fixture() -> (MapRatEngine, SearchSettings) {
         (
-            generate(&SynthConfig::small(151)).unwrap(),
+            MapRatEngine::from_dataset(generate(&SynthConfig::small(151)).unwrap()),
             SearchSettings::default().with_min_coverage(0.15),
         )
     }
 
     #[test]
     fn figure3_panel_for_ca_males() {
-        let (d, settings) = fixture();
-        let session = ExplorationSession::new(&d);
-        let result = session.explain(&ItemQuery::title("Toy Story"), &settings);
+        let (engine, settings) = fixture();
+        let result = engine.explain_query(&ItemQuery::title("Toy Story"), &settings);
         let r = result.as_ref().as_ref().unwrap();
         let desc = GroupDesc::from_pairs([Gender::Male.into(), UsState::CA.into()]);
         let detail = group_detail(r, &desc).expect("CA males are a candidate");
@@ -207,9 +206,8 @@ mod tests {
 
     #[test]
     fn parents_order_before_siblings() {
-        let (d, settings) = fixture();
-        let session = ExplorationSession::new(&d);
-        let result = session.explain(&ItemQuery::title("Toy Story"), &settings);
+        let (engine, settings) = fixture();
+        let result = engine.explain_query(&ItemQuery::title("Toy Story"), &settings);
         let r = result.as_ref().as_ref().unwrap();
         let desc = GroupDesc::from_pairs([Gender::Male.into(), UsState::CA.into()]);
         let detail = group_detail(r, &desc).unwrap();
@@ -228,9 +226,8 @@ mod tests {
 
     #[test]
     fn unknown_group_none() {
-        let (d, settings) = fixture();
-        let session = ExplorationSession::new(&d);
-        let result = session.explain(&ItemQuery::title("Toy Story"), &settings);
+        let (engine, settings) = fixture();
+        let result = engine.explain_query(&ItemQuery::title("Toy Story"), &settings);
         let r = result.as_ref().as_ref().unwrap();
         let desc = GroupDesc::from_pairs([
             maprat_data::AVPair::from(maprat_data::Occupation::Farmer),
@@ -241,9 +238,8 @@ mod tests {
 
     #[test]
     fn render_contains_histogram_and_related() {
-        let (d, settings) = fixture();
-        let session = ExplorationSession::new(&d);
-        let result = session.explain(&ItemQuery::title("Toy Story"), &settings);
+        let (engine, settings) = fixture();
+        let result = engine.explain_query(&ItemQuery::title("Toy Story"), &settings);
         let r = result.as_ref().as_ref().unwrap();
         let desc = r.explanation.similarity.groups[0].desc;
         let detail = group_detail(r, &desc).unwrap();

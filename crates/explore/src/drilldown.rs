@@ -2,7 +2,7 @@
 //! possible to drill down and view the city level aggregate movie rating
 //! statistics for each of the groups").
 
-use crate::session::ExplorationResult;
+use crate::engine::ExplorationResult;
 use maprat_cube::drill::{drill_to_cities, CityStats};
 use maprat_cube::GroupDesc;
 use maprat_data::Dataset;
@@ -62,7 +62,7 @@ pub fn sparkline(hist: &[u64; 5]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::session::ExplorationSession;
+    use crate::engine::MapRatEngine;
     use maprat_core::query::ItemQuery;
     use maprat_core::SearchSettings;
     use maprat_data::synth::{generate, SynthConfig};
@@ -70,26 +70,24 @@ mod tests {
 
     #[test]
     fn drill_into_explained_group() {
-        let d = generate(&SynthConfig::small(141)).unwrap();
-        let session = ExplorationSession::new(&d);
+        let engine = MapRatEngine::from_dataset(generate(&SynthConfig::small(141)).unwrap());
         let settings = SearchSettings::default().with_min_coverage(0.15);
-        let result = session.explain(&ItemQuery::title("Toy Story"), &settings);
+        let result = engine.explain_query(&ItemQuery::title("Toy Story"), &settings);
         let r = result.as_ref().as_ref().expect("explanation succeeds");
         // Drill into whichever SM group came back first.
         let desc = r.explanation.similarity.groups[0].desc;
-        let cities = drill_group(&d, r, &desc).expect("geo group drills");
+        let cities = drill_group(engine.dataset(), r, &desc).expect("geo group drills");
         let total: u64 = cities.iter().map(|c| c.stats.count()).sum();
         assert_eq!(total as usize, r.explanation.similarity.groups[0].support);
     }
 
     #[test]
     fn unknown_descriptor_returns_none() {
-        let d = generate(&SynthConfig::tiny(142)).unwrap();
-        let session = ExplorationSession::new(&d);
+        let engine = MapRatEngine::from_dataset(generate(&SynthConfig::tiny(142)).unwrap());
         let settings = SearchSettings::default()
             .with_min_coverage(0.1)
             .with_require_geo(false);
-        let result = session.explain(&ItemQuery::title("Toy Story"), &settings);
+        let result = engine.explain_query(&ItemQuery::title("Toy Story"), &settings);
         let r = result.as_ref().as_ref().unwrap();
         // A maximally specific descriptor that almost surely missed the
         // iceberg threshold:
@@ -99,7 +97,7 @@ mod tests {
             maprat_data::Occupation::Farmer.into(),
             UsState::WY.into(),
         ]);
-        assert!(drill_group(&d, r, &desc).is_none());
+        assert!(drill_group(engine.dataset(), r, &desc).is_none());
     }
 
     #[test]
@@ -115,13 +113,12 @@ mod tests {
 
     #[test]
     fn render_sorts_by_volume() {
-        let d = generate(&SynthConfig::small(143)).unwrap();
-        let session = ExplorationSession::new(&d);
+        let engine = MapRatEngine::from_dataset(generate(&SynthConfig::small(143)).unwrap());
         let settings = SearchSettings::default().with_min_coverage(0.15);
-        let result = session.explain(&ItemQuery::title("Toy Story"), &settings);
+        let result = engine.explain_query(&ItemQuery::title("Toy Story"), &settings);
         let r = result.as_ref().as_ref().unwrap();
         let desc = r.explanation.similarity.groups[0].desc;
-        let cities = drill_group(&d, r, &desc).unwrap();
+        let cities = drill_group(engine.dataset(), r, &desc).unwrap();
         let text = render_drilldown(&desc, &cities);
         assert!(text.contains("city-level statistics"));
         assert!(text.lines().count() >= cities.len());

@@ -1,0 +1,411 @@
+//! The owned exploration engine — MapRat's public entry point.
+//!
+//! [`MapRatEngine`] bundles an [`Arc<Dataset>`], a miner and a sharded
+//! result cache into a cheaply-clonable handle: clones share the dataset
+//! and the cache, so a server can hand one clone to every worker thread
+//! (or serve several datasets side by side) without leaking anything to
+//! `'static`. It replaces the old lifetime-parameterized
+//! `ExplorationSession<'a>`, which forced the demo binary to
+//! `Box::leak` its dataset.
+//!
+//! Cache entries are keyed by the typed [`ExplainRequest`] itself —
+//! its `Hash` encoding, not a hand-formatted string — so every settings
+//! field (including the solver seed and the DM λ) participates in the
+//! key by construction, and full request equality is verified on every
+//! hit. [`RequestFingerprint`] is a compact 128-bit digest of that same
+//! encoding, for logging and collision-regression testing.
+
+use maprat_cache::{CacheStats, ShardedCache};
+use maprat_core::query::ItemQuery;
+use maprat_core::{Explanation, MineError, Miner, SearchSettings};
+use maprat_cube::RatingCube;
+use maprat_data::{Dataset, ItemId};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// One fully-specified explanation request: the query plus every search
+/// setting. This is the unit the engine caches on and the unit the typed
+/// HTTP API decodes into.
+#[derive(Debug, Clone, PartialEq, Hash)]
+pub struct ExplainRequest {
+    /// The item query (terms, combination mode, time window).
+    pub query: ItemQuery,
+    /// The search settings (group budget, coverage, solver parameters…).
+    pub settings: SearchSettings,
+}
+
+/// No field holds a NaN in practice (settings are range-validated at
+/// construction boundaries), so the derived `PartialEq` is total here.
+impl Eq for ExplainRequest {}
+
+impl ExplainRequest {
+    /// Bundles a query with settings.
+    pub fn new(query: ItemQuery, settings: SearchSettings) -> Self {
+        ExplainRequest { query, settings }
+    }
+
+    /// The 128-bit digest of this request (for logging and for the
+    /// collision-regression tests; the cache keys on the request itself).
+    ///
+    /// Combines two structurally different 64-bit hashes (SipHash via
+    /// [`DefaultHasher`] and FNV-1a) of the full `Hash` encoding, so
+    /// requests differing in *any* field — including `rhe.seed` or
+    /// `dm_lambda`, which the old string key silently carried in lossy
+    /// `{:.4}` formatting — map to distinct digests.
+    pub fn fingerprint(&self) -> RequestFingerprint {
+        let mut sip = DefaultHasher::new();
+        self.hash(&mut sip);
+        let mut fnv = Fnv1a::default();
+        self.hash(&mut fnv);
+        RequestFingerprint(((sip.finish() as u128) << 64) | fnv.finish() as u128)
+    }
+}
+
+/// A 128-bit digest of an [`ExplainRequest`], for logging and
+/// collision-regression testing (the cache keys on the request itself).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RequestFingerprint(u128);
+
+impl RequestFingerprint {
+    /// The raw 128-bit value (e.g. for logging).
+    pub fn as_u128(self) -> u128 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for RequestFingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// FNV-1a, 64-bit — the second, structurally independent leg of the
+/// fingerprint (SipHash alone would make the digest as collision-prone
+/// as a single 64-bit hash).
+struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for Fnv1a {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Everything one explained query produces: the user-facing explanation
+/// plus the cube it was mined from (kept for drill-down and comparison,
+/// which revisit covers).
+#[derive(Debug)]
+pub struct ExplorationResult {
+    /// The explanation (both tabs).
+    pub explanation: Explanation,
+    /// The candidate cube (for drill-down / related-group statistics).
+    pub cube: RatingCube,
+    /// The matched items.
+    pub items: Vec<ItemId>,
+}
+
+/// The shared state behind every engine clone.
+///
+/// The cache is keyed by the typed request itself: its `Hash` encoding —
+/// the same bits [`ExplainRequest::fingerprint`] digests — selects the
+/// shard and bucket, and full equality is verified on every hit, so a
+/// fingerprint collision can never serve another request's result.
+struct EngineInner {
+    dataset: Arc<Dataset>,
+    cache: ShardedCache<ExplainRequest, Result<ExplorationResult, MineError>>,
+}
+
+/// An owned, cheaply-clonable exploration engine: `Arc<Dataset>` + miner
+/// + sharded result cache.
+///
+/// ```
+/// use maprat_explore::MapRatEngine;
+/// use maprat_core::query::ItemQuery;
+/// use maprat_core::SearchSettings;
+/// use maprat_data::synth::{generate, SynthConfig};
+/// use std::sync::Arc;
+///
+/// let dataset = Arc::new(generate(&SynthConfig::tiny(42)).unwrap());
+/// let engine = MapRatEngine::new(dataset);
+/// let worker = engine.clone(); // shares the dataset and the cache
+/// let settings = SearchSettings::builder().min_coverage(0.1).require_geo(false).build().unwrap();
+/// let r = worker.explain_query(&ItemQuery::title("Toy Story"), &settings);
+/// assert!(r.is_ok());
+/// assert!(engine.cache_len() >= 1, "clones share one cache");
+/// ```
+#[derive(Clone)]
+pub struct MapRatEngine {
+    inner: Arc<EngineInner>,
+}
+
+impl MapRatEngine {
+    /// Creates an engine with the default cache geometry (4 shards × 64).
+    pub fn new(dataset: Arc<Dataset>) -> Self {
+        Self::with_cache_size(dataset, 4, 64)
+    }
+
+    /// Creates an engine over a freshly-wrapped dataset (convenience for
+    /// binaries that just generated or loaded one).
+    pub fn from_dataset(dataset: Dataset) -> Self {
+        Self::new(Arc::new(dataset))
+    }
+
+    /// Creates an engine with an explicit cache geometry.
+    pub fn with_cache_size(dataset: Arc<Dataset>, shards: usize, per_shard: usize) -> Self {
+        MapRatEngine {
+            inner: Arc::new(EngineInner {
+                dataset,
+                cache: ShardedCache::new(shards, per_shard),
+            }),
+        }
+    }
+
+    /// The underlying dataset.
+    pub fn dataset(&self) -> &Dataset {
+        &self.inner.dataset
+    }
+
+    /// A shareable handle to the dataset (e.g. for spawning other engines
+    /// with different cache geometries over the same data).
+    pub fn dataset_arc(&self) -> Arc<Dataset> {
+        Arc::clone(&self.inner.dataset)
+    }
+
+    /// A borrow-scoped miner over the dataset (for uncached access, e.g.
+    /// personalized mining that would thrash the shared cache).
+    pub fn miner(&self) -> Miner<'_> {
+        Miner::new(&self.inner.dataset)
+    }
+
+    /// Cache telemetry.
+    pub fn cache_stats(&self) -> Arc<CacheStats> {
+        self.inner.cache.stats()
+    }
+
+    /// Entries currently cached (across all shards).
+    pub fn cache_len(&self) -> usize {
+        self.inner.cache.len()
+    }
+
+    /// Explains a typed request, serving from the shared cache when
+    /// possible.
+    pub fn explain(&self, request: &ExplainRequest) -> Arc<Result<ExplorationResult, MineError>> {
+        self.inner.cache.get_or_insert_with(request.clone(), || {
+            let miner = self.miner();
+            miner
+                .build_cube(&request.query, &request.settings)
+                .and_then(|(items, cube)| {
+                    let explanation = miner.explain_cube(
+                        &request.query,
+                        items.clone(),
+                        &cube,
+                        &request.settings,
+                    )?;
+                    Ok(ExplorationResult {
+                        explanation,
+                        cube,
+                        items,
+                    })
+                })
+        })
+    }
+
+    /// Convenience: explains a query/settings pair.
+    pub fn explain_query(
+        &self,
+        query: &ItemQuery,
+        settings: &SearchSettings,
+    ) -> Arc<Result<ExplorationResult, MineError>> {
+        self.explain(&ExplainRequest::new(query.clone(), settings.clone()))
+    }
+
+    /// Pre-computes explanations for the `n` most-rated items (the paper's
+    /// "aggressive … result pre-computation": popular movies answer at
+    /// cache latency from the first request).
+    ///
+    /// Returns the number of items successfully pre-computed.
+    pub fn precompute_popular(&self, n: usize, settings: &SearchSettings) -> usize {
+        let dataset = self.dataset();
+        let mut by_count: Vec<(usize, ItemId)> = dataset
+            .items()
+            .iter()
+            .map(|it| (dataset.ratings_for_item(it.id).len(), it.id))
+            .collect();
+        by_count.sort_by_key(|&(n, id)| (std::cmp::Reverse(n), id));
+        let mut ok = 0;
+        for &(_, item) in by_count.iter().take(n) {
+            let query = ItemQuery::title(&dataset.item(item).title);
+            if self.explain_query(&query, settings).is_ok() {
+                ok += 1;
+            }
+        }
+        ok
+    }
+
+    /// Drops all cached results (the dataset changed, settings sweep, …).
+    pub fn clear_cache(&self) {
+        self.inner.cache.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maprat_data::synth::{generate, SynthConfig};
+
+    fn engine() -> MapRatEngine {
+        MapRatEngine::from_dataset(generate(&SynthConfig::tiny(111)).unwrap())
+    }
+
+    fn settings() -> SearchSettings {
+        SearchSettings::default()
+            .with_min_coverage(0.1)
+            .with_require_geo(false)
+    }
+
+    #[test]
+    fn repeated_queries_hit_cache() {
+        let engine = engine();
+        let q = ItemQuery::title("Toy Story");
+        let s = settings();
+        let first = engine.explain_query(&q, &s);
+        assert!(first.is_ok());
+        let misses_after_first = engine.cache_stats().misses();
+        let second = engine.explain_query(&q, &s);
+        assert!(second.is_ok());
+        assert_eq!(
+            engine.cache_stats().misses(),
+            misses_after_first,
+            "second query must not miss"
+        );
+        assert!(engine.cache_stats().hits() >= 1);
+        assert!(Arc::ptr_eq(&first, &second), "same cached value");
+    }
+
+    #[test]
+    fn clones_share_dataset_and_cache() {
+        let engine = engine();
+        let clone = engine.clone();
+        assert!(std::ptr::eq(engine.dataset(), clone.dataset()));
+        let q = ItemQuery::title("Toy Story");
+        let s = settings();
+        let via_original = engine.explain_query(&q, &s);
+        let via_clone = clone.explain_query(&q, &s);
+        assert!(
+            Arc::ptr_eq(&via_original, &via_clone),
+            "clone must serve from the shared cache"
+        );
+        assert!(clone.cache_stats().hits() >= 1);
+    }
+
+    #[test]
+    fn settings_change_invalidates_key() {
+        let engine = engine();
+        let q = ItemQuery::title("Toy Story");
+        let a = engine.explain_query(&q, &settings());
+        let b = engine.explain_query(&q, &settings().with_max_groups(2));
+        assert!(
+            !Arc::ptr_eq(&a, &b),
+            "different settings → different entries"
+        );
+    }
+
+    #[test]
+    fn errors_are_cached_too() {
+        let engine = engine();
+        let q = ItemQuery::title("No Such Movie");
+        let r = engine.explain_query(&q, &settings());
+        assert!(matches!(&*r, Err(MineError::NoMatchingItems(_))));
+        let _ = engine.explain_query(&q, &settings());
+        assert!(engine.cache_stats().hits() >= 1, "negative caching");
+    }
+
+    #[test]
+    fn precompute_warms_cache() {
+        let engine = engine();
+        let s = settings();
+        let warmed = engine.precompute_popular(3, &s);
+        assert!(warmed >= 1);
+        let misses_before = engine.cache_stats().misses();
+        // The most-rated item is planted Toy Story at tiny scale; query it.
+        let top = engine
+            .dataset()
+            .items()
+            .iter()
+            .max_by_key(|it| engine.dataset().ratings_for_item(it.id).len())
+            .unwrap()
+            .title
+            .clone();
+        let _ = engine.explain_query(&ItemQuery::title(&top), &s);
+        assert_eq!(engine.cache_stats().misses(), misses_before);
+    }
+
+    #[test]
+    fn clear_cache_forces_recompute() {
+        let engine = engine();
+        let q = ItemQuery::title("Toy Story");
+        let s = settings();
+        let _ = engine.explain_query(&q, &s);
+        engine.clear_cache();
+        let misses_before = engine.cache_stats().misses();
+        let _ = engine.explain_query(&q, &s);
+        assert_eq!(engine.cache_stats().misses(), misses_before + 1);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_time_windows() {
+        use maprat_data::{TimeRange, Timestamp};
+        let s = settings();
+        let q1 = ItemQuery::title("Toy Story");
+        let q2 =
+            ItemQuery::title("Toy Story").within(TimeRange::until(Timestamp::from_ymd(2001, 1, 1)));
+        assert_ne!(
+            ExplainRequest::new(q1, s.clone()).fingerprint(),
+            ExplainRequest::new(q2, s).fingerprint()
+        );
+    }
+
+    #[test]
+    fn fingerprint_covers_seed_and_lambda() {
+        // Regression: the old string key formatted dm_lambda with `{:.4}`
+        // and could be regenerated without the seed; the typed fingerprint
+        // must separate requests differing only in those fields.
+        let q = ItemQuery::title("Toy Story");
+        let base = ExplainRequest::new(q.clone(), SearchSettings::default());
+
+        let mut seeded = SearchSettings::default();
+        seeded.rhe.seed ^= 0x1;
+        assert_ne!(
+            base.fingerprint(),
+            ExplainRequest::new(q.clone(), seeded).fingerprint(),
+            "rhe.seed must participate in the cache key"
+        );
+
+        let mut lambda = SearchSettings::default();
+        lambda.dm_lambda += 1e-9; // far below the old {:.4} resolution
+        assert_ne!(
+            base.fingerprint(),
+            ExplainRequest::new(q.clone(), lambda).fingerprint(),
+            "dm_lambda must participate at full precision"
+        );
+
+        // And equal requests agree, so caching still works.
+        assert_eq!(
+            base.fingerprint(),
+            ExplainRequest::new(q, SearchSettings::default()).fingerprint()
+        );
+    }
+}

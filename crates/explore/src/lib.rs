@@ -3,9 +3,11 @@
 //! This crate glues mining, geography and caching into the behaviours the
 //! demo exposes:
 //!
-//! * [`session::ExplorationSession`] — caches `(query, settings) →
-//!   explanation+cube` so repeated and drilled-into queries answer at
-//!   cache latency (§2.3's pre-computation/caching claim);
+//! * [`engine::MapRatEngine`] — the owned, cheaply-clonable entry point:
+//!   `Arc<Dataset>` + miner + sharded cache mapping typed
+//!   [`engine::ExplainRequest`]s to explanation+cube results (§2.3's
+//!   pre-computation/caching claim), with no lifetime parameter to leak
+//!   around;
 //! * [`render`] — turns each interpretation into a [`maprat_geo`]
 //!   choropleth (the SM and DM tabs);
 //! * [`timeline`] — the time slider: month-windowed re-mining showing how
@@ -21,14 +23,14 @@
 
 pub mod compare;
 pub mod drilldown;
+pub mod engine;
 pub mod overlay;
 pub mod personalize;
 pub mod render;
-pub mod session;
 pub mod timeline;
 
 pub use compare::{GroupDetail, RelatedGroup, Relation};
+pub use engine::{ExplainRequest, ExplorationResult, MapRatEngine, RequestFingerprint};
 pub use overlay::overlay_maps;
 pub use render::{exploration_maps, interpretation_map};
-pub use session::{ExplorationResult, ExplorationSession};
 pub use timeline::{TimeSlider, TimelinePoint};

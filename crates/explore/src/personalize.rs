@@ -3,8 +3,9 @@
 //! to constrain the groups that are highlighted. This ensures that the
 //! resulting groups are the ones that user most self-identifies with."
 
+use crate::engine::MapRatEngine;
 use maprat_core::query::ItemQuery;
-use maprat_core::{Explanation, MineError, Miner, SearchSettings};
+use maprat_core::{Explanation, MineError, SearchSettings};
 use maprat_cube::CandidateGroup;
 use maprat_data::AttrValue;
 
@@ -55,14 +56,19 @@ impl VisitorProfile {
 /// Explains a query with the candidate pool constrained to the visitor's
 /// profile.
 ///
+/// Personalized mining deliberately bypasses the engine's shared cache
+/// (one entry per visitor profile would thrash it); it borrows the
+/// engine's miner instead.
+///
 /// Degrades gracefully: if the constrained pool is empty, falls back to the
 /// unconstrained pool (an anonymous visitor sees the ordinary result).
 pub fn personalized_explain(
-    miner: &Miner<'_>,
+    engine: &MapRatEngine,
     query: &ItemQuery,
     settings: &SearchSettings,
     profile: &VisitorProfile,
 ) -> Result<Explanation, MineError> {
+    let miner = engine.miner();
     let (items, cube) = miner.build_cube(query, settings)?;
     if profile.is_empty() {
         return miner.explain_cube(query, items, &cube, settings);
@@ -80,9 +86,9 @@ mod tests {
     use maprat_data::synth::{generate, SynthConfig};
     use maprat_data::{AgeGroup, Gender, UsState, UserAttr};
 
-    fn fixture() -> (maprat_data::Dataset, SearchSettings) {
+    fn fixture() -> (MapRatEngine, SearchSettings) {
         (
-            generate(&SynthConfig::small(161)).unwrap(),
+            MapRatEngine::from_dataset(generate(&SynthConfig::small(161)).unwrap()),
             SearchSettings::default().with_min_coverage(0.05),
         )
     }
@@ -98,13 +104,12 @@ mod tests {
 
     #[test]
     fn personalized_groups_match_profile() {
-        let (d, settings) = fixture();
-        let miner = Miner::new(&d);
+        let (engine, settings) = fixture();
         let profile = VisitorProfile::new()
             .with(AttrValue::Gender(Gender::Female))
             .with(AttrValue::Age(AgeGroup::Under18));
         let e = personalized_explain(
-            &miner,
+            &engine,
             &ItemQuery::title("The Twilight Saga: Eclipse"),
             &settings,
             &profile,
@@ -122,12 +127,11 @@ mod tests {
 
     #[test]
     fn empty_profile_equals_plain_explain() {
-        let (d, settings) = fixture();
-        let miner = Miner::new(&d);
+        let (engine, settings) = fixture();
         let q = ItemQuery::title("Toy Story");
-        let plain = miner.explain(&q, &settings).unwrap();
+        let plain = engine.miner().explain(&q, &settings).unwrap();
         let personalized =
-            personalized_explain(&miner, &q, &settings, &VisitorProfile::new()).unwrap();
+            personalized_explain(&engine, &q, &settings, &VisitorProfile::new()).unwrap();
         let labels = |e: &Explanation| -> Vec<String> {
             e.similarity
                 .groups
@@ -140,18 +144,16 @@ mod tests {
 
     #[test]
     fn impossible_profile_falls_back() {
-        let (d, mut settings) = fixture();
-        settings.min_support = 10_000; // no group is this popular except none
-        settings.min_support = 50; // keep the cube non-empty
-        let miner = Miner::new(&d);
-        // A profile so specific that (at small scale) no candidate matches
-        // its exact state+age+occupation combination.
+        let (engine, mut settings) = fixture();
+        settings.min_support = 50; // specific profiles miss, the cube stays non-empty
+                                   // A profile so specific that (at small scale) no candidate matches
+                                   // its exact state+age+occupation combination.
         let profile = VisitorProfile::new()
             .with(AttrValue::State(UsState::WY))
             .with(AttrValue::Age(AgeGroup::Above56))
             .with(AttrValue::Gender(Gender::Female));
         let result =
-            personalized_explain(&miner, &ItemQuery::title("Toy Story"), &settings, &profile);
+            personalized_explain(&engine, &ItemQuery::title("Toy Story"), &settings, &profile);
         // Either personalized (if candidates exist) or fallback — but never
         // an error caused by the profile.
         assert!(result.is_ok());
@@ -159,9 +161,9 @@ mod tests {
 
     #[test]
     fn compatibility_semantics() {
-        let (d, settings) = fixture();
-        let miner = Miner::new(&d);
-        let (_, cube) = miner
+        let (engine, settings) = fixture();
+        let (_, cube) = engine
+            .miner()
             .build_cube(&ItemQuery::title("Toy Story"), &settings)
             .unwrap();
         let profile = VisitorProfile::new().with(AttrValue::Gender(Gender::Male));

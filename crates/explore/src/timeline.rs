@@ -6,10 +6,10 @@
 //! and re-mines the query inside each, producing a [`TimelinePoint`]
 //! series: window, volume, overall mean and the top SM groups.
 
-use crate::session::ExplorationSession;
+use crate::engine::MapRatEngine;
 use maprat_core::query::ItemQuery;
 use maprat_core::{MineError, SearchSettings};
-use maprat_data::{MonthKey, TimeRange};
+use maprat_data::{Dataset, MonthKey, TimeRange};
 
 /// One position of the slider.
 #[derive(Debug, Clone)]
@@ -39,12 +39,8 @@ pub struct TimeSlider {
 
 impl TimeSlider {
     /// Builds a slider spanning the whole dataset history.
-    pub fn over_dataset(
-        session: &ExplorationSession<'_>,
-        window: usize,
-        step: usize,
-    ) -> Option<TimeSlider> {
-        let (lo, hi) = session.dataset().time_span()?;
+    pub fn over_dataset(dataset: &Dataset, window: usize, step: usize) -> Option<TimeSlider> {
+        let (lo, hi) = dataset.time_span()?;
         let months: Vec<MonthKey> = lo.month_key().iter_through(hi.month_key()).collect();
         (window >= 1 && step >= 1).then_some(TimeSlider {
             months,
@@ -70,10 +66,11 @@ impl TimeSlider {
         (from, to)
     }
 
-    /// Mines every window and returns the evolution series.
+    /// Mines every window through the engine's cache and returns the
+    /// evolution series.
     pub fn sweep(
         &self,
-        session: &ExplorationSession<'_>,
+        engine: &MapRatEngine,
         query: &ItemQuery,
         settings: &SearchSettings,
     ) -> Vec<TimelinePoint> {
@@ -81,7 +78,7 @@ impl TimeSlider {
         for from in self.positions() {
             let (from, to) = self.window_at(from);
             let windowed = query.clone().within(TimeRange::months(from..=to));
-            let result = session.explain(&windowed, settings);
+            let result = engine.explain_query(&windowed, settings);
             let point = match &*result {
                 Ok(r) => TimelinePoint {
                     from,
@@ -167,8 +164,7 @@ mod tests {
     #[test]
     fn slider_covers_dataset_span() {
         let d = generate(&SynthConfig::tiny(131)).unwrap();
-        let session = ExplorationSession::new(&d);
-        let slider = TimeSlider::over_dataset(&session, 6, 6).unwrap();
+        let slider = TimeSlider::over_dataset(&d, 6, 6).unwrap();
         let positions = slider.positions();
         assert!(!positions.is_empty());
         let (lo, hi) = d.time_span().unwrap();
@@ -179,19 +175,17 @@ mod tests {
     #[test]
     fn windows_have_requested_length() {
         let d = generate(&SynthConfig::tiny(132)).unwrap();
-        let session = ExplorationSession::new(&d);
-        let slider = TimeSlider::over_dataset(&session, 6, 3).unwrap();
+        let slider = TimeSlider::over_dataset(&d, 6, 3).unwrap();
         let (from, to) = slider.window_at(MonthKey::new(2001, 2));
         assert_eq!(from.months_until(to), 5);
     }
 
     #[test]
     fn sweep_produces_point_per_position() {
-        let d = generate(&SynthConfig::small(133)).unwrap();
-        let session = ExplorationSession::new(&d);
-        let slider = TimeSlider::over_dataset(&session, 9, 9).unwrap();
+        let engine = MapRatEngine::from_dataset(generate(&SynthConfig::small(133)).unwrap());
+        let slider = TimeSlider::over_dataset(engine.dataset(), 9, 9).unwrap();
         let points = slider.sweep(
-            &session,
+            &engine,
             &maprat_core::query::ItemQuery::title("Toy Story"),
             &settings(),
         );
@@ -212,17 +206,16 @@ mod tests {
 
     #[test]
     fn sweep_windows_differ_in_volume() {
-        let d = generate(&SynthConfig::small(134)).unwrap();
-        let session = ExplorationSession::new(&d);
-        let slider = TimeSlider::over_dataset(&session, 6, 6).unwrap();
+        let engine = MapRatEngine::from_dataset(generate(&SynthConfig::small(134)).unwrap());
+        let slider = TimeSlider::over_dataset(engine.dataset(), 6, 6).unwrap();
         let points = slider.sweep(
-            &session,
+            &engine,
             &maprat_core::query::ItemQuery::title("Toy Story"),
             &settings(),
         );
         let volumes: Vec<usize> = points.iter().map(|p| p.num_ratings).collect();
         let total: usize = volumes.iter().sum();
-        let full = session.explain(
+        let full = engine.explain_query(
             &maprat_core::query::ItemQuery::title("Toy Story"),
             &settings(),
         );
@@ -234,11 +227,10 @@ mod tests {
 
     #[test]
     fn render_sweep_is_tabular() {
-        let d = generate(&SynthConfig::tiny(135)).unwrap();
-        let session = ExplorationSession::new(&d);
-        let slider = TimeSlider::over_dataset(&session, 12, 12).unwrap();
+        let engine = MapRatEngine::from_dataset(generate(&SynthConfig::tiny(135)).unwrap());
+        let slider = TimeSlider::over_dataset(engine.dataset(), 12, 12).unwrap();
         let points = slider.sweep(
-            &session,
+            &engine,
             &maprat_core::query::ItemQuery::title("Toy Story"),
             &settings(),
         );

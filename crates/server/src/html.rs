@@ -72,10 +72,10 @@ async function explain() {
   $("summary").textContent = "mining…";
   $("detail").hidden = true;
   $("timeline").hidden = true;
-  const r = await fetch("/api/explain?" + params());
+  const r = await fetch("/api/v1/explain?" + params());
   const body = await r.json();
   if (!r.ok) {
-    $("summary").innerHTML = '<span class="err">' + (body.error || r.status) + "</span>";
+    $("summary").innerHTML = '<span class="err">' + (body.error ? body.error.message : r.status) + "</span>";
     $("map").innerHTML = ""; $("groups").innerHTML = "";
     return;
   }
@@ -95,9 +95,9 @@ async function explain() {
 }
 
 async function detail(idx) {
-  const r = await fetch(`/api/detail?${params()}&task=${task}&idx=${idx}`);
+  const r = await fetch(`/api/v1/detail?${params()}&task=${task}&idx=${idx}`);
   const d = await r.json();
-  const rr = await fetch(`/api/drill?${params()}&task=${task}&idx=${idx}`);
+  const rr = await fetch(`/api/v1/drill?${params()}&task=${task}&idx=${idx}`);
   let lines = [`=== ${d.label} ===`,
     `n=${d.count} avg ${d.mean.toFixed(2)} vs overall ${d.overall_mean.toFixed(2)}`,
     `histogram (1..5): ${d.histogram.join(" ")}`,
@@ -118,9 +118,9 @@ async function detail(idx) {
 async function timeline() {
   $("timeline").textContent = "sweeping time windows…";
   $("timeline").hidden = false;
-  const r = await fetch(`/api/timeline?${params()}&window=6&step=6`);
+  const r = await fetch(`/api/v1/timeline?${params()}&window=6&step=6`);
   const body = await r.json();
-  if (!r.ok) { $("timeline").textContent = body.error || r.status; return; }
+  if (!r.ok) { $("timeline").textContent = body.error ? body.error.message : r.status; return; }
   $("timeline").textContent = body.points.map(p =>
     `${p.from}..${p.to}  n=${String(p.ratings).padStart(5)}  mean=${p.mean ? p.mean.toFixed(2) : "  — "}  ` +
     p.groups.map(g => `${g.label} (${g.mean.toFixed(2)})`).join("; ")

@@ -1,8 +1,11 @@
 //! A small HTTP/1.1 server on `std::net` with a crossbeam worker pool.
 //!
-//! Scope: exactly what the demo front-end needs — `GET` requests, query
-//! strings with percent-decoding, fixed-length responses, graceful
-//! shutdown. Not a general-purpose web server.
+//! Scope: exactly what the demo front-end needs — `GET` requests with
+//! percent-decoded query strings, `POST` requests with `Content-Length`
+//! bodies (the typed JSON API), fixed-length responses, graceful
+//! shutdown. Not a general-purpose web server. Method policy (which
+//! routes accept which verbs) lives in the handler, so error responses
+//! can use the application's structured shape.
 
 use crossbeam::channel::{bounded, Sender};
 use std::collections::HashMap;
@@ -23,6 +26,8 @@ pub struct Request {
     pub query: HashMap<String, String>,
     /// Raw header lines, lower-cased names.
     pub headers: HashMap<String, String>,
+    /// The request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
 }
 
 impl Request {
@@ -34,6 +39,11 @@ impl Request {
     /// A query parameter parsed to a type.
     pub fn param_as<T: std::str::FromStr>(&self, name: &str) -> Option<T> {
         self.param(name)?.parse().ok()
+    }
+
+    /// The body as UTF-8 text (lossy).
+    pub fn body_text(&self) -> std::borrow::Cow<'_, str> {
+        String::from_utf8_lossy(&self.body)
     }
 }
 
@@ -161,7 +171,12 @@ pub fn parse_query(query: &str) -> HashMap<String, String> {
     map
 }
 
-/// Parses the head of an HTTP/1.1 request from a buffered stream.
+/// Upper bound on accepted request bodies (the typed API's JSON requests
+/// are tiny; anything bigger is abuse).
+pub const MAX_BODY_BYTES: usize = 1 << 20;
+
+/// Parses an HTTP/1.1 request (head plus `Content-Length` body) from a
+/// buffered stream.
 pub fn parse_request(reader: &mut impl BufRead) -> Result<Request, String> {
     let mut line = String::new();
     reader
@@ -192,11 +207,25 @@ pub fn parse_request(reader: &mut impl BufRead) -> Result<Request, String> {
             headers.insert(name.trim().to_lowercase(), value.trim().to_string());
         }
     }
+    let mut body = Vec::new();
+    if let Some(len_raw) = headers.get("content-length") {
+        let len: usize = len_raw
+            .parse()
+            .map_err(|_| format!("bad content-length {len_raw:?}"))?;
+        if len > MAX_BODY_BYTES {
+            return Err(format!("body of {len} bytes exceeds {MAX_BODY_BYTES}"));
+        }
+        body.resize(len, 0);
+        reader
+            .read_exact(&mut body)
+            .map_err(|e| format!("short body: {e}"))?;
+    }
     Ok(Request {
         method,
         path: percent_decode(path_raw),
         query: parse_query(query_raw),
         headers,
+        body,
     })
 }
 
@@ -232,8 +261,7 @@ impl HttpServer {
                             Err(_) => continue,
                         });
                         let response = match parse_request(&mut reader) {
-                            Ok(req) if req.method == "GET" => handler(&req),
-                            Ok(_) => Response::error(405, "only GET is supported"),
+                            Ok(req) => handler(&req),
                             Err(e) => Response::error(400, e),
                         };
                         let _ = response.write_to(&mut stream);
@@ -343,13 +371,48 @@ mod tests {
     }
 
     #[test]
-    fn non_get_rejected() {
-        let server = echo_server();
+    fn post_body_reaches_handler() {
+        let server = HttpServer::start(
+            "127.0.0.1:0",
+            1,
+            Arc::new(|req: &Request| {
+                Response::json(format!(
+                    "{{\"method\":\"{}\",\"body\":\"{}\"}}",
+                    req.method,
+                    req.body_text()
+                ))
+            }),
+        )
+        .unwrap();
         let mut stream = TcpStream::connect(("127.0.0.1", server.port())).unwrap();
-        write!(stream, "POST / HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let body = "hello=world";
+        write!(
+            stream,
+            "POST /x HTTP/1.1\r\nHost: l\r\nContent-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        )
+        .unwrap();
         let mut buf = String::new();
         stream.read_to_string(&mut buf).unwrap();
-        assert!(buf.starts_with("HTTP/1.1 405"));
+        assert!(buf.starts_with("HTTP/1.1 200"), "{buf}");
+        assert!(buf.contains("\"method\":\"POST\""));
+        assert!(buf.contains("hello=world"));
+    }
+
+    #[test]
+    fn oversized_body_rejected() {
+        let server = echo_server();
+        let mut stream = TcpStream::connect(("127.0.0.1", server.port())).unwrap();
+        write!(
+            stream,
+            "POST /x HTTP/1.1\r\nHost: l\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        )
+        .unwrap();
+        let mut buf = String::new();
+        stream.read_to_string(&mut buf).unwrap();
+        assert!(buf.starts_with("HTTP/1.1 400"), "{buf}");
     }
 
     #[test]

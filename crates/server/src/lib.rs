@@ -1,23 +1,32 @@
 //! The MapRat demo server: a dependency-free reproduction of the paper's
-//! web front-end (§3.1, Figure 1).
+//! web front-end (§3.1, Figure 1) with a typed, versioned JSON API.
 //!
 //! * [`json`] — a minimal, escaping-correct JSON value type with a writer
-//!   and a small parser (used by tests and tooling; `serde_json` is not on
-//!   the approved dependency list);
+//!   and a small parser (used by the codecs, tests and tooling;
+//!   `serde_json` is not on the approved dependency list);
 //! * [`http`] — an HTTP/1.1 listener on `std::net::TcpListener` with a
-//!   crossbeam-channel worker pool, request parsing (query-string and
-//!   percent-decoding included) and graceful shutdown;
-//! * [`routes`] — the application: `/api/explain`, `/api/timeline`,
-//!   `/api/drill`, `/api/detail`, `/map.svg` and the embedded HTML page;
+//!   crossbeam-channel worker pool, request parsing (query strings,
+//!   percent-decoding and `Content-Length` POST bodies) and graceful
+//!   shutdown;
+//! * [`api`] — the typed `/api/v1` contract: request/response structs
+//!   with canonical JSON codecs, the shared GET-parameter parser, and the
+//!   structured [`api::ApiError`] every route answers errors with;
+//! * [`routes`] — the application: `/api/v1/{explain,timeline,drill,
+//!   detail,personalize}` (GET query string or POST JSON body), their
+//!   legacy unversioned aliases, `/map.svg`, `/citymap.svg` and the
+//!   embedded HTML page — all over a clonable
+//!   [`maprat_explore::MapRatEngine`];
 //! * [`html`] — the single-page front-end (vanilla JS) driving the API.
 
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod html;
 pub mod http;
 pub mod json;
 pub mod routes;
 
+pub use api::{ApiError, ExplainResponse};
 pub use http::{HttpServer, Request, Response};
 pub use json::Json;
 pub use routes::AppState;

@@ -1,42 +1,45 @@
-//! The demo application: URL routes over an exploration session.
+//! The demo application: versioned, typed URL routes over a
+//! [`MapRatEngine`].
 //!
 //! The API mirrors the Figure-1 front-end controls: query text + query
 //! type, max-groups / coverage settings, a time window, and per-group
-//! drill-down and statistics endpoints.
+//! drill-down and statistics endpoints. Every `/api/v1/*` endpoint accepts
+//! the request as a `GET` query string (back-compatible with the legacy
+//! unversioned routes, which share the same parser) or as a `POST` JSON
+//! body in the canonical encoding of [`crate::api`]. Errors are always
+//! the structured [`ApiError`] JSON shape.
 
+use crate::api::{
+    self, ApiError, DetailResponse, DrillRequest, DrillResponse, ExplainResponse, RelatedDto,
+    TimelineRequest, TimelineResponse,
+};
 use crate::html;
 use crate::http::{Handler, Request, Response};
-use crate::json::Json;
-use maprat_core::query::{ItemQuery, QueryTerm};
-use maprat_core::{Explanation, Interpretation, MineError, SearchSettings};
-use maprat_data::{AgeGroup, AttrValue, Gender, Occupation, UsState};
-use maprat_data::{Dataset, Genre, MonthKey, TimeRange};
 use maprat_explore::drilldown::drill_group;
-use maprat_explore::personalize::{personalized_explain, VisitorProfile};
-use maprat_explore::{compare, exploration_maps, ExplorationSession, TimeSlider};
+use maprat_explore::personalize::personalized_explain;
+use maprat_explore::{compare, exploration_maps, ExplorationResult, MapRatEngine, TimeSlider};
 use maprat_geo::citymap::{self, CityBubble, CityMap};
 use maprat_geo::svg::{render as render_svg, SvgOptions};
 use std::sync::Arc;
 
-/// The application state behind every route.
+/// The application state behind every route: a clonable engine handle.
 ///
-/// The dataset is `'static` (the demo binary leaks one on startup — a
-/// deliberate, documented choice: the dataset lives for the process).
+/// The engine owns its dataset behind an `Arc`, so the server needs no
+/// `'static` borrow (and no leaked dataset); any number of `AppState`s /
+/// engine clones can serve the same data concurrently.
 pub struct AppState {
-    session: ExplorationSession<'static>,
+    engine: MapRatEngine,
 }
 
 impl AppState {
-    /// Builds the state over a `'static` dataset.
-    pub fn new(dataset: &'static Dataset) -> Self {
-        AppState {
-            session: ExplorationSession::new(dataset),
-        }
+    /// Builds the state over an engine handle.
+    pub fn new(engine: MapRatEngine) -> Self {
+        AppState { engine }
     }
 
-    /// The exploration session (for pre-warming by the binary).
-    pub fn session(&self) -> &ExplorationSession<'static> {
-        &self.session
+    /// The engine (e.g. for pre-warming by the binary).
+    pub fn engine(&self) -> &MapRatEngine {
+        &self.engine
     }
 
     /// Builds the HTTP handler closure.
@@ -47,90 +50,48 @@ impl AppState {
 
     fn dispatch(&self, req: &Request) -> Response {
         match req.path.as_str() {
+            // The page and the SVG assets are GET-only; the API routes
+            // below enforce their own GET/POST policy while decoding.
+            "/" | "/index.html" | "/map.svg" | "/citymap.svg" if req.method != "GET" => {
+                ApiError::method_not_allowed(&req.method)
+                    .with_hint("this route only serves GET")
+                    .into_response()
+            }
             "/" | "/index.html" => Response::html(html::INDEX.to_string()),
-            "/api/explain" => self.explain_route(req),
-            "/api/timeline" => self.timeline_route(req),
-            "/api/drill" => self.drill_route(req),
-            "/api/detail" => self.detail_route(req),
-            "/api/personalize" => self.personalize_route(req),
+            // Versioned API + legacy aliases (deprecated; same parser).
+            "/api/v1/explain" | "/api/explain" => self.explain_route(req),
+            "/api/v1/timeline" | "/api/timeline" => self.timeline_route(req),
+            "/api/v1/drill" | "/api/drill" => self.drill_route(req),
+            "/api/v1/detail" | "/api/detail" => self.detail_route(req),
+            "/api/v1/personalize" | "/api/personalize" => self.personalize_route(req),
             "/map.svg" => self.map_route(req),
             "/citymap.svg" => self.citymap_route(req),
-            _ => Response::error(404, format!("no route for {}", req.path)),
+            path => ApiError::unknown_route(path).into_response(),
         }
-    }
-
-    /// Parses the query/settings parameters shared by every API route.
-    fn parse_query_params(&self, req: &Request) -> Result<(ItemQuery, SearchSettings), String> {
-        let q = req.param("q").ok_or("missing parameter q")?.to_string();
-        if q.trim().is_empty() {
-            return Err("empty query".into());
-        }
-        let term = match req.param("type").unwrap_or("movie") {
-            "movie" => QueryTerm::TitleIs(q),
-            "contains" => QueryTerm::TitleContains(q),
-            "actor" => QueryTerm::Actor(q),
-            "director" => QueryTerm::Director(q),
-            "genre" => QueryTerm::Genre(
-                Genre::from_label(&q).ok_or_else(|| format!("unknown genre {q:?}"))?,
-            ),
-            other => return Err(format!("unknown query type {other:?}")),
-        };
-        let mut query = ItemQuery::new(term);
-        if let Some(genre) = req.param("genre") {
-            let g = Genre::from_label(genre).ok_or_else(|| format!("unknown genre {genre:?}"))?;
-            query = query.and(QueryTerm::Genre(g));
-        }
-        match (parse_month(req.param("from")), parse_month(req.param("to"))) {
-            (Err(e), _) | (_, Err(e)) => return Err(e),
-            (Ok(Some(from)), Ok(Some(to))) => {
-                if from > to {
-                    return Err("from after to".into());
-                }
-                query = query.within(TimeRange::months(from..=to));
-            }
-            (Ok(Some(from)), Ok(None)) => {
-                query = query.within(TimeRange::from_start(from.start()));
-            }
-            (Ok(None), Ok(Some(to))) => {
-                query = query.within(TimeRange::until(to.end_exclusive()));
-            }
-            (Ok(None), Ok(None)) => {}
-        }
-
-        let mut settings = SearchSettings::default();
-        if let Some(k) = req.param_as::<usize>("k") {
-            settings.max_groups = k;
-        }
-        if let Some(alpha) = req.param_as::<f64>("coverage") {
-            settings.min_coverage = alpha;
-        }
-        if let Some(geo) = req.param("geo") {
-            settings.require_geo = geo != "0" && geo != "false";
-        }
-        if let Some(support) = req.param_as::<usize>("support") {
-            settings.min_support = support;
-        }
-        Ok((query, settings))
     }
 
     fn explain_route(&self, req: &Request) -> Response {
-        let (query, settings) = match self.parse_query_params(req) {
-            Ok(v) => v,
-            Err(e) => return Response::error(400, e),
+        let request = match api::explain_request(req) {
+            Ok(r) => r,
+            Err(e) => return e.into_response(),
         };
-        let result = self.session.explain(&query, &settings);
+        let result = self.engine.explain(&request);
         match &*result {
-            Ok(r) => Response::json(explanation_json(&r.explanation).render()),
-            Err(e) => mine_error_response(e),
+            Ok(r) => Response::json(
+                ExplainResponse::from_explanation(&r.explanation)
+                    .to_json()
+                    .render(),
+            ),
+            Err(e) => ApiError::from_mine(e).into_response(),
         }
     }
 
     fn map_route(&self, req: &Request) -> Response {
-        let (query, settings) = match self.parse_query_params(req) {
-            Ok(v) => v,
-            Err(e) => return Response::error(400, e),
+        let request = match api::explain_request(req) {
+            Ok(r) => r,
+            Err(e) => return e.into_response(),
         };
-        let result = self.session.explain(&query, &settings);
+        let result = self.engine.explain(&request);
         match &*result {
             Ok(r) => {
                 let (sm, dm) = exploration_maps(&r.explanation);
@@ -140,113 +101,97 @@ impl AppState {
                 };
                 Response::svg(render_svg(&map, &SvgOptions::default()))
             }
-            Err(e) => mine_error_response(e),
+            Err(e) => ApiError::from_mine(e).into_response(),
         }
     }
 
     fn timeline_route(&self, req: &Request) -> Response {
-        let (query, settings) = match self.parse_query_params(req) {
-            Ok(v) => v,
-            Err(e) => return Response::error(400, e),
+        let request = match TimelineRequest::from_request(req) {
+            Ok(r) => r,
+            Err(e) => return e.into_response(),
         };
-        let window = req.param_as::<usize>("window").unwrap_or(6).max(1);
-        let step = req.param_as::<usize>("step").unwrap_or(window).max(1);
-        let Some(slider) = TimeSlider::over_dataset(&self.session, window, step) else {
-            return Response::error(400, "dataset has no ratings");
+        let Some(slider) =
+            TimeSlider::over_dataset(self.engine.dataset(), request.window, request.step)
+        else {
+            return ApiError::bad_request("dataset has no ratings").into_response();
         };
-        let points = slider.sweep(&self.session, &query, &settings);
-        let arr = points
-            .iter()
-            .map(|p| {
-                Json::obj([
-                    ("from", Json::str(p.from.to_string())),
-                    ("to", Json::str(p.to.to_string())),
-                    ("ratings", Json::Num(p.num_ratings as f64)),
-                    ("mean", p.overall_mean.map(Json::Num).unwrap_or(Json::Null)),
-                    (
-                        "groups",
-                        Json::Arr(
-                            p.top_groups
-                                .iter()
-                                .map(|(label, mean, support)| {
-                                    Json::obj([
-                                        ("label", Json::str(label.clone())),
-                                        ("mean", Json::Num(*mean)),
-                                        ("support", Json::Num(*support as f64)),
-                                    ])
-                                })
-                                .collect(),
-                        ),
-                    ),
-                ])
-            })
-            .collect();
-        Json::obj([("points", Json::Arr(arr))]).render_ok()
+        let points = slider.sweep(
+            &self.engine,
+            &request.explain.query,
+            &request.explain.settings,
+        );
+        Response::json(TimelineResponse::from_points(&points).to_json().render())
+    }
+
+    /// Resolves a drill/detail request to the explained group it names.
+    fn resolve_group<'r>(
+        &self,
+        request: &DrillRequest,
+        result: &'r ExplorationResult,
+    ) -> Result<&'r maprat_core::ExplainedGroup, ApiError> {
+        let interp = result.explanation.interpretation(request.task);
+        interp.groups.get(request.idx).ok_or_else(|| {
+            ApiError::not_found(format!(
+                "no group {} in {}",
+                request.idx,
+                api::task_code(request.task)
+            ))
+        })
     }
 
     fn drill_route(&self, req: &Request) -> Response {
-        let (query, settings) = match self.parse_query_params(req) {
-            Ok(v) => v,
-            Err(e) => return Response::error(400, e),
+        let request = match DrillRequest::from_request(req) {
+            Ok(r) => r,
+            Err(e) => return e.into_response(),
         };
-        let Some(idx) = req.param_as::<usize>("idx") else {
-            return Response::error(400, "missing parameter idx");
-        };
-        let task = req.param("task").unwrap_or("sm").to_string();
-        let result = self.session.explain(&query, &settings);
+        let result = self.engine.explain(&request.explain);
         let r = match &*result {
             Ok(r) => r,
-            Err(e) => return mine_error_response(e),
+            Err(e) => return ApiError::from_mine(e).into_response(),
         };
-        let interp = interp_of(&r.explanation, &task);
-        let Some(group) = interp.groups.get(idx) else {
-            return Response::error(404, format!("no group {idx} in {task}"));
+        let group = match self.resolve_group(&request, r) {
+            Ok(g) => g,
+            Err(e) => return e.into_response(),
         };
-        match drill_group(self.session.dataset(), r, &group.desc) {
-            Some(cities) => {
-                let arr = cities
-                    .iter()
-                    .map(|c| {
-                        Json::obj([
-                            ("city", Json::str(c.city)),
-                            ("count", Json::Num(c.stats.count() as f64)),
-                            ("mean", c.stats.mean().map(Json::Num).unwrap_or(Json::Null)),
-                        ])
-                    })
-                    .collect();
-                Json::obj([
-                    ("group", Json::str(group.label.clone())),
-                    ("cities", Json::Arr(arr)),
-                ])
-                .render_ok()
-            }
-            None => Response::error(400, "group has no geo condition"),
+        match drill_group(self.engine.dataset(), r, &group.desc) {
+            Some(cities) => Response::json(
+                DrillResponse {
+                    group: group.label.clone(),
+                    cities: cities
+                        .iter()
+                        .map(|c| api::CityDto {
+                            city: c.city.to_string(),
+                            count: c.stats.count() as usize,
+                            mean: c.stats.mean(),
+                        })
+                        .collect(),
+                }
+                .to_json()
+                .render(),
+            ),
+            None => ApiError::bad_request("group has no geo condition").into_response(),
         }
     }
 
     fn citymap_route(&self, req: &Request) -> Response {
-        let (query, settings) = match self.parse_query_params(req) {
-            Ok(v) => v,
-            Err(e) => return Response::error(400, e),
+        let request = match DrillRequest::from_request(req) {
+            Ok(r) => r,
+            Err(e) => return e.into_response(),
         };
-        let Some(idx) = req.param_as::<usize>("idx") else {
-            return Response::error(400, "missing parameter idx");
-        };
-        let task = req.param("task").unwrap_or("sm").to_string();
-        let result = self.session.explain(&query, &settings);
+        let result = self.engine.explain(&request.explain);
         let r = match &*result {
             Ok(r) => r,
-            Err(e) => return mine_error_response(e),
+            Err(e) => return ApiError::from_mine(e).into_response(),
         };
-        let interp = interp_of(&r.explanation, &task);
-        let Some(group) = interp.groups.get(idx) else {
-            return Response::error(404, format!("no group {idx} in {task}"));
+        let group = match self.resolve_group(&request, r) {
+            Ok(g) => g,
+            Err(e) => return e.into_response(),
         };
         let Some(state) = group.desc.state() else {
-            return Response::error(400, "group has no geo condition");
+            return ApiError::bad_request("group has no geo condition").into_response();
         };
-        let Some(cities) = drill_group(self.session.dataset(), r, &group.desc) else {
-            return Response::error(404, "group not among candidates");
+        let Some(cities) = drill_group(self.engine.dataset(), r, &group.desc) else {
+            return ApiError::not_found("group not among candidates").into_response();
         };
         let map = CityMap {
             state,
@@ -263,237 +208,113 @@ impl AppState {
         Response::svg(citymap::render(&map, &citymap::CityMapOptions::default()))
     }
 
-    /// Parses the visitor-profile parameters of `/api/personalize`.
-    fn parse_profile(req: &Request) -> Result<VisitorProfile, String> {
-        let mut profile = VisitorProfile::new();
-        if let Some(g) = req.param("gender") {
-            let gender = Gender::from_letter(g).map_err(|e| e.to_string())?;
-            profile = profile.with(AttrValue::Gender(gender));
-        }
-        if let Some(a) = req.param("age") {
-            let code: u32 = a.parse().map_err(|_| format!("bad age code {a:?}"))?;
-            let age = AgeGroup::from_movielens_code(code).map_err(|e| e.to_string())?;
-            profile = profile.with(AttrValue::Age(age));
-        }
-        if let Some(o) = req.param("occupation") {
-            let code: u32 = o.parse().map_err(|_| format!("bad occupation {o:?}"))?;
-            let occ = Occupation::from_movielens_code(code).map_err(|e| e.to_string())?;
-            profile = profile.with(AttrValue::Occupation(occ));
-        }
-        if let Some(st) = req.param("state") {
-            let state = UsState::from_abbrev(st).map_err(|e| e.to_string())?;
-            profile = profile.with(AttrValue::State(state));
-        }
-        Ok(profile)
-    }
-
     fn personalize_route(&self, req: &Request) -> Response {
-        let (query, settings) = match self.parse_query_params(req) {
+        let (request, profile) = match api::personalize_request(req) {
             Ok(v) => v,
-            Err(e) => return Response::error(400, e),
-        };
-        let profile = match Self::parse_profile(req) {
-            Ok(p) => p,
-            Err(e) => return Response::error(400, e),
+            Err(e) => return e.into_response(),
         };
         // Personalized mining bypasses the shared cache (one entry per
-        // visitor profile would thrash it); the miner is cheap to borrow.
-        let miner = maprat_core::Miner::new(self.session.dataset());
-        match personalized_explain(&miner, &query, &settings, &profile) {
-            Ok(explanation) => Response::json(explanation_json(&explanation).render()),
-            Err(e) => mine_error_response(&e),
+        // visitor profile would thrash it); the engine lends its miner.
+        match personalized_explain(&self.engine, &request.query, &request.settings, &profile) {
+            Ok(explanation) => Response::json(
+                ExplainResponse::from_explanation(&explanation)
+                    .to_json()
+                    .render(),
+            ),
+            Err(e) => ApiError::from_mine(&e).into_response(),
         }
     }
 
     fn detail_route(&self, req: &Request) -> Response {
-        let (query, settings) = match self.parse_query_params(req) {
-            Ok(v) => v,
-            Err(e) => return Response::error(400, e),
+        let request = match DrillRequest::from_request(req) {
+            Ok(r) => r,
+            Err(e) => return e.into_response(),
         };
-        let Some(idx) = req.param_as::<usize>("idx") else {
-            return Response::error(400, "missing parameter idx");
-        };
-        let task = req.param("task").unwrap_or("sm").to_string();
-        let result = self.session.explain(&query, &settings);
+        let result = self.engine.explain(&request.explain);
         let r = match &*result {
             Ok(r) => r,
-            Err(e) => return mine_error_response(e),
+            Err(e) => return ApiError::from_mine(e).into_response(),
         };
-        let interp = interp_of(&r.explanation, &task);
-        let Some(group) = interp.groups.get(idx) else {
-            return Response::error(404, format!("no group {idx} in {task}"));
+        let group = match self.resolve_group(&request, r) {
+            Ok(g) => g,
+            Err(e) => return e.into_response(),
         };
         let Some(detail) = compare::group_detail(r, &group.desc) else {
-            return Response::error(404, "group not among candidates");
+            return ApiError::not_found("group not among candidates").into_response();
         };
-        let hist = detail
-            .stats
-            .histogram()
-            .iter()
-            .map(|&n| Json::Num(n as f64))
-            .collect();
-        let related = detail
-            .related
-            .iter()
-            .map(|rg| {
-                Json::obj([
-                    ("label", Json::str(rg.label.clone())),
-                    (
-                        "relation",
-                        Json::str(match rg.relation {
+        Response::json(
+            DetailResponse {
+                label: detail.label.clone(),
+                count: detail.stats.count() as usize,
+                mean: detail.stats.mean(),
+                histogram: detail
+                    .stats
+                    .histogram()
+                    .iter()
+                    .map(|&n| n as usize)
+                    .collect(),
+                overall_mean: detail.total.mean(),
+                related: detail
+                    .related
+                    .iter()
+                    .map(|rg| RelatedDto {
+                        label: rg.label.clone(),
+                        relation: match rg.relation {
                             compare::Relation::Parent => "roll-up",
                             compare::Relation::Sibling => "sibling",
-                        }),
-                    ),
-                    ("mean", rg.stats.mean().map(Json::Num).unwrap_or(Json::Null)),
-                    ("count", Json::Num(rg.stats.count() as f64)),
-                ])
-            })
-            .collect();
-        Json::obj([
-            ("label", Json::str(detail.label.clone())),
-            ("count", Json::Num(detail.stats.count() as f64)),
-            (
-                "mean",
-                detail.stats.mean().map(Json::Num).unwrap_or(Json::Null),
-            ),
-            ("histogram", Json::Arr(hist)),
-            (
-                "overall_mean",
-                detail.total.mean().map(Json::Num).unwrap_or(Json::Null),
-            ),
-            ("related", Json::Arr(related)),
-        ])
-        .render_ok()
-    }
-}
-
-trait RenderOk {
-    fn render_ok(&self) -> Response;
-}
-
-impl RenderOk for Json {
-    fn render_ok(&self) -> Response {
-        Response::json(self.render())
-    }
-}
-
-fn interp_of<'e>(explanation: &'e Explanation, task: &str) -> &'e Interpretation {
-    match task {
-        "dm" => &explanation.diversity,
-        _ => &explanation.similarity,
-    }
-}
-
-fn mine_error_response(e: &MineError) -> Response {
-    let status = match e {
-        MineError::NoMatchingItems(_) | MineError::NoRatings | MineError::NoCandidates => 404,
-        MineError::InvalidSettings(_) => 400,
-    };
-    Response {
-        status,
-        content_type: "application/json; charset=utf-8",
-        body: Json::obj([("error", Json::str(e.to_string()))])
-            .render()
-            .into_bytes(),
-    }
-}
-
-/// Parses `YYYY-MM` into a month key.
-fn parse_month(value: Option<&str>) -> Result<Option<MonthKey>, String> {
-    let Some(value) = value else {
-        return Ok(None);
-    };
-    if value.is_empty() {
-        return Ok(None);
-    }
-    let (y, m) = value
-        .split_once('-')
-        .ok_or_else(|| format!("bad month {value:?} (expected YYYY-MM)"))?;
-    let year: i32 = y.parse().map_err(|_| format!("bad year in {value:?}"))?;
-    let month: u32 = m.parse().map_err(|_| format!("bad month in {value:?}"))?;
-    if !(1..=12).contains(&month) {
-        return Err(format!("month {month} outside 1..=12"));
-    }
-    Ok(Some(MonthKey::new(year, month)))
-}
-
-/// Serializes an interpretation tab.
-fn interpretation_json(interp: &Interpretation) -> Json {
-    Json::obj([
-        ("task", Json::str(interp.task.name())),
-        ("objective", Json::Num(interp.objective)),
-        ("coverage", Json::Num(interp.coverage)),
-        ("meets_coverage", Json::Bool(interp.meets_coverage)),
-        (
-            "groups",
-            Json::Arr(
-                interp
-                    .groups
-                    .iter()
-                    .map(|g| {
-                        Json::obj([
-                            ("label", Json::str(g.label.clone())),
-                            (
-                                "state",
-                                g.desc
-                                    .state()
-                                    .map(|s| Json::str(s.abbrev()))
-                                    .unwrap_or(Json::Null),
-                            ),
-                            ("mean", g.stats.mean().map(Json::Num).unwrap_or(Json::Null)),
-                            ("support", Json::Num(g.support as f64)),
-                            ("share", Json::Num(g.coverage_share)),
-                            ("token", Json::str(g.desc.token())),
-                        ])
+                        }
+                        .to_string(),
+                        mean: rg.stats.mean(),
+                        count: rg.stats.count() as usize,
                     })
                     .collect(),
-            ),
-        ),
-    ])
-}
-
-/// Serializes a full explanation.
-pub fn explanation_json(explanation: &Explanation) -> Json {
-    Json::obj([
-        ("query", Json::str(explanation.query.clone())),
-        ("items", Json::Num(explanation.items.len() as f64)),
-        ("ratings", Json::Num(explanation.num_ratings as f64)),
-        (
-            "overall_mean",
-            explanation
-                .total
-                .mean()
-                .map(Json::Num)
-                .unwrap_or(Json::Null),
-        ),
-        ("similarity", interpretation_json(&explanation.similarity)),
-        ("diversity", interpretation_json(&explanation.diversity)),
-    ])
+            }
+            .to_json()
+            .render(),
+        )
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::http::HttpServer;
+    use crate::json::Json;
     use maprat_data::synth::{generate, SynthConfig};
+    use maprat_data::Dataset;
     use std::io::{Read, Write};
     use std::net::TcpStream;
     use std::sync::OnceLock;
 
-    fn static_dataset() -> &'static Dataset {
-        static DATASET: OnceLock<Dataset> = OnceLock::new();
-        DATASET.get_or_init(|| generate(&SynthConfig::tiny(171)).unwrap())
+    fn shared_dataset() -> Arc<Dataset> {
+        static DATASET: OnceLock<Arc<Dataset>> = OnceLock::new();
+        Arc::clone(DATASET.get_or_init(|| Arc::new(generate(&SynthConfig::tiny(171)).unwrap())))
     }
 
     fn server() -> HttpServer {
-        let state = AppState::new(static_dataset());
+        let state = AppState::new(MapRatEngine::new(shared_dataset()));
         HttpServer::start("127.0.0.1:0", 2, state.into_handler()).unwrap()
     }
 
     fn get(port: u16, target: &str) -> (u16, String) {
         let mut stream = TcpStream::connect(("127.0.0.1", port)).unwrap();
         write!(stream, "GET {target} HTTP/1.1\r\nHost: l\r\n\r\n").unwrap();
+        read_response(&mut stream)
+    }
+
+    fn post(port: u16, target: &str, body: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(("127.0.0.1", port)).unwrap();
+        write!(
+            stream,
+            "POST {target} HTTP/1.1\r\nHost: l\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        )
+        .unwrap();
+        read_response(&mut stream)
+    }
+
+    fn read_response(stream: &mut TcpStream) -> (u16, String) {
         let mut buf = Vec::new();
         stream.read_to_end(&mut buf).unwrap();
         let text = String::from_utf8_lossy(&buf).into_owned();
@@ -518,7 +339,7 @@ mod tests {
     #[test]
     fn explain_returns_both_tabs() {
         let s = server();
-        let (status, body) = get(s.port(), "/api/explain?q=Toy+Story&coverage=0.1&geo=0");
+        let (status, body) = get(s.port(), "/api/v1/explain?q=Toy+Story&coverage=0.1&geo=0");
         assert_eq!(status, 200, "{body}");
         let v = Json::parse(&body).unwrap();
         assert!(v.get("similarity").is_some());
@@ -535,17 +356,72 @@ mod tests {
     }
 
     #[test]
+    fn legacy_route_still_serves() {
+        let s = server();
+        let (status, legacy) = get(s.port(), "/api/explain?q=Toy+Story&coverage=0.1&geo=0");
+        assert_eq!(status, 200, "{legacy}");
+        let (_, v1) = get(s.port(), "/api/v1/explain?q=Toy+Story&coverage=0.1&geo=0");
+        assert_eq!(legacy, v1, "legacy route is an alias of /api/v1");
+    }
+
+    #[test]
+    fn explain_get_post_parity() {
+        let s = server();
+        let (get_status, get_body) =
+            get(s.port(), "/api/v1/explain?q=Toy+Story&coverage=0.1&geo=0");
+        assert_eq!(get_status, 200, "{get_body}");
+        let body = r#"{"query":{"terms":[{"field":"title","value":"Toy Story"}]},"settings":{"min_coverage":0.1,"require_geo":false}}"#;
+        let (post_status, post_body) = post(s.port(), "/api/v1/explain", body);
+        assert_eq!(post_status, 200, "{post_body}");
+        assert_eq!(get_body, post_body, "GET and POST answers must agree");
+    }
+
+    #[test]
+    fn post_rejects_malformed_json() {
+        let s = server();
+        let (status, body) = post(s.port(), "/api/v1/explain", "{not json");
+        assert_eq!(status, 400, "{body}");
+        let v = Json::parse(&body).unwrap();
+        assert_eq!(
+            v.get("error").unwrap().get("code").unwrap().as_str(),
+            Some("bad_request")
+        );
+    }
+
+    #[test]
+    fn put_is_method_not_allowed() {
+        let s = server();
+        let mut stream = TcpStream::connect(("127.0.0.1", s.port())).unwrap();
+        write!(stream, "PUT /api/v1/explain HTTP/1.1\r\nHost: l\r\n\r\n").unwrap();
+        let (status, body) = read_response(&mut stream);
+        assert_eq!(status, 405, "{body}");
+        let v = Json::parse(&body).unwrap();
+        assert_eq!(
+            v.get("error").unwrap().get("code").unwrap().as_str(),
+            Some("method_not_allowed")
+        );
+    }
+
+    #[test]
     fn unknown_movie_is_404_json() {
         let s = server();
-        let (status, body) = get(s.port(), "/api/explain?q=Nonexistent+Movie");
+        let (status, body) = get(s.port(), "/api/v1/explain?q=Nonexistent+Movie");
         assert_eq!(status, 404);
-        assert!(Json::parse(&body).unwrap().get("error").is_some());
+        let v = Json::parse(&body).unwrap();
+        let error = v.get("error").unwrap();
+        assert_eq!(error.get("code").unwrap().as_str(), Some("not_found"));
+        assert!(error
+            .get("message")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("Nonexistent Movie"));
     }
 
     #[test]
     fn missing_query_is_400() {
         let s = server();
-        let (status, _) = get(s.port(), "/api/explain");
+        let (status, _) = get(s.port(), "/api/v1/explain");
         assert_eq!(status, 400);
     }
 
@@ -565,7 +441,7 @@ mod tests {
         let s = server();
         let (status, body) = get(
             s.port(),
-            "/api/timeline?q=Toy+Story&coverage=0.1&geo=0&window=12&step=12",
+            "/api/v1/timeline?q=Toy+Story&coverage=0.1&geo=0&window=12&step=12",
         );
         assert_eq!(status, 200, "{body}");
         let v = Json::parse(&body).unwrap();
@@ -577,7 +453,7 @@ mod tests {
         let s = server();
         let (status, body) = get(
             s.port(),
-            "/api/drill?q=Toy+Story&coverage=0.1&task=sm&idx=0",
+            "/api/v1/drill?q=Toy+Story&coverage=0.1&task=sm&idx=0",
         );
         assert_eq!(status, 200, "{body}");
         let v = Json::parse(&body).unwrap();
@@ -585,7 +461,7 @@ mod tests {
 
         let (status, body) = get(
             s.port(),
-            "/api/detail?q=Toy+Story&coverage=0.1&task=sm&idx=0",
+            "/api/v1/detail?q=Toy+Story&coverage=0.1&task=sm&idx=0",
         );
         assert_eq!(status, 200, "{body}");
         let v = Json::parse(&body).unwrap();
@@ -593,11 +469,21 @@ mod tests {
     }
 
     #[test]
+    fn drill_accepts_post_json() {
+        let s = server();
+        let body = r#"{"query":{"terms":[{"field":"title","value":"Toy Story"}]},"settings":{"min_coverage":0.1},"task":"sm","idx":0}"#;
+        let (status, reply) = post(s.port(), "/api/v1/drill", body);
+        assert_eq!(status, 200, "{reply}");
+        let v = Json::parse(&reply).unwrap();
+        assert!(v.get("cities").unwrap().len().unwrap() >= 1);
+    }
+
+    #[test]
     fn out_of_range_group_404() {
         let s = server();
         let (status, _) = get(
             s.port(),
-            "/api/drill?q=Toy+Story&coverage=0.1&task=sm&idx=99",
+            "/api/v1/drill?q=Toy+Story&coverage=0.1&task=sm&idx=99",
         );
         assert_eq!(status, 404);
     }
@@ -607,12 +493,12 @@ mod tests {
         let s = server();
         let (status, body) = get(
             s.port(),
-            "/api/explain?q=Toy+Story&coverage=0.05&geo=0&from=2000-05&to=2001-06",
+            "/api/v1/explain?q=Toy+Story&coverage=0.05&geo=0&from=2000-05&to=2001-06",
         );
         assert_eq!(status, 200, "{body}");
         let v = Json::parse(&body).unwrap();
         let windowed = v.get("ratings").unwrap().as_f64().unwrap();
-        let (_, full_body) = get(s.port(), "/api/explain?q=Toy+Story&coverage=0.05&geo=0");
+        let (_, full_body) = get(s.port(), "/api/v1/explain?q=Toy+Story&coverage=0.05&geo=0");
         let full = Json::parse(&full_body)
             .unwrap()
             .get("ratings")
@@ -620,11 +506,39 @@ mod tests {
             .as_f64()
             .unwrap();
         assert!(windowed < full);
-        // Malformed months are rejected.
-        let (status, _) = get(s.port(), "/api/explain?q=Toy+Story&from=200005");
+    }
+
+    #[test]
+    fn malformed_months_name_the_offending_value() {
+        let s = server();
+        let (status, body) = get(s.port(), "/api/v1/explain?q=Toy+Story&from=200005");
         assert_eq!(status, 400);
-        let (status, _) = get(s.port(), "/api/explain?q=Toy+Story&from=2001-01&to=2000-01");
+        let v = Json::parse(&body).unwrap();
+        let message = v
+            .get("error")
+            .unwrap()
+            .get("message")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_string();
+        assert!(message.contains("200005"), "{message}");
+        assert!(message.contains("from"), "{message}");
+
+        let (status, body) = get(s.port(), "/api/v1/explain?q=Toy+Story&to=2001-99");
         assert_eq!(status, 400);
+        assert!(body.contains("2001-99"), "{body}");
+
+        // A reversed window names both bounds.
+        let (status, body) = get(
+            s.port(),
+            "/api/v1/explain?q=Toy+Story&from=2001-01&to=2000-01",
+        );
+        assert_eq!(status, 400);
+        assert!(
+            body.contains("2001-01") && body.contains("2000-01"),
+            "{body}"
+        );
     }
 
     #[test]
@@ -632,12 +546,12 @@ mod tests {
         let s = server();
         let (status, body) = get(
             s.port(),
-            "/api/explain?q=Tom+Hanks&type=actor&coverage=0.05&geo=0",
+            "/api/v1/explain?q=Tom+Hanks&type=actor&coverage=0.05&geo=0",
         );
         assert_eq!(status, 200, "{body}");
         let v = Json::parse(&body).unwrap();
         assert!(v.get("items").unwrap().as_f64().unwrap() >= 3.0);
-        let (status, _) = get(s.port(), "/api/explain?q=X&type=bogus");
+        let (status, _) = get(s.port(), "/api/v1/explain?q=X&type=bogus");
         assert_eq!(status, 400);
     }
 
@@ -660,7 +574,7 @@ mod tests {
         let s = server();
         let (status, body) = get(
             s.port(),
-            "/api/personalize?q=Toy+Story&coverage=0.05&geo=0&gender=M",
+            "/api/v1/personalize?q=Toy+Story&coverage=0.05&geo=0&gender=M",
         );
         assert_eq!(status, 200, "{body}");
         let v = Json::parse(&body).unwrap();
@@ -679,18 +593,47 @@ mod tests {
             );
         }
         // Bad profile values are 400.
-        let (status, _) = get(s.port(), "/api/personalize?q=Toy+Story&gender=X");
+        let (status, _) = get(s.port(), "/api/v1/personalize?q=Toy+Story&gender=X");
         assert_eq!(status, 400);
-        let (status, _) = get(s.port(), "/api/personalize?q=Toy+Story&age=17");
+        let (status, _) = get(s.port(), "/api/v1/personalize?q=Toy+Story&age=17");
         assert_eq!(status, 400);
-        let (status, _) = get(s.port(), "/api/personalize?q=Toy+Story&state=ZZ");
+        let (status, _) = get(s.port(), "/api/v1/personalize?q=Toy+Story&state=ZZ");
         assert_eq!(status, 400);
     }
 
     #[test]
-    fn unknown_route_404() {
+    fn personalize_accepts_post_profile() {
         let s = server();
-        let (status, _) = get(s.port(), "/api/unknown");
+        let body = r#"{"query":{"terms":[{"field":"title","value":"Toy Story"}]},"settings":{"min_coverage":0.05,"require_geo":false},"profile":{"gender":"M"}}"#;
+        let (status, reply) = post(s.port(), "/api/v1/personalize", body);
+        assert_eq!(status, 200, "{reply}");
+        let (get_status, get_reply) = get(
+            s.port(),
+            "/api/v1/personalize?q=Toy+Story&coverage=0.05&geo=0&gender=M",
+        );
+        assert_eq!(get_status, 200);
+        assert_eq!(reply, get_reply, "profile transports must agree");
+    }
+
+    #[test]
+    fn unknown_route_404_is_structured() {
+        let s = server();
+        let (status, body) = get(s.port(), "/api/unknown");
         assert_eq!(status, 404);
+        let v = Json::parse(&body).unwrap();
+        let error = v.get("error").unwrap();
+        assert_eq!(error.get("code").unwrap().as_str(), Some("unknown_route"));
+        assert!(error
+            .get("message")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("/api/unknown"));
+        let routes = error.get("available_routes").unwrap();
+        assert!(routes.len().unwrap() >= 5);
+        let listed: Vec<&str> = (0..routes.len().unwrap())
+            .filter_map(|i| routes.at(i).unwrap().as_str())
+            .collect();
+        assert!(listed.contains(&"/api/v1/explain"), "{listed:?}");
     }
 }

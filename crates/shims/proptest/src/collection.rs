@@ -1,4 +1,4 @@
-//! Collection strategies: [`vec`] and [`btree_map`].
+//! Collection strategies: [`vec()`] and [`btree_map()`].
 
 use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
@@ -57,7 +57,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     }
 }
 
-/// The strategy returned by [`vec`].
+/// The strategy returned by [`vec()`].
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
     element: S,

@@ -5,27 +5,27 @@
 //! Run with `cargo run --release --example explore_session`.
 
 use maprat::core::query::{ItemQuery, QueryTerm};
-use maprat::core::{Miner, SearchSettings};
+use maprat::core::SearchSettings;
 use maprat::data::synth::{generate, SynthConfig};
 use maprat::data::{AgeGroup, AttrValue, Gender};
 use maprat::explore::compare::{group_detail, render_detail};
 use maprat::explore::drilldown::{drill_group, render_drilldown};
 use maprat::explore::personalize::{personalized_explain, VisitorProfile};
-use maprat::explore::ExplorationSession;
+use maprat::MapRatEngine;
 
 fn main() {
     let dataset = generate(&SynthConfig::small(42)).expect("generation succeeds");
-    let session = ExplorationSession::new(&dataset);
+    let engine = MapRatEngine::from_dataset(dataset);
     let settings = SearchSettings::default().with_min_coverage(0.2);
 
     // Pre-compute popular items (§2.3: "aggressive data pre-processing,
     // result pre-computation and caching").
-    let warmed = session.precompute_popular(5, &settings);
+    let warmed = engine.precompute_popular(5, &settings);
     println!("pre-computed explanations for {warmed} popular items\n");
 
     // Figure 2: the explanation for Toy Story.
     let query = ItemQuery::title("Toy Story");
-    let result = session.explain(&query, &settings);
+    let result = engine.explain_query(&query, &settings);
     let r = result.as_ref().as_ref().expect("planted movie");
     print!("{}", r.explanation.similarity.render_text());
 
@@ -35,14 +35,14 @@ fn main() {
     print!("\n{}", render_detail(&detail));
 
     // Drill down to city level.
-    if let Some(cities) = drill_group(&dataset, r, &selected) {
+    if let Some(cities) = drill_group(engine.dataset(), r, &selected) {
         print!("\n{}", render_drilldown(&selected, &cities));
     }
 
     // A multi-attribute demo query: thriller movies directed by Spielberg.
     let spielberg = ItemQuery::director("Steven Spielberg")
         .and(QueryTerm::Genre(maprat::data::Genre::Thriller));
-    match &*session.explain(&spielberg, &settings) {
+    match &*engine.explain_query(&spielberg, &settings) {
         Ok(res) => {
             println!("\nquery: {}", res.explanation.query);
             print!("{}", res.explanation.similarity.render_text());
@@ -52,12 +52,11 @@ fn main() {
 
     // Personalization: a teenage female visitor gets groups she
     // self-identifies with.
-    let miner = Miner::new(&dataset);
     let profile = VisitorProfile::new()
         .with(AttrValue::Gender(Gender::Female))
         .with(AttrValue::Age(AgeGroup::Under18));
     let personalized = personalized_explain(
-        &miner,
+        &engine,
         &ItemQuery::title("The Twilight Saga: Eclipse"),
         &SearchSettings::default()
             .with_require_geo(false)
@@ -68,9 +67,9 @@ fn main() {
     println!("\npersonalized for a female teen visitor:");
     print!("{}", personalized.similarity.render_text());
 
-    let stats = session.cache_stats();
+    let stats = engine.cache_stats();
     println!(
-        "\nsession cache: {} hits, {} misses, hit rate {:.0}%",
+        "\nengine cache: {} hits, {} misses, hit rate {:.0}%",
         stats.hits(),
         stats.misses(),
         stats.hit_rate().unwrap_or(0.0) * 100.0

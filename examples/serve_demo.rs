@@ -6,13 +6,16 @@
 //! Network", "Tom Hanks" (type Actor), "Lord of the Rings" (type Title
 //! contains), "Steven Spielberg" (type Director).
 //!
-//! `--smoke` binds an ephemeral port, issues one `/api/explain` request
-//! through the full stack, prints the verdict and exits — used by the CI
-//! smoke job.
+//! `--smoke` binds an ephemeral port, exercises `/api/v1/explain` through
+//! the full stack via both transports — a GET query string and a POST
+//! JSON body — checks they answer identically (and that the deprecated
+//! unversioned route still aliases v1), prints the verdict and exits.
+//! Used by the CI smoke job.
 
 use maprat::core::SearchSettings;
 use maprat::data::synth::{generate, SynthConfig};
 use maprat::server::{AppState, HttpServer};
+use maprat::MapRatEngine;
 use std::io::{Read, Write};
 
 /// One blocking GET against the running demo server; returns the status
@@ -23,6 +26,24 @@ fn http_get(port: u16, target: &str) -> std::io::Result<String> {
     let mut buf = String::new();
     stream.read_to_string(&mut buf)?;
     Ok(buf)
+}
+
+/// One blocking POST with a JSON body.
+fn http_post(port: u16, target: &str, body: &str) -> std::io::Result<String> {
+    let mut stream = std::net::TcpStream::connect(("127.0.0.1", port))?;
+    write!(
+        stream,
+        "POST {target} HTTP/1.1\r\nHost: localhost\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{}",
+        body.len(),
+        body
+    )?;
+    let mut buf = String::new();
+    stream.read_to_string(&mut buf)?;
+    Ok(buf)
+}
+
+fn body_of(reply: &str) -> &str {
+    reply.split("\r\n\r\n").nth(1).unwrap_or("")
 }
 
 fn main() {
@@ -39,17 +60,19 @@ fn main() {
     eprintln!("generating the demo dataset…");
     let dataset = generate(&SynthConfig::small(42)).expect("generation succeeds");
     eprintln!("dataset: {}", dataset.summary());
-    // The dataset lives for the whole process; leaking it gives the
-    // server threads a 'static borrow without unsafe.
-    let dataset = Box::leak(Box::new(dataset));
+    // The engine owns the dataset behind an Arc and shares one cache
+    // across clones — no 'static borrow, no Box::leak.
+    let engine = MapRatEngine::from_dataset(dataset);
 
-    let state = AppState::new(dataset);
     eprintln!("pre-computing popular items…");
-    let warmed = state
-        .session()
-        .precompute_popular(8, &SearchSettings::default().with_min_coverage(0.2));
+    let warm_settings = SearchSettings::builder()
+        .min_coverage(0.2)
+        .build()
+        .expect("valid warm-up settings");
+    let warmed = engine.precompute_popular(8, &warm_settings);
     eprintln!("warmed {warmed} cache entries");
 
+    let state = AppState::new(engine);
     let mut server = HttpServer::start(&format!("127.0.0.1:{port}"), 4, state.into_handler())
         .expect("bind demo port");
     eprintln!(
@@ -58,18 +81,50 @@ fn main() {
     );
 
     if smoke {
-        let reply = http_get(server.port(), "/api/explain?q=Toy+Story&coverage=0.1&geo=0")
-            .expect("smoke request reaches the server");
+        // GET transport.
+        let get_reply = http_get(
+            server.port(),
+            "/api/v1/explain?q=Toy+Story&coverage=0.1&geo=0",
+        )
+        .expect("smoke GET reaches the server");
         assert!(
-            reply.starts_with("HTTP/1.1 200"),
-            "smoke request failed: {}",
-            reply.lines().next().unwrap_or("<empty>")
+            get_reply.starts_with("HTTP/1.1 200"),
+            "smoke GET failed: {}",
+            get_reply.lines().next().unwrap_or("<empty>")
         );
         assert!(
-            reply.contains("\"similarity\""),
+            get_reply.contains("\"similarity\""),
             "explain payload missing interpretation tabs"
         );
-        eprintln!("smoke OK: /api/explain served an explanation");
+
+        // POST transport: the same request in the canonical JSON encoding.
+        let post_reply = http_post(
+            server.port(),
+            "/api/v1/explain",
+            r#"{"query":{"terms":[{"field":"title","value":"Toy Story"}]},"settings":{"min_coverage":0.1,"require_geo":false}}"#,
+        )
+        .expect("smoke POST reaches the server");
+        assert!(
+            post_reply.starts_with("HTTP/1.1 200"),
+            "smoke POST failed: {}",
+            post_reply.lines().next().unwrap_or("<empty>")
+        );
+        assert_eq!(
+            body_of(&get_reply),
+            body_of(&post_reply),
+            "GET and POST must answer identically"
+        );
+
+        // The deprecated unversioned route still aliases v1.
+        let legacy_reply = http_get(server.port(), "/api/explain?q=Toy+Story&coverage=0.1&geo=0")
+            .expect("legacy route reachable");
+        assert_eq!(
+            body_of(&get_reply),
+            body_of(&legacy_reply),
+            "legacy /api/explain must alias /api/v1/explain"
+        );
+
+        eprintln!("smoke OK: /api/v1/explain served identical GET and POST answers");
         server.shutdown();
         return;
     }

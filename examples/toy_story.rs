@@ -9,18 +9,19 @@ use maprat::core::query::ItemQuery;
 use maprat::core::SearchSettings;
 use maprat::data::synth::{generate, SynthConfig};
 use maprat::explore::timeline::render_sweep;
-use maprat::explore::{exploration_maps, ExplorationSession, TimeSlider};
+use maprat::explore::{exploration_maps, TimeSlider};
 use maprat::geo::svg::{render as render_svg, SvgOptions};
+use maprat::MapRatEngine;
 
 fn main() {
     let dataset = generate(&SynthConfig::small(42)).expect("generation succeeds");
-    let session = ExplorationSession::new(&dataset);
+    let engine = MapRatEngine::from_dataset(dataset);
     let settings = SearchSettings::default().with_min_coverage(0.2);
 
     // The user types "Toy Story", sets the type to Movie Name and clicks
     // "Explain Ratings" (§3.1).
     let query = ItemQuery::title("Toy Story");
-    let result = session.explain(&query, &settings);
+    let result = engine.explain_query(&query, &settings);
     let r = result.as_ref().as_ref().expect("planted movie explains");
     print!("{}", r.explanation.render_text());
 
@@ -34,12 +35,12 @@ fn main() {
 
     // "Moving the time slider over the range of values allows the user to
     // observe reviewer groups … and how they change over time."
-    let slider = TimeSlider::over_dataset(&session, 6, 6).expect("dataset has history");
-    let points = slider.sweep(&session, &query, &settings);
+    let slider = TimeSlider::over_dataset(engine.dataset(), 6, 6).expect("dataset has history");
+    let points = slider.sweep(&engine, &query, &settings);
     println!("\ntime slider (6-month windows):");
     print!("{}", render_sweep(&points));
 
-    let stats = session.cache_stats();
+    let stats = engine.cache_stats();
     println!(
         "cache: {} hits / {} misses over the session",
         stats.hits(),

@@ -85,12 +85,14 @@ impl QuerySpec {
         Ok(ItemQuery::new(term))
     }
 
-    /// Builds the search settings.
-    pub fn to_settings(&self) -> SearchSettings {
-        SearchSettings::default()
-            .with_max_groups(self.max_groups)
-            .with_min_coverage(self.min_coverage)
-            .with_require_geo(self.require_geo)
+    /// Builds the search settings, validating once at the CLI boundary.
+    pub fn to_settings(&self) -> Result<SearchSettings, String> {
+        SearchSettings::builder()
+            .max_groups(self.max_groups)
+            .min_coverage(self.min_coverage)
+            .require_geo(self.require_geo)
+            .build()
+            .map_err(|e| e.to_string())
     }
 }
 
@@ -254,9 +256,22 @@ mod tests {
         };
         let q = spec.to_query().unwrap();
         assert!(q.describe().contains("director"));
-        let s = spec.to_settings();
+        let s = spec.to_settings().unwrap();
         assert_eq!(s.max_groups, 2);
         s.validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_settings_rejected_at_the_boundary() {
+        let spec = QuerySpec {
+            query: "x".into(),
+            query_type: "movie".into(),
+            max_groups: 0,
+            min_coverage: 0.2,
+            require_geo: true,
+            data: None,
+        };
+        assert!(spec.to_settings().is_err());
     }
 
     #[test]

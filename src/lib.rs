@@ -19,17 +19,23 @@
 //!
 //! ## Quickstart
 //!
-//! ```
-//! use maprat::data::synth;
-//! use maprat::core::{Miner, SearchSettings};
-//! use maprat::core::query::ItemQuery;
+//! The public entry point is [`MapRatEngine`]: an owned, cheaply-clonable
+//! handle over an `Arc<Dataset>` with a shared result cache — clone it
+//! freely across threads, no lifetimes, no leaking.
 //!
-//! let dataset = synth::generate(&synth::SynthConfig::tiny(42)).unwrap();
-//! let miner = Miner::new(&dataset);
-//! let explanation = miner
-//!     .explain(&ItemQuery::title("Toy Story"), &SearchSettings::default())
-//!     .unwrap();
-//! for group in &explanation.similarity.groups {
+//! ```
+//! use maprat::MapRatEngine;
+//! use maprat::core::SearchSettings;
+//! use maprat::core::query::ItemQuery;
+//! use maprat::data::synth;
+//!
+//! let engine = MapRatEngine::from_dataset(
+//!     synth::generate(&synth::SynthConfig::tiny(42)).unwrap(),
+//! );
+//! let settings = SearchSettings::builder().min_coverage(0.25).build().unwrap();
+//! let result = engine.explain_query(&ItemQuery::title("Toy Story"), &settings);
+//! let explained = result.as_ref().as_ref().unwrap();
+//! for group in &explained.explanation.similarity.groups {
 //!     println!("{}: {:.2}", group.label, group.stats.mean().unwrap());
 //! }
 //! ```
@@ -45,3 +51,5 @@ pub use maprat_data as data;
 pub use maprat_explore as explore;
 pub use maprat_geo as geo;
 pub use maprat_server as server;
+
+pub use maprat_explore::{ExplainRequest, MapRatEngine};

@@ -1,14 +1,15 @@
 //! The `maprat` command-line tool — see [`maprat::cli::USAGE`].
 
 use maprat::cli::{parse, Command, QuerySpec, USAGE};
-use maprat::core::{Miner, SearchSettings};
+use maprat::core::SearchSettings;
 use maprat::data::synth::{generate, SynthConfig};
 use maprat::data::{loader, writer, Dataset};
 use maprat::explore::drilldown::{drill_group, render_drilldown};
 use maprat::explore::timeline::render_sweep;
-use maprat::explore::{exploration_maps, ExplorationSession, TimeSlider};
+use maprat::explore::{exploration_maps, TimeSlider};
 use maprat::geo::svg::{render as render_svg, SvgOptions};
 use maprat::server::{AppState, HttpServer};
+use maprat::MapRatEngine;
 use std::process::ExitCode;
 
 fn load_or_generate(spec_data: &Option<String>) -> Result<Dataset, String> {
@@ -22,6 +23,10 @@ fn load_or_generate(spec_data: &Option<String>) -> Result<Dataset, String> {
     }
 }
 
+fn engine_for(spec_data: &Option<String>) -> Result<MapRatEngine, String> {
+    Ok(MapRatEngine::from_dataset(load_or_generate(spec_data)?))
+}
+
 fn scale_config(scale: &str, seed: u64) -> Result<SynthConfig, String> {
     match scale {
         "tiny" => Ok(SynthConfig::tiny(seed)),
@@ -32,15 +37,13 @@ fn scale_config(scale: &str, seed: u64) -> Result<SynthConfig, String> {
 }
 
 fn run_explain(spec: &QuerySpec, svg: Option<String>) -> Result<(), String> {
-    let dataset = load_or_generate(&spec.data)?;
-    let miner = Miner::new(&dataset);
+    let engine = engine_for(&spec.data)?;
     let query = spec.to_query()?;
-    let explanation = miner
-        .explain(&query, &spec.to_settings())
-        .map_err(|e| e.to_string())?;
-    print!("{}", explanation.render_text());
+    let result = engine.explain_query(&query, &spec.to_settings()?);
+    let r = result.as_ref().as_ref().map_err(|e| e.to_string())?;
+    print!("{}", r.explanation.render_text());
     if let Some(path) = svg {
-        let (sm, _) = exploration_maps(&explanation);
+        let (sm, _) = exploration_maps(&r.explanation);
         let body = render_svg(&sm, &SvgOptions::default());
         std::fs::write(&path, body).map_err(|e| format!("cannot write {path:?}: {e}"))?;
         println!("wrote {path}");
@@ -49,21 +52,19 @@ fn run_explain(spec: &QuerySpec, svg: Option<String>) -> Result<(), String> {
 }
 
 fn run_timeline(spec: &QuerySpec, window: usize) -> Result<(), String> {
-    let dataset = load_or_generate(&spec.data)?;
-    let session = ExplorationSession::new(&dataset);
+    let engine = engine_for(&spec.data)?;
     let query = spec.to_query()?;
-    let slider = TimeSlider::over_dataset(&session, window.max(1), window.max(1))
+    let slider = TimeSlider::over_dataset(engine.dataset(), window.max(1), window.max(1))
         .ok_or("dataset has no ratings")?;
-    let points = slider.sweep(&session, &query, &spec.to_settings());
+    let points = slider.sweep(&engine, &query, &spec.to_settings()?);
     print!("{}", render_sweep(&points));
     Ok(())
 }
 
 fn run_drill(spec: &QuerySpec, index: usize) -> Result<(), String> {
-    let dataset = load_or_generate(&spec.data)?;
-    let session = ExplorationSession::new(&dataset);
+    let engine = engine_for(&spec.data)?;
     let query = spec.to_query()?;
-    let result = session.explain(&query, &spec.to_settings());
+    let result = engine.explain_query(&query, &spec.to_settings()?);
     let r = result.as_ref().as_ref().map_err(|e| e.to_string())?;
     let group = r
         .explanation
@@ -71,7 +72,7 @@ fn run_drill(spec: &QuerySpec, index: usize) -> Result<(), String> {
         .groups
         .get(index)
         .ok_or_else(|| format!("no similarity group {index}"))?;
-    let cities = drill_group(&dataset, r, &group.desc)
+    let cities = drill_group(engine.dataset(), r, &group.desc)
         .ok_or("group carries no state condition (drill needs one)")?;
     print!("{}", render_drilldown(&group.desc, &cities));
     Ok(())
@@ -90,12 +91,18 @@ fn run_generate(out: &str, scale: &str, seed: u64) -> Result<(), String> {
 fn run_serve(port: u16, data: Option<String>) -> Result<(), String> {
     let dataset = load_or_generate(&data)?;
     eprintln!("{}", dataset.summary());
-    let dataset = Box::leak(Box::new(dataset));
-    let state = AppState::new(dataset);
-    let warmed = state
-        .session()
-        .precompute_popular(8, &SearchSettings::default().with_min_coverage(0.2));
+    // The engine owns the dataset behind an Arc — no leak, and worker
+    // threads share one cache through cheap clones.
+    let engine = MapRatEngine::from_dataset(dataset);
+    let warmed = engine.precompute_popular(
+        8,
+        &SearchSettings::builder()
+            .min_coverage(0.2)
+            .build()
+            .map_err(|e| e.to_string())?,
+    );
     eprintln!("pre-computed {warmed} popular items");
+    let state = AppState::new(engine);
     let server = HttpServer::start(&format!("127.0.0.1:{port}"), 4, state.into_handler())
         .map_err(|e| format!("cannot bind port {port}: {e}"))?;
     println!(

@@ -5,17 +5,18 @@ use maprat::core::query::ItemQuery;
 use maprat::core::{Miner, SearchSettings};
 use maprat::data::synth::{generate, SynthConfig};
 use maprat::data::Dataset;
-use maprat::explore::{exploration_maps, ExplorationSession};
+use maprat::explore::exploration_maps;
 use maprat::geo::ascii::{self, AsciiOptions};
 use maprat::geo::svg::{render as render_svg, SvgOptions};
 use maprat::server::{AppState, HttpServer, Json};
+use maprat::MapRatEngine;
 use std::io::{Read, Write};
 use std::net::TcpStream;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
-fn dataset() -> &'static Dataset {
-    static DATASET: OnceLock<Dataset> = OnceLock::new();
-    DATASET.get_or_init(|| generate(&SynthConfig::small(42)).unwrap())
+fn dataset() -> Arc<Dataset> {
+    static DATASET: OnceLock<Arc<Dataset>> = OnceLock::new();
+    Arc::clone(DATASET.get_or_init(|| Arc::new(generate(&SynthConfig::small(42)).unwrap())))
 }
 
 fn settings() -> SearchSettings {
@@ -25,7 +26,7 @@ fn settings() -> SearchSettings {
 #[test]
 fn mine_render_and_serve() {
     let d = dataset();
-    let miner = Miner::new(d);
+    let miner = Miner::new(&d);
     let explanation = miner
         .explain(&ItemQuery::title("Toy Story"), &settings())
         .expect("planted movie explains");
@@ -45,13 +46,13 @@ fn mine_render_and_serve() {
     );
     assert!(text.contains("Diversity Mining"));
 
-    // HTTP round trip against the same dataset.
-    let server =
-        HttpServer::start("127.0.0.1:0", 2, AppState::new(dataset()).into_handler()).unwrap();
+    // HTTP round trip against the same dataset (the versioned route).
+    let state = AppState::new(MapRatEngine::new(dataset()));
+    let server = HttpServer::start("127.0.0.1:0", 2, state.into_handler()).unwrap();
     let mut stream = TcpStream::connect(("127.0.0.1", server.port())).unwrap();
     write!(
         stream,
-        "GET /api/explain?q=Toy+Story&coverage=0.2 HTTP/1.1\r\nHost: l\r\n\r\n"
+        "GET /api/v1/explain?q=Toy+Story&coverage=0.2 HTTP/1.1\r\nHost: l\r\n\r\n"
     )
     .unwrap();
     let mut buf = String::new();
@@ -76,19 +77,18 @@ fn mine_render_and_serve() {
 
 #[test]
 fn cache_makes_repeat_queries_cheap() {
-    let d = dataset();
-    let session = ExplorationSession::new(d);
+    let engine = MapRatEngine::new(dataset());
     let q = ItemQuery::title("Forrest Gump");
     let s = settings();
 
     let t0 = std::time::Instant::now();
-    let first = session.explain(&q, &s);
+    let first = engine.explain_query(&q, &s);
     assert!(first.is_ok());
     let cold = t0.elapsed();
 
     let t1 = std::time::Instant::now();
     for _ in 0..50 {
-        let again = session.explain(&q, &s);
+        let again = engine.explain_query(&q, &s);
         assert!(again.is_ok());
     }
     let warm_each = t1.elapsed() / 50;
@@ -99,7 +99,7 @@ fn cache_makes_repeat_queries_cheap() {
         warm_each < cold,
         "cached {warm_each:?} should beat cold {cold:?}"
     );
-    assert!(session.cache_stats().hits() >= 50);
+    assert!(engine.cache_stats().hits() >= 50);
 }
 
 #[test]
@@ -107,7 +107,7 @@ fn facade_reexports_are_usable() {
     // Each workspace crate is reachable through the facade.
     let d = dataset();
     let _cube = maprat::cube::RatingCube::build(
-        d,
+        &d,
         d.rating_range_for_item(d.find_title("Jaws").unwrap())
             .collect(),
         maprat::cube::CubeOptions::default(),

@@ -6,17 +6,19 @@ use maprat::core::query::{ItemQuery, QueryTerm};
 use maprat::core::{Miner, SearchSettings};
 use maprat::data::synth::{generate, SynthConfig};
 use maprat::data::{AttrValue, Dataset, Gender, UsState, UserAttr};
-use maprat::explore::{ExplorationSession, TimeSlider};
-use std::sync::OnceLock;
+use maprat::explore::TimeSlider;
+use maprat::MapRatEngine;
+use std::sync::{Arc, OnceLock};
 
-fn dataset() -> &'static Dataset {
-    static DATASET: OnceLock<Dataset> = OnceLock::new();
-    DATASET.get_or_init(|| generate(&SynthConfig::small(42)).unwrap())
+fn dataset() -> Arc<Dataset> {
+    static DATASET: OnceLock<Arc<Dataset>> = OnceLock::new();
+    Arc::clone(DATASET.get_or_init(|| Arc::new(generate(&SynthConfig::small(42)).unwrap())))
 }
 
 #[test]
 fn fig2_toy_story_sm_recovers_planted_demographics() {
-    let miner = Miner::new(dataset());
+    let d = dataset();
+    let miner = Miner::new(&d);
     let e = miner
         .explain(
             &ItemQuery::title("Toy Story"),
@@ -58,7 +60,8 @@ fn fig2_toy_story_sm_recovers_planted_demographics() {
 
 #[test]
 fn eclipse_overall_average_hides_the_split() {
-    let miner = Miner::new(dataset());
+    let d = dataset();
+    let miner = Miner::new(&d);
     let e = miner
         .explain(
             &ItemQuery::title("The Twilight Saga: Eclipse"),
@@ -115,7 +118,8 @@ fn eclipse_overall_average_hides_the_split() {
 
 #[test]
 fn eclipse_sm_finds_the_lovers() {
-    let miner = Miner::new(dataset());
+    let d = dataset();
+    let miner = Miner::new(&d);
     let e = miner
         .explain(
             &ItemQuery::title("The Twilight Saga: Eclipse"),
@@ -144,7 +148,7 @@ fn eclipse_sm_finds_the_lovers() {
 
 #[test]
 fn demo_queries_of_section_32_resolve() {
-    let d = dataset();
+    let d = &*dataset();
     // "The Social Network, Tom Hanks, The Lord of the Rings film trilogy,
     // thriller movies directed by Steven Spielberg".
     assert_eq!(ItemQuery::title("The Social Network").items(d).len(), 1);
@@ -165,10 +169,10 @@ fn demo_queries_of_section_32_resolve() {
 fn time_slider_shows_ca_enthusiasm_cooling() {
     // The planted Toy Story rule gives CA males 4.85 early and 4.6 late;
     // the slider must expose the drift.
-    let session = ExplorationSession::new(dataset());
+    let engine = MapRatEngine::new(dataset());
     let settings = SearchSettings::default().with_min_coverage(0.1);
-    let slider = TimeSlider::over_dataset(&session, 12, 12).expect("history exists");
-    let points = slider.sweep(&session, &ItemQuery::title("Toy Story"), &settings);
+    let slider = TimeSlider::over_dataset(engine.dataset(), 12, 12).expect("history exists");
+    let points = slider.sweep(&engine, &ItemQuery::title("Toy Story"), &settings);
     let ca_means: Vec<(usize, f64)> = points
         .iter()
         .enumerate()
@@ -226,7 +230,8 @@ fn full_scale_fig2_recovery() {
 
 #[test]
 fn multi_item_trilogy_mines_jointly() {
-    let miner = Miner::new(dataset());
+    let d = dataset();
+    let miner = Miner::new(&d);
     let e = miner
         .explain(
             &ItemQuery::new(QueryTerm::TitleContains("Lord of the Rings".into())),
