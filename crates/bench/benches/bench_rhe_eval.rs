@@ -1,0 +1,146 @@
+//! Criterion bench: the incremental `SelectionEval` probe sweep against a
+//! full objective+coverage recompute per neighbour, plus the end-to-end
+//! RHE solve both feed.
+//!
+//! Caveat for reading the ratio: `naive_sweep` recomputes everything per
+//! candidate, which is an *upper* bound on the pre-evaluator scan (that
+//! scan already shared a rest-union bitmap across a slot's swaps, but
+//! allocated per improving neighbour and recomputed the objective per
+//! probe). The honest before/after measure is `rhe_solve` in `bench_rhe`
+//! against the PR 1 baseline recorded in `CHANGES.md`/`PERF.md`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use maprat_bench::dataset;
+use maprat_core::eval::{Move, SelectionEval};
+use maprat_core::{rhe, MiningProblem, RheParams, Task};
+use maprat_cube::{CubeOptions, RatingCube};
+use std::hint::black_box;
+
+fn build_cube() -> RatingCube {
+    let d = dataset();
+    let item = d.find_title("Toy Story").expect("planted");
+    let idx: Vec<u32> = d.rating_range_for_item(item).collect();
+    RatingCube::build(
+        d,
+        idx,
+        CubeOptions {
+            min_support: 5,
+            require_geo: false,
+            max_arity: 3,
+        },
+    )
+}
+
+/// One full neighbourhood sweep (every swap/add/drop coverage + objective),
+/// through the incremental evaluator.
+fn incremental_sweep(eval: &mut SelectionEval<'_, '_>, task: Task, m: usize) -> f64 {
+    let mut acc = 0.0;
+    for pos in 0..eval.len() {
+        acc += eval.probe_covered(Move::Drop { pos }) as f64;
+        for candidate in 0..m {
+            if eval.contains(candidate) {
+                continue;
+            }
+            let mv = Move::Swap { pos, candidate };
+            acc += eval.probe_covered(mv) as f64;
+            acc += eval.probe_objective(task, mv);
+        }
+    }
+    for candidate in 0..m {
+        if eval.contains(candidate) {
+            continue;
+        }
+        let mv = Move::Add { candidate };
+        acc += eval.probe_covered(mv) as f64;
+        acc += eval.probe_objective(task, mv);
+    }
+    acc
+}
+
+/// The same sweep through a full per-neighbour recompute (objective +
+/// coverage per candidate selection — see the module docs for how this
+/// relates to the pre-evaluator scan).
+fn naive_sweep(problem: &MiningProblem<'_>, task: Task, selection: &[usize], m: usize) -> f64 {
+    let mut acc = 0.0;
+    let mut scratch: Vec<usize> = Vec::with_capacity(selection.len() + 1);
+    for pos in 0..selection.len() {
+        scratch.clear();
+        scratch.extend(
+            selection
+                .iter()
+                .enumerate()
+                .filter_map(|(j, &i)| (j != pos).then_some(i)),
+        );
+        acc += problem.coverage(&scratch);
+        for candidate in 0..m {
+            if selection.contains(&candidate) {
+                continue;
+            }
+            scratch.clear();
+            scratch.extend_from_slice(selection);
+            scratch[pos] = candidate;
+            acc += problem.coverage(&scratch);
+            acc += problem.objective(task, &scratch);
+        }
+    }
+    for candidate in 0..m {
+        if selection.contains(&candidate) {
+            continue;
+        }
+        scratch.clear();
+        scratch.extend_from_slice(selection);
+        scratch.push(candidate);
+        acc += problem.coverage(&scratch);
+        acc += problem.objective(task, &scratch);
+    }
+    acc
+}
+
+fn bench_eval(c: &mut Criterion) {
+    let cube = build_cube();
+    let m = cube.len();
+    assert!(m >= 4, "pool too small ({m}) for the probe sweep bench");
+    let problem = MiningProblem::new(&cube, 3, 0.15, 0.5);
+    let selection = [0usize, 1, 2];
+
+    let mut group = c.benchmark_group("rhe_eval");
+    group.sample_size(10);
+    for task in Task::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("incremental_sweep", format!("{task:?}_pool_{m}")),
+            &problem,
+            |b, p| {
+                let mut eval = SelectionEval::new(p);
+                eval.reset(&selection);
+                b.iter(|| black_box(incremental_sweep(&mut eval, task, m)));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("naive_sweep", format!("{task:?}_pool_{m}")),
+            &problem,
+            |b, p| b.iter(|| black_box(naive_sweep(p, task, &selection, m))),
+        );
+    }
+    group.finish();
+
+    // End-to-end solve on the same pool, single- vs default-threaded.
+    let mut group = c.benchmark_group("rhe_solve_eval");
+    group.sample_size(10);
+    let params = RheParams::default();
+    for task in Task::ALL {
+        group.bench_with_input(
+            BenchmarkId::new(format!("{task:?}"), format!("pool_{m}_1thread")),
+            &problem,
+            |b, p| b.iter(|| black_box(rhe::solve_with_threads(p, task, &params, 1))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("{task:?}"), format!("pool_{m}_auto")),
+            &problem,
+            |b, p| b.iter(|| black_box(rhe::solve(p, task, &params))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_eval);
+criterion_main!(benches);

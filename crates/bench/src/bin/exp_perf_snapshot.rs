@@ -1,0 +1,132 @@
+//! Machine-readable performance snapshot for the perf trajectory.
+//!
+//! Times the paths the incremental-evaluation PR targets — the RHE solve,
+//! the cold explain classes, and the timeline sweep (single- vs
+//! default-threaded) — and writes them as JSON so CI can archive one
+//! artifact per PR and regressions show up as a diff.
+//!
+//! Run: `cargo run --release -p maprat-bench --bin exp_perf_snapshot
+//! [-- out.json]` (default output: `BENCH_pr3.json`).
+
+use maprat_bench::timing::{summarize, time_n, time_once};
+use maprat_bench::{dataset, dataset_arc, Scale};
+use maprat_core::query::{ItemQuery, QueryTerm};
+use maprat_core::{parallel, rhe, MiningProblem, RheParams, SearchSettings, Task};
+use maprat_cube::{CubeOptions, RatingCube};
+use maprat_explore::{MapRatEngine, TimeSlider};
+use std::fmt::Write as _;
+use std::hint::black_box;
+
+fn mean_ms(n: usize, mut f: impl FnMut()) -> f64 {
+    summarize(&time_n(n, &mut f)).mean.as_secs_f64() * 1e3
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with("--"))
+        .unwrap_or_else(|| "BENCH_pr3.json".to_string());
+    // The snapshot labels itself after the output file stem, so future
+    // PRs only bump the filename in CI (no code edit per PR). The label
+    // is embedded in hand-rolled JSON, so restrict it to characters that
+    // need no escaping.
+    let snapshot_label: String = std::path::Path::new(&out_path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("BENCH")
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    let d = dataset();
+    let threads = parallel::num_threads();
+
+    // RHE solve on the bench_rhe "pool_l" cube.
+    let item = d.find_title("Toy Story").expect("planted");
+    let idx: Vec<u32> = d.rating_range_for_item(item).collect();
+    let cube = RatingCube::build(
+        d,
+        idx,
+        CubeOptions {
+            min_support: 5,
+            require_geo: false,
+            max_arity: 3,
+        },
+    );
+    let problem = MiningProblem::new(&cube, 3, 0.15, 0.5);
+    let params = RheParams::default();
+    let rhe_similarity_ms = mean_ms(10, || {
+        black_box(rhe::solve(&problem, Task::Similarity, &params));
+    });
+    let rhe_diversity_ms = mean_ms(10, || {
+        black_box(rhe::solve(&problem, Task::Diversity, &params));
+    });
+
+    // Cold explain latency per query class (fresh engine per measurement).
+    let settings = SearchSettings::default().with_min_coverage(0.15);
+    let cold_ms = |query: &ItemQuery| -> f64 {
+        let engine = MapRatEngine::new(dataset_arc());
+        let (result, elapsed) = time_once(|| engine.explain_query(query, &settings));
+        assert!(result.is_ok(), "cold explain must succeed");
+        elapsed.as_secs_f64() * 1e3
+    };
+    let explain_single_ms = cold_ms(&ItemQuery::title("Toy Story"));
+    let explain_catalogue_ms = cold_ms(&ItemQuery::actor("Tom Hanks"));
+    let explain_trilogy_ms = cold_ms(&ItemQuery::new(QueryTerm::TitleContains(
+        "Lord of the Rings".into(),
+    )));
+
+    // Timeline sweep: the parallel win (each measurement on a cold cache).
+    let timeline_settings = SearchSettings::default()
+        .with_min_coverage(0.1)
+        .with_require_geo(false);
+    let slider = TimeSlider::over_dataset(d, 6, 6).expect("dataset has a time span");
+    let query = ItemQuery::title("Toy Story");
+    let sweep_ms = |threads: usize| -> f64 {
+        let engine = MapRatEngine::new(dataset_arc());
+        let (points, elapsed) =
+            time_once(|| slider.sweep_with_threads(&engine, &query, &timeline_settings, threads));
+        assert!(!points.is_empty());
+        elapsed.as_secs_f64() * 1e3
+    };
+    let timeline_1thread_ms = sweep_ms(1);
+    let timeline_auto_ms = sweep_ms(threads);
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"snapshot\": \"{snapshot_label}\",");
+    let _ = writeln!(json, "  \"scale\": \"{}\",", Scale::from_env().name());
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"pool_size\": {},", cube.len());
+    let _ = writeln!(
+        json,
+        "  \"rhe_solve_similarity_ms\": {rhe_similarity_ms:.4},"
+    );
+    let _ = writeln!(json, "  \"rhe_solve_diversity_ms\": {rhe_diversity_ms:.4},");
+    let _ = writeln!(
+        json,
+        "  \"explain_cold_single_ms\": {explain_single_ms:.4},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"explain_cold_catalogue_ms\": {explain_catalogue_ms:.4},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"explain_cold_trilogy_ms\": {explain_trilogy_ms:.4},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"timeline_sweep_1thread_ms\": {timeline_1thread_ms:.4},"
+    );
+    let _ = writeln!(json, "  \"timeline_sweep_auto_ms\": {timeline_auto_ms:.4}");
+    let _ = writeln!(json, "}}");
+
+    std::fs::write(&out_path, &json).expect("write perf snapshot");
+    println!("wrote {out_path}:\n{json}");
+}

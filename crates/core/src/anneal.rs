@@ -6,6 +6,7 @@
 //! trading RHE's restart diversity for in-run diversification. The
 //! EXT-QUALITY experiment compares both.
 
+use crate::eval::{Move, SelectionEval};
 use crate::problem::{MiningProblem, Task};
 use crate::solution::Solution;
 use rand::rngs::StdRng;
@@ -38,28 +39,31 @@ impl Default for AnnealParams {
 
 /// Solves a task with simulated annealing over feasibility-penalized
 /// objective. Returns `None` on an empty pool.
+///
+/// Proposals are probed through the incremental [`SelectionEval`]
+/// (`O(k + universe/64)` per step, no allocation), and only accepted moves
+/// mutate the walk's state.
 pub fn solve(problem: &MiningProblem<'_>, task: Task, params: &AnnealParams) -> Option<Solution> {
     let m = problem.pool_size();
     if m == 0 {
         return None;
     }
     let k = problem.selection_size();
+    let universe = problem.cube().universe().max(1) as f64;
     let mut rng = StdRng::seed_from_u64(params.seed);
 
     // Penalized energy: coverage shortfall dominates the objective so the
     // walk is pulled into (and kept near) the feasible region.
-    let energy = |sel: &[usize]| -> f64 {
-        let obj = problem.objective(task, sel);
-        let shortfall = (problem.min_coverage - problem.coverage(sel)).max(0.0);
-        obj - 3.0 * shortfall
-    };
+    let energy =
+        |obj: f64, coverage: f64| -> f64 { obj - 3.0 * (problem.min_coverage - coverage).max(0.0) };
 
     // Start from a random selection.
     let mut pool: Vec<usize> = (0..m).collect();
     pool.shuffle(&mut rng);
-    let mut current: Vec<usize> = pool[..k.max(1)].to_vec();
-    let mut current_e = energy(&current);
-    let mut best = current.clone();
+    let mut eval = SelectionEval::new(problem);
+    eval.reset(&pool[..k.max(1)]);
+    let mut current_e = energy(eval.objective(task), eval.coverage());
+    let mut best = eval.selection().to_vec();
     let mut best_e = current_e;
 
     let steps = params.steps.max(1);
@@ -68,40 +72,41 @@ pub fn solve(problem: &MiningProblem<'_>, task: Task, params: &AnnealParams) -> 
         let temperature = params.t_start * (params.t_end / params.t_start).powf(progress);
 
         // Propose a random neighbour: swap, add or drop.
-        let mut proposal = current.clone();
         let kind = rng.gen_range(0..3);
-        match kind {
+        let mv = match kind {
             0 => {
                 // Swap a random member for a random outsider.
-                let pos = rng.gen_range(0..proposal.len());
+                let pos = rng.gen_range(0..eval.len());
                 let candidate = rng.gen_range(0..m);
-                if proposal.contains(&candidate) {
+                if eval.contains(candidate) {
                     continue;
                 }
-                proposal[pos] = candidate;
+                Move::Swap { pos, candidate }
             }
-            1 if proposal.len() < problem.max_groups => {
+            1 if eval.len() < problem.max_groups => {
                 let candidate = rng.gen_range(0..m);
-                if proposal.contains(&candidate) {
+                if eval.contains(candidate) {
                     continue;
                 }
-                proposal.push(candidate);
+                Move::Add { candidate }
             }
-            2 if proposal.len() > 1 => {
-                let pos = rng.gen_range(0..proposal.len());
-                proposal.swap_remove(pos);
-            }
+            2 if eval.len() > 1 => Move::Drop {
+                pos: rng.gen_range(0..eval.len()),
+            },
             _ => continue,
-        }
+        };
 
-        let proposal_e = energy(&proposal);
+        let obj = eval.probe_objective(task, mv);
+        let coverage = eval.probe_covered(mv) as f64 / universe;
+        let proposal_e = energy(obj, coverage);
         let accept = proposal_e >= current_e
             || rng.gen::<f64>() < ((proposal_e - current_e) / temperature.max(1e-9)).exp();
         if accept {
-            current = proposal;
+            eval.apply(mv);
             current_e = proposal_e;
             if current_e > best_e {
-                best = current.clone();
+                best.clear();
+                best.extend_from_slice(eval.selection());
                 best_e = current_e;
             }
         }

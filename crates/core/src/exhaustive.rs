@@ -2,8 +2,14 @@
 //!
 //! Both SM and DM are NP-hard \[2\], so this solver is only usable on small
 //! candidate pools; the experiment harness uses it to measure RHE's
-//! optimality gap. Enumeration covers all subsets of size `1..=k`.
+//! optimality gap. Enumeration covers all subsets of size `1..=k`,
+//! walking the incremental [`SelectionEval`] with `O(universe/64)`
+//! push/pop per node (no per-node bitmap allocation), and — once a
+//! feasible incumbent exists — pruning branches whose objective upper
+//! bound (derived from the smallest reachable per-group deviation and the
+//! pool's mean range) provably cannot beat it.
 
+use crate::eval::{Move, SelectionEval};
 use crate::problem::{MiningProblem, Task};
 use crate::solution::Solution;
 
@@ -40,33 +46,47 @@ pub fn solve(problem: &MiningProblem<'_>, task: Task) -> Option<Solution> {
         "exhaustive search over {count} subsets refused (pool {m}, k {k})"
     );
 
-    let mut best_feasible: Option<(f64, Vec<usize>)> = None;
-    let mut best_any: Option<(f64, f64, Vec<usize>)> = None; // (coverage, obj)
-
-    let mut selection: Vec<usize> = Vec::with_capacity(k);
-    enumerate(
+    let mut search = Search {
         problem,
         task,
-        0,
         m,
         k,
-        &mut selection,
-        &mut |sel, obj, cov| {
-            if cov + 1e-12 >= problem.min_coverage
-                && best_feasible.as_ref().is_none_or(|(b, _)| obj > *b)
-            {
-                best_feasible = Some((obj, sel.to_vec()));
+        // suffix_min_mad[i] = smallest per-group deviation among candidates
+        // `i..m` — the reachable floor of the description error.
+        suffix_min_mad: {
+            let mut v = vec![f64::INFINITY; m + 1];
+            for i in (0..m).rev() {
+                v[i] = v[i + 1].min(problem.cand_mad[i]);
             }
-            if best_any
-                .as_ref()
-                .is_none_or(|(bc, bo, _)| (cov, obj) > (*bc, *bo))
-            {
-                best_any = Some((cov, obj, sel.to_vec()));
+            v
+        },
+        // The pool-wide mean range bounds any pairwise gap from above.
+        gap_bound: {
+            let lo = problem
+                .cand_mean
+                .iter()
+                .cloned()
+                .fold(f64::INFINITY, f64::min);
+            let hi = problem
+                .cand_mean
+                .iter()
+                .cloned()
+                .fold(f64::NEG_INFINITY, f64::max);
+            if m >= 2 {
+                (hi - lo) / 4.0
+            } else {
+                0.0
             }
         },
-    );
+        best_feasible: None,
+        best_any: None,
+    };
 
-    let indices = match (best_feasible, best_any) {
+    let mut eval = SelectionEval::new(problem);
+    eval.reset(&[]);
+    search.enumerate(&mut eval, 0, f64::INFINITY);
+
+    let indices = match (search.best_feasible, search.best_any) {
         (Some((_, sel)), _) => sel,
         (None, Some((_, _, sel))) => sel,
         (None, None) => return None,
@@ -74,27 +94,73 @@ pub fn solve(problem: &MiningProblem<'_>, task: Task) -> Option<Solution> {
     Some(Solution::evaluate(problem, task, indices))
 }
 
-fn enumerate(
-    problem: &MiningProblem<'_>,
+/// Depth-first subset enumeration state.
+struct Search<'p, 'c> {
+    problem: &'p MiningProblem<'c>,
     task: Task,
-    start: usize,
     m: usize,
     k: usize,
-    selection: &mut Vec<usize>,
-    visit: &mut impl FnMut(&[usize], f64, f64),
-) {
-    if !selection.is_empty() {
-        let obj = problem.objective(task, selection);
-        let cov = problem.coverage(selection);
-        visit(selection, obj, cov);
+    suffix_min_mad: Vec<f64>,
+    gap_bound: f64,
+    best_feasible: Option<(f64, Vec<usize>)>,
+    best_any: Option<(f64, f64, Vec<usize>)>, // (coverage, obj, selection)
+}
+
+impl Search<'_, '_> {
+    /// Visits every extension of the evaluator's current selection with
+    /// candidates from `start..m`. `min_mad` is the smallest per-group
+    /// deviation among the current members (∞ for the empty prefix).
+    fn enumerate(&mut self, eval: &mut SelectionEval<'_, '_>, start: usize, min_mad: f64) {
+        for c in start..self.m {
+            let child_min_mad = min_mad.min(self.problem.cand_mad[c]);
+            eval.apply(Move::Add { candidate: c });
+            let obj = eval.objective(self.task);
+            let cov = eval.coverage();
+            if cov + 1e-12 >= self.problem.min_coverage
+                && self.best_feasible.as_ref().is_none_or(|(b, _)| obj > *b)
+            {
+                self.best_feasible = Some((obj, eval.selection().to_vec()));
+            }
+            if self
+                .best_any
+                .as_ref()
+                .is_none_or(|(bc, bo, _)| (cov, obj) > (*bc, *bo))
+            {
+                self.best_any = Some((cov, obj, eval.selection().to_vec()));
+            }
+            if eval.len() < self.k && self.descend_can_improve(child_min_mad, c + 1) {
+                self.enumerate(eval, c + 1, child_min_mad);
+            }
+            eval.apply(Move::Drop {
+                pos: eval.len() - 1,
+            });
+        }
     }
-    if selection.len() == k {
-        return;
-    }
-    for c in start..m {
-        selection.push(c);
-        enumerate(problem, task, c + 1, m, k, selection, visit);
-        selection.pop();
+
+    /// Whether any extension drawn from `start..m` could still beat the
+    /// feasible incumbent. Only prunes once a feasible solution exists
+    /// (the infeasible fallback tracks maximum coverage, which the
+    /// objective bound says nothing about), and keeps a `1e-9` slack so
+    /// float rounding can never discard the true optimum.
+    ///
+    /// The bounds build on "description error ≥ smallest reachable mad",
+    /// which only caps the Diversity score for the conventional `λ ≥ 0`;
+    /// a negative λ (rewarding inconsistency — representable because
+    /// `MiningProblem` does not re-validate settings) disables pruning so
+    /// the solver stays exact.
+    fn descend_can_improve(&self, min_mad: f64, start: usize) -> bool {
+        let Some((best_obj, _)) = &self.best_feasible else {
+            return true;
+        };
+        let reachable_mad = min_mad.min(self.suffix_min_mad[start]);
+        let bound = match self.task {
+            Task::Similarity => 1.0 - reachable_mad / 4.0,
+            Task::Diversity if self.problem.dm_lambda >= 0.0 => {
+                self.gap_bound - self.problem.dm_lambda * reachable_mad / 4.0
+            }
+            Task::Diversity => return true,
+        };
+        bound + 1e-9 > *best_obj
     }
 }
 
@@ -152,6 +218,32 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn negative_lambda_keeps_exhaustive_exact() {
+        // λ < 0 rewards inconsistency, inverting the error term's sign in
+        // the Diversity objective — the mad-floor pruning bound would be
+        // unsound there, so pruning must switch off and the solver must
+        // still return the brute-force optimum.
+        let (_, cube) = small_fixture(95);
+        let m = cube.len();
+        assert!(m >= 3);
+        let p = MiningProblem::new(&cube, 2, 0.0, -1.0);
+        let s = solve(&p, Task::Diversity).unwrap();
+        let mut oracle = f64::NEG_INFINITY;
+        for i in 0..m {
+            oracle = oracle.max(p.objective(Task::Diversity, &[i]));
+            for j in i + 1..m {
+                oracle = oracle.max(p.objective(Task::Diversity, &[i, j]));
+            }
+        }
+        assert!(
+            (s.objective - oracle).abs() < 1e-9,
+            "pruned away the optimum: {} vs oracle {}",
+            s.objective,
+            oracle
+        );
     }
 
     #[test]

@@ -1,6 +1,11 @@
 //! Greedy baseline: build the selection one group at a time, maximizing the
 //! objective while a coverage shortfall is penalized. Deterministic.
+//!
+//! Each extension step probes every remaining candidate through the
+//! incremental [`SelectionEval`] — `O(k + universe/64)` per probe instead
+//! of cloning the selection and recomputing objective + coverage.
 
+use crate::eval::{Move, SelectionEval};
 use crate::problem::{MiningProblem, Task};
 use crate::solution::Solution;
 
@@ -15,18 +20,19 @@ pub fn solve(problem: &MiningProblem<'_>, task: Task) -> Option<Solution> {
         return None;
     }
     let k = problem.selection_size();
-    let mut selection: Vec<usize> = Vec::with_capacity(k);
+    let universe = problem.cube().universe().max(1) as f64;
+    let mut eval = SelectionEval::new(problem);
+    eval.reset(&[]);
 
     for _ in 0..k {
         let mut best: Option<(usize, f64)> = None;
         for candidate in 0..m {
-            if selection.contains(&candidate) {
+            if eval.contains(candidate) {
                 continue;
             }
-            let mut trial = selection.clone();
-            trial.push(candidate);
-            let obj = problem.objective(task, &trial);
-            let coverage = problem.coverage(&trial);
+            let mv = Move::Add { candidate };
+            let obj = eval.probe_objective(task, mv);
+            let coverage = eval.probe_covered(mv) as f64 / universe;
             let shortfall = (problem.min_coverage - coverage).max(0.0);
             let score = obj - COVERAGE_PENALTY * shortfall;
             let improves = match best {
@@ -38,12 +44,12 @@ pub fn solve(problem: &MiningProblem<'_>, task: Task) -> Option<Solution> {
             }
         }
         match best {
-            Some((candidate, _)) => selection.push(candidate),
+            Some((candidate, _)) => eval.apply(Move::Add { candidate }),
             None => break,
         }
     }
 
-    Some(Solution::evaluate(problem, task, selection))
+    Some(Solution::evaluate(problem, task, eval.selection().to_vec()))
 }
 
 #[cfg(test)]

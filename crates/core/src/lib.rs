@@ -20,14 +20,21 @@
 //! hill-climbing solver, and [`greedy`], [`random`], [`exhaustive`] and
 //! [`anneal`] (a simulated-annealing extension) provide the baselines
 //! used by the experiment harness.
+//!
+//! All solvers share the incremental [`eval::SelectionEval`] — running
+//! aggregates that price a swap/add/drop probe at `O(k + universe/64)`
+//! with zero allocation — and the RHE restarts fan out deterministically
+//! over [`parallel`] worker threads.
 
 #![warn(missing_docs)]
 
 pub mod anneal;
 pub mod error;
+pub mod eval;
 pub mod exhaustive;
 pub mod greedy;
 pub mod miner;
+pub mod parallel;
 pub mod problem;
 pub mod query;
 pub mod random;
@@ -36,6 +43,7 @@ pub mod settings;
 pub mod solution;
 
 pub use error::MineError;
+pub use eval::SelectionEval;
 pub use miner::{Explanation, Miner};
 pub use problem::{MiningProblem, Task};
 pub use rhe::{RheParams, RheStats};

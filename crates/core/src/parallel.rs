@@ -1,0 +1,149 @@
+//! Deterministic fan-out over an index range — the thread-pool shape both
+//! parallel RHE restarts and the parallel time-slider sweep use.
+//!
+//! Work items are distributed through a `crossbeam` MPMC channel (workers
+//! pull indices as they free up, so uneven item costs balance), results
+//! are reassembled *by index*, and every item's computation depends only
+//! on its index — never on scheduling — so the output is bit-identical for
+//! any thread count, including 1.
+
+use crossbeam::channel;
+use std::cell::Cell;
+
+thread_local! {
+    /// Set inside `parallel_map` worker threads so a nested fan-out (e.g.
+    /// a parallel timeline sweep whose per-window explain reaches the
+    /// parallel RHE restarts) degrades to an inline run instead of
+    /// oversubscribing the machine with `threads²` OS threads. Purely a
+    /// scheduling decision — results are index-deterministic either way.
+    static IN_PARALLEL_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// The default worker count: `MAPRAT_THREADS` when set (`0` and `1` both
+/// disable threading), otherwise the machine's available parallelism.
+///
+/// `MAPRAT_THREADS=1` is useful for profiling and for A/B-ing the
+/// determinism guarantee; a non-numeric value is ignored.
+pub fn num_threads() -> usize {
+    match std::env::var("MAPRAT_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+    {
+        Some(n) => n.max(1),
+        None => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+/// Maps `f` over `0..n` on up to `threads` scoped worker threads and
+/// returns the results in index order.
+///
+/// Runs inline (no threads spawned) when `threads <= 1`, when `n <= 1`,
+/// or when already called from inside another `parallel_map` worker
+/// (nested fan-outs don't multiply the thread count). A panicking `f`
+/// propagates out of the call once the scope joins.
+pub fn parallel_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.min(n);
+    if threads <= 1 || IN_PARALLEL_WORKER.with(|flag| flag.get()) {
+        return (0..n).map(f).collect();
+    }
+
+    let (job_tx, job_rx) = channel::unbounded::<usize>();
+    for i in 0..n {
+        let _ = job_tx.send(i);
+    }
+    drop(job_tx);
+    let (res_tx, res_rx) = channel::unbounded::<(usize, T)>();
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let job_rx = job_rx.clone();
+            let res_tx = res_tx.clone();
+            let f = &f;
+            scope.spawn(move || {
+                IN_PARALLEL_WORKER.with(|flag| flag.set(true));
+                while let Ok(i) = job_rx.recv() {
+                    if res_tx.send((i, f(i))).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(res_tx);
+        drop(job_rx);
+        // Drains until every worker has dropped its sender clone; a worker
+        // panic closes the channel early and the scope re-raises it.
+        while let Ok((i, value)) = res_rx.recv() {
+            out[i] = Some(value);
+        }
+    });
+
+    out.into_iter()
+        .map(|slot| slot.expect("every index produced exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn preserves_index_order() {
+        let sequential: Vec<usize> = (0..100).map(|i| i * i).collect();
+        for threads in [1, 2, 3, 8, 200] {
+            assert_eq!(parallel_map(100, threads, |i| i * i), sequential);
+        }
+    }
+
+    #[test]
+    fn runs_every_item_exactly_once() {
+        let hits = AtomicUsize::new(0);
+        let out = parallel_map(57, 4, |i| {
+            hits.fetch_add(1, Ordering::SeqCst);
+            i
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 57);
+        assert_eq!(out.len(), 57);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        assert_eq!(parallel_map(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(parallel_map(1, 4, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn num_threads_is_positive() {
+        assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn nested_fan_out_runs_inline_and_stays_correct() {
+        let flat_threads = AtomicUsize::new(0);
+        let out = parallel_map(6, 3, |i| {
+            // The inner fan-out must not spawn: its closure runs on this
+            // worker thread, so the worker flag stays visible to it.
+            let inner = parallel_map(4, 8, |j| {
+                if IN_PARALLEL_WORKER.with(|f| f.get()) {
+                    flat_threads.fetch_add(1, Ordering::SeqCst);
+                }
+                i * 10 + j
+            });
+            assert_eq!(inner, vec![i * 10, i * 10 + 1, i * 10 + 2, i * 10 + 3]);
+            i
+        });
+        assert_eq!(out, (0..6).collect::<Vec<_>>());
+        assert_eq!(
+            flat_threads.load(Ordering::SeqCst),
+            24,
+            "every inner item must run inline on a worker thread"
+        );
+    }
+}

@@ -13,6 +13,7 @@
 //!   groups are still internally consistent.
 
 use maprat_cube::{Bitmap, CandidateGroup, RatingCube};
+use std::sync::Mutex;
 
 /// Which of the two mining sub-problems to solve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -37,6 +38,13 @@ impl Task {
 }
 
 /// A mining problem instance: candidate pool + constraints.
+///
+/// Construction precomputes per-candidate scalars (support, mean, mean
+/// absolute deviation) and the descending-support prefix sums, so the
+/// solver's inner loops and [`max_achievable_coverage`] never re-derive
+/// them from the cube's aggregates.
+///
+/// [`max_achievable_coverage`]: MiningProblem::max_achievable_coverage
 pub struct MiningProblem<'a> {
     cube: &'a RatingCube,
     /// Group budget `k`.
@@ -45,16 +53,87 @@ pub struct MiningProblem<'a> {
     pub min_coverage: f64,
     /// DM consistency penalty `λ`.
     pub dm_lambda: f64,
+    /// Per-candidate `stats.count()` as `f64`.
+    pub(crate) cand_n: Vec<f64>,
+    /// Per-candidate mean absolute deviation.
+    pub(crate) cand_mad: Vec<f64>,
+    /// Per-candidate mean rating.
+    pub(crate) cand_mean: Vec<f64>,
+    /// `support_prefix[j]` = sum of the `j` largest candidate supports.
+    support_prefix: Vec<usize>,
+    /// Reusable union scratch for [`coverage`](MiningProblem::coverage), so
+    /// the cold path stops allocating a fresh bitmap per call.
+    cover_scratch: Mutex<Bitmap>,
 }
 
 impl<'a> MiningProblem<'a> {
     /// Creates a problem over a materialized cube.
     pub fn new(cube: &'a RatingCube, max_groups: usize, min_coverage: f64, dm_lambda: f64) -> Self {
+        let groups = cube.groups();
+        let cand_n: Vec<f64> = groups.iter().map(|g| g.stats.count() as f64).collect();
+        let cand_mad: Vec<f64> = groups
+            .iter()
+            .map(|g| g.stats.mean_abs_deviation().unwrap_or(0.0))
+            .collect();
+        let cand_mean: Vec<f64> = groups
+            .iter()
+            .map(|g| g.stats.mean().unwrap_or(0.0))
+            .collect();
+        let mut supports: Vec<usize> = groups.iter().map(|g| g.support()).collect();
+        supports.sort_unstable_by_key(|&s| std::cmp::Reverse(s));
+        let mut support_prefix = Vec::with_capacity(supports.len() + 1);
+        support_prefix.push(0);
+        for s in supports {
+            support_prefix.push(support_prefix.last().expect("non-empty prefix") + s);
+        }
         MiningProblem {
             cube,
             max_groups,
             min_coverage,
             dm_lambda,
+            cand_n,
+            cand_mad,
+            cand_mean,
+            support_prefix,
+            cover_scratch: Mutex::new(Bitmap::new(cube.universe())),
+        }
+    }
+
+    /// Precomputed `(count, mean absolute deviation, mean)` of candidate
+    /// `i` — the scalars every incremental probe combines.
+    #[inline]
+    pub(crate) fn cand(&self, i: usize) -> (f64, f64, f64) {
+        (self.cand_n[i], self.cand_mad[i], self.cand_mean[i])
+    }
+
+    /// The task score assembled from running aggregates: `err_weighted` /
+    /// `err_total` are the description-error sums `Σ n·mad` / `Σ n`, and
+    /// `pair_sum` is `Σ_{i<j} |mean_i − mean_j|` over the `k` members.
+    /// Single source of truth shared by the naive evaluation below and the
+    /// incremental [`SelectionEval`](crate::eval::SelectionEval).
+    pub(crate) fn score_from_parts(
+        &self,
+        task: Task,
+        k: usize,
+        err_weighted: f64,
+        err_total: f64,
+        pair_sum: f64,
+    ) -> f64 {
+        let err = if err_total == 0.0 {
+            0.0
+        } else {
+            err_weighted / err_total
+        };
+        match task {
+            Task::Similarity => 1.0 - err / 4.0,
+            Task::Diversity => {
+                let gap = if k < 2 {
+                    0.0
+                } else {
+                    pair_sum / (k * (k - 1) / 2) as f64 / 4.0
+                };
+                gap - self.dm_lambda * err / 4.0
+            }
         }
     }
 
@@ -87,11 +166,18 @@ impl<'a> MiningProblem<'a> {
     }
 
     /// Coverage fraction of a selection.
+    ///
+    /// Reuses an internal union scratch (no allocation per call); callers
+    /// on the solver's hot path should use the incremental
+    /// [`SelectionEval`](crate::eval::SelectionEval) instead.
     pub fn coverage(&self, selection: &[usize]) -> f64 {
         if self.cube.universe() == 0 {
             return 0.0;
         }
-        let mut scratch = Bitmap::new(self.cube.universe());
+        let mut scratch = self
+            .cover_scratch
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
         self.union_into(selection, &mut scratch);
         scratch.count() as f64 / self.cube.universe() as f64
     }
@@ -107,10 +193,8 @@ impl<'a> MiningProblem<'a> {
         let mut weighted = 0.0;
         let mut total = 0.0;
         for &i in selection {
-            let g = &self.cube.groups()[i];
-            let n = g.stats.count() as f64;
-            weighted += g.stats.mean_abs_deviation().unwrap_or(0.0) * n;
-            total += n;
+            weighted += self.cand_mad[i] * self.cand_n[i];
+            total += self.cand_n[i];
         }
         if total == 0.0 {
             0.0
@@ -130,15 +214,11 @@ impl<'a> MiningProblem<'a> {
         if selection.len() < 2 {
             return 0.0;
         }
-        let means: Vec<f64> = selection
-            .iter()
-            .map(|&i| self.cube.groups()[i].mean())
-            .collect();
         let mut sum = 0.0;
         let mut pairs = 0usize;
-        for i in 0..means.len() {
-            for j in i + 1..means.len() {
-                sum += (means[i] - means[j]).abs();
+        for i in 0..selection.len() {
+            for j in i + 1..selection.len() {
+                sum += (self.cand_mean[selection[i]] - self.cand_mean[selection[j]]).abs();
                 pairs += 1;
             }
         }
@@ -167,13 +247,14 @@ impl<'a> MiningProblem<'a> {
     /// searching; when the bound is met the constraint may still be
     /// unachievable, in which case the solver reports
     /// `meets_coverage = false` on its best effort.
+    ///
+    /// `O(1)`: the descending-support prefix sums are computed once at
+    /// construction instead of cloning and sorting the pool per call.
     pub fn max_achievable_coverage(&self) -> f64 {
         if self.cube.universe() == 0 {
             return 0.0;
         }
-        let mut supports: Vec<usize> = self.cube.groups().iter().map(|g| g.support()).collect();
-        supports.sort_unstable_by_key(|&s| std::cmp::Reverse(s));
-        let top: usize = supports.iter().take(self.selection_size()).sum();
+        let top = self.support_prefix[self.selection_size()];
         (top as f64 / self.cube.universe() as f64).min(1.0)
     }
 }

@@ -7,14 +7,26 @@
 //! best feasible improving move until a local optimum. The best local
 //! optimum across restarts wins.
 //!
+//! Two performance properties distinguish this implementation:
+//!
+//! * the neighbour scan runs on the incremental [`SelectionEval`] — one
+//!   probe costs `O(k + universe/64)` with zero heap allocation, instead
+//!   of a full objective/coverage recompute per candidate;
+//! * restarts are embarrassingly parallel and run on up to
+//!   [`parallel::num_threads`] worker threads. Every restart derives its
+//!   own RNG from `(seed, restart)`, so the result is **bit-identical for
+//!   any thread count** — the cache key and regression baselines never
+//!   depend on the machine's core count.
+//!
 //! When the coverage constraint is provably unachievable (even the `k`
 //! largest covers fall short), the solver *relaxes* the constraint to the
 //! achievable maximum and reports `meets_coverage = false`, mirroring how
 //! the demo degrades gracefully on obscure queries rather than failing.
 
+use crate::eval::{Move, SelectionEval};
+use crate::parallel;
 use crate::problem::{MiningProblem, Task};
 use crate::solution::Solution;
-use maprat_cube::Bitmap;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -27,7 +39,8 @@ pub struct RheParams {
     /// Hill-climbing iteration cap per restart (a safety valve; climbs
     /// normally converge in far fewer steps).
     pub max_iterations: usize,
-    /// RNG seed — results are deterministic in it.
+    /// RNG seed — results are deterministic in it (and independent of the
+    /// thread count).
     pub seed: u64,
 }
 
@@ -57,19 +70,38 @@ pub fn solve(problem: &MiningProblem<'_>, task: Task, params: &RheParams) -> Opt
     solve_with_stats(problem, task, params).map(|(s, _)| s)
 }
 
-/// Like [`solve`], also returning telemetry.
+/// Like [`solve`], also returning telemetry. Restarts run on
+/// [`parallel::num_threads`] workers (override with `MAPRAT_THREADS`) —
+/// except on small candidate pools, where a restart converges faster than
+/// the thread spawn/join it would have to amortize, so the solve stays
+/// inline. The cut-over affects scheduling only; results are identical.
 pub fn solve_with_stats(
     problem: &MiningProblem<'_>,
     task: Task,
     params: &RheParams,
+) -> Option<(Solution, RheStats)> {
+    let threads = if problem.pool_size() >= 64 {
+        parallel::num_threads()
+    } else {
+        1
+    };
+    solve_with_threads(problem, task, params, threads)
+}
+
+/// Like [`solve_with_stats`] with an explicit worker-thread cap. The
+/// returned solution and telemetry are identical for every `threads`
+/// value — parallelism only changes wall-clock time.
+pub fn solve_with_threads(
+    problem: &MiningProblem<'_>,
+    task: Task,
+    params: &RheParams,
+    threads: usize,
 ) -> Option<(Solution, RheStats)> {
     let m = problem.pool_size();
     if m == 0 {
         return None;
     }
     let k = problem.selection_size();
-    let mut rng = StdRng::seed_from_u64(params.seed);
-    let mut stats = RheStats::default();
 
     // Effective coverage target: relax when provably unachievable.
     let achievable = problem.max_achievable_coverage();
@@ -79,25 +111,16 @@ pub fn solve_with_stats(
         achievable - 1e-9
     };
 
+    let runs = parallel::parallel_map(params.restarts, threads, |restart| {
+        run_restart(problem, task, k, target, restart, params)
+    });
+
+    let mut stats = RheStats::default();
     let mut best: Option<Solution> = None;
-    for restart in 0..params.restarts {
+    for (solution, iterations, evaluations) in runs {
         stats.restarts += 1;
-        let mut selection = initial_selection(problem, task, k, target, restart, &mut rng);
-        let mut current_obj = problem.objective(task, &selection);
-        stats.evaluations += 1;
-
-        for _ in 0..params.max_iterations {
-            stats.iterations += 1;
-            match best_neighbor(problem, task, &selection, target, current_obj, &mut stats) {
-                Some((neighbor, obj)) => {
-                    selection = neighbor;
-                    current_obj = obj;
-                }
-                None => break, // local optimum
-            }
-        }
-
-        let solution = Solution::evaluate(problem, task, selection);
+        stats.iterations += iterations;
+        stats.evaluations += evaluations;
         let better = match &best {
             None => true,
             Some(b) => {
@@ -112,8 +135,58 @@ pub fn solve_with_stats(
     best.map(|s| (s, stats))
 }
 
-/// Builds an initial selection. Restarts cycle through three strategies so
-/// the climbs start in genuinely different basins:
+/// One independent restart: derive the restart's RNG, build an initial
+/// selection, climb to a local optimum. Returns `(solution, iterations,
+/// evaluations)`.
+fn run_restart(
+    problem: &MiningProblem<'_>,
+    task: Task,
+    k: usize,
+    target: f64,
+    restart: usize,
+    params: &RheParams,
+) -> (Solution, usize, usize) {
+    let mut rng = StdRng::seed_from_u64(restart_seed(params.seed, restart));
+    let mut eval = SelectionEval::new(problem);
+    initial_selection(problem, task, k, target, restart, &mut rng, &mut eval);
+    let mut current_obj = eval.objective(task);
+    let mut evaluations = 1usize;
+    let mut iterations = 0usize;
+
+    for _ in 0..params.max_iterations {
+        iterations += 1;
+        match best_move(
+            problem,
+            task,
+            &mut eval,
+            target,
+            current_obj,
+            &mut evaluations,
+        ) {
+            Some((mv, obj)) => {
+                eval.apply(mv);
+                current_obj = obj;
+            }
+            None => break, // local optimum
+        }
+    }
+
+    let solution = Solution::evaluate(problem, task, eval.selection().to_vec());
+    (solution, iterations, evaluations)
+}
+
+/// Mixes `(seed, restart)` into an independent per-restart seed
+/// (SplitMix64 finalizer), so restarts are decorrelated and schedulable
+/// in any order on any thread.
+fn restart_seed(seed: u64, restart: usize) -> u64 {
+    let mut z = seed ^ (restart as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Builds an initial selection into `eval`. Restarts cycle through three
+/// strategies so the climbs start in genuinely different basins:
 ///
 /// 0. *objective-greedy*: greedily extend by the candidate (from a random
 ///    sample) that maximizes the task objective — lands near consistency /
@@ -127,16 +200,18 @@ fn initial_selection(
     target: f64,
     restart: usize,
     rng: &mut StdRng,
-) -> Vec<usize> {
+    eval: &mut SelectionEval<'_, '_>,
+) {
     let m = problem.pool_size();
     match restart % 3 {
-        0 => objective_greedy(problem, task, k, rng),
-        1 => coverage_greedy(problem, k, rng),
+        0 => objective_greedy(problem, task, k, rng, eval),
+        1 => coverage_greedy(problem, k, rng, eval),
         _ => {
             let mut all: Vec<usize> = (0..m).collect();
             all.shuffle(rng);
             all.truncate(k);
-            repair_coverage(problem, all, target, rng)
+            eval.reset(&all);
+            repair_coverage(problem, target, rng, eval);
         }
     }
 }
@@ -147,198 +222,271 @@ fn objective_greedy(
     task: Task,
     k: usize,
     rng: &mut StdRng,
-) -> Vec<usize> {
+    eval: &mut SelectionEval<'_, '_>,
+) {
     let m = problem.pool_size();
     let sample = (m / 2).clamp(1, 64);
-    let mut selection: Vec<usize> = Vec::with_capacity(k);
-    let mut trial: Vec<usize> = Vec::with_capacity(k);
+    eval.reset(&[]);
     for _ in 0..k {
         let mut best_idx = None;
         let mut best_obj = f64::NEG_INFINITY;
         for _ in 0..sample {
             let c = rng.gen_range(0..m);
-            if selection.contains(&c) {
+            if eval.contains(c) {
                 continue;
             }
-            trial.clear();
-            trial.extend_from_slice(&selection);
-            trial.push(c);
-            let obj = problem.objective(task, &trial);
+            let obj = eval.probe_objective(task, Move::Add { candidate: c });
             if obj > best_obj {
                 best_obj = obj;
                 best_idx = Some(c);
             }
         }
         if let Some(c) = best_idx {
-            selection.push(c);
+            eval.apply(Move::Add { candidate: c });
         }
     }
-    if selection.is_empty() {
-        selection.push(rng.gen_range(0..m));
+    if eval.is_empty() {
+        eval.apply(Move::Add {
+            candidate: rng.gen_range(0..m),
+        });
     }
-    selection
 }
 
 /// Randomized greedy max-coverage construction: each step picks the best of
 /// a small random sample of candidates by marginal coverage.
-fn coverage_greedy(problem: &MiningProblem<'_>, k: usize, rng: &mut StdRng) -> Vec<usize> {
+fn coverage_greedy(
+    problem: &MiningProblem<'_>,
+    k: usize,
+    rng: &mut StdRng,
+    eval: &mut SelectionEval<'_, '_>,
+) {
     let m = problem.pool_size();
-    let groups = problem.candidates();
-    let universe = problem.cube().universe();
-    let mut union = Bitmap::new(universe);
-    let mut selection = Vec::with_capacity(k);
     let sample = (m / 4).clamp(1, 32);
+    eval.reset(&[]);
     for _ in 0..k {
         let mut best_idx = None;
         let mut best_gain = 0usize;
         for _ in 0..sample {
             let c = rng.gen_range(0..m);
-            if selection.contains(&c) {
+            if eval.contains(c) {
                 continue;
             }
-            let gain = union.union_count(&groups[c].cover);
+            let gain = eval.probe_covered(Move::Add { candidate: c });
             if best_idx.is_none() || gain > best_gain {
                 best_idx = Some(c);
                 best_gain = gain;
             }
         }
         if let Some(c) = best_idx {
-            union.union_with(&groups[c].cover);
-            selection.push(c);
+            eval.apply(Move::Add { candidate: c });
         }
     }
-    if selection.is_empty() {
-        selection.push(rng.gen_range(0..m));
+    if eval.is_empty() {
+        eval.apply(Move::Add {
+            candidate: rng.gen_range(0..m),
+        });
     }
-    selection
 }
 
 /// Swaps members for higher-coverage candidates until the target is met (or
-/// no progress is possible).
+/// no progress is possible). Coverage is read from the evaluator's running
+/// union — no per-iteration bitmap allocation.
 fn repair_coverage(
     problem: &MiningProblem<'_>,
-    mut selection: Vec<usize>,
     target: f64,
     rng: &mut StdRng,
-) -> Vec<usize> {
+    eval: &mut SelectionEval<'_, '_>,
+) {
     let groups = problem.candidates();
-    for _ in 0..selection.len() * 4 {
-        if problem.coverage(&selection) + 1e-12 >= target {
+    for _ in 0..eval.len() * 4 {
+        if eval.coverage() + 1e-12 >= target {
             break;
         }
         // Replace the member with the smallest cover by a random candidate
         // with a larger cover.
-        let (weakest_pos, _) = selection
+        let (weakest_pos, _) = eval
+            .selection()
             .iter()
             .enumerate()
             .min_by_key(|(_, &i)| groups[i].support())
             .expect("non-empty selection");
         let replacement = rng.gen_range(0..problem.pool_size());
-        if !selection.contains(&replacement)
-            && groups[replacement].support() > groups[selection[weakest_pos]].support()
+        if !eval.contains(replacement)
+            && groups[replacement].support() > groups[eval.selection()[weakest_pos]].support()
         {
-            selection[weakest_pos] = replacement;
+            eval.apply(Move::Swap {
+                pos: weakest_pos,
+                candidate: replacement,
+            });
         }
     }
-    selection
+}
+
+/// Accepts a probed neighbour while the climb is still infeasible: any
+/// move that reaches feasibility or strictly raises coverage improves;
+/// among improving moves the best objective wins.
+#[allow(clippy::too_many_arguments)]
+fn consider_infeasible(
+    eval: &SelectionEval<'_, '_>,
+    task: Task,
+    mv: Move,
+    cov: f64,
+    current_cov: f64,
+    target: f64,
+    evaluations: &mut usize,
+    best: &mut Option<(Move, f64)>,
+) {
+    let feasible = cov + 1e-12 >= target;
+    *evaluations += 1;
+    let obj = eval.probe_objective(task, mv);
+    let improves = feasible || cov > current_cov + 1e-12;
+    if improves {
+        let better = match best {
+            None => true,
+            Some((_, best_obj)) => obj > *best_obj,
+        };
+        if better {
+            *best = Some((mv, obj));
+        }
+    }
 }
 
 /// Scans the neighbourhood — swap one member, drop one member, or add one
 /// candidate (respecting `|S| ≤ k`) — and returns the best feasible
-/// strictly improving neighbour, if any.
-fn best_neighbor(
+/// strictly improving move, if any. Every probe is allocation-free.
+///
+/// Once the climb is feasible, coverage is only a *constraint*: a probe
+/// needs no exact union count when a monotone lower bound (the rest-union
+/// of the other members for swaps, the current union for adds) already
+/// proves feasibility, which collapses the scan to `O(1)`–`O(k)` scalar
+/// work for the vast majority of candidates. While still infeasible, the
+/// climb compares exact coverage to make progress, as before.
+fn best_move(
     problem: &MiningProblem<'_>,
     task: Task,
-    selection: &[usize],
+    eval: &mut SelectionEval<'_, '_>,
     target: f64,
     current_obj: f64,
-    stats: &mut RheStats,
-) -> Option<(Vec<usize>, f64)> {
-    let universe = problem.cube().universe().max(1);
-    let groups = problem.candidates();
-    let current_cov = problem.coverage(selection);
+    evaluations: &mut usize,
+) -> Option<(Move, f64)> {
+    let universe = problem.cube().universe().max(1) as f64;
+    let m = problem.pool_size();
+    let k = eval.len();
+    let current_cov = eval.coverage();
     let current_feasible = current_cov + 1e-12 >= target;
+    let mut best: Option<(Move, f64)> = None;
 
-    let mut best: Option<(Vec<usize>, f64)> = None;
-    let mut rest_union = Bitmap::new(problem.cube().universe());
-    let mut scratch: Vec<usize> = Vec::with_capacity(selection.len() + 1);
-
-    // Accepts a candidate neighbour if it improves under the two-phase
-    // rule: climb coverage while infeasible, the objective once feasible.
-    let consider = |neighbor: &[usize],
-                    cov: f64,
-                    stats: &mut RheStats,
-                    best: &mut Option<(Vec<usize>, f64)>| {
-        let feasible = cov + 1e-12 >= target;
-        if current_feasible && !feasible {
-            return;
-        }
-        stats.evaluations += 1;
-        let obj = problem.objective(task, neighbor);
-        let improves = if current_feasible {
-            obj > current_obj + 1e-12
-        } else {
-            feasible || cov > current_cov + 1e-12
+    if current_feasible {
+        // Feasible phase: only the objective is compared.
+        let consider = |mv: Move,
+                        eval: &SelectionEval<'_, '_>,
+                        evaluations: &mut usize,
+                        best: &mut Option<(Move, f64)>| {
+            *evaluations += 1;
+            let obj = eval.probe_objective(task, mv);
+            if obj > current_obj + 1e-12 {
+                let better = match best {
+                    None => true,
+                    Some((_, best_obj)) => obj > *best_obj,
+                };
+                if better {
+                    *best = Some((mv, obj));
+                }
+            }
         };
-        if improves {
-            let better = match best {
-                None => true,
-                Some((_, best_obj)) => obj > *best_obj,
-            };
-            if better {
-                *best = Some((neighbor.to_vec(), obj));
+        let groups = problem.candidates();
+        for pos in 0..k {
+            // The rest-union count decides drops exactly and bounds swaps
+            // from both sides: rest alone feasible ⇒ every swap at this
+            // slot is feasible; rest plus the candidate's support short of
+            // the target ⇒ the swap is provably infeasible. Only the
+            // narrow in-between band pays for an exact union count.
+            let rest_count = eval.probe_covered(Move::Drop { pos });
+            let slot_feasible = rest_count as f64 / universe + 1e-12 >= target;
+            if k > 1 && slot_feasible {
+                consider(Move::Drop { pos }, eval, evaluations, &mut best);
+            }
+            for (candidate, group) in groups.iter().enumerate() {
+                if eval.contains(candidate) {
+                    continue;
+                }
+                let mv = Move::Swap { pos, candidate };
+                let feasible = slot_feasible || {
+                    let upper = (rest_count + group.support()) as f64 / universe;
+                    upper + 1e-12 >= target
+                        && eval.probe_covered(mv) as f64 / universe + 1e-12 >= target
+                };
+                if feasible {
+                    consider(mv, eval, evaluations, &mut best);
+                }
             }
         }
-    };
-
-    // Swap and drop moves share the "selection minus one member" union.
-    for pos in 0..selection.len() {
-        rest_union.clear();
-        for (j, &i) in selection.iter().enumerate() {
-            if j != pos {
-                rest_union.union_with(&groups[i].cover);
+        // Adds never shrink the union, so they inherit feasibility.
+        if k < problem.max_groups {
+            for candidate in 0..m {
+                if eval.contains(candidate) {
+                    continue;
+                }
+                consider(Move::Add { candidate }, eval, evaluations, &mut best);
             }
         }
-        // Drop (keep at least one group).
-        if selection.len() > 1 {
-            scratch.clear();
-            scratch.extend(
-                selection
-                    .iter()
-                    .enumerate()
-                    .filter_map(|(j, &i)| (j != pos).then_some(i)),
-            );
-            let cov = rest_union.count() as f64 / universe as f64;
-            consider(&scratch, cov, stats, &mut best);
-        }
-        // Swaps.
-        for (candidate, group) in groups.iter().enumerate() {
-            if selection.contains(&candidate) {
-                continue;
-            }
-            let cov = rest_union.union_count(&group.cover) as f64 / universe as f64;
-            scratch.clear();
-            scratch.extend_from_slice(selection);
-            scratch[pos] = candidate;
-            consider(&scratch, cov, stats, &mut best);
-        }
+        return best;
     }
 
-    // Add moves.
-    if selection.len() < problem.max_groups {
-        rest_union.clear();
-        for &i in selection {
-            rest_union.union_with(&groups[i].cover);
-        }
+    // Infeasible phase: exact coverage drives the climb. A move can only
+    // improve by reaching feasibility or strictly raising coverage, so:
+    // drops (whose union can only shrink) are never improving, and a swap
+    // or add whose disjoint-union *upper* bound — the other members' rest
+    // count plus the candidate's support — cannot beat the current
+    // coverage is skipped before any bitmap work.
+    let groups = problem.candidates();
+    for pos in 0..k {
+        let rest_count = eval.probe_covered(Move::Drop { pos });
         for (candidate, group) in groups.iter().enumerate() {
-            if selection.contains(&candidate) {
+            if eval.contains(candidate) {
                 continue;
             }
-            let cov = rest_union.union_count(&group.cover) as f64 / universe as f64;
-            scratch.clear();
-            scratch.extend_from_slice(selection);
-            scratch.push(candidate);
-            consider(&scratch, cov, stats, &mut best);
+            let upper = (rest_count + group.support()) as f64 / universe;
+            if upper <= current_cov + 1e-12 {
+                continue;
+            }
+            let mv = Move::Swap { pos, candidate };
+            let cov = eval.probe_covered(mv) as f64 / universe;
+            consider_infeasible(
+                eval,
+                task,
+                mv,
+                cov,
+                current_cov,
+                target,
+                evaluations,
+                &mut best,
+            );
+        }
+    }
+    // Add moves.
+    if k < problem.max_groups {
+        let covered = eval.covered_count();
+        for (candidate, group) in groups.iter().enumerate() {
+            if eval.contains(candidate) {
+                continue;
+            }
+            let upper = (covered + group.support()) as f64 / universe;
+            if upper <= current_cov + 1e-12 {
+                continue;
+            }
+            let mv = Move::Add { candidate };
+            let cov = eval.probe_covered(mv) as f64 / universe;
+            consider_infeasible(
+                eval,
+                task,
+                mv,
+                cov,
+                current_cov,
+                target,
+                evaluations,
+                &mut best,
+            );
         }
     }
 
@@ -389,6 +537,24 @@ mod tests {
         let a = solve(&p, Task::Similarity, &RheParams::default()).unwrap();
         let b = solve(&p, Task::Similarity, &RheParams::default()).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_restarts_match_single_thread_bit_for_bit() {
+        let (_, cube) = fixture(78, false);
+        let p = MiningProblem::new(&cube, 3, 0.25, 0.5);
+        let params = RheParams {
+            restarts: 7,
+            ..Default::default()
+        };
+        for task in Task::ALL {
+            let (single, single_stats) = solve_with_threads(&p, task, &params, 1).unwrap();
+            for threads in [2, 4, 16] {
+                let (multi, multi_stats) = solve_with_threads(&p, task, &params, threads).unwrap();
+                assert_eq!(single, multi, "{task:?} diverged at {threads} threads");
+                assert_eq!(single_stats, multi_stats, "{task:?} telemetry diverged");
+            }
+        }
     }
 
     #[test]
@@ -465,5 +631,12 @@ mod tests {
         let (_, stats) = solve_with_stats(&p, Task::Similarity, &RheParams::default()).unwrap();
         assert_eq!(stats.restarts, RheParams::default().restarts);
         assert!(stats.evaluations > stats.restarts);
+    }
+
+    #[test]
+    fn restart_seeds_are_decorrelated() {
+        let s: std::collections::HashSet<u64> = (0..64).map(|r| restart_seed(0xCAFE, r)).collect();
+        assert_eq!(s.len(), 64, "restart seeds must not collide");
+        assert_ne!(restart_seed(1, 0), restart_seed(2, 0));
     }
 }

@@ -1,0 +1,105 @@
+//! Verifies the acceptance criterion that the RHE neighbour scan performs
+//! **zero heap allocations per probe**: a counting global allocator
+//! measures a full swap/add/drop probe sweep (the exact per-iteration work
+//! of `rhe::solve`'s `best_move`) after the evaluator's lazily-built
+//! scratch has been warmed.
+//!
+//! The counter is thread-local so concurrent test-harness machinery on
+//! other threads cannot perturb the measurement; this file holds a single
+//! test for the same reason.
+
+use maprat_core::eval::{Move, SelectionEval};
+use maprat_core::{MiningProblem, Task};
+use maprat_cube::{CubeOptions, RatingCube};
+use maprat_data::synth::{generate, SynthConfig};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::hint::black_box;
+
+struct CountingAlloc;
+
+thread_local! {
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+        System.alloc(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.with(|c| c.get())
+}
+
+#[test]
+fn neighbor_probe_sweep_allocates_nothing() {
+    let dataset = generate(&SynthConfig::tiny(404)).unwrap();
+    let item = dataset.find_title("Toy Story").unwrap();
+    let idx: Vec<u32> = dataset.rating_range_for_item(item).collect();
+    let cube = RatingCube::build(
+        &dataset,
+        idx,
+        CubeOptions {
+            min_support: 3,
+            require_geo: false,
+            max_arity: 2,
+        },
+    );
+    let m = cube.len();
+    assert!(m >= 8, "need a non-trivial pool, got {m}");
+    let problem = MiningProblem::new(&cube, 3, 0.2, 0.5);
+    let mut eval = SelectionEval::new(&problem);
+    eval.reset(&[0, 1, 2]);
+
+    // Warm the lazily-built rest-union scratch (its buffers are allocated
+    // exactly once, on first use after a mutation).
+    let _ = eval.probe_covered(Move::Drop { pos: 0 });
+
+    let before = allocations();
+    let mut acc_cov = 0usize;
+    let mut acc_obj = 0.0f64;
+    for pos in 0..eval.len() {
+        acc_cov += eval.probe_covered(Move::Drop { pos });
+        for candidate in 0..m {
+            if eval.contains(candidate) {
+                continue;
+            }
+            let mv = Move::Swap { pos, candidate };
+            acc_cov += eval.probe_covered(mv);
+            for task in Task::ALL {
+                acc_obj += eval.probe_objective(task, mv);
+            }
+        }
+    }
+    for candidate in 0..m {
+        if eval.contains(candidate) {
+            continue;
+        }
+        let mv = Move::Add { candidate };
+        acc_cov += eval.probe_covered(mv);
+        for task in Task::ALL {
+            acc_obj += eval.probe_objective(task, mv);
+        }
+    }
+    let probe_allocs = allocations() - before;
+
+    black_box((acc_cov, acc_obj));
+    assert_eq!(
+        probe_allocs, 0,
+        "the neighbour probe sweep must not allocate (saw {probe_allocs} allocations)"
+    );
+}

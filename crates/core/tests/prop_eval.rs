@@ -1,0 +1,158 @@
+//! Equivalence suite for the incremental evaluator: over random
+//! swap/add/drop sequences, `SelectionEval`'s probed and applied
+//! objective/coverage must track the naive `MiningProblem` recompute
+//! within `1e-9` for both tasks.
+
+use maprat_core::eval::{Move, SelectionEval};
+use maprat_core::{MiningProblem, Task};
+use maprat_cube::{CubeOptions, RatingCube};
+use maprat_data::synth::{generate, SynthConfig};
+use maprat_data::Dataset;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// One shared small dataset — generation is the expensive part.
+fn dataset() -> &'static Dataset {
+    static DATASET: OnceLock<Dataset> = OnceLock::new();
+    DATASET.get_or_init(|| generate(&SynthConfig::tiny(2025)).unwrap())
+}
+
+fn cube_for(title: &str, min_support: usize, max_arity: usize) -> Option<RatingCube> {
+    let d = dataset();
+    let item = d.find_title(title)?;
+    let idx: Vec<u32> = d.rating_range_for_item(item).collect();
+    let cube = RatingCube::build(
+        d,
+        idx,
+        CubeOptions {
+            min_support,
+            require_geo: false,
+            max_arity,
+        },
+    );
+    (!cube.is_empty()).then_some(cube)
+}
+
+const TITLES: [&str; 4] = [
+    "Toy Story",
+    "The Twilight Saga: Eclipse",
+    "Forrest Gump",
+    "Saving Private Ryan",
+];
+
+/// Applies a move to the naive mirror selection.
+fn apply_naive(selection: &mut Vec<usize>, mv: Move) {
+    match mv {
+        Move::Swap { pos, candidate } => selection[pos] = candidate,
+        Move::Add { candidate } => selection.push(candidate),
+        Move::Drop { pos } => {
+            selection.remove(pos);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Incremental state and probes ≡ naive recompute, through arbitrary
+    /// move sequences.
+    #[test]
+    fn incremental_matches_naive_recompute(
+        title_idx in 0usize..TITLES.len(),
+        k in 1usize..6,
+        lambda in 0.0f64..2.0,
+        rotation in 0usize..997,
+        ops in proptest::collection::vec((0usize..3, 0usize..997, 0usize..997), 0..40),
+    ) {
+        let Some(cube) = cube_for(TITLES[title_idx], 4, 2) else { return Ok(()); };
+        let m = cube.len();
+        let universe = cube.universe().max(1) as f64;
+        let problem = MiningProblem::new(&cube, k, 0.2, lambda);
+        let mut eval = SelectionEval::new(&problem);
+
+        // Initial selection: k distinct candidates at a random rotation.
+        let take = k.min(m);
+        let mut selection: Vec<usize> = (0..take).map(|i| (rotation + i) % m).collect();
+        selection.sort_unstable();
+        selection.dedup();
+        eval.reset(&selection);
+
+        for (kind, a, b) in ops {
+            let mv = match kind {
+                0 if !selection.is_empty() => {
+                    let candidate = b % m;
+                    if selection.contains(&candidate) { continue; }
+                    Move::Swap { pos: a % selection.len(), candidate }
+                }
+                1 if selection.len() < k => {
+                    let candidate = b % m;
+                    if selection.contains(&candidate) { continue; }
+                    Move::Add { candidate }
+                }
+                2 if selection.len() > 1 => Move::Drop { pos: a % selection.len() },
+                _ => continue,
+            };
+
+            // Probes must predict the naive evaluation of the mutated
+            // selection, without changing evaluator state.
+            let mut mutated = selection.clone();
+            apply_naive(&mut mutated, mv);
+            let probed_cov = eval.probe_covered(mv) as f64 / universe;
+            prop_assert!(
+                (probed_cov - problem.coverage(&mutated)).abs() < 1e-9,
+                "{mv:?}: probe coverage {probed_cov} vs naive {}",
+                problem.coverage(&mutated)
+            );
+            for task in Task::ALL {
+                let probed = eval.probe_objective(task, mv);
+                let naive = problem.objective(task, &mutated);
+                prop_assert!(
+                    (probed - naive).abs() < 1e-9,
+                    "{mv:?} {task:?}: probe {probed} vs naive {naive}"
+                );
+            }
+
+            // Applied state must match too.
+            eval.apply(mv);
+            selection = mutated;
+            prop_assert_eq!(eval.selection(), &selection[..]);
+            prop_assert!((eval.coverage() - problem.coverage(&selection)).abs() < 1e-9);
+            for task in Task::ALL {
+                let incr = eval.objective(task);
+                let naive = problem.objective(task, &selection);
+                prop_assert!(
+                    (incr - naive).abs() < 1e-9,
+                    "state {task:?}: incremental {incr} vs naive {naive}"
+                );
+            }
+        }
+    }
+
+    /// `reset` alone (no move history) agrees with the naive recompute for
+    /// arbitrary selections, and `max_achievable_coverage`'s cached prefix
+    /// sums still bound every one of them.
+    #[test]
+    fn reset_and_coverage_bound_agree(
+        title_idx in 0usize..TITLES.len(),
+        k in 1usize..6,
+        rotation in 0usize..997,
+        stride in 1usize..13,
+    ) {
+        let Some(cube) = cube_for(TITLES[title_idx], 4, 2) else { return Ok(()); };
+        let m = cube.len();
+        let problem = MiningProblem::new(&cube, k, 0.3, 0.5);
+        let mut selection: Vec<usize> = (0..k.min(m)).map(|i| (rotation + i * stride) % m).collect();
+        selection.sort_unstable();
+        selection.dedup();
+
+        let mut eval = SelectionEval::new(&problem);
+        eval.reset(&selection);
+        prop_assert!((eval.coverage() - problem.coverage(&selection)).abs() < 1e-12);
+        for task in Task::ALL {
+            prop_assert!(
+                (eval.objective(task) - problem.objective(task, &selection)).abs() < 1e-9
+            );
+        }
+        prop_assert!(problem.coverage(&selection) <= problem.max_achievable_coverage() + 1e-9);
+    }
+}

@@ -70,6 +70,17 @@ impl Bitmap {
         self.blocks.fill(0);
     }
 
+    /// Overwrites `self` with the contents of `other` without allocating
+    /// (the mining loop's scratch bitmaps are assigned this way on every
+    /// hill-climbing step, so reusing the block buffer matters).
+    ///
+    /// # Panics
+    /// Panics on universe mismatch.
+    pub fn copy_from(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "universe mismatch");
+        self.blocks.copy_from_slice(&other.blocks);
+    }
+
     /// In-place union: `self |= other`.
     ///
     /// # Panics
@@ -223,6 +234,23 @@ mod tests {
         let positions = vec![0, 63, 64, 65, 127, 128, 199];
         let bm = Bitmap::from_positions(200, positions.clone());
         assert_eq!(bm.iter().collect::<Vec<_>>(), positions);
+    }
+
+    #[test]
+    fn copy_from_overwrites_in_place() {
+        let a = Bitmap::from_positions(100, [1, 5, 70]);
+        let mut b = Bitmap::from_positions(100, [2, 99]);
+        b.copy_from(&a);
+        assert_eq!(b, a);
+        b.copy_from(&Bitmap::new(100));
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "universe mismatch")]
+    fn copy_from_checks_universe() {
+        let mut a = Bitmap::new(10);
+        a.copy_from(&Bitmap::new(20));
     }
 
     #[test]

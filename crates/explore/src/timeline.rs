@@ -5,14 +5,20 @@
 //! A [`TimeSlider`] splits the dataset's rating history into month windows
 //! and re-mines the query inside each, producing a [`TimelinePoint`]
 //! series: window, volume, overall mean and the top SM groups.
+//!
+//! Windows are independent engine calls against the already-thread-safe
+//! sharded cache, so [`TimeSlider::sweep`] mines them in parallel on
+//! [`maprat_core::parallel::num_threads`] workers (override with
+//! `MAPRAT_THREADS`). Points come back in slider order and are
+//! bit-identical for any thread count.
 
 use crate::engine::MapRatEngine;
 use maprat_core::query::ItemQuery;
-use maprat_core::{MineError, SearchSettings};
+use maprat_core::{parallel, MineError, SearchSettings};
 use maprat_data::{Dataset, MonthKey, TimeRange};
 
 /// One position of the slider.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TimelinePoint {
     /// First month of the window (inclusive).
     pub from: MonthKey,
@@ -66,20 +72,33 @@ impl TimeSlider {
         (from, to)
     }
 
-    /// Mines every window through the engine's cache and returns the
-    /// evolution series.
+    /// Mines every window through the engine's cache, in parallel on the
+    /// default worker count, and returns the evolution series in slider
+    /// order.
     pub fn sweep(
         &self,
         engine: &MapRatEngine,
         query: &ItemQuery,
         settings: &SearchSettings,
     ) -> Vec<TimelinePoint> {
-        let mut out = Vec::new();
-        for from in self.positions() {
-            let (from, to) = self.window_at(from);
+        self.sweep_with_threads(engine, query, settings, parallel::num_threads())
+    }
+
+    /// Like [`sweep`](TimeSlider::sweep) with an explicit worker-thread
+    /// cap. The returned points are identical for every `threads` value.
+    pub fn sweep_with_threads(
+        &self,
+        engine: &MapRatEngine,
+        query: &ItemQuery,
+        settings: &SearchSettings,
+        threads: usize,
+    ) -> Vec<TimelinePoint> {
+        let positions = self.positions();
+        parallel::parallel_map(positions.len(), threads, |i| {
+            let (from, to) = self.window_at(positions[i]);
             let windowed = query.clone().within(TimeRange::months(from..=to));
             let result = engine.explain_query(&windowed, settings);
-            let point = match &*result {
+            match &*result {
                 Ok(r) => TimelinePoint {
                     from,
                     to,
@@ -110,10 +129,8 @@ impl TimeSlider {
                     top_groups: Vec::new(),
                     skipped: Some(e.to_string()),
                 },
-            };
-            out.push(point);
-        }
-        out
+            }
+        })
     }
 }
 
@@ -222,6 +239,21 @@ mod tests {
         if let Ok(r) = &*full {
             // Non-overlapping windows partition the history.
             assert_eq!(total, r.explanation.num_ratings);
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_is_deterministic_in_thread_count() {
+        let engine = MapRatEngine::from_dataset(generate(&SynthConfig::tiny(136)).unwrap());
+        let slider = TimeSlider::over_dataset(engine.dataset(), 6, 6).unwrap();
+        let query = maprat_core::query::ItemQuery::title("Toy Story");
+        let single = slider.sweep_with_threads(&engine, &query, &settings(), 1);
+        for threads in [2, 3, 8] {
+            // A fresh engine per run: identical results must not rely on
+            // the earlier sweep's warm cache.
+            let cold = MapRatEngine::from_dataset(generate(&SynthConfig::tiny(136)).unwrap());
+            let multi = slider.sweep_with_threads(&cold, &query, &settings(), threads);
+            assert_eq!(single, multi, "sweep diverged at {threads} threads");
         }
     }
 
