@@ -1,12 +1,22 @@
-//! Machine-readable performance snapshot for the perf trajectory.
+//! Machine-readable performance snapshot for the perf trajectory — and
+//! the CI perf-regression gate.
 //!
-//! Times the paths the incremental-evaluation PR targets — the RHE solve,
-//! the cold explain classes, and the timeline sweep (single- vs
-//! default-threaded) — and writes them as JSON so CI can archive one
-//! artifact per PR and regressions show up as a diff.
+//! Times the paths the perf PRs target — the RHE solve, the cold explain
+//! classes, and the timeline sweep (single- vs default-threaded) — and
+//! writes them as JSON so CI can archive one artifact per PR and
+//! regressions show up as a diff.
 //!
 //! Run: `cargo run --release -p maprat-bench --bin exp_perf_snapshot
-//! [-- out.json]` (default output: `BENCH_pr3.json`).
+//! [-- out.json]` (default output: `BENCH_head.json` — deliberately
+//! *not* the committed `BENCH_pr3.json` baseline, so a bare local run
+//! can never clobber what the gate compares against).
+//!
+//! **Gate mode** (`--baseline <committed.json> [--max-regress 0.25]`):
+//! after writing the snapshot, compares the gated metrics — the
+//! `rhe_solve_*_ms` pair and `explain_cold_single_ms` (the
+//! `explain/cold_miner` path) — against the committed baseline and exits
+//! non-zero when any of them regressed by more than the tolerance
+//! (default +25%). Improvements never fail the gate.
 
 use maprat_bench::timing::{summarize, time_n, time_once};
 use maprat_bench::{dataset, dataset_arc, Scale};
@@ -14,6 +24,7 @@ use maprat_core::query::{ItemQuery, QueryTerm};
 use maprat_core::{parallel, rhe, MiningProblem, RheParams, SearchSettings, Task};
 use maprat_cube::{CubeOptions, RatingCube};
 use maprat_explore::{MapRatEngine, TimeSlider};
+use maprat_server::Json;
 use std::fmt::Write as _;
 use std::hint::black_box;
 
@@ -21,11 +32,63 @@ fn mean_ms(n: usize, mut f: impl FnMut()) -> f64 {
     summarize(&time_n(n, &mut f)).mean.as_secs_f64() * 1e3
 }
 
+/// The metrics the CI `perf-gate` job fails on.
+const GATED_KEYS: [&str; 3] = [
+    "rhe_solve_similarity_ms",
+    "rhe_solve_diversity_ms",
+    "explain_cold_single_ms",
+];
+
+/// Compares the gated metrics of `snapshot` against `baseline_path`;
+/// returns the failure messages (empty = gate passes).
+fn gate_against_baseline(snapshot: &Json, baseline_path: &str, max_regress: f64) -> Vec<String> {
+    let text = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
+    let baseline = Json::parse(&text).expect("baseline must be valid JSON");
+    let mut failures = Vec::new();
+    for key in GATED_KEYS {
+        let Some(base) = baseline.get(key).and_then(Json::as_f64) else {
+            println!("[gate] {key:<26} absent from baseline — skipped");
+            continue;
+        };
+        let new = snapshot
+            .get(key)
+            .and_then(Json::as_f64)
+            .expect("snapshot carries every gated key");
+        let limit = base * (1.0 + max_regress);
+        let verdict = if new <= limit { "ok" } else { "REGRESSED" };
+        println!(
+            "[gate] {key:<26} baseline {base:>9.4} ms | now {new:>9.4} ms | limit {limit:>9.4} ms | {verdict}"
+        );
+        if new > limit {
+            failures.push(format!(
+                "{key}: {new:.4} ms exceeds {limit:.4} ms (baseline {base:.4} ms +{:.0}%)",
+                max_regress * 100.0
+            ));
+        }
+    }
+    failures
+}
+
 fn main() {
-    let out_path = std::env::args()
-        .skip(1)
-        .find(|a| !a.starts_with("--"))
-        .unwrap_or_else(|| "BENCH_pr3.json".to_string());
+    let mut out_path: Option<String> = None;
+    let mut baseline: Option<String> = None;
+    let mut max_regress = 0.25f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline" => baseline = args.next(),
+            "--max-regress" => {
+                max_regress = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(max_regress)
+            }
+            bare if !bare.starts_with("--") => out_path = Some(bare.to_string()),
+            unknown => eprintln!("[exp_perf_snapshot] ignoring unknown flag {unknown}"),
+        }
+    }
+    let out_path = out_path.unwrap_or_else(|| "BENCH_head.json".to_string());
     // The snapshot labels itself after the output file stem, so future
     // PRs only bump the filename in CI (no code edit per PR). The label
     // is embedded in hand-rolled JSON, so restrict it to characters that
@@ -129,4 +192,21 @@ fn main() {
 
     std::fs::write(&out_path, &json).expect("write perf snapshot");
     println!("wrote {out_path}:\n{json}");
+
+    if let Some(baseline_path) = baseline {
+        let snapshot = Json::parse(&json).expect("own snapshot is valid JSON");
+        let failures = gate_against_baseline(&snapshot, &baseline_path, max_regress);
+        if failures.is_empty() {
+            println!(
+                "[gate] pass: no gated metric regressed more than {:.0}% vs {baseline_path}",
+                max_regress * 100.0
+            );
+        } else {
+            eprintln!("[gate] FAIL vs {baseline_path}:");
+            for f in &failures {
+                eprintln!("[gate]   {f}");
+            }
+            std::process::exit(1);
+        }
+    }
 }

@@ -1,0 +1,262 @@
+//! Closed-loop HTTP load generator for the shared-pool server: the PR 4
+//! acceptance experiment.
+//!
+//! Boots the demo server (engine + bounded-concurrency accept loop over
+//! the shared worker pool) on an ephemeral port, then drives it with
+//! `clients` closed-loop client threads — each issues its next request
+//! only after the previous one answered — mixing *cold* explains (every
+//! request carries a unique `coverage` value, so every one is a full
+//! mining solve) with *cached* repeats of one pre-warmed query. Reports
+//! p50/p95/p99 per class, single-client vs concurrent, plus closed-loop
+//! throughput, and writes the `BENCH_pr4.json` snapshot.
+//!
+//! Run: `cargo run --release -p maprat-bench --bin exp_throughput --
+//! [--clients N] [--requests N] [--cached-every K] [out.json]`
+//! (defaults: 4 clients × 32 requests, every 4th request cached, output
+//! `BENCH_pr4.json`). `--check` additionally enforces the shape contract
+//! (all responses 200, cached responses byte-identical) and exits
+//! non-zero on violation — the CI smoke mode.
+
+use maprat_bench::timing::{ms, percentile, tail};
+use maprat_bench::{dataset_arc, Scale, ShapeCheck};
+use maprat_core::parallel;
+use maprat_explore::MapRatEngine;
+use maprat_server::{AppState, HttpServer};
+use std::fmt::Write as _;
+use std::io::{Read, Write as _};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One blocking GET; returns (status, body length).
+fn http_get(port: u16, target: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(("127.0.0.1", port)).expect("connect to load target");
+    write!(stream, "GET {target} HTTP/1.1\r\nHost: l\r\n\r\n").expect("send request");
+    let mut buf = String::new();
+    stream.read_to_string(&mut buf).expect("read response");
+    let status: u16 = buf
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let body = buf.split("\r\n\r\n").nth(1).unwrap_or("").to_string();
+    (status, body)
+}
+
+/// The cold-explain target for global request number `i`: a unique
+/// `coverage` value per request makes every one a distinct cache key —
+/// a full mining solve — while keeping the problem difficulty constant.
+fn cold_target(i: usize) -> String {
+    format!(
+        "/api/v1/explain?q=Toy+Story&coverage=0.{:07}&geo=0",
+        1_000_000 + i
+    )
+}
+
+/// The pre-warmed cached target.
+const CACHED_TARGET: &str = "/api/v1/explain?q=Toy+Story&coverage=0.2&geo=0";
+
+/// Latencies of one client's run, split by class.
+#[derive(Default)]
+struct ClientRun {
+    cold: Vec<Duration>,
+    cached: Vec<Duration>,
+    cached_bodies: Vec<String>,
+    non_200: usize,
+}
+
+/// One closed-loop client: `requests` requests, every `cached_every`-th
+/// against the warm target, the rest cold (unique keys off the global
+/// counter).
+fn run_client(port: u16, requests: usize, cached_every: usize, counter: &AtomicUsize) -> ClientRun {
+    let mut run = ClientRun::default();
+    for r in 0..requests {
+        let cached = cached_every != 0 && r % cached_every == cached_every - 1;
+        let target = if cached {
+            CACHED_TARGET.to_string()
+        } else {
+            cold_target(counter.fetch_add(1, Ordering::Relaxed))
+        };
+        let start = Instant::now();
+        let (status, body) = http_get(port, &target);
+        let elapsed = start.elapsed();
+        if status != 200 {
+            run.non_200 += 1;
+            continue;
+        }
+        if cached {
+            run.cached.push(elapsed);
+            run.cached_bodies.push(body);
+        } else {
+            run.cold.push(elapsed);
+        }
+    }
+    run
+}
+
+fn tail_line(label: &str, sorted: &[Duration]) -> String {
+    if sorted.is_empty() {
+        return format!("{label:<28} —");
+    }
+    let t = tail(sorted);
+    format!(
+        "{label:<28} n={:<4} p50={:>9} ms  p95={:>9} ms  p99={:>9} ms",
+        sorted.len(),
+        ms(t.p50),
+        ms(t.p95),
+        ms(t.p99)
+    )
+}
+
+fn main() {
+    let mut clients = 4usize;
+    let mut requests = 32usize;
+    let mut cached_every = 4usize;
+    let mut out_path = "BENCH_pr4.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--clients" => clients = args.next().and_then(|v| v.parse().ok()).unwrap_or(clients),
+            "--requests" => requests = args.next().and_then(|v| v.parse().ok()).unwrap_or(requests),
+            "--cached-every" => {
+                cached_every = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(cached_every)
+            }
+            "--check" => {}
+            bare if !bare.starts_with("--") => out_path = bare.to_string(),
+            unknown => eprintln!("[exp_throughput] ignoring unknown flag {unknown}"),
+        }
+    }
+    let clients = clients.max(1);
+    let requests = requests.max(1);
+    let threads = parallel::num_threads();
+
+    println!("== TXT-THROUGHPUT: closed-loop load against the shared-pool server ==");
+    println!(
+        "scale={} threads={threads} clients={clients} requests/client={requests} cached-every={cached_every}",
+        Scale::from_env().name()
+    );
+
+    let engine = MapRatEngine::new(dataset_arc());
+    let state = AppState::new(engine.clone());
+    let server = HttpServer::start("127.0.0.1:0", clients.max(threads), state.into_handler())
+        .expect("bind load target");
+    let port = server.port();
+
+    // Pre-warm the cached target so its class measures pure cache+HTTP.
+    let (warm_status, warm_body) = http_get(port, CACHED_TARGET);
+    assert_eq!(warm_status, 200, "warm-up request must succeed");
+
+    // Phase 1 — single-client baseline (all cold).
+    let counter = AtomicUsize::new(0);
+    let single = run_client(port, requests, 0, &counter);
+    let mut single_cold = single.cold.clone();
+    single_cold.sort_unstable();
+
+    // Phase 2 — concurrent closed loop. The client threads are the load
+    // generator (external actors), not server-side workers: the server
+    // handles them entirely on the shared pool. The key counter resumes
+    // where phase 1 stopped, so no "cold" request can reuse a phase-1
+    // cache key regardless of --requests.
+    let counter = Arc::new(AtomicUsize::new(requests));
+    let wall_start = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|_| {
+            let counter = Arc::clone(&counter);
+            std::thread::spawn(move || run_client(port, requests, cached_every, &counter))
+        })
+        .collect();
+    let runs: Vec<ClientRun> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let wall = wall_start.elapsed();
+
+    let mut cold: Vec<Duration> = runs.iter().flat_map(|r| r.cold.iter().copied()).collect();
+    let mut cached: Vec<Duration> = runs.iter().flat_map(|r| r.cached.iter().copied()).collect();
+    let non_200: usize = runs.iter().map(|r| r.non_200).sum();
+    cold.sort_unstable();
+    cached.sort_unstable();
+    let total_requests = cold.len() + cached.len();
+    let throughput = total_requests as f64 / wall.as_secs_f64();
+
+    println!("{}", tail_line("single-client cold", &single_cold));
+    println!("{}", tail_line(&format!("{clients}-client cold"), &cold));
+    println!(
+        "{}",
+        tail_line(&format!("{clients}-client cached"), &cached)
+    );
+    println!(
+        "closed-loop throughput: {total_requests} requests in {} ms = {throughput:.1} req/s (non-200: {non_200})",
+        ms(wall)
+    );
+
+    let single_p95 = percentile(&single_cold, 95.0).as_secs_f64() * 1e3;
+    let concurrent_p95 = percentile(&cold, 95.0).as_secs_f64() * 1e3;
+    let p95_ratio = concurrent_p95 / single_p95.max(1e-9);
+    println!(
+        "cold p95 under {clients}-client load / single-client p95 = {p95_ratio:.2}× \
+         (pool shares {threads} worker(s) across requests)"
+    );
+
+    let cached_tail = tail(&cached);
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"snapshot\": \"pr4-shared-pool-throughput\",");
+    let _ = writeln!(json, "  \"scale\": \"{}\",", Scale::from_env().name());
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"clients\": {clients},");
+    let _ = writeln!(json, "  \"requests_per_client\": {requests},");
+    let _ = writeln!(json, "  \"cached_every\": {cached_every},");
+    let t = tail(&single_cold);
+    let _ = writeln!(json, "  \"single_cold_p50_ms\": {},", ms(t.p50));
+    let _ = writeln!(json, "  \"single_cold_p95_ms\": {},", ms(t.p95));
+    let _ = writeln!(json, "  \"single_cold_p99_ms\": {},", ms(t.p99));
+    let t = tail(&cold);
+    let _ = writeln!(json, "  \"concurrent_cold_p50_ms\": {},", ms(t.p50));
+    let _ = writeln!(json, "  \"concurrent_cold_p95_ms\": {},", ms(t.p95));
+    let _ = writeln!(json, "  \"concurrent_cold_p99_ms\": {},", ms(t.p99));
+    let _ = writeln!(
+        json,
+        "  \"concurrent_cached_p50_ms\": {},",
+        ms(cached_tail.p50)
+    );
+    let _ = writeln!(
+        json,
+        "  \"concurrent_cached_p95_ms\": {},",
+        ms(cached_tail.p95)
+    );
+    let _ = writeln!(
+        json,
+        "  \"concurrent_cached_p99_ms\": {},",
+        ms(cached_tail.p99)
+    );
+    let _ = writeln!(
+        json,
+        "  \"cold_p95_ratio_concurrent_over_single\": {p95_ratio:.4},"
+    );
+    let _ = writeln!(json, "  \"throughput_rps\": {throughput:.2},");
+    let _ = writeln!(json, "  \"non_200\": {non_200}");
+    let _ = writeln!(json, "}}");
+    std::fs::write(&out_path, &json).expect("write throughput snapshot");
+    println!("wrote {out_path}");
+
+    let mut check = ShapeCheck::new();
+    check.expect("every request answered 200", non_200 == 0);
+    check.expect(
+        "single-client baseline has the full cold sample",
+        single_cold.len() == requests,
+    );
+    check.expect(
+        "concurrent phase produced both classes",
+        !cold.is_empty() && (cached_every == 0 || !cached.is_empty()),
+    );
+    check.expect(
+        "cached responses byte-identical across clients",
+        runs.iter()
+            .flat_map(|r| r.cached_bodies.iter())
+            .all(|body| *body == warm_body),
+    );
+    check.expect("throughput is finite and positive", throughput > 0.0);
+    check.finish();
+}

@@ -49,6 +49,40 @@ pub fn summarize(sorted: &[Duration]) -> TimingSummary {
     }
 }
 
+/// The `p`-th percentile (0–100, nearest-rank) of sorted durations.
+///
+/// # Panics
+/// Panics on an empty slice.
+pub fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    assert!(!sorted.is_empty(), "no samples");
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Latency tail summary of a request class: p50/p95/p99 over sorted
+/// samples (what the closed-loop load generator reports).
+#[derive(Debug, Clone, Copy)]
+pub struct TailSummary {
+    /// Median.
+    pub p50: Duration,
+    /// 95th percentile.
+    pub p95: Duration,
+    /// 99th percentile.
+    pub p99: Duration,
+}
+
+/// Summarizes the latency tail of sorted durations.
+///
+/// # Panics
+/// Panics on an empty slice.
+pub fn tail(sorted: &[Duration]) -> TailSummary {
+    TailSummary {
+        p50: percentile(sorted, 50.0),
+        p95: percentile(sorted, 95.0),
+        p99: percentile(sorted, 99.0),
+    }
+}
+
 /// Formats a duration as fractional milliseconds.
 pub fn ms(d: Duration) -> String {
     format!("{:.3}", d.as_secs_f64() * 1e3)
@@ -91,6 +125,19 @@ mod tests {
     #[test]
     fn ms_format() {
         assert_eq!(ms(Duration::from_micros(1500)), "1.500");
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let ds: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        assert_eq!(percentile(&ds, 50.0), Duration::from_millis(50));
+        assert_eq!(percentile(&ds, 95.0), Duration::from_millis(95));
+        assert_eq!(percentile(&ds, 99.0), Duration::from_millis(99));
+        assert_eq!(percentile(&ds, 100.0), Duration::from_millis(100));
+        // Tiny sample: every percentile is the only sample.
+        let one = [Duration::from_millis(7)];
+        let t = tail(&one);
+        assert_eq!((t.p50, t.p95, t.p99), (one[0], one[0], one[0]));
     }
 
     #[test]

@@ -24,7 +24,8 @@
 //! All solvers share the incremental [`eval::SelectionEval`] — running
 //! aggregates that price a swap/add/drop probe at `O(k + universe/64)`
 //! with zero allocation — and the RHE restarts fan out deterministically
-//! over [`parallel`] worker threads.
+//! over the shared worker [`pool`] (via the [`parallel`] façade), so no
+//! per-solve OS thread is ever spawned.
 
 #![warn(missing_docs)]
 
@@ -35,6 +36,7 @@ pub mod exhaustive;
 pub mod greedy;
 pub mod miner;
 pub mod parallel;
+pub mod pool;
 pub mod problem;
 pub mod query;
 pub mod random;

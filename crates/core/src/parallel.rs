@@ -1,92 +1,60 @@
-//! Deterministic fan-out over an index range — the thread-pool shape both
-//! parallel RHE restarts and the parallel time-slider sweep use.
+//! Deterministic fan-out over an index range — the façade both parallel
+//! RHE restarts and the parallel time-slider sweep call.
 //!
-//! Work items are distributed through a `crossbeam` MPMC channel (workers
-//! pull indices as they free up, so uneven item costs balance), results
-//! are reassembled *by index*, and every item's computation depends only
-//! on its index — never on scheduling — so the output is bit-identical for
-//! any thread count, including 1.
+//! [`parallel_map`] is a thin wrapper over the shared worker pool
+//! ([`crate::pool`]): work items are distributed through the pool's MPMC
+//! job channel (workers claim indices as they free up, so uneven item
+//! costs balance), results are reassembled *by index*, and every item's
+//! computation depends only on its index — never on scheduling — so the
+//! output is bit-identical for any thread count, including 1. No OS
+//! thread is spawned or joined per call: the pool's long-lived workers
+//! are created once per process.
 
-use crossbeam::channel;
-use std::cell::Cell;
-
-thread_local! {
-    /// Set inside `parallel_map` worker threads so a nested fan-out (e.g.
-    /// a parallel timeline sweep whose per-window explain reaches the
-    /// parallel RHE restarts) degrades to an inline run instead of
-    /// oversubscribing the machine with `threads²` OS threads. Purely a
-    /// scheduling decision — results are index-deterministic either way.
-    static IN_PARALLEL_WORKER: Cell<bool> = const { Cell::new(false) };
-}
+use crate::pool;
+use std::sync::OnceLock;
 
 /// The default worker count: `MAPRAT_THREADS` when set (`0` and `1` both
 /// disable threading), otherwise the machine's available parallelism.
 ///
-/// `MAPRAT_THREADS=1` is useful for profiling and for A/B-ing the
-/// determinism guarantee; a non-numeric value is ignored.
+/// The knob is read **once, at first use**, and cached for the process
+/// lifetime — it also sizes the shared worker pool, so flipping the
+/// environment variable after startup cannot take effect anyway. Set it
+/// before the first solve: `MAPRAT_THREADS=1` is useful for profiling and
+/// for A/B-ing the determinism guarantee; a non-numeric value is ignored.
 pub fn num_threads() -> usize {
-    match std::env::var("MAPRAT_THREADS")
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-    {
-        Some(n) => n.max(1),
-        None => std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1),
-    }
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        match std::env::var("MAPRAT_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+        {
+            Some(n) => n.max(1),
+            None => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    })
 }
 
-/// Maps `f` over `0..n` on up to `threads` scoped worker threads and
+/// Maps `f` over `0..n` on up to `threads` shared-pool workers (the
+/// calling thread counts as one — it helps drain its own call) and
 /// returns the results in index order.
 ///
-/// Runs inline (no threads spawned) when `threads <= 1`, when `n <= 1`,
-/// or when already called from inside another `parallel_map` worker
-/// (nested fan-outs don't multiply the thread count). A panicking `f`
-/// propagates out of the call once the scope joins.
+/// Runs inline (pool untouched) when `threads <= 1`, when `n <= 1`, or
+/// when already called from inside another fan-out item (nested fan-outs
+/// don't multiply parallelism; see [`pool::in_fan_out`]). A panicking `f`
+/// propagates out of the call on the submitting thread once in-flight
+/// items finish — pool workers survive.
 pub fn parallel_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
     let threads = threads.min(n);
-    if threads <= 1 || IN_PARALLEL_WORKER.with(|flag| flag.get()) {
+    if threads <= 1 || pool::in_fan_out() {
         return (0..n).map(f).collect();
     }
-
-    let (job_tx, job_rx) = channel::unbounded::<usize>();
-    for i in 0..n {
-        let _ = job_tx.send(i);
-    }
-    drop(job_tx);
-    let (res_tx, res_rx) = channel::unbounded::<(usize, T)>();
-    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
-
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            let job_rx = job_rx.clone();
-            let res_tx = res_tx.clone();
-            let f = &f;
-            scope.spawn(move || {
-                IN_PARALLEL_WORKER.with(|flag| flag.set(true));
-                while let Ok(i) = job_rx.recv() {
-                    if res_tx.send((i, f(i))).is_err() {
-                        break;
-                    }
-                }
-            });
-        }
-        drop(res_tx);
-        drop(job_rx);
-        // Drains until every worker has dropped its sender clone; a worker
-        // panic closes the channel early and the scope re-raises it.
-        while let Ok((i, value)) = res_rx.recv() {
-            out[i] = Some(value);
-        }
-    });
-
-    out.into_iter()
-        .map(|slot| slot.expect("every index produced exactly once"))
-        .collect()
+    pool::global().map_indexed(n, threads, f)
 }
 
 #[cfg(test)]
@@ -120,18 +88,23 @@ mod tests {
     }
 
     #[test]
-    fn num_threads_is_positive() {
-        assert!(num_threads() >= 1);
+    fn num_threads_is_positive_and_stable() {
+        let first = num_threads();
+        assert!(first >= 1);
+        // Cached at first use: later reads agree even if the environment
+        // were to change mid-process.
+        assert_eq!(num_threads(), first);
     }
 
     #[test]
     fn nested_fan_out_runs_inline_and_stays_correct() {
         let flat_threads = AtomicUsize::new(0);
         let out = parallel_map(6, 3, |i| {
-            // The inner fan-out must not spawn: its closure runs on this
-            // worker thread, so the worker flag stays visible to it.
+            // The inner fan-out must not spawn helpers: its closure runs
+            // on a thread already executing a fan-out item, so the
+            // fan-out flag stays visible to it.
             let inner = parallel_map(4, 8, |j| {
-                if IN_PARALLEL_WORKER.with(|f| f.get()) {
+                if pool::in_fan_out() {
                     flat_threads.fetch_add(1, Ordering::SeqCst);
                 }
                 i * 10 + j
@@ -143,7 +116,7 @@ mod tests {
         assert_eq!(
             flat_threads.load(Ordering::SeqCst),
             24,
-            "every inner item must run inline on a worker thread"
+            "every inner item must run inline inside the outer fan-out"
         );
     }
 }

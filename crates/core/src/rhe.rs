@@ -12,11 +12,12 @@
 //! * the neighbour scan runs on the incremental [`SelectionEval`] — one
 //!   probe costs `O(k + universe/64)` with zero heap allocation, instead
 //!   of a full objective/coverage recompute per candidate;
-//! * restarts are embarrassingly parallel and run on up to
-//!   [`parallel::num_threads`] worker threads. Every restart derives its
-//!   own RNG from `(seed, restart)`, so the result is **bit-identical for
-//!   any thread count** — the cache key and regression baselines never
-//!   depend on the machine's core count.
+//! * restarts are embarrassingly parallel and fan out over the shared
+//!   worker pool (up to [`parallel::num_threads`] workers; no per-solve
+//!   OS-thread spawn). Every restart derives its own RNG from
+//!   `(seed, restart)`, so the result is **bit-identical for any thread
+//!   count** — the cache key and regression baselines never depend on the
+//!   machine's core count.
 //!
 //! When the coverage constraint is provably unachievable (even the `k`
 //! largest covers fall short), the solver *relaxes* the constraint to the
@@ -70,11 +71,12 @@ pub fn solve(problem: &MiningProblem<'_>, task: Task, params: &RheParams) -> Opt
     solve_with_stats(problem, task, params).map(|(s, _)| s)
 }
 
-/// Like [`solve`], also returning telemetry. Restarts run on
-/// [`parallel::num_threads`] workers (override with `MAPRAT_THREADS`) —
-/// except on small candidate pools, where a restart converges faster than
-/// the thread spawn/join it would have to amortize, so the solve stays
-/// inline. The cut-over affects scheduling only; results are identical.
+/// Like [`solve`], also returning telemetry. Restarts fan out over the
+/// shared worker pool, up to [`parallel::num_threads`] workers (sized by
+/// `MAPRAT_THREADS` at first use) — except on small candidate pools,
+/// where a restart converges faster than the fan-out it would have to
+/// amortize, so the solve stays inline. The cut-over affects scheduling
+/// only; results are identical.
 pub fn solve_with_stats(
     problem: &MiningProblem<'_>,
     task: Task,

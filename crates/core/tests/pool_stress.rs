@@ -1,0 +1,110 @@
+//! Stress contract of the shared worker pool under the real solver: many
+//! concurrent submitters make progress (no deadlock), results stay
+//! bit-identical to the serial run, and a panicking job never poisons the
+//! pool for the solves that follow.
+
+use maprat_core::{parallel, pool, rhe, MiningProblem, RheParams, Task};
+use maprat_cube::{CubeOptions, RatingCube};
+use maprat_data::synth::{generate, SynthConfig};
+
+fn fixture(seed: u64) -> (maprat_data::Dataset, RatingCube) {
+    let dataset = generate(&SynthConfig::tiny(seed)).unwrap();
+    let item = dataset.find_title("Toy Story").unwrap();
+    let idx: Vec<u32> = dataset.rating_range_for_item(item).collect();
+    let cube = RatingCube::build(
+        &dataset,
+        idx,
+        CubeOptions {
+            min_support: 3,
+            require_geo: false,
+            max_arity: 3,
+        },
+    );
+    (dataset, cube)
+}
+
+#[test]
+fn concurrent_submitters_solve_without_deadlock_and_match_serial() {
+    let (_dataset, cube) = fixture(241);
+    let problem = MiningProblem::new(&cube, 3, 0.25, 0.5);
+    let params = RheParams {
+        restarts: 7,
+        ..Default::default()
+    };
+
+    // The serial ground truth, one per task.
+    let serial: Vec<_> = Task::ALL
+        .iter()
+        .map(|&task| rhe::solve_with_threads(&problem, task, &params, 1).unwrap())
+        .collect();
+
+    // Eight submitters × repeated parallel solves, all fanning out onto
+    // the one shared pool concurrently. Every result must equal the
+    // serial run bit for bit — scheduling may never leak into output.
+    std::thread::scope(|scope| {
+        for submitter in 0..8 {
+            let serial = &serial;
+            let problem = &problem;
+            let params = &params;
+            scope.spawn(move || {
+                for round in 0..6 {
+                    let task = Task::ALL[(submitter + round) % Task::ALL.len()];
+                    let expected = &serial[(submitter + round) % Task::ALL.len()];
+                    let got = rhe::solve_with_threads(problem, task, params, 4).unwrap();
+                    assert_eq!(
+                        &got, expected,
+                        "submitter {submitter} round {round} diverged from serial"
+                    );
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn panic_in_a_job_does_not_poison_the_pool() {
+    // A panicking fan-out propagates to its submitter…
+    let result = std::panic::catch_unwind(|| {
+        parallel::parallel_map(32, 4, |i| {
+            if i == 17 {
+                panic!("stress boom");
+            }
+            i
+        })
+    });
+    assert!(result.is_err(), "panic must reach the submitter");
+
+    // …and the same global pool then still runs real solves, repeatedly.
+    let (_dataset, cube) = fixture(242);
+    let problem = MiningProblem::new(&cube, 3, 0.2, 0.5);
+    let serial = rhe::solve_with_threads(&problem, Task::Similarity, &RheParams::default(), 1);
+    for _ in 0..3 {
+        let solved = rhe::solve_with_threads(&problem, Task::Similarity, &RheParams::default(), 4);
+        assert_eq!(solved, serial, "pool must keep solving after a panic");
+    }
+    // Plain fan-outs still work too.
+    assert_eq!(parallel::parallel_map(64, 4, |i| i * 2)[63], 126);
+}
+
+#[test]
+fn nested_solver_fan_out_stays_inline() {
+    // An outer fan-out whose items each run a parallel-capable solve:
+    // the inner solves must observe the fan-out flag and run inline,
+    // with identical results.
+    let (_dataset, cube) = fixture(243);
+    let problem = MiningProblem::new(&cube, 2, 0.2, 0.5);
+    let params = RheParams::default();
+    let serial = rhe::solve_with_threads(&problem, Task::Similarity, &params, 1).unwrap();
+
+    let outer = parallel::parallel_map(4, 4, |i| {
+        assert!(
+            pool::in_fan_out(),
+            "outer items must run under the fan-out flag"
+        );
+        let inner = rhe::solve_with_threads(&problem, Task::Similarity, &params, 8).unwrap();
+        (i, inner)
+    });
+    for (i, inner) in outer {
+        assert_eq!(inner, serial, "nested solve {i} diverged");
+    }
+}

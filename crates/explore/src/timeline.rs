@@ -7,9 +7,10 @@
 //! series: window, volume, overall mean and the top SM groups.
 //!
 //! Windows are independent engine calls against the already-thread-safe
-//! sharded cache, so [`TimeSlider::sweep`] mines them in parallel on
-//! [`maprat_core::parallel::num_threads`] workers (override with
-//! `MAPRAT_THREADS`). Points come back in slider order and are
+//! sharded cache, so [`TimeSlider::sweep`] mines them on the shared
+//! worker pool, up to [`maprat_core::parallel::num_threads`] workers
+//! (sized by `MAPRAT_THREADS`, read once at first use; no per-sweep
+//! OS-thread spawn). Points come back in slider order and are
 //! bit-identical for any thread count.
 
 use crate::engine::MapRatEngine;

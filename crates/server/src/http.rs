@@ -1,4 +1,5 @@
-//! A small HTTP/1.1 server on `std::net` with a crossbeam worker pool.
+//! A small HTTP/1.1 server on `std::net`, executing requests as jobs on
+//! the shared worker pool ([`maprat_core::pool`]).
 //!
 //! Scope: exactly what the demo front-end needs — `GET` requests with
 //! percent-decoded query strings, `POST` requests with `Content-Length`
@@ -6,13 +7,20 @@
 //! shutdown. Not a general-purpose web server. Method policy (which
 //! routes accept which verbs) lives in the handler, so error responses
 //! can use the application's structured shape.
+//!
+//! The server owns no request-handling threads: a bounded-concurrency
+//! accept loop dispatches each connection to [`maprat_core::pool`] as a
+//! detached job, so explain/timeline work and the serving path share one
+//! execution substrate — N concurrent requests occupy N pool workers and
+//! their solves' restart fan-outs adaptively borrow whatever workers are
+//! idle, instead of each spawning `min(restarts, cores)` OS threads.
 
-use crossbeam::channel::{bounded, Sender};
+use maprat_core::pool;
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 /// A parsed request.
@@ -232,57 +240,98 @@ pub fn parse_request(reader: &mut impl BufRead) -> Result<Request, String> {
 /// The request handler signature.
 pub type Handler = Arc<dyn Fn(&Request) -> Response + Send + Sync>;
 
-/// A running server (worker pool + acceptor thread).
+/// A counting gate bounding how many requests are in flight at once.
+///
+/// The acceptor acquires a permit per connection and blocks when the
+/// server is saturated — back-pressure lands in the TCP accept backlog
+/// instead of an unbounded job queue. Permits release through the RAII
+/// [`Permit`], so a panicking handler (caught by the pool) frees its slot
+/// during unwinding and can never wedge the server.
+struct Gate {
+    max: usize,
+    in_flight: Mutex<usize>,
+    freed: Condvar,
+}
+
+impl Gate {
+    fn new(max: usize) -> Arc<Gate> {
+        Arc::new(Gate {
+            max: max.max(1),
+            in_flight: Mutex::new(0),
+            freed: Condvar::new(),
+        })
+    }
+
+    /// Blocks until a slot frees up; returns `None` once `shutdown` is
+    /// observed, so a saturated acceptor can still wind down promptly
+    /// (the wait polls the flag — a shutdown needs no condvar kick).
+    fn acquire(self: &Arc<Gate>, shutdown: &AtomicBool) -> Option<Permit> {
+        let mut in_flight = self.in_flight.lock().unwrap();
+        while *in_flight >= self.max {
+            if shutdown.load(Ordering::SeqCst) {
+                return None;
+            }
+            let (guard, _) = self
+                .freed
+                .wait_timeout(in_flight, std::time::Duration::from_millis(50))
+                .unwrap();
+            in_flight = guard;
+        }
+        *in_flight += 1;
+        Some(Permit(Arc::clone(self)))
+    }
+}
+
+/// An in-flight-request slot, returned to the [`Gate`] on drop.
+struct Permit(Arc<Gate>);
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        let mut in_flight = self.0.in_flight.lock().unwrap();
+        *in_flight -= 1;
+        self.0.freed.notify_one();
+    }
+}
+
+/// A running server: one acceptor thread dispatching connections to the
+/// shared worker pool under a bounded-concurrency gate.
 pub struct HttpServer {
     port: u16,
     shutdown: Arc<AtomicBool>,
     acceptor: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
-    _conn_tx: Sender<TcpStream>,
 }
 
 impl HttpServer {
     /// Binds `addr` (use port 0 for an ephemeral port) and starts serving
-    /// `handler` on `workers` threads.
-    pub fn start(addr: &str, workers: usize, handler: Handler) -> std::io::Result<HttpServer> {
+    /// `handler` with at most `max_in_flight` requests handled
+    /// concurrently. Requests execute as shared-pool jobs — the server
+    /// spawns only its acceptor thread.
+    pub fn start(
+        addr: &str,
+        max_in_flight: usize,
+        handler: Handler,
+    ) -> std::io::Result<HttpServer> {
         let listener = TcpListener::bind(addr)?;
         let port = listener.local_addr()?.port();
         let shutdown = Arc::new(AtomicBool::new(false));
-        let (conn_tx, conn_rx) = bounded::<TcpStream>(64);
-
-        let worker_handles: Vec<JoinHandle<()>> = (0..workers.max(1))
-            .map(|_| {
-                let rx = conn_rx.clone();
-                let handler = Arc::clone(&handler);
-                std::thread::spawn(move || {
-                    while let Ok(mut stream) = rx.recv() {
-                        let mut reader = BufReader::new(match stream.try_clone() {
-                            Ok(s) => s,
-                            Err(_) => continue,
-                        });
-                        let response = match parse_request(&mut reader) {
-                            Ok(req) => handler(&req),
-                            Err(e) => Response::error(400, e),
-                        };
-                        let _ = response.write_to(&mut stream);
-                    }
-                })
-            })
-            .collect();
+        let gate = Gate::new(max_in_flight);
 
         let acceptor = {
             let shutdown = Arc::clone(&shutdown);
-            let tx = conn_tx.clone();
             std::thread::spawn(move || {
                 for stream in listener.incoming() {
                     if shutdown.load(Ordering::SeqCst) {
                         break;
                     }
-                    if let Ok(stream) = stream {
-                        if tx.send(stream).is_err() {
-                            break;
-                        }
-                    }
+                    let Ok(stream) = stream else { continue };
+                    let Some(permit) = gate.acquire(&shutdown) else {
+                        break; // shutdown arrived while saturated
+                    };
+                    let handler = Arc::clone(&handler);
+                    pool::global().spawn(move || {
+                        serve_connection(stream, &handler);
+                        drop(permit);
+                    });
                 }
             })
         };
@@ -291,8 +340,6 @@ impl HttpServer {
             port,
             shutdown,
             acceptor: Some(acceptor),
-            workers: worker_handles,
-            _conn_tx: conn_tx,
         })
     }
 
@@ -301,8 +348,8 @@ impl HttpServer {
         self.port
     }
 
-    /// Requests shutdown and joins the acceptor (workers drain and exit
-    /// when the connection channel closes on drop).
+    /// Requests shutdown and joins the acceptor. Requests already
+    /// dispatched to the pool finish on their own.
     pub fn shutdown(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
         // Kick the blocking accept with a dummy connection.
@@ -316,11 +363,22 @@ impl HttpServer {
 impl Drop for HttpServer {
     fn drop(&mut self) {
         self.shutdown();
-        // Close the channel so workers exit, then join them.
-        // (The Sender field drops after this body; workers join on a
-        // best-effort basis via detached threads.)
-        self.workers.clear();
     }
+}
+
+/// Serves one connection: parse, handle, respond. A read timeout keeps a
+/// silent client from pinning a pool worker (and its permit) forever.
+fn serve_connection(mut stream: TcpStream, handler: &Handler) {
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(10)));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let response = match parse_request(&mut reader) {
+        Ok(req) => handler(&req),
+        Err(e) => Response::error(400, e),
+    };
+    let _ = response.write_to(&mut stream);
 }
 
 #[cfg(test)]
@@ -444,6 +502,56 @@ mod tests {
     }
 
     #[test]
+    fn requests_beyond_the_gate_are_served_not_dropped() {
+        // max_in_flight = 1: the gate serializes, nothing is rejected.
+        let server = HttpServer::start(
+            "127.0.0.1:0",
+            1,
+            Arc::new(|req: &Request| Response::json(format!("\"{}\"", req.param("q").unwrap()))),
+        )
+        .unwrap();
+        let port = server.port();
+        let handles: Vec<_> = (0..12)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let (status, body) = get(port, &format!("/t?q=v{i}"));
+                    assert_eq!(status, 200);
+                    assert_eq!(body, format!("\"v{i}\""));
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn panicking_handler_does_not_wedge_the_server() {
+        let server = HttpServer::start(
+            "127.0.0.1:0",
+            1,
+            Arc::new(|req: &Request| {
+                if req.path == "/boom" {
+                    panic!("handler panic");
+                }
+                Response::json("\"ok\"".to_string())
+            }),
+        )
+        .unwrap();
+        // The panicking request drops its connection; the permit must be
+        // released during unwinding, or (with max_in_flight = 1) every
+        // later request would hang.
+        let mut stream = TcpStream::connect(("127.0.0.1", server.port())).unwrap();
+        write!(stream, "GET /boom HTTP/1.1\r\nHost: l\r\n\r\n").unwrap();
+        let mut buf = String::new();
+        let _ = stream.read_to_string(&mut buf); // empty: handler died
+        for _ in 0..3 {
+            let (status, body) = get(server.port(), "/fine");
+            assert_eq!((status, body.as_str()), (200, "\"ok\""));
+        }
+    }
+
+    #[test]
     fn percent_decode_edge_cases() {
         assert_eq!(percent_decode("a%20b"), "a b");
         assert_eq!(percent_decode("a+b"), "a b");
@@ -458,6 +566,36 @@ mod tests {
         assert_eq!(q.get("a").map(String::as_str), Some("2"));
         assert_eq!(q.get("b").map(String::as_str), Some(""));
         assert_eq!(q.get("c").map(String::as_str), Some(""));
+    }
+
+    #[test]
+    fn shutdown_is_prompt_even_when_saturated() {
+        // Fill the gate with a client that sends nothing (its pool job
+        // blocks reading; the permit stays held), queue one more
+        // connection so the acceptor blocks in acquire(), then shut
+        // down: the acceptor must notice the flag and exit promptly.
+        let mut server = HttpServer::start(
+            "127.0.0.1:0",
+            1,
+            Arc::new(|_req: &Request| Response::json("\"ok\"".to_string())),
+        )
+        .unwrap();
+        let port = server.port();
+        let _holder = TcpStream::connect(("127.0.0.1", port)).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(100)); // let it be accepted
+        let _queued = TcpStream::connect(("127.0.0.1", port)).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(100));
+
+        let watchdog = std::thread::spawn(move || server.shutdown());
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while !watchdog.is_finished() {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "shutdown must not hang behind a saturated gate"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        watchdog.join().unwrap();
     }
 
     #[test]

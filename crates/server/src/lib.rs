@@ -4,10 +4,11 @@
 //! * [`json`] — a minimal, escaping-correct JSON value type with a writer
 //!   and a small parser (used by the codecs, tests and tooling;
 //!   `serde_json` is not on the approved dependency list);
-//! * [`http`] — an HTTP/1.1 listener on `std::net::TcpListener` with a
-//!   crossbeam-channel worker pool, request parsing (query strings,
-//!   percent-decoding and `Content-Length` POST bodies) and graceful
-//!   shutdown;
+//! * [`http`] — an HTTP/1.1 listener on `std::net::TcpListener` whose
+//!   bounded-concurrency accept loop executes each request as a job on
+//!   the shared worker pool (`maprat_core::pool`), with request parsing
+//!   (query strings, percent-decoding and `Content-Length` POST bodies)
+//!   and graceful shutdown;
 //! * [`api`] — the typed `/api/v1` contract: request/response structs
 //!   with canonical JSON codecs, the shared GET-parameter parser, and the
 //!   structured [`api::ApiError`] every route answers errors with;

@@ -73,8 +73,15 @@ fn main() {
     eprintln!("warmed {warmed} cache entries");
 
     let state = AppState::new(engine);
-    let mut server = HttpServer::start(&format!("127.0.0.1:{port}"), 4, state.into_handler())
-        .expect("bind demo port");
+    // Requests execute as shared-pool jobs; the accept loop admits a few
+    // times the worker count and back-pressures beyond that.
+    let max_in_flight = 4 * maprat::core::parallel::num_threads();
+    let mut server = HttpServer::start(
+        &format!("127.0.0.1:{port}"),
+        max_in_flight,
+        state.into_handler(),
+    )
+    .expect("bind demo port");
     eprintln!(
         "MapRat demo listening on http://127.0.0.1:{}/",
         server.port()

@@ -103,8 +103,15 @@ fn run_serve(port: u16, data: Option<String>) -> Result<(), String> {
     );
     eprintln!("pre-computed {warmed} popular items");
     let state = AppState::new(engine);
-    let server = HttpServer::start(&format!("127.0.0.1:{port}"), 4, state.into_handler())
-        .map_err(|e| format!("cannot bind port {port}: {e}"))?;
+    // Requests execute as shared-pool jobs; the accept loop admits a few
+    // times the worker count and back-pressures beyond that.
+    let max_in_flight = 4 * maprat::core::parallel::num_threads();
+    let server = HttpServer::start(
+        &format!("127.0.0.1:{port}"),
+        max_in_flight,
+        state.into_handler(),
+    )
+    .map_err(|e| format!("cannot bind port {port}: {e}"))?;
     println!(
         "MapRat demo listening on http://127.0.0.1:{}/",
         server.port()

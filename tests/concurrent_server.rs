@@ -1,0 +1,159 @@
+//! ISSUE 4 acceptance at the HTTP layer: a live server on the shared
+//! worker pool answers concurrent GET + POST `/api/v1/explain` traffic
+//! byte-identically to a serial run on a cold engine — concurrency and
+//! pool scheduling may never leak into response bytes.
+
+use maprat::data::synth::{generate, SynthConfig};
+use maprat::server::{AppState, HttpServer};
+use maprat::MapRatEngine;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+fn read_response(stream: &mut TcpStream) -> (u16, String) {
+    let mut buf = String::new();
+    stream.read_to_string(&mut buf).unwrap();
+    let status: u16 = buf
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap();
+    let body = buf.split("\r\n\r\n").nth(1).unwrap_or("").to_string();
+    (status, body)
+}
+
+fn get(port: u16, target: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(("127.0.0.1", port)).unwrap();
+    write!(stream, "GET {target} HTTP/1.1\r\nHost: l\r\n\r\n").unwrap();
+    read_response(&mut stream)
+}
+
+fn post(port: u16, target: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(("127.0.0.1", port)).unwrap();
+    write!(
+        stream,
+        "POST {target} HTTP/1.1\r\nHost: l\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{}",
+        body.len(),
+        body
+    )
+    .unwrap();
+    read_response(&mut stream)
+}
+
+fn fresh_server() -> HttpServer {
+    // A fresh dataset + engine per server: the concurrent run must not
+    // inherit the serial run's warm cache.
+    let engine = MapRatEngine::from_dataset(generate(&SynthConfig::tiny(261)).unwrap());
+    HttpServer::start("127.0.0.1:0", 4, AppState::new(engine).into_handler()).unwrap()
+}
+
+/// The request mix: GET targets and the equivalent POST bodies (the same
+/// typed request through both transports).
+fn get_targets() -> Vec<String> {
+    (0..4)
+        .map(|k| {
+            format!(
+                "/api/v1/explain?q=Toy+Story&coverage=0.{}&geo=0",
+                10 + 5 * k
+            )
+        })
+        .collect()
+}
+
+fn post_bodies() -> Vec<String> {
+    (0..4)
+        .map(|k| {
+            format!(
+                r#"{{"query":{{"terms":[{{"field":"title","value":"Toy Story"}}]}},"settings":{{"min_coverage":0.{},"require_geo":false}}}}"#,
+                10 + 5 * k
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn concurrent_get_and_post_explains_match_the_serial_run_byte_for_byte() {
+    let targets = get_targets();
+    let bodies = post_bodies();
+
+    // Serial ground truth: every request once, one at a time, cold cache.
+    let serial_server = fresh_server();
+    let serial_get: Vec<String> = targets
+        .iter()
+        .map(|t| {
+            let (status, body) = get(serial_server.port(), t);
+            assert_eq!(status, 200, "{body}");
+            body
+        })
+        .collect();
+    let serial_post: Vec<String> = bodies
+        .iter()
+        .map(|b| {
+            let (status, body) = post(serial_server.port(), "/api/v1/explain", b);
+            assert_eq!(status, 200, "{body}");
+            body
+        })
+        .collect();
+    // Transport parity already holds serially.
+    assert_eq!(serial_get, serial_post);
+
+    // Concurrent run against a fresh (cold) server: every client fires
+    // the full GET + POST mix repeatedly, all in flight at once.
+    let concurrent_server = fresh_server();
+    let port = concurrent_server.port();
+    std::thread::scope(|scope| {
+        for client in 0..6 {
+            let targets = &targets;
+            let bodies = &bodies;
+            let serial_get = &serial_get;
+            let serial_post = &serial_post;
+            scope.spawn(move || {
+                for round in 0..2 {
+                    for i in 0..targets.len() {
+                        let i = (i + client + round) % targets.len();
+                        let (status, body) = get(port, &targets[i]);
+                        assert_eq!(status, 200, "{body}");
+                        assert_eq!(
+                            body, serial_get[i],
+                            "client {client} GET {i} diverged from the serial run"
+                        );
+                        let (status, body) = post(port, "/api/v1/explain", &bodies[i]);
+                        assert_eq!(status, 200, "{body}");
+                        assert_eq!(
+                            body, serial_post[i],
+                            "client {client} POST {i} diverged from the serial run"
+                        );
+                    }
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn concurrent_timeline_and_explain_traffic_is_consistent() {
+    // Mixed-route load: timeline sweeps (server-side pool fan-out) and
+    // explains racing on one server still answer deterministically.
+    let server = fresh_server();
+    let port = server.port();
+    let timeline = "/api/v1/timeline?q=Toy+Story&coverage=0.1&geo=0&window=12&step=12";
+    let explain = "/api/v1/explain?q=Toy+Story&coverage=0.1&geo=0";
+
+    let (status, serial_timeline) = get(port, timeline);
+    assert_eq!(status, 200, "{serial_timeline}");
+    let (status, serial_explain) = get(port, explain);
+    assert_eq!(status, 200, "{serial_explain}");
+
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let (serial_timeline, serial_explain) = (&serial_timeline, &serial_explain);
+            scope.spawn(move || {
+                for _ in 0..3 {
+                    let (status, body) = get(port, timeline);
+                    assert_eq!((status, &body), (200, serial_timeline));
+                    let (status, body) = get(port, explain);
+                    assert_eq!((status, &body), (200, serial_explain));
+                }
+            });
+        }
+    });
+}
