@@ -2,20 +2,14 @@
 //! (EXT-SCALING companion).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use maprat_bench::dataset;
-use maprat_cube::{CubeOptions, RatingCube};
+use maprat_bench::{cube_options_free2, cube_options_geo4, cube_universe, dataset};
+use maprat_cube::RatingCube;
 use std::hint::black_box;
 
 fn bench_cube(c: &mut Criterion) {
     let d = dataset();
-    // Concatenate item slices to grow |R_I|.
-    let mut universe: Vec<u32> = Vec::new();
-    for item in d.items() {
-        universe.extend(d.rating_range_for_item(item.id));
-        if universe.len() >= 40_000 {
-            break;
-        }
-    }
+    // Concatenate item slices to grow |R_I| (canonical bench universe).
+    let universe = cube_universe(d, 40_000);
 
     let mut group = c.benchmark_group("cube_build");
     group.sample_size(10);
@@ -26,30 +20,10 @@ fn bench_cube(c: &mut Criterion) {
         let slice: Vec<u32> = universe[..n].to_vec();
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::new("geo_arity4", n), &slice, |b, s| {
-            b.iter(|| {
-                black_box(RatingCube::build(
-                    d,
-                    s.clone(),
-                    CubeOptions {
-                        min_support: 5,
-                        require_geo: true,
-                        max_arity: 4,
-                    },
-                ))
-            })
+            b.iter(|| black_box(RatingCube::build(d, s.clone(), cube_options_geo4())))
         });
         group.bench_with_input(BenchmarkId::new("free_arity2", n), &slice, |b, s| {
-            b.iter(|| {
-                black_box(RatingCube::build(
-                    d,
-                    s.clone(),
-                    CubeOptions {
-                        min_support: 5,
-                        require_geo: false,
-                        max_arity: 2,
-                    },
-                ))
-            })
+            b.iter(|| black_box(RatingCube::build(d, s.clone(), cube_options_free2())))
         });
     }
     group.finish();

@@ -8,15 +8,18 @@
 //!
 //! Run: `cargo run --release -p maprat-bench --bin exp_perf_snapshot
 //! [-- out.json]` (default output: `BENCH_head.json` — deliberately
-//! *not* the committed `BENCH_pr3.json` baseline, so a bare local run
+//! *not* the committed `BENCH_pr5.json` baseline, so a bare local run
 //! can never clobber what the gate compares against).
 //!
 //! **Gate mode** (`--baseline <committed.json> [--max-regress 0.25]`):
 //! after writing the snapshot, compares the gated metrics — the
-//! `rhe_solve_*_ms` pair and `explain_cold_single_ms` (the
-//! `explain/cold_miner` path) — against the committed baseline and exits
-//! non-zero when any of them regressed by more than the tolerance
-//! (default +25%). Improvements never fail the gate.
+//! `rhe_solve_*_ms` pair, `explain_cold_single_ms` (the
+//! `explain/cold_miner` path) and `explain_cold_catalogue_ms` (the
+//! widest universe the dense cube builder serves) — against the
+//! committed baseline and exits non-zero when any of them regressed by
+//! more than the tolerance (default +25%). Improvements never fail the
+//! gate. The snapshot additionally records `cube_build_*_ms` for the
+//! materialization trajectory.
 
 use maprat_bench::timing::{summarize, time_n, time_once};
 use maprat_bench::{dataset, dataset_arc, Scale};
@@ -33,10 +36,11 @@ fn mean_ms(n: usize, mut f: impl FnMut()) -> f64 {
 }
 
 /// The metrics the CI `perf-gate` job fails on.
-const GATED_KEYS: [&str; 3] = [
+const GATED_KEYS: [&str; 4] = [
     "rhe_solve_similarity_ms",
     "rhe_solve_diversity_ms",
     "explain_cold_single_ms",
+    "explain_cold_catalogue_ms",
 ];
 
 /// Compares the gated metrics of `snapshot` against `baseline_path`;
@@ -130,6 +134,23 @@ fn main() {
         black_box(rhe::solve(&problem, Task::Diversity, &params));
     });
 
+    // Dense cube materialization on the canonical bench universe.
+    let bench_universe = maprat_bench::cube_universe(d, 16_000);
+    let cube_build_geo4_ms = mean_ms(10, || {
+        black_box(RatingCube::build(
+            d,
+            bench_universe.clone(),
+            maprat_bench::cube_options_geo4(),
+        ));
+    });
+    let cube_build_free2_ms = mean_ms(10, || {
+        black_box(RatingCube::build(
+            d,
+            bench_universe.clone(),
+            maprat_bench::cube_options_free2(),
+        ));
+    });
+
     // Cold explain latency per query class (fresh engine per measurement).
     let settings = SearchSettings::default().with_min_coverage(0.15);
     let cold_ms = |query: &ItemQuery| -> f64 {
@@ -171,6 +192,8 @@ fn main() {
         "  \"rhe_solve_similarity_ms\": {rhe_similarity_ms:.4},"
     );
     let _ = writeln!(json, "  \"rhe_solve_diversity_ms\": {rhe_diversity_ms:.4},");
+    let _ = writeln!(json, "  \"cube_build_geo4_ms\": {cube_build_geo4_ms:.4},");
+    let _ = writeln!(json, "  \"cube_build_free2_ms\": {cube_build_free2_ms:.4},");
     let _ = writeln!(
         json,
         "  \"explain_cold_single_ms\": {explain_single_ms:.4},"

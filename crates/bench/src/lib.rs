@@ -72,6 +72,41 @@ pub fn dataset() -> &'static Dataset {
     dataset_cell()
 }
 
+/// The canonical cube-bench universe: item rating ranges concatenated
+/// until `n` positions, truncated to exactly `n` — the one workload
+/// shape `bench_cube`, `bench_cube_build` and the perf-gate snapshot
+/// all measure, so they cannot silently diverge.
+pub fn cube_universe(dataset: &Dataset, n: usize) -> Vec<u32> {
+    let mut universe: Vec<u32> = Vec::with_capacity(n);
+    for item in dataset.items() {
+        universe.extend(dataset.rating_range_for_item(item.id));
+        if universe.len() >= n {
+            break;
+        }
+    }
+    universe.truncate(n);
+    universe
+}
+
+/// The geo-required, full-arity materialization options the cube
+/// benches and the perf-gate snapshot share.
+pub fn cube_options_geo4() -> maprat_cube::CubeOptions {
+    maprat_cube::CubeOptions {
+        min_support: 5,
+        require_geo: true,
+        max_arity: 4,
+    }
+}
+
+/// The attribute-free, arity-2 counterpart of [`cube_options_geo4`].
+pub fn cube_options_free2() -> maprat_cube::CubeOptions {
+    maprat_cube::CubeOptions {
+        min_support: 5,
+        require_geo: false,
+        max_arity: 2,
+    }
+}
+
 /// A shareable handle to the process-wide benchmark dataset — what
 /// `MapRatEngine` construction wants.
 pub fn dataset_arc() -> Arc<Dataset> {

@@ -229,14 +229,20 @@ impl<'p, 'c> SelectionEval<'p, 'c> {
     /// without applying it. `&mut` only to lazily rebuild the rest-union
     /// scratch after a mutation; no allocation.
     pub fn probe_covered(&mut self, mv: Move) -> usize {
-        let groups = self.problem.cube().groups();
         match mv {
             Move::Add { candidate } => {
-                self.prefix[self.members.len()].union_count(&groups[candidate].cover)
+                let d = self.members.len();
+                self.covered[d]
+                    + self
+                        .problem
+                        .missing_count(candidate, self.prefix[d].block_slice())
             }
             Move::Swap { pos, candidate } => {
                 self.ensure_rest();
-                self.rest[pos].union_count(&groups[candidate].cover)
+                self.rest_covered[pos]
+                    + self
+                        .problem
+                        .missing_count(candidate, self.rest[pos].block_slice())
             }
             Move::Drop { pos } => {
                 self.ensure_rest();

@@ -36,13 +36,18 @@ pub mod exhaustive;
 pub mod greedy;
 pub mod miner;
 pub mod parallel;
-pub mod pool;
 pub mod problem;
 pub mod query;
 pub mod random;
 pub mod rhe;
 pub mod settings;
 pub mod solution;
+
+/// The shared worker pool (re-export of the [`maprat_pool`] leaf crate,
+/// which was extracted from this module so the cube layer below can fan
+/// out on the same substrate; every pre-split `maprat_core::pool` call
+/// site keeps compiling).
+pub use maprat_pool as pool;
 
 pub use error::MineError;
 pub use eval::SelectionEval;

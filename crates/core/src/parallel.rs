@@ -1,122 +1,16 @@
 //! Deterministic fan-out over an index range — the façade both parallel
 //! RHE restarts and the parallel time-slider sweep call.
 //!
-//! [`parallel_map`] is a thin wrapper over the shared worker pool
-//! ([`crate::pool`]): work items are distributed through the pool's MPMC
-//! job channel (workers claim indices as they free up, so uneven item
-//! costs balance), results are reassembled *by index*, and every item's
-//! computation depends only on its index — never on scheduling — so the
-//! output is bit-identical for any thread count, including 1. No OS
-//! thread is spawned or joined per call: the pool's long-lived workers
-//! are created once per process.
+//! The implementation lives in the dependency-leaf [`maprat_pool`] crate
+//! (so that `maprat-cube`, which sits *below* this crate in the
+//! dependency graph, fans its per-cuboid materialization passes out over
+//! the same shared pool); this module re-exports it for the established
+//! call sites. [`parallel_map`] distributes work items through the pool's
+//! MPMC job channel (workers claim indices as they free up, so uneven
+//! item costs balance), results are reassembled *by index*, and every
+//! item's computation depends only on its index — never on scheduling —
+//! so the output is bit-identical for any thread count, including 1. No
+//! OS thread is spawned or joined per call: the pool's long-lived
+//! workers are created once per process.
 
-use crate::pool;
-use std::sync::OnceLock;
-
-/// The default worker count: `MAPRAT_THREADS` when set (`0` and `1` both
-/// disable threading), otherwise the machine's available parallelism.
-///
-/// The knob is read **once, at first use**, and cached for the process
-/// lifetime — it also sizes the shared worker pool, so flipping the
-/// environment variable after startup cannot take effect anyway. Set it
-/// before the first solve: `MAPRAT_THREADS=1` is useful for profiling and
-/// for A/B-ing the determinism guarantee; a non-numeric value is ignored.
-pub fn num_threads() -> usize {
-    static N: OnceLock<usize> = OnceLock::new();
-    *N.get_or_init(|| {
-        match std::env::var("MAPRAT_THREADS")
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-        {
-            Some(n) => n.max(1),
-            None => std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
-        }
-    })
-}
-
-/// Maps `f` over `0..n` on up to `threads` shared-pool workers (the
-/// calling thread counts as one — it helps drain its own call) and
-/// returns the results in index order.
-///
-/// Runs inline (pool untouched) when `threads <= 1`, when `n <= 1`, or
-/// when already called from inside another fan-out item (nested fan-outs
-/// don't multiply parallelism; see [`pool::in_fan_out`]). A panicking `f`
-/// propagates out of the call on the submitting thread once in-flight
-/// items finish — pool workers survive.
-pub fn parallel_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
-{
-    let threads = threads.min(n);
-    if threads <= 1 || pool::in_fan_out() {
-        return (0..n).map(f).collect();
-    }
-    pool::global().map_indexed(n, threads, f)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
-
-    #[test]
-    fn preserves_index_order() {
-        let sequential: Vec<usize> = (0..100).map(|i| i * i).collect();
-        for threads in [1, 2, 3, 8, 200] {
-            assert_eq!(parallel_map(100, threads, |i| i * i), sequential);
-        }
-    }
-
-    #[test]
-    fn runs_every_item_exactly_once() {
-        let hits = AtomicUsize::new(0);
-        let out = parallel_map(57, 4, |i| {
-            hits.fetch_add(1, Ordering::SeqCst);
-            i
-        });
-        assert_eq!(hits.load(Ordering::SeqCst), 57);
-        assert_eq!(out.len(), 57);
-    }
-
-    #[test]
-    fn empty_and_single_inputs() {
-        assert_eq!(parallel_map(0, 4, |i| i), Vec::<usize>::new());
-        assert_eq!(parallel_map(1, 4, |i| i + 1), vec![1]);
-    }
-
-    #[test]
-    fn num_threads_is_positive_and_stable() {
-        let first = num_threads();
-        assert!(first >= 1);
-        // Cached at first use: later reads agree even if the environment
-        // were to change mid-process.
-        assert_eq!(num_threads(), first);
-    }
-
-    #[test]
-    fn nested_fan_out_runs_inline_and_stays_correct() {
-        let flat_threads = AtomicUsize::new(0);
-        let out = parallel_map(6, 3, |i| {
-            // The inner fan-out must not spawn helpers: its closure runs
-            // on a thread already executing a fan-out item, so the
-            // fan-out flag stays visible to it.
-            let inner = parallel_map(4, 8, |j| {
-                if pool::in_fan_out() {
-                    flat_threads.fetch_add(1, Ordering::SeqCst);
-                }
-                i * 10 + j
-            });
-            assert_eq!(inner, vec![i * 10, i * 10 + 1, i * 10 + 2, i * 10 + 3]);
-            i
-        });
-        assert_eq!(out, (0..6).collect::<Vec<_>>());
-        assert_eq!(
-            flat_threads.load(Ordering::SeqCst),
-            24,
-            "every inner item must run inline inside the outer fan-out"
-        );
-    }
-}
+pub use maprat_pool::{num_threads, parallel_map};

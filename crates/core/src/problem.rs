@@ -55,12 +55,24 @@ pub struct MiningProblem<'a> {
     pub dm_lambda: f64,
     /// Per-candidate `stats.count()` as `f64`.
     pub(crate) cand_n: Vec<f64>,
+    /// Per-candidate `stats.count()` as integers — the solver's bound
+    /// gates compare these against precomputed integer thresholds (one
+    /// add + compare per scanned candidate, no float division).
+    pub(crate) cand_support: Vec<u32>,
     /// Per-candidate mean absolute deviation.
     pub(crate) cand_mad: Vec<f64>,
     /// Per-candidate mean rating.
     pub(crate) cand_mean: Vec<f64>,
     /// `support_prefix[j]` = sum of the `j` largest candidate supports.
     support_prefix: Vec<usize>,
+    /// Sparse cover word entries, all candidates concatenated: candidate
+    /// `i` owns `word_idx/word_bits[word_offsets[i]..word_offsets[i+1]]`
+    /// — only its covers' *non-zero* blocks. Coverage probes intersect
+    /// these few entries against the scratch unions instead of streaming
+    /// every candidate's full dense bitmap per scan.
+    word_idx: Vec<u32>,
+    word_bits: Vec<u64>,
+    word_offsets: Vec<u32>,
     /// Reusable union scratch for [`coverage`](MiningProblem::coverage), so
     /// the cold path stops allocating a fresh bitmap per call.
     cover_scratch: Mutex<Bitmap>,
@@ -71,6 +83,7 @@ impl<'a> MiningProblem<'a> {
     pub fn new(cube: &'a RatingCube, max_groups: usize, min_coverage: f64, dm_lambda: f64) -> Self {
         let groups = cube.groups();
         let cand_n: Vec<f64> = groups.iter().map(|g| g.stats.count() as f64).collect();
+        let cand_support: Vec<u32> = groups.iter().map(|g| g.support() as u32).collect();
         let cand_mad: Vec<f64> = groups
             .iter()
             .map(|g| g.stats.mean_abs_deviation().unwrap_or(0.0))
@@ -86,17 +99,59 @@ impl<'a> MiningProblem<'a> {
         for s in supports {
             support_prefix.push(support_prefix.last().expect("non-empty prefix") + s);
         }
+        let mut word_idx: Vec<u32> = Vec::new();
+        let mut word_bits: Vec<u64> = Vec::new();
+        let mut word_offsets: Vec<u32> = Vec::with_capacity(groups.len() + 1);
+        word_offsets.push(0);
+        for g in groups {
+            for (w, &bits) in g.cover.block_slice().iter().enumerate() {
+                if bits != 0 {
+                    word_idx.push(w as u32);
+                    word_bits.push(bits);
+                }
+            }
+            word_offsets.push(word_idx.len() as u32);
+        }
         MiningProblem {
             cube,
             max_groups,
             min_coverage,
             dm_lambda,
             cand_n,
+            cand_support,
             cand_mad,
             cand_mean,
             support_prefix,
+            word_idx,
+            word_bits,
+            word_offsets,
             cover_scratch: Mutex::new(Bitmap::new(cube.universe())),
         }
+    }
+
+    /// `|cover(candidate) \ base|` where `base` is a union scratch's raw
+    /// blocks: the number of positions the candidate would add to it.
+    /// Exactly `base.union_count(cover) - base.count()`, but it touches
+    /// only the candidate's non-zero blocks — candidate covers are
+    /// sparse, so a scan over the pool streams a fraction of the bytes
+    /// the dense unions would.
+    #[inline]
+    pub(crate) fn missing_count(&self, candidate: usize, base: &[u64]) -> usize {
+        let range =
+            self.word_offsets[candidate] as usize..self.word_offsets[candidate + 1] as usize;
+        let mut missing = 0usize;
+        for (&w, &bits) in self.word_idx[range.clone()]
+            .iter()
+            .zip(&self.word_bits[range])
+        {
+            debug_assert!((w as usize) < base.len(), "cover block outside universe");
+            // SAFETY: every entry's block index comes from a cover of the
+            // same universe as `base` (both `ceil(universe/64)` blocks),
+            // so `w < base.len()` by construction. This probe runs ~10⁵
+            // times per solve; the bounds check is measurable.
+            missing += (bits & !unsafe { *base.get_unchecked(w as usize) }).count_ones() as usize;
+        }
+        missing
     }
 
     /// Precomputed `(count, mean absolute deviation, mean)` of candidate

@@ -324,35 +324,6 @@ fn repair_coverage(
     }
 }
 
-/// Accepts a probed neighbour while the climb is still infeasible: any
-/// move that reaches feasibility or strictly raises coverage improves;
-/// among improving moves the best objective wins.
-#[allow(clippy::too_many_arguments)]
-fn consider_infeasible(
-    eval: &SelectionEval<'_, '_>,
-    task: Task,
-    mv: Move,
-    cov: f64,
-    current_cov: f64,
-    target: f64,
-    evaluations: &mut usize,
-    best: &mut Option<(Move, f64)>,
-) {
-    let feasible = cov + 1e-12 >= target;
-    *evaluations += 1;
-    let obj = eval.probe_objective(task, mv);
-    let improves = feasible || cov > current_cov + 1e-12;
-    if improves {
-        let better = match best {
-            None => true,
-            Some((_, best_obj)) => obj > *best_obj,
-        };
-        if better {
-            *best = Some((mv, obj));
-        }
-    }
-}
-
 /// Scans the neighbourhood — swap one member, drop one member, or add one
 /// candidate (respecting `|S| ≤ k`) — and returns the best feasible
 /// strictly improving move, if any. Every probe is allocation-free.
@@ -378,6 +349,32 @@ fn best_move(
     let current_feasible = current_cov + 1e-12 >= target;
     let mut best: Option<(Move, f64)> = None;
 
+    // The scan visits every candidate `k + 1` times per climb step; a
+    // float division in the bound gate would dominate the whole sweep.
+    // Both gate predicates are monotone in the integer covered count, so
+    // they reduce to one integer threshold each, derived once here: a
+    // float guess locally adjusted against the *original* predicate, so
+    // every decision stays bit-identical to the division form
+    // (`(a + b) as f64` and `a as f64 + b as f64` agree exactly for
+    // integer counts).
+    let max_count = 2 * problem.cube().universe() + 2;
+    let int_threshold = |guess: f64, passes: &dyn Fn(usize) -> bool| -> usize {
+        let mut t = (guess.max(0.0) as usize).min(max_count);
+        while t > 0 && passes(t - 1) {
+            t -= 1;
+        }
+        while t < max_count && !passes(t) {
+            t += 1;
+        }
+        // `t == max_count` means "no reachable count passes": every
+        // gated sum is at most `2 · universe < max_count`.
+        t
+    };
+    // `x ≥ target_min  ⟺  x/universe + 1e-12 ≥ target`.
+    let target_min = int_threshold(target * universe, &|x| {
+        x as f64 / universe + 1e-12 >= target
+    });
+
     if current_feasible {
         // Feasible phase: only the objective is compared.
         let consider = |mv: Move,
@@ -396,7 +393,11 @@ fn best_move(
                 }
             }
         };
-        let groups = problem.candidates();
+        // The scans read candidate supports from the problem's columnar
+        // `cand_support` array (L1-resident) instead of striding the fat
+        // `CandidateGroup` structs — several times less memory touched
+        // per sweep.
+        let supports = &problem.cand_support;
         for pos in 0..k {
             // The rest-union count decides drops exactly and bounds swaps
             // from both sides: rest alone feasible ⇒ every swap at this
@@ -404,22 +405,33 @@ fn best_move(
             // the target ⇒ the swap is provably infeasible. Only the
             // narrow in-between band pays for an exact union count.
             let rest_count = eval.probe_covered(Move::Drop { pos });
-            let slot_feasible = rest_count as f64 / universe + 1e-12 >= target;
+            let slot_feasible = rest_count >= target_min;
             if k > 1 && slot_feasible {
                 consider(Move::Drop { pos }, eval, evaluations, &mut best);
             }
-            for (candidate, group) in groups.iter().enumerate() {
+            for (candidate, &support) in supports.iter().enumerate() {
                 if eval.contains(candidate) {
                     continue;
                 }
+                if !slot_feasible && rest_count + (support as usize) < target_min {
+                    continue;
+                }
+                // Objective first: a candidate that does not beat both
+                // the current objective and the best move found so far
+                // can never be selected, so only objective
+                // record-breakers pay for an exact coverage probe. The
+                // accepted set (feasible ∧ better) is a conjunction —
+                // evaluating it in this order picks the same move.
                 let mv = Move::Swap { pos, candidate };
-                let feasible = slot_feasible || {
-                    let upper = (rest_count + group.support()) as f64 / universe;
-                    upper + 1e-12 >= target
-                        && eval.probe_covered(mv) as f64 / universe + 1e-12 >= target
-                };
-                if feasible {
-                    consider(mv, eval, evaluations, &mut best);
+                *evaluations += 1;
+                let obj = eval.probe_objective(task, mv);
+                let better = obj > current_obj + 1e-12
+                    && match best {
+                        None => true,
+                        Some((_, best_obj)) => obj > best_obj,
+                    };
+                if better && (slot_feasible || eval.probe_covered(mv) >= target_min) {
+                    best = Some((mv, obj));
                 }
             }
         }
@@ -435,60 +447,65 @@ fn best_move(
         return best;
     }
 
-    // Infeasible phase: exact coverage drives the climb. A move can only
-    // improve by reaching feasibility or strictly raising coverage, so:
-    // drops (whose union can only shrink) are never improving, and a swap
-    // or add whose disjoint-union *upper* bound — the other members' rest
-    // count plus the candidate's support — cannot beat the current
-    // coverage is skipped before any bitmap work.
-    let groups = problem.candidates();
+    // Infeasible phase: coverage drives the climb. A move improves iff
+    // it reaches feasibility or strictly raises coverage; drops (whose
+    // union can only shrink) are never improving, and a swap or add
+    // whose disjoint-union *upper* bound — the other members' rest count
+    // plus the candidate's support — cannot beat the current coverage is
+    // skipped before any bitmap work.
+    //
+    // `x ≥ beats_min  ⟺  x/universe > current_cov + 1e-12` (the strict
+    // complement of the old `upper <= current_cov + 1e-12` skip).
+    let beats_min = int_threshold(current_cov * universe, &|x| {
+        x as f64 / universe > current_cov + 1e-12
+    });
+    // Objective first, as in the feasible phase: only objective
+    // record-breakers pay for an exact coverage probe (accepting requires
+    // improving ∧ better, a conjunction — same move either order).
+    let consider_improving = |mv: Move,
+                              eval: &mut SelectionEval<'_, '_>,
+                              evaluations: &mut usize,
+                              best: &mut Option<(Move, f64)>| {
+        *evaluations += 1;
+        let obj = eval.probe_objective(task, mv);
+        let better = match best {
+            None => true,
+            Some((_, best_obj)) => obj > *best_obj,
+        };
+        if better {
+            let cov_count = eval.probe_covered(mv);
+            if cov_count >= target_min || cov_count >= beats_min {
+                *best = Some((mv, obj));
+            }
+        }
+    };
+
+    let supports = &problem.cand_support;
     for pos in 0..k {
         let rest_count = eval.probe_covered(Move::Drop { pos });
-        for (candidate, group) in groups.iter().enumerate() {
+        for (candidate, &support) in supports.iter().enumerate() {
             if eval.contains(candidate) {
                 continue;
             }
-            let upper = (rest_count + group.support()) as f64 / universe;
-            if upper <= current_cov + 1e-12 {
+            if rest_count + (support as usize) < beats_min {
                 continue;
             }
             let mv = Move::Swap { pos, candidate };
-            let cov = eval.probe_covered(mv) as f64 / universe;
-            consider_infeasible(
-                eval,
-                task,
-                mv,
-                cov,
-                current_cov,
-                target,
-                evaluations,
-                &mut best,
-            );
+            consider_improving(mv, eval, evaluations, &mut best);
         }
     }
     // Add moves.
     if k < problem.max_groups {
         let covered = eval.covered_count();
-        for (candidate, group) in groups.iter().enumerate() {
+        for (candidate, &support) in supports.iter().enumerate() {
             if eval.contains(candidate) {
                 continue;
             }
-            let upper = (covered + group.support()) as f64 / universe;
-            if upper <= current_cov + 1e-12 {
+            if covered + (support as usize) < beats_min {
                 continue;
             }
             let mv = Move::Add { candidate };
-            let cov = eval.probe_covered(mv) as f64 / universe;
-            consider_infeasible(
-                eval,
-                task,
-                mv,
-                cov,
-                current_cov,
-                target,
-                evaluations,
-                &mut best,
-            );
+            consider_improving(mv, eval, evaluations, &mut best);
         }
     }
 

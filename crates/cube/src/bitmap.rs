@@ -6,6 +6,97 @@
 //! tens of thousands) a cover is a few KiB, and unions run at memory
 //! bandwidth.
 
+use std::sync::{Arc, Mutex};
+
+/// Cap on recycled chunk buffers parked in [`CHUNK_FREELIST`] (≈ 16 MiB
+/// at the builder's 64 KiB chunk size).
+const FREELIST_MAX: usize = 256;
+
+/// Only buffers up to the standard chunk size are parked (keeping the
+/// freelist's worst case at `FREELIST_MAX × 64 KiB` = the documented
+/// 16 MiB); the oversized single-cover chunks of outsized universes
+/// free normally instead of pinning megabytes each.
+const FREELIST_MAX_WORDS: usize = 8 * 1024;
+
+/// Recycled cover-block buffers.
+///
+/// A cube build materializes megabytes of cover blocks and a dropped
+/// cube frees them all at once; handing that memory back to the
+/// allocator lets glibc trim the heap top, so the *next* build
+/// page-faults every block back in (kernel-zeroing included) — measured
+/// at more than half the whole materialization cost. Parking the
+/// buffers here instead keeps the pages mapped and warm.
+static CHUNK_FREELIST: Mutex<Vec<Vec<u64>>> = Mutex::new(Vec::new());
+
+/// A cover-block chunk that returns its buffer to the freelist on drop.
+#[derive(Debug)]
+pub(crate) struct PooledBlocks(Vec<u64>);
+
+impl PooledBlocks {
+    #[inline]
+    fn blocks(&self) -> &[u64] {
+        &self.0
+    }
+}
+
+impl Drop for PooledBlocks {
+    fn drop(&mut self) {
+        let buf = std::mem::take(&mut self.0);
+        if buf.capacity() > 0 && buf.capacity() <= FREELIST_MAX_WORDS {
+            let mut freelist = CHUNK_FREELIST.lock().unwrap();
+            if freelist.len() < FREELIST_MAX {
+                freelist.push(buf);
+            }
+        }
+    }
+}
+
+/// Hands out a zeroed `words`-long chunk buffer, recycling a parked one
+/// when available (zeroing warm pages streams at memory bandwidth;
+/// faulting fresh ones does not).
+pub(crate) fn alloc_chunk(words: usize) -> Vec<u64> {
+    let recycled = CHUNK_FREELIST.lock().unwrap().pop();
+    match recycled {
+        Some(mut buf) => {
+            buf.clear();
+            buf.resize(words, 0);
+            buf
+        }
+        None => vec![0u64; words],
+    }
+}
+
+/// Wraps a filled chunk buffer for sharing between its covers.
+pub(crate) fn seal_chunk(blocks: Vec<u64>) -> Arc<PooledBlocks> {
+    Arc::new(PooledBlocks(blocks))
+}
+
+/// Block storage of a bitmap: privately owned, or a slice of a shared
+/// columnar block pool.
+///
+/// The cube builder materializes every cover of a cuboid into **one**
+/// flat allocation (thousands of 2 KiB covers otherwise cost more in
+/// `malloc` traffic than the whole counting pass) and hands each
+/// candidate a `Shared` window into it. Reads see a plain `&[u64]`
+/// either way; the first mutation of a shared bitmap copies its window
+/// out (copy-on-write), so scratch bitmaps in the mining loops — which
+/// are constructed owned — never pay the branch-and-copy.
+#[derive(Debug, Clone)]
+enum Blocks {
+    Owned(Vec<u64>),
+    Shared {
+        /// The whole columnar pool chunk (shared, never reallocated;
+        /// recycled through the chunk freelist when the last cover
+        /// drops). `Arc<PooledBlocks>` wraps a moved-in buffer — never a
+        /// copy (the pools are megabytes at catalogue scale).
+        pool: Arc<PooledBlocks>,
+        /// First block of this bitmap's window inside `pool`.
+        start: usize,
+        /// Number of blocks in the window.
+        words: usize,
+    },
+}
+
 /// A fixed-universe bitset.
 ///
 /// ```
@@ -17,18 +108,59 @@
 /// a.union_with(&b);
 /// assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 5, 70, 99]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Bitmap {
     len: usize,
-    blocks: Vec<u64>,
+    blocks: Blocks,
 }
+
+impl PartialEq for Bitmap {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.blocks() == other.blocks()
+    }
+}
+
+impl Eq for Bitmap {}
 
 impl Bitmap {
     /// Creates an empty bitmap over the universe `0..len`.
     pub fn new(len: usize) -> Self {
         Bitmap {
             len,
-            blocks: vec![0; len.div_ceil(64)],
+            blocks: Blocks::Owned(vec![0; len.div_ceil(64)]),
+        }
+    }
+
+    /// Wraps a window of a shared block pool as a read-optimized bitmap
+    /// over `0..len` (blocks `start..start + ceil(len/64)` of `pool`).
+    /// Mutation copies the window out first (copy-on-write).
+    pub(crate) fn from_shared_pool(len: usize, pool: Arc<PooledBlocks>, start: usize) -> Self {
+        let words = len.div_ceil(64);
+        debug_assert!(start + words <= pool.blocks().len());
+        Bitmap {
+            len,
+            blocks: Blocks::Shared { pool, start, words },
+        }
+    }
+
+    /// The block slice (either representation).
+    #[inline]
+    fn blocks(&self) -> &[u64] {
+        match &self.blocks {
+            Blocks::Owned(v) => v,
+            Blocks::Shared { pool, start, words } => &pool.blocks()[*start..*start + *words],
+        }
+    }
+
+    /// Mutable blocks; a shared window is copied out (once) first.
+    #[inline]
+    fn blocks_mut(&mut self) -> &mut [u64] {
+        if let Blocks::Shared { .. } = self.blocks {
+            self.blocks = Blocks::Owned(self.blocks().to_vec());
+        }
+        match &mut self.blocks {
+            Blocks::Owned(v) => v,
+            Blocks::Shared { .. } => unreachable!("just converted to owned"),
         }
     }
 
@@ -45,29 +177,30 @@ impl Bitmap {
     #[inline]
     pub fn set(&mut self, i: usize) {
         assert!(i < self.len, "bit {i} outside universe {}", self.len);
-        self.blocks[i / 64] |= 1u64 << (i % 64);
+        self.blocks_mut()[i / 64] |= 1u64 << (i % 64);
     }
 
     /// Whether position `i` is set.
     #[inline]
     pub fn get(&self, i: usize) -> bool {
         assert!(i < self.len, "bit {i} outside universe {}", self.len);
-        self.blocks[i / 64] & (1u64 << (i % 64)) != 0
+        self.blocks()[i / 64] & (1u64 << (i % 64)) != 0
     }
 
     /// Number of set positions.
+    #[inline]
     pub fn count(&self) -> usize {
-        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+        self.blocks().iter().map(|b| b.count_ones() as usize).sum()
     }
 
     /// Whether no position is set.
     pub fn is_empty(&self) -> bool {
-        self.blocks.iter().all(|&b| b == 0)
+        self.blocks().iter().all(|&b| b == 0)
     }
 
     /// Clears all positions (keeps the universe).
     pub fn clear(&mut self) {
-        self.blocks.fill(0);
+        self.blocks_mut().fill(0);
     }
 
     /// Overwrites `self` with the contents of `other` without allocating
@@ -76,73 +209,89 @@ impl Bitmap {
     ///
     /// # Panics
     /// Panics on universe mismatch.
+    #[inline]
     pub fn copy_from(&mut self, other: &Bitmap) {
         assert_eq!(self.len, other.len, "universe mismatch");
-        self.blocks.copy_from_slice(&other.blocks);
+        self.blocks_mut().copy_from_slice(other.blocks());
     }
 
     /// In-place union: `self |= other`.
     ///
     /// # Panics
     /// Panics on universe mismatch.
+    #[inline]
     pub fn union_with(&mut self, other: &Bitmap) {
         assert_eq!(self.len, other.len, "universe mismatch");
-        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+        for (a, b) in self.blocks_mut().iter_mut().zip(other.blocks()) {
             *a |= b;
         }
     }
 
     /// In-place intersection: `self &= other`.
+    #[inline]
     pub fn intersect_with(&mut self, other: &Bitmap) {
         assert_eq!(self.len, other.len, "universe mismatch");
-        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+        for (a, b) in self.blocks_mut().iter_mut().zip(other.blocks()) {
             *a &= b;
         }
     }
 
     /// In-place difference: `self &= !other`.
+    #[inline]
     pub fn subtract(&mut self, other: &Bitmap) {
         assert_eq!(self.len, other.len, "universe mismatch");
-        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+        for (a, b) in self.blocks_mut().iter_mut().zip(other.blocks()) {
             *a &= !b;
         }
     }
 
     /// `|self ∩ other|` without allocating.
+    #[inline]
     pub fn intersection_count(&self, other: &Bitmap) -> usize {
         assert_eq!(self.len, other.len, "universe mismatch");
-        self.blocks
+        self.blocks()
             .iter()
-            .zip(&other.blocks)
+            .zip(other.blocks())
             .map(|(a, b)| (a & b).count_ones() as usize)
             .sum()
     }
 
     /// `|self ∪ other|` without allocating.
+    #[inline]
     pub fn union_count(&self, other: &Bitmap) -> usize {
         assert_eq!(self.len, other.len, "universe mismatch");
-        self.blocks
+        self.blocks()
             .iter()
-            .zip(&other.blocks)
+            .zip(other.blocks())
             .map(|(a, b)| (a | b).count_ones() as usize)
             .sum()
     }
 
     /// Whether every set position of `self` is also set in `other`.
+    #[inline]
     pub fn is_subset_of(&self, other: &Bitmap) -> bool {
         assert_eq!(self.len, other.len, "universe mismatch");
-        self.blocks
+        self.blocks()
             .iter()
-            .zip(&other.blocks)
+            .zip(other.blocks())
             .all(|(a, b)| a & !b == 0)
+    }
+
+    /// The raw `u64` blocks (64 positions per block, little-endian bit
+    /// order). Read-only: the mining layer's sparse probes intersect
+    /// candidate word entries against scratch blocks directly.
+    #[inline]
+    pub fn block_slice(&self) -> &[u64] {
+        self.blocks()
     }
 
     /// Iterates the set positions in ascending order.
     pub fn iter(&self) -> BitmapIter<'_> {
+        let blocks = self.blocks();
         BitmapIter {
-            bitmap: self,
+            blocks,
             block_idx: 0,
-            current: self.blocks.first().copied().unwrap_or(0),
+            current: blocks.first().copied().unwrap_or(0),
         }
     }
 
@@ -158,7 +307,7 @@ impl Bitmap {
 
 /// Ascending iterator over set positions.
 pub struct BitmapIter<'a> {
-    bitmap: &'a Bitmap,
+    blocks: &'a [u64],
     block_idx: usize,
     current: u64,
 }
@@ -174,10 +323,10 @@ impl Iterator for BitmapIter<'_> {
                 return Some(self.block_idx * 64 + bit);
             }
             self.block_idx += 1;
-            if self.block_idx >= self.bitmap.blocks.len() {
+            if self.block_idx >= self.blocks.len() {
                 return None;
             }
-            self.current = self.bitmap.blocks[self.block_idx];
+            self.current = self.blocks[self.block_idx];
         }
     }
 }
@@ -259,6 +408,35 @@ mod tests {
         bm.clear();
         assert!(bm.is_empty());
         assert_eq!(bm.universe(), 50);
+    }
+
+    #[test]
+    fn shared_pool_windows_behave_like_owned_bitmaps() {
+        // Two bitmaps carved out of one flat pool (the builder's cover
+        // layout): reads see their windows, mutation copies out.
+        let universe = 70; // 2 blocks per window
+        let pool = seal_chunk(vec![0b1011u64, 0, 0b100u64, 1 << 5]);
+        let a = Bitmap::from_shared_pool(universe, Arc::clone(&pool), 0);
+        let b = Bitmap::from_shared_pool(universe, Arc::clone(&pool), 2);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![0, 1, 3]);
+        assert_eq!(b.iter().collect::<Vec<_>>(), vec![2, 69]);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a, Bitmap::from_positions(universe, [0, 1, 3]));
+
+        // Copy-on-write: mutating one window leaves the pool (and the
+        // sibling) untouched.
+        let mut c = a.clone();
+        c.set(42);
+        assert!(c.get(42));
+        assert!(!a.get(42), "mutation must not write through the pool");
+        assert_eq!(b.iter().collect::<Vec<_>>(), vec![2, 69]);
+
+        // Owned/shared mixes interoperate in set algebra.
+        let owned = Bitmap::from_positions(universe, [1, 2]);
+        assert_eq!(a.intersection_count(&owned), 1);
+        let mut u = owned.clone();
+        u.union_with(&b);
+        assert_eq!(u.iter().collect::<Vec<_>>(), vec![1, 2, 69]);
     }
 
     #[test]

@@ -1,10 +1,44 @@
 //! Iceberg-cube materialization of candidate groups over a rating set.
+//!
+//! # Dense columnar materialization
+//!
+//! The reviewer schema is tiny and fully enumerable (7 ages × 2 genders ×
+//! 21 occupations × 51 states = 14 994 base cells), so no hashing is
+//! needed to accumulate cells: the dataset precomputes one packed 15-bit
+//! reviewer code per rating ([`maprat_data::PackedUserCode`]), and every
+//! cuboid maps a code to a dense *cell id* with shift/mask field
+//! extraction and precomputed mixed-radix multipliers. Materialization
+//! is two passes:
+//!
+//! 1. a **counting pass** gathers the universe's code/score columns,
+//!    counting-sorts the positions by *distinct reviewer profile* (base
+//!    cell), rolls every cuboid's flat cell counts up from the profiles
+//!    (so per-cuboid work scales with the distinct-profile count, not
+//!    `|R_I|`), applies the iceberg threshold, and assigns each
+//!    surviving cell its candidate slot in the deterministic
+//!    coarse-to-fine order;
+//! 2. a **fill pass** ORs each profile's precomputed sparse word
+//!    pattern directly into preallocated cover blocks, and sums the
+//!    per-survivor score histograms the [`maprat_data::RatingStats`]
+//!    are rebuilt from (bit-identical to a per-rating fold) — no
+//!    `HashMap`, no per-cell position `Vec`s, no `from_positions` copy,
+//!    and **no per-rating heap allocation** (enforced by a
+//!    counting-allocator test). Covers are windows of shared per-cuboid
+//!    block chunks recycled through a freelist across builds.
+//!
+//! Cell ids are decoded back to [`GroupDesc`]s only for survivors. The
+//! per-cuboid passes fan out over the shared worker pool
+//! ([`maprat_pool`]), with the pool's bit-identical-for-any-thread-count
+//! guarantee; results are byte-for-byte those of the naive
+//! hash-accumulating builder (enforced by a property test against the
+//! retained [`crate::oracle`]).
 
 use crate::bitmap::Bitmap;
 use crate::group::GroupDesc;
 use crate::lattice::{attribute_subsets, geo_cuboids, Cuboid};
-use maprat_data::{Dataset, RatingIdx, RatingStats};
-use std::collections::HashMap;
+use maprat_data::{Dataset, PackedUserCode, RatingIdx, RatingStats, UserAttr};
+use maprat_pool::{num_threads, parallel_map};
+use std::sync::Arc;
 
 /// Materialization options.
 #[derive(Debug, Clone)]
@@ -54,28 +88,176 @@ impl CandidateGroup {
     }
 }
 
-/// The iceberg cube over one query's rating set `R_I`.
-#[derive(Debug, Clone)]
-pub struct RatingCube {
-    /// Dense dataset rating indexes forming `R_I`; position `p` in every
-    /// cover refers to `rating_idx[p]`.
-    rating_idx: Vec<u32>,
-    groups: Vec<CandidateGroup>,
-    by_desc: HashMap<GroupDesc, usize>,
-    total: RatingStats,
-    options: CubeOptions,
+/// Sentinel in a cell → slot lookup table: the cell is below threshold.
+const NO_SLOT: u32 = u32::MAX;
+
+/// Size (in `u64` blocks) of one shared cover-pool chunk: 64 KiB — small
+/// enough that glibc serves it from recycled heap memory instead of a
+/// fresh `mmap` (whose zero pages would fault in on every build).
+const CHUNK_WORDS: usize = 8 * 1024;
+
+/// One shift/mask/multiplier lane of a cuboid's cell-id computation.
+/// Unused lanes have `mask == 0` (and thus contribute 0), so the encoder
+/// is a fixed, branch-free 4-lane dot product.
+#[derive(Debug, Clone, Copy, Default)]
+struct FieldLane {
+    shift: u32,
+    mask: u32,
+    mult: u32,
 }
 
-impl RatingCube {
-    /// Materializes the iceberg cube over the given dataset rating indexes.
+/// A cuboid's dense cell-id layout: mixed-radix multipliers over the
+/// packed-code fields of its attributes, in canonical attribute order
+/// (last attribute fastest).
+#[derive(Debug, Clone)]
+struct CellLayout {
+    cuboid: Cuboid,
+    /// Encoder lanes (padded to 4 with zero lanes).
+    lanes: [FieldLane; 4],
+    /// Decoder: `(attr, cardinality, multiplier)` per attribute.
+    radix: Vec<(UserAttr, u32, u32)>,
+    /// Total number of cells (product of cardinalities).
+    cells: usize,
+}
+
+impl CellLayout {
+    fn new(cuboid: Cuboid) -> CellLayout {
+        // Mixed-radix multipliers: attr_j's multiplier is the product of
+        // the cardinalities of the attributes after it (row-major).
+        let mut radix: Vec<(UserAttr, u32, u32)> = cuboid
+            .attrs_iter()
+            .map(|a| (a, a.cardinality() as u32, 1))
+            .collect();
+        let mut mult = 1u32;
+        for entry in radix.iter_mut().rev() {
+            entry.2 = mult;
+            mult *= entry.1;
+        }
+        let mut lanes = [FieldLane::default(); 4];
+        for (lane, &(attr, _, m)) in lanes.iter_mut().zip(&radix) {
+            *lane = FieldLane {
+                shift: PackedUserCode::shift(attr),
+                mask: u32::from(PackedUserCode::mask(attr)),
+                mult: m,
+            };
+        }
+        CellLayout {
+            cuboid,
+            lanes,
+            radix,
+            cells: mult as usize,
+        }
+    }
+
+    /// The dense cell id of a packed reviewer code — four shift/mask/
+    /// multiply lanes, no branches, no hashing.
+    #[inline(always)]
+    fn cell_of(&self, code: u16) -> usize {
+        let c = u32::from(code);
+        let l = &self.lanes;
+        (((c >> l[0].shift) & l[0].mask) * l[0].mult
+            + ((c >> l[1].shift) & l[1].mask) * l[1].mult
+            + ((c >> l[2].shift) & l[2].mask) * l[2].mult
+            + ((c >> l[3].shift) & l[3].mask) * l[3].mult) as usize
+    }
+
+    /// Decodes a cell id back to its group descriptor (survivors only —
+    /// the hot loops never run this).
+    fn decode(&self, cell: u32) -> GroupDesc {
+        let mut values = [0xFFu8; 4];
+        for &(attr, card, mult) in &self.radix {
+            values[attr.index()] = ((cell / mult) % card) as u8;
+        }
+        GroupDesc::from_raw_values(values)
+    }
+}
+
+/// The per-cuboid piece of a prepared build: the cell layout plus the
+/// slot assignment its fill pass writes through.
+#[derive(Debug)]
+struct CuboidPass {
+    layout: CellLayout,
+    /// Cell id → local survivor index (`NO_SLOT` = below threshold).
+    local: Vec<u32>,
+    /// Local survivor index → global candidate slot.
+    globals: Vec<u32>,
+    /// Prefix sums of per-survivor word-entry counts
+    /// (`len == globals.len() + 1`): survivor `l`'s regrouped word
+    /// entries land at `entry_offsets[l]..entry_offsets[l+1]` in the
+    /// fill pass's scatter buffers.
+    entry_offsets: Vec<u32>,
+}
+
+/// The output of the counting pass, ready for the fill pass: the
+/// universe counting-sorted by *distinct reviewer profile* (base cell),
+/// plus slot assignments for every surviving cell of every cuboid, in
+/// the final (deterministic, coarse-to-fine) candidate order.
+///
+/// The profile grouping is the load-bearing trick: every per-cuboid
+/// quantity — cell counts, score histograms, covers — rolls up from the
+/// per-profile ranges, so per-cuboid work scales with the number of
+/// distinct reviewer profiles in `R_I` (bounded by the reviewer
+/// population and by the 14 994-cell base cuboid), not with `|R_I|`.
+///
+/// Exposed (hidden) so the allocation-guard test can warm a build and
+/// then measure the fill pass in isolation.
+#[doc(hidden)]
+#[derive(Debug)]
+pub struct CubePlan {
+    rating_idx: Arc<[u32]>,
+    options: CubeOptions,
+    /// The packed reviewer code of each distinct profile, in ascending
+    /// base-cell order.
+    profiles: Vec<u16>,
+    /// Per-profile score histograms; a survivor's stats are the sum of
+    /// its member profiles' histograms.
+    profile_hists: Vec<[u32; 5]>,
+    /// Per-profile cover bit patterns as a sparse word CSR: profile `k`
+    /// ORs `word_bits[j]` into cover block `word_idx[j]` for
+    /// `j ∈ word_offsets[k]..word_offsets[k+1]`. A profile's pattern is
+    /// identical in every cuboid, so it is computed once and OR-swept
+    /// once per cuboid.
+    word_idx: Vec<u32>,
+    word_bits: Vec<u64>,
+    word_offsets: Vec<u32>,
+    passes: Vec<CuboidPass>,
+    /// Decoded descriptors, in final slot order.
+    slot_descs: Vec<GroupDesc>,
+    total: RatingStats,
+}
+
+/// Reconstructs the packed reviewer code of a base-cuboid cell.
+fn code_of_base_cell(base: &CellLayout, cell: usize) -> u16 {
+    let mut code = 0u16;
+    for &(attr, card, mult) in &base.radix {
+        let v = (cell as u32 / mult) % card;
+        code |= (v as u16) << PackedUserCode::shift(attr);
+    }
+    code
+}
+
+impl CubePlan {
+    /// Gather + counting pass.
     ///
-    /// Runs one pass over `|R_I| × #cuboids` cells (8 geo cuboids by
-    /// default), accumulating per-cell aggregates and position lists, then
-    /// freezes cells above the support threshold into bitmap-backed
-    /// candidates.
-    pub fn build(dataset: &Dataset, rating_idx: Vec<u32>, options: CubeOptions) -> Self {
-        let universe = rating_idx.len();
-        let cuboids: Vec<Cuboid> = if options.require_geo {
+    /// Materializes the code/score columns for the universe, counting-
+    /// sorts the positions by *base cell* (one universal grouping: every
+    /// distinct reviewer profile is one base-cuboid cell, whatever the
+    /// requested cuboid set), rolls each cuboid's cell counts up from
+    /// the distinct profiles, applies the iceberg threshold, and assigns
+    /// surviving cells their candidate slots in coarse-to-fine
+    /// descriptor order.
+    #[doc(hidden)]
+    pub fn prepare(
+        dataset: &Dataset,
+        rating_idx: Vec<u32>,
+        options: CubeOptions,
+        _threads: usize,
+    ) -> CubePlan {
+        // (The counting pass rolls every cuboid up from the distinct
+        // profiles — a few thousand adds in total — so it no longer pays
+        // to fan out; the parameter is kept for the fill pass's sibling
+        // signature.)
+        let layouts: Vec<CellLayout> = if options.require_geo {
             geo_cuboids()
         } else {
             attribute_subsets()
@@ -85,44 +267,325 @@ impl RatingCube {
             let d = c.dimensionality() as usize;
             d >= 1 && d <= options.max_arity
         })
+        .map(CellLayout::new)
         .collect();
 
-        let mut cells: HashMap<GroupDesc, (RatingStats, Vec<u32>)> = HashMap::new();
-        let mut total = RatingStats::new();
-        for (pos, &ridx) in rating_idx.iter().enumerate() {
-            let rating = dataset.rating(RatingIdx(ridx));
-            let user = dataset.user(rating.user);
-            total.push(rating.score);
-            for &cuboid in &cuboids {
-                let desc = GroupDesc::project(user, cuboid.0);
-                let (stats, positions) = cells.entry(desc).or_default();
-                stats.push(rating.score);
-                positions.push(pos as u32);
+        // Gather pass: one contiguous code column and one score column
+        // for the universe, plus the total aggregate.
+        let all_codes = dataset.rating_user_codes();
+        let all_bins = dataset.rating_score_bins();
+        let mut codes: Vec<u16> = Vec::with_capacity(rating_idx.len());
+        let mut bins: Vec<u8> = Vec::with_capacity(rating_idx.len());
+        let mut total_hist = [0u64; 5];
+        for &ridx in &rating_idx {
+            let i = RatingIdx(ridx).index();
+            codes.push(all_codes[i]);
+            let bin = all_bins[i];
+            bins.push(bin);
+            total_hist[usize::from(bin)] += 1;
+        }
+        let total = RatingStats::from_histogram(total_hist);
+        let universe = codes.len();
+
+        // Universal base-cell counting sort: group the positions by
+        // distinct reviewer profile. This is the only place the builder
+        // scans per rating per anything; everything per-cuboid below
+        // runs over the (much smaller) distinct-profile list.
+        let base = CellLayout::new(Cuboid::BASE);
+        let mut counts = vec![0u32; base.cells];
+        for &code in &codes {
+            counts[base.cell_of(code)] += 1;
+        }
+        let mut cursor = vec![0u32; base.cells];
+        let mut sum = 0u32;
+        for (cur, &c) in cursor.iter_mut().zip(&counts) {
+            *cur = sum;
+            sum += c;
+        }
+        let mut positions = vec![0u32; universe];
+        for (pos, &code) in codes.iter().enumerate() {
+            let cell = base.cell_of(code);
+            positions[cursor[cell] as usize] = pos as u32;
+            cursor[cell] += 1;
+        }
+        // Compact the non-empty cells into the profile list (ascending
+        // base-cell order; after the scatter `cursor[cell]` is the END
+        // of the cell's contiguous range).
+        let mut profiles: Vec<u16> = Vec::new();
+        let mut profile_offsets: Vec<u32> = vec![0];
+        for (cell, &cnt) in counts.iter().enumerate() {
+            if cnt > 0 {
+                profiles.push(code_of_base_cell(&base, cell));
+                profile_offsets.push(cursor[cell]);
+            }
+        }
+        let mut profile_hists = vec![[0u32; 5]; profiles.len()];
+        for (k, hist) in profile_hists.iter_mut().enumerate() {
+            let range = profile_offsets[k] as usize..profile_offsets[k + 1] as usize;
+            for &p in &positions[range] {
+                hist[usize::from(bins[p as usize])] += 1;
             }
         }
 
-        let mut groups: Vec<CandidateGroup> = cells
+        // Per-profile cover bit patterns (sparse word CSR). A profile
+        // covers the same positions in every cuboid it survives into, so
+        // the pattern is materialized once here and the fill pass ORs
+        // whole words instead of re-deriving block/bit per rating per
+        // cuboid. Positions are ascending within a profile, so runs
+        // sharing a block fold into one entry.
+        let mut word_idx: Vec<u32> = Vec::with_capacity(universe);
+        let mut word_bits: Vec<u64> = Vec::with_capacity(universe);
+        let mut word_offsets: Vec<u32> = Vec::with_capacity(profiles.len() + 1);
+        word_offsets.push(0);
+        for k in 0..profiles.len() {
+            let range = profile_offsets[k] as usize..profile_offsets[k + 1] as usize;
+            let mut current = u32::MAX;
+            for &p in &positions[range] {
+                let w = p / 64;
+                if w != current {
+                    word_idx.push(w);
+                    word_bits.push(0);
+                    current = w;
+                }
+                *word_bits.last_mut().expect("just pushed") |= 1u64 << (p % 64);
+            }
+            word_offsets.push(word_idx.len() as u32);
+        }
+
+        // Per-cuboid cell counts (and per-cell word-entry counts for the
+        // fill pass's regrouping), rolled up from the distinct profiles
+        // — a handful of adds per profile, not a pass over the universe.
+        // An empty cell can never become a candidate, so the effective
+        // threshold is at least 1 (matching the naive builder, which
+        // only ever saw touched cells).
+        let min_support = options.min_support.max(1) as u32;
+        let mut survivors: Vec<(GroupDesc, usize, u32, u32)> = Vec::new();
+        for (ci, layout) in layouts.iter().enumerate() {
+            let mut cell_counts = vec![0u32; layout.cells];
+            let mut cell_entries = vec![0u32; layout.cells];
+            for (k, &code) in profiles.iter().enumerate() {
+                let cell = layout.cell_of(code);
+                cell_counts[cell] += profile_offsets[k + 1] - profile_offsets[k];
+                cell_entries[cell] += word_offsets[k + 1] - word_offsets[k];
+            }
+            let arity = layout.cuboid.dimensionality() as usize;
+            for (cell, &n) in cell_counts.iter().enumerate() {
+                if n >= min_support {
+                    let desc = layout.decode(cell as u32);
+                    debug_assert_eq!(desc.arity(), arity);
+                    survivors.push((desc, ci, cell as u32, cell_entries[cell]));
+                }
+            }
+        }
+
+        // Survivors ordered coarse-to-fine (arity, then descriptor) —
+        // the same deterministic candidate order the naive builder's
+        // sort produced. Keys are unique (a descriptor identifies its
+        // cuboid), so the order is total.
+        survivors.sort_unstable_by_key(|&(desc, _, _, _)| desc.sort_key());
+
+        let mut passes: Vec<CuboidPass> = layouts
             .into_iter()
-            .filter(|(_, (stats, _))| stats.count() as usize >= options.min_support)
-            .map(|(desc, (stats, positions))| CandidateGroup {
-                desc,
-                cover: Bitmap::from_positions(universe, positions.iter().map(|&p| p as usize)),
-                stats,
+            .map(|layout| CuboidPass {
+                local: vec![NO_SLOT; layout.cells],
+                globals: Vec::new(),
+                entry_offsets: vec![0],
+                layout,
             })
             .collect();
-        // Deterministic candidate order: coarse-to-fine, then descriptor.
-        groups.sort_by_key(|g| (g.desc.arity(), g.desc));
+        let mut slot_descs = Vec::with_capacity(survivors.len());
+        for (slot, &(desc, ci, cell, entries)) in survivors.iter().enumerate() {
+            let pass = &mut passes[ci];
+            pass.local[cell as usize] = pass.globals.len() as u32;
+            pass.globals.push(slot as u32);
+            let last = *pass.entry_offsets.last().expect("starts at [0]");
+            pass.entry_offsets.push(last + entries);
+            slot_descs.push(desc);
+        }
 
-        let by_desc = groups
-            .iter()
-            .enumerate()
-            .map(|(i, g)| (g.desc, i))
+        CubePlan {
+            rating_idx: rating_idx.into(),
+            options,
+            profiles,
+            profile_hists,
+            word_idx,
+            word_bits,
+            word_offsets,
+            passes,
+            slot_descs,
+            total,
+        }
+    }
+
+    /// Fill pass: sets cover bits directly into each cuboid's
+    /// preallocated columnar block pools and sums per-survivor score
+    /// histograms from the per-profile histograms, fanned out per cuboid
+    /// over the shared pool, then assembles the cube.
+    ///
+    /// Per cuboid the word entries are first regrouped *by survivor* (a
+    /// counting sort over the compact entry lists — cache-resident), and
+    /// pools are then written chunk by chunk: each 64 KiB chunk is
+    /// zeroed and immediately ORed full while still cache-hot, so cover
+    /// blocks make exactly one trip to memory. Chunks stay below the
+    /// allocator's `mmap` threshold (one flat multi-megabyte pool per
+    /// cuboid would round-trip through `mmap` on every build — fresh
+    /// zero pages fault in per 4 KiB — while sub-threshold chunks are
+    /// recycled from the heap). The pass performs **zero per-rating
+    /// heap allocation** (all buffers are sized by the survivor, entry
+    /// and chunk counts up front; enforced by the counting-allocator
+    /// test).
+    #[doc(hidden)]
+    pub fn fill(self, threads: usize) -> RatingCube {
+        let universe = self.rating_idx.len();
+        let words = universe.div_ceil(64).max(1);
+        let filled: Vec<(Vec<Bitmap>, Vec<[u32; 5]>)> =
+            parallel_map(self.passes.len(), threads, |ci| {
+                let pass = &self.passes[ci];
+                let n = pass.globals.len();
+                let mut hists = vec![[0u32; 5]; n];
+                if n == 0 {
+                    return (Vec::new(), hists);
+                }
+                // Regroup the per-profile word entries by survivor (a
+                // counting-sort scatter; prepare already accumulated the
+                // per-survivor entry prefix sums), folding the histogram
+                // merge into the same single profile scan.
+                let entry_offsets = &pass.entry_offsets;
+                let total_entries = entry_offsets[n] as usize;
+                let mut surv_word_idx = vec![0u32; total_entries];
+                let mut surv_word_bits = vec![0u64; total_entries];
+                let mut cursor: Vec<u32> = entry_offsets[..n].to_vec();
+                for (k, &code) in self.profiles.iter().enumerate() {
+                    let local = pass.local[pass.layout.cell_of(code)];
+                    if local == NO_SLOT {
+                        continue;
+                    }
+                    let l = local as usize;
+                    for (h, ph) in hists[l].iter_mut().zip(&self.profile_hists[k]) {
+                        *h += ph;
+                    }
+                    // Elementwise, not `copy_from_slice`: profile runs
+                    // average a handful of entries, where per-call
+                    // `memcpy` overhead would dominate the copy itself.
+                    let src = self.word_offsets[k] as usize..self.word_offsets[k + 1] as usize;
+                    let mut dst = cursor[l] as usize;
+                    for j in src {
+                        surv_word_idx[dst] = self.word_idx[j];
+                        surv_word_bits[dst] = self.word_bits[j];
+                        dst += 1;
+                    }
+                    cursor[l] = dst as u32;
+                }
+                // Write the covers chunk by chunk: zero a chunk, OR all
+                // of its survivors' entries while it is cache-hot, wrap
+                // its windows, move on.
+                let per_chunk = (CHUNK_WORDS / words).max(1);
+                let mut covers: Vec<Bitmap> = Vec::with_capacity(n);
+                for chunk_start in (0..n).step_by(per_chunk) {
+                    let count = per_chunk.min(n - chunk_start);
+                    let mut blocks = crate::bitmap::alloc_chunk(count * words);
+                    for li in 0..count {
+                        let window = &mut blocks[li * words..][..words];
+                        let l = chunk_start + li;
+                        let range = entry_offsets[l] as usize..entry_offsets[l + 1] as usize;
+                        for (&wi, &wb) in surv_word_idx[range.clone()]
+                            .iter()
+                            .zip(&surv_word_bits[range])
+                        {
+                            window[wi as usize] |= wb;
+                        }
+                    }
+                    let pool = crate::bitmap::seal_chunk(blocks);
+                    covers.extend((0..count).map(|li| {
+                        Bitmap::from_shared_pool(universe, Arc::clone(&pool), li * words)
+                    }));
+                }
+                (covers, hists)
+            });
+
+        // Scatter each cuboid's covers into the global slot order.
+        let mut slots: Vec<Option<CandidateGroup>> = Vec::with_capacity(self.slot_descs.len());
+        slots.resize_with(self.slot_descs.len(), || None);
+        for (pass, (covers, hists)) in self.passes.iter().zip(filled) {
+            for ((&slot, cover), hist) in pass.globals.iter().zip(covers).zip(hists) {
+                let hist64 = hist.map(u64::from);
+                slots[slot as usize] = Some(CandidateGroup {
+                    desc: self.slot_descs[slot as usize],
+                    cover,
+                    stats: RatingStats::from_histogram(hist64),
+                });
+            }
+        }
+        let groups: Vec<CandidateGroup> = slots
+            .into_iter()
+            .map(|g| g.expect("every slot belongs to exactly one cuboid"))
             .collect();
 
         RatingCube {
-            rating_idx,
+            rating_idx: self.rating_idx,
             groups,
-            by_desc,
+            total: self.total,
+            options: self.options,
+        }
+    }
+}
+
+/// The iceberg cube over one query's rating set `R_I`.
+#[derive(Debug, Clone)]
+pub struct RatingCube {
+    /// Dense dataset rating indexes forming `R_I`; position `p` in every
+    /// cover refers to `rating_idx[p]`. Shared so filtered copies (the
+    /// personalization path) never duplicate the universe.
+    rating_idx: Arc<[u32]>,
+    /// Sorted by `GroupDesc::sort_key` (coarse-to-fine, then
+    /// descriptor), which is what makes descriptor lookup a binary
+    /// search instead of a side hash map.
+    groups: Vec<CandidateGroup>,
+    total: RatingStats,
+    options: CubeOptions,
+}
+
+impl RatingCube {
+    /// Materializes the iceberg cube over the given dataset rating
+    /// indexes with the default worker count
+    /// ([`maprat_pool::num_threads`]).
+    ///
+    /// Runs the dense two-pass pipeline (see the module docs): a
+    /// counting pass over packed reviewer codes applies the iceberg
+    /// threshold and assigns candidate slots, then a fill pass sets
+    /// cover bits into preallocated bitmaps. Both passes fan out
+    /// per-cuboid over the shared worker pool; results are identical for
+    /// any thread count.
+    pub fn build(dataset: &Dataset, rating_idx: Vec<u32>, options: CubeOptions) -> Self {
+        Self::build_with_threads(dataset, rating_idx, options, num_threads())
+    }
+
+    /// [`build`](Self::build) with an explicit worker budget — the
+    /// determinism tests A/B this against a single-threaded run.
+    pub fn build_with_threads(
+        dataset: &Dataset,
+        rating_idx: Vec<u32>,
+        options: CubeOptions,
+        threads: usize,
+    ) -> Self {
+        CubePlan::prepare(dataset, rating_idx, options, threads).fill(threads)
+    }
+
+    /// Assembles a cube from already-materialized parts (`groups` must
+    /// be in `(arity, desc)` order) — the retained naive oracle builder
+    /// ([`crate::oracle`]) funnels through this.
+    pub(crate) fn from_parts(
+        rating_idx: Vec<u32>,
+        groups: Vec<CandidateGroup>,
+        total: RatingStats,
+        options: CubeOptions,
+    ) -> RatingCube {
+        debug_assert!(groups
+            .windows(2)
+            .all(|w| w[0].desc.sort_key() < w[1].desc.sort_key()));
+        RatingCube {
+            rating_idx: rating_idx.into(),
+            groups,
             total,
             options,
         }
@@ -155,12 +618,16 @@ impl RatingCube {
 
     /// Looks up a candidate by descriptor.
     pub fn find(&self, desc: &GroupDesc) -> Option<&CandidateGroup> {
-        self.by_desc.get(desc).map(|&i| &self.groups[i])
+        self.index_of(desc).map(|i| &self.groups[i])
     }
 
-    /// Index of a candidate by descriptor.
+    /// Index of a candidate by descriptor — a binary search over the
+    /// sort-key-ordered candidate list (building a hash index per
+    /// materialization cost more than every lookup it ever served).
     pub fn index_of(&self, desc: &GroupDesc) -> Option<usize> {
-        self.by_desc.get(desc).copied()
+        self.groups
+            .binary_search_by_key(&desc.sort_key(), |g| g.desc.sort_key())
+            .ok()
     }
 
     /// Maps a cover position back to the dataset rating index.
@@ -184,18 +651,15 @@ impl RatingCube {
     /// Used by the personalization feature (§3.1: MapRat "can exploit any
     /// user demographic information … to constrain the groups that are
     /// highlighted"): the pool shrinks to groups compatible with the
-    /// visitor's profile before mining.
+    /// visitor's profile before mining. The rating universe is shared
+    /// with the parent cube (`Arc`), not copied.
     pub fn filtered(&self, mut keep: impl FnMut(&CandidateGroup) -> bool) -> RatingCube {
+        // Filtering preserves the sort-key order, so lookups stay a
+        // binary search.
         let groups: Vec<CandidateGroup> = self.groups.iter().filter(|g| keep(g)).cloned().collect();
-        let by_desc = groups
-            .iter()
-            .enumerate()
-            .map(|(i, g)| (g.desc, i))
-            .collect();
         RatingCube {
-            rating_idx: self.rating_idx.clone(),
+            rating_idx: Arc::clone(&self.rating_idx),
             groups,
-            by_desc,
             total: self.total,
             options: self.options.clone(),
         }
@@ -318,5 +782,36 @@ mod tests {
         assert!(cube.is_empty());
         assert_eq!(cube.universe(), 0);
         assert!(cube.total_stats().is_empty());
+    }
+
+    #[test]
+    fn zero_min_support_behaves_like_one() {
+        // The naive builder only ever saw touched cells, so an empty cell
+        // can never be a candidate even at threshold 0.
+        let dataset = generate(&SynthConfig::tiny(24)).unwrap();
+        let item = dataset.find_title("Toy Story").unwrap();
+        let idx: Vec<u32> = dataset.rating_range_for_item(item).collect();
+        let cube = RatingCube::build(
+            &dataset,
+            idx,
+            CubeOptions {
+                min_support: 0,
+                require_geo: false,
+                max_arity: 2,
+            },
+        );
+        assert!(cube.groups().iter().all(|g| g.support() >= 1));
+    }
+
+    #[test]
+    fn filtered_shares_the_rating_universe() {
+        let (_, cube) = cube(false);
+        let filtered = cube.filtered(|g| g.desc.arity() == 1);
+        assert!(std::ptr::eq(
+            cube.rating_indexes().as_ptr(),
+            filtered.rating_indexes().as_ptr()
+        ));
+        assert!(filtered.len() < cube.len());
+        assert!(filtered.groups().iter().all(|g| g.desc.arity() == 1));
     }
 }

@@ -78,12 +78,39 @@ impl GroupDesc {
         })
     }
 
+    /// Builds a descriptor directly from the per-attribute value-index
+    /// array (`0xFF` = unspecified) — the dense cube builder decodes
+    /// surviving cell ids through this without touching a `User`.
+    #[inline]
+    pub(crate) fn from_raw_values(values: [u8; 4]) -> Self {
+        GroupDesc { values }
+    }
+
+    /// A single integer that orders descriptors exactly like
+    /// `(arity, desc)` — arity in the high bits, the four value bytes
+    /// (big-endian, so lexicographic) below. The builder sorts thousands
+    /// of survivors by this key per materialization; one `u64` compare
+    /// beats the derived tuple/array comparison chain.
+    #[inline]
+    pub(crate) fn sort_key(&self) -> u64 {
+        ((self.arity() as u64) << 32) | u64::from(u32::from_be_bytes(self.values))
+    }
+
     /// The constrained pairs in canonical attribute order.
+    ///
+    /// `Vec` shim over [`pairs_iter`](Self::pairs_iter) for public call
+    /// sites that want an owned list.
     pub fn pairs(&self) -> Vec<AVPair> {
+        self.pairs_iter().collect()
+    }
+
+    /// The constrained pairs in canonical attribute order, allocation-
+    /// free — rendering and overlay loops iterate this directly.
+    #[inline]
+    pub fn pairs_iter(&self) -> impl Iterator<Item = AVPair> + '_ {
         UserAttr::ALL
             .iter()
             .filter_map(|&a| self.value(a).map(AVPair::new))
-            .collect()
     }
 
     /// Number of constrained attributes (the descriptor's *specificity*).
@@ -123,7 +150,17 @@ impl GroupDesc {
     }
 
     /// The parent descriptors in the cube lattice (one constraint removed).
+    ///
+    /// `Vec` shim over [`parents_iter`](Self::parents_iter).
     pub fn parents(&self) -> Vec<GroupDesc> {
+        self.parents_iter().collect()
+    }
+
+    /// The parent descriptors in the cube lattice (one constraint
+    /// removed), allocation-free — the roll-up comparison loops iterate
+    /// this directly.
+    #[inline]
+    pub fn parents_iter(&self) -> impl Iterator<Item = GroupDesc> + '_ {
         UserAttr::ALL
             .iter()
             .filter(|a| self.values[a.index()] != UNSET)
@@ -132,7 +169,6 @@ impl GroupDesc {
                 p.values[a.index()] = UNSET;
                 p
             })
-            .collect()
     }
 
     /// The child descriptors obtainable by additionally constraining
@@ -207,8 +243,7 @@ impl GroupDesc {
         if self.is_all() {
             return "⊤".to_string();
         }
-        self.pairs()
-            .iter()
+        self.pairs_iter()
             .map(|p| p.value.token())
             .collect::<Vec<_>>()
             .join(" ∧ ")
@@ -335,6 +370,19 @@ mod tests {
         let g = GroupDesc::from_pairs(pairs.clone());
         assert_eq!(g.pairs(), pairs);
         assert_eq!(g.arity(), 3);
+    }
+
+    #[test]
+    fn iterator_forms_agree_with_vec_shims() {
+        let g = GroupDesc::from_pairs([
+            AgeGroup::From18To24.into(),
+            Gender::Female.into(),
+            UsState::WA.into(),
+        ]);
+        assert_eq!(g.pairs_iter().collect::<Vec<_>>(), g.pairs());
+        assert_eq!(g.parents_iter().collect::<Vec<_>>(), g.parents());
+        assert_eq!(GroupDesc::ALL.pairs_iter().count(), 0);
+        assert_eq!(GroupDesc::ALL.parents_iter().count(), 0);
     }
 
     #[test]

@@ -18,11 +18,20 @@ impl Cuboid {
     pub const BASE: Cuboid = Cuboid(0b1111);
 
     /// The attributes of this cuboid, in canonical order.
+    ///
+    /// `Vec` shim over [`attrs_iter`](Self::attrs_iter) for call sites
+    /// that want an owned list.
     pub fn attrs(self) -> Vec<UserAttr> {
+        self.attrs_iter().collect()
+    }
+
+    /// The attributes of this cuboid, in canonical order — the
+    /// allocation-free form the build and drill loops iterate.
+    #[inline]
+    pub fn attrs_iter(self) -> impl Iterator<Item = UserAttr> + Clone {
         UserAttr::ALL
             .into_iter()
-            .filter(|a| self.0 & (1 << a.index()) != 0)
-            .collect()
+            .filter(move |a| self.0 & (1 << a.index()) != 0)
     }
 
     /// Whether the cuboid contains `attr`.
@@ -39,24 +48,37 @@ impl Cuboid {
 
     /// Number of potential cells (the product of domain cardinalities).
     pub fn cell_count(self) -> usize {
-        self.attrs().iter().map(|a| a.cardinality()).product()
+        self.attrs_iter().map(|a| a.cardinality()).product()
     }
 
     /// The parent cuboids (one attribute removed).
+    ///
+    /// `Vec` shim over [`parents_iter`](Self::parents_iter).
     pub fn parents(self) -> Vec<Cuboid> {
-        self.attrs()
-            .into_iter()
-            .map(|a| Cuboid(self.0 & !(1 << a.index())))
-            .collect()
+        self.parents_iter().collect()
+    }
+
+    /// The parent cuboids (one attribute removed), allocation-free.
+    #[inline]
+    pub fn parents_iter(self) -> impl Iterator<Item = Cuboid> + Clone {
+        self.attrs_iter()
+            .map(move |a| Cuboid(self.0 & !(1 << a.index())))
     }
 
     /// The child cuboids (one attribute added).
+    ///
+    /// `Vec` shim over [`children_iter`](Self::children_iter).
     pub fn children(self) -> Vec<Cuboid> {
+        self.children_iter().collect()
+    }
+
+    /// The child cuboids (one attribute added), allocation-free.
+    #[inline]
+    pub fn children_iter(self) -> impl Iterator<Item = Cuboid> + Clone {
         UserAttr::ALL
             .into_iter()
-            .filter(|a| !self.contains(*a))
-            .map(|a| Cuboid(self.0 | (1 << a.index())))
-            .collect()
+            .filter(move |a| !self.contains(*a))
+            .map(move |a| Cuboid(self.0 | (1 << a.index())))
     }
 }
 
@@ -128,5 +150,15 @@ mod tests {
         assert_eq!(attrs.len(), 2);
         assert!(attrs.contains(&UserAttr::Gender));
         assert!(attrs.contains(&UserAttr::State));
+    }
+
+    #[test]
+    fn iterator_forms_agree_with_vec_shims() {
+        for mask in 0u8..16 {
+            let c = Cuboid(mask);
+            assert_eq!(c.attrs_iter().collect::<Vec<_>>(), c.attrs());
+            assert_eq!(c.parents_iter().collect::<Vec<_>>(), c.parents());
+            assert_eq!(c.children_iter().collect::<Vec<_>>(), c.children());
+        }
     }
 }

@@ -22,6 +22,8 @@ pub mod builder;
 pub mod drill;
 pub mod group;
 pub mod lattice;
+#[doc(hidden)]
+pub mod oracle;
 
 pub use bitmap::Bitmap;
 pub use builder::{CandidateGroup, CubeOptions, RatingCube};

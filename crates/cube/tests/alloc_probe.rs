@@ -1,0 +1,104 @@
+//! Verifies the acceptance criterion that the cube builder's **fill pass
+//! performs no per-rating heap allocation**: a counting global allocator
+//! measures the fill of a warm build (plan prepared, chunk freelist and
+//! allocator warmed by a previous full build) and asserts the allocation
+//! count is bounded by the *survivor and cuboid structure* — not by the
+//! number of ratings.
+//!
+//! The counter is thread-local so concurrent test-harness machinery on
+//! other threads cannot perturb the measurement (the measured fill runs
+//! single-threaded, i.e. inline); this file holds a single test for the
+//! same reason.
+
+use maprat_cube::builder::CubePlan;
+use maprat_cube::{CubeOptions, RatingCube};
+use maprat_data::synth::{generate, SynthConfig};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::hint::black_box;
+
+struct CountingAlloc;
+
+thread_local! {
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+        System.alloc(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.with(|c| c.get())
+}
+
+#[test]
+fn warm_fill_pass_allocates_nothing_per_rating() {
+    let dataset = generate(&SynthConfig::tiny(505)).unwrap();
+    // A multi-item universe large enough that any per-rating allocation
+    // would blow the structural bound by orders of magnitude.
+    let mut idx: Vec<u32> = Vec::new();
+    for item in dataset.items() {
+        idx.extend(dataset.rating_range_for_item(item.id));
+    }
+    let universe = idx.len();
+    assert!(
+        universe >= 4_000,
+        "need a non-trivial universe, got {universe}"
+    );
+    let options = CubeOptions {
+        min_support: 5,
+        require_geo: true,
+        max_arity: 4,
+    };
+
+    // Warm build: heats the allocator and parks the cover-block chunks
+    // in the crate's freelist, exactly like a serving process that has
+    // answered one query.
+    let warm = RatingCube::build_with_threads(&dataset, idx.clone(), options.clone(), 1);
+    let num_groups = warm.len() as u64;
+    assert!(
+        num_groups >= 64,
+        "need a non-trivial pool, got {num_groups}"
+    );
+    drop(warm);
+
+    // Measured fill: single-threaded (inline), so every allocation of
+    // the pass lands on this thread's counter.
+    let plan = CubePlan::prepare(&dataset, idx, options, 1);
+    let before = allocations();
+    let cube = plan.fill(1);
+    let fill_allocs = allocations() - before;
+    black_box(&cube);
+
+    // Structural bound: a handful of buffers per cuboid (histograms,
+    // entry scatter, cover chunks and their Arc headers, the covers
+    // vector) plus per-group assembly slots — nothing proportional to
+    // the number of ratings. 8 geo cuboids and `num_groups` survivors
+    // leave the bound two orders of magnitude below `universe`.
+    let num_cuboids = 8u64;
+    let bound = 64 + 32 * num_cuboids + num_groups / 4;
+    assert!(
+        fill_allocs <= bound,
+        "fill pass allocated {fill_allocs} times (bound {bound}, universe {universe}, \
+         groups {num_groups}) — a per-rating allocation crept in"
+    );
+    assert!(
+        fill_allocs < universe as u64 / 64,
+        "fill allocations ({fill_allocs}) must be far below the rating count ({universe})"
+    );
+}

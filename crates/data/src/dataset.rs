@@ -9,6 +9,7 @@
 use crate::error::DataError;
 use crate::ids::{ItemId, PersonId, RatingIdx, UserId};
 use crate::item::{Item, Person, Role};
+use crate::packed::PackedUserCode;
 use crate::rating::Rating;
 use crate::stats::RatingStats;
 use crate::time::{TimeRange, Timestamp};
@@ -23,6 +24,13 @@ pub struct Dataset {
     persons: Vec<Person>,
     /// Ratings sorted by `(item, ts, user)`.
     ratings: Vec<Rating>,
+    /// Per-rating packed reviewer codes, aligned with `ratings` — the
+    /// dense column the cube builder scans instead of chasing
+    /// `rating → user → attr_value` pointers.
+    rating_user_codes: Vec<u16>,
+    /// Per-rating score histogram buckets (`score - 1`), aligned with
+    /// `ratings` — the parallel score column of the same hot loop.
+    rating_score_bins: Vec<u8>,
     /// CSR offsets: ratings of item `i` live at `ratings[item_offsets[i]..item_offsets[i+1]]`.
     item_offsets: Vec<u32>,
     /// CSR offsets into `user_rating_idx`.
@@ -87,6 +95,24 @@ impl Dataset {
     #[inline]
     pub fn rating(&self, idx: RatingIdx) -> &Rating {
         &self.ratings[idx.index()]
+    }
+
+    /// Per-rating packed reviewer codes (see
+    /// [`PackedUserCode`]), aligned with
+    /// [`ratings`](Self::ratings): position `i` packs the demographic
+    /// profile of `ratings()[i]`'s reviewer. Precomputed at dataset build
+    /// time so cube materialization reads one contiguous `u16` column.
+    #[inline]
+    pub fn rating_user_codes(&self) -> &[u16] {
+        &self.rating_user_codes
+    }
+
+    /// Per-rating score histogram buckets (`score − 1`, so `0..5`),
+    /// aligned with [`ratings`](Self::ratings) — the score column the
+    /// cube builder's counting pass accumulates.
+    #[inline]
+    pub fn rating_score_bins(&self) -> &[u8] {
+        &self.rating_score_bins
     }
 
     /// The contiguous ratings slice of an item (its `R_I` for a singleton
@@ -267,6 +293,15 @@ impl DatasetBuilder {
 
         ratings.sort_unstable_by_key(|r| (r.item, r.ts, r.user));
 
+        // Dense per-rating columns for the cube builder's hot loop:
+        // packed reviewer codes and score buckets, aligned with the
+        // sorted rating column.
+        let rating_user_codes: Vec<u16> = ratings
+            .iter()
+            .map(|r| PackedUserCode::pack(&users[r.user.index()]).get())
+            .collect();
+        let rating_score_bins: Vec<u8> = ratings.iter().map(|r| r.score.bucket() as u8).collect();
+
         // CSR over items.
         let mut item_offsets = vec![0u32; items.len() + 1];
         for r in &ratings {
@@ -318,6 +353,8 @@ impl DatasetBuilder {
             items,
             persons,
             ratings,
+            rating_user_codes,
+            rating_score_bins,
             item_offsets,
             user_offsets,
             user_rating_idx,
@@ -474,6 +511,24 @@ mod tests {
         assert_eq!(lo, Timestamp::from_ymd(2000, 6, 1));
         assert_eq!(hi, Timestamp::from_ymd(2000, 6, 5));
         assert!(d.summary().contains("3 ratings"));
+    }
+
+    #[test]
+    fn packed_columns_align_with_ratings() {
+        let d = sample();
+        assert_eq!(d.rating_user_codes().len(), d.num_ratings());
+        assert_eq!(d.rating_score_bins().len(), d.num_ratings());
+        for (i, r) in d.ratings().iter().enumerate() {
+            let code = PackedUserCode::from_raw(d.rating_user_codes()[i]);
+            let user = d.user(r.user);
+            for attr in crate::attrs::UserAttr::ALL {
+                assert_eq!(
+                    usize::from(code.field(attr)),
+                    user.attr_value(attr).value_index()
+                );
+            }
+            assert_eq!(usize::from(d.rating_score_bins()[i]), r.score.bucket());
+        }
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub mod genre;
 pub mod ids;
 pub mod item;
 pub mod loader;
+pub mod packed;
 pub mod rating;
 pub mod score;
 pub mod stats;
@@ -46,6 +47,7 @@ pub use error::DataError;
 pub use genre::{Genre, GenreSet};
 pub use ids::{ItemId, PersonId, RatingIdx, UserId};
 pub use item::{Item, Person, Role};
+pub use packed::PackedUserCode;
 pub use rating::Rating;
 pub use score::Score;
 pub use stats::RatingStats;

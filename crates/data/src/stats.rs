@@ -62,6 +62,34 @@ impl RatingStats {
         s
     }
 
+    /// Reconstructs the aggregate from a five-bucket histogram
+    /// (index 0 = score 1).
+    ///
+    /// Because scores are small integers, every accumulated term
+    /// (`Σ n_b · s_b`, `Σ n_b · s_b²`) is exactly representable in `f64`,
+    /// so the result is **bit-identical** to [`push`](Self::push)ing the
+    /// same multiset of scores one by one in any order. The cube builder
+    /// relies on this: its dense counting pass accumulates per-cell
+    /// histograms and rebuilds the stats here, and still compares equal
+    /// to the naive per-rating fold.
+    pub fn from_histogram(hist: [u64; 5]) -> Self {
+        let mut count = 0u64;
+        let mut sum = 0.0f64;
+        let mut sum_sq = 0.0f64;
+        for (n, score) in hist.iter().zip(Score::all()) {
+            let v = score.as_f64();
+            count += n;
+            sum += *n as f64 * v;
+            sum_sq += *n as f64 * (v * v);
+        }
+        RatingStats {
+            count,
+            sum,
+            sum_sq,
+            hist,
+        }
+    }
+
     /// Number of ratings aggregated.
     #[inline]
     pub fn count(&self) -> u64 {
@@ -194,6 +222,21 @@ mod tests {
         merged.merge(&b);
         let direct = RatingStats::from_scores([s(1), s(2), s(4), s(5), s(5)]);
         assert_eq!(merged, direct);
+    }
+
+    #[test]
+    fn from_histogram_is_bit_identical_to_pushed_folds() {
+        // Any permutation of pushes and the histogram reconstruction
+        // must agree exactly (integer terms are exact in f64).
+        let scores = [s(5), s(1), s(3), s(5), s(2), s(4), s(4), s(5)];
+        let pushed = RatingStats::from_scores(scores);
+        let mut reversed = scores;
+        reversed.reverse();
+        let pushed_rev = RatingStats::from_scores(reversed);
+        let rebuilt = RatingStats::from_histogram(pushed.histogram());
+        assert_eq!(pushed, pushed_rev);
+        assert_eq!(pushed, rebuilt);
+        assert_eq!(RatingStats::from_histogram([0; 5]), RatingStats::new());
     }
 
     #[test]

@@ -56,7 +56,7 @@ pub fn group_detail(result: &ExplorationResult, desc: &GroupDesc) -> Option<Grou
     let selected = cube.find(desc)?;
 
     let mut related: Vec<RelatedGroup> = Vec::new();
-    for parent in desc.parents() {
+    for parent in desc.parents_iter() {
         if parent.is_all() {
             continue; // the R_I total plays that role
         }
@@ -109,11 +109,11 @@ fn sibling_descs(desc: &GroupDesc, attr: UserAttr) -> Vec<GroupDesc> {
     let current = desc.value(attr);
     let mut parent = *desc;
     // Remove the attr, then re-add each alternative.
-    parent = parent
-        .parents()
-        .into_iter()
+    let stripped = parent
+        .parents_iter()
         .find(|p| p.value(attr).is_none())
         .expect("attr was constrained");
+    parent = stripped;
     parent
         .children_over(attr)
         .into_iter()

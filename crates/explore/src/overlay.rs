@@ -47,7 +47,7 @@ pub fn overlay_maps(explanation: &Explanation) -> Choropleth {
                 entry.labels.push(label);
                 entry.weighted_sum += mean * group.support as f64;
                 entry.support += group.support;
-                for pair in group.desc.pairs() {
+                for pair in group.desc.pairs_iter() {
                     if !entry.values.contains(&pair.value) {
                         entry.values.push(pair.value);
                     }

@@ -14,7 +14,7 @@ pub fn interpretation_map(interp: &Interpretation, title: impl Into<String>) -> 
         let Some(state) = group.desc.state() else {
             continue;
         };
-        let values: Vec<AttrValue> = group.desc.pairs().iter().map(|p| p.value).collect();
+        let values: Vec<AttrValue> = group.desc.pairs_iter().map(|p| p.value).collect();
         map.add(StateShade::new(
             state,
             group.stats.mean().unwrap_or(3.0),

@@ -1,7 +1,7 @@
 //! The shared worker pool — one long-lived execution substrate for every
 //! fan-out in the workspace.
 //!
-//! Before this module existed, every parallel RHE solve and every parallel
+//! Before this crate existed, every parallel RHE solve and every parallel
 //! timeline sweep spawned and joined its own `std::thread::scope` workers:
 //! under concurrent server load a cold explain multiplied thread creation
 //! by `min(restarts, cores)` per sub-millisecond solve. The pool replaces
@@ -14,6 +14,13 @@
 //!   borrow stays valid without `'static` bounds; and
 //! * **detached jobs** — [`WorkerPool::spawn`] runs a `'static` closure
 //!   (one HTTP request, say) on the next free worker.
+//!
+//! The crate is a dependency *leaf* (nothing below it but the channel
+//! shim), so every layer of the workspace can fan out on the same
+//! substrate: `maprat-cube` parallelizes its per-cuboid materialization
+//! passes, `maprat-core` its RHE restarts, `maprat-explore` its timeline
+//! sweep, and `maprat-server` its request dispatch. `maprat_core::pool`
+//! re-exports this crate for compatibility with pre-split call sites.
 //!
 //! # Scheduling model
 //!
@@ -42,7 +49,8 @@
 //!   thread* once in-flight items finish; a panicking detached job is
 //!   caught and dropped. The pool keeps serving either way.
 
-use crate::parallel::num_threads;
+#![warn(missing_docs)]
+
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::any::Any;
 use std::cell::Cell;
@@ -50,6 +58,50 @@ use std::cell::UnsafeCell;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// The default worker count: `MAPRAT_THREADS` when set (`0` and `1` both
+/// disable threading), otherwise the machine's available parallelism.
+///
+/// The knob is read **once, at first use**, and cached for the process
+/// lifetime — it also sizes the shared worker pool, so flipping the
+/// environment variable after startup cannot take effect anyway. Set it
+/// before the first solve: `MAPRAT_THREADS=1` is useful for profiling and
+/// for A/B-ing the determinism guarantee; a non-numeric value is ignored.
+pub fn num_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        match std::env::var("MAPRAT_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+        {
+            Some(n) => n.max(1),
+            None => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    })
+}
+
+/// Maps `f` over `0..n` on up to `threads` shared-pool workers (the
+/// calling thread counts as one — it helps drain its own call) and
+/// returns the results in index order.
+///
+/// Runs inline (pool untouched) when `threads <= 1`, when `n <= 1`, or
+/// when already called from inside another fan-out item (nested fan-outs
+/// don't multiply parallelism; see [`in_fan_out`]). A panicking `f`
+/// propagates out of the call on the submitting thread once in-flight
+/// items finish — pool workers survive.
+pub fn parallel_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.min(n);
+    if threads <= 1 || in_fan_out() {
+        return (0..n).map(f).collect();
+    }
+    global().map_indexed(n, threads, f)
+}
 
 thread_local! {
     /// True while this thread is executing items of a scoped fan-out
@@ -85,7 +137,7 @@ enum Job {
 /// A long-lived worker pool over one MPMC job channel.
 ///
 /// Most code wants the process-wide [`global`] pool (or the
-/// [`parallel_map`](crate::parallel::parallel_map) façade); constructing a
+/// [`parallel_map`] façade); constructing a
 /// private pool is mainly for tests. Dropping a private pool closes its
 /// channel and the workers exit on their own.
 pub struct WorkerPool {
@@ -455,5 +507,63 @@ mod tests {
     #[test]
     fn global_pool_is_sized_by_num_threads() {
         assert_eq!(global().workers(), num_threads().max(1));
+    }
+
+    #[test]
+    fn parallel_map_preserves_index_order() {
+        let sequential: Vec<usize> = (0..100).map(|i| i * i).collect();
+        for threads in [1, 2, 3, 8, 200] {
+            assert_eq!(parallel_map(100, threads, |i| i * i), sequential);
+        }
+    }
+
+    #[test]
+    fn parallel_map_runs_every_item_exactly_once() {
+        let hits = AtomicUsize::new(0);
+        let out = parallel_map(57, 4, |i| {
+            hits.fetch_add(1, Ordering::SeqCst);
+            i
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 57);
+        assert_eq!(out.len(), 57);
+    }
+
+    #[test]
+    fn parallel_map_empty_and_single_inputs() {
+        assert_eq!(parallel_map(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(parallel_map(1, 4, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn num_threads_is_positive_and_stable() {
+        let first = num_threads();
+        assert!(first >= 1);
+        // Cached at first use: later reads agree even if the environment
+        // were to change mid-process.
+        assert_eq!(num_threads(), first);
+    }
+
+    #[test]
+    fn parallel_map_nested_fan_out_runs_inline_and_stays_correct() {
+        let flat_threads = AtomicUsize::new(0);
+        let out = parallel_map(6, 3, |i| {
+            // The inner fan-out must not spawn helpers: its closure runs
+            // on a thread already executing a fan-out item, so the
+            // fan-out flag stays visible to it.
+            let inner = parallel_map(4, 8, |j| {
+                if in_fan_out() {
+                    flat_threads.fetch_add(1, Ordering::SeqCst);
+                }
+                i * 10 + j
+            });
+            assert_eq!(inner, vec![i * 10, i * 10 + 1, i * 10 + 2, i * 10 + 3]);
+            i
+        });
+        assert_eq!(out, (0..6).collect::<Vec<_>>());
+        assert_eq!(
+            flat_threads.load(Ordering::SeqCst),
+            24,
+            "every inner item must run inline inside the outer fan-out"
+        );
     }
 }

@@ -366,10 +366,13 @@ impl Drop for HttpServer {
     }
 }
 
-/// Serves one connection: parse, handle, respond. A read timeout keeps a
-/// silent client from pinning a pool worker (and its permit) forever.
+/// Serves one connection: parse, handle, respond. Read *and* write
+/// timeouts keep a silent (or never-reading) client from pinning a pool
+/// worker (and its permit) forever — a full kernel send buffer would
+/// otherwise block `write_to` indefinitely.
 fn serve_connection(mut stream: TcpStream, handler: &Handler) {
     let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(10)));
+    let _ = stream.set_write_timeout(Some(std::time::Duration::from_secs(10)));
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
