@@ -14,12 +14,15 @@
 //! **Gate mode** (`--baseline <committed.json> [--max-regress 0.25]`):
 //! after writing the snapshot, compares the gated metrics — the
 //! `rhe_solve_*_ms` pair, `explain_cold_single_ms` (the
-//! `explain/cold_miner` path) and `explain_cold_catalogue_ms` (the
-//! widest universe the dense cube builder serves) — against the
-//! committed baseline and exits non-zero when any of them regressed by
-//! more than the tolerance (default +25%). Improvements never fail the
-//! gate. The snapshot additionally records `cube_build_*_ms` for the
-//! materialization trajectory.
+//! `explain/cold_miner` path), `explain_cold_catalogue_ms` (the
+//! widest universe the dense cube builder serves) and
+//! `explain_coalesced_p99_ms` (8 identical concurrent cold explains
+//! riding ONE single-flight solve) — against the committed baseline and
+//! exits non-zero when any of them regressed by more than the tolerance
+//! (default +25%). Improvements never fail the gate. The snapshot
+//! additionally records `cube_build_*_ms` and
+//! `explain_snapshot_hit_ms` (solve-only re-mining off the snapshot
+//! tier) for the materialization and serving trajectories.
 
 use maprat_bench::timing::{summarize, time_n, time_once};
 use maprat_bench::{dataset, dataset_arc, Scale};
@@ -36,11 +39,12 @@ fn mean_ms(n: usize, mut f: impl FnMut()) -> f64 {
 }
 
 /// The metrics the CI `perf-gate` job fails on.
-const GATED_KEYS: [&str; 4] = [
+const GATED_KEYS: [&str; 5] = [
     "rhe_solve_similarity_ms",
     "rhe_solve_diversity_ms",
     "explain_cold_single_ms",
     "explain_cold_catalogue_ms",
+    "explain_coalesced_p99_ms",
 ];
 
 /// Compares the gated metrics of `snapshot` against `baseline_path`;
@@ -165,6 +169,54 @@ fn main() {
         "Lord of the Rings".into(),
     )));
 
+    // Coalesced cold explain: 8 threads fire the identical cold request
+    // at once; single-flight must serve all of them from ONE solve, so
+    // the p99 follower latency tracks the single solve, not 8 of them.
+    let coalesced_p99_ms = {
+        use std::sync::Barrier;
+        const WAVES: usize = 5;
+        const THREADS: usize = 8;
+        let mut samples = Vec::with_capacity(WAVES * THREADS);
+        for _ in 0..WAVES {
+            let engine = MapRatEngine::new(dataset_arc()); // cold every wave
+            let barrier = Barrier::new(THREADS);
+            let query = ItemQuery::title("Toy Story");
+            let settings = settings.clone();
+            let wave: Vec<std::time::Duration> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..THREADS)
+                    .map(|_| {
+                        let (engine, barrier, query, settings) =
+                            (engine.clone(), &barrier, &query, &settings);
+                        scope.spawn(move || {
+                            barrier.wait();
+                            let (result, elapsed) =
+                                time_once(|| engine.explain_query(query, settings));
+                            assert!(result.is_ok(), "coalesced explain must succeed");
+                            elapsed
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            assert_eq!(engine.solve_count(), 1, "identical requests coalesce");
+            samples.extend(wave);
+        }
+        samples.sort_unstable();
+        maprat_bench::timing::percentile(&samples, 99.0).as_secs_f64() * 1e3
+    };
+
+    // Snapshot-tier hit: same query under new settings re-runs only the
+    // solve (the cube/cover build is skipped) — the second serving tier.
+    let snapshot_hit_ms = {
+        let engine = MapRatEngine::new(dataset_arc());
+        let query = ItemQuery::title("Toy Story");
+        assert!(engine.explain_query(&query, &settings).is_ok()); // warms the snapshot
+        let resolve = settings.clone().with_max_groups(4); // new result key, same snapshot key
+        let (result, elapsed) = time_once(|| engine.explain_query(&query, &resolve));
+        assert!(result.is_ok(), "snapshot-hit explain must succeed");
+        elapsed.as_secs_f64() * 1e3
+    };
+
     // Timeline sweep: the parallel win (each measurement on a cold cache).
     let timeline_settings = SearchSettings::default()
         .with_min_coverage(0.1)
@@ -206,6 +258,11 @@ fn main() {
         json,
         "  \"explain_cold_trilogy_ms\": {explain_trilogy_ms:.4},"
     );
+    let _ = writeln!(
+        json,
+        "  \"explain_coalesced_p99_ms\": {coalesced_p99_ms:.4},"
+    );
+    let _ = writeln!(json, "  \"explain_snapshot_hit_ms\": {snapshot_hit_ms:.4},");
     let _ = writeln!(
         json,
         "  \"timeline_sweep_1thread_ms\": {timeline_1thread_ms:.4},"

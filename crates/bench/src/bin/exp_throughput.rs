@@ -1,21 +1,26 @@
-//! Closed-loop HTTP load generator for the shared-pool server: the PR 4
-//! acceptance experiment.
+//! Closed-loop HTTP load generator for the production serving layer: the
+//! PR 4 acceptance experiment, upgraded in PR 6 to persistent keep-alive
+//! connections.
 //!
 //! Boots the demo server (engine + bounded-concurrency accept loop over
 //! the shared worker pool) on an ephemeral port, then drives it with
-//! `clients` closed-loop client threads — each issues its next request
-//! only after the previous one answered — mixing *cold* explains (every
-//! request carries a unique `coverage` value, so every one is a full
-//! mining solve) with *cached* repeats of one pre-warmed query. Reports
-//! p50/p95/p99 per class, single-client vs concurrent, plus closed-loop
-//! throughput, and writes the `BENCH_pr4.json` snapshot.
+//! `clients` closed-loop client threads — each holds ONE keep-alive
+//! connection and issues its next request only after the previous one
+//! answered — mixing *cold* explains (every request carries a unique
+//! `coverage` value, so every one is a full mining solve) with *cached*
+//! repeats of one pre-warmed query. Responses are framed by
+//! `Content-Length` (EOF framing would serialize on the idle timeout).
+//! Reports p50/p95/p99 per class, single-client vs concurrent, plus
+//! closed-loop throughput, and writes the `BENCH_pr6_throughput.json`
+//! snapshot.
 //!
 //! Run: `cargo run --release -p maprat-bench --bin exp_throughput --
 //! [--clients N] [--requests N] [--cached-every K] [out.json]`
 //! (defaults: 4 clients × 32 requests, every 4th request cached, output
-//! `BENCH_pr4.json`). `--check` additionally enforces the shape contract
-//! (all responses 200, cached responses byte-identical) and exits
-//! non-zero on violation — the CI smoke mode.
+//! `BENCH_pr6_throughput.json`). `--check` additionally enforces the
+//! shape contract (all responses 200, cached responses byte-identical,
+//! each client's connection reused throughout) and exits non-zero on
+//! violation — the CI smoke mode.
 
 use maprat_bench::timing::{ms, percentile, tail};
 use maprat_bench::{dataset_arc, Scale, ShapeCheck};
@@ -23,25 +28,84 @@ use maprat_core::parallel;
 use maprat_explore::MapRatEngine;
 use maprat_server::{AppState, HttpServer};
 use std::fmt::Write as _;
-use std::io::{Read, Write as _};
+use std::io::{BufRead, BufReader, Read, Write as _};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// One blocking GET; returns (status, body length).
-fn http_get(port: u16, target: &str) -> (u16, String) {
-    let mut stream = TcpStream::connect(("127.0.0.1", port)).expect("connect to load target");
-    write!(stream, "GET {target} HTTP/1.1\r\nHost: l\r\n\r\n").expect("send request");
-    let mut buf = String::new();
-    stream.read_to_string(&mut buf).expect("read response");
-    let status: u16 = buf
-        .split_whitespace()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0);
-    let body = buf.split("\r\n\r\n").nth(1).unwrap_or("").to_string();
-    (status, body)
+/// One persistent keep-alive connection: requests are written to the
+/// shared stream and responses framed by `Content-Length`, so the
+/// connection survives across the whole closed loop (no per-request
+/// TCP handshake in the measured path).
+struct KeepAliveClient {
+    reader: BufReader<TcpStream>,
+    /// Reconnects performed after the initial connect (0 = the whole
+    /// run rode one connection).
+    reconnects: usize,
+    port: u16,
+}
+
+impl KeepAliveClient {
+    fn connect(port: u16) -> Self {
+        let stream = TcpStream::connect(("127.0.0.1", port)).expect("connect to load target");
+        // Latency-bound request/response traffic: Nagle + delayed ACK
+        // would add ~40 ms per extra small segment on loopback.
+        let _ = stream.set_nodelay(true);
+        KeepAliveClient {
+            reader: BufReader::new(stream),
+            reconnects: 0,
+            port,
+        }
+    }
+
+    /// One GET on the persistent connection; transparently reconnects if
+    /// the server closed it (idle timeout, shutdown race).
+    fn get(&mut self, target: &str) -> (u16, String) {
+        match self.try_get(target) {
+            Some(reply) => reply,
+            None => {
+                let reconnects = self.reconnects + 1;
+                *self = KeepAliveClient::connect(self.port);
+                self.reconnects = reconnects;
+                self.try_get(target).expect("request after reconnect")
+            }
+        }
+    }
+
+    fn try_get(&mut self, target: &str) -> Option<(u16, String)> {
+        // One write_all per request: `write!` straight to the stream
+        // would emit one segment per format fragment.
+        let request = format!("GET {target} HTTP/1.1\r\nHost: l\r\n\r\n");
+        self.reader.get_mut().write_all(request.as_bytes()).ok()?;
+        // Status line.
+        let mut line = String::new();
+        if self.reader.read_line(&mut line).ok()? == 0 {
+            return None; // server closed the connection
+        }
+        let status: u16 = line.split_whitespace().nth(1)?.parse().ok()?;
+        // Headers — Content-Length frames the body.
+        let mut content_length = 0usize;
+        loop {
+            let mut header = String::new();
+            self.reader.read_line(&mut header).ok()?;
+            let header = header.trim_end();
+            if header.is_empty() {
+                break;
+            }
+            if let Some(v) = header
+                .to_ascii_lowercase()
+                .strip_prefix("content-length:")
+                .map(str::trim)
+                .and_then(|v| v.parse().ok())
+            {
+                content_length = v;
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body).ok()?;
+        Some((status, String::from_utf8_lossy(&body).into_owned()))
+    }
 }
 
 /// The cold-explain target for global request number `i`: a unique
@@ -64,12 +128,14 @@ struct ClientRun {
     cached: Vec<Duration>,
     cached_bodies: Vec<String>,
     non_200: usize,
+    reconnects: usize,
 }
 
-/// One closed-loop client: `requests` requests, every `cached_every`-th
-/// against the warm target, the rest cold (unique keys off the global
-/// counter).
+/// One closed-loop client on one keep-alive connection: `requests`
+/// requests, every `cached_every`-th against the warm target, the rest
+/// cold (unique keys off the global counter).
 fn run_client(port: u16, requests: usize, cached_every: usize, counter: &AtomicUsize) -> ClientRun {
+    let mut client = KeepAliveClient::connect(port);
     let mut run = ClientRun::default();
     for r in 0..requests {
         let cached = cached_every != 0 && r % cached_every == cached_every - 1;
@@ -79,7 +145,7 @@ fn run_client(port: u16, requests: usize, cached_every: usize, counter: &AtomicU
             cold_target(counter.fetch_add(1, Ordering::Relaxed))
         };
         let start = Instant::now();
-        let (status, body) = http_get(port, &target);
+        let (status, body) = client.get(&target);
         let elapsed = start.elapsed();
         if status != 200 {
             run.non_200 += 1;
@@ -92,6 +158,7 @@ fn run_client(port: u16, requests: usize, cached_every: usize, counter: &AtomicU
             run.cold.push(elapsed);
         }
     }
+    run.reconnects = client.reconnects;
     run
 }
 
@@ -113,7 +180,7 @@ fn main() {
     let mut clients = 4usize;
     let mut requests = 32usize;
     let mut cached_every = 4usize;
-    let mut out_path = "BENCH_pr4.json".to_string();
+    let mut out_path = "BENCH_pr6_throughput.json".to_string();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -134,7 +201,7 @@ fn main() {
     let requests = requests.max(1);
     let threads = parallel::num_threads();
 
-    println!("== TXT-THROUGHPUT: closed-loop load against the shared-pool server ==");
+    println!("== TXT-THROUGHPUT: closed-loop keep-alive load against the serving layer ==");
     println!(
         "scale={} threads={threads} clients={clients} requests/client={requests} cached-every={cached_every}",
         Scale::from_env().name()
@@ -142,15 +209,21 @@ fn main() {
 
     let engine = MapRatEngine::new(dataset_arc());
     let state = AppState::new(engine.clone());
-    let server = HttpServer::start("127.0.0.1:0", clients.max(threads), state.into_handler())
+    // Keep-alive connections hold their admission slot while open, so
+    // the bound must cover every persistent client plus the warm-up
+    // connection.
+    let max_in_flight = (clients + 2).max(threads);
+    let server = HttpServer::start("127.0.0.1:0", max_in_flight, state.into_handler())
         .expect("bind load target");
     let port = server.port();
 
     // Pre-warm the cached target so its class measures pure cache+HTTP.
-    let (warm_status, warm_body) = http_get(port, CACHED_TARGET);
+    let mut warm_client = KeepAliveClient::connect(port);
+    let (warm_status, warm_body) = warm_client.get(CACHED_TARGET);
     assert_eq!(warm_status, 200, "warm-up request must succeed");
+    drop(warm_client); // release its admission slot before the load phase
 
-    // Phase 1 — single-client baseline (all cold).
+    // Phase 1 — single-client baseline (all cold) on one connection.
     let counter = AtomicUsize::new(0);
     let single = run_client(port, requests, 0, &counter);
     let mut single_cold = single.cold.clone();
@@ -175,6 +248,7 @@ fn main() {
     let mut cold: Vec<Duration> = runs.iter().flat_map(|r| r.cold.iter().copied()).collect();
     let mut cached: Vec<Duration> = runs.iter().flat_map(|r| r.cached.iter().copied()).collect();
     let non_200: usize = runs.iter().map(|r| r.non_200).sum();
+    let reconnects: usize = runs.iter().map(|r| r.reconnects).sum::<usize>() + single.reconnects;
     cold.sort_unstable();
     cached.sort_unstable();
     let total_requests = cold.len() + cached.len();
@@ -187,7 +261,7 @@ fn main() {
         tail_line(&format!("{clients}-client cached"), &cached)
     );
     println!(
-        "closed-loop throughput: {total_requests} requests in {} ms = {throughput:.1} req/s (non-200: {non_200})",
+        "closed-loop throughput: {total_requests} requests in {} ms = {throughput:.1} req/s (non-200: {non_200}, reconnects: {reconnects})",
         ms(wall)
     );
 
@@ -202,7 +276,7 @@ fn main() {
     let cached_tail = tail(&cached);
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"snapshot\": \"pr4-shared-pool-throughput\",");
+    let _ = writeln!(json, "  \"snapshot\": \"pr6-keepalive-throughput\",");
     let _ = writeln!(json, "  \"scale\": \"{}\",", Scale::from_env().name());
     let _ = writeln!(json, "  \"threads\": {threads},");
     let _ = writeln!(json, "  \"clients\": {clients},");
@@ -236,6 +310,7 @@ fn main() {
         "  \"cold_p95_ratio_concurrent_over_single\": {p95_ratio:.4},"
     );
     let _ = writeln!(json, "  \"throughput_rps\": {throughput:.2},");
+    let _ = writeln!(json, "  \"reconnects\": {reconnects},");
     let _ = writeln!(json, "  \"non_200\": {non_200}");
     let _ = writeln!(json, "}}");
     std::fs::write(&out_path, &json).expect("write throughput snapshot");
@@ -256,6 +331,10 @@ fn main() {
         runs.iter()
             .flat_map(|r| r.cached_bodies.iter())
             .all(|body| *body == warm_body),
+    );
+    check.expect(
+        "keep-alive held: no client needed to reconnect",
+        reconnects == 0,
     );
     check.expect("throughput is finite and positive", throughput > 0.0);
     check.finish();

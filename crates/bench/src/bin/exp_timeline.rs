@@ -19,7 +19,7 @@ fn main() {
     let settings = SearchSettings::default().with_min_coverage(0.1);
     let query = ItemQuery::title("Toy Story");
 
-    let slider = TimeSlider::over_dataset(engine.dataset(), 6, 6).expect("dataset has history");
+    let slider = TimeSlider::over_dataset(&engine.dataset(), 6, 6).expect("dataset has history");
     let points = slider.sweep(&engine, &query, &settings);
 
     println!("=== TXT-DRILL: time-slider evolution for Toy Story ===\n");

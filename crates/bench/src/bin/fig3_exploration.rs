@@ -62,7 +62,7 @@ fn main() {
     t.print();
 
     println!("\n--- city-level drill-down (§3.1) ---");
-    let cities = drill_group(engine.dataset(), r, &desc).expect("geo group drills to cities");
+    let cities = drill_group(&engine.dataset(), r, &desc).expect("geo group drills to cities");
     let mut ct = Table::new(["city", "avg", "n", "hist"]);
     let mut sorted: Vec<_> = cities.iter().filter(|c| !c.stats.is_empty()).collect();
     sorted.sort_by_key(|c| std::cmp::Reverse(c.stats.count()));

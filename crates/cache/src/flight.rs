@@ -1,0 +1,319 @@
+//! Single-flight request coalescing.
+//!
+//! When N identical cold requests arrive concurrently, exactly one caller
+//! (the *leader*) runs the expensive computation; the other N−1
+//! (*followers*) block on a condvar and share the leader's `Arc<V>`. The
+//! paper's demo kept interactive latency low through "result
+//! pre-computation and caching"; coalescing closes the remaining gap —
+//! the stampede of identical requests that all miss the cache at once.
+//!
+//! The group is deliberately *not* a cache: a flight exists only while
+//! its leader is computing. Callers are expected to consult their result
+//! cache first, join or lead a flight on miss, and re-check the cache
+//! after winning leadership (the previous leader may have published and
+//! retired its flight between the two steps).
+//!
+//! Leader panics do not strand followers: a drop guard marks the flight
+//! abandoned and wakes everyone, and each follower retries from the top
+//! (one of them becomes the next leader).
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+/// How a [`FlightGroup::run`] call obtained its value.
+#[derive(Debug)]
+pub enum FlightOutcome<V> {
+    /// This caller was the leader: it ran the computation itself.
+    Led(std::sync::Arc<V>),
+    /// This caller was a follower: it waited for a concurrent leader and
+    /// shares that leader's result.
+    Joined(std::sync::Arc<V>),
+}
+
+impl<V> FlightOutcome<V> {
+    /// The shared value, regardless of who computed it.
+    pub fn into_value(self) -> std::sync::Arc<V> {
+        match self {
+            FlightOutcome::Led(v) | FlightOutcome::Joined(v) => v,
+        }
+    }
+
+    /// Whether this caller ran the computation.
+    pub fn led(&self) -> bool {
+        matches!(self, FlightOutcome::Led(_))
+    }
+}
+
+enum FlightState<V> {
+    Pending,
+    Done(std::sync::Arc<V>),
+    /// The leader unwound without publishing; waiters must retry.
+    Abandoned,
+}
+
+struct Flight<V> {
+    state: Mutex<FlightState<V>>,
+    ready: Condvar,
+}
+
+impl<V> Flight<V> {
+    fn new() -> Self {
+        Flight {
+            state: Mutex::new(FlightState::Pending),
+            ready: Condvar::new(),
+        }
+    }
+}
+
+/// Ignore mutex poisoning: flight state transitions are single
+/// assignments, so a panicking peer cannot leave the state torn.
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A keyed single-flight coalescer (see the [module docs](self)).
+///
+/// ```
+/// use maprat_cache::FlightGroup;
+/// use std::sync::atomic::{AtomicU32, Ordering};
+///
+/// let group: FlightGroup<&str, u32> = FlightGroup::new();
+/// let solves = AtomicU32::new(0);
+/// std::thread::scope(|s| {
+///     for _ in 0..4 {
+///         s.spawn(|| {
+///             let out = group.run("k", || {
+///                 // Give peers time to pile onto the same flight.
+///                 std::thread::sleep(std::time::Duration::from_millis(20));
+///                 solves.fetch_add(1, Ordering::SeqCst);
+///                 42
+///             });
+///             assert_eq!(*out.into_value(), 42);
+///         });
+///     }
+/// });
+/// assert_eq!(solves.load(Ordering::SeqCst), 1, "one leader solved for all");
+/// assert_eq!(group.leads(), 1);
+/// assert_eq!(group.joins(), 3);
+/// ```
+pub struct FlightGroup<K, V> {
+    flights: Mutex<HashMap<K, std::sync::Arc<Flight<V>>>>,
+    leads: AtomicU64,
+    joins: AtomicU64,
+}
+
+impl<K, V> Default for FlightGroup<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, V> FlightGroup<K, V> {
+    /// An empty group with zeroed counters.
+    pub fn new() -> Self {
+        FlightGroup {
+            flights: Mutex::new(HashMap::new()),
+            leads: AtomicU64::new(0),
+            joins: AtomicU64::new(0),
+        }
+    }
+
+    /// Completed calls that ran the computation themselves.
+    pub fn leads(&self) -> u64 {
+        self.leads.load(Ordering::Relaxed)
+    }
+
+    /// Completed calls that shared a concurrent leader's result.
+    pub fn joins(&self) -> u64 {
+        self.joins.load(Ordering::Relaxed)
+    }
+
+    /// Keys with a computation currently in flight (diagnostics).
+    pub fn in_flight(&self) -> usize {
+        relock(&self.flights).len()
+    }
+}
+
+impl<K: Hash + Eq + Clone, V> FlightGroup<K, V> {
+    /// Runs `compute` under single-flight semantics for `key`.
+    ///
+    /// At most one concurrent caller per key executes `compute`; the rest
+    /// block until the leader publishes and then share its value. Distinct
+    /// keys never contend beyond the brief registry lock.
+    pub fn run(&self, key: K, compute: impl FnOnce() -> V) -> FlightOutcome<V> {
+        loop {
+            let joined = {
+                let mut flights = relock(&self.flights);
+                match flights.entry(key.clone()) {
+                    Entry::Occupied(e) => Some(std::sync::Arc::clone(e.get())),
+                    Entry::Vacant(e) => {
+                        e.insert(std::sync::Arc::new(Flight::new()));
+                        None
+                    }
+                }
+            };
+            let flight = match joined {
+                None => {
+                    // Leader: compute, publish, retire the flight. The
+                    // guard turns an unwind into Abandoned so followers
+                    // never wait forever.
+                    let guard = LeadGuard {
+                        group: self,
+                        key: &key,
+                    };
+                    let value = std::sync::Arc::new(compute());
+                    guard.publish(std::sync::Arc::clone(&value));
+                    self.leads.fetch_add(1, Ordering::Relaxed);
+                    return FlightOutcome::Led(value);
+                }
+                Some(f) => f,
+            };
+            let mut state = relock(&flight.state);
+            loop {
+                match &*state {
+                    FlightState::Pending => {
+                        state = flight
+                            .ready
+                            .wait(state)
+                            .unwrap_or_else(PoisonError::into_inner);
+                    }
+                    FlightState::Done(v) => {
+                        self.joins.fetch_add(1, Ordering::Relaxed);
+                        return FlightOutcome::Joined(std::sync::Arc::clone(v));
+                    }
+                    FlightState::Abandoned => break,
+                }
+            }
+            // Leader abandoned (panicked): retry — this caller may now
+            // become the next leader.
+        }
+    }
+
+    fn retire(&self, key: &K, outcome: FlightState<V>) {
+        let flight = relock(&self.flights).remove(key);
+        if let Some(flight) = flight {
+            *relock(&flight.state) = outcome;
+            flight.ready.notify_all();
+        }
+    }
+}
+
+/// Publishes `Abandoned` if the leader unwinds before `publish`.
+struct LeadGuard<'a, K: Hash + Eq + Clone, V> {
+    group: &'a FlightGroup<K, V>,
+    key: &'a K,
+}
+
+impl<K: Hash + Eq + Clone, V> LeadGuard<'_, K, V> {
+    fn publish(self, value: std::sync::Arc<V>) {
+        self.group.retire(self.key, FlightState::Done(value));
+        std::mem::forget(self);
+    }
+}
+
+impl<K: Hash + Eq + Clone, V> Drop for LeadGuard<'_, K, V> {
+    fn drop(&mut self) {
+        self.group.retire(self.key, FlightState::Abandoned);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::{Arc, Barrier};
+    use std::time::Duration;
+
+    #[test]
+    fn serial_calls_each_lead() {
+        let g: FlightGroup<u32, u32> = FlightGroup::new();
+        assert!(g.run(1, || 10).led());
+        assert!(g.run(1, || 11).led(), "retired flights do not linger");
+        assert_eq!(g.leads(), 2);
+        assert_eq!(g.joins(), 0);
+        assert_eq!(g.in_flight(), 0);
+    }
+
+    #[test]
+    fn concurrent_identical_keys_compute_once() {
+        let g: Arc<FlightGroup<u32, u32>> = Arc::new(FlightGroup::new());
+        let calls = Arc::new(AtomicUsize::new(0));
+        let barrier = Arc::new(Barrier::new(8));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let (g, calls, barrier) =
+                    (Arc::clone(&g), Arc::clone(&calls), Arc::clone(&barrier));
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    let out = g.run(7, || {
+                        std::thread::sleep(Duration::from_millis(30));
+                        calls.fetch_add(1, Ordering::SeqCst);
+                        70
+                    });
+                    *out.into_value()
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 70);
+        }
+        assert_eq!(calls.load(Ordering::SeqCst), 1, "exactly one solve");
+        assert_eq!(g.leads(), 1);
+        assert_eq!(g.joins(), 7);
+        assert_eq!(g.in_flight(), 0);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_coalesce() {
+        let g: Arc<FlightGroup<u32, u32>> = Arc::new(FlightGroup::new());
+        let calls = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|k| {
+                let (g, calls) = (Arc::clone(&g), Arc::clone(&calls));
+                std::thread::spawn(move || {
+                    let out = g.run(k, || {
+                        calls.fetch_add(1, Ordering::SeqCst);
+                        k * 2
+                    });
+                    assert_eq!(*out.into_value(), k * 2);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(calls.load(Ordering::SeqCst), 4);
+        assert_eq!(g.leads(), 4);
+    }
+
+    #[test]
+    fn leader_panic_elects_a_new_leader() {
+        let g: Arc<FlightGroup<u32, u32>> = Arc::new(FlightGroup::new());
+        let barrier = Arc::new(Barrier::new(2));
+        let panicker = {
+            let (g, barrier) = (Arc::clone(&g), Arc::clone(&barrier));
+            std::thread::spawn(move || {
+                let _ = g.run(9, || {
+                    barrier.wait(); // follower is (about to be) queued
+                    std::thread::sleep(Duration::from_millis(30));
+                    panic!("leader dies");
+                });
+            })
+        };
+        let follower = {
+            let (g, barrier) = (Arc::clone(&g), Arc::clone(&barrier));
+            std::thread::spawn(move || {
+                barrier.wait();
+                // Joins the doomed flight or (if it raced past the panic)
+                // leads a fresh one — either way the value materialises.
+                *g.run(9, || 90).into_value()
+            })
+        };
+        assert!(panicker.join().is_err(), "leader panicked");
+        assert_eq!(follower.join().unwrap(), 90);
+        assert_eq!(g.in_flight(), 0, "no stranded flights");
+    }
+}

@@ -2,24 +2,44 @@
 //!
 //! §2.3: "Using a combination of aggressive data pre-processing, result
 //! pre-computation and caching techniques, the latency of MapRat is
-//! minimized." This crate provides the generic machinery:
+//! minimized." This crate provides the generic machinery behind the
+//! serving layer's two cache tiers:
 //!
-//! * [`lru::LruCache`] — a classic intrusive-list LRU with O(1) get/put;
+//! * [`lru::LruCache`] — a classic intrusive-list LRU with O(1) get/put
+//!   and predicate-based [`LruCache::retain`] for targeted invalidation;
 //! * [`shard::ShardedCache`] — a thread-safe, sharded wrapper (the demo
-//!   server answers concurrent requests);
-//! * [`stats::CacheStats`] — hit/miss/eviction telemetry for the latency
-//!   experiments (TXT-LATENCY in EXPERIMENTS.md).
+//!   server answers concurrent requests without a global lock);
+//! * [`flight::FlightGroup`] — single-flight coalescing: N concurrent
+//!   identical cold requests run one computation and share the result;
+//! * [`stats::CacheStats`] — hit/miss/eviction/invalidation telemetry
+//!   for the latency experiments (TXT-LATENCY in EXPERIMENTS.md).
 //!
-//! The exploration layer (`maprat-explore`) keys this cache by the typed
-//! explain request and pre-computes per-item explanations; keeping this
-//! crate generic keeps the dependency graph parallel.
+//! The exploration layer (`maprat-explore`) stacks these into two tiers —
+//! full explain results keyed by the typed request, and cube/cover
+//! snapshots keyed by the item query — and wraps cold solves in a flight
+//! group. Keeping this crate generic keeps the dependency graph parallel.
+//!
+//! ```
+//! use maprat_cache::ShardedCache;
+//!
+//! let cache: ShardedCache<String, usize> = ShardedCache::new(4, 64);
+//! let v = cache.get_or_insert_with("answer".to_string(), || 42);
+//! assert_eq!(*v, 42);
+//! assert_eq!(cache.get(&"answer".to_string()).as_deref(), Some(&42));
+//! // Partition-scoped invalidation drops exactly the matching entries.
+//! cache.retain(|key, _| key != "answer");
+//! assert!(cache.get(&"answer".to_string()).is_none());
+//! assert_eq!(cache.stats().invalidations(), 1);
+//! ```
 
 #![warn(missing_docs)]
 
+pub mod flight;
 pub mod lru;
 pub mod shard;
 pub mod stats;
 
+pub use flight::{FlightGroup, FlightOutcome};
 pub use lru::LruCache;
 pub use shard::ShardedCache;
 pub use stats::CacheStats;

@@ -169,6 +169,32 @@ impl<K: Hash + Eq + Clone, V> LruCache<K, V> {
         value
     }
 
+    /// Keeps only entries for which `keep` returns `true`, preserving the
+    /// recency order of survivors. Returns how many entries were dropped.
+    ///
+    /// This is the partition-scoped invalidation primitive: after a
+    /// dataset hot-swap, callers drop exactly the entries whose keys (or
+    /// values) touch the changed partitions instead of nuking the cache.
+    pub fn retain(&mut self, mut keep: impl FnMut(&K, &V) -> bool) -> usize {
+        let mut doomed = Vec::new();
+        let mut idx = self.head;
+        while idx != NIL {
+            let slot = &self.slab[idx];
+            let (key, value) = (
+                slot.key.as_ref().expect("list slots occupied"),
+                slot.value.as_ref().expect("list slots occupied"),
+            );
+            if !keep(key, value) {
+                doomed.push(key.clone());
+            }
+            idx = slot.next;
+        }
+        for key in &doomed {
+            self.remove(key);
+        }
+        doomed.len()
+    }
+
     /// Drops every entry.
     pub fn clear(&mut self) {
         self.map.clear();
@@ -261,6 +287,33 @@ mod tests {
         c.put(2, ());
         let _ = c.peek(&1);
         assert_eq!(c.put(3, ()), Some((1, ())), "1 still LRU after peek");
+    }
+
+    #[test]
+    fn retain_drops_matches_and_preserves_recency() {
+        let mut c = LruCache::new(8);
+        for i in 0..6 {
+            c.put(i, i * 10);
+        }
+        let _ = c.get(&0); // recency: 0, 5, 4, 3, 2, 1
+        let dropped = c.retain(|k, _| k % 2 == 0);
+        assert_eq!(dropped, 3);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.keys_by_recency(), vec![0, 4, 2]);
+        assert_eq!(c.peek(&3), None);
+        assert_eq!(c.peek(&4), Some(&40));
+        // Freed slots are reusable.
+        c.put(7, 70);
+        assert_eq!(c.peek(&7), Some(&70));
+    }
+
+    #[test]
+    fn retain_can_inspect_values() {
+        let mut c = LruCache::new(4);
+        c.put("a", 1);
+        c.put("b", 2);
+        assert_eq!(c.retain(|_, v| *v > 1), 1);
+        assert_eq!(c.keys_by_recency(), vec!["b"]);
     }
 
     #[test]

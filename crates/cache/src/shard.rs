@@ -38,6 +38,19 @@ impl<K: Hash + Eq + Clone, V> ShardedCache<K, V> {
         &self.shards[idx]
     }
 
+    /// Whether a key is resident, without touching recency or telemetry
+    /// (used by background warmers probing for work).
+    pub fn contains(&self, key: &K) -> bool {
+        self.shard_for(key).lock().peek(key).is_some()
+    }
+
+    /// Looks up a key without touching recency or telemetry (used by
+    /// single-flight leaders re-checking after winning leadership, where
+    /// a second hit/miss record would double-count the request).
+    pub fn peek(&self, key: &K) -> Option<Arc<V>> {
+        self.shard_for(key).lock().peek(key).cloned()
+    }
+
     /// Looks up a key.
     pub fn get(&self, key: &K) -> Option<Arc<V>> {
         let result = self.shard_for(key).lock().get(key).cloned();
@@ -87,6 +100,33 @@ impl<K: Hash + Eq + Clone, V> ShardedCache<K, V> {
     /// Whether every shard is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Removes one key; returns the value if it was present. Recorded as
+    /// an invalidation in [`CacheStats`].
+    pub fn remove(&self, key: &K) -> Option<Arc<V>> {
+        let removed = self.shard_for(key).lock().remove(key);
+        if removed.is_some() {
+            self.stats.invalidate(1);
+        }
+        removed
+    }
+
+    /// Keeps only entries for which `keep` returns `true`; returns how
+    /// many were dropped (recorded as invalidations in [`CacheStats`]).
+    ///
+    /// Each shard is swept under its own lock, so concurrent readers of
+    /// other shards are never blocked. Used for partition-scoped
+    /// invalidation after a dataset hot-swap.
+    pub fn retain(&self, mut keep: impl FnMut(&K, &V) -> bool) -> usize {
+        let mut dropped = 0;
+        for shard in &self.shards {
+            dropped += shard.lock().retain(|k, v| keep(k, &**v));
+        }
+        if dropped > 0 {
+            self.stats.invalidate(dropped as u64);
+        }
+        dropped
     }
 
     /// Clears every shard.
@@ -155,6 +195,22 @@ mod tests {
             h.join().unwrap();
         }
         assert!(c.len() <= 4 * 32);
+    }
+
+    #[test]
+    fn retain_and_remove_record_invalidations() {
+        let c: ShardedCache<u32, u32> = ShardedCache::new(4, 8);
+        for i in 0..10 {
+            c.put(i, i);
+        }
+        assert_eq!(c.remove(&3).as_deref(), Some(&3));
+        assert_eq!(c.remove(&3), None, "second remove is a no-op");
+        let dropped = c.retain(|k, _| k % 2 == 0);
+        assert_eq!(dropped, 4, "odd keys dropped (3 already removed)");
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.stats().invalidations(), 5);
+        assert!(c.get(&5).is_none());
+        assert!(c.get(&4).is_some());
     }
 
     #[test]

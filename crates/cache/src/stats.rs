@@ -13,6 +13,7 @@ pub struct CacheStats {
     misses: AtomicU64,
     insertions: AtomicU64,
     evictions: AtomicU64,
+    invalidations: AtomicU64,
 }
 
 impl CacheStats {
@@ -59,6 +60,17 @@ impl CacheStats {
         self.evictions.load(Ordering::Relaxed)
     }
 
+    /// Records `n` explicit invalidations (targeted removal or `retain`,
+    /// as opposed to capacity-driven eviction).
+    pub fn invalidate(&self, n: u64) {
+        self.invalidations.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Explicit invalidations so far.
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations.load(Ordering::Relaxed)
+    }
+
     /// Hit rate in `[0, 1]`; `None` before any lookup.
     pub fn hit_rate(&self) -> Option<f64> {
         let h = self.hits() as f64;
@@ -72,6 +84,7 @@ impl CacheStats {
         self.misses.store(0, Ordering::Relaxed);
         self.insertions.store(0, Ordering::Relaxed);
         self.evictions.store(0, Ordering::Relaxed);
+        self.invalidations.store(0, Ordering::Relaxed);
     }
 }
 
@@ -87,10 +100,12 @@ mod tests {
         s.miss();
         s.insert(false);
         s.insert(true);
+        s.invalidate(3);
         assert_eq!(s.hits(), 2);
         assert_eq!(s.misses(), 1);
         assert_eq!(s.insertions(), 2);
         assert_eq!(s.evictions(), 1);
+        assert_eq!(s.invalidations(), 3);
     }
 
     #[test]

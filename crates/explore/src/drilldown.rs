@@ -76,7 +76,7 @@ mod tests {
         let r = result.as_ref().as_ref().expect("explanation succeeds");
         // Drill into whichever SM group came back first.
         let desc = r.explanation.similarity.groups[0].desc;
-        let cities = drill_group(engine.dataset(), r, &desc).expect("geo group drills");
+        let cities = drill_group(&engine.dataset(), r, &desc).expect("geo group drills");
         let total: u64 = cities.iter().map(|c| c.stats.count()).sum();
         assert_eq!(total as usize, r.explanation.similarity.groups[0].support);
     }
@@ -97,7 +97,7 @@ mod tests {
             maprat_data::Occupation::Farmer.into(),
             UsState::WY.into(),
         ]);
-        assert!(drill_group(engine.dataset(), r, &desc).is_none());
+        assert!(drill_group(&engine.dataset(), r, &desc).is_none());
     }
 
     #[test]
@@ -118,7 +118,7 @@ mod tests {
         let result = engine.explain_query(&ItemQuery::title("Toy Story"), &settings);
         let r = result.as_ref().as_ref().unwrap();
         let desc = r.explanation.similarity.groups[0].desc;
-        let cities = drill_group(engine.dataset(), r, &desc).unwrap();
+        let cities = drill_group(&engine.dataset(), r, &desc).unwrap();
         let text = render_drilldown(&desc, &cities);
         assert!(text.contains("city-level statistics"));
         assert!(text.lines().count() >= cities.len());

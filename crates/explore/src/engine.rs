@@ -1,12 +1,29 @@
 //! The owned exploration engine — MapRat's public entry point.
 //!
-//! [`MapRatEngine`] bundles an [`Arc<Dataset>`], a miner and a sharded
-//! result cache into a cheaply-clonable handle: clones share the dataset
-//! and the cache, so a server can hand one clone to every worker thread
-//! (or serve several datasets side by side) without leaking anything to
-//! `'static`. It replaces the old lifetime-parameterized
-//! `ExplorationSession<'a>`, which forced the demo binary to
-//! `Box::leak` its dataset.
+//! [`MapRatEngine`] bundles an [`Arc<Dataset>`], a miner and a two-tier
+//! cache into a cheaply-clonable handle: clones share the dataset and
+//! both cache tiers, so a server can hand one clone to every worker
+//! thread (or serve several datasets side by side) without leaking
+//! anything to `'static`.
+//!
+//! The serving path stacks three mechanisms (§2.3's "aggressive data
+//! pre-processing, result pre-computation and caching"):
+//!
+//! 1. a **result tier** keyed by the full typed [`ExplainRequest`] —
+//!    a hit returns the finished explanation;
+//! 2. a **snapshot tier** keyed by the cube-build inputs only (the item
+//!    query plus `min_support`/`require_geo`/`max_arity`) — a hit skips
+//!    the cube build and re-runs only the solve, so sweeping solver
+//!    settings over one query pays the cube once;
+//! 3. **single-flight coalescing** — N concurrent identical cold
+//!    requests run one solve and share the `Arc`'d result.
+//!
+//! [`MapRatEngine::explain_traced`] reports which tier answered
+//! ([`ServedFrom`]), which the HTTP layer surfaces as the
+//! `X-MapRat-Cache` response header. The dataset itself sits behind a
+//! lock-held `Arc` that [`MapRatEngine::swap_dataset`] replaces
+//! atomically — in-flight requests keep mining the snapshot they pinned,
+//! so a hot-swap never drops traffic.
 //!
 //! Cache entries are keyed by the typed [`ExplainRequest`] itself —
 //! its `Hash` encoding, not a hand-formatted string — so every settings
@@ -14,15 +31,23 @@
 //! key by construction, and full request equality is verified on every
 //! hit. [`RequestFingerprint`] is a compact 128-bit digest of that same
 //! encoding, for logging and collision-regression testing.
+//!
+//! # Environment knobs
+//!
+//! [`MapRatEngine::new`] sizes the tiers from the environment (totals,
+//! spread over 4 shards): `MAPRAT_RESULT_CACHE` (default 256 entries)
+//! and `MAPRAT_SNAPSHOT_CACHE` (default 64 entries).
 
-use maprat_cache::{CacheStats, ShardedCache};
+use maprat_cache::{CacheStats, FlightGroup, FlightOutcome, ShardedCache};
 use maprat_core::query::ItemQuery;
 use maprat_core::{Explanation, MineError, Miner, SearchSettings};
 use maprat_cube::RatingCube;
 use maprat_data::{Dataset, ItemId};
 use std::collections::hash_map::DefaultHasher;
+use std::collections::HashSet;
 use std::hash::{Hash, Hasher};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard};
 
 /// One fully-specified explanation request: the query plus every search
 /// setting. This is the unit the engine caches on and the unit the typed
@@ -117,15 +142,136 @@ pub struct ExplorationResult {
     pub items: Vec<ItemId>,
 }
 
+/// Which serving mechanism answered an explain (see
+/// [`MapRatEngine::explain_traced`]). The HTTP layer reports this as the
+/// `X-MapRat-Cache` response header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServedFrom {
+    /// The finished explanation was already in the result tier.
+    ResultCache,
+    /// The cube/cover snapshot was cached; only the solve re-ran.
+    SnapshotCache,
+    /// Nothing was cached: cube build plus solve ran.
+    Cold,
+    /// A concurrent identical request was already solving; this caller
+    /// waited and shares that leader's result.
+    Coalesced,
+}
+
+impl ServedFrom {
+    /// Stable lowercase label (the `X-MapRat-Cache` header value).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ServedFrom::ResultCache => "hit",
+            ServedFrom::SnapshotCache => "snapshot",
+            ServedFrom::Cold => "miss",
+            ServedFrom::Coalesced => "coalesced",
+        }
+    }
+}
+
+impl std::fmt::Display for ServedFrom {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One engine-wide telemetry snapshot across both tiers, the flight
+/// group and the solver counter (rendered by `/api/v1/stats`).
+#[derive(Debug, Clone)]
+pub struct ServingStats {
+    /// Result-tier hits.
+    pub result_hits: u64,
+    /// Result-tier misses.
+    pub result_misses: u64,
+    /// Result-tier resident entries.
+    pub result_len: usize,
+    /// Snapshot-tier hits.
+    pub snapshot_hits: u64,
+    /// Snapshot-tier misses.
+    pub snapshot_misses: u64,
+    /// Snapshot-tier resident entries.
+    pub snapshot_len: usize,
+    /// Targeted invalidations across both tiers (hot-swap scoped drops).
+    pub invalidations: u64,
+    /// Flights that ran the computation themselves.
+    pub flights_led: u64,
+    /// Flights that shared a concurrent leader's result.
+    pub flights_joined: u64,
+    /// Requests that reached the miner (cube build and/or solve).
+    pub solves: u64,
+    /// Foreground explains currently executing.
+    pub foreground_inflight: usize,
+}
+
+/// The snapshot tier's key: exactly the inputs of `Miner::build_cube`.
+/// Two requests that differ only in solver settings (group budget,
+/// coverage, λ, seed…) share one cube/cover snapshot.
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct SnapshotKey {
+    query: ItemQuery,
+    min_support: usize,
+    require_geo: bool,
+    max_arity: usize,
+}
+
+impl SnapshotKey {
+    fn of(request: &ExplainRequest) -> Self {
+        SnapshotKey {
+            query: request.query.clone(),
+            min_support: request.settings.min_support,
+            require_geo: request.settings.require_geo,
+            max_arity: request.settings.max_arity,
+        }
+    }
+}
+
+/// A reusable cube/cover artifact: the matched items plus the built
+/// cube. `RatingCube` Arc-shares its cover chunks, so cloning out of the
+/// tier is cheap.
+struct CubeSnapshot {
+    items: Vec<ItemId>,
+    cube: RatingCube,
+}
+
+type CachedResult = Arc<Result<ExplorationResult, MineError>>;
+
+fn read_lock<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Decrements the foreground-inflight gauge even on unwind, so a
+/// panicking explain can never wedge the precompute scheduler's
+/// backpressure check.
+struct ForegroundGuard<'a>(&'a AtomicUsize);
+
+impl<'a> ForegroundGuard<'a> {
+    fn enter(gauge: &'a AtomicUsize) -> Self {
+        gauge.fetch_add(1, Ordering::SeqCst);
+        ForegroundGuard(gauge)
+    }
+}
+
+impl Drop for ForegroundGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
 /// The shared state behind every engine clone.
 ///
-/// The cache is keyed by the typed request itself: its `Hash` encoding —
-/// the same bits [`ExplainRequest::fingerprint`] digests — selects the
-/// shard and bucket, and full equality is verified on every hit, so a
-/// fingerprint collision can never serve another request's result.
+/// The result tier is keyed by the typed request itself: its `Hash`
+/// encoding — the same bits [`ExplainRequest::fingerprint`] digests —
+/// selects the shard and bucket, and full equality is verified on every
+/// hit, so a fingerprint collision can never serve another request's
+/// result.
 struct EngineInner {
-    dataset: Arc<Dataset>,
-    cache: ShardedCache<ExplainRequest, Result<ExplorationResult, MineError>>,
+    dataset: RwLock<Arc<Dataset>>,
+    results: ShardedCache<ExplainRequest, Result<ExplorationResult, MineError>>,
+    snapshots: ShardedCache<SnapshotKey, CubeSnapshot>,
+    flights: FlightGroup<ExplainRequest, (CachedResult, ServedFrom)>,
+    solves: AtomicU64,
+    foreground: AtomicUsize,
 }
 
 /// An owned, cheaply-clonable exploration engine: `Arc<Dataset>` + miner
@@ -151,10 +297,25 @@ pub struct MapRatEngine {
     inner: Arc<EngineInner>,
 }
 
+/// Reads a positive cache-size knob from the environment.
+fn env_size(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
+const SHARDS: usize = 4;
+
 impl MapRatEngine {
-    /// Creates an engine with the default cache geometry (4 shards × 64).
+    /// Creates an engine with the environment-tuned cache geometry:
+    /// `MAPRAT_RESULT_CACHE` total result entries (default 256) and
+    /// `MAPRAT_SNAPSHOT_CACHE` total cube snapshots (default 64), each
+    /// spread over 4 shards.
     pub fn new(dataset: Arc<Dataset>) -> Self {
-        Self::with_cache_size(dataset, 4, 64)
+        let results = env_size("MAPRAT_RESULT_CACHE", 256);
+        Self::with_cache_size(dataset, SHARDS, results.div_ceil(SHARDS))
     }
 
     /// Creates an engine over a freshly-wrapped dataset (convenience for
@@ -163,64 +324,227 @@ impl MapRatEngine {
         Self::new(Arc::new(dataset))
     }
 
-    /// Creates an engine with an explicit cache geometry.
+    /// Creates an engine with an explicit result-tier geometry (the
+    /// snapshot tier stays environment-tuned).
     pub fn with_cache_size(dataset: Arc<Dataset>, shards: usize, per_shard: usize) -> Self {
+        let snapshots = env_size("MAPRAT_SNAPSHOT_CACHE", 64);
         MapRatEngine {
             inner: Arc::new(EngineInner {
-                dataset,
-                cache: ShardedCache::new(shards, per_shard),
+                dataset: RwLock::new(dataset),
+                results: ShardedCache::new(shards, per_shard),
+                snapshots: ShardedCache::new(SHARDS, snapshots.div_ceil(SHARDS)),
+                flights: FlightGroup::new(),
+                solves: AtomicU64::new(0),
+                foreground: AtomicUsize::new(0),
             }),
         }
     }
 
-    /// The underlying dataset.
-    pub fn dataset(&self) -> &Dataset {
-        &self.inner.dataset
+    /// The current dataset, pinned. Callers hold the returned `Arc` for
+    /// the duration of their work: a concurrent
+    /// [`swap_dataset`](MapRatEngine::swap_dataset) replaces what *future* calls see
+    /// but never invalidates a pinned handle — that is what makes the
+    /// hot-swap safe under load.
+    pub fn dataset(&self) -> Arc<Dataset> {
+        Arc::clone(&read_lock(&self.inner.dataset))
     }
 
-    /// A shareable handle to the dataset (e.g. for spawning other engines
-    /// with different cache geometries over the same data).
+    /// Alias of [`MapRatEngine::dataset`] (kept for callers predating the
+    /// hot-swap, when `dataset()` returned a plain borrow).
     pub fn dataset_arc(&self) -> Arc<Dataset> {
-        Arc::clone(&self.inner.dataset)
+        self.dataset()
     }
 
-    /// A borrow-scoped miner over the dataset (for uncached access, e.g.
-    /// personalized mining that would thrash the shared cache).
-    pub fn miner(&self) -> Miner<'_> {
-        Miner::new(&self.inner.dataset)
+    /// Atomically replaces the dataset and drops **both** cache tiers.
+    /// In-flight requests finish against the dataset they pinned; new
+    /// requests see the new one immediately.
+    pub fn swap_dataset(&self, dataset: Arc<Dataset>) {
+        *self
+            .inner
+            .dataset
+            .write()
+            .unwrap_or_else(PoisonError::into_inner) = dataset;
+        self.inner.results.clear();
+        self.inner.snapshots.clear();
     }
 
-    /// Cache telemetry.
+    /// Hot-swap with partition-scoped invalidation: drops only the cache
+    /// entries (in both tiers) whose matched items intersect
+    /// `changed_items`, plus every cached error (an error may become
+    /// answerable under the new dataset). Returns how many entries were
+    /// dropped.
+    ///
+    /// # Soundness contract
+    /// Only valid when the new dataset preserves the identity and rating
+    /// history of every item *not* listed in `changed_items` — e.g. an
+    /// append of new items, or an in-place refresh of the listed ones.
+    /// For arbitrary rebuilds use [`MapRatEngine::swap_dataset`], which
+    /// invalidates everything.
+    pub fn swap_dataset_scoped(&self, dataset: Arc<Dataset>, changed_items: &[ItemId]) -> usize {
+        let changed: HashSet<ItemId> = changed_items.iter().copied().collect();
+        *self
+            .inner
+            .dataset
+            .write()
+            .unwrap_or_else(PoisonError::into_inner) = dataset;
+        let untouched =
+            |items: &[ItemId]| -> bool { !items.iter().any(|item| changed.contains(item)) };
+        self.inner.results.retain(|_, result| match result {
+            Ok(r) => untouched(&r.items),
+            Err(_) => false,
+        }) + self
+            .inner
+            .snapshots
+            .retain(|_, snap| untouched(&snap.items))
+    }
+
+    /// Result-tier telemetry.
     pub fn cache_stats(&self) -> Arc<CacheStats> {
-        self.inner.cache.stats()
+        self.inner.results.stats()
     }
 
-    /// Entries currently cached (across all shards).
+    /// Snapshot-tier telemetry.
+    pub fn snapshot_stats(&self) -> Arc<CacheStats> {
+        self.inner.snapshots.stats()
+    }
+
+    /// Result-tier entries currently cached (across all shards).
     pub fn cache_len(&self) -> usize {
-        self.inner.cache.len()
+        self.inner.results.len()
     }
 
-    /// Explains a typed request, serving from the shared cache when
+    /// Requests that reached the miner (cube build and/or solve) rather
+    /// than a cache tier or a concurrent flight. The coalescing
+    /// acceptance test pivots on this: N identical concurrent cold
+    /// explains must leave it at 1.
+    pub fn solve_count(&self) -> u64 {
+        self.inner.solves.load(Ordering::Relaxed)
+    }
+
+    /// Foreground explains currently executing (the precompute
+    /// scheduler's backpressure signal).
+    pub fn foreground_inflight(&self) -> usize {
+        self.inner.foreground.load(Ordering::SeqCst)
+    }
+
+    /// One coherent telemetry snapshot across tiers, flights and solver.
+    pub fn serving_stats(&self) -> ServingStats {
+        let results = self.inner.results.stats();
+        let snapshots = self.inner.snapshots.stats();
+        ServingStats {
+            result_hits: results.hits(),
+            result_misses: results.misses(),
+            result_len: self.inner.results.len(),
+            snapshot_hits: snapshots.hits(),
+            snapshot_misses: snapshots.misses(),
+            snapshot_len: self.inner.snapshots.len(),
+            invalidations: results.invalidations() + snapshots.invalidations(),
+            flights_led: self.inner.flights.leads(),
+            flights_joined: self.inner.flights.joins(),
+            solves: self.solve_count(),
+            foreground_inflight: self.foreground_inflight(),
+        }
+    }
+
+    /// Explains a typed request, serving from the shared tiers when
     /// possible.
     pub fn explain(&self, request: &ExplainRequest) -> Arc<Result<ExplorationResult, MineError>> {
-        self.inner.cache.get_or_insert_with(request.clone(), || {
-            let miner = self.miner();
-            miner
-                .build_cube(&request.query, &request.settings)
-                .and_then(|(items, cube)| {
-                    let explanation = miner.explain_cube(
+        self.explain_traced(request).0
+    }
+
+    /// Like [`MapRatEngine::explain`], but also reports which serving
+    /// mechanism answered (the `X-MapRat-Cache` header value).
+    pub fn explain_traced(
+        &self,
+        request: &ExplainRequest,
+    ) -> (Arc<Result<ExplorationResult, MineError>>, ServedFrom) {
+        let _guard = ForegroundGuard::enter(&self.inner.foreground);
+        self.lookup_or_solve(request)
+    }
+
+    /// Background warm used by the precompute scheduler: computes and
+    /// caches `request` unless the result tier already holds it. Does not
+    /// count as foreground traffic (so warming never back-pressures
+    /// itself), but does coalesce with any concurrent foreground flight.
+    /// Returns whether any work was done.
+    pub fn warm(&self, request: &ExplainRequest) -> bool {
+        if self.inner.results.contains(request) {
+            return false;
+        }
+        let _ = self.lookup_or_solve(request);
+        true
+    }
+
+    fn lookup_or_solve(&self, request: &ExplainRequest) -> (CachedResult, ServedFrom) {
+        if let Some(hit) = self.inner.results.get(request) {
+            return (hit, ServedFrom::ResultCache);
+        }
+        let outcome = self.inner.flights.run(request.clone(), || {
+            // Re-check after winning leadership: the previous leader may
+            // have published and retired its flight between our miss and
+            // our registration. `peek` — the miss was already recorded.
+            match self.inner.results.peek(request) {
+                Some(hit) => (hit, ServedFrom::ResultCache),
+                None => self.solve_and_cache(request),
+            }
+        });
+        match outcome {
+            FlightOutcome::Led(v) => (Arc::clone(&v.0), v.1),
+            FlightOutcome::Joined(v) => (Arc::clone(&v.0), ServedFrom::Coalesced),
+        }
+    }
+
+    /// The miss path: consult the snapshot tier (skip the cube build on a
+    /// hit), mine, and populate both tiers. Errors land in the result
+    /// tier (negative caching) but never in the snapshot tier.
+    fn solve_and_cache(&self, request: &ExplainRequest) -> (CachedResult, ServedFrom) {
+        let dataset = self.dataset();
+        let miner = Miner::new(&dataset);
+        let key = SnapshotKey::of(request);
+        let (result, served) = match self.inner.snapshots.get(&key) {
+            Some(snap) => {
+                let result = miner
+                    .explain_cube(
                         &request.query,
-                        items.clone(),
-                        &cube,
+                        snap.items.clone(),
+                        &snap.cube,
                         &request.settings,
-                    )?;
-                    Ok(ExplorationResult {
+                    )
+                    .map(|explanation| ExplorationResult {
                         explanation,
-                        cube,
-                        items,
-                    })
-                })
-        })
+                        cube: snap.cube.clone(),
+                        items: snap.items.clone(),
+                    });
+                (result, ServedFrom::SnapshotCache)
+            }
+            None => {
+                let result = miner
+                    .build_cube(&request.query, &request.settings)
+                    .and_then(|(items, cube)| {
+                        self.inner.snapshots.put(
+                            key,
+                            CubeSnapshot {
+                                items: items.clone(),
+                                cube: cube.clone(),
+                            },
+                        );
+                        let explanation = miner.explain_cube(
+                            &request.query,
+                            items.clone(),
+                            &cube,
+                            &request.settings,
+                        )?;
+                        Ok(ExplorationResult {
+                            explanation,
+                            cube,
+                            items,
+                        })
+                    });
+                (result, ServedFrom::Cold)
+            }
+        };
+        self.inner.solves.fetch_add(1, Ordering::Relaxed);
+        (self.inner.results.put(request.clone(), result), served)
     }
 
     /// Convenience: explains a query/settings pair.
@@ -255,9 +579,12 @@ impl MapRatEngine {
         ok
     }
 
-    /// Drops all cached results (the dataset changed, settings sweep, …).
+    /// Drops both cache tiers (settings sweep, benchmarking, …). For
+    /// dataset changes prefer [`MapRatEngine::swap_dataset`], which
+    /// clears and swaps atomically enough for serving.
     pub fn clear_cache(&self) {
-        self.inner.cache.clear();
+        self.inner.results.clear();
+        self.inner.snapshots.clear();
     }
 }
 
@@ -299,7 +626,7 @@ mod tests {
     fn clones_share_dataset_and_cache() {
         let engine = engine();
         let clone = engine.clone();
-        assert!(std::ptr::eq(engine.dataset(), clone.dataset()));
+        assert!(Arc::ptr_eq(&engine.dataset(), &clone.dataset()));
         let q = ItemQuery::title("Toy Story");
         let s = settings();
         let via_original = engine.explain_query(&q, &s);
@@ -341,11 +668,11 @@ mod tests {
         assert!(warmed >= 1);
         let misses_before = engine.cache_stats().misses();
         // The most-rated item is planted Toy Story at tiny scale; query it.
-        let top = engine
-            .dataset()
+        let dataset = engine.dataset();
+        let top = dataset
             .items()
             .iter()
-            .max_by_key(|it| engine.dataset().ratings_for_item(it.id).len())
+            .max_by_key(|it| dataset.ratings_for_item(it.id).len())
             .unwrap()
             .title
             .clone();
@@ -363,6 +690,176 @@ mod tests {
         let misses_before = engine.cache_stats().misses();
         let _ = engine.explain_query(&q, &s);
         assert_eq!(engine.cache_stats().misses(), misses_before + 1);
+    }
+
+    #[test]
+    fn explain_traced_reports_tiers() {
+        let engine = engine();
+        let q = ItemQuery::title("Toy Story");
+        let (r, served) = engine.explain_traced(&ExplainRequest::new(q.clone(), settings()));
+        assert!(r.is_ok());
+        assert_eq!(served, ServedFrom::Cold, "first request builds the cube");
+        let (_, served) = engine.explain_traced(&ExplainRequest::new(q.clone(), settings()));
+        assert_eq!(served, ServedFrom::ResultCache, "repeat is a result hit");
+        // Same query, different solver budget: the cube-build inputs are
+        // unchanged, so only the solve re-runs.
+        let (r, served) =
+            engine.explain_traced(&ExplainRequest::new(q, settings().with_max_groups(2)));
+        assert!(r.is_ok());
+        assert_eq!(served, ServedFrom::SnapshotCache, "snapshot tier hit");
+        assert!(engine.snapshot_stats().hits() >= 1);
+    }
+
+    #[test]
+    fn snapshot_tier_survives_result_eviction() {
+        // A result tier of 1 entry per shard churns constantly; the
+        // snapshot tier keeps absorbing the cube build anyway.
+        let engine = MapRatEngine::with_cache_size(
+            Arc::new(generate(&SynthConfig::tiny(111)).unwrap()),
+            1,
+            1,
+        );
+        let q = ItemQuery::title("Toy Story");
+        for k in 1..=4 {
+            let _ = engine.explain_query(&q, &settings().with_max_groups(k));
+        }
+        let stats = engine.serving_stats();
+        assert_eq!(stats.snapshot_misses, 1, "cube built exactly once");
+        assert_eq!(stats.snapshot_hits, 3, "later budgets reuse the cube");
+    }
+
+    #[test]
+    fn concurrent_identical_cold_explains_solve_once() {
+        // The coalescing acceptance test: N identical cold explains in
+        // flight at once run exactly one solve between them.
+        let engine = engine();
+        let request = ExplainRequest::new(ItemQuery::title("Toy Story"), settings());
+        let barrier = std::sync::Barrier::new(8);
+        let results: Vec<(Arc<Result<ExplorationResult, MineError>>, ServedFrom)> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..8)
+                    .map(|_| {
+                        let (engine, request, barrier) = (engine.clone(), &request, &barrier);
+                        scope.spawn(move || {
+                            barrier.wait();
+                            engine.explain_traced(request)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+        assert_eq!(engine.solve_count(), 1, "exactly one solve ran");
+        let first = &results[0].0;
+        for (r, _) in &results {
+            assert!(r.is_ok());
+            assert!(Arc::ptr_eq(first, r), "all callers share one result");
+        }
+        let stats = engine.serving_stats();
+        // Every caller either led the flight, joined it, or arrived
+        // after the leader published and hit the result tier directly.
+        assert!(stats.flights_led >= 1, "someone led the solve");
+        assert_eq!(
+            stats.flights_led + stats.flights_joined + stats.result_hits,
+            8,
+            "all 8 callers accounted for: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn swap_dataset_invalidates_everything() {
+        let engine = engine();
+        let q = ItemQuery::title("Toy Story");
+        let before = engine.explain_query(&q, &settings());
+        assert!(before.is_ok());
+        engine.swap_dataset(Arc::new(generate(&SynthConfig::tiny(222)).unwrap()));
+        assert_eq!(engine.cache_len(), 0);
+        let (after, served) = engine.explain_traced(&ExplainRequest::new(q, settings()));
+        assert_eq!(served, ServedFrom::Cold, "both tiers were dropped");
+        assert!(
+            !Arc::ptr_eq(&before, &after),
+            "new dataset recomputes from scratch"
+        );
+    }
+
+    #[test]
+    fn scoped_swap_drops_only_touched_partitions() {
+        let engine = engine();
+        let dataset = engine.dataset();
+        let toy = engine.explain_query(&ItemQuery::title("Toy Story"), &settings());
+        let toy_items = match &*toy {
+            Ok(r) => r.items.clone(),
+            Err(e) => panic!("warm-up failed: {e:?}"),
+        };
+        // A second cached entry over disjoint items (planted titles are
+        // stable at tiny scale; find one not in Toy Story's match set).
+        let other_title = dataset
+            .items()
+            .iter()
+            .find(|it| {
+                !toy_items.contains(&it.id)
+                    && engine
+                        .explain_query(&ItemQuery::title(&it.title), &settings())
+                        .is_ok()
+            })
+            .map(|it| it.title.clone())
+            .expect("tiny dataset has a disjoint explainable item");
+        let dropped = engine.swap_dataset_scoped(Arc::clone(&dataset), &toy_items);
+        assert!(dropped >= 2, "Toy Story result + snapshot dropped");
+        let (_, served) = engine.explain_traced(&ExplainRequest::new(
+            ItemQuery::title(&other_title),
+            settings(),
+        ));
+        assert_eq!(
+            served,
+            ServedFrom::ResultCache,
+            "untouched partition survives the scoped swap"
+        );
+        let (_, served) = engine.explain_traced(&ExplainRequest::new(
+            ItemQuery::title("Toy Story"),
+            settings(),
+        ));
+        assert_eq!(served, ServedFrom::Cold, "touched partition recomputes");
+    }
+
+    #[test]
+    fn hot_swap_under_load_drops_no_requests() {
+        // Explains hammer the engine while the dataset is swapped
+        // repeatedly; every request completes against a coherent dataset.
+        let engine = engine();
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let (engine, stop) = (engine.clone(), &stop);
+                scope.spawn(move || {
+                    let mut served = 0u32;
+                    while !stop.load(Ordering::SeqCst) {
+                        let q = ItemQuery::title("Toy Story");
+                        let s = settings().with_max_groups(1 + (served as usize + t) % 3);
+                        let r = engine.explain_query(&q, &s);
+                        assert!(r.is_ok(), "in-flight request dropped: {:?}", r);
+                        served += 1;
+                    }
+                    assert!(served > 0);
+                });
+            }
+            for seed in [311, 312, 313] {
+                engine.swap_dataset(Arc::new(generate(&SynthConfig::tiny(seed)).unwrap()));
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            stop.store(true, Ordering::SeqCst);
+        });
+    }
+
+    #[test]
+    fn warm_is_idempotent_and_background() {
+        let engine = engine();
+        let request = ExplainRequest::new(ItemQuery::title("Toy Story"), settings());
+        assert_eq!(engine.foreground_inflight(), 0);
+        assert!(engine.warm(&request), "cold warm does work");
+        assert!(!engine.warm(&request), "second warm is a no-op");
+        let (_, served) = engine.explain_traced(&request);
+        assert_eq!(served, ServedFrom::ResultCache, "foreground rides the warm");
+        assert_eq!(engine.foreground_inflight(), 0, "warm is not foreground");
     }
 
     #[test]

@@ -4,10 +4,13 @@
 //! demo exposes:
 //!
 //! * [`engine::MapRatEngine`] — the owned, cheaply-clonable entry point:
-//!   `Arc<Dataset>` + miner + sharded cache mapping typed
-//!   [`engine::ExplainRequest`]s to explanation+cube results (§2.3's
-//!   pre-computation/caching claim), with no lifetime parameter to leak
-//!   around;
+//!   `Arc<Dataset>` + miner + the two-tier serving cache (full results
+//!   keyed by typed [`engine::ExplainRequest`]s, cube/cover snapshots
+//!   keyed by the query) with single-flight coalescing and atomic
+//!   dataset hot-swap (§2.3's pre-computation/caching claim), with no
+//!   lifetime parameter to leak around;
+//! * [`precompute::PrecomputeScheduler`] — popularity-driven background
+//!   warming on idle pool workers, with foreground backpressure;
 //! * [`render`] — turns each interpretation into a [`maprat_geo`]
 //!   choropleth (the SM and DM tabs);
 //! * [`timeline`] — the time slider: month-windowed re-mining showing how
@@ -26,11 +29,15 @@ pub mod drilldown;
 pub mod engine;
 pub mod overlay;
 pub mod personalize;
+pub mod precompute;
 pub mod render;
 pub mod timeline;
 
 pub use compare::{GroupDetail, RelatedGroup, Relation};
-pub use engine::{ExplainRequest, ExplorationResult, MapRatEngine, RequestFingerprint};
+pub use engine::{
+    ExplainRequest, ExplorationResult, MapRatEngine, RequestFingerprint, ServedFrom, ServingStats,
+};
 pub use overlay::overlay_maps;
+pub use precompute::PrecomputeScheduler;
 pub use render::{exploration_maps, interpretation_map};
 pub use timeline::{TimeSlider, TimelinePoint};

@@ -5,7 +5,7 @@
 
 use crate::engine::MapRatEngine;
 use maprat_core::query::ItemQuery;
-use maprat_core::{Explanation, MineError, SearchSettings};
+use maprat_core::{Explanation, MineError, Miner, SearchSettings};
 use maprat_cube::CandidateGroup;
 use maprat_data::AttrValue;
 
@@ -57,8 +57,8 @@ impl VisitorProfile {
 /// profile.
 ///
 /// Personalized mining deliberately bypasses the engine's shared cache
-/// (one entry per visitor profile would thrash it); it borrows the
-/// engine's miner instead.
+/// (one entry per visitor profile would thrash it); it pins the engine's
+/// current dataset and mines directly.
 ///
 /// Degrades gracefully: if the constrained pool is empty, falls back to the
 /// unconstrained pool (an anonymous visitor sees the ordinary result).
@@ -68,7 +68,8 @@ pub fn personalized_explain(
     settings: &SearchSettings,
     profile: &VisitorProfile,
 ) -> Result<Explanation, MineError> {
-    let miner = engine.miner();
+    let dataset = engine.dataset();
+    let miner = Miner::new(&dataset);
     let (items, cube) = miner.build_cube(query, settings)?;
     if profile.is_empty() {
         return miner.explain_cube(query, items, &cube, settings);
@@ -129,7 +130,8 @@ mod tests {
     fn empty_profile_equals_plain_explain() {
         let (engine, settings) = fixture();
         let q = ItemQuery::title("Toy Story");
-        let plain = engine.miner().explain(&q, &settings).unwrap();
+        let dataset = engine.dataset();
+        let plain = Miner::new(&dataset).explain(&q, &settings).unwrap();
         let personalized =
             personalized_explain(&engine, &q, &settings, &VisitorProfile::new()).unwrap();
         let labels = |e: &Explanation| -> Vec<String> {
@@ -162,8 +164,8 @@ mod tests {
     #[test]
     fn compatibility_semantics() {
         let (engine, settings) = fixture();
-        let (_, cube) = engine
-            .miner()
+        let dataset = engine.dataset();
+        let (_, cube) = Miner::new(&dataset)
             .build_cube(&ItemQuery::title("Toy Story"), &settings)
             .unwrap();
         let profile = VisitorProfile::new().with(AttrValue::Gender(Gender::Male));

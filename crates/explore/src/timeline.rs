@@ -201,7 +201,7 @@ mod tests {
     #[test]
     fn sweep_produces_point_per_position() {
         let engine = MapRatEngine::from_dataset(generate(&SynthConfig::small(133)).unwrap());
-        let slider = TimeSlider::over_dataset(engine.dataset(), 9, 9).unwrap();
+        let slider = TimeSlider::over_dataset(&engine.dataset(), 9, 9).unwrap();
         let points = slider.sweep(
             &engine,
             &maprat_core::query::ItemQuery::title("Toy Story"),
@@ -225,7 +225,7 @@ mod tests {
     #[test]
     fn sweep_windows_differ_in_volume() {
         let engine = MapRatEngine::from_dataset(generate(&SynthConfig::small(134)).unwrap());
-        let slider = TimeSlider::over_dataset(engine.dataset(), 6, 6).unwrap();
+        let slider = TimeSlider::over_dataset(&engine.dataset(), 6, 6).unwrap();
         let points = slider.sweep(
             &engine,
             &maprat_core::query::ItemQuery::title("Toy Story"),
@@ -246,7 +246,7 @@ mod tests {
     #[test]
     fn parallel_sweep_is_deterministic_in_thread_count() {
         let engine = MapRatEngine::from_dataset(generate(&SynthConfig::tiny(136)).unwrap());
-        let slider = TimeSlider::over_dataset(engine.dataset(), 6, 6).unwrap();
+        let slider = TimeSlider::over_dataset(&engine.dataset(), 6, 6).unwrap();
         let query = maprat_core::query::ItemQuery::title("Toy Story");
         let single = slider.sweep_with_threads(&engine, &query, &settings(), 1);
         for threads in [2, 3, 8] {
@@ -261,7 +261,7 @@ mod tests {
     #[test]
     fn render_sweep_is_tabular() {
         let engine = MapRatEngine::from_dataset(generate(&SynthConfig::tiny(135)).unwrap());
-        let slider = TimeSlider::over_dataset(engine.dataset(), 12, 12).unwrap();
+        let slider = TimeSlider::over_dataset(&engine.dataset(), 12, 12).unwrap();
         let points = slider.sweep(
             &engine,
             &maprat_core::query::ItemQuery::title("Toy Story"),

@@ -116,7 +116,7 @@ fn sweep_and_explains_share_the_pool_concurrently() {
         .with_min_coverage(0.1)
         .with_require_geo(false);
     let query = ItemQuery::title("Toy Story");
-    let slider = TimeSlider::over_dataset(engine.dataset(), 6, 6).unwrap();
+    let slider = TimeSlider::over_dataset(&engine.dataset(), 6, 6).unwrap();
 
     let cold = MapRatEngine::from_dataset(generate(&SynthConfig::tiny(252)).unwrap());
     let single = slider.sweep_with_threads(&cold, &query, &settings, 1);

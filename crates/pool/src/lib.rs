@@ -48,6 +48,23 @@
 //!   are abandoned, and the payload is re-raised *on the submitting
 //!   thread* once in-flight items finish; a panicking detached job is
 //!   caught and dropped. The pool keeps serving either way.
+//!
+//! # Example
+//!
+//! ```
+//! let pool = maprat_pool::global();
+//!
+//! // Scoped fan-out: borrows `base` from this stack frame, returns
+//! // results reassembled by index — bit-identical for any worker count.
+//! let base = 10usize;
+//! let squares = pool.map_indexed(4, maprat_pool::num_threads(), |i| (base + i) * (base + i));
+//! assert_eq!(squares, vec![100, 121, 144, 169]);
+//!
+//! // Detached job: runs on the next free worker.
+//! let (tx, rx) = std::sync::mpsc::channel();
+//! pool.spawn(move || tx.send(42).unwrap());
+//! assert_eq!(rx.recv().unwrap(), 42);
+//! ```
 
 #![warn(missing_docs)]
 

@@ -25,8 +25,9 @@ use maprat_explore::personalize::VisitorProfile;
 use maprat_explore::{ExplainRequest, TimelinePoint};
 
 /// The routes the server knows, advertised in `unknown_route` errors.
-pub const AVAILABLE_ROUTES: [&str; 8] = [
+pub const AVAILABLE_ROUTES: [&str; 9] = [
     "/api/v1/explain",
+    "/api/v1/stats",
     "/api/v1/timeline",
     "/api/v1/drill",
     "/api/v1/detail",
@@ -173,6 +174,7 @@ impl ApiError {
         Response {
             status: self.status(),
             content_type: "application/json; charset=utf-8",
+            headers: Vec::new(),
             body: self.to_json().render().into_bytes(),
         }
     }

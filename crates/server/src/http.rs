@@ -14,6 +14,15 @@
 //! execution substrate — N concurrent requests occupy N pool workers and
 //! their solves' restart fan-outs adaptively borrow whatever workers are
 //! idle, instead of each spawning `min(restarts, cores)` OS threads.
+//!
+//! Connections are **keep-alive** by default (HTTP/1.1 semantics): a
+//! client loop pays connection setup once, not per request — the lever
+//! that un-bounds closed-loop throughput from TCP handshakes. An idle
+//! connection is closed after `MAPRAT_KEEPALIVE_SECS` (default 5;
+//! `0` disables keep-alive entirely and every response closes). A
+//! held-open connection keeps its admission permit, so size
+//! `max_in_flight` to at least the expected number of concurrent
+//! persistent clients.
 
 use maprat_core::pool;
 use std::collections::HashMap;
@@ -36,6 +45,10 @@ pub struct Request {
     pub headers: HashMap<String, String>,
     /// The request body (empty unless `Content-Length` said otherwise).
     pub body: Vec<u8>,
+    /// Whether the client's HTTP version + `Connection` header ask for
+    /// the connection to stay open after this response (HTTP/1.1 unless
+    /// `Connection: close`; HTTP/1.0 only with `Connection: keep-alive`).
+    pub keep_alive: bool,
 }
 
 impl Request {
@@ -64,6 +77,8 @@ pub struct Response {
     pub content_type: &'static str,
     /// Body bytes.
     pub body: Vec<u8>,
+    /// Extra response headers (e.g. `X-MapRat-Cache`), emitted verbatim.
+    pub headers: Vec<(&'static str, String)>,
 }
 
 impl Response {
@@ -73,6 +88,7 @@ impl Response {
             status: 200,
             content_type: "application/json; charset=utf-8",
             body: body.into_bytes(),
+            headers: Vec::new(),
         }
     }
 
@@ -82,6 +98,7 @@ impl Response {
             status: 200,
             content_type: "text/html; charset=utf-8",
             body: body.into_bytes(),
+            headers: Vec::new(),
         }
     }
 
@@ -91,6 +108,7 @@ impl Response {
             status: 200,
             content_type: "image/svg+xml",
             body: body.into_bytes(),
+            headers: Vec::new(),
         }
     }
 
@@ -100,7 +118,14 @@ impl Response {
             status,
             content_type: "text/plain; charset=utf-8",
             body: message.into().into_bytes(),
+            headers: Vec::new(),
         }
+    }
+
+    /// Adds a response header (builder-style).
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Response {
+        self.headers.push((name, value.into()));
+        self
     }
 
     fn status_text(&self) -> &'static str {
@@ -113,16 +138,29 @@ impl Response {
         }
     }
 
-    fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
-        let head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    fn write_to(&self, stream: &mut TcpStream, keep_alive: bool) -> std::io::Result<()> {
+        use std::fmt::Write as _;
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
             self.status,
             self.status_text(),
             self.content_type,
             self.body.len()
         );
-        stream.write_all(head.as_bytes())?;
-        stream.write_all(&self.body)?;
+        for (name, value) in &self.headers {
+            let _ = write!(head, "{name}: {value}\r\n");
+        }
+        head.push_str(if keep_alive {
+            "Connection: keep-alive\r\n\r\n"
+        } else {
+            "Connection: close\r\n\r\n"
+        });
+        // One write for head + body: a second small segment behind an
+        // unacked first would sit out Nagle + delayed-ACK (~40 ms on
+        // loopback) — fatal to keep-alive request/response latency.
+        let mut wire = head.into_bytes();
+        wire.extend_from_slice(&self.body);
+        stream.write_all(&wire)?;
         stream.flush()
     }
 }
@@ -184,12 +222,16 @@ pub fn parse_query(query: &str) -> HashMap<String, String> {
 pub const MAX_BODY_BYTES: usize = 1 << 20;
 
 /// Parses an HTTP/1.1 request (head plus `Content-Length` body) from a
-/// buffered stream.
-pub fn parse_request(reader: &mut impl BufRead) -> Result<Request, String> {
+/// buffered stream. `Ok(None)` is a clean end-of-stream: the client
+/// closed an idle (keep-alive) connection between requests.
+pub fn parse_request(reader: &mut impl BufRead) -> Result<Option<Request>, String> {
     let mut line = String::new();
-    reader
+    let n = reader
         .read_line(&mut line)
         .map_err(|e| format!("read error: {e}"))?;
+    if n == 0 {
+        return Ok(None);
+    }
     let mut parts = line.split_whitespace();
     let method = parts.next().ok_or("missing method")?.to_string();
     let target = parts.next().ok_or("missing target")?;
@@ -197,6 +239,7 @@ pub fn parse_request(reader: &mut impl BufRead) -> Result<Request, String> {
     if !version.starts_with("HTTP/1.") {
         return Err(format!("unsupported version {version}"));
     }
+    let http11 = version != "HTTP/1.0";
     let (path_raw, query_raw) = match target.split_once('?') {
         Some((p, q)) => (p, q),
         None => (target, ""),
@@ -228,13 +271,32 @@ pub fn parse_request(reader: &mut impl BufRead) -> Result<Request, String> {
             .read_exact(&mut body)
             .map_err(|e| format!("short body: {e}"))?;
     }
-    Ok(Request {
+    let keep_alive = match headers.get("connection").map(|v| v.to_ascii_lowercase()) {
+        Some(c) if c.contains("close") => false,
+        Some(c) if c.contains("keep-alive") => true,
+        _ => http11,
+    };
+    Ok(Some(Request {
         method,
         path: percent_decode(path_raw),
         query: parse_query(query_raw),
         headers,
         body,
-    })
+        keep_alive,
+    }))
+}
+
+/// The idle keep-alive timeout from `MAPRAT_KEEPALIVE_SECS`; `None`
+/// means keep-alive is disabled (value `0`).
+fn keepalive_timeout() -> Option<std::time::Duration> {
+    match std::env::var("MAPRAT_KEEPALIVE_SECS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+    {
+        Some(0) => None,
+        Some(secs) => Some(std::time::Duration::from_secs(secs)),
+        None => Some(std::time::Duration::from_secs(5)),
+    }
 }
 
 /// The request handler signature.
@@ -366,22 +428,52 @@ impl Drop for HttpServer {
     }
 }
 
-/// Serves one connection: parse, handle, respond. Read *and* write
-/// timeouts keep a silent (or never-reading) client from pinning a pool
-/// worker (and its permit) forever — a full kernel send buffer would
-/// otherwise block `write_to` indefinitely.
+/// Serves one connection: parse, handle, respond — looping while the
+/// client keeps the connection alive. Read *and* write timeouts keep a
+/// silent (or never-reading) client from pinning a pool worker (and its
+/// permit) forever — a full kernel send buffer would otherwise block
+/// `write_to` indefinitely. Between keep-alive requests the (shorter)
+/// idle timeout applies; hitting it closes the connection silently, as
+/// does a clean client EOF.
 fn serve_connection(mut stream: TcpStream, handler: &Handler) {
+    let idle_timeout = keepalive_timeout();
+    // Request/response on one connection is latency-bound, not
+    // bandwidth-bound: never let Nagle hold a response segment back.
+    let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(10)));
     let _ = stream.set_write_timeout(Some(std::time::Duration::from_secs(10)));
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
     let mut reader = BufReader::new(read_half);
-    let response = match parse_request(&mut reader) {
-        Ok(req) => handler(&req),
-        Err(e) => Response::error(400, e),
-    };
-    let _ = response.write_to(&mut stream);
+    let mut served_any = false;
+    loop {
+        match parse_request(&mut reader) {
+            Ok(Some(req)) => {
+                let keep = req.keep_alive && idle_timeout.is_some();
+                let response = handler(&req);
+                if response.write_to(&mut stream, keep).is_err() || !keep {
+                    return;
+                }
+                if !served_any {
+                    // First response sent: subsequent reads wait at most
+                    // the idle timeout (clones share the socket, so this
+                    // applies to `reader` too).
+                    let _ = stream.set_read_timeout(idle_timeout);
+                    served_any = true;
+                }
+            }
+            Ok(None) => return, // client closed an idle connection
+            Err(e) => {
+                // An idle-timeout between keep-alive requests is a normal
+                // close; a malformed first line still earns a 400.
+                if !served_any || !e.starts_with("read error") {
+                    let _ = Response::error(400, e).write_to(&mut stream, false);
+                }
+                return;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -390,8 +482,13 @@ mod tests {
     use std::io::Read;
 
     fn get(port: u16, target: &str) -> (u16, String) {
+        // EOF-framed helper: ask the server to close after one response.
         let mut stream = TcpStream::connect(("127.0.0.1", port)).unwrap();
-        write!(stream, "GET {target} HTTP/1.1\r\nHost: localhost\r\n\r\n").unwrap();
+        write!(
+            stream,
+            "GET {target} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n"
+        )
+        .unwrap();
         let mut buf = String::new();
         stream.read_to_string(&mut buf).unwrap();
         let status: u16 = buf
@@ -401,6 +498,30 @@ mod tests {
             .unwrap();
         let body = buf.split("\r\n\r\n").nth(1).unwrap_or("").to_string();
         (status, body)
+    }
+
+    /// Reads one `Content-Length`-framed response off a persistent
+    /// connection, returning (status, headers, body).
+    fn read_framed(reader: &mut BufReader<TcpStream>) -> (u16, HashMap<String, String>, String) {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let status: u16 = line.split_whitespace().nth(1).unwrap().parse().unwrap();
+        let mut headers = HashMap::new();
+        loop {
+            let mut hline = String::new();
+            reader.read_line(&mut hline).unwrap();
+            let trimmed = hline.trim_end();
+            if trimmed.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = trimmed.split_once(':') {
+                headers.insert(name.trim().to_lowercase(), value.trim().to_string());
+            }
+        }
+        let len: usize = headers.get("content-length").unwrap().parse().unwrap();
+        let mut body = vec![0u8; len];
+        std::io::Read::read_exact(reader, &mut body).unwrap();
+        (status, headers, String::from_utf8(body).unwrap())
     }
 
     fn echo_server() -> HttpServer {
@@ -449,7 +570,7 @@ mod tests {
         let body = "hello=world";
         write!(
             stream,
-            "POST /x HTTP/1.1\r\nHost: l\r\nContent-Length: {}\r\n\r\n{}",
+            "POST /x HTTP/1.1\r\nHost: l\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{}",
             body.len(),
             body
         )
@@ -552,6 +673,97 @@ mod tests {
             let (status, body) = get(server.port(), "/fine");
             assert_eq!((status, body.as_str()), (200, "\"ok\""));
         }
+    }
+
+    #[test]
+    fn keep_alive_serves_many_requests_on_one_connection() {
+        let server = echo_server();
+        let stream = TcpStream::connect(("127.0.0.1", server.port())).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        for i in 0..5 {
+            write!(writer, "GET /t?q=v{i} HTTP/1.1\r\nHost: l\r\n\r\n").unwrap();
+            let (status, headers, body) = read_framed(&mut reader);
+            assert_eq!(status, 200);
+            assert_eq!(
+                headers.get("connection").map(String::as_str),
+                Some("keep-alive")
+            );
+            assert!(body.contains(&format!("v{i}")), "{body}");
+        }
+    }
+
+    #[test]
+    fn pipelined_requests_are_answered_in_order() {
+        let server = echo_server();
+        let stream = TcpStream::connect(("127.0.0.1", server.port())).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        // Both requests hit the socket before either response is read.
+        write!(
+            writer,
+            "GET /a?q=first HTTP/1.1\r\nHost: l\r\n\r\nGET /b?q=second HTTP/1.1\r\nHost: l\r\n\r\n"
+        )
+        .unwrap();
+        let (_, _, body1) = read_framed(&mut reader);
+        let (_, _, body2) = read_framed(&mut reader);
+        assert!(body1.contains("first"), "{body1}");
+        assert!(body2.contains("second"), "{body2}");
+    }
+
+    #[test]
+    fn connection_close_is_honored() {
+        let server = echo_server();
+        let stream = TcpStream::connect(("127.0.0.1", server.port())).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        write!(
+            writer,
+            "GET /t?q=x HTTP/1.1\r\nHost: l\r\nConnection: close\r\n\r\n"
+        )
+        .unwrap();
+        let (status, headers, _) = read_framed(&mut reader);
+        assert_eq!(status, 200);
+        assert_eq!(headers.get("connection").map(String::as_str), Some("close"));
+        let mut rest = String::new();
+        std::io::Read::read_to_string(&mut reader, &mut rest).unwrap();
+        assert!(rest.is_empty(), "server closed after the response");
+    }
+
+    #[test]
+    fn http10_defaults_to_close() {
+        let server = echo_server();
+        let stream = TcpStream::connect(("127.0.0.1", server.port())).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        write!(writer, "GET /t?q=x HTTP/1.0\r\nHost: l\r\n\r\n").unwrap();
+        let (status, headers, _) = read_framed(&mut reader);
+        assert_eq!(status, 200);
+        assert_eq!(headers.get("connection").map(String::as_str), Some("close"));
+        let mut rest = String::new();
+        std::io::Read::read_to_string(&mut reader, &mut rest).unwrap();
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn custom_headers_are_emitted() {
+        let server = HttpServer::start(
+            "127.0.0.1:0",
+            1,
+            Arc::new(|_req: &Request| {
+                Response::json("{}".to_string()).with_header("X-MapRat-Cache", "miss")
+            }),
+        )
+        .unwrap();
+        let stream = TcpStream::connect(("127.0.0.1", server.port())).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        write!(writer, "GET / HTTP/1.1\r\nHost: l\r\n\r\n").unwrap();
+        let (_, headers, _) = read_framed(&mut reader);
+        assert_eq!(
+            headers.get("x-maprat-cache").map(String::as_str),
+            Some("miss")
+        );
     }
 
     #[test]

@@ -7,17 +7,43 @@
 //! * [`http`] — an HTTP/1.1 listener on `std::net::TcpListener` whose
 //!   bounded-concurrency accept loop executes each request as a job on
 //!   the shared worker pool (`maprat_core::pool`), with request parsing
-//!   (query strings, percent-decoding and `Content-Length` POST bodies)
-//!   and graceful shutdown;
+//!   (query strings, percent-decoding and `Content-Length` POST bodies),
+//!   keep-alive persistent connections (idle timeout
+//!   `MAPRAT_KEEPALIVE_SECS`, default 5 s) and graceful shutdown;
 //! * [`api`] — the typed `/api/v1` contract: request/response structs
 //!   with canonical JSON codecs, the shared GET-parameter parser, and the
 //!   structured [`api::ApiError`] every route answers errors with;
 //! * [`routes`] — the application: `/api/v1/{explain,timeline,drill,
-//!   detail,personalize}` (GET query string or POST JSON body), their
-//!   legacy unversioned aliases, `/map.svg`, `/citymap.svg` and the
+//!   detail,personalize,stats}` (GET query string or POST JSON body),
+//!   their legacy unversioned aliases, `/map.svg`, `/citymap.svg` and the
 //!   embedded HTML page — all over a clonable
-//!   [`maprat_explore::MapRatEngine`];
+//!   [`maprat_explore::MapRatEngine`]. Explain responses carry an
+//!   `X-MapRat-Cache` header naming the serving tier that answered
+//!   (`hit` / `snapshot` / `miss` / `coalesced`), and an optional
+//!   [`maprat_explore::PrecomputeScheduler`] can be attached with
+//!   [`routes::AppState::with_precompute`] to warm popular queries in the
+//!   background;
 //! * [`html`] — the single-page front-end (vanilla JS) driving the API.
+//!
+//! The endpoint-by-endpoint reference lives in `docs/API.md`; the serving
+//! layers behind it (two cache tiers, single-flight coalescing, dataset
+//! hot-swap) are described in `docs/ARCHITECTURE.md`.
+//!
+//! # Example
+//!
+//! The [`Json`] type round-trips the canonical wire encoding:
+//!
+//! ```
+//! use maprat_server::Json;
+//!
+//! let body = Json::obj([
+//!     ("query", Json::str("Toy Story")),
+//!     ("items", Json::Num(3.0)),
+//! ]);
+//! let wire = body.render();
+//! assert_eq!(wire, r#"{"items":3,"query":"Toy Story"}"#); // keys sort deterministically
+//! assert_eq!(Json::parse(&wire).unwrap(), body);
+//! ```
 
 #![warn(missing_docs)]
 

@@ -15,26 +15,41 @@ use crate::api::{
 };
 use crate::html;
 use crate::http::{Handler, Request, Response};
+use crate::json::Json;
 use maprat_explore::drilldown::drill_group;
 use maprat_explore::personalize::personalized_explain;
-use maprat_explore::{compare, exploration_maps, ExplorationResult, MapRatEngine, TimeSlider};
+use maprat_explore::{
+    compare, exploration_maps, ExplorationResult, MapRatEngine, PrecomputeScheduler, TimeSlider,
+};
 use maprat_geo::citymap::{self, CityBubble, CityMap};
 use maprat_geo::svg::{render as render_svg, SvgOptions};
 use std::sync::Arc;
 
-/// The application state behind every route: a clonable engine handle.
+/// The application state behind every route: a clonable engine handle,
+/// plus (optionally) the background precompute scheduler.
 ///
 /// The engine owns its dataset behind an `Arc`, so the server needs no
 /// `'static` borrow (and no leaked dataset); any number of `AppState`s /
 /// engine clones can serve the same data concurrently.
 pub struct AppState {
     engine: MapRatEngine,
+    scheduler: Option<Arc<PrecomputeScheduler>>,
 }
 
 impl AppState {
     /// Builds the state over an engine handle.
     pub fn new(engine: MapRatEngine) -> Self {
-        AppState { engine }
+        AppState {
+            engine,
+            scheduler: None,
+        }
+    }
+
+    /// Attaches a precompute scheduler: every explain request is recorded
+    /// into its popularity table, and `/api/v1/stats` reports its counters.
+    pub fn with_precompute(mut self, scheduler: Arc<PrecomputeScheduler>) -> Self {
+        self.scheduler = Some(scheduler);
+        self
     }
 
     /// The engine (e.g. for pre-warming by the binary).
@@ -60,6 +75,7 @@ impl AppState {
             "/" | "/index.html" => Response::html(html::INDEX.to_string()),
             // Versioned API + legacy aliases (deprecated; same parser).
             "/api/v1/explain" | "/api/explain" => self.explain_route(req),
+            "/api/v1/stats" => self.stats_route(req),
             "/api/v1/timeline" | "/api/timeline" => self.timeline_route(req),
             "/api/v1/drill" | "/api/drill" => self.drill_route(req),
             "/api/v1/detail" | "/api/detail" => self.detail_route(req),
@@ -75,15 +91,72 @@ impl AppState {
             Ok(r) => r,
             Err(e) => return e.into_response(),
         };
-        let result = self.engine.explain(&request);
-        match &*result {
+        if let Some(scheduler) = &self.scheduler {
+            scheduler.record(&request);
+        }
+        let (result, served) = self.engine.explain_traced(&request);
+        let response = match &*result {
             Ok(r) => Response::json(
                 ExplainResponse::from_explanation(&r.explanation)
                     .to_json()
                     .render(),
             ),
             Err(e) => ApiError::from_mine(e).into_response(),
+        };
+        response.with_header("X-MapRat-Cache", served.as_str())
+    }
+
+    /// `/api/v1/stats` — serving-layer observability: both cache tiers,
+    /// single-flight counters, solve count, and (when a scheduler is
+    /// attached) background-warming progress. GET-only: it reads state.
+    fn stats_route(&self, req: &Request) -> Response {
+        if req.method != "GET" {
+            return ApiError::method_not_allowed(&req.method)
+                .with_hint("stats is read-only; use GET")
+                .into_response();
         }
+        let s = self.engine.serving_stats();
+        let mut pairs = vec![
+            (
+                "result_cache",
+                Json::obj([
+                    ("hits", Json::Num(s.result_hits as f64)),
+                    ("misses", Json::Num(s.result_misses as f64)),
+                    ("len", Json::Num(s.result_len as f64)),
+                ]),
+            ),
+            (
+                "snapshot_cache",
+                Json::obj([
+                    ("hits", Json::Num(s.snapshot_hits as f64)),
+                    ("misses", Json::Num(s.snapshot_misses as f64)),
+                    ("len", Json::Num(s.snapshot_len as f64)),
+                ]),
+            ),
+            (
+                "flights",
+                Json::obj([
+                    ("led", Json::Num(s.flights_led as f64)),
+                    ("joined", Json::Num(s.flights_joined as f64)),
+                ]),
+            ),
+            ("invalidations", Json::Num(s.invalidations as f64)),
+            ("solves", Json::Num(s.solves as f64)),
+            (
+                "foreground_inflight",
+                Json::Num(s.foreground_inflight as f64),
+            ),
+        ];
+        if let Some(scheduler) = &self.scheduler {
+            pairs.push((
+                "precompute",
+                Json::obj([
+                    ("warmed", Json::Num(scheduler.warmed() as f64)),
+                    ("deferred", Json::Num(scheduler.deferred() as f64)),
+                ]),
+            ));
+        }
+        Response::json(Json::obj(pairs).render())
     }
 
     fn map_route(&self, req: &Request) -> Response {
@@ -111,7 +184,7 @@ impl AppState {
             Err(e) => return e.into_response(),
         };
         let Some(slider) =
-            TimeSlider::over_dataset(self.engine.dataset(), request.window, request.step)
+            TimeSlider::over_dataset(&self.engine.dataset(), request.window, request.step)
         else {
             return ApiError::bad_request("dataset has no ratings").into_response();
         };
@@ -153,7 +226,7 @@ impl AppState {
             Ok(g) => g,
             Err(e) => return e.into_response(),
         };
-        match drill_group(self.engine.dataset(), r, &group.desc) {
+        match drill_group(&self.engine.dataset(), r, &group.desc) {
             Some(cities) => Response::json(
                 DrillResponse {
                     group: group.label.clone(),
@@ -190,7 +263,7 @@ impl AppState {
         let Some(state) = group.desc.state() else {
             return ApiError::bad_request("group has no geo condition").into_response();
         };
-        let Some(cities) = drill_group(self.engine.dataset(), r, &group.desc) else {
+        let Some(cities) = drill_group(&self.engine.dataset(), r, &group.desc) else {
             return ApiError::not_found("group not among candidates").into_response();
         };
         let map = CityMap {
@@ -296,9 +369,21 @@ mod tests {
         HttpServer::start("127.0.0.1:0", 2, state.into_handler()).unwrap()
     }
 
+    // All helpers send `Connection: close` — they frame the response by
+    // EOF, which under keep-alive would otherwise wait out the idle
+    // timeout on every request.
     fn get(port: u16, target: &str) -> (u16, String) {
+        let (status, _, body) = get_full(port, target);
+        (status, body)
+    }
+
+    fn get_full(port: u16, target: &str) -> (u16, String, String) {
         let mut stream = TcpStream::connect(("127.0.0.1", port)).unwrap();
-        write!(stream, "GET {target} HTTP/1.1\r\nHost: l\r\n\r\n").unwrap();
+        write!(
+            stream,
+            "GET {target} HTTP/1.1\r\nHost: l\r\nConnection: close\r\n\r\n"
+        )
+        .unwrap();
         read_response(&mut stream)
     }
 
@@ -306,15 +391,16 @@ mod tests {
         let mut stream = TcpStream::connect(("127.0.0.1", port)).unwrap();
         write!(
             stream,
-            "POST {target} HTTP/1.1\r\nHost: l\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{}",
+            "POST {target} HTTP/1.1\r\nHost: l\r\nConnection: close\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{}",
             body.len(),
             body
         )
         .unwrap();
-        read_response(&mut stream)
+        let (status, _, body) = read_response(&mut stream);
+        (status, body)
     }
 
-    fn read_response(stream: &mut TcpStream) -> (u16, String) {
+    fn read_response(stream: &mut TcpStream) -> (u16, String, String) {
         let mut buf = Vec::new();
         stream.read_to_end(&mut buf).unwrap();
         let text = String::from_utf8_lossy(&buf).into_owned();
@@ -323,8 +409,17 @@ mod tests {
             .nth(1)
             .and_then(|s| s.parse().ok())
             .unwrap();
-        let body = text.split("\r\n\r\n").nth(1).unwrap_or("").to_string();
-        (status, body)
+        let mut halves = text.splitn(2, "\r\n\r\n");
+        let head = halves.next().unwrap_or("").to_string();
+        let body = halves.next().unwrap_or("").to_string();
+        (status, head, body)
+    }
+
+    /// The `X-MapRat-Cache` value in a response head.
+    fn cache_header(head: &str) -> Option<String> {
+        head.lines()
+            .find_map(|l| l.strip_prefix("X-MapRat-Cache: "))
+            .map(|v| v.trim().to_string())
     }
 
     #[test]
@@ -392,8 +487,12 @@ mod tests {
     fn put_is_method_not_allowed() {
         let s = server();
         let mut stream = TcpStream::connect(("127.0.0.1", s.port())).unwrap();
-        write!(stream, "PUT /api/v1/explain HTTP/1.1\r\nHost: l\r\n\r\n").unwrap();
-        let (status, body) = read_response(&mut stream);
+        write!(
+            stream,
+            "PUT /api/v1/explain HTTP/1.1\r\nHost: l\r\nConnection: close\r\n\r\n"
+        )
+        .unwrap();
+        let (status, _, body) = read_response(&mut stream);
         assert_eq!(status, 405, "{body}");
         let v = Json::parse(&body).unwrap();
         assert_eq!(
@@ -613,6 +712,70 @@ mod tests {
         );
         assert_eq!(get_status, 200);
         assert_eq!(reply, get_reply, "profile transports must agree");
+    }
+
+    #[test]
+    fn explain_reports_cache_tier_in_header() {
+        let s = server(); // fresh engine → cold caches
+        let target = "/api/v1/explain?q=Toy+Story&coverage=0.1&geo=0";
+        let (status, head, _) = get_full(s.port(), target);
+        assert_eq!(status, 200);
+        assert_eq!(cache_header(&head).as_deref(), Some("miss"));
+        let (_, head, _) = get_full(s.port(), target);
+        assert_eq!(cache_header(&head).as_deref(), Some("hit"));
+        // Errors carry the header too (negative caching).
+        let (status, head, _) = get_full(s.port(), "/api/v1/explain?q=No+Such+Movie");
+        assert_eq!(status, 404);
+        assert_eq!(cache_header(&head).as_deref(), Some("miss"));
+        let (_, head, _) = get_full(s.port(), "/api/v1/explain?q=No+Such+Movie");
+        assert_eq!(cache_header(&head).as_deref(), Some("hit"));
+    }
+
+    #[test]
+    fn stats_route_reports_serving_counters() {
+        let engine = MapRatEngine::new(shared_dataset());
+        // Budget 1, hour-long interval: the ticker never fires on its
+        // own, so the synchronous tick below is the only warmer.
+        let scheduler = Arc::new(PrecomputeScheduler::start_with(
+            engine.clone(),
+            1,
+            std::time::Duration::from_secs(3600),
+        ));
+        let state = AppState::new(engine.clone()).with_precompute(Arc::clone(&scheduler));
+        let s = HttpServer::start("127.0.0.1:0", 2, state.into_handler()).unwrap();
+
+        let target = "/api/v1/explain?q=Toy+Story&coverage=0.1&geo=0";
+        get(s.port(), target);
+        get(s.port(), target);
+        let (status, body) = get(s.port(), "/api/v1/stats");
+        assert_eq!(status, 200, "{body}");
+        let v = Json::parse(&body).unwrap();
+        let result = v.get("result_cache").unwrap();
+        assert_eq!(result.get("hits").unwrap().as_f64(), Some(1.0));
+        assert_eq!(result.get("misses").unwrap().as_f64(), Some(1.0));
+        assert_eq!(v.get("solves").unwrap().as_f64(), Some(1.0));
+        assert!(v.get("snapshot_cache").unwrap().get("len").is_some());
+        assert!(v.get("flights").unwrap().get("led").is_some());
+        // The scheduler is attached, so its counters appear…
+        assert!(v.get("precompute").unwrap().get("warmed").is_some());
+        // …and the explain above was recorded into its popularity table:
+        // once evicted, a synchronous tick re-warms it.
+        engine.clear_cache();
+        assert_eq!(scheduler.tick_once(), 1, "recorded request re-warms");
+
+        // Read-only: POST is refused.
+        let (status, body) = post(s.port(), "/api/v1/stats", "{}");
+        assert_eq!(status, 405, "{body}");
+    }
+
+    #[test]
+    fn stats_without_scheduler_omits_precompute() {
+        let s = server();
+        let (status, body) = get(s.port(), "/api/v1/stats");
+        assert_eq!(status, 200, "{body}");
+        let v = Json::parse(&body).unwrap();
+        assert!(v.get("precompute").is_none());
+        assert!(v.get("result_cache").is_some());
     }
 
     #[test]

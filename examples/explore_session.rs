@@ -35,7 +35,7 @@ fn main() {
     print!("\n{}", render_detail(&detail));
 
     // Drill down to city level.
-    if let Some(cities) = drill_group(engine.dataset(), r, &selected) {
+    if let Some(cities) = drill_group(&engine.dataset(), r, &selected) {
         print!("\n{}", render_drilldown(&selected, &cities));
     }
 

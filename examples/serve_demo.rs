@@ -6,23 +6,43 @@
 //! Network", "Tom Hanks" (type Actor), "Lord of the Rings" (type Title
 //! contains), "Steven Spielberg" (type Director).
 //!
+//! The serving layer is tuned entirely through environment variables
+//! (the same table lives in the README):
+//!
+//! | Variable | Default | Meaning |
+//! |---|---|---|
+//! | `MAPRAT_THREADS` | CPU count | worker threads in the shared pool |
+//! | `MAPRAT_RESULT_CACHE` | 256 | result-tier capacity (entries, all shards) |
+//! | `MAPRAT_SNAPSHOT_CACHE` | 64 | snapshot-tier capacity (cube/cover snapshots) |
+//! | `MAPRAT_PRECOMPUTE_BUDGET` | 2 | background warms per scheduler tick (0 = record-only) |
+//! | `MAPRAT_PRECOMPUTE_MS` | 50 | scheduler tick interval in milliseconds |
+//! | `MAPRAT_KEEPALIVE_SECS` | 5 | keep-alive idle timeout (0 disables keep-alive) |
+//!
 //! `--smoke` binds an ephemeral port, exercises `/api/v1/explain` through
 //! the full stack via both transports — a GET query string and a POST
 //! JSON body — checks they answer identically (and that the deprecated
-//! unversioned route still aliases v1), prints the verdict and exits.
-//! Used by the CI smoke job.
+//! unversioned route still aliases v1), verifies the `X-MapRat-Cache`
+//! header flips from `miss` to `hit` and that `/api/v1/stats` reports the
+//! serving counters, prints the verdict and exits. Used by the CI smoke
+//! job.
 
 use maprat::core::SearchSettings;
 use maprat::data::synth::{generate, SynthConfig};
+use maprat::explore::PrecomputeScheduler;
 use maprat::server::{AppState, HttpServer};
 use maprat::MapRatEngine;
 use std::io::{Read, Write};
+use std::sync::Arc;
 
 /// One blocking GET against the running demo server; returns the status
-/// line plus body.
+/// line, headers and body. Sends `Connection: close` — the reply is
+/// framed by EOF, which keep-alive would otherwise stall.
 fn http_get(port: u16, target: &str) -> std::io::Result<String> {
     let mut stream = std::net::TcpStream::connect(("127.0.0.1", port))?;
-    write!(stream, "GET {target} HTTP/1.1\r\nHost: localhost\r\n\r\n")?;
+    write!(
+        stream,
+        "GET {target} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n"
+    )?;
     let mut buf = String::new();
     stream.read_to_string(&mut buf)?;
     Ok(buf)
@@ -33,7 +53,7 @@ fn http_post(port: u16, target: &str, body: &str) -> std::io::Result<String> {
     let mut stream = std::net::TcpStream::connect(("127.0.0.1", port))?;
     write!(
         stream,
-        "POST {target} HTTP/1.1\r\nHost: localhost\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{}",
+        "POST {target} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{}",
         body.len(),
         body
     )?;
@@ -44,6 +64,13 @@ fn http_post(port: u16, target: &str, body: &str) -> std::io::Result<String> {
 
 fn body_of(reply: &str) -> &str {
     reply.split("\r\n\r\n").nth(1).unwrap_or("")
+}
+
+fn cache_tier(reply: &str) -> Option<&str> {
+    reply
+        .lines()
+        .find_map(|l| l.strip_prefix("X-MapRat-Cache: "))
+        .map(str::trim)
 }
 
 fn main() {
@@ -72,9 +99,14 @@ fn main() {
     let warmed = engine.precompute_popular(8, &warm_settings);
     eprintln!("warmed {warmed} cache entries");
 
-    let state = AppState::new(engine);
+    // The background scheduler keeps warming whatever visitors actually
+    // ask for, on idle pool workers (foreground traffic always wins).
+    let scheduler = Arc::new(PrecomputeScheduler::start(engine.clone()));
+    let state = AppState::new(engine).with_precompute(Arc::clone(&scheduler));
     // Requests execute as shared-pool jobs; the accept loop admits a few
-    // times the worker count and back-pressures beyond that.
+    // times the worker count and back-pressures beyond that. Keep-alive
+    // connections hold their admission slot while open, so the bound is
+    // also the persistent-client budget.
     let max_in_flight = 4 * maprat::core::parallel::num_threads();
     let mut server = HttpServer::start(
         &format!("127.0.0.1:{port}"),
@@ -89,11 +121,8 @@ fn main() {
 
     if smoke {
         // GET transport.
-        let get_reply = http_get(
-            server.port(),
-            "/api/v1/explain?q=Toy+Story&coverage=0.1&geo=0",
-        )
-        .expect("smoke GET reaches the server");
+        let target = "/api/v1/explain?q=The+Social+Network&coverage=0.1&geo=0";
+        let get_reply = http_get(server.port(), target).expect("smoke GET reaches the server");
         assert!(
             get_reply.starts_with("HTTP/1.1 200"),
             "smoke GET failed: {}",
@@ -103,12 +132,17 @@ fn main() {
             get_reply.contains("\"similarity\""),
             "explain payload missing interpretation tabs"
         );
+        // An unwarmed query misses, and its replay hits — advertised in
+        // the cache header.
+        assert_eq!(cache_tier(&get_reply), Some("miss"), "{get_reply}");
+        let replay = http_get(server.port(), target).expect("replay reaches the server");
+        assert_eq!(cache_tier(&replay), Some("hit"), "{replay}");
 
         // POST transport: the same request in the canonical JSON encoding.
         let post_reply = http_post(
             server.port(),
             "/api/v1/explain",
-            r#"{"query":{"terms":[{"field":"title","value":"Toy Story"}]},"settings":{"min_coverage":0.1,"require_geo":false}}"#,
+            r#"{"query":{"terms":[{"field":"title","value":"The Social Network"}]},"settings":{"min_coverage":0.1,"require_geo":false}}"#,
         )
         .expect("smoke POST reaches the server");
         assert!(
@@ -123,15 +157,32 @@ fn main() {
         );
 
         // The deprecated unversioned route still aliases v1.
-        let legacy_reply = http_get(server.port(), "/api/explain?q=Toy+Story&coverage=0.1&geo=0")
-            .expect("legacy route reachable");
+        let legacy_reply = http_get(
+            server.port(),
+            "/api/explain?q=The+Social+Network&coverage=0.1&geo=0",
+        )
+        .expect("legacy route reachable");
         assert_eq!(
             body_of(&get_reply),
             body_of(&legacy_reply),
             "legacy /api/explain must alias /api/v1/explain"
         );
 
-        eprintln!("smoke OK: /api/v1/explain served identical GET and POST answers");
+        // Serving-layer observability.
+        let stats_reply = http_get(server.port(), "/api/v1/stats").expect("stats route reachable");
+        assert!(
+            stats_reply.starts_with("HTTP/1.1 200"),
+            "stats failed: {}",
+            stats_reply.lines().next().unwrap_or("<empty>")
+        );
+        let stats = body_of(&stats_reply);
+        for key in ["result_cache", "snapshot_cache", "flights", "precompute"] {
+            assert!(stats.contains(key), "stats missing {key}: {stats}");
+        }
+
+        eprintln!(
+            "smoke OK: explain served identically via GET/POST, cache header flipped miss→hit, stats online"
+        );
         server.shutdown();
         return;
     }

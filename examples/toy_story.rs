@@ -35,7 +35,7 @@ fn main() {
 
     // "Moving the time slider over the range of values allows the user to
     // observe reviewer groups … and how they change over time."
-    let slider = TimeSlider::over_dataset(engine.dataset(), 6, 6).expect("dataset has history");
+    let slider = TimeSlider::over_dataset(&engine.dataset(), 6, 6).expect("dataset has history");
     let points = slider.sweep(&engine, &query, &settings);
     println!("\ntime slider (6-month windows):");
     print!("{}", render_sweep(&points));

@@ -54,7 +54,7 @@ fn run_explain(spec: &QuerySpec, svg: Option<String>) -> Result<(), String> {
 fn run_timeline(spec: &QuerySpec, window: usize) -> Result<(), String> {
     let engine = engine_for(&spec.data)?;
     let query = spec.to_query()?;
-    let slider = TimeSlider::over_dataset(engine.dataset(), window.max(1), window.max(1))
+    let slider = TimeSlider::over_dataset(&engine.dataset(), window.max(1), window.max(1))
         .ok_or("dataset has no ratings")?;
     let points = slider.sweep(&engine, &query, &spec.to_settings()?);
     print!("{}", render_sweep(&points));
@@ -72,7 +72,7 @@ fn run_drill(spec: &QuerySpec, index: usize) -> Result<(), String> {
         .groups
         .get(index)
         .ok_or_else(|| format!("no similarity group {index}"))?;
-    let cities = drill_group(engine.dataset(), r, &group.desc)
+    let cities = drill_group(&engine.dataset(), r, &group.desc)
         .ok_or("group carries no state condition (drill needs one)")?;
     print!("{}", render_drilldown(&group.desc, &cities));
     Ok(())
@@ -102,7 +102,11 @@ fn run_serve(port: u16, data: Option<String>) -> Result<(), String> {
             .map_err(|e| e.to_string())?,
     );
     eprintln!("pre-computed {warmed} popular items");
-    let state = AppState::new(engine);
+    // Background precompute keeps warming whatever visitors ask for, on
+    // idle pool workers (tunable via MAPRAT_PRECOMPUTE_BUDGET / _MS).
+    let scheduler =
+        std::sync::Arc::new(maprat::explore::PrecomputeScheduler::start(engine.clone()));
+    let state = AppState::new(engine).with_precompute(scheduler);
     // Requests execute as shared-pool jobs; the accept loop admits a few
     // times the worker count and back-pressures beyond that.
     let max_in_flight = 4 * maprat::core::parallel::num_threads();

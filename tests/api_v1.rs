@@ -33,7 +33,11 @@ fn read_response(stream: &mut TcpStream) -> (u16, String) {
 
 fn get(port: u16, target: &str) -> (u16, String) {
     let mut stream = TcpStream::connect(("127.0.0.1", port)).unwrap();
-    write!(stream, "GET {target} HTTP/1.1\r\nHost: l\r\n\r\n").unwrap();
+    write!(
+        stream,
+        "GET {target} HTTP/1.1\r\nHost: l\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
     read_response(&mut stream)
 }
 
@@ -41,7 +45,7 @@ fn post(port: u16, target: &str, body: &str) -> (u16, String) {
     let mut stream = TcpStream::connect(("127.0.0.1", port)).unwrap();
     write!(
         stream,
-        "POST {target} HTTP/1.1\r\nHost: l\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{}",
+        "POST {target} HTTP/1.1\r\nHost: l\r\nConnection: close\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{}",
         body.len(),
         body
     )
@@ -158,6 +162,32 @@ fn two_engine_clones_serve_two_http_servers() {
         engine.cache_stats().hits() >= 1,
         "second server must reuse the first server's cached result"
     );
+}
+
+#[test]
+fn explain_labels_cache_tier_in_header() {
+    // Fresh engine (not the shared dataset's warm cache): the first
+    // explain is a miss, the replay a hit — advertised per-response.
+    let engine = MapRatEngine::from_dataset(generate(&SynthConfig::tiny(99)).unwrap());
+    let server = HttpServer::start("127.0.0.1:0", 2, AppState::new(engine).into_handler()).unwrap();
+    let target = "/api/v1/explain?q=Toy+Story&coverage=0.1&geo=0";
+
+    let header = |port: u16| -> String {
+        let mut stream = TcpStream::connect(("127.0.0.1", port)).unwrap();
+        write!(
+            stream,
+            "GET {target} HTTP/1.1\r\nHost: l\r\nConnection: close\r\n\r\n"
+        )
+        .unwrap();
+        let mut text = String::new();
+        stream.read_to_string(&mut text).unwrap();
+        text.lines()
+            .find_map(|l| l.strip_prefix("X-MapRat-Cache: "))
+            .map(|v| v.trim().to_string())
+            .expect("explain responses carry X-MapRat-Cache")
+    };
+    assert_eq!(header(server.port()), "miss");
+    assert_eq!(header(server.port()), "hit");
 }
 
 #[test]

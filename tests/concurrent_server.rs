@@ -23,7 +23,11 @@ fn read_response(stream: &mut TcpStream) -> (u16, String) {
 
 fn get(port: u16, target: &str) -> (u16, String) {
     let mut stream = TcpStream::connect(("127.0.0.1", port)).unwrap();
-    write!(stream, "GET {target} HTTP/1.1\r\nHost: l\r\n\r\n").unwrap();
+    write!(
+        stream,
+        "GET {target} HTTP/1.1\r\nHost: l\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
     read_response(&mut stream)
 }
 
@@ -31,7 +35,7 @@ fn post(port: u16, target: &str, body: &str) -> (u16, String) {
     let mut stream = TcpStream::connect(("127.0.0.1", port)).unwrap();
     write!(
         stream,
-        "POST {target} HTTP/1.1\r\nHost: l\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{}",
+        "POST {target} HTTP/1.1\r\nHost: l\r\nConnection: close\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{}",
         body.len(),
         body
     )
@@ -127,6 +131,49 @@ fn concurrent_get_and_post_explains_match_the_serial_run_byte_for_byte() {
             });
         }
     });
+}
+
+#[test]
+fn hot_swap_under_http_load_drops_no_requests() {
+    // ISSUE 6 acceptance: swapping the dataset while requests are in
+    // flight never drops or corrupts a response. Each request pins its
+    // dataset snapshot; swaps only decide what *later* requests see.
+    let engine = MapRatEngine::from_dataset(generate(&SynthConfig::tiny(261)).unwrap());
+    let server = HttpServer::start(
+        "127.0.0.1:0",
+        8,
+        AppState::new(engine.clone()).into_handler(),
+    )
+    .unwrap();
+    let port = server.port();
+    let target = "/api/v1/explain?q=Toy+Story&coverage=0.1&geo=0";
+
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            scope.spawn(move || {
+                for _ in 0..6 {
+                    let (status, body) = get(port, target);
+                    // Every response is complete and well-formed JSON —
+                    // 200 from whichever dataset generation served it.
+                    assert_eq!(status, 200, "{body}");
+                    assert!(body.contains("similarity"), "truncated body: {body}");
+                }
+            });
+        }
+        // Swap mid-flight, twice, to different generations.
+        for seed in [311, 312] {
+            let swapper = engine.clone();
+            scope.spawn(move || {
+                swapper.swap_dataset(std::sync::Arc::new(
+                    generate(&SynthConfig::tiny(seed)).unwrap(),
+                ));
+            });
+        }
+    });
+
+    // After the dust settles the server answers from the latest dataset.
+    let (status, body) = get(port, target);
+    assert_eq!(status, 200, "{body}");
 }
 
 #[test]

@@ -171,7 +171,7 @@ fn time_slider_shows_ca_enthusiasm_cooling() {
     // the slider must expose the drift.
     let engine = MapRatEngine::new(dataset());
     let settings = SearchSettings::default().with_min_coverage(0.1);
-    let slider = TimeSlider::over_dataset(engine.dataset(), 12, 12).expect("history exists");
+    let slider = TimeSlider::over_dataset(&engine.dataset(), 12, 12).expect("history exists");
     let points = slider.sweep(&engine, &ItemQuery::title("Toy Story"), &settings);
     let ca_means: Vec<(usize, f64)> = points
         .iter()
