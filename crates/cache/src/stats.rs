@@ -10,6 +10,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 #[derive(Debug, Default)]
 pub struct CacheStats {
     hits: AtomicU64,
+    stale_hits: AtomicU64,
     misses: AtomicU64,
     insertions: AtomicU64,
     evictions: AtomicU64,
@@ -25,6 +26,15 @@ impl CacheStats {
     /// Records a hit.
     pub fn hit(&self) {
         self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records that an (already-counted) hit was served from an entry
+    /// computed against a superseded dataset snapshot — e.g. a result
+    /// retained across an ingest commit because its partition was
+    /// untouched. Stale hits are correct answers over the pre-ingest
+    /// view; this counter makes their volume observable.
+    pub fn stale_hit(&self) {
+        self.stale_hits.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records a miss.
@@ -43,6 +53,11 @@ impl CacheStats {
     /// Hits so far.
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Hits served from a superseded dataset snapshot so far.
+    pub fn stale_hits(&self) -> u64 {
+        self.stale_hits.load(Ordering::Relaxed)
     }
 
     /// Misses so far.
@@ -81,6 +96,7 @@ impl CacheStats {
     /// Resets all counters.
     pub fn reset(&self) {
         self.hits.store(0, Ordering::Relaxed);
+        self.stale_hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
         self.insertions.store(0, Ordering::Relaxed);
         self.evictions.store(0, Ordering::Relaxed);
@@ -101,7 +117,9 @@ mod tests {
         s.insert(false);
         s.insert(true);
         s.invalidate(3);
+        s.stale_hit();
         assert_eq!(s.hits(), 2);
+        assert_eq!(s.stale_hits(), 1);
         assert_eq!(s.misses(), 1);
         assert_eq!(s.insertions(), 2);
         assert_eq!(s.evictions(), 1);

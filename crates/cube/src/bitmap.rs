@@ -170,6 +170,17 @@ impl Bitmap {
         self.len
     }
 
+    /// The shared-pool parts of a pooled window (`None` for owned
+    /// blocks) — the delta builder re-shares whole unchanged chunks
+    /// across incremental rebuilds through this.
+    #[inline]
+    pub(crate) fn shared_parts(&self) -> Option<(&Arc<PooledBlocks>, usize, usize)> {
+        match &self.blocks {
+            Blocks::Shared { pool, start, words } => Some((pool, *start, *words)),
+            Blocks::Owned(_) => None,
+        }
+    }
+
     /// Sets position `i`.
     ///
     /// # Panics

@@ -35,13 +35,13 @@
 
 use crate::bitmap::Bitmap;
 use crate::group::GroupDesc;
-use crate::lattice::{attribute_subsets, geo_cuboids, Cuboid};
+use crate::lattice::Cuboid;
 use maprat_data::{Dataset, PackedUserCode, RatingIdx, RatingStats, UserAttr};
 use maprat_pool::{num_threads, parallel_map};
 use std::sync::Arc;
 
 /// Materialization options.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CubeOptions {
     /// Minimum number of covered rating tuples for a group to become a
     /// candidate (the iceberg threshold; also the paper's requirement that
@@ -89,12 +89,12 @@ impl CandidateGroup {
 }
 
 /// Sentinel in a cell → slot lookup table: the cell is below threshold.
-const NO_SLOT: u32 = u32::MAX;
+pub(crate) const NO_SLOT: u32 = u32::MAX;
 
 /// Size (in `u64` blocks) of one shared cover-pool chunk: 64 KiB — small
 /// enough that glibc serves it from recycled heap memory instead of a
 /// fresh `mmap` (whose zero pages would fault in on every build).
-const CHUNK_WORDS: usize = 8 * 1024;
+pub(crate) const CHUNK_WORDS: usize = 8 * 1024;
 
 /// One shift/mask/multiplier lane of a cuboid's cell-id computation.
 /// Unused lanes have `mask == 0` (and thus contribute 0), so the encoder
@@ -110,18 +110,18 @@ struct FieldLane {
 /// packed-code fields of its attributes, in canonical attribute order
 /// (last attribute fastest).
 #[derive(Debug, Clone)]
-struct CellLayout {
-    cuboid: Cuboid,
+pub(crate) struct CellLayout {
+    pub(crate) cuboid: Cuboid,
     /// Encoder lanes (padded to 4 with zero lanes).
     lanes: [FieldLane; 4],
     /// Decoder: `(attr, cardinality, multiplier)` per attribute.
     radix: Vec<(UserAttr, u32, u32)>,
     /// Total number of cells (product of cardinalities).
-    cells: usize,
+    pub(crate) cells: usize,
 }
 
 impl CellLayout {
-    fn new(cuboid: Cuboid) -> CellLayout {
+    pub(crate) fn new(cuboid: Cuboid) -> CellLayout {
         // Mixed-radix multipliers: attr_j's multiplier is the product of
         // the cardinalities of the attributes after it (row-major).
         let mut radix: Vec<(UserAttr, u32, u32)> = cuboid
@@ -152,7 +152,7 @@ impl CellLayout {
     /// The dense cell id of a packed reviewer code — four shift/mask/
     /// multiply lanes, no branches, no hashing.
     #[inline(always)]
-    fn cell_of(&self, code: u16) -> usize {
+    pub(crate) fn cell_of(&self, code: u16) -> usize {
         let c = u32::from(code);
         let l = &self.lanes;
         (((c >> l[0].shift) & l[0].mask) * l[0].mult
@@ -163,7 +163,7 @@ impl CellLayout {
 
     /// Decodes a cell id back to its group descriptor (survivors only —
     /// the hot loops never run this).
-    fn decode(&self, cell: u32) -> GroupDesc {
+    pub(crate) fn decode(&self, cell: u32) -> GroupDesc {
         let mut values = [0xFFu8; 4];
         for &(attr, card, mult) in &self.radix {
             values[attr.index()] = ((cell / mult) % card) as u8;
@@ -175,17 +175,17 @@ impl CellLayout {
 /// The per-cuboid piece of a prepared build: the cell layout plus the
 /// slot assignment its fill pass writes through.
 #[derive(Debug)]
-struct CuboidPass {
-    layout: CellLayout,
+pub(crate) struct CuboidPass {
+    pub(crate) layout: CellLayout,
     /// Cell id → local survivor index (`NO_SLOT` = below threshold).
-    local: Vec<u32>,
+    pub(crate) local: Vec<u32>,
     /// Local survivor index → global candidate slot.
-    globals: Vec<u32>,
+    pub(crate) globals: Vec<u32>,
     /// Prefix sums of per-survivor word-entry counts
     /// (`len == globals.len() + 1`): survivor `l`'s regrouped word
     /// entries land at `entry_offsets[l]..entry_offsets[l+1]` in the
     /// fill pass's scatter buffers.
-    entry_offsets: Vec<u32>,
+    pub(crate) entry_offsets: Vec<u32>,
 }
 
 /// The output of the counting pass, ready for the fill pass: the
@@ -204,30 +204,30 @@ struct CuboidPass {
 #[doc(hidden)]
 #[derive(Debug)]
 pub struct CubePlan {
-    rating_idx: Arc<[u32]>,
-    options: CubeOptions,
+    pub(crate) rating_idx: Arc<[u32]>,
+    pub(crate) options: CubeOptions,
     /// The packed reviewer code of each distinct profile, in ascending
     /// base-cell order.
-    profiles: Vec<u16>,
+    pub(crate) profiles: Vec<u16>,
     /// Per-profile score histograms; a survivor's stats are the sum of
     /// its member profiles' histograms.
-    profile_hists: Vec<[u32; 5]>,
+    pub(crate) profile_hists: Vec<[u32; 5]>,
     /// Per-profile cover bit patterns as a sparse word CSR: profile `k`
     /// ORs `word_bits[j]` into cover block `word_idx[j]` for
     /// `j ∈ word_offsets[k]..word_offsets[k+1]`. A profile's pattern is
     /// identical in every cuboid, so it is computed once and OR-swept
     /// once per cuboid.
-    word_idx: Vec<u32>,
-    word_bits: Vec<u64>,
-    word_offsets: Vec<u32>,
-    passes: Vec<CuboidPass>,
+    pub(crate) word_idx: Vec<u32>,
+    pub(crate) word_bits: Vec<u64>,
+    pub(crate) word_offsets: Vec<u32>,
+    pub(crate) passes: Vec<CuboidPass>,
     /// Decoded descriptors, in final slot order.
-    slot_descs: Vec<GroupDesc>,
-    total: RatingStats,
+    pub(crate) slot_descs: Vec<GroupDesc>,
+    pub(crate) total: RatingStats,
 }
 
 /// Reconstructs the packed reviewer code of a base-cuboid cell.
-fn code_of_base_cell(base: &CellLayout, cell: usize) -> u16 {
+pub(crate) fn code_of_base_cell(base: &CellLayout, cell: usize) -> u16 {
     let mut code = 0u16;
     for &(attr, card, mult) in &base.radix {
         let v = (cell as u32 / mult) % card;
@@ -256,165 +256,9 @@ impl CubePlan {
         // (The counting pass rolls every cuboid up from the distinct
         // profiles — a few thousand adds in total — so it no longer pays
         // to fan out; the parameter is kept for the fill pass's sibling
-        // signature.)
-        let layouts: Vec<CellLayout> = if options.require_geo {
-            geo_cuboids()
-        } else {
-            attribute_subsets()
-        }
-        .into_iter()
-        .filter(|c| {
-            let d = c.dimensionality() as usize;
-            d >= 1 && d <= options.max_arity
-        })
-        .map(CellLayout::new)
-        .collect();
-
-        // Gather pass: one contiguous code column and one score column
-        // for the universe, plus the total aggregate.
-        let all_codes = dataset.rating_user_codes();
-        let all_bins = dataset.rating_score_bins();
-        let mut codes: Vec<u16> = Vec::with_capacity(rating_idx.len());
-        let mut bins: Vec<u8> = Vec::with_capacity(rating_idx.len());
-        let mut total_hist = [0u64; 5];
-        for &ridx in &rating_idx {
-            let i = RatingIdx(ridx).index();
-            codes.push(all_codes[i]);
-            let bin = all_bins[i];
-            bins.push(bin);
-            total_hist[usize::from(bin)] += 1;
-        }
-        let total = RatingStats::from_histogram(total_hist);
-        let universe = codes.len();
-
-        // Universal base-cell counting sort: group the positions by
-        // distinct reviewer profile. This is the only place the builder
-        // scans per rating per anything; everything per-cuboid below
-        // runs over the (much smaller) distinct-profile list.
-        let base = CellLayout::new(Cuboid::BASE);
-        let mut counts = vec![0u32; base.cells];
-        for &code in &codes {
-            counts[base.cell_of(code)] += 1;
-        }
-        let mut cursor = vec![0u32; base.cells];
-        let mut sum = 0u32;
-        for (cur, &c) in cursor.iter_mut().zip(&counts) {
-            *cur = sum;
-            sum += c;
-        }
-        let mut positions = vec![0u32; universe];
-        for (pos, &code) in codes.iter().enumerate() {
-            let cell = base.cell_of(code);
-            positions[cursor[cell] as usize] = pos as u32;
-            cursor[cell] += 1;
-        }
-        // Compact the non-empty cells into the profile list (ascending
-        // base-cell order; after the scatter `cursor[cell]` is the END
-        // of the cell's contiguous range).
-        let mut profiles: Vec<u16> = Vec::new();
-        let mut profile_offsets: Vec<u32> = vec![0];
-        for (cell, &cnt) in counts.iter().enumerate() {
-            if cnt > 0 {
-                profiles.push(code_of_base_cell(&base, cell));
-                profile_offsets.push(cursor[cell]);
-            }
-        }
-        let mut profile_hists = vec![[0u32; 5]; profiles.len()];
-        for (k, hist) in profile_hists.iter_mut().enumerate() {
-            let range = profile_offsets[k] as usize..profile_offsets[k + 1] as usize;
-            for &p in &positions[range] {
-                hist[usize::from(bins[p as usize])] += 1;
-            }
-        }
-
-        // Per-profile cover bit patterns (sparse word CSR). A profile
-        // covers the same positions in every cuboid it survives into, so
-        // the pattern is materialized once here and the fill pass ORs
-        // whole words instead of re-deriving block/bit per rating per
-        // cuboid. Positions are ascending within a profile, so runs
-        // sharing a block fold into one entry.
-        let mut word_idx: Vec<u32> = Vec::with_capacity(universe);
-        let mut word_bits: Vec<u64> = Vec::with_capacity(universe);
-        let mut word_offsets: Vec<u32> = Vec::with_capacity(profiles.len() + 1);
-        word_offsets.push(0);
-        for k in 0..profiles.len() {
-            let range = profile_offsets[k] as usize..profile_offsets[k + 1] as usize;
-            let mut current = u32::MAX;
-            for &p in &positions[range] {
-                let w = p / 64;
-                if w != current {
-                    word_idx.push(w);
-                    word_bits.push(0);
-                    current = w;
-                }
-                *word_bits.last_mut().expect("just pushed") |= 1u64 << (p % 64);
-            }
-            word_offsets.push(word_idx.len() as u32);
-        }
-
-        // Per-cuboid cell counts (and per-cell word-entry counts for the
-        // fill pass's regrouping), rolled up from the distinct profiles
-        // — a handful of adds per profile, not a pass over the universe.
-        // An empty cell can never become a candidate, so the effective
-        // threshold is at least 1 (matching the naive builder, which
-        // only ever saw touched cells).
-        let min_support = options.min_support.max(1) as u32;
-        let mut survivors: Vec<(GroupDesc, usize, u32, u32)> = Vec::new();
-        for (ci, layout) in layouts.iter().enumerate() {
-            let mut cell_counts = vec![0u32; layout.cells];
-            let mut cell_entries = vec![0u32; layout.cells];
-            for (k, &code) in profiles.iter().enumerate() {
-                let cell = layout.cell_of(code);
-                cell_counts[cell] += profile_offsets[k + 1] - profile_offsets[k];
-                cell_entries[cell] += word_offsets[k + 1] - word_offsets[k];
-            }
-            let arity = layout.cuboid.dimensionality() as usize;
-            for (cell, &n) in cell_counts.iter().enumerate() {
-                if n >= min_support {
-                    let desc = layout.decode(cell as u32);
-                    debug_assert_eq!(desc.arity(), arity);
-                    survivors.push((desc, ci, cell as u32, cell_entries[cell]));
-                }
-            }
-        }
-
-        // Survivors ordered coarse-to-fine (arity, then descriptor) —
-        // the same deterministic candidate order the naive builder's
-        // sort produced. Keys are unique (a descriptor identifies its
-        // cuboid), so the order is total.
-        survivors.sort_unstable_by_key(|&(desc, _, _, _)| desc.sort_key());
-
-        let mut passes: Vec<CuboidPass> = layouts
-            .into_iter()
-            .map(|layout| CuboidPass {
-                local: vec![NO_SLOT; layout.cells],
-                globals: Vec::new(),
-                entry_offsets: vec![0],
-                layout,
-            })
-            .collect();
-        let mut slot_descs = Vec::with_capacity(survivors.len());
-        for (slot, &(desc, ci, cell, entries)) in survivors.iter().enumerate() {
-            let pass = &mut passes[ci];
-            pass.local[cell as usize] = pass.globals.len() as u32;
-            pass.globals.push(slot as u32);
-            let last = *pass.entry_offsets.last().expect("starts at [0]");
-            pass.entry_offsets.push(last + entries);
-            slot_descs.push(desc);
-        }
-
-        CubePlan {
-            rating_idx: rating_idx.into(),
-            options,
-            profiles,
-            profile_hists,
-            word_idx,
-            word_bits,
-            word_offsets,
-            passes,
-            slot_descs,
-            total,
-        }
+        // signature. The scan itself lives in [`crate::delta`] so the
+        // ingest path can retain it and append to it incrementally.)
+        crate::delta::ProfileSummary::scan(dataset, rating_idx).into_plan(options)
     }
 
     /// Fill pass: sets cover bits directly into each cuboid's

@@ -1,0 +1,855 @@
+//! Incremental cube maintenance over retained profile summaries.
+//!
+//! The dense two-pass builder's counting pass produces an
+//! options-independent intermediate — the distinct reviewer profiles of a
+//! rating universe, each with its score histogram and sparse cover word
+//! pattern. [`ProfileSummary`] *retains* that intermediate so it can be
+//! maintained instead of recomputed:
+//!
+//! * [`ProfileSummary::append`] runs the counting pass over only the
+//!   *appended* positions and merges the new distinct profiles in — the
+//!   live-ingest delta path (cost scales with the batch, not the
+//!   universe);
+//! * [`ProfileSummary::merge`] concatenates partition summaries with
+//!   bit-exact word realignment — the time slider mines a window by
+//!   merging its month partitions instead of re-streaming ratings;
+//! * [`ProfileSummary::build_reusing`] rebuilds a cube after an append
+//!   while **reusing the previous cube's cover chunks**: unchanged
+//!   chunks are re-shared wholesale (`Arc` bump, zero copy), changed
+//!   survivors copy their old cover and OR only the delta word entries
+//!   (copy-on-write at chunk granularity).
+//!
+//! Every path is pinned bit-identical to a from-scratch
+//! [`RatingCube::build`] — and therefore to the retained naive
+//! [`crate::oracle`] — by property tests over random append sequences.
+//!
+//! The maintained universe is *commit-major*: the initial universe keeps
+//! its (item-major) order and every commit's matching ratings append at
+//! the tail. All mined quantities (counts, histograms, coverage unions)
+//! are invariant under universe permutation, so a commit-major cube
+//! mines identically to a freshly collected one.
+
+use crate::bitmap::{alloc_chunk, seal_chunk, Bitmap, PooledBlocks};
+use crate::builder::{
+    code_of_base_cell, CandidateGroup, CellLayout, CubeOptions, CubePlan, CuboidPass, RatingCube,
+    CHUNK_WORDS, NO_SLOT,
+};
+use crate::group::GroupDesc;
+use crate::lattice::{attribute_subsets, geo_cuboids, Cuboid};
+use maprat_data::{Dataset, IndexRemap, RatingIdx, RatingStats};
+use maprat_pool::{num_threads, parallel_map};
+use std::sync::Arc;
+
+/// The retained counting-pass state of one rating universe: its distinct
+/// reviewer profiles in ascending base-cell order, each with the number
+/// of covered positions, a score histogram and a sparse cover word
+/// pattern (CSR over `u64` cover blocks).
+///
+/// Everything a cube build needs downstream of the per-rating scan lives
+/// here, so a summary can be built once and re-materialized under any
+/// [`CubeOptions`] — or maintained incrementally via [`append`] and
+/// [`merge`] without ever rescanning old ratings.
+///
+/// [`append`]: ProfileSummary::append
+/// [`merge`]: ProfileSummary::merge
+#[derive(Debug, Clone, Default)]
+pub struct ProfileSummary {
+    /// Universe size (`rating_idx.len()`).
+    universe: usize,
+    /// Dataset rating indexes, in cover-position order.
+    rating_idx: Vec<u32>,
+    /// Base-cuboid cell of each distinct profile, strictly ascending.
+    cells: Vec<u32>,
+    /// Packed reviewer code of each profile (decodes its cell).
+    codes: Vec<u16>,
+    /// Number of universe positions carrying each profile.
+    counts: Vec<u32>,
+    /// Score histogram of each profile.
+    hists: Vec<[u32; 5]>,
+    /// Sparse cover word CSR: profile `k` ORs `word_bits[j]` into cover
+    /// block `word_idx[j]` for `j ∈ word_offsets[k]..word_offsets[k+1]`;
+    /// entries are strictly ascending by word within a profile.
+    word_idx: Vec<u32>,
+    word_bits: Vec<u64>,
+    word_offsets: Vec<u32>,
+    /// Score histogram over the whole universe.
+    total_hist: [u64; 5],
+}
+
+/// The per-commit delta of an [`ProfileSummary::append`]: the appended
+/// positions' profiles with word entries already in merged-universe
+/// coordinates. [`ProfileSummary::build_reusing`] ORs exactly these
+/// entries on top of the previous cube's covers.
+#[derive(Debug, Clone)]
+pub struct AppendDelta {
+    /// Counting-pass state of the appended tail, word entries addressed
+    /// in the merged universe (positions `old_universe..`).
+    part: ProfileSummary,
+    /// Universe size before the append.
+    old_universe: usize,
+}
+
+impl AppendDelta {
+    /// Number of appended positions.
+    pub fn len(&self) -> usize {
+        self.part.universe
+    }
+
+    /// True when the commit appended nothing to this universe.
+    pub fn is_empty(&self) -> bool {
+        self.part.universe == 0
+    }
+}
+
+/// Pushes a word entry, folding into the previous entry when it lands in
+/// the same cover block (the scratch scan folds consecutive same-word
+/// runs, so maintained entry lists must too for bit-identity).
+#[inline]
+fn push_word(word_idx: &mut Vec<u32>, word_bits: &mut Vec<u64>, floor: usize, w: u32, bits: u64) {
+    if word_idx.len() > floor && *word_idx.last().expect("non-empty") == w {
+        *word_bits.last_mut().expect("non-empty") |= bits;
+    } else {
+        word_idx.push(w);
+        word_bits.push(bits);
+    }
+}
+
+impl ProfileSummary {
+    /// Runs the counting pass over a rating universe: gathers the packed
+    /// code/score columns, counting-sorts positions by distinct reviewer
+    /// profile, and materializes per-profile histograms and sparse cover
+    /// word patterns. This is byte-for-byte the scratch builder's first
+    /// pass ([`CubePlan::prepare`] delegates here).
+    pub fn scan(dataset: &Dataset, rating_idx: Vec<u32>) -> ProfileSummary {
+        Self::scan_with_offset(dataset, rating_idx, 0)
+    }
+
+    /// [`scan`](Self::scan) with cover positions numbered from
+    /// `offset` — the append path scans only the new tail but addresses
+    /// its word entries in merged-universe coordinates.
+    fn scan_with_offset(dataset: &Dataset, rating_idx: Vec<u32>, offset: usize) -> ProfileSummary {
+        let all_codes = dataset.rating_user_codes();
+        let all_bins = dataset.rating_score_bins();
+        let mut codes: Vec<u16> = Vec::with_capacity(rating_idx.len());
+        let mut bins: Vec<u8> = Vec::with_capacity(rating_idx.len());
+        let mut total_hist = [0u64; 5];
+        for &ridx in &rating_idx {
+            let i = RatingIdx(ridx).index();
+            codes.push(all_codes[i]);
+            let bin = all_bins[i];
+            bins.push(bin);
+            total_hist[usize::from(bin)] += 1;
+        }
+        let universe = codes.len();
+
+        // Universal base-cell counting sort: group positions by distinct
+        // reviewer profile. The only per-position loop in the pipeline.
+        let base = CellLayout::new(Cuboid::BASE);
+        let mut counts = vec![0u32; base.cells];
+        for &code in &codes {
+            counts[base.cell_of(code)] += 1;
+        }
+        let mut cursor = vec![0u32; base.cells];
+        let mut sum = 0u32;
+        for (cur, &c) in cursor.iter_mut().zip(&counts) {
+            *cur = sum;
+            sum += c;
+        }
+        let mut positions = vec![0u32; universe];
+        for (pos, &code) in codes.iter().enumerate() {
+            let cell = base.cell_of(code);
+            positions[cursor[cell] as usize] = pos as u32;
+            cursor[cell] += 1;
+        }
+        // Compact non-empty cells into the profile list (ascending
+        // base-cell order; after the scatter `cursor[cell]` is the END
+        // of the cell's contiguous range).
+        let mut cells: Vec<u32> = Vec::new();
+        let mut profiles: Vec<u16> = Vec::new();
+        let mut profile_counts: Vec<u32> = Vec::new();
+        let mut profile_offsets: Vec<u32> = vec![0];
+        for (cell, &cnt) in counts.iter().enumerate() {
+            if cnt > 0 {
+                cells.push(cell as u32);
+                profiles.push(code_of_base_cell(&base, cell));
+                profile_counts.push(cnt);
+                profile_offsets.push(cursor[cell]);
+            }
+        }
+        let mut hists = vec![[0u32; 5]; profiles.len()];
+        for (k, hist) in hists.iter_mut().enumerate() {
+            let range = profile_offsets[k] as usize..profile_offsets[k + 1] as usize;
+            for &p in &positions[range] {
+                hist[usize::from(bins[p as usize])] += 1;
+            }
+        }
+
+        // Per-profile cover word patterns (sparse CSR). Positions are
+        // ascending within a profile, so runs sharing a block fold into
+        // one entry.
+        let mut word_idx: Vec<u32> = Vec::with_capacity(universe);
+        let mut word_bits: Vec<u64> = Vec::with_capacity(universe);
+        let mut word_offsets: Vec<u32> = Vec::with_capacity(profiles.len() + 1);
+        word_offsets.push(0);
+        for k in 0..profiles.len() {
+            let range = profile_offsets[k] as usize..profile_offsets[k + 1] as usize;
+            let mut current = u32::MAX;
+            for &p in &positions[range] {
+                let global = offset + p as usize;
+                let w = (global / 64) as u32;
+                if w != current {
+                    word_idx.push(w);
+                    word_bits.push(0);
+                    current = w;
+                }
+                *word_bits.last_mut().expect("just pushed") |= 1u64 << (global % 64);
+            }
+            word_offsets.push(word_idx.len() as u32);
+        }
+
+        ProfileSummary {
+            universe,
+            rating_idx,
+            cells,
+            codes: profiles,
+            counts: profile_counts,
+            hists,
+            word_idx,
+            word_bits,
+            word_offsets,
+            total_hist,
+        }
+    }
+
+    /// Universe size.
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Number of distinct reviewer profiles.
+    pub fn num_profiles(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// The dataset rating indexes, in cover-position order.
+    pub fn rating_indexes(&self) -> &[u32] {
+        &self.rating_idx
+    }
+
+    /// Rewrites the retained dataset rating indexes after a commit
+    /// shifted the dense rating column (splices by other items move
+    /// later indexes). Cover positions are untouched — only the labels
+    /// pointing back into the dataset change.
+    pub fn remap_rating_indexes(&mut self, remap: &IndexRemap) {
+        remap.remap_in_place(&mut self.rating_idx);
+    }
+
+    /// Counting pass over only the appended tail, merged into a new
+    /// summary. Returns the merged summary plus the [`AppendDelta`] that
+    /// [`build_reusing`](Self::build_reusing) needs to OR the new bits
+    /// on top of an existing cube's covers.
+    ///
+    /// `appended_idx` are dataset rating indexes valid in `dataset`
+    /// (call [`remap_rating_indexes`](Self::remap_rating_indexes) first
+    /// if the commit shifted old indexes); their cover positions are
+    /// `self.universe()..` in submission order.
+    pub fn append(&self, dataset: &Dataset, appended_idx: &[u32]) -> (ProfileSummary, AppendDelta) {
+        let part = Self::scan_with_offset(dataset, appended_idx.to_vec(), self.universe);
+        let merged = Self::merge_adjacent(self, &part);
+        (
+            merged,
+            AppendDelta {
+                part,
+                old_universe: self.universe,
+            },
+        )
+    }
+
+    /// Merges two summaries whose word entries already live in the same
+    /// (concatenated) coordinate space: `right`'s positions start at
+    /// `left.universe`.
+    fn merge_adjacent(left: &ProfileSummary, right: &ProfileSummary) -> ProfileSummary {
+        let mut rating_idx = Vec::with_capacity(left.universe + right.universe);
+        rating_idx.extend_from_slice(&left.rating_idx);
+        rating_idx.extend_from_slice(&right.rating_idx);
+        let mut total_hist = left.total_hist;
+        for (t, r) in total_hist.iter_mut().zip(&right.total_hist) {
+            *t += r;
+        }
+
+        let n = left.cells.len() + right.cells.len();
+        let mut cells = Vec::with_capacity(n);
+        let mut codes = Vec::with_capacity(n);
+        let mut counts = Vec::with_capacity(n);
+        let mut hists = Vec::with_capacity(n);
+        let mut word_idx = Vec::with_capacity(left.word_idx.len() + right.word_idx.len());
+        let mut word_bits = Vec::with_capacity(word_idx.capacity());
+        let mut word_offsets = Vec::with_capacity(n + 1);
+        word_offsets.push(0u32);
+
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < left.cells.len() || j < right.cells.len() {
+            let take_left =
+                j == right.cells.len() || (i < left.cells.len() && left.cells[i] <= right.cells[j]);
+            let take_right =
+                i == left.cells.len() || (j < right.cells.len() && right.cells[j] <= left.cells[i]);
+            let floor = word_idx.len();
+            if take_left {
+                cells.push(left.cells[i]);
+                codes.push(left.codes[i]);
+                counts.push(left.counts[i]);
+                hists.push(left.hists[i]);
+                let range = left.word_offsets[i] as usize..left.word_offsets[i + 1] as usize;
+                word_idx.extend_from_slice(&left.word_idx[range.clone()]);
+                word_bits.extend_from_slice(&left.word_bits[range]);
+                i += 1;
+            }
+            if take_right {
+                if !take_left {
+                    cells.push(right.cells[j]);
+                    codes.push(right.codes[j]);
+                    counts.push(0);
+                    hists.push([0u32; 5]);
+                }
+                let k = cells.len() - 1;
+                counts[k] += right.counts[j];
+                for (h, rh) in hists[k].iter_mut().zip(&right.hists[j]) {
+                    *h += rh;
+                }
+                // Concatenate the right part's entries; the first may
+                // land in the same cover block the left part ended in
+                // (the boundary word) and must fold into it, exactly as
+                // a scratch scan of the concatenation would.
+                for e in right.word_offsets[j] as usize..right.word_offsets[j + 1] as usize {
+                    push_word(
+                        &mut word_idx,
+                        &mut word_bits,
+                        floor,
+                        right.word_idx[e],
+                        right.word_bits[e],
+                    );
+                }
+                j += 1;
+            }
+            word_offsets.push(word_idx.len() as u32);
+        }
+
+        ProfileSummary {
+            universe: left.universe + right.universe,
+            rating_idx,
+            cells,
+            codes,
+            counts,
+            hists,
+            word_idx,
+            word_bits,
+            word_offsets,
+            total_hist,
+        }
+    }
+
+    /// Realigns every word entry to a universe where this summary's
+    /// positions start at `offset` (bit-exact shift across block
+    /// boundaries).
+    fn shifted(&self, offset: usize) -> ProfileSummary {
+        if offset == 0 {
+            return self.clone();
+        }
+        let s = (offset % 64) as u32;
+        let base = (offset / 64) as u32;
+        let mut out = self.clone();
+        out.word_idx = Vec::with_capacity(self.word_idx.len());
+        out.word_bits = Vec::with_capacity(self.word_bits.len());
+        out.word_offsets = Vec::with_capacity(self.word_offsets.len());
+        out.word_offsets.push(0);
+        for k in 0..self.codes.len() {
+            let floor = out.word_idx.len();
+            for e in self.word_offsets[k] as usize..self.word_offsets[k + 1] as usize {
+                let w = self.word_idx[e] + base;
+                let bits = self.word_bits[e];
+                if s == 0 {
+                    push_word(&mut out.word_idx, &mut out.word_bits, floor, w, bits);
+                } else {
+                    let lo = bits << s;
+                    if lo != 0 {
+                        push_word(&mut out.word_idx, &mut out.word_bits, floor, w, lo);
+                    }
+                    let hi = bits >> (64 - s);
+                    if hi != 0 {
+                        push_word(&mut out.word_idx, &mut out.word_bits, floor, w + 1, hi);
+                    }
+                }
+            }
+            out.word_offsets.push(out.word_idx.len() as u32);
+        }
+        out
+    }
+
+    /// Concatenates partition summaries into the summary of the combined
+    /// universe (parts in order; positions of part `k` start at the sum
+    /// of the earlier parts' universes).
+    ///
+    /// Bit-identical to [`scan`](Self::scan) over the concatenated
+    /// rating-index list — the time slider merges month partitions
+    /// through this instead of re-streaming their ratings.
+    pub fn merge<'a>(parts: impl IntoIterator<Item = &'a ProfileSummary>) -> ProfileSummary {
+        let mut acc = ProfileSummary::default();
+        for part in parts {
+            if part.universe == 0 {
+                continue;
+            }
+            let shifted = part.shifted(acc.universe);
+            acc = Self::merge_adjacent(&acc, &shifted);
+        }
+        acc
+    }
+
+    /// Materializes the cube for these profiles under `options` with the
+    /// default worker count.
+    pub fn build(&self, options: CubeOptions) -> RatingCube {
+        self.build_with_threads(options, num_threads())
+    }
+
+    /// [`build`](Self::build) with an explicit worker budget.
+    pub fn build_with_threads(&self, options: CubeOptions, threads: usize) -> RatingCube {
+        self.clone().into_plan(options).fill(threads)
+    }
+
+    /// Rollup + iceberg threshold + slot assignment: turns the retained
+    /// counting-pass state into a fill-ready [`CubePlan`]. Identical in
+    /// effect to the second half of the original `prepare`.
+    pub(crate) fn into_plan(self, options: CubeOptions) -> CubePlan {
+        let layouts: Vec<CellLayout> = if options.require_geo {
+            geo_cuboids()
+        } else {
+            attribute_subsets()
+        }
+        .into_iter()
+        .filter(|c| {
+            let d = c.dimensionality() as usize;
+            d >= 1 && d <= options.max_arity
+        })
+        .map(CellLayout::new)
+        .collect();
+
+        // Per-cuboid cell counts (and per-cell word-entry counts for the
+        // fill pass's regrouping), rolled up from the distinct profiles
+        // — a handful of adds per profile, not a pass over the universe.
+        // An empty cell can never become a candidate, so the effective
+        // threshold is at least 1 (matching the naive builder, which
+        // only ever saw touched cells).
+        let min_support = options.min_support.max(1) as u32;
+        let mut survivors: Vec<(GroupDesc, usize, u32, u32)> = Vec::new();
+        for (ci, layout) in layouts.iter().enumerate() {
+            let mut cell_counts = vec![0u32; layout.cells];
+            let mut cell_entries = vec![0u32; layout.cells];
+            for (k, &code) in self.codes.iter().enumerate() {
+                let cell = layout.cell_of(code);
+                cell_counts[cell] += self.counts[k];
+                cell_entries[cell] += self.word_offsets[k + 1] - self.word_offsets[k];
+            }
+            let arity = layout.cuboid.dimensionality() as usize;
+            for (cell, &n) in cell_counts.iter().enumerate() {
+                if n >= min_support {
+                    let desc = layout.decode(cell as u32);
+                    debug_assert_eq!(desc.arity(), arity);
+                    survivors.push((desc, ci, cell as u32, cell_entries[cell]));
+                }
+            }
+        }
+
+        // Survivors ordered coarse-to-fine (arity, then descriptor) —
+        // the deterministic candidate order. Keys are unique (a
+        // descriptor identifies its cuboid), so the order is total.
+        survivors.sort_unstable_by_key(|&(desc, _, _, _)| desc.sort_key());
+
+        let mut passes: Vec<CuboidPass> = layouts
+            .into_iter()
+            .map(|layout| CuboidPass {
+                local: vec![NO_SLOT; layout.cells],
+                globals: Vec::new(),
+                entry_offsets: vec![0],
+                layout,
+            })
+            .collect();
+        let mut slot_descs = Vec::with_capacity(survivors.len());
+        for (slot, &(desc, ci, cell, entries)) in survivors.iter().enumerate() {
+            let pass = &mut passes[ci];
+            pass.local[cell as usize] = pass.globals.len() as u32;
+            pass.globals.push(slot as u32);
+            let last = *pass.entry_offsets.last().expect("starts at [0]");
+            pass.entry_offsets.push(last + entries);
+            slot_descs.push(desc);
+        }
+
+        CubePlan {
+            rating_idx: self.rating_idx.into(),
+            options,
+            profiles: self.codes,
+            profile_hists: self.hists,
+            word_idx: self.word_idx,
+            word_bits: self.word_bits,
+            word_offsets: self.word_offsets,
+            passes,
+            slot_descs,
+            total: RatingStats::from_histogram(self.total_hist),
+        }
+    }
+
+    /// Rebuilds the cube after an [`append`](Self::append), reusing the
+    /// previous cube's cover chunks instead of re-scattering the whole
+    /// universe:
+    ///
+    /// * a chunk none of whose survivors gained bits (and whose block
+    ///   geometry is unchanged) is **re-shared wholesale** — new cover
+    ///   headers over the same `Arc`'d pool, zero copies;
+    /// * a changed chunk is written copy-on-write: survivors that
+    ///   existed before `memcpy` their old cover and OR only the
+    ///   *delta* word entries; survivors newly above the iceberg
+    ///   threshold scatter their full pattern.
+    ///
+    /// `prev` must be the cube built from this summary's pre-append
+    /// state under the same `options` (support counts only grow under
+    /// appends, so `prev`'s survivors are a subset of the new ones).
+    /// The result is bit-identical to [`build`](Self::build) — pinned by
+    /// the oracle property tests.
+    pub fn build_reusing(
+        &self,
+        delta: &AppendDelta,
+        prev: &RatingCube,
+        options: CubeOptions,
+        threads: usize,
+    ) -> RatingCube {
+        assert_eq!(
+            prev.options(),
+            &options,
+            "delta maintenance requires the previous cube's options"
+        );
+        assert_eq!(
+            delta.old_universe + delta.part.universe,
+            self.universe,
+            "delta does not extend the previous universe to this one"
+        );
+        let plan = self.clone().into_plan(options);
+        fill_reusing(plan, delta, prev, threads)
+    }
+}
+
+/// Whether `prev`'s covers for new-layout survivors
+/// `chunk_start..chunk_start + count` (all unchanged, geometry-stable)
+/// are exactly consecutive windows of one shared pool — in which case
+/// that pool can back the new chunk wholesale.
+fn wholesale_pool<'a>(
+    prev: &'a RatingCube,
+    prev_of: &[Option<usize>],
+    chunk_start: usize,
+    count: usize,
+    words: usize,
+) -> Option<&'a Arc<PooledBlocks>> {
+    let first = prev.groups()[prev_of[chunk_start]?].cover.shared_parts()?;
+    if first.1 != 0 || first.2 != words {
+        return None;
+    }
+    for li in 1..count {
+        let (pool, start, w) = prev.groups()[prev_of[chunk_start + li]?]
+            .cover
+            .shared_parts()?;
+        if !Arc::ptr_eq(pool, first.0) || start != li * words || w != words {
+            return None;
+        }
+    }
+    Some(first.0)
+}
+
+/// The fill pass of [`ProfileSummary::build_reusing`]: identical slot
+/// assignment and output to [`CubePlan::fill`], but covers come from the
+/// previous cube wherever possible.
+fn fill_reusing(
+    plan: CubePlan,
+    delta: &AppendDelta,
+    prev: &RatingCube,
+    threads: usize,
+) -> RatingCube {
+    let universe = plan.rating_idx.len();
+    let words = universe.div_ceil(64).max(1);
+    let old_words = delta.old_universe.div_ceil(64).max(1);
+    let same_geometry = words == old_words;
+    let dpart = &delta.part;
+
+    let filled: Vec<(Vec<Bitmap>, Vec<[u32; 5]>)> =
+        parallel_map(plan.passes.len(), threads, |ci| {
+            let pass = &plan.passes[ci];
+            let layout = &pass.layout;
+            let n = pass.globals.len();
+            let mut hists = vec![[0u32; 5]; n];
+            if n == 0 {
+                return (Vec::new(), hists);
+            }
+            // Survivor stats: rolled up from the merged profile
+            // histograms (u32 adds — order-independent, so identical to
+            // the scratch fill's accumulation).
+            for (k, &code) in plan.profiles.iter().enumerate() {
+                let local = pass.local[layout.cell_of(code)];
+                if local == NO_SLOT {
+                    continue;
+                }
+                for (h, ph) in hists[local as usize].iter_mut().zip(&plan.profile_hists[k]) {
+                    *h += ph;
+                }
+            }
+            // Where each new survivor lived in the previous cube (`None`
+            // = newly above threshold this commit).
+            let prev_of: Vec<Option<usize>> = pass
+                .globals
+                .iter()
+                .map(|&slot| prev.index_of(&plan.slot_descs[slot as usize]))
+                .collect();
+            // Regroup the delta word entries by survivor (counting-sort
+            // scatter over the — small — appended-profile list).
+            let mut d_offsets = vec![0u32; n + 1];
+            for (k, &code) in dpart.codes.iter().enumerate() {
+                let local = pass.local[layout.cell_of(code)];
+                if local != NO_SLOT {
+                    d_offsets[local as usize + 1] +=
+                        dpart.word_offsets[k + 1] - dpart.word_offsets[k];
+                }
+            }
+            for l in 0..n {
+                d_offsets[l + 1] += d_offsets[l];
+            }
+            let total_d = d_offsets[n] as usize;
+            let mut d_word_idx = vec![0u32; total_d];
+            let mut d_word_bits = vec![0u64; total_d];
+            let mut cursor: Vec<u32> = d_offsets[..n].to_vec();
+            for (k, &code) in dpart.codes.iter().enumerate() {
+                let local = pass.local[layout.cell_of(code)];
+                if local == NO_SLOT {
+                    continue;
+                }
+                let l = local as usize;
+                let mut dst = cursor[l] as usize;
+                for j in dpart.word_offsets[k] as usize..dpart.word_offsets[k + 1] as usize {
+                    d_word_idx[dst] = dpart.word_idx[j];
+                    d_word_bits[dst] = dpart.word_bits[j];
+                    dst += 1;
+                }
+                cursor[l] = dst as u32;
+            }
+
+            let per_chunk = (CHUNK_WORDS / words).max(1);
+            let mut covers: Vec<Bitmap> = Vec::with_capacity(n);
+            for chunk_start in (0..n).step_by(per_chunk) {
+                let count = per_chunk.min(n - chunk_start);
+                // Wholesale re-share: every survivor of the chunk is
+                // unchanged (no delta bits, existed before) and the
+                // block geometry is stable, and the previous covers are
+                // exactly this chunk layout over one pool.
+                let unchanged = same_geometry
+                    && (chunk_start..chunk_start + count)
+                        .all(|l| d_offsets[l + 1] == d_offsets[l] && prev_of[l].is_some());
+                if unchanged {
+                    if let Some(pool) = wholesale_pool(prev, &prev_of, chunk_start, count, words) {
+                        let pool = Arc::clone(pool);
+                        covers.extend((0..count).map(|li| {
+                            Bitmap::from_shared_pool(universe, Arc::clone(&pool), li * words)
+                        }));
+                        continue;
+                    }
+                }
+                // Copy-on-write chunk: carry old covers over, OR only
+                // the delta entries; full scatter for fresh survivors.
+                let mut blocks = alloc_chunk(count * words);
+                for li in 0..count {
+                    let l = chunk_start + li;
+                    let window = &mut blocks[li * words..][..words];
+                    if let Some(pi) = prev_of[l] {
+                        window[..old_words].copy_from_slice(prev.groups()[pi].cover.block_slice());
+                        let range = d_offsets[l] as usize..d_offsets[l + 1] as usize;
+                        for (&wi, &wb) in d_word_idx[range.clone()].iter().zip(&d_word_bits[range])
+                        {
+                            window[wi as usize] |= wb;
+                        }
+                    } else {
+                        let target = l as u32;
+                        for (k, &code) in plan.profiles.iter().enumerate() {
+                            if pass.local[layout.cell_of(code)] != target {
+                                continue;
+                            }
+                            for j in
+                                plan.word_offsets[k] as usize..plan.word_offsets[k + 1] as usize
+                            {
+                                window[plan.word_idx[j] as usize] |= plan.word_bits[j];
+                            }
+                        }
+                    }
+                }
+                let pool = seal_chunk(blocks);
+                covers.extend(
+                    (0..count).map(|li| {
+                        Bitmap::from_shared_pool(universe, Arc::clone(&pool), li * words)
+                    }),
+                );
+            }
+            (covers, hists)
+        });
+
+    // Scatter each cuboid's covers into the global slot order (same
+    // assembly as the scratch fill).
+    let mut slots: Vec<Option<CandidateGroup>> = Vec::with_capacity(plan.slot_descs.len());
+    slots.resize_with(plan.slot_descs.len(), || None);
+    for (pass, (covers, hists)) in plan.passes.iter().zip(filled) {
+        for ((&slot, cover), hist) in pass.globals.iter().zip(covers).zip(hists) {
+            let hist64 = hist.map(u64::from);
+            slots[slot as usize] = Some(CandidateGroup {
+                desc: plan.slot_descs[slot as usize],
+                cover,
+                stats: RatingStats::from_histogram(hist64),
+            });
+        }
+    }
+    let groups: Vec<CandidateGroup> = slots
+        .into_iter()
+        .map(|g| g.expect("every slot belongs to exactly one cuboid"))
+        .collect();
+    RatingCube::from_parts(plan.rating_idx.to_vec(), groups, plan.total, plan.options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maprat_data::synth::{generate, SynthConfig};
+
+    fn assert_cubes_identical(a: &RatingCube, b: &RatingCube) {
+        assert_eq!(a.rating_indexes(), b.rating_indexes());
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.total_stats(), b.total_stats());
+        for (ga, gb) in a.groups().iter().zip(b.groups()) {
+            assert_eq!(ga.desc, gb.desc);
+            assert_eq!(ga.stats, gb.stats, "{}", ga.desc);
+            assert_eq!(ga.cover, gb.cover, "{}", ga.desc);
+        }
+    }
+
+    fn toy_universe() -> (maprat_data::Dataset, Vec<u32>) {
+        let dataset = generate(&SynthConfig::tiny(31)).unwrap();
+        let item = dataset.find_title("Toy Story").unwrap();
+        let idx: Vec<u32> = dataset.rating_range_for_item(item).collect();
+        (dataset, idx)
+    }
+
+    #[test]
+    fn summary_build_matches_scratch_build() {
+        let (dataset, idx) = toy_universe();
+        for require_geo in [false, true] {
+            let options = CubeOptions {
+                min_support: 3,
+                require_geo,
+                max_arity: 4,
+            };
+            let summary = ProfileSummary::scan(&dataset, idx.clone());
+            let from_summary = summary.build(options.clone());
+            let scratch = RatingCube::build(&dataset, idx.clone(), options);
+            assert_cubes_identical(&from_summary, &scratch);
+        }
+    }
+
+    #[test]
+    fn append_matches_scan_of_concatenation() {
+        let (dataset, idx) = toy_universe();
+        for split in [1, idx.len() / 3, idx.len() / 2, idx.len() - 1] {
+            let (head, tail) = idx.split_at(split);
+            let (merged, delta) =
+                ProfileSummary::scan(&dataset, head.to_vec()).append(&dataset, tail);
+            assert_eq!(delta.len(), tail.len());
+            let direct = ProfileSummary::scan(&dataset, idx.clone());
+            let options = CubeOptions {
+                min_support: 2,
+                require_geo: false,
+                max_arity: 4,
+            };
+            assert_cubes_identical(&merged.build(options.clone()), &direct.build(options));
+        }
+    }
+
+    #[test]
+    fn merge_matches_scan_of_concatenation() {
+        let (dataset, idx) = toy_universe();
+        // Uneven parts force non-64-aligned shifts.
+        let a = idx[..7].to_vec();
+        let b = idx[7..idx.len() / 2].to_vec();
+        let c = idx[idx.len() / 2..].to_vec();
+        let parts = [
+            ProfileSummary::scan(&dataset, a),
+            ProfileSummary::scan(&dataset, b),
+            ProfileSummary::scan(&dataset, c),
+        ];
+        let merged = ProfileSummary::merge(parts.iter());
+        let direct = ProfileSummary::scan(&dataset, idx);
+        let options = CubeOptions {
+            min_support: 2,
+            require_geo: false,
+            max_arity: 4,
+        };
+        assert_cubes_identical(&merged.build(options.clone()), &direct.build(options));
+    }
+
+    #[test]
+    fn build_reusing_is_bit_identical_and_shares_unchanged_chunks() {
+        let (dataset, idx) = toy_universe();
+        let options = CubeOptions {
+            min_support: 3,
+            require_geo: false,
+            max_arity: 4,
+        };
+        let split = idx.len() - 5;
+        let (head, tail) = idx.split_at(split);
+        let base = ProfileSummary::scan(&dataset, head.to_vec());
+        let prev = base.build(options.clone());
+        let (merged, delta) = base.append(&dataset, tail);
+        let reused = merged.build_reusing(&delta, &prev, options.clone(), 1);
+        let scratch = RatingCube::build(&dataset, idx, options);
+        assert_cubes_identical(&reused, &scratch);
+    }
+
+    #[test]
+    fn empty_append_reshares_every_cover() {
+        let (dataset, idx) = toy_universe();
+        let options = CubeOptions {
+            min_support: 3,
+            require_geo: false,
+            max_arity: 4,
+        };
+        let base = ProfileSummary::scan(&dataset, idx);
+        let prev = base.build(options.clone());
+        let (merged, delta) = base.append(&dataset, &[]);
+        assert!(delta.is_empty());
+        let reused = merged.build_reusing(&delta, &prev, options, 1);
+        // Geometry and survivors are unchanged, so every cover must be a
+        // wholesale re-share of the previous pools: same pool pointers.
+        assert_eq!(reused.len(), prev.len());
+        for (new, old) in reused.groups().iter().zip(prev.groups()) {
+            let (np, ns, _) = new.cover.shared_parts().expect("pooled");
+            let (op, os, _) = old.cover.shared_parts().expect("pooled");
+            assert!(Arc::ptr_eq(np, op), "{}", new.desc);
+            assert_eq!(ns, os);
+        }
+    }
+
+    #[test]
+    fn threads_do_not_change_delta_builds() {
+        let (dataset, idx) = toy_universe();
+        let options = CubeOptions {
+            min_support: 2,
+            require_geo: true,
+            max_arity: 3,
+        };
+        let split = idx.len() / 2;
+        let (head, tail) = idx.split_at(split);
+        let base = ProfileSummary::scan(&dataset, head.to_vec());
+        let prev = base.build_with_threads(options.clone(), 1);
+        let (merged, delta) = base.append(&dataset, tail);
+        let one = merged.build_reusing(&delta, &prev, options.clone(), 1);
+        let many = merged.build_reusing(&delta, &prev, options, 4);
+        assert_cubes_identical(&one, &many);
+    }
+}

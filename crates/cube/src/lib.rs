@@ -19,6 +19,7 @@
 
 pub mod bitmap;
 pub mod builder;
+pub mod delta;
 pub mod drill;
 pub mod group;
 pub mod lattice;
@@ -27,5 +28,6 @@ pub mod oracle;
 
 pub use bitmap::Bitmap;
 pub use builder::{CandidateGroup, CubeOptions, RatingCube};
+pub use delta::{AppendDelta, ProfileSummary};
 pub use group::GroupDesc;
 pub use lattice::{attribute_subsets, Cuboid};

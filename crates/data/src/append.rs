@@ -1,0 +1,361 @@
+//! Live-append support: explicit id allocation, append batches and the
+//! rating-index remap produced by [`Dataset::with_appended`].
+//!
+//! The dataset keeps its ratings sorted by `(item, ts, user)`, so appending
+//! ratings to an existing item *inserts* into the middle of the dense rating
+//! column and shifts every later index. [`IndexRemap`] captures that shift
+//! exactly: retained cube state calls [`IndexRemap::remap_in_place`] after a
+//! commit so its `rating_idx` lists stay aligned with the new dataset, and
+//! in-flight readers keep their pinned `Arc<Dataset>` so old indexes stay
+//! valid against the snapshot they were resolved on.
+//!
+//! [`Dataset::with_appended`]: crate::dataset::Dataset::with_appended
+
+use crate::dataset::Dataset;
+use crate::ids::{ItemId, UserId};
+use crate::item::Item;
+use crate::rating::Rating;
+use crate::user::User;
+
+/// Hands out dense ids for ingested users and items.
+///
+/// The dataset's columnar layout (and the 15-bit `PackedUserCode` column in
+/// particular) requires every entity id to equal its dense table position.
+/// Loader and synth paths guarantee this by construction at load time; the
+/// ingest path must keep the invariant while the system is serving. This
+/// allocator makes that contract explicit: it continues the id space of the
+/// dataset it was derived from, so appends can neither collide with nor
+/// reorder existing rows.
+#[derive(Debug, Clone)]
+pub struct IdAllocator {
+    next_user: u32,
+    next_item: u32,
+}
+
+impl IdAllocator {
+    /// An allocator continuing `dataset`'s dense id space.
+    pub fn for_dataset(dataset: &Dataset) -> Self {
+        IdAllocator {
+            next_user: dataset.users().len() as u32,
+            next_item: dataset.items().len() as u32,
+        }
+    }
+
+    /// An allocator starting after `num_users` users and `num_items` items.
+    pub fn new(num_users: u32, num_items: u32) -> Self {
+        IdAllocator {
+            next_user: num_users,
+            next_item: num_items,
+        }
+    }
+
+    /// Allocates the next dense user id.
+    pub fn alloc_user(&mut self) -> UserId {
+        let id = UserId(self.next_user);
+        self.next_user += 1;
+        id
+    }
+
+    /// Allocates the next dense item id.
+    pub fn alloc_item(&mut self) -> ItemId {
+        let id = ItemId(self.next_item);
+        self.next_item += 1;
+        id
+    }
+
+    /// The next user id that [`alloc_user`](Self::alloc_user) would return.
+    pub fn peek_user(&self) -> UserId {
+        UserId(self.next_user)
+    }
+
+    /// The next item id that [`alloc_item`](Self::alloc_item) would return.
+    pub fn peek_item(&self) -> ItemId {
+        ItemId(self.next_item)
+    }
+}
+
+/// A validated batch of entities and ratings to append to a dataset.
+///
+/// New users and items must carry ids allocated by an [`IdAllocator`]
+/// continuing the target dataset ([`Dataset::with_appended`] rejects any
+/// batch whose ids do not densely continue the existing tables). Ratings may
+/// reference both pre-existing and batch-new entities.
+#[derive(Debug, Clone, Default)]
+pub struct AppendBatch {
+    /// New users, ids continuing the dataset's user table.
+    pub users: Vec<User>,
+    /// New items, ids continuing the dataset's item table.
+    pub items: Vec<Item>,
+    /// New ratings over old or new entities.
+    pub ratings: Vec<Rating>,
+}
+
+impl AppendBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when the batch carries nothing.
+    pub fn is_empty(&self) -> bool {
+        self.users.is_empty() && self.items.is_empty() && self.ratings.is_empty()
+    }
+}
+
+/// Maps old-dataset rating indexes to their new-dataset positions after an
+/// append.
+///
+/// Internally this is the sorted list of *old* positions in front of which a
+/// new rating was spliced; an old index `o` moves to `o +` (number of
+/// splices at positions `≤ o`).
+#[derive(Debug, Clone, Default)]
+pub struct IndexRemap {
+    inserts: Vec<u32>,
+}
+
+impl IndexRemap {
+    pub(crate) fn from_inserts(inserts: Vec<u32>) -> Self {
+        debug_assert!(inserts.windows(2).all(|w| w[0] <= w[1]));
+        IndexRemap { inserts }
+    }
+
+    /// Number of ratings the append spliced in.
+    pub fn num_inserted(&self) -> usize {
+        self.inserts.len()
+    }
+
+    /// True when the append left every old index unchanged (all new
+    /// ratings landed strictly after the old column).
+    pub fn is_identity(&self) -> bool {
+        self.inserts.is_empty()
+    }
+
+    /// The new-dataset position of old rating index `old`.
+    #[inline]
+    pub fn remap(&self, old: u32) -> u32 {
+        old + self.inserts.partition_point(|&p| p <= old) as u32
+    }
+
+    /// Remaps a list of old indexes in place.
+    ///
+    /// Sorted inputs stay sorted: the map is strictly monotone.
+    pub fn remap_in_place(&self, idx: &mut [u32]) {
+        if self.is_identity() {
+            return;
+        }
+        for v in idx {
+            *v = self.remap(*v);
+        }
+    }
+}
+
+/// The outcome of [`Dataset::with_appended`]: the merged dataset plus the
+/// bookkeeping the serving layer needs to commit it.
+#[derive(Debug)]
+pub struct AppendResult {
+    /// The new immutable dataset.
+    pub dataset: Dataset,
+    /// Distinct items whose rating slices changed (plus brand-new items),
+    /// sorted ascending — the partition-scoped cache invalidation key.
+    pub changed_items: Vec<ItemId>,
+    /// New-dataset rating indexes of the appended ratings, ascending.
+    pub appended_idx: Vec<u32>,
+    /// Old-index → new-index translation for retained per-query state.
+    pub remap: IndexRemap,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::{AgeGroup, Gender, Occupation, UsState};
+    use crate::dataset::DatasetBuilder;
+    use crate::genre::{Genre, GenreSet};
+    use crate::score::Score;
+    use crate::time::Timestamp;
+    use crate::zipcode::Zip;
+
+    fn mk_user(id: u32, state: UsState) -> User {
+        User {
+            id: UserId(id),
+            age: AgeGroup::From25To34,
+            gender: Gender::Female,
+            occupation: Occupation::Artist,
+            zip: Zip::new(94103),
+            state,
+            city: 0,
+        }
+    }
+
+    fn mk_item(id: u32, title: &str) -> Item {
+        Item::new(ItemId(id), title, 1999, GenreSet::of([Genre::Drama]))
+    }
+
+    fn base() -> Dataset {
+        let mut b = DatasetBuilder::new();
+        b.add_user(mk_user(0, UsState::CA));
+        b.add_user(mk_user(1, UsState::NY));
+        b.add_item(mk_item(0, "Alpha"));
+        b.add_item(mk_item(1, "Beta"));
+        let t = |d| Timestamp::from_ymd(2001, 3, d);
+        b.add_rating(Rating::new(
+            UserId(0),
+            ItemId(0),
+            Score::new(4).unwrap(),
+            t(1),
+        ));
+        b.add_rating(Rating::new(
+            UserId(1),
+            ItemId(0),
+            Score::new(2).unwrap(),
+            t(9),
+        ));
+        b.add_rating(Rating::new(
+            UserId(0),
+            ItemId(1),
+            Score::new(5).unwrap(),
+            t(4),
+        ));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn allocator_continues_dense_id_space() {
+        let d = base();
+        let mut alloc = IdAllocator::for_dataset(&d);
+        assert_eq!(alloc.peek_user(), UserId(2));
+        assert_eq!(alloc.alloc_user(), UserId(2));
+        assert_eq!(alloc.alloc_user(), UserId(3));
+        assert_eq!(alloc.alloc_item(), ItemId(2));
+        assert_eq!(alloc.peek_item(), ItemId(3));
+    }
+
+    #[test]
+    fn remap_counts_inserts_at_or_before() {
+        let remap = IndexRemap::from_inserts(vec![0, 2, 2]);
+        // One splice before old 0, two before old 2.
+        assert_eq!(remap.remap(0), 1);
+        assert_eq!(remap.remap(1), 2);
+        assert_eq!(remap.remap(2), 5);
+        assert_eq!(remap.remap(3), 6);
+        let mut idx = vec![0, 1, 2, 3];
+        remap.remap_in_place(&mut idx);
+        assert_eq!(idx, vec![1, 2, 5, 6]);
+        assert!(!remap.is_identity());
+        assert!(IndexRemap::default().is_identity());
+    }
+
+    #[test]
+    fn append_merges_and_remaps() {
+        let d = base();
+        let mut alloc = IdAllocator::for_dataset(&d);
+        let u2 = alloc.alloc_user();
+        let mut batch = AppendBatch::new();
+        batch.users.push(mk_user(u2.0, UsState::TX));
+        let t = |day| Timestamp::from_ymd(2001, 3, day);
+        // Splices between item 0's two ratings; tail-append on item 1.
+        batch
+            .ratings
+            .push(Rating::new(u2, ItemId(0), Score::new(3).unwrap(), t(5)));
+        batch
+            .ratings
+            .push(Rating::new(u2, ItemId(1), Score::new(1).unwrap(), t(20)));
+        let out = d.with_appended(batch).unwrap();
+
+        assert_eq!(out.dataset.num_ratings(), 5);
+        assert_eq!(out.changed_items, vec![ItemId(0), ItemId(1)]);
+        assert_eq!(out.appended_idx, vec![1, 4]);
+        // Old indexes 0,1,2 → 0,2,3.
+        assert_eq!(out.remap.remap(0), 0);
+        assert_eq!(out.remap.remap(1), 2);
+        assert_eq!(out.remap.remap(2), 3);
+        // The merged column is exactly what a from-scratch build produces.
+        let mut b = DatasetBuilder::new();
+        for u in out.dataset.users() {
+            b.add_user(u.clone());
+        }
+        for it in out.dataset.items() {
+            b.add_item(it.clone());
+        }
+        for r in out.dataset.ratings() {
+            b.add_rating(*r);
+        }
+        let rebuilt = b.build().unwrap();
+        assert_eq!(rebuilt.ratings(), out.dataset.ratings());
+        assert_eq!(rebuilt.rating_user_codes(), out.dataset.rating_user_codes());
+        assert_eq!(rebuilt.rating_score_bins(), out.dataset.rating_score_bins());
+        for item in [ItemId(0), ItemId(1)] {
+            assert_eq!(
+                rebuilt.rating_range_for_item(item),
+                out.dataset.rating_range_for_item(item)
+            );
+        }
+        for user in [UserId(0), UserId(1), u2] {
+            assert_eq!(
+                rebuilt.rating_indexes_for_user(user),
+                out.dataset.rating_indexes_for_user(user)
+            );
+        }
+    }
+
+    #[test]
+    fn append_rejects_gapped_user_ids() {
+        let d = base();
+        let mut batch = AppendBatch::new();
+        batch.users.push(mk_user(7, UsState::TX)); // dense next id is 2
+        let err = d.with_appended(batch).unwrap_err();
+        assert!(err.to_string().contains("dense"), "{err}");
+    }
+
+    #[test]
+    fn append_rejects_dangling_refs() {
+        let d = base();
+        let mut batch = AppendBatch::new();
+        batch.ratings.push(Rating::new(
+            UserId(9),
+            ItemId(0),
+            Score::new(3).unwrap(),
+            Timestamp::from_ymd(2001, 4, 1),
+        ));
+        assert!(matches!(
+            d.with_appended(batch),
+            Err(crate::error::DataError::UnknownUser(9))
+        ));
+    }
+
+    #[test]
+    fn tail_append_is_identity_remap() {
+        let d = base();
+        let mut batch = AppendBatch::new();
+        // Item 1 is the last item; a late timestamp lands after everything.
+        batch.ratings.push(Rating::new(
+            UserId(0),
+            ItemId(1),
+            Score::new(2).unwrap(),
+            Timestamp::from_ymd(2002, 1, 1),
+        ));
+        let out = d.with_appended(batch).unwrap();
+        assert!(out.remap.is_identity());
+        assert_eq!(out.appended_idx, vec![3]);
+        assert_eq!(out.changed_items, vec![ItemId(1)]);
+    }
+
+    #[test]
+    fn new_item_with_ratings_appends_at_tail() {
+        let d = base();
+        let mut alloc = IdAllocator::for_dataset(&d);
+        let i2 = alloc.alloc_item();
+        let mut batch = AppendBatch::new();
+        batch.items.push(mk_item(i2.0, "Gamma"));
+        batch.ratings.push(Rating::new(
+            UserId(1),
+            i2,
+            Score::new(5).unwrap(),
+            Timestamp::from_ymd(2001, 6, 1),
+        ));
+        let out = d.with_appended(batch).unwrap();
+        assert!(out.remap.is_identity());
+        assert_eq!(out.dataset.find_title("gamma"), Some(i2));
+        assert_eq!(out.dataset.ratings_for_item(i2).len(), 1);
+        assert_eq!(out.changed_items, vec![i2]);
+    }
+}

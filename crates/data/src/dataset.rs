@@ -6,6 +6,7 @@
 //! index maps users to their rating positions, and hash indexes resolve
 //! title and person lookups for the query language.
 
+use crate::append::{AppendBatch, AppendResult, IndexRemap};
 use crate::error::DataError;
 use crate::ids::{ItemId, PersonId, RatingIdx, UserId};
 use crate::item::{Item, Person, Role};
@@ -15,6 +16,38 @@ use crate::stats::RatingStats;
 use crate::time::{TimeRange, Timestamp};
 use crate::user::User;
 use std::collections::HashMap;
+
+/// Builds the item CSR offsets and the user CSR (offsets + grouped rating
+/// indexes) over an already-sorted rating column.
+fn build_csr(
+    num_items: usize,
+    num_users: usize,
+    ratings: &[Rating],
+) -> (Vec<u32>, Vec<u32>, Vec<u32>) {
+    let mut item_offsets = vec![0u32; num_items + 1];
+    for r in ratings {
+        item_offsets[r.item.index() + 1] += 1;
+    }
+    for i in 1..item_offsets.len() {
+        item_offsets[i] += item_offsets[i - 1];
+    }
+
+    let mut user_offsets = vec![0u32; num_users + 1];
+    for r in ratings {
+        user_offsets[r.user.index() + 1] += 1;
+    }
+    for i in 1..user_offsets.len() {
+        user_offsets[i] += user_offsets[i - 1];
+    }
+    let mut cursor = user_offsets.clone();
+    let mut user_rating_idx = vec![0u32; ratings.len()];
+    for (idx, r) in ratings.iter().enumerate() {
+        let slot = cursor[r.user.index()];
+        user_rating_idx[slot as usize] = idx as u32;
+        cursor[r.user.index()] += 1;
+    }
+    (item_offsets, user_offsets, user_rating_idx)
+}
 
 /// Immutable, validated collaborative-rating dataset.
 #[derive(Debug, Clone)]
@@ -187,6 +220,157 @@ impl Dataset {
         Some((min, max))
     }
 
+    /// Merges an append batch into a new immutable dataset.
+    ///
+    /// The rating column stays sorted by `(item, ts, user)` — new ratings
+    /// are spliced into place, with old ratings winning ties so retained
+    /// per-query state can be remapped deterministically. New users and
+    /// items must densely continue the existing id space (use
+    /// [`crate::append::IdAllocator`]); existing packed reviewer codes are
+    /// carried over byte-for-byte, and new positions pack their reviewer
+    /// exactly as a from-scratch [`DatasetBuilder::build`] would, so the
+    /// result is indistinguishable from a full reload of the merged data.
+    ///
+    /// Returns the new dataset plus the bookkeeping a live commit needs:
+    /// which items changed (cache invalidation scope), where the new
+    /// ratings landed, and the old→new index remap for maintained cubes.
+    pub fn with_appended(&self, batch: AppendBatch) -> Result<AppendResult, DataError> {
+        let AppendBatch {
+            users: new_users,
+            items: new_items,
+            ratings: mut new_ratings,
+        } = batch;
+
+        for (k, u) in new_users.iter().enumerate() {
+            if u.id.index() != self.users.len() + k {
+                return Err(DataError::Invalid(format!(
+                    "appended user id {} does not continue the dense id space (expected {})",
+                    u.id,
+                    self.users.len() + k
+                )));
+            }
+        }
+        for (k, it) in new_items.iter().enumerate() {
+            if it.id.index() != self.items.len() + k {
+                return Err(DataError::Invalid(format!(
+                    "appended item id {} does not continue the dense id space (expected {})",
+                    it.id,
+                    self.items.len() + k
+                )));
+            }
+            for p in it.actors.iter().chain(it.directors.iter()) {
+                if p.index() >= self.persons.len() {
+                    return Err(DataError::Invalid(format!(
+                        "item {} references unknown person {}",
+                        it.id, p
+                    )));
+                }
+            }
+        }
+        let num_users = self.users.len() + new_users.len();
+        let num_items = self.items.len() + new_items.len();
+        for r in &new_ratings {
+            if r.user.index() >= num_users {
+                return Err(DataError::UnknownUser(r.user.0));
+            }
+            if r.item.index() >= num_items {
+                return Err(DataError::UnknownItem(r.item.0));
+            }
+        }
+
+        let mut users = self.users.clone();
+        users.extend(new_users);
+        let mut items = self.items.clone();
+        let mut title_index = self.title_index.clone();
+        let mut acts_in = self.acts_in.clone();
+        let mut directs = self.directs.clone();
+        for it in new_items {
+            title_index.insert(it.title.to_lowercase(), it.id);
+            for &p in &it.actors {
+                acts_in.entry(p).or_default().push(it.id);
+            }
+            for &p in &it.directors {
+                directs.entry(p).or_default().push(it.id);
+            }
+            items.push(it);
+        }
+
+        // Stable sort: ratings submitted in one batch with identical
+        // `(item, ts, user)` keys keep their submission order.
+        new_ratings.sort_by_key(|r| (r.item, r.ts, r.user));
+
+        // Merge-splice into the sorted column, old before new on ties.
+        let old = &self.ratings;
+        let m = new_ratings.len();
+        let mut ratings = Vec::with_capacity(old.len() + m);
+        let mut rating_user_codes = Vec::with_capacity(old.len() + m);
+        let mut rating_score_bins = Vec::with_capacity(old.len() + m);
+        let mut inserts = Vec::with_capacity(m);
+        let mut appended_idx = Vec::with_capacity(m);
+        let mut changed: Vec<ItemId> = new_ratings.iter().map(|r| r.item).collect();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < old.len() || j < m {
+            let take_new = j < m
+                && (i == old.len() || {
+                    let n = &new_ratings[j];
+                    let o = &old[i];
+                    (n.item, n.ts, n.user) < (o.item, o.ts, o.user)
+                });
+            if take_new {
+                let n = new_ratings[j];
+                if i < old.len() {
+                    inserts.push(i as u32);
+                }
+                appended_idx.push(ratings.len() as u32);
+                rating_user_codes.push(PackedUserCode::pack(&users[n.user.index()]).get());
+                rating_score_bins.push(n.score.bucket() as u8);
+                ratings.push(n);
+                j += 1;
+            } else {
+                rating_user_codes.push(self.rating_user_codes[i]);
+                rating_score_bins.push(self.rating_score_bins[i]);
+                ratings.push(old[i]);
+                i += 1;
+            }
+        }
+
+        changed.sort_unstable();
+        changed.dedup();
+        // Brand-new items count as changed even without ratings: catalogue
+        // queries may now match them.
+        for it in &items[self.items.len()..] {
+            if changed.binary_search(&it.id).is_err() {
+                changed.push(it.id);
+            }
+        }
+        changed.sort_unstable();
+
+        let (item_offsets, user_offsets, user_rating_idx) =
+            build_csr(items.len(), users.len(), &ratings);
+
+        let dataset = Dataset {
+            users,
+            items,
+            persons: self.persons.clone(),
+            ratings,
+            rating_user_codes,
+            rating_score_bins,
+            item_offsets,
+            user_offsets,
+            user_rating_idx,
+            title_index,
+            person_index: self.person_index.clone(),
+            acts_in,
+            directs,
+        };
+        Ok(AppendResult {
+            dataset,
+            changed_items: changed,
+            appended_idx,
+            remap: IndexRemap::from_inserts(inserts),
+        })
+    }
+
     /// One-line summary used by example binaries.
     pub fn summary(&self) -> String {
         format!(
@@ -302,31 +486,9 @@ impl DatasetBuilder {
             .collect();
         let rating_score_bins: Vec<u8> = ratings.iter().map(|r| r.score.bucket() as u8).collect();
 
-        // CSR over items.
-        let mut item_offsets = vec![0u32; items.len() + 1];
-        for r in &ratings {
-            item_offsets[r.item.index() + 1] += 1;
-        }
-        for i in 1..item_offsets.len() {
-            item_offsets[i] += item_offsets[i - 1];
-        }
-
-        // CSR over users (counting sort of rating indexes by user).
-        let mut user_counts = vec![0u32; users.len() + 1];
-        for r in &ratings {
-            user_counts[r.user.index() + 1] += 1;
-        }
-        let mut user_offsets = user_counts.clone();
-        for i in 1..user_offsets.len() {
-            user_offsets[i] += user_offsets[i - 1];
-        }
-        let mut cursor = user_offsets.clone();
-        let mut user_rating_idx = vec![0u32; ratings.len()];
-        for (idx, r) in ratings.iter().enumerate() {
-            let slot = cursor[r.user.index()];
-            user_rating_idx[slot as usize] = idx as u32;
-            cursor[r.user.index()] += 1;
-        }
+        // CSR over items, and over users (counting sort of rating indexes).
+        let (item_offsets, user_offsets, user_rating_idx) =
+            build_csr(items.len(), users.len(), &ratings);
 
         let title_index = items
             .iter()

@@ -22,6 +22,7 @@
 
 #![warn(missing_docs)]
 
+pub mod append;
 pub mod attrs;
 pub mod cities;
 pub mod dataset;
@@ -31,6 +32,7 @@ pub mod ids;
 pub mod item;
 pub mod loader;
 pub mod packed;
+pub mod partition;
 pub mod rating;
 pub mod score;
 pub mod stats;
@@ -41,6 +43,7 @@ pub mod user;
 pub mod writer;
 pub mod zipcode;
 
+pub use append::{AppendBatch, AppendResult, IdAllocator, IndexRemap};
 pub use attrs::{AVPair, AgeGroup, AttrValue, Gender, Occupation, UsState, UserAttr};
 pub use dataset::{Dataset, DatasetBuilder};
 pub use error::DataError;
@@ -48,6 +51,7 @@ pub use genre::{Genre, GenreSet};
 pub use ids::{ItemId, PersonId, RatingIdx, UserId};
 pub use item::{Item, Person, Role};
 pub use packed::PackedUserCode;
+pub use partition::MonthPartition;
 pub use rating::Rating;
 pub use score::Score;
 pub use stats::RatingStats;

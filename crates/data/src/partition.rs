@@ -1,0 +1,98 @@
+//! Month-partition views over the rating column.
+//!
+//! The rating column is sorted by `(item, ts, user)`, so within one item's
+//! contiguous slice each calendar month occupies a contiguous subrange.
+//! That makes a *partition* a set of index ranges rather than a copy: the
+//! timeline and the delta cube maintainer address per-month subsets of the
+//! universe without re-streaming ratings, and ingest commits report which
+//! month partitions they touched.
+
+use crate::dataset::Dataset;
+use crate::ids::ItemId;
+use crate::time::MonthKey;
+use std::collections::BTreeMap;
+use std::ops::Range;
+
+/// Per-month rating volume over a whole dataset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MonthPartition {
+    /// The calendar month.
+    pub month: MonthKey,
+    /// Number of ratings timestamped inside it.
+    pub num_ratings: u64,
+}
+
+impl Dataset {
+    /// Splits an item's contiguous rating slice into per-month subranges.
+    ///
+    /// Returned ranges are dense rating indexes (the same coordinate space
+    /// as [`rating_range_for_item`](Dataset::rating_range_for_item)),
+    /// ascending by month, and concatenate back to the item's full range.
+    pub fn month_slices_for_item(&self, item: ItemId) -> Vec<(MonthKey, Range<u32>)> {
+        let range = self.rating_range_for_item(item);
+        let mut out: Vec<(MonthKey, Range<u32>)> = Vec::new();
+        for idx in range {
+            let month = self.ratings()[idx as usize].ts.month_key();
+            match out.last_mut() {
+                Some((m, r)) if *m == month => r.end = idx + 1,
+                _ => out.push((month, idx..idx + 1)),
+            }
+        }
+        out
+    }
+
+    /// Per-month rating counts over the whole dataset, ascending by month.
+    ///
+    /// This is the partition inventory `/api/v1/stats` reports and the
+    /// ingest watermark is keyed against.
+    pub fn month_partitions(&self) -> Vec<MonthPartition> {
+        let mut counts: BTreeMap<MonthKey, u64> = BTreeMap::new();
+        for r in self.ratings() {
+            *counts.entry(r.ts.month_key()).or_insert(0) += 1;
+        }
+        counts
+            .into_iter()
+            .map(|(month, num_ratings)| MonthPartition { month, num_ratings })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{generate, SynthConfig};
+
+    #[test]
+    fn month_slices_partition_each_item_range() {
+        let d = generate(&SynthConfig::tiny(7)).unwrap();
+        for item in d.items() {
+            let full = d.rating_range_for_item(item.id);
+            let slices = d.month_slices_for_item(item.id);
+            let mut cursor = full.start;
+            let mut prev: Option<MonthKey> = None;
+            for (month, range) in &slices {
+                assert_eq!(range.start, cursor, "contiguous");
+                assert!(range.end > range.start);
+                if let Some(p) = prev {
+                    assert!(*month > p, "ascending months");
+                }
+                for idx in range.clone() {
+                    assert_eq!(d.ratings()[idx as usize].ts.month_key(), *month);
+                }
+                cursor = range.end;
+                prev = Some(*month);
+            }
+            assert_eq!(cursor, full.end, "slices cover the item range");
+        }
+    }
+
+    #[test]
+    fn month_partitions_sum_to_total() {
+        let d = generate(&SynthConfig::tiny(7)).unwrap();
+        let parts = d.month_partitions();
+        assert!(!parts.is_empty());
+        let total: u64 = parts.iter().map(|p| p.num_ratings).sum();
+        assert_eq!(total, d.num_ratings() as u64);
+        assert!(parts.windows(2).all(|w| w[0].month < w[1].month));
+    }
+}

@@ -6,6 +6,7 @@
 //! these helpers rebuild a fully-indexed [`Dataset`] from a filtered view
 //! (ids are re-densified, so the result is a first-class dataset).
 
+use crate::append::IdAllocator;
 use crate::dataset::{Dataset, DatasetBuilder};
 use crate::error::DataError;
 use crate::ids::{ItemId, PersonId, UserId};
@@ -83,12 +84,16 @@ pub fn subset(dataset: &Dataset, spec: &SubsetSpec<'_>) -> Result<Dataset, DataE
         }
     };
 
-    // Pass 3: rebuild with dense ids.
+    // Pass 3: rebuild with dense ids. Allocation goes through the same
+    // `IdAllocator` the ingest path uses, so every place that mints ids
+    // shares one explicit contract (id == dense table position) instead of
+    // silently assuming a load-time-frozen id space.
+    let mut alloc = IdAllocator::new(0, 0);
     let mut builder = DatasetBuilder::new();
     let mut user_map: HashMap<UserId, UserId> = HashMap::new();
     for user in dataset.users() {
         if keep_user(user) {
-            let new_id = UserId::from_index(user_map.len());
+            let new_id = alloc.alloc_user();
             let mut cloned = user.clone();
             cloned.id = new_id;
             builder.add_user(cloned);
@@ -116,7 +121,7 @@ pub fn subset(dataset: &Dataset, spec: &SubsetSpec<'_>) -> Result<Dataset, DataE
     let mut item_map: HashMap<ItemId, ItemId> = HashMap::new();
     for item in dataset.items() {
         if keep_item(item) {
-            let new_id = ItemId::from_index(item_map.len());
+            let new_id = alloc.alloc_item();
             let mut cloned = item.clone();
             cloned.id = new_id;
             cloned.actors = cloned.actors.iter().map(|p| person_map[p]).collect();
@@ -257,6 +262,40 @@ mod tests {
         .unwrap();
         assert_eq!(sub.users().len(), d.users().len());
         assert_eq!(sub.items().len(), 1);
+    }
+
+    #[test]
+    fn subset_id_space_admits_appends() {
+        // A subset's re-densified id space must be continuable by the
+        // ingest allocator without colliding with existing packed columns.
+        let d = dataset();
+        let cut = Timestamp::from_ymd(2001, 6, 1);
+        let sub = by_time(&d, TimeRange::until(cut)).unwrap();
+        let mut alloc = IdAllocator::for_dataset(&sub);
+        assert_eq!(alloc.peek_user().index(), sub.users().len());
+        assert_eq!(alloc.peek_item().index(), sub.items().len());
+        let u = alloc.alloc_user();
+        let mut batch = crate::append::AppendBatch::new();
+        let mut user = sub.users()[0].clone();
+        user.id = u;
+        batch.users.push(user);
+        batch.ratings.push(Rating::new(
+            u,
+            sub.items()[0].id,
+            sub.ratings()[0].score,
+            Timestamp::from_ymd(2002, 1, 1),
+        ));
+        let out = sub.with_appended(batch).unwrap();
+        assert_eq!(out.dataset.users().len(), sub.users().len() + 1);
+        // The pre-existing packed columns are untouched positions-for-
+        // positions under the remap.
+        for old_idx in 0..sub.num_ratings() as u32 {
+            let new_idx = out.remap.remap(old_idx) as usize;
+            assert_eq!(
+                out.dataset.rating_user_codes()[new_idx],
+                sub.rating_user_codes()[old_idx as usize]
+            );
+        }
     }
 
     #[test]

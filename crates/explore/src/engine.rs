@@ -140,6 +140,13 @@ pub struct ExplorationResult {
     pub cube: RatingCube,
     /// The matched items.
     pub items: Vec<ItemId>,
+    /// The dataset snapshot the result was mined from. Drill-down and
+    /// comparison revisit the cube's covers, whose positions index
+    /// *this* snapshot's rating column — after an ingest commit splices
+    /// new ratings in, the live dataset's positions shift, so consumers
+    /// must read through this pinned handle, never through
+    /// [`MapRatEngine::dataset`].
+    pub dataset: Arc<Dataset>,
 }
 
 /// Which serving mechanism answered an explain (see
@@ -149,6 +156,11 @@ pub struct ExplorationResult {
 pub enum ServedFrom {
     /// The finished explanation was already in the result tier.
     ResultCache,
+    /// The finished explanation was in the result tier, but was mined
+    /// from a dataset snapshot an ingest commit has since superseded
+    /// (the entry survived a scoped swap because its partition was
+    /// untouched). The answer is correct over the pre-ingest view.
+    PreIngestCache,
     /// The cube/cover snapshot was cached; only the solve re-ran.
     SnapshotCache,
     /// Nothing was cached: cube build plus solve ran.
@@ -163,6 +175,7 @@ impl ServedFrom {
     pub fn as_str(self) -> &'static str {
         match self {
             ServedFrom::ResultCache => "hit",
+            ServedFrom::PreIngestCache => "hit-preingest",
             ServedFrom::SnapshotCache => "snapshot",
             ServedFrom::Cold => "miss",
             ServedFrom::Coalesced => "coalesced",
@@ -182,6 +195,10 @@ impl std::fmt::Display for ServedFrom {
 pub struct ServingStats {
     /// Result-tier hits.
     pub result_hits: u64,
+    /// Result-tier hits served from an entry retained across a dataset
+    /// swap — the response comes from the entry's pre-ingest snapshot
+    /// (`X-MapRat-Cache: hit-preingest`).
+    pub result_stale_hits: u64,
     /// Result-tier misses.
     pub result_misses: u64,
     /// Result-tier resident entries.
@@ -232,6 +249,11 @@ impl SnapshotKey {
 struct CubeSnapshot {
     items: Vec<ItemId>,
     cube: RatingCube,
+    /// The dataset snapshot the cube was built from: its `rating_idx`
+    /// indexes this snapshot's rating column, so re-solves must run
+    /// against it (after an ingest commit the live column's positions
+    /// may have shifted).
+    dataset: Arc<Dataset>,
 }
 
 type CachedResult = Arc<Result<ExplorationResult, MineError>>;
@@ -377,9 +399,15 @@ impl MapRatEngine {
     /// # Soundness contract
     /// Only valid when the new dataset preserves the identity and rating
     /// history of every item *not* listed in `changed_items` — e.g. an
-    /// append of new items, or an in-place refresh of the listed ones.
-    /// For arbitrary rebuilds use [`MapRatEngine::swap_dataset`], which
+    /// ingest append, or an in-place refresh of the listed ones. For
+    /// arbitrary rebuilds use [`MapRatEngine::swap_dataset`], which
     /// invalidates everything.
+    ///
+    /// Retained entries keep serving — each carries the dataset snapshot
+    /// it was mined from ([`ExplorationResult::dataset`]), so they stay
+    /// internally consistent even when the append re-spliced the live
+    /// rating column; result-tier hits on such entries are labeled
+    /// [`ServedFrom::PreIngestCache`].
     pub fn swap_dataset_scoped(&self, dataset: Arc<Dataset>, changed_items: &[ItemId]) -> usize {
         let changed: HashSet<ItemId> = changed_items.iter().copied().collect();
         *self
@@ -433,6 +461,7 @@ impl MapRatEngine {
         let snapshots = self.inner.snapshots.stats();
         ServingStats {
             result_hits: results.hits(),
+            result_stale_hits: results.stale_hits(),
             result_misses: results.misses(),
             result_len: self.inner.results.len(),
             snapshot_hits: snapshots.hits(),
@@ -475,16 +504,34 @@ impl MapRatEngine {
         true
     }
 
+    /// Labels a result-tier hit: `hit` normally, `hit-preingest` when
+    /// the entry was mined from a dataset snapshot a later ingest commit
+    /// superseded (it survived the scoped swap because its partition was
+    /// untouched). Also bumps the result tier's stale-hit counter.
+    fn classify_hit(&self, hit: &CachedResult) -> ServedFrom {
+        if let Ok(r) = &**hit {
+            if !Arc::ptr_eq(&r.dataset, &read_lock(&self.inner.dataset)) {
+                self.inner.results.stats().stale_hit();
+                return ServedFrom::PreIngestCache;
+            }
+        }
+        ServedFrom::ResultCache
+    }
+
     fn lookup_or_solve(&self, request: &ExplainRequest) -> (CachedResult, ServedFrom) {
         if let Some(hit) = self.inner.results.get(request) {
-            return (hit, ServedFrom::ResultCache);
+            let served = self.classify_hit(&hit);
+            return (hit, served);
         }
         let outcome = self.inner.flights.run(request.clone(), || {
             // Re-check after winning leadership: the previous leader may
             // have published and retired its flight between our miss and
             // our registration. `peek` — the miss was already recorded.
             match self.inner.results.peek(request) {
-                Some(hit) => (hit, ServedFrom::ResultCache),
+                Some(hit) => {
+                    let served = self.classify_hit(&hit);
+                    (hit, served)
+                }
                 None => self.solve_and_cache(request),
             }
         });
@@ -498,11 +545,13 @@ impl MapRatEngine {
     /// hit), mine, and populate both tiers. Errors land in the result
     /// tier (negative caching) but never in the snapshot tier.
     fn solve_and_cache(&self, request: &ExplainRequest) -> (CachedResult, ServedFrom) {
-        let dataset = self.dataset();
-        let miner = Miner::new(&dataset);
         let key = SnapshotKey::of(request);
         let (result, served) = match self.inner.snapshots.get(&key) {
             Some(snap) => {
+                // Re-solve against the snapshot's *pinned* dataset: the
+                // cube's positions index that snapshot's rating column,
+                // which an ingest commit may have since re-spliced.
+                let miner = Miner::new(&snap.dataset);
                 let result = miner
                     .explain_cube(
                         &request.query,
@@ -514,10 +563,13 @@ impl MapRatEngine {
                         explanation,
                         cube: snap.cube.clone(),
                         items: snap.items.clone(),
+                        dataset: Arc::clone(&snap.dataset),
                     });
                 (result, ServedFrom::SnapshotCache)
             }
             None => {
+                let dataset = self.dataset();
+                let miner = Miner::new(&dataset);
                 let result = miner
                     .build_cube(&request.query, &request.settings)
                     .and_then(|(items, cube)| {
@@ -526,6 +578,7 @@ impl MapRatEngine {
                             CubeSnapshot {
                                 items: items.clone(),
                                 cube: cube.clone(),
+                                dataset: Arc::clone(&dataset),
                             },
                         );
                         let explanation = miner.explain_cube(
@@ -538,6 +591,7 @@ impl MapRatEngine {
                             explanation,
                             cube,
                             items,
+                            dataset: Arc::clone(&dataset),
                         })
                     });
                 (result, ServedFrom::Cold)
@@ -819,6 +873,33 @@ mod tests {
             settings(),
         ));
         assert_eq!(served, ServedFrom::Cold, "touched partition recomputes");
+    }
+
+    #[test]
+    fn scoped_swap_labels_retained_hits_preingest() {
+        // An ingest commit that leaves a cached entry's partition
+        // untouched keeps the entry serving, but the hit is labeled as
+        // coming from the pre-ingest snapshot.
+        let engine = engine();
+        let q = ItemQuery::title("Toy Story");
+        let s = settings();
+        assert!(engine.explain_query(&q, &s).is_ok());
+        let appended = engine
+            .dataset()
+            .with_appended(maprat_data::AppendBatch::new())
+            .unwrap();
+        engine.swap_dataset_scoped(Arc::new(appended.dataset), &[]);
+        let (r, served) = engine.explain_traced(&ExplainRequest::new(q, s));
+        assert!(r.is_ok());
+        assert_eq!(served, ServedFrom::PreIngestCache);
+        assert_eq!(served.as_str(), "hit-preingest");
+        assert!(engine.cache_stats().stale_hits() >= 1);
+        if let Ok(result) = &*r {
+            assert!(
+                !Arc::ptr_eq(&result.dataset, &engine.dataset()),
+                "the served result pins the pre-ingest snapshot"
+            );
+        }
     }
 
     #[test]

@@ -15,8 +15,10 @@
 
 use crate::engine::MapRatEngine;
 use maprat_core::query::ItemQuery;
-use maprat_core::{parallel, MineError, SearchSettings};
+use maprat_core::{parallel, MineError, Miner, SearchSettings};
+use maprat_cube::{CubeOptions, ProfileSummary};
 use maprat_data::{Dataset, MonthKey, TimeRange};
+use std::collections::BTreeMap;
 
 /// One position of the slider.
 #[derive(Debug, Clone, PartialEq)]
@@ -130,6 +132,122 @@ impl TimeSlider {
                     top_groups: Vec::new(),
                     skipped: Some(e.to_string()),
                 },
+            }
+        })
+    }
+
+    /// Like [`sweep`](TimeSlider::sweep), but instead of re-streaming
+    /// the query's ratings per window it scans each *month partition*
+    /// once into a [`ProfileSummary`] and mines every window from the
+    /// merged partition summaries ([`ProfileSummary::merge`]). All mined
+    /// quantities are invariant under universe permutation, so the
+    /// points are identical to [`sweep`](TimeSlider::sweep)'s — pinned
+    /// by an equality test — while the per-rating work drops from
+    /// `O(windows × |R_I|)` to one pass over `|R_I|`.
+    ///
+    /// Bypasses the engine's cache tiers (each window is mined directly
+    /// from the merged summaries against the pinned dataset).
+    pub fn sweep_merged(
+        &self,
+        engine: &MapRatEngine,
+        query: &ItemQuery,
+        settings: &SearchSettings,
+    ) -> Vec<TimelinePoint> {
+        self.sweep_merged_with_threads(engine, query, settings, parallel::num_threads())
+    }
+
+    /// [`sweep_merged`](TimeSlider::sweep_merged) with an explicit
+    /// worker-thread cap. Points are identical for every `threads`
+    /// value.
+    pub fn sweep_merged_with_threads(
+        &self,
+        engine: &MapRatEngine,
+        query: &ItemQuery,
+        settings: &SearchSettings,
+        threads: usize,
+    ) -> Vec<TimelinePoint> {
+        let dataset = engine.dataset();
+        let positions = self.positions();
+        let skipped_all = |reason: String| -> Vec<TimelinePoint> {
+            positions
+                .iter()
+                .map(|&p| {
+                    let (from, to) = self.window_at(p);
+                    TimelinePoint {
+                        from,
+                        to,
+                        num_ratings: 0,
+                        overall_mean: None,
+                        top_groups: Vec::new(),
+                        skipped: Some(reason.clone()),
+                    }
+                })
+                .collect()
+        };
+        if let Err(e) = settings.validate() {
+            return skipped_all(e.to_string());
+        }
+        // Windowing never changes which items match, so resolve once.
+        let items = query.items(&dataset);
+        if items.is_empty() {
+            return skipped_all(MineError::NoMatchingItems(query.describe()).to_string());
+        }
+        // One scan per month partition — the only per-rating work of the
+        // whole sweep. Every window below mines from merged summaries.
+        let mut by_month: BTreeMap<MonthKey, Vec<u32>> = BTreeMap::new();
+        for &item in &items {
+            for (month, range) in dataset.month_slices_for_item(item) {
+                by_month.entry(month).or_default().extend(range);
+            }
+        }
+        let summaries: BTreeMap<MonthKey, ProfileSummary> = by_month
+            .into_iter()
+            .map(|(month, idx)| (month, ProfileSummary::scan(&dataset, idx)))
+            .collect();
+        let options = CubeOptions {
+            min_support: settings.min_support,
+            require_geo: settings.require_geo,
+            max_arity: settings.max_arity,
+        };
+        let miner = Miner::new(&dataset);
+        parallel::parallel_map(positions.len(), threads, |i| {
+            let (from, to) = self.window_at(positions[i]);
+            let skip = |reason: String| TimelinePoint {
+                from,
+                to,
+                num_ratings: 0,
+                overall_mean: None,
+                top_groups: Vec::new(),
+                skipped: Some(reason),
+            };
+            let merged =
+                ProfileSummary::merge(from.iter_through(to).filter_map(|m| summaries.get(&m)));
+            if merged.universe() == 0 {
+                return skip("too few ratings in window".into());
+            }
+            let cube = merged.build(options.clone());
+            if cube.is_empty() {
+                return skip("too few ratings in window".into());
+            }
+            let windowed = query.clone().within(TimeRange::months(from..=to));
+            match miner.explain_cube(&windowed, items.clone(), &cube, settings) {
+                Ok(explanation) => TimelinePoint {
+                    from,
+                    to,
+                    num_ratings: explanation.num_ratings,
+                    overall_mean: explanation.total.mean(),
+                    top_groups: explanation
+                        .similarity
+                        .groups
+                        .iter()
+                        .map(|g| (g.label.clone(), g.stats.mean().unwrap_or(0.0), g.support))
+                        .collect(),
+                    skipped: None,
+                },
+                Err(MineError::NoRatings) | Err(MineError::NoCandidates) => {
+                    skip("too few ratings in window".into())
+                }
+                Err(e) => skip(e.to_string()),
             }
         })
     }
@@ -256,6 +374,46 @@ mod tests {
             let multi = slider.sweep_with_threads(&cold, &query, &settings(), threads);
             assert_eq!(single, multi, "sweep diverged at {threads} threads");
         }
+    }
+
+    #[test]
+    fn merged_sweep_equals_direct_sweep() {
+        // The partition-merge path must reproduce the per-window
+        // re-mining path point for point: same volumes, same means, same
+        // mined groups in the same order.
+        let engine = MapRatEngine::from_dataset(generate(&SynthConfig::small(137)).unwrap());
+        let query = maprat_core::query::ItemQuery::title("Toy Story");
+        for (window, step) in [(6, 6), (9, 3)] {
+            let slider = TimeSlider::over_dataset(&engine.dataset(), window, step).unwrap();
+            let direct = slider.sweep(&engine, &query, &settings());
+            let merged = slider.sweep_merged(&engine, &query, &settings());
+            assert_eq!(direct, merged, "window={window} step={step}");
+        }
+    }
+
+    #[test]
+    fn merged_sweep_is_deterministic_in_thread_count() {
+        let engine = MapRatEngine::from_dataset(generate(&SynthConfig::tiny(138)).unwrap());
+        let slider = TimeSlider::over_dataset(&engine.dataset(), 6, 6).unwrap();
+        let query = maprat_core::query::ItemQuery::title("Toy Story");
+        let single = slider.sweep_merged_with_threads(&engine, &query, &settings(), 1);
+        for threads in [2, 8] {
+            let multi = slider.sweep_merged_with_threads(&engine, &query, &settings(), threads);
+            assert_eq!(single, multi, "merged sweep diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn merged_sweep_skips_unknown_title() {
+        let engine = MapRatEngine::from_dataset(generate(&SynthConfig::tiny(139)).unwrap());
+        let slider = TimeSlider::over_dataset(&engine.dataset(), 6, 6).unwrap();
+        let points = slider.sweep_merged(
+            &engine,
+            &maprat_core::query::ItemQuery::title("No Such Movie"),
+            &settings(),
+        );
+        assert_eq!(points.len(), slider.positions().len());
+        assert!(points.iter().all(|p| p.skipped.is_some()));
     }
 
     #[test]

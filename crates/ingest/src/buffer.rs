@@ -1,0 +1,144 @@
+//! The ingest buffer: typed rating events, validated as they arrive.
+
+use crate::IngestError;
+use maprat_data::{AgeGroup, Gender, GenreSet, ItemId, Occupation, Score, Timestamp, UserId, Zip};
+
+/// The demographic profile of a previously unseen reviewer. State and
+/// city are derived from the zip code at commit time, exactly as the
+/// loader derives them at load time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NewUser {
+    /// Age bucket.
+    pub age: AgeGroup,
+    /// Gender.
+    pub gender: Gender,
+    /// Occupation.
+    pub occupation: Occupation,
+    /// Zip code (resolves the geo attribute).
+    pub zip: Zip,
+}
+
+/// The metadata of a previously unseen item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NewItem {
+    /// Title (must be non-empty).
+    pub title: String,
+    /// Release year.
+    pub year: u16,
+    /// Genre set.
+    pub genres: GenreSet,
+}
+
+/// Who rated: an existing reviewer by dense id, or a new reviewer to be
+/// allocated at commit time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UserSpec {
+    /// An existing reviewer (or one introduced earlier in this batch).
+    Existing(UserId),
+    /// A previously unseen reviewer.
+    New(NewUser),
+}
+
+/// What was rated: an existing item by id or exact title, or a new item
+/// to be allocated at commit time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ItemSpec {
+    /// An existing item (or one introduced earlier in this batch).
+    Existing(ItemId),
+    /// An existing item, referenced by exact (case-insensitive) title.
+    ByTitle(String),
+    /// A previously unseen item.
+    New(NewItem),
+}
+
+/// One incoming rating: who, what, the score and when.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RatingEvent {
+    /// The reviewer.
+    pub user: UserSpec,
+    /// The item.
+    pub item: ItemSpec,
+    /// The score (already range-validated by [`Score`]).
+    pub score: Score,
+    /// When the rating was given.
+    pub ts: Timestamp,
+}
+
+/// An append buffer of rating events. Structural validation (non-empty
+/// titles, well-formed specs) happens at [`push`](IngestBuffer::push);
+/// referential validation (do the ids/titles exist?) happens at
+/// [`IngestService::commit`](crate::IngestService::commit), against the
+/// dataset snapshot the commit will extend.
+#[derive(Debug, Clone, Default)]
+pub struct IngestBuffer {
+    events: Vec<RatingEvent>,
+}
+
+impl IngestBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Validates and buffers one rating event.
+    pub fn push(&mut self, event: RatingEvent) -> Result<(), IngestError> {
+        match &event.item {
+            ItemSpec::ByTitle(title) if title.trim().is_empty() => {
+                return Err(IngestError::Invalid("empty title reference".into()));
+            }
+            ItemSpec::New(item) if item.title.trim().is_empty() => {
+                return Err(IngestError::Invalid("new item with empty title".into()));
+            }
+            _ => {}
+        }
+        self.events.push(event);
+        Ok(())
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Consumes the buffer into its events.
+    pub(crate) fn into_events(self) -> Vec<RatingEvent> {
+        self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_rejects_empty_titles() {
+        let mut buffer = IngestBuffer::new();
+        let event = RatingEvent {
+            user: UserSpec::Existing(UserId(0)),
+            item: ItemSpec::ByTitle("  ".into()),
+            score: Score::new(4).unwrap(),
+            ts: Timestamp::from_ymd(2001, 1, 1),
+        };
+        assert!(matches!(buffer.push(event), Err(IngestError::Invalid(_))));
+        assert!(buffer.is_empty());
+    }
+
+    #[test]
+    fn push_accepts_well_formed_events() {
+        let mut buffer = IngestBuffer::new();
+        buffer
+            .push(RatingEvent {
+                user: UserSpec::Existing(UserId(0)),
+                item: ItemSpec::Existing(ItemId(0)),
+                score: Score::new(5).unwrap(),
+                ts: Timestamp::from_ymd(2001, 1, 1),
+            })
+            .unwrap();
+        assert_eq!(buffer.len(), 1);
+    }
+}

@@ -1,0 +1,491 @@
+//! The ingest service: single-writer commits over a serving engine.
+
+use crate::buffer::{IngestBuffer, ItemSpec, UserSpec};
+use crate::IngestError;
+use maprat_core::query::ItemQuery;
+use maprat_cube::{CubeOptions, ProfileSummary, RatingCube};
+use maprat_data::cities::city_for_zip;
+use maprat_data::{
+    AppendBatch, Dataset, IdAllocator, Item, ItemId, MonthKey, Rating, RatingIdx, User,
+};
+use maprat_explore::MapRatEngine;
+use maprat_pool::num_threads;
+use std::collections::HashSet;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Where ingestion has advanced to: the month of the newest rating in
+/// the last commit, plus the monotonically increasing commit sequence
+/// number. Served by `/api/v1/stats` so clients can tell which commits a
+/// response reflects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Watermark {
+    /// Month key of the newest rating in the last commit.
+    pub month: MonthKey,
+    /// Sequence number of the last commit (first commit = 1).
+    pub seq: u64,
+}
+
+/// What one commit did.
+#[derive(Debug, Clone)]
+pub struct CommitReceipt {
+    /// Sequence number of this commit.
+    pub seq: u64,
+    /// Ratings appended.
+    pub accepted: usize,
+    /// Previously unseen reviewers allocated.
+    pub new_users: usize,
+    /// Previously unseen items allocated.
+    pub new_items: usize,
+    /// Month key of the newest appended rating.
+    pub month: MonthKey,
+    /// Items whose rating history changed (the scoped-invalidation set).
+    pub changed_items: Vec<ItemId>,
+    /// Cache entries dropped by the partition-scoped hot-swap.
+    pub invalidated: usize,
+}
+
+/// A cube kept incrementally up to date across commits: the retained
+/// counting-pass state plus the materialized cube, both in commit-major
+/// universe order.
+struct WatchedCube {
+    query: ItemQuery,
+    options: CubeOptions,
+    /// The matched item set, pinned at watch time.
+    items: HashSet<ItemId>,
+    summary: ProfileSummary,
+    cube: RatingCube,
+}
+
+struct IngestState {
+    commit_seq: u64,
+    watermark: Option<Watermark>,
+    watched: Vec<WatchedCube>,
+}
+
+/// Accepts [`IngestBuffer`]s and publishes them as immutable dataset
+/// snapshots through an engine's scoped hot-swap (see the crate docs for
+/// the commit pipeline). Commits are serialized by an internal writer
+/// lock; reads (explains) never block on it.
+pub struct IngestService {
+    engine: MapRatEngine,
+    state: Mutex<IngestState>,
+}
+
+impl IngestService {
+    /// Creates a service committing into `engine`.
+    pub fn new(engine: MapRatEngine) -> Self {
+        IngestService {
+            engine,
+            state: Mutex::new(IngestState {
+                commit_seq: 0,
+                watermark: None,
+                watched: Vec::new(),
+            }),
+        }
+    }
+
+    /// The serving engine commits publish into.
+    pub fn engine(&self) -> &MapRatEngine {
+        &self.engine
+    }
+
+    /// The last commit's watermark (`None` before the first commit).
+    pub fn watermark(&self) -> Option<Watermark> {
+        self.lock_state().watermark
+    }
+
+    /// Sequence number of the last commit (0 before the first).
+    pub fn commit_seq(&self) -> u64 {
+        self.lock_state().commit_seq
+    }
+
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, IngestState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Starts delta-maintaining the cube of `query` under `options`:
+    /// scans the query's current rating universe once, and from then on
+    /// every [`commit`](IngestService::commit) extends it with only the
+    /// commit's matching ratings, rebuilding the cube with cover-chunk
+    /// reuse. The matched item set is pinned at watch time.
+    pub fn watch(&self, query: &ItemQuery, options: CubeOptions) -> Result<(), IngestError> {
+        let mut state = self.lock_state();
+        let dataset = self.engine.dataset();
+        let items = query.items(&dataset);
+        if items.is_empty() {
+            return Err(IngestError::UnknownTitle(query.describe()));
+        }
+        let summary = ProfileSummary::scan(&dataset, query.rating_indexes(&dataset));
+        let cube = summary.build(options.clone());
+        state.watched.retain(|w| w.query != *query);
+        state.watched.push(WatchedCube {
+            query: query.clone(),
+            options,
+            items: items.into_iter().collect(),
+            summary,
+            cube,
+        });
+        Ok(())
+    }
+
+    /// The current delta-maintained cube of a watched query.
+    pub fn watched_cube(&self, query: &ItemQuery) -> Option<RatingCube> {
+        let state = self.lock_state();
+        state
+            .watched
+            .iter()
+            .find(|w| w.query == *query)
+            .map(|w| w.cube.clone())
+    }
+
+    /// The rating universe (dataset rating indexes, commit-major order)
+    /// of a watched query — what the maintained cube's covers index.
+    pub fn watched_universe(&self, query: &ItemQuery) -> Option<Vec<u32>> {
+        let state = self.lock_state();
+        state
+            .watched
+            .iter()
+            .find(|w| w.query == *query)
+            .map(|w| w.summary.rating_indexes().to_vec())
+    }
+
+    /// Validates, appends and publishes a buffered batch (see the crate
+    /// docs for the four commit steps). Returns what the commit did.
+    pub fn commit(&self, buffer: IngestBuffer) -> Result<CommitReceipt, IngestError> {
+        let events = buffer.into_events();
+        if events.is_empty() {
+            return Err(IngestError::EmptyCommit);
+        }
+        let mut state = self.lock_state();
+        // The writer lock serializes commits, so the engine's current
+        // dataset is exactly the snapshot this commit extends.
+        let dataset = self.engine.dataset();
+        let batch = resolve(&dataset, events)?;
+        let month = batch
+            .ratings
+            .iter()
+            .map(|r| r.ts.month_key())
+            .max()
+            .expect("non-empty commit");
+        let (new_users, new_items) = (batch.users.len(), batch.items.len());
+        let accepted = batch.ratings.len();
+
+        let appended = dataset.with_appended(batch)?;
+        let new_dataset = Arc::new(appended.dataset);
+
+        // Delta-maintain every watched cube: remap retained indexes past
+        // the splice, scan only this commit's matching ratings, rebuild
+        // reusing the previous cover chunks.
+        let threads = num_threads();
+        for w in &mut state.watched {
+            w.summary.remap_rating_indexes(&appended.remap);
+            let matching: Vec<u32> = appended
+                .appended_idx
+                .iter()
+                .copied()
+                .filter(|&idx| {
+                    let r = new_dataset.rating(RatingIdx(idx));
+                    w.items.contains(&r.item) && w.query.time.contains(r.ts)
+                })
+                .collect();
+            let (merged, delta) = w.summary.append(&new_dataset, &matching);
+            w.cube = merged.build_reusing(&delta, &w.cube, w.options.clone(), threads);
+            w.summary = merged;
+        }
+
+        let invalidated = self
+            .engine
+            .swap_dataset_scoped(Arc::clone(&new_dataset), &appended.changed_items);
+
+        state.commit_seq += 1;
+        let seq = state.commit_seq;
+        state.watermark = Some(Watermark { month, seq });
+        Ok(CommitReceipt {
+            seq,
+            accepted,
+            new_users,
+            new_items,
+            month,
+            changed_items: appended.changed_items,
+            invalidated,
+        })
+    }
+}
+
+/// Resolves every event's specs to dense ids against `dataset`,
+/// allocating previously unseen reviewers/items through the shared
+/// [`IdAllocator`] contract. Events may reference entities introduced
+/// earlier in the same batch (by id or by title).
+fn resolve(dataset: &Dataset, events: Vec<crate::RatingEvent>) -> Result<AppendBatch, IngestError> {
+    let mut alloc = IdAllocator::for_dataset(dataset);
+    let mut batch = AppendBatch::new();
+    let (num_users, num_items) = (dataset.users().len(), dataset.items().len());
+    for event in events {
+        let user = match event.user {
+            UserSpec::Existing(id) => {
+                if id.index() >= num_users + batch.users.len() {
+                    return Err(IngestError::UnknownUser(id));
+                }
+                id
+            }
+            UserSpec::New(spec) => {
+                let id = alloc.alloc_user();
+                let state = spec.zip.state_or_fallback();
+                batch.users.push(User {
+                    id,
+                    age: spec.age,
+                    gender: spec.gender,
+                    occupation: spec.occupation,
+                    zip: spec.zip,
+                    state,
+                    city: city_for_zip(state, spec.zip),
+                });
+                id
+            }
+        };
+        let item = match event.item {
+            ItemSpec::Existing(id) => {
+                if id.index() >= num_items + batch.items.len() {
+                    return Err(IngestError::UnknownItem(id));
+                }
+                id
+            }
+            ItemSpec::ByTitle(title) => {
+                let needle = title.trim();
+                dataset
+                    .find_title(needle)
+                    .or_else(|| {
+                        batch
+                            .items
+                            .iter()
+                            .find(|it| it.title.eq_ignore_ascii_case(needle))
+                            .map(|it| it.id)
+                    })
+                    .ok_or(IngestError::UnknownTitle(title))?
+            }
+            ItemSpec::New(spec) => {
+                let id = alloc.alloc_item();
+                batch
+                    .items
+                    .push(Item::new(id, spec.title, spec.year, spec.genres));
+                id
+            }
+        };
+        batch
+            .ratings
+            .push(Rating::new(user, item, event.score, event.ts));
+    }
+    Ok(batch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::{NewItem, NewUser, RatingEvent};
+    use maprat_data::synth::{generate, SynthConfig};
+    use maprat_data::{AgeGroup, Gender, Genre, Occupation, Score, Timestamp, UserId, Zip};
+
+    fn service() -> IngestService {
+        IngestService::new(MapRatEngine::from_dataset(
+            generate(&SynthConfig::tiny(211)).unwrap(),
+        ))
+    }
+
+    fn new_user(zip: u32) -> UserSpec {
+        UserSpec::New(NewUser {
+            age: AgeGroup::From25To34,
+            gender: Gender::Male,
+            occupation: Occupation::Programmer,
+            zip: Zip::new(zip),
+        })
+    }
+
+    fn rating(user: UserSpec, item: ItemSpec, score: u8, ym: (i64, u32)) -> RatingEvent {
+        RatingEvent {
+            user,
+            item,
+            score: Score::new(score).unwrap(),
+            ts: Timestamp::from_ymd(ym.0, ym.1, 15),
+        }
+    }
+
+    #[test]
+    fn commit_publishes_new_snapshot_with_watermark() {
+        let svc = service();
+        let before = svc.engine().dataset();
+        let mut buffer = IngestBuffer::new();
+        buffer
+            .push(rating(
+                new_user(94103),
+                ItemSpec::ByTitle("Toy Story".into()),
+                5,
+                (2003, 7),
+            ))
+            .unwrap();
+        buffer
+            .push(rating(
+                UserSpec::Existing(UserId(0)),
+                ItemSpec::New(NewItem {
+                    title: "Fresh Release".into(),
+                    year: 2003,
+                    genres: [Genre::Drama].into_iter().collect(),
+                }),
+                3,
+                (2003, 8),
+            ))
+            .unwrap();
+        let receipt = svc.commit(buffer).unwrap();
+        assert_eq!(receipt.seq, 1);
+        assert_eq!(receipt.accepted, 2);
+        assert_eq!(receipt.new_users, 1);
+        assert_eq!(receipt.new_items, 1);
+        assert_eq!(receipt.month, MonthKey::new(2003, 8));
+        let after = svc.engine().dataset();
+        assert!(!Arc::ptr_eq(&before, &after), "snapshot was hot-swapped");
+        assert_eq!(after.users().len(), before.users().len() + 1);
+        assert_eq!(after.items().len(), before.items().len() + 1);
+        assert_eq!(after.num_ratings(), before.num_ratings() + 2);
+        assert!(after.find_title("Fresh Release").is_some());
+        assert_eq!(
+            svc.watermark(),
+            Some(Watermark {
+                month: MonthKey::new(2003, 8),
+                seq: 1
+            })
+        );
+    }
+
+    #[test]
+    fn commit_validates_referential_integrity() {
+        let svc = service();
+        let bogus_user = UserId::from_index(svc.engine().dataset().users().len() + 7);
+        let mut buffer = IngestBuffer::new();
+        buffer
+            .push(rating(
+                UserSpec::Existing(bogus_user),
+                ItemSpec::ByTitle("Toy Story".into()),
+                4,
+                (2002, 1),
+            ))
+            .unwrap();
+        assert_eq!(
+            svc.commit(buffer).unwrap_err(),
+            IngestError::UnknownUser(bogus_user)
+        );
+
+        let mut buffer = IngestBuffer::new();
+        buffer
+            .push(rating(
+                new_user(94103),
+                ItemSpec::ByTitle("No Such Movie".into()),
+                4,
+                (2002, 1),
+            ))
+            .unwrap();
+        assert!(matches!(
+            svc.commit(buffer),
+            Err(IngestError::UnknownTitle(_))
+        ));
+
+        assert!(matches!(
+            svc.commit(IngestBuffer::new()),
+            Err(IngestError::EmptyCommit)
+        ));
+        assert_eq!(svc.commit_seq(), 0, "failed commits advance nothing");
+    }
+
+    #[test]
+    fn batch_local_references_resolve() {
+        // An event may rate an item introduced earlier in the same batch,
+        // by title, from a reviewer also introduced in the batch.
+        let svc = service();
+        let next_user = UserId::from_index(svc.engine().dataset().users().len());
+        let mut buffer = IngestBuffer::new();
+        buffer
+            .push(rating(
+                new_user(94103),
+                ItemSpec::New(NewItem {
+                    title: "Batch Local".into(),
+                    year: 2004,
+                    genres: [Genre::Comedy].into_iter().collect(),
+                }),
+                4,
+                (2004, 2),
+            ))
+            .unwrap();
+        buffer
+            .push(rating(
+                UserSpec::Existing(next_user),
+                ItemSpec::ByTitle("Batch Local".into()),
+                2,
+                (2004, 3),
+            ))
+            .unwrap();
+        let receipt = svc.commit(buffer).unwrap();
+        assert_eq!(receipt.accepted, 2);
+        assert_eq!(receipt.new_users, 1);
+        assert_eq!(receipt.new_items, 1);
+        let dataset = svc.engine().dataset();
+        let id = dataset.find_title("Batch Local").unwrap();
+        assert_eq!(dataset.ratings_for_item(id).len(), 2);
+    }
+
+    #[test]
+    fn watched_cube_stays_bit_identical_to_scratch_rebuild() {
+        let svc = service();
+        let query = ItemQuery::title("Toy Story");
+        let options = CubeOptions {
+            min_support: 2,
+            require_geo: false,
+            max_arity: 4,
+        };
+        svc.watch(&query, options.clone()).unwrap();
+        for (seq, (score, month)) in [(4u8, 1u32), (1, 2), (5, 3)].into_iter().enumerate() {
+            let mut buffer = IngestBuffer::new();
+            buffer
+                .push(rating(
+                    new_user(94103 + month),
+                    ItemSpec::ByTitle("Toy Story".into()),
+                    score,
+                    (2004, month),
+                ))
+                .unwrap();
+            // Unrelated traffic in the same commit shifts the splice.
+            buffer
+                .push(rating(
+                    UserSpec::Existing(UserId(1)),
+                    ItemSpec::ByTitle("Jaws".into()),
+                    3,
+                    (2004, month),
+                ))
+                .unwrap();
+            let receipt = svc.commit(buffer).unwrap();
+            assert_eq!(receipt.seq as usize, seq + 1);
+
+            let maintained = svc.watched_cube(&query).unwrap();
+            let universe = svc.watched_universe(&query).unwrap();
+            let dataset = svc.engine().dataset();
+            let scratch = RatingCube::build(&dataset, universe, options.clone());
+            assert_eq!(maintained.rating_indexes(), scratch.rating_indexes());
+            assert_eq!(maintained.len(), scratch.len());
+            assert_eq!(maintained.total_stats(), scratch.total_stats());
+            for (a, b) in maintained.groups().iter().zip(scratch.groups()) {
+                assert_eq!(a.desc, b.desc);
+                assert_eq!(a.stats, b.stats, "{}", a.desc);
+                assert_eq!(a.cover, b.cover, "{}", a.desc);
+            }
+        }
+    }
+
+    #[test]
+    fn watch_rejects_unknown_queries() {
+        let svc = service();
+        assert!(matches!(
+            svc.watch(&ItemQuery::title("No Such Movie"), CubeOptions::default()),
+            Err(IngestError::UnknownTitle(_))
+        ));
+        assert!(svc
+            .watched_cube(&ItemQuery::title("No Such Movie"))
+            .is_none());
+    }
+}

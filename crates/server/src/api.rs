@@ -19,15 +19,21 @@ use crate::http::{Request, Response};
 use crate::json::Json;
 use maprat_core::query::{Combine, ItemQuery, QueryTerm};
 use maprat_core::{Explanation, Interpretation, MineError, SearchSettings, Task};
-use maprat_data::Timestamp;
-use maprat_data::{AgeGroup, AttrValue, Gender, Genre, MonthKey, Occupation, TimeRange, UsState};
+use maprat_data::{
+    AgeGroup, AttrValue, Gender, Genre, ItemId, MonthKey, Occupation, Score, TimeRange, Timestamp,
+    UsState, UserId, Zip,
+};
 use maprat_explore::personalize::VisitorProfile;
 use maprat_explore::{ExplainRequest, TimelinePoint};
+use maprat_ingest::{
+    CommitReceipt, IngestBuffer, IngestError, ItemSpec, NewItem, NewUser, RatingEvent, UserSpec,
+};
 
 /// The routes the server knows, advertised in `unknown_route` errors.
-pub const AVAILABLE_ROUTES: [&str; 9] = [
+pub const AVAILABLE_ROUTES: [&str; 10] = [
     "/api/v1/explain",
     "/api/v1/stats",
+    "/api/v1/ingest",
     "/api/v1/timeline",
     "/api/v1/drill",
     "/api/v1/detail",
@@ -1324,6 +1330,187 @@ fn profile_from_fields(
         profile = profile.with(AttrValue::State(state));
     }
     Ok(profile)
+}
+
+// ---------------------------------------------------------------------------
+// Ingest request/response
+// ---------------------------------------------------------------------------
+
+/// Decodes `POST /api/v1/ingest`: `{"ratings": [event, …]}`, where each
+/// event is `{"user": <id | new-reviewer>, "item": <id | "title" |
+/// new-item>, "score": 1..=5, "ts": "YYYY-MM-DD"}`. A new reviewer is
+/// `{"age": <MovieLens code>, "gender": "F"|"M", "occupation":
+/// <MovieLens code>, "zip": <zip>}`; a new item is `{"title": …,
+/// "year": …, "genres": [label, …]}`.
+pub fn ingest_request(req: &Request) -> Result<IngestBuffer, ApiError> {
+    if req.method != "POST" {
+        return Err(ApiError::method_not_allowed(&req.method)
+            .with_hint("ingest mutates the dataset; send a POST JSON body"));
+    }
+    let body = parse_body(req)?;
+    let Some(Json::Arr(events)) = body.get("ratings") else {
+        return Err(ApiError::bad_request(
+            "ingest body must carry a \"ratings\" array",
+        ));
+    };
+    let mut buffer = IngestBuffer::new();
+    for (i, event) in events.iter().enumerate() {
+        let event =
+            rating_event_from_json(event).map_err(|e| e.with_hint(format!("in ratings[{i}]")))?;
+        buffer.push(event).map_err(|e| {
+            ApiError::bad_request(e.to_string()).with_hint(format!("in ratings[{i}]"))
+        })?;
+    }
+    Ok(buffer)
+}
+
+fn rating_event_from_json(v: &Json) -> Result<RatingEvent, ApiError> {
+    let user = match v.get("user") {
+        Some(Json::Num(n)) => UserSpec::Existing(UserId(json_u32(*n, "user")?)),
+        Some(obj @ Json::Obj(_)) => UserSpec::New(new_user_from_json(obj)?),
+        _ => {
+            return Err(ApiError::bad_request(
+                "rating needs a \"user\": an existing reviewer id or a new-reviewer object",
+            ))
+        }
+    };
+    let item = match v.get("item") {
+        Some(Json::Num(n)) => ItemSpec::Existing(ItemId(json_u32(*n, "item")?)),
+        Some(Json::Str(title)) => ItemSpec::ByTitle(title.clone()),
+        Some(obj @ Json::Obj(_)) => ItemSpec::New(new_item_from_json(obj)?),
+        _ => return Err(ApiError::bad_request(
+            "rating needs an \"item\": an existing item id, a title string or a new-item object",
+        )),
+    };
+    let Some(Json::Num(score)) = v.get("score") else {
+        return Err(ApiError::bad_request("rating needs a numeric \"score\""));
+    };
+    let score = Score::new(json_u32(*score, "score")? as u8)
+        .map_err(|e| ApiError::bad_request(e.to_string()))?;
+    let Some(Json::Str(ts)) = v.get("ts") else {
+        return Err(ApiError::bad_request(
+            "rating needs a \"ts\" date string (YYYY-MM-DD)",
+        ));
+    };
+    Ok(RatingEvent {
+        user,
+        item,
+        score,
+        ts: date_from_str(ts)?,
+    })
+}
+
+fn new_user_from_json(v: &Json) -> Result<NewUser, ApiError> {
+    let Some(Json::Num(age)) = v.get("age") else {
+        return Err(ApiError::bad_request(
+            "new reviewer needs an \"age\" MovieLens code",
+        ));
+    };
+    let age = AgeGroup::from_movielens_code(json_u32(*age, "age")?)
+        .map_err(|e| ApiError::bad_request(e.to_string()))?;
+    let Some(Json::Str(gender)) = v.get("gender") else {
+        return Err(ApiError::bad_request("new reviewer needs a \"gender\""));
+    };
+    let gender = Gender::from_letter(gender).map_err(|e| ApiError::bad_request(e.to_string()))?;
+    let Some(Json::Num(occupation)) = v.get("occupation") else {
+        return Err(ApiError::bad_request(
+            "new reviewer needs an \"occupation\" MovieLens code",
+        ));
+    };
+    let occupation = Occupation::from_movielens_code(json_u32(*occupation, "occupation")?)
+        .map_err(|e| ApiError::bad_request(e.to_string()))?;
+    let Some(Json::Num(zip)) = v.get("zip") else {
+        return Err(ApiError::bad_request(
+            "new reviewer needs a numeric \"zip\"",
+        ));
+    };
+    Ok(NewUser {
+        age,
+        gender,
+        occupation,
+        zip: Zip::new(json_u32(*zip, "zip")?),
+    })
+}
+
+fn new_item_from_json(v: &Json) -> Result<NewItem, ApiError> {
+    let Some(Json::Str(title)) = v.get("title") else {
+        return Err(ApiError::bad_request("new item needs a \"title\""));
+    };
+    let Some(Json::Num(year)) = v.get("year") else {
+        return Err(ApiError::bad_request("new item needs a numeric \"year\""));
+    };
+    let mut genres = Vec::new();
+    if let Some(Json::Arr(labels)) = v.get("genres") {
+        for label in labels {
+            let Some(label) = label.as_str() else {
+                return Err(ApiError::bad_request("\"genres\" must be label strings"));
+            };
+            genres.push(
+                Genre::from_label(label).ok_or_else(|| {
+                    ApiError::bad_request(format!("unknown genre label {label:?}"))
+                })?,
+            );
+        }
+    }
+    Ok(NewItem {
+        title: title.clone(),
+        year: json_u32(*year, "year")? as u16,
+        genres: genres.into_iter().collect(),
+    })
+}
+
+fn json_u32(n: f64, field: &str) -> Result<u32, ApiError> {
+    if n.fract() != 0.0 || !(0.0..=u32::MAX as f64).contains(&n) {
+        return Err(ApiError::bad_request(format!(
+            "\"{field}\" must be a non-negative integer, got {n}"
+        )));
+    }
+    Ok(n as u32)
+}
+
+fn date_from_str(s: &str) -> Result<Timestamp, ApiError> {
+    let bad = || ApiError::bad_request(format!("bad date {s:?}; expected YYYY-MM-DD"));
+    let mut parts = s.split('-');
+    let (Some(y), Some(m), Some(d), None) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
+        return Err(bad());
+    };
+    let y: i64 = y.parse().map_err(|_| bad())?;
+    let m: u32 = m.parse().map_err(|_| bad())?;
+    let d: u32 = d.parse().map_err(|_| bad())?;
+    if !(1..=12).contains(&m) || !(1..=31).contains(&d) {
+        return Err(bad());
+    }
+    Ok(Timestamp::from_ymd(y, m, d))
+}
+
+/// Encodes a commit receipt as the `POST /api/v1/ingest` response body.
+pub fn receipt_to_json(receipt: &CommitReceipt) -> Json {
+    Json::obj([
+        ("seq", Json::Num(receipt.seq as f64)),
+        ("accepted", Json::Num(receipt.accepted as f64)),
+        ("new_users", Json::Num(receipt.new_users as f64)),
+        ("new_items", Json::Num(receipt.new_items as f64)),
+        ("month", Json::str(receipt.month.to_string())),
+        (
+            "changed_items",
+            Json::Num(receipt.changed_items.len() as f64),
+        ),
+        ("invalidated", Json::Num(receipt.invalidated as f64)),
+    ])
+}
+
+/// Maps an ingest rejection onto the structured API error shape.
+pub fn from_ingest(e: &IngestError) -> ApiError {
+    match e {
+        IngestError::UnknownUser(_)
+        | IngestError::UnknownItem(_)
+        | IngestError::UnknownTitle(_) => ApiError::not_found(e.to_string()),
+        IngestError::Invalid(_) | IngestError::EmptyCommit | IngestError::Data(_) => {
+            ApiError::bad_request(e.to_string())
+        }
+    }
 }
 
 #[cfg(test)]

@@ -14,15 +14,17 @@
 //!   with canonical JSON codecs, the shared GET-parameter parser, and the
 //!   structured [`api::ApiError`] every route answers errors with;
 //! * [`routes`] — the application: `/api/v1/{explain,timeline,drill,
-//!   detail,personalize,stats}` (GET query string or POST JSON body),
-//!   their legacy unversioned aliases, `/map.svg`, `/citymap.svg` and the
-//!   embedded HTML page — all over a clonable
+//!   detail,personalize,stats,ingest}` (GET query string or POST JSON
+//!   body), their legacy unversioned aliases, `/map.svg`, `/citymap.svg`
+//!   and the embedded HTML page — all over a clonable
 //!   [`maprat_explore::MapRatEngine`]. Explain responses carry an
 //!   `X-MapRat-Cache` header naming the serving tier that answered
-//!   (`hit` / `snapshot` / `miss` / `coalesced`), and an optional
-//!   [`maprat_explore::PrecomputeScheduler`] can be attached with
-//!   [`routes::AppState::with_precompute`] to warm popular queries in the
-//!   background;
+//!   (`hit` / `hit-preingest` / `snapshot` / `miss` / `coalesced`), an
+//!   optional [`maprat_explore::PrecomputeScheduler`] can be attached
+//!   with [`routes::AppState::with_precompute`] to warm popular queries
+//!   in the background, and an optional [`maprat_ingest::IngestService`]
+//!   ([`routes::AppState::with_ingest`]) enables live rating commits
+//!   through `POST /api/v1/ingest`;
 //! * [`html`] — the single-page front-end (vanilla JS) driving the API.
 //!
 //! The endpoint-by-endpoint reference lives in `docs/API.md`; the serving

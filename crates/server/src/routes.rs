@@ -23,6 +23,7 @@ use maprat_explore::{
 };
 use maprat_geo::citymap::{self, CityBubble, CityMap};
 use maprat_geo::svg::{render as render_svg, SvgOptions};
+use maprat_ingest::IngestService;
 use std::sync::Arc;
 
 /// The application state behind every route: a clonable engine handle,
@@ -34,6 +35,7 @@ use std::sync::Arc;
 pub struct AppState {
     engine: MapRatEngine,
     scheduler: Option<Arc<PrecomputeScheduler>>,
+    ingest: Option<Arc<IngestService>>,
 }
 
 impl AppState {
@@ -42,6 +44,7 @@ impl AppState {
         AppState {
             engine,
             scheduler: None,
+            ingest: None,
         }
     }
 
@@ -49,6 +52,15 @@ impl AppState {
     /// into its popularity table, and `/api/v1/stats` reports its counters.
     pub fn with_precompute(mut self, scheduler: Arc<PrecomputeScheduler>) -> Self {
         self.scheduler = Some(scheduler);
+        self
+    }
+
+    /// Enables `POST /api/v1/ingest`: live rating commits through
+    /// `service`, which must publish into the same engine this state
+    /// serves from. `/api/v1/stats` then also reports the commit
+    /// watermark.
+    pub fn with_ingest(mut self, service: Arc<IngestService>) -> Self {
+        self.ingest = Some(service);
         self
     }
 
@@ -76,6 +88,7 @@ impl AppState {
             // Versioned API + legacy aliases (deprecated; same parser).
             "/api/v1/explain" | "/api/explain" => self.explain_route(req),
             "/api/v1/stats" => self.stats_route(req),
+            "/api/v1/ingest" => self.ingest_route(req),
             "/api/v1/timeline" | "/api/timeline" => self.timeline_route(req),
             "/api/v1/drill" | "/api/drill" => self.drill_route(req),
             "/api/v1/detail" | "/api/detail" => self.detail_route(req),
@@ -106,9 +119,30 @@ impl AppState {
         response.with_header("X-MapRat-Cache", served.as_str())
     }
 
+    /// `POST /api/v1/ingest` — commits a batch of live ratings: validates
+    /// them against the current snapshot, splices them in, delta-maintains
+    /// watched cubes, and hot-swaps the engine onto the new snapshot with
+    /// partition-scoped invalidation. Answers with the commit receipt.
+    fn ingest_route(&self, req: &Request) -> Response {
+        let Some(service) = &self.ingest else {
+            return ApiError::not_found("ingestion is not enabled on this server")
+                .with_hint("start the server with an IngestService (AppState::with_ingest)")
+                .into_response();
+        };
+        let buffer = match api::ingest_request(req) {
+            Ok(b) => b,
+            Err(e) => return e.into_response(),
+        };
+        match service.commit(buffer) {
+            Ok(receipt) => Response::json(api::receipt_to_json(&receipt).render()),
+            Err(e) => api::from_ingest(&e).into_response(),
+        }
+    }
+
     /// `/api/v1/stats` — serving-layer observability: both cache tiers,
-    /// single-flight counters, solve count, and (when a scheduler is
-    /// attached) background-warming progress. GET-only: it reads state.
+    /// single-flight counters, solve count, per-month partition sizes,
+    /// and — when attached — background-warming progress and the ingest
+    /// commit watermark. GET-only: it reads state.
     fn stats_route(&self, req: &Request) -> Response {
         if req.method != "GET" {
             return ApiError::method_not_allowed(&req.method)
@@ -121,6 +155,9 @@ impl AppState {
                 "result_cache",
                 Json::obj([
                     ("hits", Json::Num(s.result_hits as f64)),
+                    // Hits served from an entry retained across an ingest
+                    // commit (answered from its pre-ingest snapshot).
+                    ("stale_hits", Json::Num(s.result_stale_hits as f64)),
                     ("misses", Json::Num(s.result_misses as f64)),
                     ("len", Json::Num(s.result_len as f64)),
                 ]),
@@ -155,6 +192,32 @@ impl AppState {
                     ("deferred", Json::Num(scheduler.deferred() as f64)),
                 ]),
             ));
+        }
+        pairs.push((
+            "partitions",
+            Json::Arr(
+                self.engine
+                    .dataset()
+                    .month_partitions()
+                    .iter()
+                    .map(|p| {
+                        Json::obj([
+                            ("month", Json::str(p.month.to_string())),
+                            ("ratings", Json::Num(p.num_ratings as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+        if let Some(service) = &self.ingest {
+            let watermark = match service.watermark() {
+                Some(w) => Json::obj([
+                    ("month", Json::str(w.month.to_string())),
+                    ("seq", Json::Num(w.seq as f64)),
+                ]),
+                None => Json::Null,
+            };
+            pairs.push(("ingest", Json::obj([("watermark", watermark)])));
         }
         Response::json(Json::obj(pairs).render())
     }
@@ -226,7 +289,10 @@ impl AppState {
             Ok(g) => g,
             Err(e) => return e.into_response(),
         };
-        match drill_group(&self.engine.dataset(), r, &group.desc) {
+        // Drill through the result's pinned snapshot: after an ingest
+        // commit the live dataset's rating positions shift, but the
+        // cube's covers index the snapshot the result was mined from.
+        match drill_group(&r.dataset, r, &group.desc) {
             Some(cities) => Response::json(
                 DrillResponse {
                     group: group.label.clone(),
@@ -263,7 +329,7 @@ impl AppState {
         let Some(state) = group.desc.state() else {
             return ApiError::bad_request("group has no geo condition").into_response();
         };
-        let Some(cities) = drill_group(&self.engine.dataset(), r, &group.desc) else {
+        let Some(cities) = drill_group(&r.dataset, r, &group.desc) else {
             return ApiError::not_found("group not among candidates").into_response();
         };
         let map = CityMap {
@@ -776,6 +842,133 @@ mod tests {
         let v = Json::parse(&body).unwrap();
         assert!(v.get("precompute").is_none());
         assert!(v.get("result_cache").is_some());
+    }
+
+    fn ingest_server() -> HttpServer {
+        // Fresh (non-shared) dataset: ingest mutates the served snapshot.
+        let engine = MapRatEngine::from_dataset(generate(&SynthConfig::tiny(171)).unwrap());
+        let service = Arc::new(maprat_ingest::IngestService::new(engine.clone()));
+        let state = AppState::new(engine).with_ingest(service);
+        HttpServer::start("127.0.0.1:0", 2, state.into_handler()).unwrap()
+    }
+
+    const INGEST_BODY: &str = r#"{"ratings":[
+        {"user":{"age":25,"gender":"F","occupation":4,"zip":94103},
+         "item":"Toy Story","score":5,"ts":"2003-01-15"},
+        {"user":0,
+         "item":{"title":"Fresh Release","year":2003,"genres":["Drama"]},
+         "score":3,"ts":"2003-02-02"}
+    ]}"#;
+
+    #[test]
+    fn ingest_route_commits_and_reports_watermark() {
+        let s = ingest_server();
+        let (status, body) = post(s.port(), "/api/v1/ingest", INGEST_BODY);
+        assert_eq!(status, 200, "{body}");
+        let v = Json::parse(&body).unwrap();
+        assert_eq!(v.get("seq").unwrap().as_f64(), Some(1.0));
+        assert_eq!(v.get("accepted").unwrap().as_f64(), Some(2.0));
+        assert_eq!(v.get("new_users").unwrap().as_f64(), Some(1.0));
+        assert_eq!(v.get("new_items").unwrap().as_f64(), Some(1.0));
+        assert_eq!(v.get("month").unwrap().as_str(), Some("2003-02"));
+
+        // The stats watermark advances and the new month partitions exist.
+        let (status, body) = get(s.port(), "/api/v1/stats");
+        assert_eq!(status, 200, "{body}");
+        let v = Json::parse(&body).unwrap();
+        let watermark = v.get("ingest").unwrap().get("watermark").unwrap();
+        assert_eq!(watermark.get("month").unwrap().as_str(), Some("2003-02"));
+        assert_eq!(watermark.get("seq").unwrap().as_f64(), Some(1.0));
+        let partitions = v.get("partitions").unwrap();
+        let months: Vec<&str> = (0..partitions.len().unwrap())
+            .filter_map(|i| partitions.at(i).unwrap().get("month").unwrap().as_str())
+            .collect();
+        assert!(months.contains(&"2003-02"), "{months:?}");
+
+        // The commit is queryable: the new item explains.
+        let (status, body) = get(
+            s.port(),
+            "/api/v1/explain?q=Fresh+Release&coverage=0.1&geo=0",
+        );
+        // A single rating may not clear mining thresholds (404), but the
+        // item must now resolve — never "no item matches".
+        assert!(
+            status == 200 || !body.contains("No item matches"),
+            "{status} {body}"
+        );
+    }
+
+    #[test]
+    fn ingest_route_method_and_error_policy() {
+        let s = ingest_server();
+        // GET is refused: ingest mutates state.
+        let (status, body) = get(s.port(), "/api/v1/ingest");
+        assert_eq!(status, 405, "{body}");
+        // Unknown titles are 404 with the structured shape.
+        let body = r#"{"ratings":[{"user":0,"item":"No Such Movie","score":3,"ts":"2003-01-01"}]}"#;
+        let (status, reply) = post(s.port(), "/api/v1/ingest", body);
+        assert_eq!(status, 404, "{reply}");
+        let v = Json::parse(&reply).unwrap();
+        assert_eq!(
+            v.get("error").unwrap().get("code").unwrap().as_str(),
+            Some("not_found")
+        );
+        // Malformed events name the offending entry.
+        let body = r#"{"ratings":[{"user":0,"item":"Jaws","score":9,"ts":"2003-01-01"}]}"#;
+        let (status, reply) = post(s.port(), "/api/v1/ingest", body);
+        assert_eq!(status, 400, "{reply}");
+        assert!(reply.contains("ratings[0]"), "{reply}");
+        // An empty batch is a 400, not a silent no-op.
+        let (status, _) = post(s.port(), "/api/v1/ingest", r#"{"ratings":[]}"#);
+        assert_eq!(status, 400);
+        // Stats still reports no watermark (nothing committed).
+        let (_, body) = get(s.port(), "/api/v1/stats");
+        let v = Json::parse(&body).unwrap();
+        assert_eq!(v.get("ingest").unwrap().get("watermark"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn ingest_disabled_explains_itself() {
+        let s = server();
+        let (status, body) = post(s.port(), "/api/v1/ingest", INGEST_BODY);
+        assert_eq!(status, 404, "{body}");
+        assert!(body.contains("not enabled"), "{body}");
+    }
+
+    #[test]
+    fn retained_cache_entries_report_preingest_after_commit() {
+        let s = ingest_server();
+        // Warm Jaws (miss → cached), then commit ratings touching only
+        // Toy Story and an unseen item: the Jaws entry is retained.
+        let target = "/api/v1/explain?q=Jaws&coverage=0.1&geo=0";
+        let (status, head, warm_body) = get_full(s.port(), target);
+        assert_eq!(status, 200, "{warm_body}");
+        assert_eq!(cache_header(&head).as_deref(), Some("miss"));
+        let (status, receipt) = post(s.port(), "/api/v1/ingest", INGEST_BODY);
+        assert_eq!(status, 200, "{receipt}");
+        // Served again, the retained entry answers from its pre-ingest
+        // snapshot and says so in the header; the body is unchanged.
+        let (status, head, body) = get_full(s.port(), target);
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(cache_header(&head).as_deref(), Some("hit-preingest"));
+        assert_eq!(body, warm_body);
+        let (_, stats) = get(s.port(), "/api/v1/stats");
+        let v = Json::parse(&stats).unwrap();
+        assert!(
+            v.get("result_cache")
+                .unwrap()
+                .get("stale_hits")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+                >= 1.0,
+            "{stats}"
+        );
+        // A query whose item the commit touched was invalidated: fresh miss.
+        let (status, head, _) =
+            get_full(s.port(), "/api/v1/explain?q=Toy+Story&coverage=0.1&geo=0");
+        assert_eq!(status, 200);
+        assert_eq!(cache_header(&head).as_deref(), Some("miss"));
     }
 
     #[test]

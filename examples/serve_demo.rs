@@ -17,18 +17,21 @@
 //! | `MAPRAT_PRECOMPUTE_BUDGET` | 2 | background warms per scheduler tick (0 = record-only) |
 //! | `MAPRAT_PRECOMPUTE_MS` | 50 | scheduler tick interval in milliseconds |
 //! | `MAPRAT_KEEPALIVE_SECS` | 5 | keep-alive idle timeout (0 disables keep-alive) |
+//! | `MAPRAT_INGEST` | 1 | live rating ingestion via `POST /api/v1/ingest` (0 disables) |
 //!
 //! `--smoke` binds an ephemeral port, exercises `/api/v1/explain` through
 //! the full stack via both transports — a GET query string and a POST
 //! JSON body — checks they answer identically (and that the deprecated
 //! unversioned route still aliases v1), verifies the `X-MapRat-Cache`
-//! header flips from `miss` to `hit` and that `/api/v1/stats` reports the
-//! serving counters, prints the verdict and exits. Used by the CI smoke
-//! job.
+//! header flips from `miss` to `hit`, commits a live rating through
+//! `/api/v1/ingest` and confirms the watermark lands in `/api/v1/stats`
+//! alongside the serving counters, prints the verdict and exits. Used by
+//! the CI smoke job.
 
 use maprat::core::SearchSettings;
 use maprat::data::synth::{generate, SynthConfig};
 use maprat::explore::PrecomputeScheduler;
+use maprat::ingest::IngestService;
 use maprat::server::{AppState, HttpServer};
 use maprat::MapRatEngine;
 use std::io::{Read, Write};
@@ -102,7 +105,16 @@ fn main() {
     // The background scheduler keeps warming whatever visitors actually
     // ask for, on idle pool workers (foreground traffic always wins).
     let scheduler = Arc::new(PrecomputeScheduler::start(engine.clone()));
-    let state = AppState::new(engine).with_precompute(Arc::clone(&scheduler));
+    let mut state = AppState::new(engine.clone()).with_precompute(Arc::clone(&scheduler));
+    // Live ingestion is on by default for the demo; `MAPRAT_INGEST=0`
+    // serves a read-only catalogue (the route then answers 404).
+    let ingest_enabled = !matches!(
+        std::env::var("MAPRAT_INGEST").as_deref(),
+        Ok("0") | Ok("false")
+    );
+    if ingest_enabled {
+        state = state.with_ingest(Arc::new(IngestService::new(engine)));
+    }
     // Requests execute as shared-pool jobs; the accept loop admits a few
     // times the worker count and back-pressures beyond that. Keep-alive
     // connections hold their admission slot while open, so the bound is
@@ -168,6 +180,25 @@ fn main() {
             "legacy /api/explain must alias /api/v1/explain"
         );
 
+        // Live ingestion: a fresh reviewer rates a catalogue title, and
+        // the committed watermark shows up in the stats payload.
+        let ingest_reply = http_post(
+            server.port(),
+            "/api/v1/ingest",
+            r#"{"ratings":[{"user":{"age":25,"gender":"F","occupation":4,"zip":94103},"item":"The Social Network","score":5,"ts":"2003-03-05"}]}"#,
+        )
+        .expect("smoke ingest reaches the server");
+        assert!(
+            ingest_reply.starts_with("HTTP/1.1 200"),
+            "smoke ingest failed: {}",
+            ingest_reply.lines().next().unwrap_or("<empty>")
+        );
+        assert!(
+            body_of(&ingest_reply).contains("\"accepted\":1"),
+            "ingest receipt malformed: {}",
+            body_of(&ingest_reply)
+        );
+
         // Serving-layer observability.
         let stats_reply = http_get(server.port(), "/api/v1/stats").expect("stats route reachable");
         assert!(
@@ -176,12 +207,23 @@ fn main() {
             stats_reply.lines().next().unwrap_or("<empty>")
         );
         let stats = body_of(&stats_reply);
-        for key in ["result_cache", "snapshot_cache", "flights", "precompute"] {
+        for key in [
+            "result_cache",
+            "snapshot_cache",
+            "flights",
+            "precompute",
+            "partitions",
+            "watermark",
+        ] {
             assert!(stats.contains(key), "stats missing {key}: {stats}");
         }
+        assert!(
+            stats.contains("\"month\":\"2003-03\""),
+            "ingest watermark missing from stats: {stats}"
+        );
 
         eprintln!(
-            "smoke OK: explain served identically via GET/POST, cache header flipped miss→hit, stats online"
+            "smoke OK: explain served identically via GET/POST, cache header flipped miss→hit, ingest committed, stats online"
         );
         server.shutdown();
         return;

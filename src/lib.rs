@@ -15,6 +15,8 @@
 //! * [`cache`] — the result cache and precomputation layer;
 //! * [`explore`] — the interactive exploration engine (time slider,
 //!   drill-down, group statistics, personalization);
+//! * [`ingest`] — live rating ingestion: validated commits, delta cube
+//!   maintenance and hot-swapped snapshots;
 //! * [`server`] — the dependency-free HTTP demo server.
 //!
 //! ## Quickstart
@@ -50,6 +52,7 @@ pub use maprat_cube as cube;
 pub use maprat_data as data;
 pub use maprat_explore as explore;
 pub use maprat_geo as geo;
+pub use maprat_ingest as ingest;
 pub use maprat_server as server;
 
 pub use maprat_explore::{ExplainRequest, MapRatEngine};

@@ -106,7 +106,16 @@ fn run_serve(port: u16, data: Option<String>) -> Result<(), String> {
     // idle pool workers (tunable via MAPRAT_PRECOMPUTE_BUDGET / _MS).
     let scheduler =
         std::sync::Arc::new(maprat::explore::PrecomputeScheduler::start(engine.clone()));
-    let state = AppState::new(engine).with_precompute(scheduler);
+    let mut state = AppState::new(engine.clone()).with_precompute(scheduler);
+    // Live ingestion is on by default; MAPRAT_INGEST=0 serves read-only.
+    if !matches!(
+        std::env::var("MAPRAT_INGEST").as_deref(),
+        Ok("0") | Ok("false")
+    ) {
+        state = state.with_ingest(std::sync::Arc::new(maprat::ingest::IngestService::new(
+            engine,
+        )));
+    }
     // Requests execute as shared-pool jobs; the accept loop admits a few
     // times the worker count and back-pressures beyond that.
     let max_in_flight = 4 * maprat::core::parallel::num_threads();
