@@ -14,14 +14,22 @@
 //! retired its flight between the two steps).
 //!
 //! Leader panics do not strand followers: a drop guard marks the flight
-//! abandoned and wakes everyone, and each follower retries from the top
-//! (one of them becomes the next leader).
+//! abandoned and wakes everyone. [`FlightGroup::run`] then has each
+//! follower retry from the top (one of them becomes the next leader) —
+//! the right call when the computation is deterministic and cheap to
+//! re-attempt. [`FlightGroup::run_bounded`] instead *propagates* the
+//! failure: followers of an abandoned flight return
+//! [`FlightError::LeaderFailed`] promptly (and never wait longer than a
+//! caller-chosen bound), so a request stampede behind a crashing solve
+//! degrades into N fast structured errors rather than N repeated crashes
+//! or a stuck pile-up.
 
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
 
 /// How a [`FlightGroup::run`] call obtained its value.
 #[derive(Debug)]
@@ -44,6 +52,26 @@ impl<V> FlightOutcome<V> {
     /// Whether this caller ran the computation.
     pub fn led(&self) -> bool {
         matches!(self, FlightOutcome::Led(_))
+    }
+}
+
+/// Why a [`FlightGroup::run_bounded`] follower came back empty-handed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlightError {
+    /// The flight's leader unwound (panicked) before publishing. The
+    /// failure is propagated to every follower instead of re-running the
+    /// computation under each of them in turn.
+    LeaderFailed,
+    /// The leader did not publish within the caller's wait bound.
+    TimedOut,
+}
+
+impl std::fmt::Display for FlightError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlightError::LeaderFailed => write!(f, "coalesced flight leader failed"),
+            FlightError::TimedOut => write!(f, "coalesced flight wait timed out"),
+        }
     }
 }
 
@@ -103,6 +131,7 @@ pub struct FlightGroup<K, V> {
     flights: Mutex<HashMap<K, std::sync::Arc<Flight<V>>>>,
     leads: AtomicU64,
     joins: AtomicU64,
+    failures: AtomicU64,
 }
 
 impl<K, V> Default for FlightGroup<K, V> {
@@ -118,6 +147,7 @@ impl<K, V> FlightGroup<K, V> {
             flights: Mutex::new(HashMap::new()),
             leads: AtomicU64::new(0),
             joins: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
         }
     }
 
@@ -129,6 +159,13 @@ impl<K, V> FlightGroup<K, V> {
     /// Completed calls that shared a concurrent leader's result.
     pub fn joins(&self) -> u64 {
         self.joins.load(Ordering::Relaxed)
+    }
+
+    /// Leader failures propagated to [`FlightGroup::run_bounded`]
+    /// followers (each follower that received [`FlightError::LeaderFailed`]
+    /// or [`FlightError::TimedOut`] counts once).
+    pub fn failures(&self) -> u64 {
+        self.failures.load(Ordering::Relaxed)
     }
 
     /// Keys with a computation currently in flight (diagnostics).
@@ -189,6 +226,74 @@ impl<K: Hash + Eq + Clone, V> FlightGroup<K, V> {
             }
             // Leader abandoned (panicked): retry — this caller may now
             // become the next leader.
+        }
+    }
+
+    /// Like [`FlightGroup::run`], with failure *propagation* instead of
+    /// follower retry, and a bounded follower wait.
+    ///
+    /// The leader path is identical to `run` (a panicking `compute` still
+    /// unwinds out of this call, abandoning the flight on the way). A
+    /// follower, however, never re-elects: if the flight it joined is
+    /// abandoned it returns [`FlightError::LeaderFailed`] immediately, and
+    /// if the leader has not published within `wait` it returns
+    /// [`FlightError::TimedOut`] — a stampede queued behind a crashing or
+    /// wedged solve drains as fast structured errors rather than hanging
+    /// or re-running the crash once per queued caller.
+    pub fn run_bounded(
+        &self,
+        key: K,
+        wait: Duration,
+        compute: impl FnOnce() -> V,
+    ) -> Result<FlightOutcome<V>, FlightError> {
+        let joined = {
+            let mut flights = relock(&self.flights);
+            match flights.entry(key.clone()) {
+                Entry::Occupied(e) => Some(std::sync::Arc::clone(e.get())),
+                Entry::Vacant(e) => {
+                    e.insert(std::sync::Arc::new(Flight::new()));
+                    None
+                }
+            }
+        };
+        let flight = match joined {
+            None => {
+                let guard = LeadGuard {
+                    group: self,
+                    key: &key,
+                };
+                let value = std::sync::Arc::new(compute());
+                guard.publish(std::sync::Arc::clone(&value));
+                self.leads.fetch_add(1, Ordering::Relaxed);
+                return Ok(FlightOutcome::Led(value));
+            }
+            Some(f) => f,
+        };
+        let deadline = Instant::now() + wait;
+        let mut state = relock(&flight.state);
+        loop {
+            match &*state {
+                FlightState::Pending => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        self.failures.fetch_add(1, Ordering::Relaxed);
+                        return Err(FlightError::TimedOut);
+                    }
+                    let (next, _timeout) = flight
+                        .ready
+                        .wait_timeout(state, deadline - now)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    state = next;
+                }
+                FlightState::Done(v) => {
+                    self.joins.fetch_add(1, Ordering::Relaxed);
+                    return Ok(FlightOutcome::Joined(std::sync::Arc::clone(v)));
+                }
+                FlightState::Abandoned => {
+                    self.failures.fetch_add(1, Ordering::Relaxed);
+                    return Err(FlightError::LeaderFailed);
+                }
+            }
         }
     }
 
@@ -315,5 +420,114 @@ mod tests {
         assert!(panicker.join().is_err(), "leader panicked");
         assert_eq!(follower.join().unwrap(), 90);
         assert_eq!(g.in_flight(), 0, "no stranded flights");
+    }
+
+    #[test]
+    fn bounded_runs_coalesce_like_run() {
+        let g: Arc<FlightGroup<u32, u32>> = Arc::new(FlightGroup::new());
+        let calls = Arc::new(AtomicUsize::new(0));
+        let barrier = Arc::new(Barrier::new(6));
+        let handles: Vec<_> = (0..6)
+            .map(|_| {
+                let (g, calls, barrier) =
+                    (Arc::clone(&g), Arc::clone(&calls), Arc::clone(&barrier));
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    let out = g
+                        .run_bounded(3, Duration::from_secs(10), || {
+                            std::thread::sleep(Duration::from_millis(30));
+                            calls.fetch_add(1, Ordering::SeqCst);
+                            33
+                        })
+                        .expect("no failure in this flight");
+                    *out.into_value()
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 33);
+        }
+        assert_eq!(calls.load(Ordering::SeqCst), 1, "exactly one solve");
+        assert_eq!(g.failures(), 0);
+    }
+
+    #[test]
+    fn poisoned_leader_propagates_to_bounded_followers() {
+        let g: Arc<FlightGroup<u32, u32>> = Arc::new(FlightGroup::new());
+        let barrier = Arc::new(Barrier::new(4));
+        let entered = Arc::new(Barrier::new(4));
+        let panicker = {
+            let (g, barrier, entered) =
+                (Arc::clone(&g), Arc::clone(&barrier), Arc::clone(&entered));
+            std::thread::spawn(move || {
+                let _ = g.run_bounded(9, Duration::from_secs(10), || {
+                    entered.wait(); // the flight is registered; let followers in
+                    barrier.wait(); // followers are waiting on the condvar
+                    std::thread::sleep(Duration::from_millis(30));
+                    panic!("leader dies");
+                });
+            })
+        };
+        let followers: Vec<_> = (0..3)
+            .map(|_| {
+                let (g, barrier, entered) =
+                    (Arc::clone(&g), Arc::clone(&barrier), Arc::clone(&entered));
+                std::thread::spawn(move || {
+                    entered.wait();
+                    let handle = std::thread::spawn({
+                        let g = Arc::clone(&g);
+                        move || g.run_bounded(9, Duration::from_secs(10), || 90)
+                    });
+                    barrier.wait();
+                    handle.join().unwrap()
+                })
+            })
+            .collect();
+        assert!(panicker.join().is_err(), "leader panicked");
+        let mut failed = 0;
+        for f in followers {
+            match f.join().unwrap() {
+                Err(FlightError::LeaderFailed) => failed += 1,
+                // A follower that raced in after the abandon leads a
+                // fresh flight and succeeds — allowed, not required.
+                Ok(out) => assert_eq!(*out.into_value(), 90),
+                Err(e) => panic!("unexpected {e:?}"),
+            }
+        }
+        assert_eq!(g.failures() as usize, failed);
+        assert_eq!(g.in_flight(), 0, "no stranded flights");
+    }
+
+    #[test]
+    fn bounded_wait_times_out_under_a_wedged_leader() {
+        let g: Arc<FlightGroup<u32, u32>> = Arc::new(FlightGroup::new());
+        let lead_entered = Arc::new(Barrier::new(2));
+        let release = Arc::new(Barrier::new(2));
+        let leader = {
+            let (g, lead_entered, release) = (
+                Arc::clone(&g),
+                Arc::clone(&lead_entered),
+                Arc::clone(&release),
+            );
+            std::thread::spawn(move || {
+                let out = g.run_bounded(5, Duration::from_secs(10), || {
+                    lead_entered.wait();
+                    release.wait(); // "wedged" until the follower timed out
+                    55
+                });
+                *out.unwrap().into_value()
+            })
+        };
+        lead_entered.wait();
+        let start = Instant::now();
+        let r = g.run_bounded(5, Duration::from_millis(50), || 55);
+        assert_eq!(r.unwrap_err(), FlightError::TimedOut);
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "timeout must be prompt"
+        );
+        assert_eq!(g.failures(), 1);
+        release.wait();
+        assert_eq!(leader.join().unwrap(), 55, "leader still publishes");
     }
 }

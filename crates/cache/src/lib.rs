@@ -39,7 +39,7 @@ pub mod lru;
 pub mod shard;
 pub mod stats;
 
-pub use flight::{FlightGroup, FlightOutcome};
+pub use flight::{FlightError, FlightGroup, FlightOutcome};
 pub use lru::LruCache;
 pub use shard::ShardedCache;
 pub use stats::CacheStats;

@@ -1,0 +1,88 @@
+//! Request deadlines for the solver's restart loops.
+//!
+//! A [`Budget`] is the degradation half of the serving story: the HTTP
+//! layer parses `X-MapRat-Deadline-Ms` into one, the engine threads it
+//! down into [`crate::rhe`], and every hill-climbing iteration (the
+//! [`crate::SelectionEval`] call sites) checks it before paying for the
+//! next neighbourhood sweep. An expired budget aborts the solve with
+//! [`crate::MineError::DeadlineExceeded`] instead of returning a
+//! partially-climbed (and therefore non-deterministic) solution — a
+//! deadline changes *whether* an answer is produced, never *which*
+//! answer, so result caches stay pure.
+
+use std::time::{Duration, Instant};
+
+/// A solve deadline. The default, [`Budget::unlimited`], never expires
+/// and costs nothing to check — the common path through the solver stays
+/// free of clock reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Budget {
+    deadline: Option<Instant>,
+}
+
+impl Budget {
+    /// A budget that never expires.
+    pub fn unlimited() -> Budget {
+        Budget { deadline: None }
+    }
+
+    /// A budget expiring `limit` from now.
+    pub fn with_deadline(limit: Duration) -> Budget {
+        Budget {
+            deadline: Some(Instant::now() + limit),
+        }
+    }
+
+    /// A budget expiring `ms` milliseconds from now (the
+    /// `X-MapRat-Deadline-Ms` header's unit).
+    pub fn from_deadline_ms(ms: u64) -> Budget {
+        Budget::with_deadline(Duration::from_millis(ms))
+    }
+
+    /// Whether a deadline is set at all.
+    pub fn is_limited(&self) -> bool {
+        self.deadline.is_some()
+    }
+
+    /// Whether the deadline has passed. Free for unlimited budgets; one
+    /// monotonic clock read otherwise.
+    #[inline]
+    pub fn expired(&self) -> bool {
+        match self.deadline {
+            None => false,
+            Some(deadline) => Instant::now() >= deadline,
+        }
+    }
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget::unlimited()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_expires() {
+        let b = Budget::unlimited();
+        assert!(!b.is_limited());
+        assert!(!b.expired());
+    }
+
+    #[test]
+    fn zero_deadline_expires_immediately() {
+        let b = Budget::with_deadline(Duration::ZERO);
+        assert!(b.is_limited());
+        assert!(b.expired());
+    }
+
+    #[test]
+    fn generous_deadline_has_not_expired_yet() {
+        let b = Budget::from_deadline_ms(60_000);
+        assert!(b.is_limited());
+        assert!(!b.expired());
+    }
+}

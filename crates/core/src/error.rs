@@ -13,6 +13,13 @@ pub enum MineError {
     NoCandidates,
     /// Invalid search settings (e.g. zero groups, coverage outside \[0,1\]).
     InvalidSettings(String),
+    /// The request's [`crate::Budget`] expired before the solve finished.
+    /// Deliberately carries no partial result: a deadline changes whether
+    /// an answer is produced, never which answer, so caches stay pure.
+    DeadlineExceeded,
+    /// A solve failed non-deterministically (a panicking worker, a
+    /// poisoned coalesced flight). Never cached — retrying may succeed.
+    Internal(String),
 }
 
 impl fmt::Display for MineError {
@@ -24,6 +31,8 @@ impl fmt::Display for MineError {
                 write!(f, "no reviewer group reaches the support threshold")
             }
             MineError::InvalidSettings(msg) => write!(f, "invalid search settings: {msg}"),
+            MineError::DeadlineExceeded => write!(f, "request deadline expired mid-solve"),
+            MineError::Internal(msg) => write!(f, "internal solve failure: {msg}"),
         }
     }
 }

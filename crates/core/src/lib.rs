@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod anneal;
+pub mod budget;
 pub mod error;
 pub mod eval;
 pub mod exhaustive;
@@ -49,6 +50,7 @@ pub mod solution;
 /// site keeps compiling).
 pub use maprat_pool as pool;
 
+pub use budget::Budget;
 pub use error::MineError;
 pub use eval::SelectionEval;
 pub use miner::{Explanation, Miner};

@@ -2,6 +2,7 @@
 //! architecture (§2.3): accept items from the front-end, collect `R_I`,
 //! construct the candidate groups, and run RHE for both sub-problems.
 
+use crate::budget::Budget;
 use crate::error::MineError;
 use crate::problem::{MiningProblem, Task};
 use crate::query::ItemQuery;
@@ -110,6 +111,21 @@ impl<'a> Miner<'a> {
         cube: &RatingCube,
         settings: &SearchSettings,
     ) -> Result<Explanation, MineError> {
+        self.explain_cube_budget(query, items, cube, settings, &Budget::unlimited())
+    }
+
+    /// Like [`Miner::explain_cube`] under a request [`Budget`]: the solver
+    /// checks the deadline every climb iteration and an expired budget
+    /// aborts with [`MineError::DeadlineExceeded`] instead of producing a
+    /// partially-optimized (schedule-dependent) answer.
+    pub fn explain_cube_budget(
+        &self,
+        query: &ItemQuery,
+        items: Vec<ItemId>,
+        cube: &RatingCube,
+        settings: &SearchSettings,
+        budget: &Budget,
+    ) -> Result<Explanation, MineError> {
         let problem = MiningProblem::new(
             cube,
             settings.max_groups,
@@ -118,8 +134,8 @@ impl<'a> Miner<'a> {
         );
         let mut interpretations = Vec::with_capacity(2);
         for task in Task::ALL {
-            let solution =
-                rhe::solve(&problem, task, &settings.rhe).ok_or(MineError::NoCandidates)?;
+            let solution = rhe::solve_budget(&problem, task, &settings.rhe, budget)?
+                .ok_or(MineError::NoCandidates)?;
             interpretations.push(Interpretation::from_solution(&problem, task, &solution));
         }
         let diversity = interpretations.pop().expect("two tasks");
@@ -142,6 +158,20 @@ impl<'a> Miner<'a> {
     ) -> Result<Explanation, MineError> {
         let (items, cube) = self.build_cube(query, settings)?;
         self.explain_cube(query, items, &cube, settings)
+    }
+
+    /// One-call API under a request [`Budget`].
+    pub fn explain_budget(
+        &self,
+        query: &ItemQuery,
+        settings: &SearchSettings,
+        budget: &Budget,
+    ) -> Result<Explanation, MineError> {
+        if budget.expired() {
+            return Err(MineError::DeadlineExceeded);
+        }
+        let (items, cube) = self.build_cube(query, settings)?;
+        self.explain_cube_budget(query, items, &cube, settings, budget)
     }
 }
 
@@ -267,6 +297,28 @@ mod tests {
             .unwrap();
         assert_eq!(trilogy.items.len(), 3);
         assert!(trilogy.num_ratings > single.num_ratings);
+    }
+
+    #[test]
+    fn budgeted_explain_matches_plain_explain_and_expires_cleanly() {
+        let d = dataset();
+        let miner = Miner::new(&d);
+        let settings = SearchSettings::default().with_min_coverage(0.1);
+        let query = ItemQuery::title("Toy Story");
+        let plain = miner.explain(&query, &settings).unwrap();
+        let generous = Budget::from_deadline_ms(120_000);
+        let budgeted = miner.explain_budget(&query, &settings, &generous).unwrap();
+        assert_eq!(
+            format!("{:?}", plain.similarity.groups),
+            format!("{:?}", budgeted.similarity.groups)
+        );
+        assert_eq!(plain.diversity.objective, budgeted.diversity.objective);
+
+        let expired = Budget::with_deadline(std::time::Duration::ZERO);
+        let err = miner
+            .explain_budget(&query, &settings, &expired)
+            .unwrap_err();
+        assert!(matches!(err, MineError::DeadlineExceeded));
     }
 
     #[test]

@@ -24,6 +24,8 @@
 //! achievable maximum and reports `meets_coverage = false`, mirroring how
 //! the demo degrades gracefully on obscure queries rather than failing.
 
+use crate::budget::Budget;
+use crate::error::MineError;
 use crate::eval::{Move, SelectionEval};
 use crate::parallel;
 use crate::problem::{MiningProblem, Task};
@@ -71,6 +73,20 @@ pub fn solve(problem: &MiningProblem<'_>, task: Task, params: &RheParams) -> Opt
     solve_with_stats(problem, task, params).map(|(s, _)| s)
 }
 
+/// Like [`solve`] under a request [`Budget`]: every climb iteration
+/// checks the deadline and an expired budget aborts the whole solve with
+/// [`MineError::DeadlineExceeded`] — never a partially-climbed solution,
+/// so the answer (when one is produced) is bit-identical to an
+/// un-deadlined run.
+pub fn solve_budget(
+    problem: &MiningProblem<'_>,
+    task: Task,
+    params: &RheParams,
+    budget: &Budget,
+) -> Result<Option<Solution>, MineError> {
+    solve_with_stats_budget(problem, task, params, budget).map(|r| r.map(|(s, _)| s))
+}
+
 /// Like [`solve`], also returning telemetry. Restarts fan out over the
 /// shared worker pool, up to [`parallel::num_threads`] workers (sized by
 /// `MAPRAT_THREADS` at first use) — except on small candidate pools,
@@ -82,12 +98,24 @@ pub fn solve_with_stats(
     task: Task,
     params: &RheParams,
 ) -> Option<(Solution, RheStats)> {
+    solve_with_stats_budget(problem, task, params, &Budget::unlimited())
+        .expect("an unlimited budget never expires")
+}
+
+/// Like [`solve_with_stats`] under a request [`Budget`] (see
+/// [`solve_budget`] for the deadline contract).
+pub fn solve_with_stats_budget(
+    problem: &MiningProblem<'_>,
+    task: Task,
+    params: &RheParams,
+    budget: &Budget,
+) -> Result<Option<(Solution, RheStats)>, MineError> {
     let threads = if problem.pool_size() >= 64 {
         parallel::num_threads()
     } else {
         1
     };
-    solve_with_threads(problem, task, params, threads)
+    solve_with_threads_budget(problem, task, params, threads, budget)
 }
 
 /// Like [`solve_with_stats`] with an explicit worker-thread cap. The
@@ -99,9 +127,24 @@ pub fn solve_with_threads(
     params: &RheParams,
     threads: usize,
 ) -> Option<(Solution, RheStats)> {
+    solve_with_threads_budget(problem, task, params, threads, &Budget::unlimited())
+        .expect("an unlimited budget never expires")
+}
+
+/// The fully-general entry point: explicit thread cap *and* budget.
+/// Restarts cut short by the deadline abort the whole solve — partial
+/// climbs are discarded rather than compared, so the winning solution
+/// never depends on where the clock happened to land.
+pub fn solve_with_threads_budget(
+    problem: &MiningProblem<'_>,
+    task: Task,
+    params: &RheParams,
+    threads: usize,
+    budget: &Budget,
+) -> Result<Option<(Solution, RheStats)>, MineError> {
     let m = problem.pool_size();
     if m == 0 {
-        return None;
+        return Ok(None);
     }
     let k = problem.selection_size();
 
@@ -114,12 +157,15 @@ pub fn solve_with_threads(
     };
 
     let runs = parallel::parallel_map(params.restarts, threads, |restart| {
-        run_restart(problem, task, k, target, restart, params)
+        run_restart(problem, task, k, target, restart, params, budget)
     });
 
     let mut stats = RheStats::default();
     let mut best: Option<Solution> = None;
-    for (solution, iterations, evaluations) in runs {
+    for run in runs {
+        let Some((solution, iterations, evaluations)) = run else {
+            return Err(MineError::DeadlineExceeded);
+        };
         stats.restarts += 1;
         stats.iterations += iterations;
         stats.evaluations += evaluations;
@@ -134,12 +180,13 @@ pub fn solve_with_threads(
             best = Some(solution);
         }
     }
-    best.map(|s| (s, stats))
+    Ok(best.map(|s| (s, stats)))
 }
 
 /// One independent restart: derive the restart's RNG, build an initial
 /// selection, climb to a local optimum. Returns `(solution, iterations,
-/// evaluations)`.
+/// evaluations)`, or `None` when `budget` expired mid-climb (the caller
+/// then aborts the whole solve — see [`solve_with_threads_budget`]).
 fn run_restart(
     problem: &MiningProblem<'_>,
     task: Task,
@@ -147,7 +194,11 @@ fn run_restart(
     target: f64,
     restart: usize,
     params: &RheParams,
-) -> (Solution, usize, usize) {
+    budget: &Budget,
+) -> Option<(Solution, usize, usize)> {
+    if budget.expired() {
+        return None;
+    }
     let mut rng = StdRng::seed_from_u64(restart_seed(params.seed, restart));
     let mut eval = SelectionEval::new(problem);
     initial_selection(problem, task, k, target, restart, &mut rng, &mut eval);
@@ -156,6 +207,9 @@ fn run_restart(
     let mut iterations = 0usize;
 
     for _ in 0..params.max_iterations {
+        if budget.expired() {
+            return None;
+        }
         iterations += 1;
         match best_move(
             problem,
@@ -174,7 +228,7 @@ fn run_restart(
     }
 
     let solution = Solution::evaluate(problem, task, eval.selection().to_vec());
-    (solution, iterations, evaluations)
+    Some((solution, iterations, evaluations))
 }
 
 /// Mixes `(seed, restart)` into an independent per-restart seed
@@ -650,6 +704,40 @@ mod tests {
         let (_, stats) = solve_with_stats(&p, Task::Similarity, &RheParams::default()).unwrap();
         assert_eq!(stats.restarts, RheParams::default().restarts);
         assert!(stats.evaluations > stats.restarts);
+    }
+
+    #[test]
+    fn budget_solve_matches_unbudgeted_solve_bit_for_bit() {
+        let (_, cube) = fixture(79, false);
+        let p = MiningProblem::new(&cube, 3, 0.25, 0.5);
+        let params = RheParams::default();
+        for task in Task::ALL {
+            let plain = solve_with_stats(&p, task, &params).unwrap();
+            let generous = Budget::from_deadline_ms(120_000);
+            let budgeted = solve_with_stats_budget(&p, task, &params, &generous)
+                .expect("generous deadline must not expire")
+                .unwrap();
+            assert_eq!(plain, budgeted, "{task:?} diverged under a live budget");
+        }
+    }
+
+    #[test]
+    fn expired_budget_aborts_with_deadline_exceeded() {
+        let (_, cube) = fixture(80, false);
+        let p = MiningProblem::new(&cube, 3, 0.25, 0.5);
+        let expired = Budget::with_deadline(std::time::Duration::ZERO);
+        for task in Task::ALL {
+            let r = solve_with_stats_budget(&p, task, &RheParams::default(), &expired);
+            assert_eq!(r, Err(MineError::DeadlineExceeded));
+        }
+        // Empty pools still report "no candidates" (None), not a timeout.
+        let dataset = generate(&SynthConfig::tiny(75)).unwrap();
+        let empty = RatingCube::build(&dataset, Vec::new(), CubeOptions::default());
+        let p = MiningProblem::new(&empty, 3, 0.2, 0.5);
+        assert_eq!(
+            solve_with_stats_budget(&p, Task::Similarity, &RheParams::default(), &expired),
+            Ok(None)
+        );
     }
 
     #[test]

@@ -38,16 +38,24 @@
 //! spread over 4 shards): `MAPRAT_RESULT_CACHE` (default 256 entries)
 //! and `MAPRAT_SNAPSHOT_CACHE` (default 64 entries).
 
-use maprat_cache::{CacheStats, FlightGroup, FlightOutcome, ShardedCache};
+use maprat_cache::{CacheStats, FlightError, FlightGroup, FlightOutcome, ShardedCache};
 use maprat_core::query::ItemQuery;
-use maprat_core::{Explanation, MineError, Miner, SearchSettings};
+use maprat_core::{Budget, Explanation, MineError, Miner, SearchSettings};
 use maprat_cube::RatingCube;
 use maprat_data::{Dataset, ItemId};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashSet;
 use std::hash::{Hash, Hasher};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard};
+use std::time::Duration;
+
+/// How long a coalesced follower waits on its leader before giving up
+/// with a structured error. Generous — a healthy solve finishes in
+/// milliseconds; this only bounds pathological leaders (wedged worker,
+/// injected stall) so followers never hang a server thread forever.
+const FLIGHT_WAIT: Duration = Duration::from_secs(30);
 
 /// One fully-specified explanation request: the query plus every search
 /// setting. This is the unit the engine caches on and the unit the typed
@@ -219,6 +227,12 @@ pub struct ServingStats {
     pub solves: u64,
     /// Foreground explains currently executing.
     pub foreground_inflight: usize,
+    /// Solves aborted because the request's deadline expired mid-climb.
+    pub deadline_expired: u64,
+    /// Coalesced flights whose leader failed (panic, death) or exceeded
+    /// the bounded wait — each propagated a structured error to its
+    /// followers instead of hanging them.
+    pub coalesced_failures: u64,
 }
 
 /// The snapshot tier's key: exactly the inputs of `Miner::build_cube`.
@@ -294,6 +308,8 @@ struct EngineInner {
     flights: FlightGroup<ExplainRequest, (CachedResult, ServedFrom)>,
     solves: AtomicU64,
     foreground: AtomicUsize,
+    deadline_expired: AtomicU64,
+    coalesced_failures: AtomicU64,
 }
 
 /// An owned, cheaply-clonable exploration engine: `Arc<Dataset>` + miner
@@ -358,6 +374,8 @@ impl MapRatEngine {
                 flights: FlightGroup::new(),
                 solves: AtomicU64::new(0),
                 foreground: AtomicUsize::new(0),
+                deadline_expired: AtomicU64::new(0),
+                coalesced_failures: AtomicU64::new(0),
             }),
         }
     }
@@ -472,6 +490,9 @@ impl MapRatEngine {
             flights_joined: self.inner.flights.joins(),
             solves: self.solve_count(),
             foreground_inflight: self.foreground_inflight(),
+            deadline_expired: self.inner.deadline_expired.load(Ordering::Relaxed),
+            coalesced_failures: self.inner.coalesced_failures.load(Ordering::Relaxed)
+                + self.inner.flights.failures(),
         }
     }
 
@@ -487,8 +508,31 @@ impl MapRatEngine {
         &self,
         request: &ExplainRequest,
     ) -> (Arc<Result<ExplorationResult, MineError>>, ServedFrom) {
+        self.explain_deadline(request, &Budget::unlimited())
+    }
+
+    /// Like [`MapRatEngine::explain_traced`] under a request [`Budget`]
+    /// (the `X-MapRat-Deadline-Ms` header): cache tiers answer as usual —
+    /// a deadline never changes *which* answer is produced, only whether
+    /// one is — but a cold solve checks the deadline every climb
+    /// iteration and aborts with [`MineError::DeadlineExceeded`] once it
+    /// expires. Expired and otherwise non-deterministic outcomes are
+    /// **never cached**: the budget is not part of the cache key, and a
+    /// retry with more time may well succeed.
+    pub fn explain_deadline(
+        &self,
+        request: &ExplainRequest,
+        budget: &Budget,
+    ) -> (Arc<Result<ExplorationResult, MineError>>, ServedFrom) {
         let _guard = ForegroundGuard::enter(&self.inner.foreground);
-        self.lookup_or_solve(request)
+        self.lookup_or_solve(request, budget)
+    }
+
+    /// Whether the result tier already holds this request (served without
+    /// touching recency or hit counters). The admission controller uses
+    /// this to keep answering cached requests even while shedding load.
+    pub fn cached(&self, request: &ExplainRequest) -> bool {
+        self.inner.results.contains(request)
     }
 
     /// Background warm used by the precompute scheduler: computes and
@@ -500,7 +544,7 @@ impl MapRatEngine {
         if self.inner.results.contains(request) {
             return false;
         }
-        let _ = self.lookup_or_solve(request);
+        let _ = self.lookup_or_solve(request, &Budget::unlimited());
         true
     }
 
@@ -518,46 +562,114 @@ impl MapRatEngine {
         ServedFrom::ResultCache
     }
 
-    fn lookup_or_solve(&self, request: &ExplainRequest) -> (CachedResult, ServedFrom) {
+    fn lookup_or_solve(
+        &self,
+        request: &ExplainRequest,
+        budget: &Budget,
+    ) -> (CachedResult, ServedFrom) {
         if let Some(hit) = self.inner.results.get(request) {
             let served = self.classify_hit(&hit);
             return (hit, served);
         }
-        let outcome = self.inner.flights.run(request.clone(), || {
-            // Re-check after winning leadership: the previous leader may
-            // have published and retired its flight between our miss and
-            // our registration. `peek` — the miss was already recorded.
-            match self.inner.results.peek(request) {
-                Some(hit) => {
-                    let served = self.classify_hit(&hit);
-                    (hit, served)
+        let outcome = self
+            .inner
+            .flights
+            .run_bounded(request.clone(), FLIGHT_WAIT, || {
+                // Re-check after winning leadership: the previous leader may
+                // have published and retired its flight between our miss and
+                // our registration. `peek` — the miss was already recorded.
+                match self.inner.results.peek(request) {
+                    Some(hit) => {
+                        let served = self.classify_hit(&hit);
+                        (hit, served)
+                    }
+                    None => self.solve_and_cache(request, budget),
                 }
-                None => self.solve_and_cache(request),
-            }
-        });
+            });
         match outcome {
-            FlightOutcome::Led(v) => (Arc::clone(&v.0), v.1),
-            FlightOutcome::Joined(v) => (Arc::clone(&v.0), ServedFrom::Coalesced),
+            Ok(FlightOutcome::Led(v)) => (Arc::clone(&v.0), v.1),
+            Ok(FlightOutcome::Joined(v)) => (Arc::clone(&v.0), ServedFrom::Coalesced),
+            // The leader died (its flight was abandoned) or exceeded the
+            // bounded wait: followers get a structured 500-class error —
+            // never a hang, never a cache entry.
+            Err(e) => {
+                let msg = match e {
+                    FlightError::LeaderFailed => "coalesced solve leader failed".to_string(),
+                    FlightError::TimedOut => {
+                        format!("coalesced solve exceeded {}s wait", FLIGHT_WAIT.as_secs())
+                    }
+                };
+                (
+                    Arc::new(Err(MineError::Internal(msg))),
+                    ServedFrom::Coalesced,
+                )
+            }
         }
     }
 
     /// The miss path: consult the snapshot tier (skip the cube build on a
-    /// hit), mine, and populate both tiers. Errors land in the result
-    /// tier (negative caching) but never in the snapshot tier.
-    fn solve_and_cache(&self, request: &ExplainRequest) -> (CachedResult, ServedFrom) {
+    /// hit), mine, and populate both tiers. Deterministic errors land in
+    /// the result tier (negative caching) but never in the snapshot tier;
+    /// non-deterministic outcomes — an expired deadline, a solver panic —
+    /// are returned uncached.
+    fn solve_and_cache(
+        &self,
+        request: &ExplainRequest,
+        budget: &Budget,
+    ) -> (CachedResult, ServedFrom) {
         let key = SnapshotKey::of(request);
-        let (result, served) = match self.inner.snapshots.get(&key) {
+        // A panicking solve (bug, or the `solver.panic` chaos site) must
+        // not unwind through the flight group and server thread: contain
+        // it here and degrade it to a structured internal error.
+        let (result, served) = match catch_unwind(AssertUnwindSafe(|| {
+            maprat_faults::maybe_panic("solver.panic");
+            self.mine(request, budget, &key)
+        })) {
+            Ok(pair) => pair,
+            Err(payload) => {
+                let what = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                (
+                    Err(MineError::Internal(format!("solve panicked: {what}"))),
+                    ServedFrom::Cold,
+                )
+            }
+        };
+        self.inner.solves.fetch_add(1, Ordering::Relaxed);
+        match &result {
+            Err(MineError::DeadlineExceeded) => {
+                self.inner.deadline_expired.fetch_add(1, Ordering::Relaxed);
+                (Arc::new(result), served)
+            }
+            Err(MineError::Internal(_)) => (Arc::new(result), served),
+            _ => (self.inner.results.put(request.clone(), result), served),
+        }
+    }
+
+    /// The actual mining work of a miss: snapshot-tier lookup, cube
+    /// build, budgeted solve.
+    fn mine(
+        &self,
+        request: &ExplainRequest,
+        budget: &Budget,
+        key: &SnapshotKey,
+    ) -> (Result<ExplorationResult, MineError>, ServedFrom) {
+        match self.inner.snapshots.get(key) {
             Some(snap) => {
                 // Re-solve against the snapshot's *pinned* dataset: the
                 // cube's positions index that snapshot's rating column,
                 // which an ingest commit may have since re-spliced.
                 let miner = Miner::new(&snap.dataset);
                 let result = miner
-                    .explain_cube(
+                    .explain_cube_budget(
                         &request.query,
                         snap.items.clone(),
                         &snap.cube,
                         &request.settings,
+                        budget,
                     )
                     .map(|explanation| ExplorationResult {
                         explanation,
@@ -574,18 +686,19 @@ impl MapRatEngine {
                     .build_cube(&request.query, &request.settings)
                     .and_then(|(items, cube)| {
                         self.inner.snapshots.put(
-                            key,
+                            key.clone(),
                             CubeSnapshot {
                                 items: items.clone(),
                                 cube: cube.clone(),
                                 dataset: Arc::clone(&dataset),
                             },
                         );
-                        let explanation = miner.explain_cube(
+                        let explanation = miner.explain_cube_budget(
                             &request.query,
                             items.clone(),
                             &cube,
                             &request.settings,
+                            budget,
                         )?;
                         Ok(ExplorationResult {
                             explanation,
@@ -596,9 +709,7 @@ impl MapRatEngine {
                     });
                 (result, ServedFrom::Cold)
             }
-        };
-        self.inner.solves.fetch_add(1, Ordering::Relaxed);
-        (self.inner.results.put(request.clone(), result), served)
+        }
     }
 
     /// Convenience: explains a query/settings pair.
@@ -941,6 +1052,55 @@ mod tests {
         let (_, served) = engine.explain_traced(&request);
         assert_eq!(served, ServedFrom::ResultCache, "foreground rides the warm");
         assert_eq!(engine.foreground_inflight(), 0, "warm is not foreground");
+    }
+
+    #[test]
+    fn expired_deadline_is_structured_and_never_cached() {
+        let engine = engine();
+        let request = ExplainRequest::new(ItemQuery::title("Toy Story"), settings());
+        let expired = Budget::with_deadline(Duration::ZERO);
+        let (r, _) = engine.explain_deadline(&request, &expired);
+        assert!(matches!(&*r, Err(MineError::DeadlineExceeded)));
+        assert_eq!(engine.serving_stats().deadline_expired, 1);
+        assert!(
+            !engine.cached(&request),
+            "an expired solve must not poison the cache"
+        );
+        // A retry with time succeeds. The *result* wasn't cached, but the
+        // cube snapshot was (it is deterministic and budget-independent),
+        // so the retry pays only the solve.
+        let (r, served) = engine.explain_traced(&request);
+        assert!(r.is_ok());
+        assert_eq!(served, ServedFrom::SnapshotCache);
+        // Once cached, even an expired budget serves the hit: a deadline
+        // gates solving, never cache lookups.
+        let (r, served) = engine.explain_deadline(&request, &expired);
+        assert!(r.is_ok());
+        assert_eq!(served, ServedFrom::ResultCache);
+        assert_eq!(engine.serving_stats().deadline_expired, 1);
+    }
+
+    #[test]
+    fn generous_deadline_matches_unbudgeted_solve() {
+        let engine = engine();
+        let q = ItemQuery::title("Toy Story");
+        let request = ExplainRequest::new(q, settings());
+        let (budgeted, _) = engine.explain_deadline(&request, &Budget::from_deadline_ms(120_000));
+        engine.clear_cache();
+        let (plain, _) = engine.explain_traced(&request);
+        match (&*budgeted, &*plain) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(
+                    format!("{:?}", a.explanation.similarity.groups),
+                    format!("{:?}", b.explanation.similarity.groups)
+                );
+                assert_eq!(
+                    a.explanation.diversity.objective,
+                    b.explanation.diversity.objective
+                );
+            }
+            other => panic!("both solves should succeed: {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,303 @@
+//! Deterministic, seed-driven fault injection for the chaos harness.
+//!
+//! Production binaries never fail on purpose — every helper in this crate
+//! is a no-op unless the `MAPRAT_FAULTS` environment variable carries a
+//! fault schedule. The schedule is parsed **once** at first use; with it
+//! armed, each *injection site* (a string constant at the call site)
+//! decides per hit whether to fire, and the decision is a pure function of
+//! `(seed, site, hit index)` — re-running a process with the same schedule
+//! replays the exact same fault sequence, which is what lets the
+//! crash-recovery tests kill a subprocess "at a fault-schedule-chosen
+//! point" and still have an oracle to compare against.
+//!
+//! # Schedule syntax
+//!
+//! Comma-separated directives:
+//!
+//! ```text
+//! MAPRAT_FAULTS="seed:42,wal.fsync:0.5,ingest.commit.post-log@3"
+//! ```
+//!
+//! * `seed:N` — the schedule seed (default 0);
+//! * `site:P` — site fires with probability `P` per hit (deterministic,
+//!   derived from the seed and the hit index);
+//! * `site@N` — site fires on exactly its `N`-th hit (1-based), once.
+//!
+//! Unknown or malformed directives disable the whole schedule (loudly, on
+//! stderr): a chaos run with a typo must not silently degrade into a
+//! clean run.
+//!
+//! # Sites used across the workspace
+//!
+//! | site | effect |
+//! |---|---|
+//! | `wal.fsync` | WAL fsync returns an injected I/O error |
+//! | `wal.torn` | WAL record is half-written, then the process aborts |
+//! | `ingest.commit.pre-log` | abort before the WAL append (commit lost, never acked) |
+//! | `ingest.commit.post-log` | abort after fsync, before the snapshot publish |
+//! | `ingest.commit.post-publish` | abort after publish, before the ack returns |
+//! | `ingest.alloc` | transient allocation pressure in the commit path |
+//! | `solver.panic` | a cold solve panics mid-flight |
+//! | `worker.slow` | a pool worker stalls briefly before running its job |
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// How one site decides whether a given hit fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Mode {
+    /// Fire with this probability per hit (deterministically derived).
+    Rate(f64),
+    /// Fire on exactly this hit (1-based), once.
+    At(u64),
+}
+
+/// One `site:rate` / `site@n` directive plus its per-process hit counter.
+#[derive(Debug)]
+struct Rule {
+    site: String,
+    mode: Mode,
+    hits: AtomicU64,
+}
+
+/// A parsed fault schedule. Most call sites use the process-global
+/// [`global`] plan (armed from `MAPRAT_FAULTS`); tests construct private
+/// plans via [`FaultPlan::parse`].
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    rules: Vec<Rule>,
+}
+
+impl FaultPlan {
+    /// Parses a schedule string (see the crate docs for the syntax).
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        for token in spec.split(',') {
+            let token = token.trim();
+            if token.is_empty() {
+                continue;
+            }
+            if let Some(seed) = token.strip_prefix("seed:") {
+                plan.seed = seed
+                    .parse::<u64>()
+                    .map_err(|_| format!("bad seed in {token:?}"))?;
+            } else if let Some((site, nth)) = token.split_once('@') {
+                let nth = nth
+                    .parse::<u64>()
+                    .map_err(|_| format!("bad hit index in {token:?}"))?;
+                if nth == 0 {
+                    return Err(format!("hit index in {token:?} is 1-based"));
+                }
+                plan.rules.push(Rule {
+                    site: site.to_string(),
+                    mode: Mode::At(nth),
+                    hits: AtomicU64::new(0),
+                });
+            } else if let Some((site, rate)) = token.split_once(':') {
+                let rate = rate
+                    .parse::<f64>()
+                    .map_err(|_| format!("bad rate in {token:?}"))?;
+                if !(0.0..=1.0).contains(&rate) {
+                    return Err(format!("rate in {token:?} outside [0, 1]"));
+                }
+                plan.rules.push(Rule {
+                    site: site.to_string(),
+                    mode: Mode::Rate(rate),
+                    hits: AtomicU64::new(0),
+                });
+            } else {
+                return Err(format!("unrecognized directive {token:?}"));
+            }
+        }
+        Ok(plan)
+    }
+
+    /// The schedule seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Records one hit at `site` and returns whether it fires.
+    ///
+    /// Pure in `(seed, site, hit index)`: two processes running the same
+    /// schedule observe the same decision at the same hit, regardless of
+    /// timing. A site with no rule never fires (and counts no hits).
+    pub fn fires(&self, site: &str) -> bool {
+        let Some(rule) = self.rules.iter().find(|r| r.site == site) else {
+            return false;
+        };
+        let hit = rule.hits.fetch_add(1, Ordering::Relaxed) + 1;
+        match rule.mode {
+            Mode::At(nth) => hit == nth,
+            Mode::Rate(rate) => {
+                let roll = splitmix64(self.seed ^ fnv1a(site) ^ hit.wrapping_mul(0x9E37_79B9));
+                (roll >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < rate
+            }
+        }
+    }
+
+    /// How many hits `site` has recorded so far (0 if it has no rule).
+    pub fn hits(&self, site: &str) -> u64 {
+        self.rules
+            .iter()
+            .find(|r| r.site == site)
+            .map(|r| r.hits.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+}
+
+/// The process-global plan, armed from `MAPRAT_FAULTS` at first use.
+/// `None` when the variable is unset or malformed (malformed schedules
+/// are reported on stderr and disabled entirely).
+pub fn global() -> Option<&'static FaultPlan> {
+    static PLAN: OnceLock<Option<FaultPlan>> = OnceLock::new();
+    PLAN.get_or_init(|| {
+        let spec = std::env::var("MAPRAT_FAULTS").ok()?;
+        match FaultPlan::parse(&spec) {
+            Ok(plan) => Some(plan),
+            Err(e) => {
+                eprintln!("MAPRAT_FAULTS disabled: {e}");
+                None
+            }
+        }
+    })
+    .as_ref()
+}
+
+/// Whether the global schedule fires at `site` for this hit. The no-op
+/// fast path (no schedule armed) is a single `OnceLock` read.
+pub fn fires(site: &str) -> bool {
+    global().is_some_and(|plan| plan.fires(site))
+}
+
+/// Panics with an identifiable payload when `site` fires.
+pub fn maybe_panic(site: &str) {
+    if fires(site) {
+        panic!("injected fault: {site}");
+    }
+}
+
+/// Aborts the process (the `kill -9` stand-in) when `site` fires.
+pub fn maybe_abort(site: &str) {
+    if fires(site) {
+        eprintln!("injected abort: {site}");
+        std::process::abort();
+    }
+}
+
+/// Sleeps `ms` milliseconds when `site` fires (slow-worker injection).
+pub fn maybe_delay(site: &str, ms: u64) {
+    if fires(site) {
+        std::thread::sleep(std::time::Duration::from_millis(ms));
+    }
+}
+
+/// Returns an injected I/O error when `site` fires.
+pub fn maybe_io_error(site: &str) -> std::io::Result<()> {
+    if fires(site) {
+        return Err(std::io::Error::other(format!("injected fault: {site}")));
+    }
+    Ok(())
+}
+
+/// Applies transient allocation pressure (touches a multi-megabyte
+/// buffer, then frees it) when `site` fires.
+pub fn maybe_alloc_pressure(site: &str) {
+    if fires(site) {
+        let mut pressure = vec![0u8; 8 << 20];
+        for chunk in pressure.chunks_mut(4096) {
+            chunk[0] = 1;
+        }
+        std::hint::black_box(&pressure);
+    }
+}
+
+/// SplitMix64 — the same bit-mixing generator the solver's restart
+/// seeding uses; one call fully mixes its input.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// FNV-1a over the site name, so distinct sites decorrelate.
+fn fnv1a(s: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_seed_only_schedules_never_fire() {
+        for spec in ["", "seed:7"] {
+            let plan = FaultPlan::parse(spec).unwrap();
+            assert!(!plan.fires("wal.fsync"));
+            assert_eq!(plan.hits("wal.fsync"), 0);
+        }
+    }
+
+    #[test]
+    fn at_rule_fires_exactly_once_at_the_chosen_hit() {
+        let plan = FaultPlan::parse("seed:1,x@3").unwrap();
+        let fired: Vec<bool> = (0..6).map(|_| plan.fires("x")).collect();
+        assert_eq!(fired, vec![false, false, true, false, false, false]);
+        assert_eq!(plan.hits("x"), 6);
+    }
+
+    #[test]
+    fn rate_rules_are_deterministic_across_plans() {
+        let a = FaultPlan::parse("seed:42,x:0.5,y:0.5").unwrap();
+        let b = FaultPlan::parse("seed:42,x:0.5,y:0.5").unwrap();
+        let run = |p: &FaultPlan, s: &str| -> Vec<bool> { (0..64).map(|_| p.fires(s)).collect() };
+        assert_eq!(run(&a, "x"), run(&b, "x"));
+        assert_eq!(run(&a, "y"), run(&b, "y"));
+        // Distinct sites decorrelate under the same seed.
+        let a2 = FaultPlan::parse("seed:42,x:0.5,y:0.5").unwrap();
+        assert_ne!(run(&a2, "x"), run(&a2, "y"));
+    }
+
+    #[test]
+    fn rate_extremes_behave() {
+        let plan = FaultPlan::parse("never:0.0,always:1.0").unwrap();
+        assert!((0..32).all(|_| !plan.fires("never")));
+        assert!((0..32).all(|_| plan.fires("always")));
+    }
+
+    #[test]
+    fn different_seeds_give_different_schedules() {
+        let a = FaultPlan::parse("seed:1,x:0.5").unwrap();
+        let b = FaultPlan::parse("seed:2,x:0.5").unwrap();
+        let fa: Vec<bool> = (0..64).map(|_| a.fires("x")).collect();
+        let fb: Vec<bool> = (0..64).map(|_| b.fires("x")).collect();
+        assert_ne!(fa, fb);
+    }
+
+    #[test]
+    fn malformed_schedules_are_rejected() {
+        for bad in ["seed:x", "x@0", "x@nope", "x:1.5", "x:-0.1", "x"] {
+            assert!(FaultPlan::parse(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn io_error_helper_surfaces_the_site() {
+        let plan = FaultPlan::parse("boom:1.0").unwrap();
+        assert!(plan.fires("boom"));
+        // The global helpers are no-ops without MAPRAT_FAULTS armed.
+        assert!(maybe_io_error("boom").is_ok());
+        maybe_panic("boom");
+        maybe_alloc_pressure("boom");
+        maybe_delay("boom", 1);
+    }
+}

@@ -28,14 +28,22 @@
 //! 4. **publish** — the engine hot-swaps to the new snapshot with
 //!    partition-scoped cache invalidation, and the commit watermark
 //!    (month key + commit sequence) advances.
+//!
+//! With a write-ahead log attached ([`IngestService::with_wal`]) a fifth
+//! step slots in between 1 and 2: the validated events are serialized to
+//! a CRC-framed, fsynced segment ([`wal`]) *before* the splice, so a
+//! crash at any point recovers — by deterministic replay — to a dataset
+//! that explains byte-identically to an uncrashed run.
 
 #![warn(missing_docs)]
 
 mod buffer;
 mod service;
+pub mod wal;
 
 pub use buffer::{IngestBuffer, ItemSpec, NewItem, NewUser, RatingEvent, UserSpec};
-pub use service::{CommitReceipt, IngestService, Watermark};
+pub use service::{CommitReceipt, IngestService, RecoveryReport, Watermark};
+pub use wal::{Wal, WalStats};
 
 use maprat_data::{DataError, ItemId, UserId};
 
@@ -57,6 +65,10 @@ pub enum IngestError {
     /// The spliced batch was rejected by the dataset layer (formatted
     /// [`DataError`] message).
     Data(String),
+    /// The write-ahead log could not durably record the commit (I/O
+    /// failure) or refused to replay it (divergence, duplicate history).
+    /// The commit was **not** applied — durability fails closed.
+    Wal(String),
 }
 
 impl std::fmt::Display for IngestError {
@@ -68,6 +80,7 @@ impl std::fmt::Display for IngestError {
             IngestError::Invalid(msg) => write!(f, "invalid ingest spec: {msg}"),
             IngestError::EmptyCommit => f.write_str("empty commit: no ratings buffered"),
             IngestError::Data(e) => write!(f, "append rejected: {e}"),
+            IngestError::Wal(e) => write!(f, "write-ahead log: {e}"),
         }
     }
 }

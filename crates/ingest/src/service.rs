@@ -1,6 +1,7 @@
 //! The ingest service: single-writer commits over a serving engine.
 
-use crate::buffer::{IngestBuffer, ItemSpec, UserSpec};
+use crate::buffer::{IngestBuffer, ItemSpec, RatingEvent, UserSpec};
+use crate::wal::{Wal, WalRecord, WalStats};
 use crate::IngestError;
 use maprat_core::query::ItemQuery;
 use maprat_cube::{CubeOptions, ProfileSummary, RatingCube};
@@ -11,7 +12,8 @@ use maprat_data::{
 use maprat_explore::MapRatEngine;
 use maprat_pool::num_threads;
 use std::collections::HashSet;
-use std::sync::{Arc, Mutex, PoisonError};
+use std::path::Path;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// Where ingestion has advanced to: the month of the newest rating in
 /// the last commit, plus the monotonically increasing commit sequence
@@ -60,6 +62,24 @@ struct IngestState {
     commit_seq: u64,
     watermark: Option<Watermark>,
     watched: Vec<WatchedCube>,
+    /// Attached write-ahead log, if durability is enabled. Living inside
+    /// the writer lock means log order always equals commit order.
+    wal: Option<Wal>,
+    /// Commits re-applied from the WAL at startup.
+    replayed: u64,
+}
+
+/// What [`IngestService::with_wal`] recovered at startup.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Commits replayed from the log onto the base dataset.
+    pub replayed: u64,
+    /// Torn tail frames dropped during segment repair.
+    pub truncated: u64,
+    /// Highest commit sequence now applied.
+    pub last_seq: u64,
+    /// The durability watermark the base dataset already covered.
+    pub checkpoint: u64,
 }
 
 /// Accepts [`IngestBuffer`]s and publishes them as immutable dataset
@@ -72,7 +92,8 @@ pub struct IngestService {
 }
 
 impl IngestService {
-    /// Creates a service committing into `engine`.
+    /// Creates a service committing into `engine`, without durability:
+    /// commits live only in the engine's in-memory snapshot.
     pub fn new(engine: MapRatEngine) -> Self {
         IngestService {
             engine,
@@ -80,8 +101,70 @@ impl IngestService {
                 commit_seq: 0,
                 watermark: None,
                 watched: Vec::new(),
+                wal: None,
+                replayed: 0,
             }),
         }
+    }
+
+    /// Creates a durable service: opens (repairing torn tails) the
+    /// write-ahead log in `dir`, replays every commit the engine's base
+    /// dataset does not already cover, and arms logging for future
+    /// commits. After this returns, the served dataset is byte-identical
+    /// to one that never crashed.
+    ///
+    /// Replay is checked, not trusted: each record carries the table
+    /// sizes the original commit produced, and a replayed commit that
+    /// allocates differently (divergent base dataset, duplicate or
+    /// gapped history) aborts recovery with [`IngestError::Wal`] rather
+    /// than serving silently diverged data.
+    pub fn with_wal(
+        engine: MapRatEngine,
+        dir: impl AsRef<Path>,
+    ) -> Result<(IngestService, RecoveryReport), IngestError> {
+        let wal = Wal::open(dir).map_err(|e| IngestError::Wal(e.to_string()))?;
+        let replay = wal.replay().map_err(|e| IngestError::Wal(e.to_string()))?;
+        let svc = IngestService::new(engine);
+        {
+            let mut state = svc.lock_state();
+            state.commit_seq = replay.checkpoint;
+            for record in &replay.records {
+                if record.seq != state.commit_seq + 1 {
+                    return Err(IngestError::Wal(format!(
+                        "replay gap: expected seq {}, log has {}",
+                        state.commit_seq + 1,
+                        record.seq
+                    )));
+                }
+                svc.commit_under_lock(&mut state, record.events.clone(), false)?;
+                let d = svc.engine.dataset();
+                let got = (
+                    d.users().len() as u32,
+                    d.items().len() as u32,
+                    d.num_ratings() as u32,
+                );
+                if got != record.expect {
+                    return Err(IngestError::Wal(format!(
+                        "replay diverged at seq {}: commit produced tables {got:?}, \
+                         log recorded {:?}",
+                        record.seq, record.expect
+                    )));
+                }
+                state.replayed += 1;
+            }
+            state.wal = Some(wal);
+        }
+        let report = {
+            let state = svc.lock_state();
+            let stats = state.wal.as_ref().expect("just installed").stats();
+            RecoveryReport {
+                replayed: state.replayed,
+                truncated: stats.truncated,
+                last_seq: state.commit_seq,
+                checkpoint: stats.checkpoint,
+            }
+        };
+        Ok((svc, report))
     }
 
     /// The serving engine commits publish into.
@@ -99,7 +182,7 @@ impl IngestService {
         self.lock_state().commit_seq
     }
 
-    fn lock_state(&self) -> std::sync::MutexGuard<'_, IngestState> {
+    fn lock_state(&self) -> MutexGuard<'_, IngestState> {
         self.state.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
@@ -150,16 +233,37 @@ impl IngestService {
     }
 
     /// Validates, appends and publishes a buffered batch (see the crate
-    /// docs for the four commit steps). Returns what the commit did.
+    /// docs for the four commit steps; with a WAL attached the batch is
+    /// fsynced to the log before the splice). Returns what the commit did.
     pub fn commit(&self, buffer: IngestBuffer) -> Result<CommitReceipt, IngestError> {
         let events = buffer.into_events();
         if events.is_empty() {
             return Err(IngestError::EmptyCommit);
         }
         let mut state = self.lock_state();
+        self.commit_under_lock(&mut state, events, true)
+    }
+
+    /// The commit pipeline proper, already holding the writer lock.
+    /// `log: false` is the replay path: the events came *from* the WAL,
+    /// so re-logging them would duplicate history.
+    fn commit_under_lock(
+        &self,
+        state: &mut IngestState,
+        events: Vec<RatingEvent>,
+        log: bool,
+    ) -> Result<CommitReceipt, IngestError> {
+        maprat_faults::maybe_alloc_pressure("ingest.alloc");
         // The writer lock serializes commits, so the engine's current
         // dataset is exactly the snapshot this commit extends.
         let dataset = self.engine.dataset();
+        // Resolution consumes the events; keep a copy for the log record
+        // only when one will actually be written.
+        let logged = if log && state.wal.is_some() {
+            Some(events.clone())
+        } else {
+            None
+        };
         let batch = resolve(&dataset, events)?;
         let month = batch
             .ratings
@@ -169,6 +273,32 @@ impl IngestService {
             .expect("non-empty commit");
         let (new_users, new_items) = (batch.users.len(), batch.items.len());
         let accepted = batch.ratings.len();
+
+        if let Some(events) = logged {
+            // Durability point: the record — raw events plus the table
+            // sizes this commit will produce (the id-allocation outcome)
+            // — hits disk before any in-memory state changes. A failed
+            // append rejects the commit entirely; an acknowledged commit
+            // survives any crash after this line.
+            let record = WalRecord {
+                seq: state.commit_seq + 1,
+                month,
+                expect: (
+                    (dataset.users().len() + new_users) as u32,
+                    (dataset.items().len() + new_items) as u32,
+                    (dataset.num_ratings() + accepted) as u32,
+                ),
+                events,
+            };
+            maprat_faults::maybe_abort("ingest.commit.pre-log");
+            state
+                .wal
+                .as_mut()
+                .expect("logged is Some only with a WAL")
+                .append(&record)
+                .map_err(|e| IngestError::Wal(e.to_string()))?;
+            maprat_faults::maybe_abort("ingest.commit.post-log");
+        }
 
         let appended = dataset.with_appended(batch)?;
         let new_dataset = Arc::new(appended.dataset);
@@ -196,6 +326,7 @@ impl IngestService {
         let invalidated = self
             .engine
             .swap_dataset_scoped(Arc::clone(&new_dataset), &appended.changed_items);
+        maprat_faults::maybe_abort("ingest.commit.post-publish");
 
         state.commit_seq += 1;
         let seq = state.commit_seq;
@@ -209,6 +340,36 @@ impl IngestService {
             changed_items: appended.changed_items,
             invalidated,
         })
+    }
+
+    /// Persists the current dataset snapshot to `dir` (MovieLens `.dat`
+    /// layout, loadable by `maprat_data::loader`) and advances the WAL's
+    /// durability watermark to the current commit sequence, deleting
+    /// fully covered log partitions. A restart then loads the checkpoint
+    /// dataset and replays only the log tail. Returns the sequence the
+    /// watermark advanced to.
+    pub fn checkpoint_into(&self, dir: impl AsRef<Path>) -> Result<u64, IngestError> {
+        let mut state = self.lock_state();
+        let dataset = self.engine.dataset();
+        maprat_data::writer::write_movielens_dir(&dataset, &dir)?;
+        let seq = state.commit_seq;
+        if let Some(wal) = state.wal.as_mut() {
+            wal.compact(seq)
+                .map_err(|e| IngestError::Wal(e.to_string()))?;
+        }
+        Ok(seq)
+    }
+
+    /// Durability counters for `/api/v1/stats` (`None` when running
+    /// without a WAL).
+    pub fn wal_stats(&self) -> Option<WalStats> {
+        self.lock_state().wal.as_ref().map(Wal::stats)
+    }
+
+    /// Commits replayed from the WAL at startup (0 without a WAL or
+    /// after a clean shutdown).
+    pub fn replayed_commits(&self) -> u64 {
+        self.lock_state().replayed
     }
 }
 
@@ -475,6 +636,125 @@ mod tests {
                 assert_eq!(a.cover, b.cover, "{}", a.desc);
             }
         }
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("maprat-svc-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_commit(svc: &IngestService, month: u32) -> CommitReceipt {
+        let mut buffer = IngestBuffer::new();
+        buffer
+            .push(rating(
+                new_user(90000 + month),
+                ItemSpec::ByTitle("Toy Story".into()),
+                5,
+                (2004, month),
+            ))
+            .unwrap();
+        buffer
+            .push(rating(
+                UserSpec::Existing(UserId(0)),
+                ItemSpec::New(NewItem {
+                    title: format!("Premiere {month}"),
+                    year: 2004,
+                    genres: [Genre::Drama].into_iter().collect(),
+                }),
+                2,
+                (2004, month),
+            ))
+            .unwrap();
+        svc.commit(buffer).unwrap()
+    }
+
+    #[test]
+    fn wal_recovers_acknowledged_commits_onto_a_fresh_engine() {
+        let dir = temp_dir("wal-recover");
+        let base = || generate(&SynthConfig::tiny(211)).unwrap();
+        let (svc, report) =
+            IngestService::with_wal(MapRatEngine::from_dataset(base()), &dir).unwrap();
+        assert_eq!(report, RecoveryReport::default());
+        for month in 1..=3 {
+            sample_commit(&svc, month);
+        }
+        let want = svc.engine().dataset();
+        let stats = svc.wal_stats().unwrap();
+        assert_eq!(stats.last_seq, 3);
+        drop(svc);
+
+        let (recovered, report) =
+            IngestService::with_wal(MapRatEngine::from_dataset(base()), &dir).unwrap();
+        assert_eq!(report.replayed, 3);
+        assert_eq!(recovered.commit_seq(), 3);
+        assert_eq!(recovered.replayed_commits(), 3);
+        let got = recovered.engine().dataset();
+        assert_eq!(got.num_ratings(), want.num_ratings());
+        assert_eq!(got.users().len(), want.users().len());
+        assert_eq!(got.items().len(), want.items().len());
+        assert!(got.find_title("Premiere 3").is_some());
+        assert_eq!(
+            recovered.watermark(),
+            Some(Watermark {
+                month: MonthKey::new(2004, 3),
+                seq: 3
+            })
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn replay_onto_a_diverged_base_dataset_is_refused() {
+        let dir = temp_dir("wal-diverge");
+        let (svc, _) = IngestService::with_wal(
+            MapRatEngine::from_dataset(generate(&SynthConfig::tiny(211)).unwrap()),
+            &dir,
+        )
+        .unwrap();
+        sample_commit(&svc, 1);
+        drop(svc);
+        // A different base (different seed ⇒ different table sizes): the
+        // expect-triple check must refuse to serve diverged data.
+        match IngestService::with_wal(
+            MapRatEngine::from_dataset(generate(&SynthConfig::tiny(212)).unwrap()),
+            &dir,
+        ) {
+            Err(err) => assert!(matches!(err, IngestError::Wal(_)), "{err}"),
+            Ok(_) => panic!("replay onto a diverged base must be refused"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_compacts_the_log_and_restart_replays_only_the_tail() {
+        let wal_dir = temp_dir("wal-ckpt");
+        let snap_dir = temp_dir("wal-ckpt-snap");
+        let (svc, _) = IngestService::with_wal(
+            MapRatEngine::from_dataset(generate(&SynthConfig::tiny(211)).unwrap()),
+            &wal_dir,
+        )
+        .unwrap();
+        for month in 1..=3 {
+            sample_commit(&svc, month);
+        }
+        assert_eq!(svc.checkpoint_into(&snap_dir).unwrap(), 3);
+        assert_eq!(svc.wal_stats().unwrap().checkpoint, 3);
+        sample_commit(&svc, 4); // tail past the checkpoint
+        let want = svc.engine().dataset();
+        drop(svc);
+
+        let base = maprat_data::loader::load_movielens_dir(&snap_dir).unwrap();
+        let (recovered, report) =
+            IngestService::with_wal(MapRatEngine::from_dataset(base), &wal_dir).unwrap();
+        assert_eq!(report.checkpoint, 3);
+        assert_eq!(report.replayed, 1, "only the tail replays");
+        assert_eq!(recovered.commit_seq(), 4);
+        let got = recovered.engine().dataset();
+        assert_eq!(got.num_ratings(), want.num_ratings());
+        assert_eq!(got.users().len(), want.users().len());
+        std::fs::remove_dir_all(&wal_dir).unwrap();
+        std::fs::remove_dir_all(&snap_dir).unwrap();
     }
 
     #[test]

@@ -1,0 +1,822 @@
+//! The crash-safety half of ingestion: a per-partition append-only
+//! write-ahead log.
+//!
+//! [`IngestService::commit`](crate::IngestService::commit) serializes
+//! each validated batch — the raw [`RatingEvent`]s plus the post-commit
+//! table sizes the [`maprat_data::IdAllocator`] will produce — into a
+//! CRC-framed record and fsyncs it **before** the dataset splice and
+//! snapshot publish. Because `resolve` is deterministic (ids are
+//! allocated sequentially, titles are looked up against the snapshot the
+//! sequence numbers order), replaying the log over the same base dataset
+//! reproduces the exact same snapshots, so a `kill -9` at any point
+//! yields a dataset that explains byte-identically to an uncrashed run.
+//! The recorded table sizes double as a replay consistency check: if a
+//! replayed commit allocates differently than the original did, recovery
+//! refuses loudly instead of serving silently diverged data.
+//!
+//! # Layout
+//!
+//! One segment file per *month partition* (`wal-<year>-<month>.seg`, the
+//! partition axis of the dataset itself), so compaction can drop whole
+//! cold partitions. Each segment starts with an 8-byte magic + format
+//! version, followed by length-prefixed records:
+//!
+//! ```text
+//! [ payload_len: u32 | crc32(payload): u32 | payload ]
+//! payload = seq u64 | year i32 | month u32
+//!         | expect_users u32 | expect_items u32 | expect_ratings u32
+//!         | n_events u32 | event…
+//! ```
+//!
+//! All integers little-endian. A crash can tear at most the *last* frame
+//! written (commits are serialized by the writer lock); [`Wal::open`]
+//! repairs by scanning every segment and truncating after the last valid
+//! frame, counting what it dropped. Fsync order is: segment data, then —
+//! for freshly created segments — the directory entry.
+//!
+//! # Compaction
+//!
+//! The `CHECKPOINT` file records the *durability watermark*: the highest
+//! commit sequence already baked into a persisted base snapshot (see
+//! [`IngestService::checkpoint_into`](crate::IngestService::checkpoint_into)).
+//! [`Wal::compact`] advances it atomically (tmp + rename + dir fsync)
+//! and deletes segments whose records all sit at or below it; replay
+//! skips any record the watermark already covers.
+
+use crate::buffer::{ItemSpec, NewItem, NewUser, RatingEvent, UserSpec};
+use maprat_data::{
+    AgeGroup, Gender, Genre, GenreSet, ItemId, MonthKey, Occupation, Score, Timestamp, UserId, Zip,
+};
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+const SEGMENT_MAGIC: &[u8; 8] = b"MRWALSEG";
+const SEGMENT_VERSION: u32 = 1;
+const HEADER_LEN: u64 = 12;
+/// Upper bound on one record's payload (a safety valve against reading
+/// a garbage length field as a multi-gigabyte allocation).
+const MAX_PAYLOAD: u32 = 64 << 20;
+
+/// One durable commit: everything needed to re-run the commit
+/// deterministically, plus the table sizes it must reproduce.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalRecord {
+    /// The commit sequence number (first commit = 1).
+    pub seq: u64,
+    /// The commit's month partition (month of its newest rating).
+    pub month: MonthKey,
+    /// `(users, items, ratings)` table lengths *after* this commit — the
+    /// id-allocation consistency check replay verifies.
+    pub expect: (u32, u32, u32),
+    /// The raw, pre-resolution events of the commit.
+    pub events: Vec<RatingEvent>,
+}
+
+/// What [`Wal::replay`] found.
+#[derive(Debug, Clone, Default)]
+pub struct WalReplay {
+    /// Unapplied records, sorted by sequence number.
+    pub records: Vec<WalRecord>,
+    /// Torn/corrupt tail frames dropped during segment repair.
+    pub truncated: u64,
+    /// The durability watermark (records at or below it were skipped).
+    pub checkpoint: u64,
+}
+
+/// Durability counters for `/api/v1/stats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// Live segment files.
+    pub segments: usize,
+    /// Torn frames dropped by segment repair at open.
+    pub truncated: u64,
+    /// Highest sequence number appended or replayed.
+    pub last_seq: u64,
+    /// The compaction watermark.
+    pub checkpoint: u64,
+}
+
+struct Segment {
+    path: PathBuf,
+    max_seq: u64,
+}
+
+/// The per-partition write-ahead log (see the [module docs](self)).
+pub struct Wal {
+    dir: PathBuf,
+    checkpoint: u64,
+    truncated: u64,
+    last_seq: u64,
+    segments: BTreeMap<i32, Segment>,
+    /// Cached handle for the partition currently being appended to.
+    open: Option<(i32, File)>,
+    /// Set when a failed append could not be rolled back; every further
+    /// append is refused (fail closed) until the process restarts.
+    broken: bool,
+}
+
+impl Wal {
+    /// Opens (creating if needed) the log in `dir`, repairing torn
+    /// segment tails in place.
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<Wal> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let checkpoint = read_checkpoint(&dir)?;
+        let mut wal = Wal {
+            dir: dir.clone(),
+            checkpoint,
+            truncated: 0,
+            last_seq: checkpoint,
+            segments: BTreeMap::new(),
+            open: None,
+            broken: false,
+        };
+        for entry in std::fs::read_dir(&dir)? {
+            let path = entry?.path();
+            let Some(raw) = parse_segment_name(&path) else {
+                continue;
+            };
+            let (records, valid_len, dropped) = scan_segment(&path)?;
+            let file_len = std::fs::metadata(&path)?.len();
+            if valid_len < file_len {
+                let f = OpenOptions::new().write(true).open(&path)?;
+                f.set_len(valid_len)?;
+                f.sync_data()?;
+            }
+            wal.truncated += dropped;
+            let max_seq = records.iter().map(|r| r.seq).max().unwrap_or(0);
+            wal.last_seq = wal.last_seq.max(max_seq);
+            wal.segments.insert(raw, Segment { path, max_seq });
+        }
+        Ok(wal)
+    }
+
+    /// Reads every unapplied record (sequence above the checkpoint),
+    /// sorted by sequence number. Duplicate sequence numbers are refused:
+    /// recovery must never have to guess which of two histories to serve.
+    pub fn replay(&self) -> io::Result<WalReplay> {
+        let mut records = Vec::new();
+        for seg in self.segments.values() {
+            let (recs, _, _) = scan_segment(&seg.path)?;
+            records.extend(recs.into_iter().filter(|r| r.seq > self.checkpoint));
+        }
+        records.sort_by_key(|r| r.seq);
+        for pair in records.windows(2) {
+            if pair[0].seq == pair[1].seq {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("duplicate commit seq {} in WAL", pair[0].seq),
+                ));
+            }
+        }
+        Ok(WalReplay {
+            records,
+            truncated: self.truncated,
+            checkpoint: self.checkpoint,
+        })
+    }
+
+    /// Appends one record and fsyncs it. On any failure the partial
+    /// frame is rolled back (or, if rollback itself fails, the log is
+    /// marked broken and refuses further appends) — a frame is either
+    /// fully durable or not on disk at all.
+    pub fn append(&mut self, record: &WalRecord) -> io::Result<()> {
+        if self.broken {
+            return Err(io::Error::other(
+                "WAL broken by an earlier failed append; restart to repair",
+            ));
+        }
+        // Injected fsync failure: fail before touching the file, the
+        // fail-closed path a real EIO on fsync must also take.
+        maprat_faults::maybe_io_error("wal.fsync")?;
+
+        let raw = record.month.raw();
+        let frame = encode_frame(record);
+        let mut new_segment = false;
+        if self.open.as_ref().map(|(m, _)| *m) != Some(raw) {
+            self.open = None; // drop the previous partition's handle
+            let path = self.segment_path(record.month);
+            let mut file = OpenOptions::new().create(true).append(true).open(&path)?;
+            if file.metadata()?.len() < HEADER_LEN {
+                // Fresh segment — or one whose own header write was torn
+                // by a crash. The header is written unsynced: the first
+                // frame's sync_data below makes header and frame durable
+                // in one flush, and the directory fsync after it makes
+                // the file name durable, all before the commit is
+                // acknowledged.
+                file.set_len(0)?;
+                file.write_all(SEGMENT_MAGIC)?;
+                file.write_all(&SEGMENT_VERSION.to_le_bytes())?;
+                new_segment = true;
+            }
+            self.segments
+                .entry(raw)
+                .or_insert(Segment { path, max_seq: 0 });
+            self.open = Some((raw, file));
+        }
+        let (_, file) = self.open.as_mut().expect("handle just installed");
+        let len_before = file.metadata()?.len();
+
+        let wrote = write_frame(file, &frame);
+        if let Err(e) = wrote {
+            self.rollback(len_before);
+            return Err(e);
+        }
+        if let Err(e) = file.sync_data() {
+            self.rollback(len_before);
+            return Err(e);
+        }
+        if new_segment {
+            // Rolling back on a dir-fsync failure leaves a valid,
+            // empty-bodied segment; the frame is re-appended on retry.
+            if let Err(e) = sync_dir(&self.dir) {
+                self.rollback(len_before);
+                return Err(e);
+            }
+        }
+        self.last_seq = self.last_seq.max(record.seq);
+        if let Some(seg) = self.segments.get_mut(&raw) {
+            seg.max_seq = seg.max_seq.max(record.seq);
+        }
+        Ok(())
+    }
+
+    /// Advances the durability watermark to `up_to` (atomically: tmp +
+    /// rename + directory fsync) and deletes segments whose records all
+    /// sit at or below it. Returns the number of segments removed.
+    ///
+    /// Only call after the base snapshot recovery starts from provably
+    /// contains every commit up to `up_to` (see
+    /// [`IngestService::checkpoint_into`](crate::IngestService::checkpoint_into)).
+    pub fn compact(&mut self, up_to: u64) -> io::Result<usize> {
+        if up_to > self.checkpoint {
+            write_checkpoint(&self.dir, up_to)?;
+            self.checkpoint = up_to;
+        }
+        let doomed: Vec<i32> = self
+            .segments
+            .iter()
+            .filter(|(_, s)| s.max_seq <= self.checkpoint)
+            .map(|(&raw, _)| raw)
+            .collect();
+        for raw in &doomed {
+            if self.open.as_ref().map(|(m, _)| m == raw).unwrap_or(false) {
+                self.open = None;
+            }
+            let seg = self.segments.remove(raw).expect("listed above");
+            std::fs::remove_file(&seg.path)?;
+        }
+        if !doomed.is_empty() {
+            sync_dir(&self.dir)?;
+        }
+        Ok(doomed.len())
+    }
+
+    /// Current durability counters.
+    pub fn stats(&self) -> WalStats {
+        WalStats {
+            segments: self.segments.len(),
+            truncated: self.truncated,
+            last_seq: self.last_seq,
+            checkpoint: self.checkpoint,
+        }
+    }
+
+    fn segment_path(&self, month: MonthKey) -> PathBuf {
+        self.dir
+            .join(format!("wal-{:04}-{:02}.seg", month.year(), month.month()))
+    }
+
+    fn rollback(&mut self, len_before: u64) {
+        let ok = self
+            .open
+            .as_mut()
+            .map(|(_, f)| f.set_len(len_before).and_then(|_| f.sync_data()).is_ok())
+            .unwrap_or(false);
+        if !ok {
+            self.broken = true;
+        }
+    }
+}
+
+/// Writes the torn-write fault site into an otherwise plain frame write:
+/// when `wal.torn` fires, only a prefix of the frame reaches the file and
+/// the process aborts — exactly the disk state a power cut mid-write
+/// leaves behind, which `Wal::open` must then repair.
+fn write_frame(file: &mut File, frame: &[u8]) -> io::Result<()> {
+    if maprat_faults::fires("wal.torn") {
+        let half = frame.len() / 2;
+        let _ = file.write_all(&frame[..half]);
+        let _ = file.sync_data();
+        eprintln!("injected torn write: wal.torn");
+        std::process::abort();
+    }
+    file.write_all(frame)
+}
+
+fn sync_dir(dir: &Path) -> io::Result<()> {
+    File::open(dir)?.sync_all()
+}
+
+fn checkpoint_path(dir: &Path) -> PathBuf {
+    dir.join("CHECKPOINT")
+}
+
+fn read_checkpoint(dir: &Path) -> io::Result<u64> {
+    match std::fs::read_to_string(checkpoint_path(dir)) {
+        Ok(text) => text
+            .trim()
+            .parse::<u64>()
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "corrupt CHECKPOINT file")),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(0),
+        Err(e) => Err(e),
+    }
+}
+
+fn write_checkpoint(dir: &Path, seq: u64) -> io::Result<()> {
+    let tmp = dir.join("CHECKPOINT.tmp");
+    let mut f = File::create(&tmp)?;
+    writeln!(f, "{seq}")?;
+    f.sync_data()?;
+    std::fs::rename(&tmp, checkpoint_path(dir))?;
+    sync_dir(dir)
+}
+
+fn parse_segment_name(path: &Path) -> Option<i32> {
+    let name = path.file_name()?.to_str()?;
+    let rest = name.strip_prefix("wal-")?.strip_suffix(".seg")?;
+    let (year, month) = rest.split_once('-')?;
+    Some(MonthKey::new(year.parse().ok()?, month.parse().ok()?).raw())
+}
+
+/// Parses a segment, stopping at the first torn/corrupt frame. Returns
+/// the valid records, the byte length of the valid prefix, and how many
+/// broken tail frames were detected (0 or 1 — parsing stops at the
+/// first).
+fn scan_segment(path: &Path) -> io::Result<(Vec<WalRecord>, u64, u64)> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    if bytes.len() < HEADER_LEN as usize
+        || &bytes[..8] != SEGMENT_MAGIC
+        || bytes[8..12] != SEGMENT_VERSION.to_le_bytes()
+    {
+        // A header torn mid-write: the whole file is one broken frame.
+        return Ok((Vec::new(), 0, 1));
+    }
+    let mut records = Vec::new();
+    let mut offset = HEADER_LEN as usize;
+    loop {
+        if offset == bytes.len() {
+            return Ok((records, offset as u64, 0));
+        }
+        let Some(frame) = read_frame(&bytes[offset..]) else {
+            return Ok((records, offset as u64, 1));
+        };
+        let (payload, consumed) = frame;
+        match decode_record(payload) {
+            Some(record) => records.push(record),
+            None => return Ok((records, offset as u64, 1)),
+        }
+        offset += consumed;
+    }
+}
+
+/// Validates one `[len | crc | payload]` frame at the start of `bytes`.
+fn read_frame(bytes: &[u8]) -> Option<(&[u8], usize)> {
+    if bytes.len() < 8 {
+        return None;
+    }
+    let len = u32::from_le_bytes(bytes[0..4].try_into().unwrap());
+    let crc = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    if len > MAX_PAYLOAD || bytes.len() < 8 + len as usize {
+        return None;
+    }
+    let payload = &bytes[8..8 + len as usize];
+    if crc32(payload) != crc {
+        return None;
+    }
+    Some((payload, 8 + len as usize))
+}
+
+fn encode_frame(record: &WalRecord) -> Vec<u8> {
+    let payload = encode_record(record);
+    let mut frame = Vec::with_capacity(8 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+// --- record codec -------------------------------------------------------
+
+fn encode_record(record: &WalRecord) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 + record.events.len() * 32);
+    out.extend_from_slice(&record.seq.to_le_bytes());
+    out.extend_from_slice(&record.month.year().to_le_bytes());
+    out.extend_from_slice(&record.month.month().to_le_bytes());
+    let (u, i, r) = record.expect;
+    out.extend_from_slice(&u.to_le_bytes());
+    out.extend_from_slice(&i.to_le_bytes());
+    out.extend_from_slice(&r.to_le_bytes());
+    out.extend_from_slice(&(record.events.len() as u32).to_le_bytes());
+    for event in &record.events {
+        encode_event(&mut out, event);
+    }
+    out
+}
+
+fn encode_event(out: &mut Vec<u8>, event: &RatingEvent) {
+    match &event.user {
+        UserSpec::Existing(id) => {
+            out.push(0);
+            out.extend_from_slice(&id.0.to_le_bytes());
+        }
+        UserSpec::New(u) => {
+            out.push(1);
+            out.extend_from_slice(&u.age.movielens_code().to_le_bytes());
+            out.push(u.gender.letter().as_bytes()[0]);
+            out.extend_from_slice(&u.occupation.movielens_code().to_le_bytes());
+            out.extend_from_slice(&u.zip.value().to_le_bytes());
+        }
+    }
+    match &event.item {
+        ItemSpec::Existing(id) => {
+            out.push(0);
+            out.extend_from_slice(&id.0.to_le_bytes());
+        }
+        ItemSpec::ByTitle(title) => {
+            out.push(1);
+            encode_str(out, title);
+        }
+        ItemSpec::New(item) => {
+            out.push(2);
+            encode_str(out, &item.title);
+            out.extend_from_slice(&item.year.to_le_bytes());
+            out.extend_from_slice(&genre_bits(item.genres).to_le_bytes());
+        }
+    }
+    out.push(event.score.get());
+    out.extend_from_slice(&event.ts.secs().to_le_bytes());
+}
+
+fn encode_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn genre_bits(set: GenreSet) -> u32 {
+    let mut bits = 0u32;
+    for g in set.iter() {
+        let idx = Genre::ALL
+            .iter()
+            .position(|&x| x == g)
+            .expect("every genre is in ALL");
+        bits |= 1 << idx;
+    }
+    bits
+}
+
+/// A tiny cursor for decoding; any short read or invalid value returns
+/// `None`, which the segment scanner treats as a torn frame.
+struct Dec<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> Dec<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        if self.bytes.len() < n {
+            return None;
+        }
+        let (head, tail) = self.bytes.split_at(n);
+        self.bytes = tail;
+        Some(head)
+    }
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Option<u16> {
+        Some(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn i32(&mut self) -> Option<i32> {
+        Some(i32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn i64(&mut self) -> Option<i64> {
+        Some(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn str(&mut self) -> Option<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+}
+
+fn decode_record(payload: &[u8]) -> Option<WalRecord> {
+    let mut d = Dec { bytes: payload };
+    let seq = d.u64()?;
+    let month = MonthKey::new(d.i32()?, d.u32()?);
+    let expect = (d.u32()?, d.u32()?, d.u32()?);
+    let n = d.u32()? as usize;
+    let mut events = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        events.push(decode_event(&mut d)?);
+    }
+    if !d.bytes.is_empty() {
+        return None; // trailing garbage inside a "valid" CRC frame
+    }
+    Some(WalRecord {
+        seq,
+        month,
+        expect,
+        events,
+    })
+}
+
+fn decode_event(d: &mut Dec<'_>) -> Option<RatingEvent> {
+    let user = match d.u8()? {
+        0 => UserSpec::Existing(UserId(d.u32()?)),
+        1 => {
+            let age = AgeGroup::from_movielens_code(d.u32()?).ok()?;
+            let gender = match d.u8()? {
+                b'M' => Gender::Male,
+                b'F' => Gender::Female,
+                _ => return None,
+            };
+            let occupation = Occupation::from_movielens_code(d.u32()?).ok()?;
+            let zip = Zip::new(d.u32()?);
+            UserSpec::New(NewUser {
+                age,
+                gender,
+                occupation,
+                zip,
+            })
+        }
+        _ => return None,
+    };
+    let item = match d.u8()? {
+        0 => ItemSpec::Existing(ItemId(d.u32()?)),
+        1 => ItemSpec::ByTitle(d.str()?),
+        2 => {
+            let title = d.str()?;
+            let year = d.u16()?;
+            let bits = d.u32()?;
+            let genres = GenreSet::of(
+                (0..Genre::ALL.len())
+                    .filter(|i| bits & (1 << i) != 0)
+                    .filter_map(Genre::from_index),
+            );
+            ItemSpec::New(NewItem {
+                title,
+                year,
+                genres,
+            })
+        }
+        _ => return None,
+    };
+    let score = Score::new(d.u8()?).ok()?;
+    let ts = Timestamp(d.i64()?);
+    Some(RatingEvent {
+        user,
+        item,
+        score,
+        ts,
+    })
+}
+
+/// CRC-32 (IEEE 802.3, the zlib polynomial), table-driven; the build
+/// environment is offline so the table is generated at compile time
+/// rather than pulled from a crate.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = crc32_table();
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            bit += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("maprat-wal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_record(seq: u64) -> WalRecord {
+        WalRecord {
+            seq,
+            month: MonthKey::new(2003, 1 + (seq % 12) as u32),
+            expect: (100 + seq as u32, 50, 1000 + seq as u32 * 3),
+            events: vec![
+                RatingEvent {
+                    user: UserSpec::New(NewUser {
+                        age: AgeGroup::From25To34,
+                        gender: Gender::Female,
+                        occupation: Occupation::Artist,
+                        zip: Zip::new(94103),
+                    }),
+                    item: ItemSpec::ByTitle("Toy Story".into()),
+                    score: Score::new(5).unwrap(),
+                    ts: Timestamp::from_ymd(2003, 1, 14),
+                },
+                RatingEvent {
+                    user: UserSpec::Existing(UserId(7)),
+                    item: ItemSpec::New(NewItem {
+                        title: format!("Sequel {seq}"),
+                        year: 2003,
+                        genres: [Genre::Thriller, Genre::SciFi].into_iter().collect(),
+                    }),
+                    score: Score::new(3).unwrap(),
+                    ts: Timestamp::from_ymd(2003, 2, 1),
+                },
+                RatingEvent {
+                    user: UserSpec::Existing(UserId(9)),
+                    item: ItemSpec::Existing(ItemId(2)),
+                    score: Score::new(1).unwrap(),
+                    ts: Timestamp::from_ymd(2003, 2, 2),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE test vectors (zlib's crc32).
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn record_codec_round_trips() {
+        let record = sample_record(42);
+        let decoded = decode_record(&encode_record(&record)).unwrap();
+        assert_eq!(decoded, record);
+    }
+
+    #[test]
+    fn append_then_replay_round_trips_across_partitions() {
+        let dir = tmp_dir("roundtrip");
+        let mut wal = Wal::open(&dir).unwrap();
+        let records: Vec<WalRecord> = (1..=5).map(sample_record).collect();
+        for r in &records {
+            wal.append(r).unwrap();
+        }
+        assert!(wal.stats().segments >= 2, "months map to separate segments");
+        assert_eq!(wal.stats().last_seq, 5);
+        drop(wal);
+
+        let wal = Wal::open(&dir).unwrap();
+        let replay = wal.replay().unwrap();
+        assert_eq!(replay.records, records, "seq-sorted across partitions");
+        assert_eq!(replay.truncated, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_repaired_and_earlier_records_survive() {
+        let dir = tmp_dir("torn");
+        let mut wal = Wal::open(&dir).unwrap();
+        let keep = sample_record(1);
+        let gone = WalRecord {
+            seq: 2,
+            ..sample_record(1)
+        };
+        wal.append(&keep).unwrap();
+        wal.append(&gone).unwrap();
+        drop(wal);
+
+        // Tear the tail: chop bytes off the (single-month) segment so the
+        // second frame is incomplete.
+        let seg = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .find(|p| p.extension().is_some_and(|x| x == "seg"))
+            .unwrap();
+        let len = std::fs::metadata(&seg).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&seg).unwrap();
+        f.set_len(len - 7).unwrap();
+        drop(f);
+
+        let wal = Wal::open(&dir).unwrap();
+        let replay = wal.replay().unwrap();
+        assert_eq!(replay.records, vec![keep.clone()]);
+        assert_eq!(replay.truncated, 1);
+
+        // The repair truncated the file: appending works again and the
+        // segment parses clean end to end.
+        let mut wal = wal;
+        let next = WalRecord {
+            seq: 2,
+            ..keep.clone()
+        };
+        wal.append(&next).unwrap();
+        let replay = Wal::open(&dir).unwrap().replay().unwrap();
+        assert_eq!(replay.records.len(), 2);
+        assert_eq!(replay.truncated, 0, "repaired segment is clean");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupted_payload_bytes_fail_the_crc() {
+        let dir = tmp_dir("flip");
+        let mut wal = Wal::open(&dir).unwrap();
+        wal.append(&sample_record(1)).unwrap();
+        drop(wal);
+        let seg = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .find(|p| p.extension().is_some_and(|x| x == "seg"))
+            .unwrap();
+        let mut bytes = std::fs::read(&seg).unwrap();
+        let last = bytes.len() - 3;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&seg, &bytes).unwrap();
+
+        let replay = Wal::open(&dir).unwrap().replay().unwrap();
+        assert!(replay.records.is_empty(), "bit flip must not decode");
+        assert_eq!(replay.truncated, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_drops_covered_partitions_and_survives_reopen() {
+        let dir = tmp_dir("compact");
+        let mut wal = Wal::open(&dir).unwrap();
+        // Seqs 1..=3 in month A, 4..=5 in month B.
+        for seq in 1..=5u64 {
+            let mut r = sample_record(seq);
+            r.month = if seq <= 3 {
+                MonthKey::new(2003, 1)
+            } else {
+                MonthKey::new(2003, 2)
+            };
+            wal.append(&r).unwrap();
+        }
+        assert_eq!(wal.stats().segments, 2);
+        let removed = wal.compact(3).unwrap();
+        assert_eq!(removed, 1, "month A is fully covered");
+        assert_eq!(wal.stats().segments, 1);
+        assert_eq!(wal.stats().checkpoint, 3);
+
+        let wal = Wal::open(&dir).unwrap();
+        assert_eq!(wal.stats().checkpoint, 3, "watermark is durable");
+        let replay = wal.replay().unwrap();
+        let seqs: Vec<u64> = replay.records.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![4, 5]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn replay_skips_records_at_or_below_the_checkpoint() {
+        let dir = tmp_dir("skip");
+        let mut wal = Wal::open(&dir).unwrap();
+        // All five seqs share one month: compaction cannot drop the
+        // segment (max_seq > watermark), replay must filter instead.
+        for seq in 1..=5u64 {
+            let mut r = sample_record(seq);
+            r.month = MonthKey::new(2003, 1);
+            wal.append(&r).unwrap();
+        }
+        assert_eq!(wal.compact(2).unwrap(), 0);
+        let replay = wal.replay().unwrap();
+        let seqs: Vec<u64> = replay.records.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![3, 4, 5]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

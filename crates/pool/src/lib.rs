@@ -271,6 +271,10 @@ impl WorkerPool {
 
 fn worker_loop(rx: Receiver<Job>) {
     while let Ok(job) = rx.recv() {
+        // Chaos harness: a "slow worker" (GC pause, noisy neighbor,
+        // overcommitted core) stalls before picking up its job. Inert
+        // unless a `MAPRAT_FAULTS` schedule arms the site.
+        maprat_faults::maybe_delay("worker.slow", 25);
         match job {
             // `drain` catches item panics itself, so the worker survives.
             Job::Help(core) => with_fan_out_flag(|| core.drain()),

@@ -121,7 +121,22 @@ impl ApiError {
             MineError::NoRatings | MineError::NoCandidates => ApiError::not_found(e.to_string())
                 .with_hint("widen the time window or lower support/coverage"),
             MineError::InvalidSettings(_) => ApiError::invalid_settings(e.to_string()),
+            MineError::DeadlineExceeded => ApiError::new("deadline_exceeded", e.to_string())
+                .with_hint("raise X-MapRat-Deadline-Ms or retry without a deadline"),
+            MineError::Internal(_) => {
+                ApiError::new("internal", e.to_string()).with_hint("safe to retry")
+            }
         }
+    }
+
+    /// A 503 emitted by the admission controller when the server is
+    /// saturated and the request has no cached answer.
+    pub fn overloaded(in_flight: usize, watermark: usize) -> Self {
+        ApiError::new(
+            "overloaded",
+            format!("server saturated: {in_flight} solves in flight (watermark {watermark})"),
+        )
+        .with_hint("retry after the interval in the Retry-After header")
     }
 
     /// The HTTP status this error is served with.
@@ -130,6 +145,8 @@ impl ApiError {
             "bad_request" | "invalid_settings" => 400,
             "not_found" | "unknown_route" => 404,
             "method_not_allowed" => 405,
+            "overloaded" => 503,
+            "deadline_exceeded" => 504,
             _ => 500,
         }
     }
@@ -1510,6 +1527,14 @@ pub fn from_ingest(e: &IngestError) -> ApiError {
         IngestError::Invalid(_) | IngestError::EmptyCommit | IngestError::Data(_) => {
             ApiError::bad_request(e.to_string())
         }
+        // Durability failed closed: the commit was rejected, nothing was
+        // applied, and retrying once the log is healthy is safe.
+        IngestError::Wal(_) => ApiError {
+            code: "wal_unavailable".to_string(),
+            message: e.to_string(),
+            hint: Some("the commit was not applied; check the WAL directory and retry".into()),
+            available_routes: Vec::new(),
+        },
     }
 }
 

@@ -134,6 +134,9 @@ impl Response {
             400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
+            408 => "Request Timeout",
+            503 => "Service Unavailable",
+            504 => "Gateway Timeout",
             _ => "Internal Server Error",
         }
     }
@@ -221,23 +224,82 @@ pub fn parse_query(query: &str) -> HashMap<String, String> {
 /// are tiny; anything bigger is abuse).
 pub const MAX_BODY_BYTES: usize = 1 << 20;
 
-/// Parses an HTTP/1.1 request (head plus `Content-Length` body) from a
-/// buffered stream. `Ok(None)` is a clean end-of-stream: the client
-/// closed an idle (keep-alive) connection between requests.
-pub fn parse_request(reader: &mut impl BufRead) -> Result<Option<Request>, String> {
+/// How long the server waits for a declared `Content-Length` body once
+/// the head has fully arrived. Deliberately much shorter than the head
+/// read timeout: a client that sent its headers but dribbles (or
+/// abandons) its body is pinning a pool worker and an admission permit.
+const BODY_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(2);
+
+/// Why a request could not be parsed — drives the status code of the
+/// error response (where one is owed at all).
+#[derive(Debug)]
+pub enum ParseError {
+    /// Stream-level failure while reading the head. On a keep-alive
+    /// connection that has already served a request this is the normal
+    /// idle-timeout close and earns no response.
+    Read(String),
+    /// Syntactically invalid request → 400.
+    Malformed(String),
+    /// The declared `Content-Length` body stopped arriving before the
+    /// body read timeout → 408: the request was well-formed, the client
+    /// was just too slow to finish it.
+    BodyTimeout(String),
+    /// The connection closed (EOF) with the body still short of its
+    /// declared `Content-Length` → 400.
+    ShortBody(String),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Read(e) => write!(f, "read error: {e}"),
+            ParseError::Malformed(e) => f.write_str(e),
+            ParseError::BodyTimeout(e) => write!(f, "body read timed out: {e}"),
+            ParseError::ShortBody(e) => write!(f, "short body: {e}"),
+        }
+    }
+}
+
+/// A parsed request head: everything before the body.
+pub struct RequestHead {
+    method: String,
+    path: String,
+    query: HashMap<String, String>,
+    headers: HashMap<String, String>,
+    keep_alive: bool,
+    content_length: usize,
+}
+
+impl RequestHead {
+    /// The declared `Content-Length` (0 when absent).
+    pub fn content_length(&self) -> usize {
+        self.content_length
+    }
+}
+
+/// Parses the head (request line + headers) of an HTTP/1.1 request.
+/// `Ok(None)` is a clean end-of-stream: the client closed an idle
+/// (keep-alive) connection between requests.
+pub fn parse_head(reader: &mut impl BufRead) -> Result<Option<RequestHead>, ParseError> {
     let mut line = String::new();
     let n = reader
         .read_line(&mut line)
-        .map_err(|e| format!("read error: {e}"))?;
+        .map_err(|e| ParseError::Read(e.to_string()))?;
     if n == 0 {
         return Ok(None);
     }
+    let malformed = |msg: &str| ParseError::Malformed(msg.to_string());
     let mut parts = line.split_whitespace();
-    let method = parts.next().ok_or("missing method")?.to_string();
-    let target = parts.next().ok_or("missing target")?;
-    let version = parts.next().ok_or("missing version")?;
+    let method = parts
+        .next()
+        .ok_or_else(|| malformed("missing method"))?
+        .to_string();
+    let target = parts.next().ok_or_else(|| malformed("missing target"))?;
+    let version = parts.next().ok_or_else(|| malformed("missing version"))?;
     if !version.starts_with("HTTP/1.") {
-        return Err(format!("unsupported version {version}"));
+        return Err(ParseError::Malformed(format!(
+            "unsupported version {version}"
+        )));
     }
     let http11 = version != "HTTP/1.0";
     let (path_raw, query_raw) = match target.split_once('?') {
@@ -249,7 +311,7 @@ pub fn parse_request(reader: &mut impl BufRead) -> Result<Option<Request>, Strin
         let mut hline = String::new();
         reader
             .read_line(&mut hline)
-            .map_err(|e| format!("read error: {e}"))?;
+            .map_err(|e| ParseError::Read(e.to_string()))?;
         let trimmed = hline.trim_end();
         if trimmed.is_empty() {
             break;
@@ -258,32 +320,69 @@ pub fn parse_request(reader: &mut impl BufRead) -> Result<Option<Request>, Strin
             headers.insert(name.trim().to_lowercase(), value.trim().to_string());
         }
     }
-    let mut body = Vec::new();
-    if let Some(len_raw) = headers.get("content-length") {
-        let len: usize = len_raw
-            .parse()
-            .map_err(|_| format!("bad content-length {len_raw:?}"))?;
-        if len > MAX_BODY_BYTES {
-            return Err(format!("body of {len} bytes exceeds {MAX_BODY_BYTES}"));
+    let content_length = match headers.get("content-length") {
+        Some(raw) => {
+            let len: usize = raw
+                .parse()
+                .map_err(|_| ParseError::Malformed(format!("bad content-length {raw:?}")))?;
+            if len > MAX_BODY_BYTES {
+                return Err(ParseError::Malformed(format!(
+                    "body of {len} bytes exceeds {MAX_BODY_BYTES}"
+                )));
+            }
+            len
         }
-        body.resize(len, 0);
-        reader
-            .read_exact(&mut body)
-            .map_err(|e| format!("short body: {e}"))?;
-    }
+        None => 0,
+    };
     let keep_alive = match headers.get("connection").map(|v| v.to_ascii_lowercase()) {
         Some(c) if c.contains("close") => false,
         Some(c) if c.contains("keep-alive") => true,
         _ => http11,
     };
-    Ok(Some(Request {
+    Ok(Some(RequestHead {
         method,
         path: percent_decode(path_raw),
         query: parse_query(query_raw),
         headers,
-        body,
         keep_alive,
+        content_length,
     }))
+}
+
+/// Reads the head's declared body and assembles the full [`Request`],
+/// distinguishing a stalled client ([`ParseError::BodyTimeout`] → 408)
+/// from one that hung up mid-body ([`ParseError::ShortBody`] → 400).
+pub fn read_body(reader: &mut impl BufRead, head: RequestHead) -> Result<Request, ParseError> {
+    let mut body = vec![0u8; head.content_length];
+    if !body.is_empty() {
+        reader.read_exact(&mut body).map_err(|e| match e.kind() {
+            std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock => {
+                ParseError::BodyTimeout(e.to_string())
+            }
+            std::io::ErrorKind::UnexpectedEof => ParseError::ShortBody(e.to_string()),
+            _ => ParseError::Read(e.to_string()),
+        })?;
+    }
+    Ok(Request {
+        method: head.method,
+        path: head.path,
+        query: head.query,
+        headers: head.headers,
+        body,
+        keep_alive: head.keep_alive,
+    })
+}
+
+/// Parses a complete HTTP/1.1 request (head plus `Content-Length` body)
+/// from a buffered stream. `Ok(None)` is a clean end-of-stream. The
+/// serving loop uses the split [`parse_head`] / [`read_body`] form so it
+/// can arm the shorter body timeout in between; this convenience exists
+/// for non-socket readers and tests.
+pub fn parse_request(reader: &mut impl BufRead) -> Result<Option<Request>, ParseError> {
+    match parse_head(reader)? {
+        Some(head) => Ok(Some(read_body(reader, head)?)),
+        None => Ok(None),
+    }
 }
 
 /// The idle keep-alive timeout from `MAPRAT_KEEPALIVE_SECS`; `None`
@@ -447,8 +546,32 @@ fn serve_connection(mut stream: TcpStream, handler: &Handler) {
     };
     let mut reader = BufReader::new(read_half);
     let mut served_any = false;
+    let head_timeout = |served: bool| {
+        if served {
+            idle_timeout
+        } else {
+            Some(std::time::Duration::from_secs(10))
+        }
+    };
     loop {
-        match parse_request(&mut reader) {
+        let parsed = match parse_head(&mut reader) {
+            Ok(Some(head)) => {
+                // The head is in hand: the client now owes exactly
+                // `Content-Length` more bytes, and gets only the (short)
+                // body timeout to deliver them.
+                if head.content_length() > 0 {
+                    let _ = stream.set_read_timeout(Some(BODY_TIMEOUT));
+                    let req = read_body(&mut reader, head);
+                    let _ = stream.set_read_timeout(head_timeout(served_any));
+                    req.map(Some)
+                } else {
+                    read_body(&mut reader, head).map(Some)
+                }
+            }
+            Ok(None) => Ok(None),
+            Err(e) => Err(e),
+        };
+        match parsed {
             Ok(Some(req)) => {
                 let keep = req.keep_alive && idle_timeout.is_some();
                 let response = handler(&req);
@@ -466,9 +589,19 @@ fn serve_connection(mut stream: TcpStream, handler: &Handler) {
             Ok(None) => return, // client closed an idle connection
             Err(e) => {
                 // An idle-timeout between keep-alive requests is a normal
-                // close; a malformed first line still earns a 400.
-                if !served_any || !e.starts_with("read error") {
-                    let _ = Response::error(400, e).write_to(&mut stream, false);
+                // close; anything else earns a structured error response:
+                // 408 for a client too slow to finish its declared body,
+                // 400 for malformed or truncated requests.
+                let response = match &e {
+                    ParseError::BodyTimeout(_) => Some(Response::error(408, e.to_string())),
+                    ParseError::Malformed(_) | ParseError::ShortBody(_) => {
+                        Some(Response::error(400, e.to_string()))
+                    }
+                    ParseError::Read(_) if served_any => None,
+                    ParseError::Read(_) => Some(Response::error(400, e.to_string())),
+                };
+                if let Some(response) = response {
+                    let _ = response.write_to(&mut stream, false);
                 }
                 return;
             }
@@ -595,6 +728,69 @@ mod tests {
         let mut buf = String::new();
         stream.read_to_string(&mut buf).unwrap();
         assert!(buf.starts_with("HTTP/1.1 400"), "{buf}");
+    }
+
+    #[test]
+    fn stalled_body_times_out_with_408() {
+        let server = echo_server();
+        let mut stream = TcpStream::connect(("127.0.0.1", server.port())).unwrap();
+        // Declare 50 bytes, deliver 5, then go silent holding the
+        // connection open: the body timeout (not the 10s head timeout)
+        // must fire and answer 408.
+        write!(
+            stream,
+            "POST /x HTTP/1.1\r\nHost: l\r\nContent-Length: 50\r\n\r\nhello"
+        )
+        .unwrap();
+        let start = std::time::Instant::now();
+        let mut buf = String::new();
+        stream.read_to_string(&mut buf).unwrap();
+        assert!(buf.starts_with("HTTP/1.1 408"), "{buf}");
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(8),
+            "the short body timeout should fire well before the head timeout"
+        );
+    }
+
+    #[test]
+    fn truncated_body_is_400() {
+        let server = echo_server();
+        let mut stream = TcpStream::connect(("127.0.0.1", server.port())).unwrap();
+        // Declare 50 bytes, deliver 5, then hang up: an EOF short of the
+        // declared length is the client's error.
+        write!(
+            stream,
+            "POST /x HTTP/1.1\r\nHost: l\r\nContent-Length: 50\r\n\r\nhello"
+        )
+        .unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut buf = String::new();
+        stream.read_to_string(&mut buf).unwrap();
+        assert!(buf.starts_with("HTTP/1.1 400"), "{buf}");
+        assert!(buf.contains("short body"), "{buf}");
+    }
+
+    #[test]
+    fn slow_but_complete_body_is_served() {
+        let server = HttpServer::start(
+            "127.0.0.1:0",
+            1,
+            Arc::new(|req: &Request| Response::json(format!("\"{}\"", req.body_text()))),
+        )
+        .unwrap();
+        let mut stream = TcpStream::connect(("127.0.0.1", server.port())).unwrap();
+        write!(
+            stream,
+            "POST /x HTTP/1.1\r\nHost: l\r\nConnection: close\r\nContent-Length: 10\r\n\r\nhello"
+        )
+        .unwrap();
+        // A pause well inside the body timeout, then the rest.
+        std::thread::sleep(std::time::Duration::from_millis(150));
+        write!(stream, "world").unwrap();
+        let mut buf = String::new();
+        stream.read_to_string(&mut buf).unwrap();
+        assert!(buf.starts_with("HTTP/1.1 200"), "{buf}");
+        assert!(buf.contains("helloworld"), "{buf}");
     }
 
     #[test]

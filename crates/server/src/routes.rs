@@ -16,6 +16,7 @@ use crate::api::{
 use crate::html;
 use crate::http::{Handler, Request, Response};
 use crate::json::Json;
+use maprat_core::Budget;
 use maprat_explore::drilldown::drill_group;
 use maprat_explore::personalize::personalized_explain;
 use maprat_explore::{
@@ -24,6 +25,7 @@ use maprat_explore::{
 use maprat_geo::citymap::{self, CityBubble, CityMap};
 use maprat_geo::svg::{render as render_svg, SvgOptions};
 use maprat_ingest::IngestService;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// The application state behind every route: a clonable engine handle,
@@ -36,16 +38,37 @@ pub struct AppState {
     engine: MapRatEngine,
     scheduler: Option<Arc<PrecomputeScheduler>>,
     ingest: Option<Arc<IngestService>>,
+    /// Admission-control watermark: when this many foreground solves are
+    /// already in flight, requests that would need a *fresh* solve are
+    /// shed with `503 + Retry-After` (cached answers still serve).
+    shed_watermark: usize,
+    shed_requests: AtomicU64,
 }
 
 impl AppState {
-    /// Builds the state over an engine handle.
+    /// Builds the state over an engine handle. The shed watermark
+    /// defaults to `MAPRAT_SHED_INFLIGHT` (or 4x the worker count).
     pub fn new(engine: MapRatEngine) -> Self {
+        let watermark = std::env::var("MAPRAT_SHED_INFLIGHT")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| 4 * maprat_core::pool::num_threads());
         AppState {
             engine,
             scheduler: None,
             ingest: None,
+            shed_watermark: watermark,
+            shed_requests: AtomicU64::new(0),
         }
+    }
+
+    /// Overrides the admission-control watermark (mostly for tests and
+    /// the binary's env plumbing): explain requests that would start a
+    /// fresh solve while `watermark` solves are already in flight are
+    /// refused with `503 Service Unavailable` and a `Retry-After` hint.
+    pub fn with_shed_watermark(mut self, watermark: usize) -> Self {
+        self.shed_watermark = watermark;
+        self
     }
 
     /// Attaches a precompute scheduler: every explain request is recorded
@@ -104,10 +127,24 @@ impl AppState {
             Ok(r) => r,
             Err(e) => return e.into_response(),
         };
+        let budget = match deadline_budget(req) {
+            Ok(b) => b,
+            Err(e) => return e.into_response(),
+        };
         if let Some(scheduler) = &self.scheduler {
             scheduler.record(&request);
         }
-        let (result, served) = self.engine.explain_traced(&request);
+        // Admission control: past the in-flight watermark, only answers
+        // the result cache can serve are admitted; fresh solves are shed
+        // with an explicit retry hint instead of queueing unboundedly.
+        if self.engine.foreground_inflight() >= self.shed_watermark && !self.engine.cached(&request)
+        {
+            self.shed_requests.fetch_add(1, Ordering::Relaxed);
+            return ApiError::overloaded(self.engine.foreground_inflight(), self.shed_watermark)
+                .into_response()
+                .with_header("Retry-After", "1");
+        }
+        let (result, served) = self.engine.explain_deadline(&request, &budget);
         let response = match &*result {
             Ok(r) => Response::json(
                 ExplainResponse::from_explanation(&r.explanation)
@@ -183,6 +220,12 @@ impl AppState {
                 "foreground_inflight",
                 Json::Num(s.foreground_inflight as f64),
             ),
+            (
+                "shed_requests",
+                Json::Num(self.shed_requests.load(Ordering::Relaxed) as f64),
+            ),
+            ("deadline_expired", Json::Num(s.deadline_expired as f64)),
+            ("coalesced_failures", Json::Num(s.coalesced_failures as f64)),
         ];
         if let Some(scheduler) = &self.scheduler {
             pairs.push((
@@ -217,7 +260,22 @@ impl AppState {
                 ]),
                 None => Json::Null,
             };
-            pairs.push(("ingest", Json::obj([("watermark", watermark)])));
+            // `wal` is Null on a non-durable service, an object (with the
+            // startup replay count) once a WAL directory is attached.
+            let wal = match service.wal_stats() {
+                Some(w) => Json::obj([
+                    ("segments", Json::Num(w.segments as f64)),
+                    ("truncated", Json::Num(w.truncated as f64)),
+                    ("last_seq", Json::Num(w.last_seq as f64)),
+                    ("checkpoint", Json::Num(w.checkpoint as f64)),
+                    ("replayed", Json::Num(service.replayed_commits() as f64)),
+                ]),
+                None => Json::Null,
+            };
+            pairs.push((
+                "ingest",
+                Json::obj([("watermark", watermark), ("wal", wal)]),
+            ));
         }
         Response::json(Json::obj(pairs).render())
     }
@@ -414,6 +472,22 @@ impl AppState {
     }
 }
 
+/// Decodes the optional `X-MapRat-Deadline-Ms` request header into a
+/// solve budget. Absent header → unlimited; a non-integer value is a
+/// client error rather than a silently ignored deadline.
+fn deadline_budget(req: &Request) -> Result<Budget, ApiError> {
+    match req.headers.get("x-maprat-deadline-ms") {
+        None => Ok(Budget::unlimited()),
+        Some(v) => match v.trim().parse::<u64>() {
+            Ok(ms) => Ok(Budget::from_deadline_ms(ms)),
+            Err(_) => Err(ApiError::bad_request(format!(
+                "X-MapRat-Deadline-Ms must be an integer millisecond count, got {v:?}"
+            ))
+            .with_hint("omit the header for an unbounded solve")),
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -486,6 +560,29 @@ mod tests {
         head.lines()
             .find_map(|l| l.strip_prefix("X-MapRat-Cache: "))
             .map(|v| v.trim().to_string())
+    }
+
+    /// A GET carrying one extra request header line.
+    fn get_with_header(port: u16, target: &str, header: &str) -> (u16, String, String) {
+        let mut stream = TcpStream::connect(("127.0.0.1", port)).unwrap();
+        write!(
+            stream,
+            "GET {target} HTTP/1.1\r\nHost: l\r\nConnection: close\r\n{header}\r\n\r\n"
+        )
+        .unwrap();
+        read_response(&mut stream)
+    }
+
+    fn error_code(body: &str) -> String {
+        Json::parse(body)
+            .unwrap()
+            .get("error")
+            .unwrap()
+            .get("code")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_string()
     }
 
     #[test]
@@ -921,10 +1018,12 @@ mod tests {
         // An empty batch is a 400, not a silent no-op.
         let (status, _) = post(s.port(), "/api/v1/ingest", r#"{"ratings":[]}"#);
         assert_eq!(status, 400);
-        // Stats still reports no watermark (nothing committed).
+        // Stats still reports no watermark (nothing committed), and no
+        // WAL (this service is non-durable).
         let (_, body) = get(s.port(), "/api/v1/stats");
         let v = Json::parse(&body).unwrap();
         assert_eq!(v.get("ingest").unwrap().get("watermark"), Some(&Json::Null));
+        assert_eq!(v.get("ingest").unwrap().get("wal"), Some(&Json::Null));
     }
 
     #[test]
@@ -991,5 +1090,121 @@ mod tests {
             .filter_map(|i| routes.at(i).unwrap().as_str())
             .collect();
         assert!(listed.contains(&"/api/v1/explain"), "{listed:?}");
+    }
+
+    #[test]
+    fn deadline_header_gates_fresh_solves_only() {
+        let s = server(); // fresh engine → cold caches
+        let target = "/api/v1/explain?q=Toy+Story&coverage=0.1&geo=0";
+
+        // An already-expired deadline on a cold entry: structured 504.
+        let (status, _, body) = get_with_header(s.port(), target, "X-MapRat-Deadline-Ms: 0");
+        assert_eq!(status, 504, "{body}");
+        assert_eq!(error_code(&body), "deadline_exceeded");
+
+        // A generous deadline solves normally…
+        let (status, _, body) = get_with_header(s.port(), target, "X-MapRat-Deadline-Ms: 60000");
+        assert_eq!(status, 200, "{body}");
+
+        // …and once cached, even an expired deadline is served: the
+        // budget gates solving, never cache lookups.
+        let (status, head, body) = get_with_header(s.port(), target, "X-MapRat-Deadline-Ms: 0");
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(cache_header(&head).as_deref(), Some("hit"));
+
+        // The expired solve was counted.
+        let (_, stats) = get(s.port(), "/api/v1/stats");
+        let v = Json::parse(&stats).unwrap();
+        assert!(
+            v.get("deadline_expired").unwrap().as_f64().unwrap() >= 1.0,
+            "{stats}"
+        );
+
+        // A malformed header is a client error, not an ignored deadline.
+        let (status, _, body) = get_with_header(s.port(), target, "X-MapRat-Deadline-Ms: soon");
+        assert_eq!(status, 400, "{body}");
+        assert!(body.contains("X-MapRat-Deadline-Ms"), "{body}");
+    }
+
+    #[test]
+    fn overload_sheds_uncached_solves_with_retry_after() {
+        // Two states over ONE engine: `warm` admits everything, `shed`
+        // has a zero watermark so any fresh solve is refused.
+        let engine = MapRatEngine::new(shared_dataset());
+        let warm = HttpServer::start(
+            "127.0.0.1:0",
+            2,
+            AppState::new(engine.clone()).into_handler(),
+        )
+        .unwrap();
+        let shed = HttpServer::start(
+            "127.0.0.1:0",
+            2,
+            AppState::new(engine.clone())
+                .with_shed_watermark(0)
+                .into_handler(),
+        )
+        .unwrap();
+        let target = "/api/v1/explain?q=Toy+Story&coverage=0.1&geo=0";
+
+        // Cold request at the saturated server: 503 with a retry hint.
+        let (status, head, body) = get_full(shed.port(), target);
+        assert_eq!(status, 503, "{body}");
+        assert_eq!(error_code(&body), "overloaded");
+        let retry = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Retry-After: "))
+            .map(str::trim);
+        assert_eq!(retry, Some("1"), "{head}");
+
+        // Warm the shared engine through the unsaturated server…
+        let (status, body) = get(warm.port(), target);
+        assert_eq!(status, 200, "{body}");
+
+        // …and the saturated server still serves the cached answer.
+        let (status, head, body) = get_full(shed.port(), target);
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(cache_header(&head).as_deref(), Some("hit"));
+
+        // The refusal is visible in stats.
+        let (_, stats) = get(shed.port(), "/api/v1/stats");
+        let v = Json::parse(&stats).unwrap();
+        assert!(
+            v.get("shed_requests").unwrap().as_f64().unwrap() >= 1.0,
+            "{stats}"
+        );
+    }
+
+    #[test]
+    fn wal_enabled_ingest_reports_wal_stats() {
+        let dir = std::env::temp_dir().join(format!(
+            "maprat-routes-wal-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let engine = MapRatEngine::from_dataset(generate(&SynthConfig::tiny(171)).unwrap());
+        let (service, report) =
+            maprat_ingest::IngestService::with_wal(engine.clone(), &dir).unwrap();
+        assert_eq!(report.replayed, 0, "fresh WAL dir has nothing to replay");
+        let state = AppState::new(engine).with_ingest(Arc::new(service));
+        let s = HttpServer::start("127.0.0.1:0", 2, state.into_handler()).unwrap();
+
+        let (status, body) = post(s.port(), "/api/v1/ingest", INGEST_BODY);
+        assert_eq!(status, 200, "{body}");
+
+        let (status, body) = get(s.port(), "/api/v1/stats");
+        assert_eq!(status, 200, "{body}");
+        let v = Json::parse(&body).unwrap();
+        let wal = v.get("ingest").unwrap().get("wal").unwrap();
+        assert_eq!(wal.get("segments").unwrap().as_f64(), Some(1.0));
+        assert_eq!(wal.get("last_seq").unwrap().as_f64(), Some(1.0));
+        assert_eq!(wal.get("checkpoint").unwrap().as_f64(), Some(0.0));
+        assert_eq!(wal.get("replayed").unwrap().as_f64(), Some(0.0));
+
+        drop(s);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

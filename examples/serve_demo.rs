@@ -18,6 +18,9 @@
 //! | `MAPRAT_PRECOMPUTE_MS` | 50 | scheduler tick interval in milliseconds |
 //! | `MAPRAT_KEEPALIVE_SECS` | 5 | keep-alive idle timeout (0 disables keep-alive) |
 //! | `MAPRAT_INGEST` | 1 | live rating ingestion via `POST /api/v1/ingest` (0 disables) |
+//! | `MAPRAT_WAL_DIR` | unset | write-ahead-log directory: commits fsync there before publish, replay on startup |
+//! | `MAPRAT_SHED_INFLIGHT` | 4 × threads | foreground-solve watermark past which uncached explains shed with 503 |
+//! | `MAPRAT_FAULTS` | unset | deterministic fault-injection schedule (testing only) |
 //!
 //! `--smoke` binds an ephemeral port, exercises `/api/v1/explain` through
 //! the full stack via both transports — a GET query string and a POST
@@ -107,13 +110,27 @@ fn main() {
     let scheduler = Arc::new(PrecomputeScheduler::start(engine.clone()));
     let mut state = AppState::new(engine.clone()).with_precompute(Arc::clone(&scheduler));
     // Live ingestion is on by default for the demo; `MAPRAT_INGEST=0`
-    // serves a read-only catalogue (the route then answers 404).
+    // serves a read-only catalogue (the route then answers 404). With
+    // `MAPRAT_WAL_DIR` set, commits are write-ahead logged there and
+    // replayed on startup, exactly like the `maprat serve` binary.
     let ingest_enabled = !matches!(
         std::env::var("MAPRAT_INGEST").as_deref(),
         Ok("0") | Ok("false")
     );
     if ingest_enabled {
-        state = state.with_ingest(Arc::new(IngestService::new(engine)));
+        let service = match std::env::var("MAPRAT_WAL_DIR") {
+            Ok(dir) if !dir.is_empty() => {
+                let (service, report) = IngestService::with_wal(engine, &dir)
+                    .unwrap_or_else(|e| panic!("cannot open WAL in {dir:?}: {e}"));
+                eprintln!(
+                    "WAL at {dir}: replayed {} commit(s), last seq {}",
+                    report.replayed, report.last_seq
+                );
+                service
+            }
+            _ => IngestService::new(engine),
+        };
+        state = state.with_ingest(Arc::new(service));
     }
     // Requests execute as shared-pool jobs; the accept loop admits a few
     // times the worker count and back-pressures beyond that. Keep-alive

@@ -108,13 +108,33 @@ fn run_serve(port: u16, data: Option<String>) -> Result<(), String> {
         std::sync::Arc::new(maprat::explore::PrecomputeScheduler::start(engine.clone()));
     let mut state = AppState::new(engine.clone()).with_precompute(scheduler);
     // Live ingestion is on by default; MAPRAT_INGEST=0 serves read-only.
+    // With MAPRAT_WAL_DIR set, commits are write-ahead logged there and
+    // replayed on startup (crash recovery); without it they are
+    // in-memory only.
     if !matches!(
         std::env::var("MAPRAT_INGEST").as_deref(),
         Ok("0") | Ok("false")
     ) {
-        state = state.with_ingest(std::sync::Arc::new(maprat::ingest::IngestService::new(
-            engine,
-        )));
+        let service = match std::env::var("MAPRAT_WAL_DIR") {
+            Ok(dir) if !dir.is_empty() => {
+                let (service, report) = maprat::ingest::IngestService::with_wal(engine, &dir)
+                    .map_err(|e| format!("cannot open WAL in {dir:?}: {e}"))?;
+                eprintln!(
+                    "WAL at {dir}: replayed {} commit(s) (checkpoint {}, last seq {}{})",
+                    report.replayed,
+                    report.checkpoint,
+                    report.last_seq,
+                    if report.truncated > 0 {
+                        ", repaired a torn tail"
+                    } else {
+                        ""
+                    }
+                );
+                service
+            }
+            _ => maprat::ingest::IngestService::new(engine),
+        };
+        state = state.with_ingest(std::sync::Arc::new(service));
     }
     // Requests execute as shared-pool jobs; the accept loop admits a few
     // times the worker count and back-pressures beyond that.
