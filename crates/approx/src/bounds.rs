@@ -1,0 +1,506 @@
+//! Error bounds for mined groups: exact population counts from the
+//! stratum census, confidence intervals on sampled means.
+//!
+//! Group membership in MapRat is a pure function of the reviewer's packed
+//! demographic profile — a [`GroupDesc`] either matches a stratum code or
+//! it doesn't, so every mined group is a union of *whole* strata. That
+//! structure buys two things. First, group *support* and *coverage* are
+//! computed **exactly** from the per-stratum populations the sampler
+//! recorded; only score aggregates are estimated. Second, the group mean
+//! admits a design-unbiased stratified estimator (the one-per-stratum
+//! floor guarantees every member stratum contributes):
+//!
+//! ```text
+//! mean = Σ_s (N_s/N) · ȳ_s
+//! Var  = Σ_s (N_s/N)² · (1 − n_s/N_s) · s_s² / n_s
+//! ```
+//!
+//! over the group's member strata, with `N_s`/`n_s` the stratum's exact
+//! population/sampled count, `ȳ_s`/`s_s²` the stratum's sample mean and
+//! Bessel-corrected variance, `N = Σ N_s` the exact group support, and
+//! `(1 − n_s/N_s)` the finite-population correction (fully-read strata
+//! contribute zero variance). The reported interval is `mean ±
+//! t(dof)·√Var` at [`DEFAULT_CONFIDENCE`], with `dof = Σ (n_s − 1)` over
+//! partially-read strata sampled at least twice. Strata sampled once use
+//! the group's pooled within-stratum variance as a proxy; when *no*
+//! member stratum was sampled twice the bound falls back to the full
+//! score range. This weighting matters: the raw pooled sample mean is
+//! biased whenever per-stratum sampling rates differ (the floor makes
+//! rare cells heavily over-sampled) and stratum means correlate with
+//! demographics — which is precisely the signal MapRat mines.
+//!
+//! Two further guards keep the intervals honest:
+//!
+//! * **Sample splitting.** Mined groups are *selected because* their
+//!   sampled aggregates look extreme, so an interval computed from the
+//!   mining sample undercovers (winner's curse). Bounds are therefore
+//!   estimated from an independent *validation* sample
+//!   ([`StratifiedSampler::validation`](crate::StratifiedSampler::validation))
+//!   with identical allocations but independent phases — conditional on
+//!   the selection, its estimates are unbiased.
+//! * **Variance floor.** Scores are 1–5 integers; a handful of sampled
+//!   ratings frequently agree exactly, and a literal `s² = 0` would
+//!   collapse the interval to a point. Sampled variances are floored at
+//!   [`MIN_SAMPLE_VAR`] (half a score point, squared).
+//!
+//! See `docs/APPROX.md` for the contract's fine print.
+//!
+//! ```
+//! use maprat_approx::bounds::GroupBound;
+//! let b = GroupBound {
+//!     token: "state=CA".into(),
+//!     label: "reviewers from California".into(),
+//!     sampled_support: 200,
+//!     exact_support: 2000,
+//!     mean: 4.1,
+//!     mean_lo: 3.9,
+//!     mean_hi: 4.3,
+//! };
+//! assert!(b.contains(4.0) && !b.contains(3.5));
+//! assert!((b.half_width() - 0.2).abs() < 1e-9);
+//! ```
+
+use crate::sampler::{StratifiedSample, STRATUM_SPACE};
+use maprat_core::{Explanation, Interpretation, Task};
+use maprat_cube::GroupDesc;
+use maprat_data::packed::PackedUserCode;
+use maprat_data::{Dataset, UserAttr};
+
+/// Confidence level of every reported interval.
+pub const DEFAULT_CONFIDENCE: f64 = 0.95;
+
+/// Two-sided normal quantile for [`DEFAULT_CONFIDENCE`].
+const Z_95: f64 = 1.959_963_984_540_054;
+
+/// Two-sided Student-t 97.5% quantiles for 1–30 degrees of freedom —
+/// rare groups sample a handful of ratings and a normal interval would
+/// be overconfident there.
+#[rustfmt::skip]
+const T_95: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+];
+
+/// The two-sided 95% quantile for `dof` degrees of freedom.
+fn t_quantile(dof: u64) -> f64 {
+    match dof {
+        0 => f64::INFINITY,
+        1..=30 => T_95[(dof - 1) as usize],
+        31..=60 => 2.0,
+        _ => Z_95,
+    }
+}
+
+/// Valid score range — interval endpoints are clamped into it.
+const SCORE_MIN: f64 = 1.0;
+const SCORE_MAX: f64 = 5.0;
+
+/// Floor on every sampled score variance (half a point, squared): scores
+/// are 1–5 integers, so small samples routinely agree exactly and a raw
+/// `s² = 0` would report a zero-width interval from almost no evidence.
+pub const MIN_SAMPLE_VAR: f64 = 0.25;
+
+/// Whether a stratum code satisfies every constraint of a descriptor.
+pub fn desc_matches_code(desc: &GroupDesc, code: PackedUserCode) -> bool {
+    UserAttr::ALL.iter().all(|&attr| match desc.value(attr) {
+        None => true,
+        Some(v) => usize::from(code.field(attr)) == v.value_index(),
+    })
+}
+
+/// The error bound of one mined group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupBound {
+    /// The group's compact token (`gender=M ∧ state=CA`) — the join key
+    /// against the interpretation's group list.
+    pub token: String,
+    /// The group's natural-language label.
+    pub label: String,
+    /// Sampled ratings in the group (what the cube counted).
+    pub sampled_support: u64,
+    /// Exact ratings of `R_I` in the group, from the stratum census.
+    pub exact_support: u64,
+    /// Point estimate of the group mean: the design-weighted stratified
+    /// estimator (`Σ N_s·ȳ_s / N`), unbiased under the sampler's unequal
+    /// per-stratum rates — unlike the raw pooled mean the mined tab
+    /// displays.
+    pub mean: f64,
+    /// Lower confidence limit (clamped to the score range).
+    pub mean_lo: f64,
+    /// Upper confidence limit (clamped to the score range).
+    pub mean_hi: f64,
+}
+
+impl GroupBound {
+    /// Half the interval width.
+    pub fn half_width(&self) -> f64 {
+        (self.mean_hi - self.mean_lo) / 2.0
+    }
+
+    /// Whether a value lies inside the interval (inclusive).
+    pub fn contains(&self, value: f64) -> bool {
+        (self.mean_lo..=self.mean_hi).contains(&value)
+    }
+}
+
+/// Bounds for one interpretation (one mining tab).
+#[derive(Debug, Clone, PartialEq)]
+pub struct InterpretationBounds {
+    /// Exact coverage of the selected groups' union over `R_I` — counted
+    /// from the stratum census, not estimated.
+    pub coverage_exact: f64,
+    /// Per-group bounds, in the interpretation's group order.
+    pub groups: Vec<GroupBound>,
+}
+
+/// The `approx` block attached to a sampled explanation: what fraction
+/// was read, how it was stratified, and how far off each reported mean
+/// can be at the documented confidence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApproxInfo {
+    /// The sampling fraction that was requested.
+    pub requested_frac: f64,
+    /// The fraction of `R_I` actually read (mining ∪ validation samples;
+    /// ceilings and the one-per-stratum floor round the allocation up).
+    pub achieved_frac: f64,
+    /// Number of distinct ratings the sampled pipeline read across the
+    /// mining and validation samples.
+    pub sampled: u64,
+    /// Exact `|R_I|`.
+    pub population: u64,
+    /// Number of nonempty strata (base demographic cells of `R_I`).
+    pub strata: u64,
+    /// Confidence level of every interval (currently always 0.95).
+    pub confidence: f64,
+    /// The sampling seed (derived from the request's RHE seed).
+    pub seed: u64,
+    /// Bounds for the Similarity Mining tab.
+    pub similarity: InterpretationBounds,
+    /// Bounds for the Diversity Mining tab.
+    pub diversity: InterpretationBounds,
+}
+
+impl ApproxInfo {
+    /// Computes the approx block for an explanation that was mined on
+    /// `sample` (the explanation's cube must have been built over
+    /// `sample.rating_idx`, which must index into `dataset`), with score
+    /// estimates taken from the paired `validation` sample — same
+    /// universe, same allocations, independent phases (see
+    /// [`StratifiedSampler::validation`](crate::StratifiedSampler::validation)).
+    /// One pass over the validation ratings collects per-stratum score
+    /// moments; every group bound is then a census lookup plus a
+    /// weighted sum.
+    pub fn for_explanation(
+        dataset: &Dataset,
+        explanation: &Explanation,
+        sample: &StratifiedSample,
+        validation: &StratifiedSample,
+    ) -> ApproxInfo {
+        debug_assert_eq!(
+            sample.strata, validation.strata,
+            "paired samples must share universe, fraction and census"
+        );
+        let moments = StratumMoments::compute(dataset, validation);
+        let read: std::collections::HashSet<u32> = sample
+            .rating_idx
+            .iter()
+            .chain(&validation.rating_idx)
+            .copied()
+            .collect();
+        let sampled = read.len() as u64;
+        ApproxInfo {
+            requested_frac: sample.requested_frac,
+            achieved_frac: if sample.population == 0 {
+                0.0
+            } else {
+                sampled as f64 / sample.population as f64
+            },
+            sampled,
+            population: sample.population as u64,
+            strata: sample.strata.len() as u64,
+            confidence: DEFAULT_CONFIDENCE,
+            seed: sample.seed,
+            similarity: interpretation_bounds(&explanation.similarity, sample, &moments),
+            diversity: interpretation_bounds(&explanation.diversity, sample, &moments),
+        }
+    }
+
+    /// The bounds for a task's tab.
+    pub fn interpretation(&self, task: Task) -> &InterpretationBounds {
+        match task {
+            Task::Similarity => &self.similarity,
+            Task::Diversity => &self.diversity,
+        }
+    }
+
+    /// The widest group interval half-width across both tabs — a single
+    /// scalar summary of how approximate the answer is.
+    pub fn max_half_width(&self) -> f64 {
+        self.similarity
+            .groups
+            .iter()
+            .chain(&self.diversity.groups)
+            .map(GroupBound::half_width)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Per-stratum sample-score moments (count, running mean, sum of squared
+/// deviations), collected in one Welford pass over the sampled ratings.
+/// Indexed parallel to `sample.strata`.
+struct StratumMoments {
+    n: Vec<u64>,
+    mean: Vec<f64>,
+    m2: Vec<f64>,
+}
+
+impl StratumMoments {
+    fn compute(dataset: &Dataset, sample: &StratifiedSample) -> StratumMoments {
+        let mut index = vec![u32::MAX; STRATUM_SPACE];
+        for (i, s) in sample.strata.iter().enumerate() {
+            index[usize::from(s.code)] = i as u32;
+        }
+        let codes = dataset.rating_user_codes();
+        let ratings = dataset.ratings();
+        let k = sample.strata.len();
+        let mut moments = StratumMoments {
+            n: vec![0; k],
+            mean: vec![0.0; k],
+            m2: vec![0.0; k],
+        };
+        for &r in &sample.rating_idx {
+            let i = index[usize::from(codes[r as usize])] as usize;
+            let x = ratings[r as usize].score.as_f64();
+            moments.n[i] += 1;
+            let delta = x - moments.mean[i];
+            moments.mean[i] += delta / moments.n[i] as f64;
+            moments.m2[i] += delta * (x - moments.mean[i]);
+        }
+        moments
+    }
+}
+
+fn interpretation_bounds(
+    interp: &Interpretation,
+    sample: &StratifiedSample,
+    moments: &StratumMoments,
+) -> InterpretationBounds {
+    let groups: Vec<GroupBound> = interp
+        .groups
+        .iter()
+        .map(|g| {
+            // Walk the group's member strata once, accumulating the
+            // stratified estimator of the module docs: the exact
+            // population N, the sampled count n, the weighted mean, the
+            // variance over strata with a real variance estimate
+            // (sampled ≥ twice, not fully read), and the weight mass of
+            // singleton-sampled strata whose variance needs the pooled
+            // proxy.
+            let mut exact = 0u64;
+            let mut n = 0u64;
+            let mut weighted_mean = 0.0;
+            let mut weighted_var = 0.0; // Σ N_s²·fpc·s_s²/n_s
+            let mut proxy_weight = 0.0; // Σ N_s²·fpc/n_s over singleton strata
+            let mut pool_m2 = 0.0;
+            let mut dof = 0u64;
+            for (i, s) in sample.strata.iter().enumerate() {
+                if !desc_matches_code(&g.desc, PackedUserCode::from_raw(s.code)) {
+                    continue;
+                }
+                let n_s = moments.n[i];
+                let pop = u64::from(s.population).max(n_s);
+                exact += pop;
+                n += n_s;
+                let w = pop as f64;
+                weighted_mean += w * moments.mean[i];
+                if n_s >= pop {
+                    continue; // fully read: contributes no sampling error
+                }
+                let fpc = 1.0 - n_s as f64 / pop as f64;
+                if n_s >= 2 {
+                    let s2 = (moments.m2[i] / (n_s - 1) as f64).max(MIN_SAMPLE_VAR);
+                    weighted_var += w * w * fpc * s2 / n_s as f64;
+                    pool_m2 += moments.m2[i];
+                    dof += n_s - 1;
+                } else {
+                    proxy_weight += w * w * fpc / n_s.max(1) as f64;
+                }
+            }
+            let mean = if exact > 0 {
+                weighted_mean / exact as f64
+            } else {
+                0.0
+            };
+            let half = if n >= exact {
+                0.0
+            } else if dof == 0 {
+                // Every partially-read stratum was sampled once: no
+                // variance information anywhere — report the full range.
+                SCORE_MAX - SCORE_MIN
+            } else {
+                let proxy_s2 = (pool_m2 / dof as f64).max(MIN_SAMPLE_VAR);
+                let var = (weighted_var + proxy_weight * proxy_s2) / (exact as f64 * exact as f64);
+                t_quantile(dof) * var.sqrt()
+            };
+            GroupBound {
+                token: g.desc.token(),
+                label: g.label.clone(),
+                sampled_support: n,
+                exact_support: exact,
+                mean,
+                mean_lo: (mean - half).max(SCORE_MIN),
+                mean_hi: (mean + half).min(SCORE_MAX),
+            }
+        })
+        .collect();
+    let coverage_exact = if sample.population == 0 {
+        0.0
+    } else {
+        let covered = sample
+            .population_where(|c| interp.groups.iter().any(|g| desc_matches_code(&g.desc, c)));
+        covered as f64 / sample.population as f64
+    };
+    InterpretationBounds {
+        coverage_exact,
+        groups,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampler::StratifiedSampler;
+    use maprat_core::query::ItemQuery;
+    use maprat_core::{Miner, SearchSettings};
+    use maprat_cube::{CubeOptions, RatingCube};
+    use maprat_data::synth::{generate, SynthConfig};
+    use maprat_data::{Dataset, Gender};
+
+    fn dataset() -> Dataset {
+        generate(&SynthConfig::small(101)).unwrap()
+    }
+
+    #[test]
+    fn desc_matching_agrees_with_user_matching() {
+        let d = dataset();
+        let desc = GroupDesc::from_pairs([Gender::Male.into()]);
+        for user in d.users().iter().take(200) {
+            let code = PackedUserCode::pack(user);
+            assert_eq!(desc.matches(user), desc_matches_code(&desc, code));
+        }
+        // The empty descriptor matches every code.
+        assert!(desc_matches_code(
+            &GroupDesc::ALL,
+            PackedUserCode::from_raw(0)
+        ));
+    }
+
+    #[test]
+    fn bounds_contain_exact_means_on_planted_data() {
+        let d = dataset();
+        let settings = SearchSettings::default().with_min_coverage(0.15);
+        let query = ItemQuery::title("Toy Story");
+        let miner = Miner::new(&d);
+        let exact = miner.explain(&query, &settings).unwrap();
+
+        let universe = query.rating_indexes(&d);
+        let sampler = StratifiedSampler::new(0.3, settings.rhe.seed);
+        let sample = sampler.sample(&d, &universe);
+        let validation = sampler.validation().sample(&d, &universe);
+        let cube = RatingCube::build(
+            &d,
+            sample.rating_idx.clone(),
+            CubeOptions {
+                min_support: 2,
+                require_geo: settings.require_geo,
+                max_arity: settings.max_arity,
+            },
+        );
+        let approx = miner
+            .explain_cube(&query, exact.items.clone(), &cube, &settings)
+            .unwrap();
+        let info = ApproxInfo::for_explanation(&d, &approx, &sample, &validation);
+
+        assert_eq!(info.population, universe.len() as u64);
+        assert!(info.sampled < info.population);
+        assert!(info.strata > 0);
+        assert_eq!(info.confidence, DEFAULT_CONFIDENCE);
+        assert!(info.max_half_width() > 0.0);
+        for (tab, bounds) in [("sm", &info.similarity), ("dm", &info.diversity)] {
+            assert!(
+                (0.0..=1.0).contains(&bounds.coverage_exact),
+                "{tab} coverage {}",
+                bounds.coverage_exact
+            );
+            for b in &bounds.groups {
+                assert!(b.exact_support >= b.sampled_support, "{tab} {}", b.token);
+                assert!(
+                    b.mean_lo <= b.mean && b.mean <= b.mean_hi,
+                    "{tab} {}",
+                    b.token
+                );
+                // The group's TRUE mean over all of R_I must sit inside
+                // the reported interval (this is the contract; with 95%
+                // intervals and a handful of groups a violation on this
+                // fixed seed would be a bug, not bad luck).
+                let desc = &b.token;
+                let true_stats = exact_group_stats(&d, &universe, b);
+                if let Some(true_mean) = true_stats {
+                    assert!(
+                        b.contains(true_mean),
+                        "{tab} {desc}: true mean {true_mean} outside [{}, {}]",
+                        b.mean_lo,
+                        b.mean_hi
+                    );
+                }
+            }
+        }
+    }
+
+    /// Recomputes a group's exact mean by rescanning the universe with the
+    /// token re-parsed from the bound's matching strata — here we match by
+    /// re-deriving membership from the label's descriptor via the census
+    /// (population_where already validated against rescans in sampler
+    /// tests), so use sampled bound token → find the cube group desc.
+    fn exact_group_stats(d: &Dataset, universe: &[u32], bound: &GroupBound) -> Option<f64> {
+        // Re-derive the descriptor by brute force: scan all ratings whose
+        // code the bound's exact_support counted. Simplest faithful check:
+        // recompute mean over ratings whose user matches the token string
+        // by rebuilding the exact cube and looking the token up.
+        let cube = RatingCube::build(
+            d,
+            universe.to_vec(),
+            CubeOptions {
+                min_support: 1,
+                require_geo: false,
+                max_arity: 4,
+            },
+        );
+        cube.groups()
+            .iter()
+            .find(|g| g.desc.token() == bound.token)
+            .and_then(|g| g.stats.mean())
+    }
+
+    #[test]
+    fn exhaustive_sample_gives_zero_width_bounds() {
+        let d = dataset();
+        let settings = SearchSettings::default().with_min_coverage(0.15);
+        let query = ItemQuery::title("Toy Story");
+        let universe = query.rating_indexes(&d);
+        let sampler = StratifiedSampler::new(1.0, 0);
+        let sample = sampler.sample(&d, &universe);
+        let validation = sampler.validation().sample(&d, &universe);
+        assert!(sample.is_exhaustive());
+        let miner = Miner::new(&d);
+        let (items, cube) = miner.build_cube(&query, &settings).unwrap();
+        let e = miner.explain_cube(&query, items, &cube, &settings).unwrap();
+        let info = ApproxInfo::for_explanation(&d, &e, &sample, &validation);
+        for b in info.similarity.groups.iter().chain(&info.diversity.groups) {
+            assert_eq!(b.sampled_support, b.exact_support, "{}", b.token);
+            assert!(b.half_width() < 1e-12, "{}", b.token);
+        }
+        assert!((info.achieved_frac - 1.0).abs() < 1e-12);
+    }
+}

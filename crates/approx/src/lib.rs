@@ -1,0 +1,81 @@
+//! Verdict-style approximate mining for MapRat: answer first, refine
+//! later, and say how wrong you might be.
+//!
+//! Catalogue-scale explains stream every matching rating into the cube,
+//! so the cold path grows linearly with `|R_I|`. But MapRat's outputs are
+//! aggregate statistics — per-group counts, means, MADs — exactly the
+//! quantities AQP systems estimate reliably from small samples. This
+//! crate supplies the three pieces the engine composes into that serving
+//! mode:
+//!
+//! * [`StratifiedSampler`] — a deterministic stratified sampler over the
+//!   rating universe. Strata are the 15-bit packed base-cell profiles
+//!   (`PackedUserCode`), so stratum assignment is a counting pass over a
+//!   `u16` column and every nonempty demographic cell survives sampling.
+//!   Selection is systematic with a per-`(seed, stratum)` phase: the same
+//!   inputs yield the bit-identical sample on any worker count.
+//! * [`ApproxInfo`] / [`GroupBound`] — the error contract. Group support
+//!   and coverage are *exact* (membership is a pure function of the
+//!   profile code, so the stratum census answers them); the sampled
+//!   quantities are the score aggregates, reported as design-weighted
+//!   stratified estimates with 95% confidence intervals under
+//!   finite-population correction, computed from an independent
+//!   validation sample so group *selection* cannot bias them.
+//! * [`RefineLedger`] — the refinement handle: at most one background
+//!   exact re-solve per request fingerprint, with landed-refinement
+//!   accounting for `/api/v1/stats`.
+//!
+//! The serving policy (when to approximate, how to hot-upgrade the cache
+//! entry) lives in `maprat-explore`; the wire format in `maprat-server`;
+//! the contract's prose in `docs/APPROX.md`.
+//!
+//! # End-to-end sketch
+//!
+//! ```
+//! use maprat_approx::{ApproxInfo, StratifiedSampler};
+//! use maprat_core::query::ItemQuery;
+//! use maprat_core::{Miner, SearchSettings};
+//! use maprat_cube::{CubeOptions, RatingCube};
+//! use maprat_data::synth::{generate, SynthConfig};
+//!
+//! let d = generate(&SynthConfig::tiny(3)).unwrap();
+//! let query = ItemQuery::title("Toy Story");
+//! let settings = SearchSettings::default().with_min_coverage(0.1);
+//!
+//! // Sample a third of R_I, stratified by demographic base cell; the
+//! // paired validation sample (same allocations, independent phases)
+//! // feeds the error bounds so mined-group selection can't bias them.
+//! let universe = query.rating_indexes(&d);
+//! let sampler = StratifiedSampler::new(0.34, settings.rhe.seed);
+//! let sample = sampler.sample(&d, &universe);
+//! let validation = sampler.validation().sample(&d, &universe);
+//! assert!(sample.sampled() < sample.population);
+//!
+//! // Mine the sample with the ordinary pipeline…
+//! let miner = Miner::new(&d);
+//! let cube = RatingCube::build(
+//!     &d,
+//!     sample.rating_idx.clone(),
+//!     CubeOptions { min_support: 1, require_geo: true, max_arity: 4 },
+//! );
+//! let items = query.items(&d);
+//! let explanation = miner.explain_cube(&query, items, &cube, &settings).unwrap();
+//!
+//! // …and attach the error contract.
+//! let info = ApproxInfo::for_explanation(&d, &explanation, &sample, &validation);
+//! assert_eq!(info.population as usize, universe.len());
+//! for bound in &info.similarity.groups {
+//!     assert!(bound.mean_lo <= bound.mean && bound.mean <= bound.mean_hi);
+//!     assert!(bound.exact_support >= bound.sampled_support);
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod refine;
+pub mod sampler;
+
+pub use bounds::{ApproxInfo, GroupBound, InterpretationBounds, DEFAULT_CONFIDENCE};
+pub use refine::RefineLedger;
+pub use sampler::{StratifiedSample, StratifiedSampler, StratumSummary};

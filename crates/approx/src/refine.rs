@@ -1,0 +1,108 @@
+//! The refinement handle: dedup and accounting for background exact
+//! re-solves of approximately-served requests.
+//!
+//! When the engine serves a sampled interpretation it schedules the exact
+//! solve on the shared worker pool; the [`RefineLedger`] makes that
+//! idempotent — at most one refinement per request fingerprint is in
+//! flight, re-serves of the same approx entry don't stack duplicate jobs,
+//! and operators can watch the `refined` counter climb in `/api/v1/stats`.
+//!
+//! ```
+//! use maprat_approx::RefineLedger;
+//!
+//! let ledger = RefineLedger::new();
+//! assert!(ledger.begin(42), "first claim wins");
+//! assert!(!ledger.begin(42), "duplicate is rejected while in flight");
+//! ledger.finish(42); // exact result landed
+//! assert_eq!(ledger.refined(), 1);
+//! assert_eq!(ledger.in_flight(), 0);
+//! assert!(ledger.begin(42), "a landed key may be refined again");
+//! ledger.abandon(42); // e.g. the dataset was swapped mid-solve
+//! assert_eq!(ledger.refined(), 1);
+//! ```
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Tracks in-flight background refinements by request fingerprint.
+#[derive(Debug, Default)]
+pub struct RefineLedger {
+    inflight: Mutex<HashSet<u64>>,
+    refined: AtomicU64,
+}
+
+impl RefineLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Claims a refinement slot for `key`. Returns `false` when a
+    /// refinement for the same key is already in flight (the caller must
+    /// not schedule a duplicate job).
+    pub fn begin(&self, key: u64) -> bool {
+        self.inflight.lock().expect("ledger lock").insert(key)
+    }
+
+    /// Records that the refinement for `key` landed (the cache entry was
+    /// upgraded to exact) and releases the slot.
+    pub fn finish(&self, key: u64) {
+        self.inflight.lock().expect("ledger lock").remove(&key);
+        self.refined.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Releases the slot without counting a landed refinement — the job
+    /// was abandoned (dataset swapped underneath it, solve failed).
+    pub fn abandon(&self, key: u64) {
+        self.inflight.lock().expect("ledger lock").remove(&key);
+    }
+
+    /// Number of refinements that landed over the ledger's lifetime.
+    pub fn refined(&self) -> u64 {
+        self.refined.load(Ordering::Relaxed)
+    }
+
+    /// Number of refinements currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.inflight.lock().expect("ledger lock").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn concurrent_begin_admits_exactly_one() {
+        let ledger = Arc::new(RefineLedger::new());
+        let admitted: usize = std::thread::scope(|scope| {
+            (0..8)
+                .map(|_| {
+                    let ledger = Arc::clone(&ledger);
+                    scope.spawn(move || usize::from(ledger.begin(7)))
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum()
+        });
+        assert_eq!(admitted, 1);
+        assert_eq!(ledger.in_flight(), 1);
+        ledger.finish(7);
+        assert_eq!(ledger.refined(), 1);
+    }
+
+    #[test]
+    fn independent_keys_do_not_interfere() {
+        let ledger = RefineLedger::new();
+        assert!(ledger.begin(1));
+        assert!(ledger.begin(2));
+        assert_eq!(ledger.in_flight(), 2);
+        ledger.abandon(1);
+        ledger.finish(2);
+        assert_eq!(ledger.in_flight(), 0);
+        assert_eq!(ledger.refined(), 1);
+    }
+}

@@ -4,7 +4,10 @@
 //! Scale selection: the binaries default to the `small` preset (~80k
 //! ratings, generates in under a second, recovers every planted scenario).
 //! Set `MAPRAT_SCALE=full` for the MovieLens-1M-sized run the paper demoed
-//! on, or `MAPRAT_SCALE=tiny` for smoke tests.
+//! on, `MAPRAT_SCALE=huge` for the 10M-rating world the approximate-mining
+//! crossover is measured on, or `MAPRAT_SCALE=tiny` for smoke tests. A
+//! `--scale <name>` CLI flag overrides the environment, so scheduled CI
+//! jobs can pin a scale per invocation without `env:` plumbing.
 
 #![warn(missing_docs)]
 
@@ -24,16 +27,47 @@ pub enum Scale {
     Small,
     /// ~1M ratings (MovieLens-1M sized).
     Full,
+    /// ~10M ratings (the exact-vs-approximate crossover scale).
+    Huge,
 }
 
 impl Scale {
+    /// Parses a scale name (`tiny`/`small`/`full`/`huge`).
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "tiny" => Some(Scale::Tiny),
+            "small" => Some(Scale::Small),
+            "full" => Some(Scale::Full),
+            "huge" => Some(Scale::Huge),
+            _ => None,
+        }
+    }
+
     /// Reads `MAPRAT_SCALE` (default `small`).
     pub fn from_env() -> Scale {
-        match std::env::var("MAPRAT_SCALE").as_deref() {
-            Ok("full") => Scale::Full,
-            Ok("tiny") => Scale::Tiny,
-            _ => Scale::Small,
+        std::env::var("MAPRAT_SCALE")
+            .ok()
+            .as_deref()
+            .and_then(Scale::parse)
+            .unwrap_or(Scale::Small)
+    }
+
+    /// The scale the current invocation runs at: a `--scale <name>` (or
+    /// `--scale=<name>`) CLI flag beats `MAPRAT_SCALE` beats the `small`
+    /// default. The flag exists so one CI job can run several binaries at
+    /// different scales without mutating the process environment.
+    pub fn from_args_or_env() -> Scale {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            if arg == "--scale" {
+                if let Some(s) = args.next().as_deref().and_then(Scale::parse) {
+                    return s;
+                }
+            } else if let Some(s) = arg.strip_prefix("--scale=").and_then(Scale::parse) {
+                return s;
+            }
         }
+        Scale::from_env()
     }
 
     /// The generator configuration for this scale (seed 42 everywhere so
@@ -43,6 +77,7 @@ impl Scale {
             Scale::Tiny => SynthConfig::tiny(42),
             Scale::Small => SynthConfig::small(42),
             Scale::Full => SynthConfig::movielens_1m(42),
+            Scale::Huge => SynthConfig::huge(42),
         }
     }
 
@@ -52,6 +87,7 @@ impl Scale {
             Scale::Tiny => "tiny",
             Scale::Small => "small",
             Scale::Full => "full (MovieLens-1M sized)",
+            Scale::Huge => "huge (10M ratings)",
         }
     }
 }
@@ -59,7 +95,7 @@ impl Scale {
 fn dataset_cell() -> &'static Arc<Dataset> {
     static DATASET: OnceLock<Arc<Dataset>> = OnceLock::new();
     DATASET.get_or_init(|| {
-        let scale = Scale::from_env();
+        let scale = Scale::from_args_or_env();
         eprintln!("[maprat-bench] generating {} dataset…", scale.name());
         let d = generate(&scale.config()).expect("synthetic generation cannot fail");
         eprintln!("[maprat-bench] {}", d.summary());
@@ -174,8 +210,22 @@ mod tests {
 
     #[test]
     fn configs_scale() {
+        assert!(Scale::Huge.config().num_ratings > Scale::Full.config().num_ratings);
         assert!(Scale::Full.config().num_ratings > Scale::Small.config().num_ratings);
         assert!(Scale::Small.config().num_ratings > Scale::Tiny.config().num_ratings);
+    }
+
+    #[test]
+    fn scale_names_parse_round_trip() {
+        for scale in [Scale::Tiny, Scale::Small, Scale::Full, Scale::Huge] {
+            let word = scale.name().split_whitespace().next().unwrap();
+            assert_eq!(Scale::parse(word), Some(scale));
+            assert_eq!(Scale::parse(&word.to_uppercase()), Some(scale));
+        }
+        assert_eq!(Scale::parse("galactic"), None);
+        // The test harness's own args carry no --scale flag, so the
+        // arg-aware reader agrees with the env reader here.
+        assert_eq!(Scale::from_args_or_env(), Scale::from_env());
     }
 
     #[test]

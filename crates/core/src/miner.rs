@@ -73,12 +73,14 @@ impl<'a> Miner<'a> {
         self.dataset
     }
 
-    /// Collects `R_I` and materializes the candidate cube for a query.
-    pub fn build_cube(
+    /// Collects the matched items and `R_I` for a query *without*
+    /// materializing the cube — the approximate path samples this
+    /// universe first and builds the cube over the sample.
+    pub fn collect_universe(
         &self,
         query: &ItemQuery,
         settings: &SearchSettings,
-    ) -> Result<(Vec<ItemId>, RatingCube), MineError> {
+    ) -> Result<(Vec<ItemId>, Vec<u32>), MineError> {
         settings.validate()?;
         let items = query.items(self.dataset);
         if items.is_empty() {
@@ -88,6 +90,16 @@ impl<'a> Miner<'a> {
         if rating_idx.is_empty() {
             return Err(MineError::NoRatings);
         }
+        Ok((items, rating_idx))
+    }
+
+    /// Collects `R_I` and materializes the candidate cube for a query.
+    pub fn build_cube(
+        &self,
+        query: &ItemQuery,
+        settings: &SearchSettings,
+    ) -> Result<(Vec<ItemId>, RatingCube), MineError> {
+        let (items, rating_idx) = self.collect_universe(query, settings)?;
         let cube = RatingCube::build(
             self.dataset,
             rating_idx,

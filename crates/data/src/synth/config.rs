@@ -59,6 +59,23 @@ impl SynthConfig {
         Self::base(seed)
     }
 
+    /// AQP-experiment scale: ~60k users, ~7.8k movies, ~10M ratings — an
+    /// order of magnitude past MovieLens-1M, where the approximate path's
+    /// crossover shows. Generation takes tens of seconds and the dataset
+    /// occupies several hundred MB; reserved for `--scale huge` benches
+    /// and `#[ignore]`d tests. Bump `num_ratings` (with users/movies in
+    /// proportion) for 100M-row runs.
+    pub fn huge(seed: u64) -> Self {
+        SynthConfig {
+            num_users: 60_400,
+            num_movies: 7_800,
+            num_ratings: 10_000_000,
+            num_actors: 2_400,
+            num_directors: 640,
+            ..Self::base(seed)
+        }
+    }
+
     /// Example/integration-test scale: ~1500 users, ~320 movies, ~80k
     /// ratings. Generates in well under a second and still recovers all
     /// planted scenarios.
@@ -100,9 +117,12 @@ mod tests {
 
     #[test]
     fn presets_scale_sensibly() {
+        let huge = SynthConfig::huge(1);
         let full = SynthConfig::movielens_1m(1);
         let small = SynthConfig::small(1);
         let tiny = SynthConfig::tiny(1);
+        assert!(huge.num_ratings >= 10_000_000);
+        assert!(huge.num_users > full.num_users);
         assert!(full.num_ratings > small.num_ratings);
         assert!(small.num_ratings > tiny.num_ratings);
         assert_eq!(full.num_users, 6040);

@@ -1,0 +1,208 @@
+//! The engine's approximation policy: when a request is served from a
+//! stratified sample instead of the full `R_I`.
+//!
+//! The mechanism (sampler, bounds, refinement ledger) lives in
+//! [`maprat_approx`]; this module holds the *serving* decisions — the
+//! per-request [`ApproxMode`] directive and the process-wide
+//! [`ApproxPolicy`] read from the environment. The contract's prose is
+//! `docs/APPROX.md`.
+
+pub use maprat_approx::{ApproxInfo, GroupBound, InterpretationBounds};
+
+/// Per-request approximation directive (the HTTP `approx` parameter).
+///
+/// Like a deadline [`Budget`](maprat_core::Budget), the mode is a serving
+/// directive, **not** part of the cache key: one logical request has one
+/// cache entry, which is exactly what lets a background refinement
+/// upgrade an approximate entry to the exact answer in place
+/// (`X-MapRat-Cache: hit-approx` → `hit`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ApproxMode {
+    /// Engine decides: approximate when the universe clears the policy
+    /// threshold, exact otherwise. The default.
+    #[default]
+    Auto,
+    /// Never serve sampled answers to this request; an approximate cache
+    /// entry is treated as a miss and upgraded by the exact solve.
+    Off,
+    /// Approximate regardless of universe size (benchmarks, tests).
+    Force,
+}
+
+impl ApproxMode {
+    /// Parses the HTTP `approx` parameter (`auto`/`on`, `off`/`exact`,
+    /// `force`). Unknown values are `None` (the API layer rejects them).
+    pub fn parse(s: &str) -> Option<ApproxMode> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "auto" | "on" | "1" | "true" => Some(ApproxMode::Auto),
+            "off" | "exact" | "0" | "false" => Some(ApproxMode::Off),
+            "force" => Some(ApproxMode::Force),
+            _ => None,
+        }
+    }
+
+    /// Stable lowercase label.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ApproxMode::Auto => "auto",
+            ApproxMode::Off => "off",
+            ApproxMode::Force => "force",
+        }
+    }
+
+    /// Compact discriminant — folded into the flight-group key so only
+    /// requests under the same directive coalesce (an `approx=off` caller
+    /// must never receive a sampled leader's answer).
+    pub(crate) fn class(self) -> u8 {
+        match self {
+            ApproxMode::Auto => 0,
+            ApproxMode::Off => 1,
+            ApproxMode::Force => 2,
+        }
+    }
+}
+
+impl std::fmt::Display for ApproxMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Process-wide approximation policy, read once at engine construction.
+///
+/// Environment knobs:
+///
+/// | Variable               | Default   | Meaning                                        |
+/// |------------------------|-----------|------------------------------------------------|
+/// | `MAPRAT_APPROX`        | `on`      | Master switch for `auto`-mode approximation    |
+/// | `MAPRAT_SAMPLE_FRAC`   | `0.1`     | Per-stratum sampling fraction (clamped (0,1])  |
+/// | `MAPRAT_APPROX_MIN`    | `2000000` | Smallest `\|R_I\|` `auto` mode will sample     |
+/// | `MAPRAT_APPROX_REFINE` | `on`      | Background exact refinement of sampled answers |
+///
+/// `approx=force` bypasses the master switch and the size threshold (it
+/// exists for benchmarks and tests); `approx=off` always bypasses
+/// sampling.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ApproxPolicy {
+    /// Whether `auto` mode may approximate at all (`MAPRAT_APPROX`).
+    pub enabled: bool,
+    /// Target per-stratum sampling fraction (`MAPRAT_SAMPLE_FRAC`).
+    pub sample_frac: f64,
+    /// Smallest universe `auto` mode samples (`MAPRAT_APPROX_MIN`); kept
+    /// above MovieLens-1M scale by default so sub-huge workloads keep
+    /// their exact behavior unless a caller opts in with `approx=force`.
+    pub min_ratings: usize,
+    /// Whether sampled serves schedule a background exact re-solve
+    /// (`MAPRAT_APPROX_REFINE`).
+    pub refine: bool,
+}
+
+impl Default for ApproxPolicy {
+    fn default() -> Self {
+        ApproxPolicy {
+            enabled: true,
+            sample_frac: 0.1,
+            min_ratings: 2_000_000,
+            refine: true,
+        }
+    }
+}
+
+fn env_flag(name: &str, default: bool) -> bool {
+    match std::env::var(name) {
+        Ok(v) => !matches!(
+            v.trim().to_ascii_lowercase().as_str(),
+            "off" | "0" | "false" | "no"
+        ),
+        Err(_) => default,
+    }
+}
+
+impl ApproxPolicy {
+    /// Reads the policy from the environment (defaults above).
+    pub fn from_env() -> Self {
+        let d = ApproxPolicy::default();
+        ApproxPolicy {
+            enabled: env_flag("MAPRAT_APPROX", d.enabled),
+            sample_frac: std::env::var("MAPRAT_SAMPLE_FRAC")
+                .ok()
+                .and_then(|v| v.trim().parse::<f64>().ok())
+                .filter(|f| f.is_finite() && *f > 0.0 && *f <= 1.0)
+                .unwrap_or(d.sample_frac),
+            min_ratings: std::env::var("MAPRAT_APPROX_MIN")
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .unwrap_or(d.min_ratings),
+            refine: env_flag("MAPRAT_APPROX_REFINE", d.refine),
+        }
+    }
+
+    /// Whether a universe of `len` ratings should be sampled under `mode`.
+    pub fn should_sample(&self, mode: ApproxMode, len: usize) -> bool {
+        match mode {
+            ApproxMode::Off => false,
+            ApproxMode::Force => true,
+            ApproxMode::Auto => self.enabled && len >= self.min_ratings,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_parsing_round_trips() {
+        for mode in [ApproxMode::Auto, ApproxMode::Off, ApproxMode::Force] {
+            assert_eq!(ApproxMode::parse(mode.as_str()), Some(mode));
+        }
+        assert_eq!(ApproxMode::parse("on"), Some(ApproxMode::Auto));
+        assert_eq!(ApproxMode::parse("exact"), Some(ApproxMode::Off));
+        assert_eq!(ApproxMode::parse(" FORCE "), Some(ApproxMode::Force));
+        assert_eq!(ApproxMode::parse("maybe"), None);
+        assert_eq!(ApproxMode::default(), ApproxMode::Auto);
+    }
+
+    #[test]
+    fn mode_classes_are_distinct() {
+        let classes: std::collections::HashSet<u8> =
+            [ApproxMode::Auto, ApproxMode::Off, ApproxMode::Force]
+                .into_iter()
+                .map(ApproxMode::class)
+                .collect();
+        assert_eq!(classes.len(), 3);
+    }
+
+    #[test]
+    fn policy_gates_by_mode_and_size() {
+        let p = ApproxPolicy {
+            enabled: true,
+            sample_frac: 0.1,
+            min_ratings: 1000,
+            refine: true,
+        };
+        assert!(!p.should_sample(ApproxMode::Off, usize::MAX));
+        assert!(p.should_sample(ApproxMode::Force, 1));
+        assert!(p.should_sample(ApproxMode::Auto, 1000));
+        assert!(!p.should_sample(ApproxMode::Auto, 999));
+        let disabled = ApproxPolicy {
+            enabled: false,
+            ..p
+        };
+        assert!(!disabled.should_sample(ApproxMode::Auto, usize::MAX));
+        assert!(
+            disabled.should_sample(ApproxMode::Force, 1),
+            "force overrides"
+        );
+    }
+
+    #[test]
+    fn default_threshold_spares_movielens_scale() {
+        let d = ApproxPolicy::default();
+        assert!(d.min_ratings > 1_000_000, "MovieLens-1M stays exact");
+        assert!(
+            d.should_sample(ApproxMode::Auto, 10_000_000),
+            "huge samples"
+        );
+    }
+}

@@ -18,6 +18,15 @@
 //! 3. **single-flight coalescing** — N concurrent identical cold
 //!    requests run one solve and share the `Arc`'d result.
 //!
+//! Above a policy threshold ([`ApproxPolicy`], `MAPRAT_APPROX*` knobs)
+//! the cold path switches to **approximate serving**: `R_I` is
+//! stratified-sampled by demographic base cell, the cube and solves run
+//! on the sample, and the result carries an error contract
+//! ([`maprat_approx::ApproxInfo`]). A background exact re-solve then
+//! *hot-upgrades* the cache entry in place (`hit-approx` → `hit`); the
+//! per-request [`ApproxMode`] directive (`approx=off|force`) overrides
+//! the policy. See `docs/APPROX.md`.
+//!
 //! [`MapRatEngine::explain_traced`] reports which tier answered
 //! ([`ServedFrom`]), which the HTTP layer surfaces as the
 //! `X-MapRat-Cache` response header. The dataset itself sits behind a
@@ -38,10 +47,12 @@
 //! spread over 4 shards): `MAPRAT_RESULT_CACHE` (default 256 entries)
 //! and `MAPRAT_SNAPSHOT_CACHE` (default 64 entries).
 
+use crate::approx::{ApproxMode, ApproxPolicy};
+use maprat_approx::{ApproxInfo, RefineLedger, StratifiedSampler};
 use maprat_cache::{CacheStats, FlightError, FlightGroup, FlightOutcome, ShardedCache};
 use maprat_core::query::ItemQuery;
 use maprat_core::{Budget, Explanation, MineError, Miner, SearchSettings};
-use maprat_cube::RatingCube;
+use maprat_cube::{CubeOptions, RatingCube};
 use maprat_data::{Dataset, ItemId};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashSet;
@@ -155,6 +166,13 @@ pub struct ExplorationResult {
     /// must read through this pinned handle, never through
     /// [`MapRatEngine::dataset`].
     pub dataset: Arc<Dataset>,
+    /// The approximation contract when this result was mined from a
+    /// stratified sample (`None` for exact results): sampling fraction,
+    /// stratum census, and per-group confidence bounds. The cube above is
+    /// then the *sampled* cube — drill-down and comparison statistics
+    /// read sampled aggregates until the background refinement upgrades
+    /// the entry.
+    pub approx: Option<ApproxInfo>,
 }
 
 /// Which serving mechanism answered an explain (see
@@ -169,6 +187,10 @@ pub enum ServedFrom {
     /// (the entry survived a scoped swap because its partition was
     /// untouched). The answer is correct over the pre-ingest view.
     PreIngestCache,
+    /// The result tier held an *approximate* (sampled) entry for this
+    /// request; the response carries its error bounds while a background
+    /// refinement upgrades the entry to exact.
+    ApproxCache,
     /// The cube/cover snapshot was cached; only the solve re-ran.
     SnapshotCache,
     /// Nothing was cached: cube build plus solve ran.
@@ -184,6 +206,7 @@ impl ServedFrom {
         match self {
             ServedFrom::ResultCache => "hit",
             ServedFrom::PreIngestCache => "hit-preingest",
+            ServedFrom::ApproxCache => "hit-approx",
             ServedFrom::SnapshotCache => "snapshot",
             ServedFrom::Cold => "miss",
             ServedFrom::Coalesced => "coalesced",
@@ -233,6 +256,17 @@ pub struct ServingStats {
     /// the bounded wait — each propagated a structured error to its
     /// followers instead of hanging them.
     pub coalesced_failures: u64,
+    /// Responses served with an approximation contract attached (cold
+    /// sampled solves plus `hit-approx` cache hits).
+    pub approx_served: u64,
+    /// Background refinements that landed: an approximate cache entry
+    /// was upgraded to the exact answer in place.
+    pub approx_refined: u64,
+    /// Requests where the approximate path was consulted (universe
+    /// collected) but declined — universe under the policy threshold,
+    /// sample degenerate, or no surviving candidates — and the exact
+    /// pipeline answered instead.
+    pub approx_fallback_exact: u64,
 }
 
 /// The snapshot tier's key: exactly the inputs of `Miner::build_cube`.
@@ -305,11 +339,17 @@ struct EngineInner {
     dataset: RwLock<Arc<Dataset>>,
     results: ShardedCache<ExplainRequest, Result<ExplorationResult, MineError>>,
     snapshots: ShardedCache<SnapshotKey, CubeSnapshot>,
-    flights: FlightGroup<ExplainRequest, (CachedResult, ServedFrom)>,
+    /// Flights are keyed by request *plus* approx-mode class: an
+    /// `approx=off` caller must never join a sampled leader's flight.
+    flights: FlightGroup<(ExplainRequest, u8), (CachedResult, ServedFrom)>,
     solves: AtomicU64,
     foreground: AtomicUsize,
     deadline_expired: AtomicU64,
     coalesced_failures: AtomicU64,
+    approx: ApproxPolicy,
+    refines: RefineLedger,
+    approx_served: AtomicU64,
+    approx_fallback: AtomicU64,
 }
 
 /// An owned, cheaply-clonable exploration engine: `Arc<Dataset>` + miner
@@ -365,6 +405,19 @@ impl MapRatEngine {
     /// Creates an engine with an explicit result-tier geometry (the
     /// snapshot tier stays environment-tuned).
     pub fn with_cache_size(dataset: Arc<Dataset>, shards: usize, per_shard: usize) -> Self {
+        Self::build(dataset, shards, per_shard, ApproxPolicy::from_env())
+    }
+
+    /// Creates an engine with an explicit [`ApproxPolicy`] (cache
+    /// geometry stays environment-tuned) — benchmarks and tests pin the
+    /// sampling threshold/fraction this way instead of mutating the
+    /// process environment.
+    pub fn with_approx_policy(dataset: Arc<Dataset>, policy: ApproxPolicy) -> Self {
+        let results = env_size("MAPRAT_RESULT_CACHE", 256);
+        Self::build(dataset, SHARDS, results.div_ceil(SHARDS), policy)
+    }
+
+    fn build(dataset: Arc<Dataset>, shards: usize, per_shard: usize, approx: ApproxPolicy) -> Self {
         let snapshots = env_size("MAPRAT_SNAPSHOT_CACHE", 64);
         MapRatEngine {
             inner: Arc::new(EngineInner {
@@ -376,8 +429,17 @@ impl MapRatEngine {
                 foreground: AtomicUsize::new(0),
                 deadline_expired: AtomicU64::new(0),
                 coalesced_failures: AtomicU64::new(0),
+                approx,
+                refines: RefineLedger::new(),
+                approx_served: AtomicU64::new(0),
+                approx_fallback: AtomicU64::new(0),
             }),
         }
+    }
+
+    /// The approximation policy this engine serves under.
+    pub fn approx_policy(&self) -> ApproxPolicy {
+        self.inner.approx
     }
 
     /// The current dataset, pinned. Callers hold the returned `Arc` for
@@ -493,6 +555,9 @@ impl MapRatEngine {
             deadline_expired: self.inner.deadline_expired.load(Ordering::Relaxed),
             coalesced_failures: self.inner.coalesced_failures.load(Ordering::Relaxed)
                 + self.inner.flights.failures(),
+            approx_served: self.inner.approx_served.load(Ordering::Relaxed),
+            approx_refined: self.inner.refines.refined(),
+            approx_fallback_exact: self.inner.approx_fallback.load(Ordering::Relaxed),
         }
     }
 
@@ -524,8 +589,33 @@ impl MapRatEngine {
         request: &ExplainRequest,
         budget: &Budget,
     ) -> (Arc<Result<ExplorationResult, MineError>>, ServedFrom) {
+        self.explain_opts(request, budget, ApproxMode::default())
+    }
+
+    /// The fully-general serving entry point: a request [`Budget`] plus a
+    /// per-call [`ApproxMode`] directive (the HTTP `approx` parameter).
+    /// Neither is part of the cache key — they steer *how* the answer is
+    /// produced, not *which* logical answer it is; that is what lets the
+    /// background refinement upgrade an approximate entry in place.
+    ///
+    /// Serving an approximate answer (cold sampled solve or `hit-approx`)
+    /// bumps the `approx_served` counter and, when the policy's refine
+    /// flag is set, schedules the exact re-solve on an idle pool worker.
+    pub fn explain_opts(
+        &self,
+        request: &ExplainRequest,
+        budget: &Budget,
+        mode: ApproxMode,
+    ) -> (Arc<Result<ExplorationResult, MineError>>, ServedFrom) {
         let _guard = ForegroundGuard::enter(&self.inner.foreground);
-        self.lookup_or_solve(request, budget)
+        let (result, served) = self.lookup_or_solve(request, budget, mode);
+        if matches!(&*result, Ok(r) if r.approx.is_some()) {
+            self.inner.approx_served.fetch_add(1, Ordering::Relaxed);
+            if self.inner.approx.refine {
+                self.schedule_refine(request);
+            }
+        }
+        (result, served)
     }
 
     /// Whether the result tier already holds this request (served without
@@ -544,7 +634,7 @@ impl MapRatEngine {
         if self.inner.results.contains(request) {
             return false;
         }
-        let _ = self.lookup_or_solve(request, &Budget::unlimited());
+        let _ = self.lookup_or_solve(request, &Budget::unlimited(), ApproxMode::default());
         true
     }
 
@@ -562,30 +652,50 @@ impl MapRatEngine {
         ServedFrom::ResultCache
     }
 
+    /// Mode-aware hit classification: an approximate entry serves as
+    /// `hit-approx` — unless the caller demanded `approx=off`, in which
+    /// case the hit is treated as a miss (`None`) and the exact solve
+    /// upgrades the entry.
+    fn classify_hit_mode(&self, hit: &CachedResult, mode: ApproxMode) -> Option<ServedFrom> {
+        if let Ok(r) = &**hit {
+            if r.approx.is_some() {
+                return match mode {
+                    ApproxMode::Off => None,
+                    _ => Some(ServedFrom::ApproxCache),
+                };
+            }
+        }
+        Some(self.classify_hit(hit))
+    }
+
     fn lookup_or_solve(
         &self,
         request: &ExplainRequest,
         budget: &Budget,
+        mode: ApproxMode,
     ) -> (CachedResult, ServedFrom) {
         if let Some(hit) = self.inner.results.get(request) {
-            let served = self.classify_hit(&hit);
-            return (hit, served);
+            if let Some(served) = self.classify_hit_mode(&hit, mode) {
+                return (hit, served);
+            }
         }
-        let outcome = self
-            .inner
-            .flights
-            .run_bounded(request.clone(), FLIGHT_WAIT, || {
-                // Re-check after winning leadership: the previous leader may
-                // have published and retired its flight between our miss and
-                // our registration. `peek` — the miss was already recorded.
-                match self.inner.results.peek(request) {
-                    Some(hit) => {
-                        let served = self.classify_hit(&hit);
-                        (hit, served)
+        let outcome =
+            self.inner
+                .flights
+                .run_bounded((request.clone(), mode.class()), FLIGHT_WAIT, || {
+                    // Re-check after winning leadership: the previous leader may
+                    // have published and retired its flight between our miss and
+                    // our registration. `peek` — the miss was already recorded.
+                    match self
+                        .inner
+                        .results
+                        .peek(request)
+                        .and_then(|hit| self.classify_hit_mode(&hit, mode).map(|s| (hit, s)))
+                    {
+                        Some((hit, served)) => (hit, served),
+                        None => self.solve_and_cache(request, budget, mode),
                     }
-                    None => self.solve_and_cache(request, budget),
-                }
-            });
+                });
         match outcome {
             Ok(FlightOutcome::Led(v)) => (Arc::clone(&v.0), v.1),
             Ok(FlightOutcome::Joined(v)) => (Arc::clone(&v.0), ServedFrom::Coalesced),
@@ -616,6 +726,7 @@ impl MapRatEngine {
         &self,
         request: &ExplainRequest,
         budget: &Budget,
+        mode: ApproxMode,
     ) -> (CachedResult, ServedFrom) {
         let key = SnapshotKey::of(request);
         // A panicking solve (bug, or the `solver.panic` chaos site) must
@@ -623,7 +734,7 @@ impl MapRatEngine {
         // it here and degrade it to a structured internal error.
         let (result, served) = match catch_unwind(AssertUnwindSafe(|| {
             maprat_faults::maybe_panic("solver.panic");
-            self.mine(request, budget, &key)
+            self.mine_mode(request, budget, &key, mode)
         })) {
             Ok(pair) => pair,
             Err(payload) => {
@@ -646,6 +757,206 @@ impl MapRatEngine {
             }
             Err(MineError::Internal(_)) => (Arc::new(result), served),
             _ => (self.inner.results.put(request.clone(), result), served),
+        }
+    }
+
+    /// The mining work of a miss, mode-aware: try the approximate path
+    /// first (it declines below the policy threshold), fall back to the
+    /// exact pipeline.
+    fn mine_mode(
+        &self,
+        request: &ExplainRequest,
+        budget: &Budget,
+        key: &SnapshotKey,
+        mode: ApproxMode,
+    ) -> (Result<ExplorationResult, MineError>, ServedFrom) {
+        if let Some(pair) = self.mine_approx(request, budget, mode) {
+            return pair;
+        }
+        self.mine(request, budget, key)
+    }
+
+    /// The approximate miss path: stratified-sample `R_I`, build the cube
+    /// over the sample, solve, and attach the error contract. Returns
+    /// `None` when the approximate path declines (mode off, universe
+    /// below the policy threshold, degenerate sample, or no surviving
+    /// candidates) — the caller then runs the exact pipeline.
+    ///
+    /// Deliberately bypasses the snapshot tier in both directions: a
+    /// sampled cube must never be stored where exact re-solves would read
+    /// it, and an exact snapshot would defeat the point of sampling.
+    fn mine_approx(
+        &self,
+        request: &ExplainRequest,
+        budget: &Budget,
+        mode: ApproxMode,
+    ) -> Option<(Result<ExplorationResult, MineError>, ServedFrom)> {
+        if mode == ApproxMode::Off {
+            return None;
+        }
+        let policy = self.inner.approx;
+        let dataset = self.dataset();
+        // Cheap pre-gate on the whole rating column: `|R_I|` can't exceed
+        // it, so below-threshold datasets skip universe collection (which
+        // the exact path would otherwise repeat).
+        if mode != ApproxMode::Force && !policy.should_sample(mode, dataset.ratings().len()) {
+            return None;
+        }
+        let miner = Miner::new(&dataset);
+        let (items, universe) = match miner.collect_universe(&request.query, &request.settings) {
+            Ok(pair) => pair,
+            // Validation and empty-universe errors are deterministic and
+            // identical to what the exact path would produce; surface them
+            // here rather than re-collecting.
+            Err(e) => return Some((Err(e), ServedFrom::Cold)),
+        };
+        if !policy.should_sample(mode, universe.len()) {
+            self.inner.approx_fallback.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let sampler = StratifiedSampler::new(policy.sample_frac, request.settings.rhe.seed);
+        let sample = sampler.sample(&dataset, &universe);
+        if sample.is_exhaustive() {
+            // The sample *is* the universe (tiny strata everywhere):
+            // approximation would just be the exact answer with extra
+            // bookkeeping. Let the exact path cache its snapshot.
+            self.inner.approx_fallback.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        // Scale min-support to the achieved fraction so a group needs the
+        // same *population* support to survive candidate generation as it
+        // would under the exact cube.
+        let min_support = ((request.settings.min_support as f64) * sample.achieved_frac())
+            .round()
+            .max(1.0) as usize;
+        let cube = RatingCube::build(
+            &dataset,
+            sample.rating_idx.clone(),
+            CubeOptions {
+                min_support,
+                require_geo: request.settings.require_geo,
+                max_arity: request.settings.max_arity,
+            },
+        );
+        if cube.is_empty() {
+            self.inner.approx_fallback.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let result = miner
+            .explain_cube_budget(
+                &request.query,
+                items.clone(),
+                &cube,
+                &request.settings,
+                budget,
+            )
+            .map(|mut explanation| {
+                // Bounds come from the paired validation sample so the
+                // solver's group selection cannot bias them.
+                let validation = sampler.validation().sample(&dataset, &universe);
+                let info =
+                    ApproxInfo::for_explanation(&dataset, &explanation, &sample, &validation);
+                // Report the *population* size: "N ratings explained" must
+                // mean R_I, not the sample.
+                explanation.num_ratings = sample.population;
+                ExplorationResult {
+                    explanation,
+                    cube,
+                    items,
+                    dataset: Arc::clone(&dataset),
+                    approx: Some(info),
+                }
+            });
+        Some((result, ServedFrom::Cold))
+    }
+
+    /// Folds the request fingerprint to the refinement ledger's key width.
+    fn refine_key(request: &ExplainRequest) -> u64 {
+        let fp = request.fingerprint().as_u128();
+        (fp >> 64) as u64 ^ fp as u64
+    }
+
+    /// Schedules the background exact re-solve of an approximate entry on
+    /// an idle pool worker. At most one refinement per request is ever in
+    /// flight (the ledger deduplicates), so a hot approximate entry served
+    /// thousands of times costs one exact solve.
+    fn schedule_refine(&self, request: &ExplainRequest) {
+        let key = Self::refine_key(request);
+        if !self.inner.refines.begin(key) {
+            return;
+        }
+        let engine = self.clone();
+        let request = request.clone();
+        maprat_pool::global().spawn(move || {
+            let _ = engine.run_refine(&request, key);
+        });
+    }
+
+    /// Synchronously refines an approximate cache entry to exact (the
+    /// same work [`MapRatEngine::explain_opts`] schedules in the
+    /// background). Returns whether an upgrade landed — `false` when the
+    /// entry is absent, already exact, superseded by a dataset swap, or a
+    /// refinement is already in flight. Tests and drain paths use this to
+    /// observe the upgrade without sleeping.
+    pub fn refine_now(&self, request: &ExplainRequest) -> bool {
+        let key = Self::refine_key(request);
+        if !self.inner.refines.begin(key) {
+            return false;
+        }
+        self.run_refine(request, key)
+    }
+
+    /// Body of a claimed refinement: runs the exact solve, publishes on
+    /// success, and always releases the ledger claim — even on panic.
+    fn run_refine(&self, request: &ExplainRequest, key: u64) -> bool {
+        match catch_unwind(AssertUnwindSafe(|| self.refine_exact(request))) {
+            Ok(true) => {
+                self.inner.refines.finish(key);
+                true
+            }
+            Ok(false) => {
+                self.inner.refines.abandon(key);
+                false
+            }
+            Err(_) => {
+                self.inner.refines.abandon(key);
+                false
+            }
+        }
+    }
+
+    /// Runs the exact pipeline for `request` and atomically replaces the
+    /// approximate cache entry (`hit-approx` → `hit`). The swap is an
+    /// `Arc` pointer publish — a concurrent reader sees either the full
+    /// sampled result or the full exact one, never a torn mix. Publishes
+    /// only when the entry is still approximate *and* still pinned to the
+    /// current dataset: a hot-swap or scoped invalidation between solve
+    /// and publish must win.
+    fn refine_exact(&self, request: &ExplainRequest) -> bool {
+        let still_approx = || {
+            matches!(
+                self.inner.results.peek(request).as_deref(),
+                Some(Ok(r)) if r.approx.is_some()
+            )
+        };
+        if !still_approx() {
+            return false;
+        }
+        let key = SnapshotKey::of(request);
+        let (result, _) = self.mine(request, &Budget::unlimited(), &key);
+        self.inner.solves.fetch_add(1, Ordering::Relaxed);
+        match result {
+            Ok(res) => {
+                if !Arc::ptr_eq(&res.dataset, &read_lock(&self.inner.dataset)) {
+                    return false;
+                }
+                if !still_approx() {
+                    return false;
+                }
+                self.inner.results.put(request.clone(), Ok(res));
+                true
+            }
+            Err(_) => false,
         }
     }
 
@@ -676,6 +987,7 @@ impl MapRatEngine {
                         cube: snap.cube.clone(),
                         items: snap.items.clone(),
                         dataset: Arc::clone(&snap.dataset),
+                        approx: None,
                     });
                 (result, ServedFrom::SnapshotCache)
             }
@@ -705,6 +1017,7 @@ impl MapRatEngine {
                             cube,
                             items,
                             dataset: Arc::clone(&dataset),
+                            approx: None,
                         })
                     });
                 (result, ServedFrom::Cold)
@@ -1101,6 +1414,214 @@ mod tests {
             }
             other => panic!("both solves should succeed: {other:?}"),
         }
+    }
+
+    /// A permissive policy with background refinement disabled, so tests
+    /// control exactly when the upgrade happens via `refine_now`.
+    fn approx_policy(min_ratings: usize) -> ApproxPolicy {
+        ApproxPolicy {
+            enabled: true,
+            sample_frac: 0.1,
+            min_ratings,
+            refine: false,
+        }
+    }
+
+    fn approx_engine(min_ratings: usize) -> MapRatEngine {
+        MapRatEngine::with_approx_policy(
+            Arc::new(generate(&SynthConfig::tiny(111)).unwrap()),
+            approx_policy(min_ratings),
+        )
+    }
+
+    #[test]
+    fn forced_approx_serves_bounds_and_hit_approx() {
+        let engine = approx_engine(usize::MAX); // auto would never sample
+        let request = ExplainRequest::new(ItemQuery::title("Toy Story"), settings());
+        let (r, served) = engine.explain_opts(&request, &Budget::unlimited(), ApproxMode::Force);
+        assert_eq!(served, ServedFrom::Cold, "first forced request solves");
+        let result = match &*r {
+            Ok(result) => result,
+            Err(e) => panic!("forced approx failed: {e:?}"),
+        };
+        let info = result.approx.as_ref().expect("carries the contract");
+        assert!(
+            info.sampled < info.population,
+            "a real sample, not a census"
+        );
+        assert!(info.achieved_frac < 1.0 && info.achieved_frac > 0.0);
+        assert!(info.strata >= 1);
+        for bound in info.similarity.groups.iter().chain(&info.diversity.groups) {
+            assert!(bound.mean_lo <= bound.mean && bound.mean <= bound.mean_hi);
+            assert!(bound.exact_support >= bound.sampled_support);
+        }
+        assert_eq!(
+            result.explanation.num_ratings, info.population as usize,
+            "reported |R_I| is the population, not the sample"
+        );
+        // A repeat under any sampling-tolerant mode is an approx hit.
+        let (r2, served) = engine.explain_opts(&request, &Budget::unlimited(), ApproxMode::Auto);
+        assert_eq!(served, ServedFrom::ApproxCache);
+        assert_eq!(served.as_str(), "hit-approx");
+        assert!(Arc::ptr_eq(&r, &r2), "hit shares the cached entry");
+        let stats = engine.serving_stats();
+        assert_eq!(stats.approx_served, 2, "cold serve + approx hit");
+        assert_eq!(stats.approx_refined, 0, "refinement was disabled");
+    }
+
+    #[test]
+    fn auto_mode_below_threshold_stays_exact() {
+        // Threshold above the whole rating column: the pre-gate declines
+        // before even collecting the universe — no fallback counted.
+        let engine = approx_engine(usize::MAX);
+        let request = ExplainRequest::new(ItemQuery::title("Toy Story"), settings());
+        let (r, served) = engine.explain_opts(&request, &Budget::unlimited(), ApproxMode::Auto);
+        assert!(r.is_ok());
+        assert_eq!(served, ServedFrom::Cold);
+        assert!(matches!(&*r, Ok(result) if result.approx.is_none()));
+        let stats = engine.serving_stats();
+        assert_eq!(stats.approx_served, 0);
+        assert_eq!(stats.approx_fallback_exact, 0, "pre-gate is not a fallback");
+    }
+
+    #[test]
+    fn auto_fallback_counts_consulted_but_declined() {
+        // Threshold between |R_I| and the whole rating column: the
+        // pre-gate passes, the universe is collected, and the policy then
+        // declines — that consultation is what the fallback counter means.
+        let engine = engine();
+        let dataset = engine.dataset();
+        let universe = ItemQuery::title("Toy Story").rating_indexes(&dataset);
+        let total = dataset.ratings().len();
+        assert!(
+            universe.len() + 1 < total,
+            "tiny scale: one title is a strict subset of all ratings"
+        );
+        let engine = MapRatEngine::with_approx_policy(
+            Arc::clone(&dataset),
+            approx_policy(universe.len() + 1),
+        );
+        let request = ExplainRequest::new(ItemQuery::title("Toy Story"), settings());
+        let (r, served) = engine.explain_opts(&request, &Budget::unlimited(), ApproxMode::Auto);
+        assert!(r.is_ok());
+        assert_eq!(served, ServedFrom::Cold);
+        assert!(matches!(&*r, Ok(result) if result.approx.is_none()));
+        assert_eq!(engine.serving_stats().approx_fallback_exact, 1);
+    }
+
+    #[test]
+    fn approx_off_upgrades_cached_approx_entry() {
+        let engine = approx_engine(usize::MAX);
+        let request = ExplainRequest::new(ItemQuery::title("Toy Story"), settings());
+        let (approx, _) = engine.explain_opts(&request, &Budget::unlimited(), ApproxMode::Force);
+        assert!(matches!(&*approx, Ok(r) if r.approx.is_some()));
+        // approx=off treats the sampled entry as a miss and re-solves.
+        let (exact, served) = engine.explain_opts(&request, &Budget::unlimited(), ApproxMode::Off);
+        assert_eq!(served, ServedFrom::Cold, "off-mode re-solved");
+        assert!(matches!(&*exact, Ok(r) if r.approx.is_none()));
+        assert!(!Arc::ptr_eq(&approx, &exact));
+        // The exact answer overwrote the entry: subsequent default-mode
+        // requests get a plain `hit`.
+        let (r, served) = engine.explain_traced(&request);
+        assert_eq!(served, ServedFrom::ResultCache);
+        assert!(Arc::ptr_eq(&r, &exact));
+    }
+
+    #[test]
+    fn refine_now_upgrades_entry_in_place() {
+        let engine = approx_engine(usize::MAX);
+        let request = ExplainRequest::new(ItemQuery::title("Toy Story"), settings());
+        assert!(!engine.refine_now(&request), "nothing to refine yet");
+        let (approx, _) = engine.explain_opts(&request, &Budget::unlimited(), ApproxMode::Force);
+        assert!(matches!(&*approx, Ok(r) if r.approx.is_some()));
+        assert!(engine.refine_now(&request), "refinement lands");
+        let (r, served) = engine.explain_traced(&request);
+        assert_eq!(served, ServedFrom::ResultCache, "hit-approx became hit");
+        assert!(matches!(&*r, Ok(result) if result.approx.is_none()));
+        let stats = engine.serving_stats();
+        assert_eq!(stats.approx_refined, 1);
+        assert!(!engine.refine_now(&request), "already exact: no-op");
+        assert_eq!(engine.serving_stats().approx_refined, 1);
+    }
+
+    #[test]
+    fn background_refinement_lands_after_forced_serve() {
+        // With refine enabled, serving a sampled answer schedules the
+        // exact upgrade on a pool worker; poll until it lands.
+        let engine = MapRatEngine::with_approx_policy(
+            Arc::new(generate(&SynthConfig::tiny(111)).unwrap()),
+            ApproxPolicy {
+                refine: true,
+                ..approx_policy(usize::MAX)
+            },
+        );
+        let request = ExplainRequest::new(ItemQuery::title("Toy Story"), settings());
+        let (r, _) = engine.explain_opts(&request, &Budget::unlimited(), ApproxMode::Force);
+        assert!(matches!(&*r, Ok(result) if result.approx.is_some()));
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            if engine.serving_stats().approx_refined == 1 {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "background refinement never landed"
+            );
+            std::thread::yield_now();
+        }
+        let (r, served) = engine.explain_traced(&request);
+        assert_eq!(served, ServedFrom::ResultCache);
+        assert!(matches!(&*r, Ok(result) if result.approx.is_none()));
+    }
+
+    #[test]
+    fn refinement_race_never_serves_torn_or_stale_approx() {
+        // Readers hammer the entry while the exact upgrade lands: every
+        // response is a complete result, and once a reader observes the
+        // exact answer the sampled one never reappears.
+        let engine = approx_engine(usize::MAX);
+        let request = ExplainRequest::new(ItemQuery::title("Toy Story"), settings());
+        let (r, _) = engine.explain_opts(&request, &Budget::unlimited(), ApproxMode::Force);
+        assert!(matches!(&*r, Ok(result) if result.approx.is_some()));
+        let refined = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let (engine, request, refined) = (engine.clone(), &request, &refined);
+                scope.spawn(move || {
+                    let mut seen_exact = false;
+                    for _ in 0..300 {
+                        let (r, served) =
+                            engine.explain_opts(request, &Budget::unlimited(), ApproxMode::Auto);
+                        let result = match &*r {
+                            Ok(result) => result,
+                            Err(e) => panic!("race produced an error: {e:?}"),
+                        };
+                        match &result.approx {
+                            Some(info) => {
+                                assert!(!seen_exact, "sampled answer resurfaced after exact");
+                                assert_eq!(served, ServedFrom::ApproxCache);
+                                // A complete contract, never a torn one.
+                                assert!(info.sampled <= info.population);
+                            }
+                            None => {
+                                seen_exact = true;
+                                assert!(
+                                    refined.load(Ordering::SeqCst),
+                                    "exact served before any refinement landed"
+                                );
+                                assert_ne!(served, ServedFrom::ApproxCache);
+                            }
+                        }
+                        assert!(result.explanation.num_ratings > 0);
+                    }
+                });
+            }
+            // Let readers observe the sampled entry, then upgrade it.
+            std::thread::sleep(Duration::from_millis(5));
+            refined.store(true, Ordering::SeqCst);
+            assert!(engine.refine_now(&request));
+        });
+        assert_eq!(engine.serving_stats().approx_refined, 1);
     }
 
     #[test]

@@ -9,6 +9,10 @@
 //!   keyed by the query) with single-flight coalescing and atomic
 //!   dataset hot-swap (§2.3's pre-computation/caching claim), with no
 //!   lifetime parameter to leak around;
+//! * [`approx`] — the approximate-serving policy ([`ApproxPolicy`],
+//!   `MAPRAT_APPROX*` knobs) and the per-request [`ApproxMode`]
+//!   directive; the sampling/bounds machinery lives in [`maprat_approx`]
+//!   and the contract's prose in `docs/APPROX.md`;
 //! * [`precompute::PrecomputeScheduler`] — popularity-driven background
 //!   warming on idle pool workers, with foreground backpressure;
 //! * [`render`] — turns each interpretation into a [`maprat_geo`]
@@ -24,6 +28,7 @@
 
 #![warn(missing_docs)]
 
+pub mod approx;
 pub mod compare;
 pub mod drilldown;
 pub mod engine;
@@ -33,6 +38,7 @@ pub mod precompute;
 pub mod render;
 pub mod timeline;
 
+pub use approx::{ApproxMode, ApproxPolicy};
 pub use compare::{GroupDetail, RelatedGroup, Relation};
 pub use engine::{
     ExplainRequest, ExplorationResult, MapRatEngine, RequestFingerprint, ServedFrom, ServingStats,

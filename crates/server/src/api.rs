@@ -23,8 +23,9 @@ use maprat_data::{
     AgeGroup, AttrValue, Gender, Genre, ItemId, MonthKey, Occupation, Score, TimeRange, Timestamp,
     UsState, UserId, Zip,
 };
+use maprat_explore::approx::{ApproxInfo, GroupBound, InterpretationBounds};
 use maprat_explore::personalize::VisitorProfile;
-use maprat_explore::{ExplainRequest, TimelinePoint};
+use maprat_explore::{ApproxMode, ExplainRequest, TimelinePoint};
 use maprat_ingest::{
     CommitReceipt, IngestBuffer, IngestError, ItemSpec, NewItem, NewUser, RatingEvent, UserSpec,
 };
@@ -665,9 +666,47 @@ pub fn explain_request_from_query(req: &Request) -> Result<ExplainRequest, ApiEr
 /// Decodes the typed request from either transport: `GET` query string or
 /// `POST` JSON body.
 pub fn explain_request(req: &Request) -> Result<ExplainRequest, ApiError> {
+    explain_request_opts(req).map(|(request, _)| request)
+}
+
+/// Parses the `approx` serving directive (`auto`/`on`, `off`/`exact`,
+/// `force`); absent means [`ApproxMode::Auto`]. Unknown values are a 400,
+/// not a silently exact answer.
+pub fn approx_mode(raw: Option<&str>) -> Result<ApproxMode, ApiError> {
+    match raw {
+        None | Some("") => Ok(ApproxMode::default()),
+        Some(s) => ApproxMode::parse(s).ok_or_else(|| {
+            ApiError::bad_request(format!(
+                "approx must be \"auto\"/\"on\", \"off\"/\"exact\" or \"force\", got {s:?}"
+            ))
+            .with_hint("omit the parameter for the default (auto)")
+        }),
+    }
+}
+
+/// Decodes the typed request plus the `approx` serving directive from
+/// either transport. The directive is a GET query parameter or a
+/// top-level `"approx"` string in the POST body; it steers *how* the
+/// answer is produced and is deliberately not part of the cached request.
+pub fn explain_request_opts(req: &Request) -> Result<(ExplainRequest, ApproxMode), ApiError> {
     match req.method.as_str() {
-        "GET" => explain_request_from_query(req),
-        "POST" => explain_request_from_json(&parse_body(req)?),
+        "GET" => Ok((
+            explain_request_from_query(req)?,
+            approx_mode(req.param("approx"))?,
+        )),
+        "POST" => {
+            let body = parse_body(req)?;
+            let raw = match body.get("approx") {
+                None | Some(Json::Null) => None,
+                Some(Json::Str(s)) => Some(s.as_str()),
+                Some(other) => {
+                    return Err(ApiError::bad_request(format!(
+                        "field \"approx\" must be a string, got {other}"
+                    )))
+                }
+            };
+            Ok((explain_request_from_json(&body)?, approx_mode(raw)?))
+        }
         other => Err(ApiError::method_not_allowed(other)),
     }
 }
@@ -1226,6 +1265,166 @@ impl InterpretationDto {
     }
 }
 
+/// One group's error bound on the wire (inside the `approx` block).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupBoundDto {
+    /// Canonical descriptor token — the join key against the tab's
+    /// `groups` array.
+    pub token: String,
+    /// Sampled ratings the estimate was computed from.
+    pub sampled_support: usize,
+    /// Exact ratings of `R_I` in the group (from the stratum census).
+    pub exact_support: usize,
+    /// Point estimate of the group mean.
+    pub mean: f64,
+    /// Lower confidence limit.
+    pub mean_lo: f64,
+    /// Upper confidence limit.
+    pub mean_hi: f64,
+}
+
+/// Per-tab error bounds inside the `approx` block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TabBoundsDto {
+    /// Exact coverage of the selected groups' union over `R_I`.
+    pub coverage_exact: f64,
+    /// Per-group bounds, in the tab's group order.
+    pub groups: Vec<GroupBoundDto>,
+}
+
+/// The `approx` block of an [`ExplainResponse`]: present exactly when the
+/// answer was mined from a stratified sample (see `docs/APPROX.md`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApproxDto {
+    /// The requested sampling fraction.
+    pub sample_frac: f64,
+    /// The fraction actually read (per-stratum ceilings round up).
+    pub achieved_frac: f64,
+    /// Ratings the sampled pipeline read.
+    pub sampled: usize,
+    /// Exact `|R_I|` (equals the response's `ratings` field).
+    pub population: usize,
+    /// Nonempty strata (base demographic cells of `R_I`).
+    pub strata: usize,
+    /// Confidence level of every interval.
+    pub confidence: f64,
+    /// The widest interval half-width across both tabs — the scalar
+    /// `bound` of the approximation contract.
+    pub bound: f64,
+    /// Per-tab bounds for the Similarity Mining tab.
+    pub similarity: TabBoundsDto,
+    /// Per-tab bounds for the Diversity Mining tab.
+    pub diversity: TabBoundsDto,
+}
+
+impl ApproxDto {
+    /// Builds the wire block from the engine's approximation contract.
+    pub fn from_info(info: &ApproxInfo) -> Self {
+        let tab = |bounds: &InterpretationBounds| TabBoundsDto {
+            coverage_exact: bounds.coverage_exact,
+            groups: bounds
+                .groups
+                .iter()
+                .map(|b: &GroupBound| GroupBoundDto {
+                    token: b.token.clone(),
+                    sampled_support: b.sampled_support as usize,
+                    exact_support: b.exact_support as usize,
+                    mean: b.mean,
+                    mean_lo: b.mean_lo,
+                    mean_hi: b.mean_hi,
+                })
+                .collect(),
+        };
+        ApproxDto {
+            sample_frac: info.requested_frac,
+            achieved_frac: info.achieved_frac,
+            sampled: info.sampled as usize,
+            population: info.population as usize,
+            strata: info.strata as usize,
+            confidence: info.confidence,
+            bound: info.max_half_width(),
+            similarity: tab(&info.similarity),
+            diversity: tab(&info.diversity),
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        let tab = |t: &TabBoundsDto| {
+            Json::obj([
+                ("coverage_exact", Json::Num(t.coverage_exact)),
+                (
+                    "groups",
+                    Json::Arr(
+                        t.groups
+                            .iter()
+                            .map(|b| {
+                                Json::obj([
+                                    ("token", Json::str(b.token.clone())),
+                                    ("sampled_support", Json::Num(b.sampled_support as f64)),
+                                    ("exact_support", Json::Num(b.exact_support as f64)),
+                                    ("mean", Json::Num(b.mean)),
+                                    ("mean_lo", Json::Num(b.mean_lo)),
+                                    ("mean_hi", Json::Num(b.mean_hi)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ])
+        };
+        Json::obj([
+            ("sample_frac", Json::Num(self.sample_frac)),
+            ("achieved_frac", Json::Num(self.achieved_frac)),
+            ("sampled", Json::Num(self.sampled as f64)),
+            ("population", Json::Num(self.population as f64)),
+            ("strata", Json::Num(self.strata as f64)),
+            ("confidence", Json::Num(self.confidence)),
+            ("bound", Json::Num(self.bound)),
+            ("similarity", tab(&self.similarity)),
+            ("diversity", tab(&self.diversity)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        let tab = |v: &Json| -> Result<TabBoundsDto, String> {
+            let Some(Json::Arr(groups_json)) = v.get("groups") else {
+                return Err("approx tab missing \"groups\" array".into());
+            };
+            let mut groups = Vec::with_capacity(groups_json.len());
+            for b in groups_json {
+                let num = |key: &str| b.get(key).and_then(Json::as_f64).ok_or(key.to_string());
+                groups.push(GroupBoundDto {
+                    token: req_str(b, "token")?,
+                    sampled_support: num("sampled_support")? as usize,
+                    exact_support: num("exact_support")? as usize,
+                    mean: num("mean")?,
+                    mean_lo: num("mean_lo")?,
+                    mean_hi: num("mean_hi")?,
+                });
+            }
+            Ok(TabBoundsDto {
+                coverage_exact: v
+                    .get("coverage_exact")
+                    .and_then(Json::as_f64)
+                    .ok_or("coverage_exact")?,
+                groups,
+            })
+        };
+        let num = |key: &str| v.get(key).and_then(Json::as_f64).ok_or(key.to_string());
+        Ok(ApproxDto {
+            sample_frac: num("sample_frac")?,
+            achieved_frac: num("achieved_frac")?,
+            sampled: num("sampled")? as usize,
+            population: num("population")? as usize,
+            strata: num("strata")? as usize,
+            confidence: num("confidence")?,
+            bound: num("bound")?,
+            similarity: tab(v.get("similarity").ok_or("missing approx similarity")?)?,
+            diversity: tab(v.get("diversity").ok_or("missing approx diversity")?)?,
+        })
+    }
+}
+
 /// The `/api/v1/explain` response: both interpretation tabs plus query
 /// context.
 #[derive(Debug, Clone, PartialEq)]
@@ -1242,6 +1441,10 @@ pub struct ExplainResponse {
     pub similarity: InterpretationDto,
     /// The Diversity Mining tab.
     pub diversity: InterpretationDto,
+    /// The approximation contract, present exactly when the answer was
+    /// mined from a stratified sample (`X-MapRat-Cache: hit-approx` or a
+    /// cold sampled solve).
+    pub approx: Option<ApproxDto>,
 }
 
 impl ExplainResponse {
@@ -1254,19 +1457,30 @@ impl ExplainResponse {
             overall_mean: explanation.total.mean(),
             similarity: InterpretationDto::from_interpretation(&explanation.similarity),
             diversity: InterpretationDto::from_interpretation(&explanation.diversity),
+            approx: None,
         }
+    }
+
+    /// Attaches the approximation contract (sampled answers only).
+    pub fn with_approx(mut self, info: &ApproxInfo) -> Self {
+        self.approx = Some(ApproxDto::from_info(info));
+        self
     }
 
     /// Canonical JSON encoding.
     pub fn to_json(&self) -> Json {
-        Json::obj([
+        let mut fields = vec![
             ("query", Json::str(self.query.clone())),
             ("items", Json::Num(self.items as f64)),
             ("ratings", Json::Num(self.ratings as f64)),
             ("overall_mean", num_opt(self.overall_mean)),
             ("similarity", self.similarity.to_json()),
             ("diversity", self.diversity.to_json()),
-        ])
+        ];
+        if let Some(approx) = &self.approx {
+            fields.push(("approx", approx.to_json()));
+        }
+        Json::obj(fields)
     }
 
     /// Canonical JSON decoding.
@@ -1282,6 +1496,10 @@ impl ExplainResponse {
             diversity: InterpretationDto::from_json(
                 v.get("diversity").ok_or("missing diversity")?,
             )?,
+            approx: match v.get("approx") {
+                None | Some(Json::Null) => None,
+                Some(a) => Some(ApproxDto::from_json(a)?),
+            },
         })
     }
 }
@@ -1704,10 +1922,43 @@ mod tests {
                 meets_coverage: false,
                 groups: vec![],
             },
+            approx: None,
         };
         let decoded =
             ExplainResponse::from_json(&Json::parse(&explain.to_json().render()).unwrap()).unwrap();
         assert_eq!(explain, decoded);
+
+        // With the approx block attached, the contract round-trips too.
+        let sampled = ExplainResponse {
+            approx: Some(ApproxDto {
+                sample_frac: 0.1,
+                achieved_frac: 0.12,
+                sampled: 50,
+                population: 420,
+                strata: 37,
+                confidence: 0.95,
+                bound: 0.3,
+                similarity: TabBoundsDto {
+                    coverage_exact: 0.41,
+                    groups: vec![GroupBoundDto {
+                        token: "gender=M,state=CA".into(),
+                        sampled_support: 14,
+                        exact_support: 120,
+                        mean: 4.8,
+                        mean_lo: 4.5,
+                        mean_hi: 5.0,
+                    }],
+                },
+                diversity: TabBoundsDto {
+                    coverage_exact: 0.3,
+                    groups: vec![],
+                },
+            }),
+            ..explain
+        };
+        let decoded =
+            ExplainResponse::from_json(&Json::parse(&sampled.to_json().render()).unwrap()).unwrap();
+        assert_eq!(sampled, decoded);
 
         let timeline = TimelineResponse {
             points: vec![TimelinePointDto {

@@ -123,7 +123,7 @@ impl AppState {
     }
 
     fn explain_route(&self, req: &Request) -> Response {
-        let request = match api::explain_request(req) {
+        let (request, mode) = match api::explain_request_opts(req) {
             Ok(r) => r,
             Err(e) => return e.into_response(),
         };
@@ -144,13 +144,18 @@ impl AppState {
                 .into_response()
                 .with_header("Retry-After", "1");
         }
-        let (result, served) = self.engine.explain_deadline(&request, &budget);
+        let (result, served) = self.engine.explain_opts(&request, &budget, mode);
         let response = match &*result {
-            Ok(r) => Response::json(
-                ExplainResponse::from_explanation(&r.explanation)
-                    .to_json()
-                    .render(),
-            ),
+            Ok(r) => {
+                let mut body = ExplainResponse::from_explanation(&r.explanation);
+                // A sampled answer carries its error contract; the header
+                // (hit-approx) and this block disappear together once the
+                // background refinement upgrades the cache entry.
+                if let Some(info) = &r.approx {
+                    body = body.with_approx(info);
+                }
+                Response::json(body.to_json().render())
+            }
             Err(e) => ApiError::from_mine(e).into_response(),
         };
         response.with_header("X-MapRat-Cache", served.as_str())
@@ -226,6 +231,19 @@ impl AppState {
             ),
             ("deadline_expired", Json::Num(s.deadline_expired as f64)),
             ("coalesced_failures", Json::Num(s.coalesced_failures as f64)),
+            (
+                // Approximate serving (docs/APPROX.md): responses that
+                // carried an error contract, background refinements that
+                // upgraded an entry to exact, and requests where the
+                // sampled path was consulted but the exact pipeline
+                // answered.
+                "approx",
+                Json::obj([
+                    ("served", Json::Num(s.approx_served as f64)),
+                    ("refined", Json::Num(s.approx_refined as f64)),
+                    ("fallback_exact", Json::Num(s.approx_fallback_exact as f64)),
+                ]),
+            ),
         ];
         if let Some(scheduler) = &self.scheduler {
             pairs.push((
@@ -1173,6 +1191,119 @@ mod tests {
             v.get("shed_requests").unwrap().as_f64().unwrap() >= 1.0,
             "{stats}"
         );
+    }
+
+    /// A server whose engine approximates any universe when asked
+    /// (`approx=force`) but never on its own (threshold above tiny
+    /// scale), with background refinement off so tests control upgrades.
+    /// Uses its own seed: at `tiny(171)` every stratum of the Toy Story
+    /// universe is a singleton, so any sample is exhaustive and the
+    /// engine would fall back to exact; `tiny(111)` has multi-member
+    /// strata and samples genuinely partially.
+    fn approx_server() -> HttpServer {
+        static DATASET: OnceLock<Arc<Dataset>> = OnceLock::new();
+        let dataset = Arc::clone(
+            DATASET.get_or_init(|| Arc::new(generate(&SynthConfig::tiny(111)).unwrap())),
+        );
+        let engine = MapRatEngine::with_approx_policy(
+            dataset,
+            maprat_explore::ApproxPolicy {
+                enabled: true,
+                sample_frac: 0.2,
+                min_ratings: usize::MAX,
+                refine: false,
+            },
+        );
+        HttpServer::start("127.0.0.1:0", 2, AppState::new(engine).into_handler()).unwrap()
+    }
+
+    #[test]
+    fn forced_approx_serves_contract_then_hit_approx() {
+        let s = approx_server();
+        let target = "/api/v1/explain?q=Toy+Story&coverage=0.1&geo=0&approx=force";
+        let (status, head, body) = get_full(s.port(), target);
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(cache_header(&head).as_deref(), Some("miss"));
+        let v = Json::parse(&body).unwrap();
+        let approx = v
+            .get("approx")
+            .expect("sampled answer carries approx block");
+        let sampled = approx.get("sampled").unwrap().as_f64().unwrap();
+        let population = approx.get("population").unwrap().as_f64().unwrap();
+        assert!(sampled < population, "{body}");
+        assert!(approx.get("strata").unwrap().as_f64().unwrap() >= 1.0);
+        assert_eq!(approx.get("confidence").unwrap().as_f64(), Some(0.95));
+        assert!(approx.get("bound").unwrap().as_f64().unwrap() >= 0.0);
+        // `ratings` reports |R_I|, matching the contract's population.
+        assert_eq!(v.get("ratings").unwrap().as_f64(), Some(population));
+        // Every tab group has a bound row joined by token.
+        let sm_bounds = approx.get("similarity").unwrap().get("groups").unwrap();
+        let sm_groups = v.get("similarity").unwrap().get("groups").unwrap();
+        assert_eq!(sm_bounds.len(), sm_groups.len());
+        for i in 0..sm_bounds.len().unwrap() {
+            let b = sm_bounds.at(i).unwrap();
+            let lo = b.get("mean_lo").unwrap().as_f64().unwrap();
+            let hi = b.get("mean_hi").unwrap().as_f64().unwrap();
+            let mean = b.get("mean").unwrap().as_f64().unwrap();
+            assert!(lo <= mean && mean <= hi, "{body}");
+        }
+        // The whole response round-trips through the typed DTO.
+        let decoded = ExplainResponse::from_json(&v).unwrap();
+        assert!(decoded.approx.is_some());
+        assert_eq!(decoded.to_json().render(), body);
+
+        // A repeat request (any sampling-tolerant mode) is hit-approx…
+        let (_, head, body) = get_full(s.port(), target);
+        assert_eq!(cache_header(&head).as_deref(), Some("hit-approx"), "{body}");
+        // …and approx=off re-solves exactly, upgrading the entry.
+        let exact_target = "/api/v1/explain?q=Toy+Story&coverage=0.1&geo=0&approx=off";
+        let (status, head, body) = get_full(s.port(), exact_target);
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(cache_header(&head).as_deref(), Some("miss"));
+        assert!(Json::parse(&body).unwrap().get("approx").is_none());
+        let plain = "/api/v1/explain?q=Toy+Story&coverage=0.1&geo=0";
+        let (_, head, body) = get_full(s.port(), plain);
+        assert_eq!(cache_header(&head).as_deref(), Some("hit"), "{body}");
+
+        // The stats surface saw it all.
+        let (_, stats) = get(s.port(), "/api/v1/stats");
+        let v = Json::parse(&stats).unwrap();
+        let approx = v.get("approx").unwrap();
+        assert_eq!(approx.get("served").unwrap().as_f64(), Some(2.0), "{stats}");
+        assert_eq!(approx.get("refined").unwrap().as_f64(), Some(0.0));
+        assert!(approx.get("fallback_exact").unwrap().as_f64().is_some());
+    }
+
+    #[test]
+    fn auto_mode_stays_exact_below_threshold() {
+        let s = approx_server();
+        let (status, head, body) = get_full(
+            s.port(),
+            "/api/v1/explain?q=Jaws&coverage=0.1&geo=0&approx=on",
+        );
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(cache_header(&head).as_deref(), Some("miss"));
+        assert!(
+            Json::parse(&body).unwrap().get("approx").is_none(),
+            "tiny scale is under MAPRAT_APPROX_MIN: exact answer, no block"
+        );
+    }
+
+    #[test]
+    fn bad_approx_param_is_rejected_on_both_transports() {
+        let s = approx_server();
+        let (status, body) = get(s.port(), "/api/v1/explain?q=Toy+Story&approx=maybe");
+        assert_eq!(status, 400, "{body}");
+        assert!(body.contains("maybe"), "{body}");
+        let post_body =
+            r#"{"query":{"terms":[{"field":"title","value":"Toy Story"}]},"approx":"maybe"}"#;
+        let (status, body) = post(s.port(), "/api/v1/explain", post_body);
+        assert_eq!(status, 400, "{body}");
+        assert!(body.contains("maybe"), "{body}");
+        let post_body = r#"{"query":{"terms":[{"field":"title","value":"Toy Story"}]},"approx":7}"#;
+        let (status, body) = post(s.port(), "/api/v1/explain", post_body);
+        assert_eq!(status, 400, "{body}");
+        assert!(body.contains("approx"), "{body}");
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //! * [`core`] — Similarity/Diversity Mining with the Randomized Hill
 //!   Exploration solver and its baselines, plus the item query language;
 //! * [`geo`] — US geography and choropleth (SVG / ASCII) rendering;
+//! * [`approx`] — Verdict-style approximate mining: deterministic
+//!   stratified sampling with per-group error bounds;
 //! * [`cache`] — the result cache and precomputation layer;
 //! * [`explore`] — the interactive exploration engine (time slider,
 //!   drill-down, group statistics, personalization);
@@ -46,6 +48,7 @@
 
 pub mod cli;
 
+pub use maprat_approx as approx;
 pub use maprat_cache as cache;
 pub use maprat_core as core;
 pub use maprat_cube as cube;

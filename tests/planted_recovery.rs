@@ -3,11 +3,11 @@
 //! EXPERIMENTS.md: FIG2, TXT-ECLIPSE, TXT-DRILL).
 
 use maprat::core::query::{ItemQuery, QueryTerm};
-use maprat::core::{Miner, SearchSettings};
+use maprat::core::{Budget, Miner, SearchSettings};
 use maprat::data::synth::{generate, SynthConfig};
 use maprat::data::{AttrValue, Dataset, Gender, UsState, UserAttr};
-use maprat::explore::TimeSlider;
-use maprat::MapRatEngine;
+use maprat::explore::{ApproxMode, ApproxPolicy, TimeSlider};
+use maprat::{ExplainRequest, MapRatEngine};
 use std::sync::{Arc, OnceLock};
 
 fn dataset() -> Arc<Dataset> {
@@ -195,6 +195,69 @@ fn time_slider_shows_ca_enthusiasm_cooling() {
     );
 }
 
+/// A forced-approx explain must bracket the *planted* ground truth: every
+/// mined group's confidence interval is checked against the exact group
+/// mean computed from the full rating set. Bounds come from an
+/// independent validation sample (see `docs/APPROX.md`), so with the
+/// fixed seed all joins land inside their intervals here.
+#[test]
+fn approx_bounds_contain_planted_fig2_means() {
+    let d = dataset();
+    let engine = MapRatEngine::with_approx_policy(
+        Arc::clone(&d),
+        ApproxPolicy {
+            enabled: true,
+            sample_frac: 0.1,
+            min_ratings: usize::MAX, // Auto would stay exact; Force overrides.
+            refine: false,
+        },
+    );
+    let settings = SearchSettings::default().with_min_coverage(0.2);
+    let request = ExplainRequest::new(ItemQuery::title("Toy Story"), settings.clone());
+    let (result, _) = engine.explain_opts(&request, &Budget::unlimited(), ApproxMode::Force);
+    let result = result.as_ref().as_ref().expect("forced approx explains");
+    let approx = result
+        .approx
+        .as_ref()
+        .expect("forced mode attaches the approximation contract");
+    assert!(approx.achieved_frac < 1.0, "sample must be partial");
+
+    let exact = Miner::new(&d)
+        .explain(&ItemQuery::title("Toy Story"), &settings)
+        .expect("exact reference explains");
+    assert_eq!(approx.population, exact.num_ratings as u64);
+    let mut joined = 0;
+    for bounds in [&approx.similarity, &approx.diversity] {
+        for b in &bounds.groups {
+            let Some(exact_group) = exact
+                .similarity
+                .groups
+                .iter()
+                .chain(exact.diversity.groups.iter())
+                .find(|g| g.desc.token() == b.token)
+            else {
+                continue;
+            };
+            joined += 1;
+            // Support/coverage are exact by construction (census-backed).
+            assert_eq!(
+                b.exact_support, exact_group.support as u64,
+                "exact support for {} must match the census",
+                b.label
+            );
+            let mean = exact_group.stats.mean().unwrap();
+            assert!(
+                b.contains(mean),
+                "{}: exact mean {mean:.4} outside [{:.4}, {:.4}]",
+                b.label,
+                b.mean_lo,
+                b.mean_hi
+            );
+        }
+    }
+    assert!(joined >= 2, "sampled and exact tabs should share groups");
+}
+
 /// Full-scale recovery of the Figure-2 scenario on a MovieLens-1M sized
 /// world (~1M ratings). Ignored by default to keep the per-push suite at
 /// the small scale; the CI workflow exercises it in the `deep-ignored`
@@ -226,6 +289,82 @@ fn full_scale_fig2_recovery() {
             .map(|g| g.label.clone())
             .collect::<Vec<_>>()
     );
+}
+
+/// Huge-scale (10M ratings) approximate recovery: a forced-approx explain
+/// over the catalogue-scale dataset must surface the planted Figure-2
+/// states from a ~10% stratified sample *and* bracket the exact group
+/// means with its confidence intervals. Ignored by default (the exact
+/// reference solve alone streams millions of ratings); the `deep-ignored`
+/// CI job runs it.
+#[test]
+#[ignore = "huge-scale (10M ratings); run with `cargo test --release -- --ignored`"]
+fn huge_scale_approx_recovery_brackets_planted_answer() {
+    let d = Arc::new(generate(&SynthConfig::huge(42)).expect("huge-scale generation"));
+    let engine = MapRatEngine::with_approx_policy(
+        Arc::clone(&d),
+        ApproxPolicy {
+            enabled: true,
+            sample_frac: 0.1,
+            min_ratings: usize::MAX,
+            refine: false,
+        },
+    );
+    let settings = SearchSettings::default().with_min_coverage(0.2);
+    let request = ExplainRequest::new(ItemQuery::title("Toy Story"), settings.clone());
+    let (result, _) = engine.explain_opts(&request, &Budget::unlimited(), ApproxMode::Force);
+    let result = result
+        .as_ref()
+        .as_ref()
+        .expect("forced approx explains at huge scale");
+    let approx = result
+        .approx
+        .as_ref()
+        .expect("forced mode attaches the approximation contract");
+    assert!(
+        approx.achieved_frac < 0.5,
+        "10M-scale sample must stay small"
+    );
+
+    // The sampled SM tab still recovers the planted states…
+    let planted_states = [UsState::CA, UsState::MA, UsState::NY];
+    let hits = result
+        .explanation
+        .similarity
+        .groups
+        .iter()
+        .filter(|g| planted_states.contains(&g.desc.state().unwrap()))
+        .count();
+    assert!(hits >= 2, "expected ≥2 planted states from the sample");
+
+    // …and every bound brackets the exact mean of the full rating set.
+    let exact = Miner::new(&d)
+        .explain(&ItemQuery::title("Toy Story"), &settings)
+        .expect("exact reference explains");
+    let mut joined = 0;
+    for bounds in [&approx.similarity, &approx.diversity] {
+        for b in &bounds.groups {
+            let Some(exact_group) = exact
+                .similarity
+                .groups
+                .iter()
+                .chain(exact.diversity.groups.iter())
+                .find(|g| g.desc.token() == b.token)
+            else {
+                continue;
+            };
+            joined += 1;
+            let mean = exact_group.stats.mean().unwrap();
+            assert!(
+                b.contains(mean),
+                "{}: exact mean {mean:.4} outside [{:.4}, {:.4}]",
+                b.label,
+                b.mean_lo,
+                b.mean_hi
+            );
+        }
+    }
+    assert!(joined >= 2, "sampled and exact tabs should share groups");
 }
 
 #[test]
