@@ -78,4 +78,4 @@ pub mod sampler;
 
 pub use bounds::{ApproxInfo, GroupBound, InterpretationBounds, DEFAULT_CONFIDENCE};
 pub use refine::RefineLedger;
-pub use sampler::{StratifiedSample, StratifiedSampler, StratumSummary};
+pub use sampler::{StratifiedSample, StratifiedSampler, StratumCensus, StratumSummary};

@@ -112,6 +112,76 @@ impl StratifiedSample {
     }
 }
 
+/// The seed- and fraction-independent half of a stratified sample: the
+/// per-stratum populations of a universe plus each chunk's starting
+/// rank per stratum (the prefix sums Pass B seeds its Bresenham
+/// counters from).
+///
+/// The census is the sampler's only full pass over `R_I` whose output
+/// does not move with the seed (`seed_changes_selection_but_not_census`
+/// pins this), so serving layers memoize one census per query and share
+/// it between the primary sample, its paired validation sample, and
+/// every later sampled explain of the same universe.
+#[derive(Debug, Clone)]
+pub struct StratumCensus {
+    population: Vec<u32>,
+    chunk_start_rank: Vec<Vec<u32>>,
+    n: usize,
+}
+
+impl StratumCensus {
+    /// Runs the census pass (Pass A plus the chunk-order fold) over a
+    /// universe with the process-default worker count.
+    pub fn over(dataset: &Dataset, rating_idx: &[u32]) -> StratumCensus {
+        Self::over_with_threads(dataset, rating_idx, maprat_pool::num_threads())
+    }
+
+    /// Like [`StratumCensus::over`] with an explicit worker-count cap.
+    /// Bit-identical for every `threads` value (fixed-size chunks merged
+    /// in chunk order).
+    pub fn over_with_threads(dataset: &Dataset, rating_idx: &[u32], threads: usize) -> Self {
+        let codes = dataset.rating_user_codes();
+        let n = rating_idx.len();
+        let chunks = n.div_ceil(CHUNK);
+
+        // Pass A — census: per-chunk stratum counts over the u16 profile
+        // column (no user-table chasing).
+        let chunk_counts: Vec<Vec<u32>> = parallel_map(chunks, threads, |c| {
+            let mut counts = vec![0u32; STRATUM_SPACE];
+            for &r in &rating_idx[c * CHUNK..((c + 1) * CHUNK).min(n)] {
+                counts[codes[r as usize] as usize] += 1;
+            }
+            counts
+        });
+
+        // Fold in chunk order: global populations plus each chunk's
+        // starting rank per stratum (the prefix sums).
+        let mut population = vec![0u32; STRATUM_SPACE];
+        let mut chunk_start_rank: Vec<Vec<u32>> = Vec::with_capacity(chunks);
+        for counts in &chunk_counts {
+            chunk_start_rank.push(population.clone());
+            for (p, c) in population.iter_mut().zip(counts) {
+                *p += *c;
+            }
+        }
+        StratumCensus {
+            population,
+            chunk_start_rank,
+            n,
+        }
+    }
+
+    /// Size of the censused universe (`|R_I|`).
+    pub fn population(&self) -> usize {
+        self.n
+    }
+
+    /// Number of nonempty strata.
+    pub fn strata(&self) -> usize {
+        self.population.iter().filter(|&&p| p > 0).count()
+    }
+}
+
 /// Deterministic stratified sampler over a rating universe.
 ///
 /// See the [module docs](self) for the scheme. The same `(frac, seed,
@@ -171,6 +241,32 @@ impl StratifiedSampler {
         rating_idx: &[u32],
         threads: usize,
     ) -> StratifiedSample {
+        let census = StratumCensus::over_with_threads(dataset, rating_idx, threads);
+        self.sample_with_census(dataset, rating_idx, &census, threads)
+    }
+
+    /// Samples `rating_idx` reusing a memoized [`StratumCensus`] of the
+    /// same universe, skipping Pass A entirely. Bit-identical to
+    /// [`StratifiedSampler::sample_with_threads`] — the census is seed-
+    /// and fraction-independent, so one census serves every sampler over
+    /// the universe (the engine shares it between the primary and
+    /// validation samples and across repeated sampled explains).
+    ///
+    /// # Panics
+    /// Debug-asserts that the census was taken over a universe of the
+    /// same size; a mismatched census would silently mis-select.
+    pub fn sample_with_census(
+        &self,
+        dataset: &Dataset,
+        rating_idx: &[u32],
+        census: &StratumCensus,
+        threads: usize,
+    ) -> StratifiedSample {
+        debug_assert_eq!(
+            census.n,
+            rating_idx.len(),
+            "census universe size must match the sampled universe"
+        );
         let codes = dataset.rating_user_codes();
         let n = rating_idx.len();
         if n == 0 {
@@ -183,27 +279,8 @@ impl StratifiedSampler {
             };
         }
         let chunks = n.div_ceil(CHUNK);
-
-        // Pass A — census: per-chunk stratum counts over the u16 profile
-        // column (no user-table chasing).
-        let chunk_counts: Vec<Vec<u32>> = parallel_map(chunks, threads, |c| {
-            let mut counts = vec![0u32; STRATUM_SPACE];
-            for &r in &rating_idx[c * CHUNK..((c + 1) * CHUNK).min(n)] {
-                counts[codes[r as usize] as usize] += 1;
-            }
-            counts
-        });
-
-        // Fold in chunk order: global populations plus each chunk's
-        // starting rank per stratum (the prefix sums).
-        let mut population = vec![0u32; STRATUM_SPACE];
-        let mut chunk_start_rank: Vec<Vec<u32>> = Vec::with_capacity(chunks);
-        for counts in &chunk_counts {
-            chunk_start_rank.push(population.clone());
-            for (p, c) in population.iter_mut().zip(counts) {
-                *p += *c;
-            }
-        }
+        let population = &census.population;
+        let chunk_start_rank = &census.chunk_start_rank;
 
         // Per-stratum allocation and phase. `max(1, ceil(frac·N_s))`
         // guarantees rare cells survive; the phase is a pure function of
@@ -361,6 +438,32 @@ mod tests {
         assert_eq!(all.rating_idx, idx);
         let floor = StratifiedSampler::new(0.0, 5).sample(&d, &idx);
         assert_eq!(floor.sampled(), floor.strata.len(), "one per stratum");
+    }
+
+    #[test]
+    fn memoized_census_reproduces_the_direct_sample() {
+        // One census serves every (seed, frac) sampler over the universe
+        // bit-identically — the contract the engine's census memo rests on.
+        let d = dataset();
+        let idx = full_universe(&d);
+        let census = StratumCensus::over(&d, &idx);
+        assert_eq!(census.population(), idx.len());
+        assert!(census.strata() >= 1);
+        for (frac, seed) in [(0.1, 1u64), (0.25, 99), (0.0, 7)] {
+            let sampler = StratifiedSampler::new(frac, seed);
+            let direct = sampler.sample(&d, &idx);
+            let via_census = sampler.sample_with_census(&d, &idx, &census, 1);
+            assert_eq!(direct.rating_idx, via_census.rating_idx, "frac={frac}");
+            assert_eq!(direct.strata, via_census.strata, "frac={frac}");
+            let validation = sampler
+                .validation()
+                .sample_with_census(&d, &idx, &census, 1);
+            assert_eq!(
+                validation.rating_idx,
+                sampler.validation().sample(&d, &idx).rating_idx,
+                "validation shares the census"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,83 @@
+//! Criterion bench: the PR 10 kernel tiers — the naive word-at-a-time
+//! scalar loops (the pre-kernel code, kept as the dispatchable oracle)
+//! vs the selected tier (`kernels::select()`: the unrolled autovectorized
+//! portable build, or its AVX2+POPCNT instantiation when the CPU has it).
+//!
+//! The acceptance pair is `union_count` (the mining loop's hot reduction)
+//! and `union_with` (the builder's OR-fill): the selected tier must beat
+//! scalar by ≥2× at cover-sized inputs. The other popcount reductions
+//! ride along for the PERF.md table.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use maprat_cube::kernels::{self, Kernels};
+use std::hint::black_box;
+
+/// Deterministic irregular bit patterns (SplitMix64 stream).
+fn words(seed: u64, n: usize) -> Vec<u64> {
+    let mut s = seed;
+    (0..n)
+        .map(|_| {
+            s = s.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        })
+        .collect()
+}
+
+fn tiers() -> Vec<&'static Kernels> {
+    vec![kernels::scalar(), kernels::select()]
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    // 1 Kwords ≈ a 65k-rating cover; 16 Kwords ≈ a 1M-rating cover.
+    for &n in &[1024usize, 16 * 1024] {
+        let a = words(1, n);
+        let b = words(2, n);
+        let bytes = (n * 8) as u64;
+
+        let mut group = c.benchmark_group(format!("kernel_union_count/{n}w"));
+        group.throughput(Throughput::Bytes(2 * bytes));
+        for k in tiers() {
+            group.bench_with_input(k.name, &k, |bench, k| {
+                bench.iter(|| black_box((k.union_count)(&a, &b)))
+            });
+        }
+        group.finish();
+
+        let mut group = c.benchmark_group(format!("kernel_union_with/{n}w"));
+        group.throughput(Throughput::Bytes(2 * bytes));
+        for k in tiers() {
+            group.bench_with_input(k.name, &k, |bench, k| {
+                let mut dst = a.clone();
+                bench.iter(|| {
+                    (k.union_with)(&mut dst, &b);
+                    black_box(dst[0])
+                })
+            });
+        }
+        group.finish();
+
+        let mut group = c.benchmark_group(format!("kernel_intersection_count/{n}w"));
+        group.throughput(Throughput::Bytes(2 * bytes));
+        for k in tiers() {
+            group.bench_with_input(k.name, &k, |bench, k| {
+                bench.iter(|| black_box((k.intersection_count)(&a, &b)))
+            });
+        }
+        group.finish();
+
+        let mut group = c.benchmark_group(format!("kernel_count/{n}w"));
+        group.throughput(Throughput::Bytes(bytes));
+        for k in tiers() {
+            group.bench_with_input(k.name, &k, |bench, k| {
+                bench.iter(|| black_box((k.count)(&a)))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -27,9 +27,9 @@
 use maprat_bench::timing::{summarize, time_n, time_once};
 use maprat_bench::{dataset, dataset_arc, Scale};
 use maprat_core::query::{ItemQuery, QueryTerm};
-use maprat_core::{parallel, rhe, MiningProblem, RheParams, SearchSettings, Task};
+use maprat_core::{parallel, rhe, Budget, MiningProblem, RheParams, SearchSettings, Task};
 use maprat_cube::{CubeOptions, RatingCube};
-use maprat_explore::{MapRatEngine, TimeSlider};
+use maprat_explore::{ExplainRequest, MapRatEngine, TimeSlider};
 use maprat_server::Json;
 use std::fmt::Write as _;
 use std::hint::black_box;
@@ -217,6 +217,44 @@ fn main() {
         elapsed.as_secs_f64() * 1e3
     };
 
+    // Fused batch explain (PR 10): an 8-query precompute-style set served
+    // as ONE `explain_batch` call — all members share a single combined
+    // cube build, each deriving its own cube from it — vs the same 8
+    // requests solved sequentially on an equally cold engine.
+    let batch_requests: Vec<ExplainRequest> = [
+        "Toy Story",
+        "Jaws",
+        "Forrest Gump",
+        "Minority Report",
+        "Saving Private Ryan",
+        "The Social Network",
+        "The Twilight Saga: Eclipse",
+    ]
+    .iter()
+    .map(|t| ItemQuery::title(*t))
+    .chain([ItemQuery::actor("Tom Hanks")])
+    .map(|q| ExplainRequest::new(q, settings.clone()))
+    .collect();
+    let (explain_batch8_ms, explain_sequential8_ms) = {
+        let engine = MapRatEngine::new(dataset_arc());
+        let budget = Budget::unlimited();
+        let (outcomes, batch_elapsed) =
+            time_once(|| engine.explain_batch(&batch_requests, &budget));
+        for (result, _) in &outcomes {
+            assert!(result.is_ok(), "batch explain must succeed");
+        }
+        let sequential = MapRatEngine::new(dataset_arc());
+        let ((), seq_elapsed) = time_once(|| {
+            for request in &batch_requests {
+                assert!(sequential.explain(request).is_ok(), "sequential explain");
+            }
+        });
+        (
+            batch_elapsed.as_secs_f64() * 1e3,
+            seq_elapsed.as_secs_f64() * 1e3,
+        )
+    };
+
     // Timeline sweep: the parallel win (each measurement on a cold cache).
     let timeline_settings = SearchSettings::default()
         .with_min_coverage(0.1)
@@ -263,6 +301,11 @@ fn main() {
         "  \"explain_coalesced_p99_ms\": {coalesced_p99_ms:.4},"
     );
     let _ = writeln!(json, "  \"explain_snapshot_hit_ms\": {snapshot_hit_ms:.4},");
+    let _ = writeln!(json, "  \"explain_batch8_ms\": {explain_batch8_ms:.4},");
+    let _ = writeln!(
+        json,
+        "  \"explain_sequential8_ms\": {explain_sequential8_ms:.4},"
+    );
     let _ = writeln!(
         json,
         "  \"timeline_sweep_1thread_ms\": {timeline_1thread_ms:.4},"

@@ -73,10 +73,31 @@ impl KeepAliveClient {
         }
     }
 
+    /// One POST on the persistent connection (the fused-batch phase);
+    /// reconnects transparently like [`KeepAliveClient::get`].
+    fn post(&mut self, target: &str, body: &str) -> (u16, String) {
+        let request = format!(
+            "POST {target} HTTP/1.1\r\nHost: l\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        match self.try_request(&request) {
+            Some(reply) => reply,
+            None => {
+                let reconnects = self.reconnects + 1;
+                *self = KeepAliveClient::connect(self.port);
+                self.reconnects = reconnects;
+                self.try_request(&request).expect("request after reconnect")
+            }
+        }
+    }
+
     fn try_get(&mut self, target: &str) -> Option<(u16, String)> {
         // One write_all per request: `write!` straight to the stream
         // would emit one segment per format fragment.
-        let request = format!("GET {target} HTTP/1.1\r\nHost: l\r\n\r\n");
+        self.try_request(&format!("GET {target} HTTP/1.1\r\nHost: l\r\n\r\n"))
+    }
+
+    fn try_request(&mut self, request: &str) -> Option<(u16, String)> {
         self.reader.get_mut().write_all(request.as_bytes()).ok()?;
         // Status line.
         let mut line = String::new();
@@ -120,6 +141,51 @@ fn cold_target(i: usize) -> String {
 
 /// The pre-warmed cached target.
 const CACHED_TARGET: &str = "/api/v1/explain?q=Toy+Story&coverage=0.2&geo=0";
+
+/// The 8-query "precompute set" for the fused-batch phase: the seven
+/// planted titles plus one actor filmography, all under identical
+/// settings so the server fuses them into ONE combined cube build.
+const BATCH_TITLES: [&str; 7] = [
+    "Toy Story",
+    "Jaws",
+    "Forrest Gump",
+    "Minority Report",
+    "Saving Private Ryan",
+    "The Social Network",
+    "The Twilight Saga: Eclipse",
+];
+
+/// The batch set as a `POST /api/v1/explain/batch` body.
+fn batch_body() -> String {
+    let mut members: Vec<String> = BATCH_TITLES
+        .iter()
+        .map(|t| {
+            format!(
+                r#"{{"query":{{"terms":[{{"field":"title","value":"{t}"}}]}},"settings":{{"min_coverage":0.15,"require_geo":false}}}}"#
+            )
+        })
+        .collect();
+    members.push(
+        r#"{"query":{"terms":[{"field":"actor","value":"Tom Hanks"}]},"settings":{"min_coverage":0.15,"require_geo":false}}"#
+            .to_string(),
+    );
+    format!(r#"{{"requests":[{}]}}"#, members.join(","))
+}
+
+/// The batch set as sequential single-explain GET targets.
+fn batch_get_targets() -> Vec<String> {
+    let mut targets: Vec<String> = BATCH_TITLES
+        .iter()
+        .map(|t| {
+            format!(
+                "/api/v1/explain?q={}&coverage=0.15&geo=0",
+                t.replace(' ', "+")
+            )
+        })
+        .collect();
+    targets.push("/api/v1/explain?q=Tom+Hanks&type=actor&coverage=0.15&geo=0".to_string());
+    targets
+}
 
 /// Latencies of one client's run, split by class.
 #[derive(Default)]
@@ -273,6 +339,44 @@ fn main() {
          (pool shares {threads} worker(s) across requests)"
     );
 
+    // Phase 3 — fused batch vs sequential explains over the same 8-query
+    // precompute set. Both runs start from a cleared cache (8 fresh
+    // solves each); the batch pays ONE combined cube build where the
+    // sequential loop pays 8 per-query builds.
+    engine.clear_cache();
+    let mut batch_client = KeepAliveClient::connect(port);
+    let seq_start = Instant::now();
+    let mut seq_ok = true;
+    for target in batch_get_targets() {
+        let (status, body) = batch_client.get(&target);
+        seq_ok &= status == 200;
+        if status != 200 {
+            eprintln!("[exp_throughput] sequential {target} -> {status}: {body}");
+        }
+    }
+    let sequential8 = seq_start.elapsed();
+    engine.clear_cache();
+    let body = batch_body();
+    let batch_start = Instant::now();
+    let (batch_status, batch_reply) = batch_client.post("/api/v1/explain/batch", &body);
+    let batch8 = batch_start.elapsed();
+    drop(batch_client);
+    let batch_slots_ok = maprat_server::Json::parse(&batch_reply)
+        .ok()
+        .and_then(|v| {
+            let results = v.get("results")?.clone();
+            let n = results.len()?;
+            Some(n == 8 && (0..n).all(|i| results.at(i).is_some_and(|s| s.get("result").is_some())))
+        })
+        .unwrap_or(false);
+    let batch8_ms = batch8.as_secs_f64() * 1e3;
+    let sequential8_ms = sequential8.as_secs_f64() * 1e3;
+    let batch_speedup = sequential8_ms / batch8_ms.max(1e-9);
+    println!(
+        "fused batch (8 queries): batch={batch8_ms:.1} ms vs sequential={sequential8_ms:.1} ms = {batch_speedup:.2}x \
+         (one combined cube build vs 8; see PERF.md for the multi-core ratio)"
+    );
+
     let cached_tail = tail(&cached);
     let mut json = String::new();
     let _ = writeln!(json, "{{");
@@ -310,6 +414,9 @@ fn main() {
         "  \"cold_p95_ratio_concurrent_over_single\": {p95_ratio:.4},"
     );
     let _ = writeln!(json, "  \"throughput_rps\": {throughput:.2},");
+    let _ = writeln!(json, "  \"batch8_ms\": {batch8_ms:.4},");
+    let _ = writeln!(json, "  \"sequential8_ms\": {sequential8_ms:.4},");
+    let _ = writeln!(json, "  \"batch_speedup\": {batch_speedup:.4},");
     let _ = writeln!(json, "  \"reconnects\": {reconnects},");
     let _ = writeln!(json, "  \"non_200\": {non_200}");
     let _ = writeln!(json, "}}");
@@ -337,5 +444,13 @@ fn main() {
         reconnects == 0,
     );
     check.expect("throughput is finite and positive", throughput > 0.0);
+    check.expect(
+        "sequential precompute-set explains all answered 200",
+        seq_ok,
+    );
+    check.expect(
+        "batch endpoint answered 200 with 8 ok slots",
+        batch_status == 200 && batch_slots_ok,
+    );
     check.finish();
 }

@@ -104,12 +104,10 @@ impl<'a> MiningProblem<'a> {
         let mut word_offsets: Vec<u32> = Vec::with_capacity(groups.len() + 1);
         word_offsets.push(0);
         for g in groups {
-            for (w, &bits) in g.cover.block_slice().iter().enumerate() {
-                if bits != 0 {
-                    word_idx.push(w as u32);
-                    word_bits.push(bits);
-                }
-            }
+            g.cover.for_each_set_word(|w, bits| {
+                word_idx.push(w as u32);
+                word_bits.push(bits);
+            });
             word_offsets.push(word_idx.len() as u32);
         }
         MiningProblem {

@@ -40,6 +40,10 @@ use maprat_data::{Dataset, PackedUserCode, RatingIdx, RatingStats, UserAttr};
 use maprat_pool::{num_threads, parallel_map};
 use std::sync::Arc;
 
+/// Per-cuboid result of the fill pass: one optional cover per surviving
+/// cell plus the per-cell rating histograms.
+type FilledCuboid = (Vec<Option<Bitmap>>, Vec<[u32; 5]>);
+
 /// Materialization options.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CubeOptions {
@@ -264,7 +268,11 @@ impl CubePlan {
     /// Fill pass: sets cover bits directly into each cuboid's
     /// preallocated columnar block pools and sums per-survivor score
     /// histograms from the per-profile histograms, fanned out per cuboid
-    /// over the shared pool, then assembles the cube.
+    /// over the shared pool, then assembles the cube. Survivors below
+    /// the density threshold ([`crate::bitmap`]'s
+    /// `sparse_cover_eligible`) take the sparse run container — their
+    /// folded `(word, bits)` entries share one per-cuboid store instead
+    /// of mostly-zero dense windows.
     ///
     /// Per cuboid the word entries are first regrouped *by survivor* (a
     /// counting sort over the compact entry lists — cache-resident), and
@@ -282,70 +290,140 @@ impl CubePlan {
     pub fn fill(self, threads: usize) -> RatingCube {
         let universe = self.rating_idx.len();
         let words = universe.div_ceil(64).max(1);
-        let filled: Vec<(Vec<Bitmap>, Vec<[u32; 5]>)> =
-            parallel_map(self.passes.len(), threads, |ci| {
-                let pass = &self.passes[ci];
-                let n = pass.globals.len();
-                let mut hists = vec![[0u32; 5]; n];
-                if n == 0 {
-                    return (Vec::new(), hists);
+        let filled: Vec<FilledCuboid> = parallel_map(self.passes.len(), threads, |ci| {
+            let pass = &self.passes[ci];
+            let n = pass.globals.len();
+            let mut hists = vec![[0u32; 5]; n];
+            if n == 0 {
+                return (Vec::new(), hists);
+            }
+            // Regroup the per-profile word entries by survivor (a
+            // counting-sort scatter; prepare already accumulated the
+            // per-survivor entry prefix sums), folding the histogram
+            // merge into the same single profile scan.
+            let entry_offsets = &pass.entry_offsets;
+            let total_entries = entry_offsets[n] as usize;
+            let mut surv_word_idx = vec![0u32; total_entries];
+            let mut surv_word_bits = vec![0u64; total_entries];
+            let mut cursor: Vec<u32> = entry_offsets[..n].to_vec();
+            for (k, &code) in self.profiles.iter().enumerate() {
+                let local = pass.local[pass.layout.cell_of(code)];
+                if local == NO_SLOT {
+                    continue;
                 }
-                // Regroup the per-profile word entries by survivor (a
-                // counting-sort scatter; prepare already accumulated the
-                // per-survivor entry prefix sums), folding the histogram
-                // merge into the same single profile scan.
-                let entry_offsets = &pass.entry_offsets;
-                let total_entries = entry_offsets[n] as usize;
-                let mut surv_word_idx = vec![0u32; total_entries];
-                let mut surv_word_bits = vec![0u64; total_entries];
-                let mut cursor: Vec<u32> = entry_offsets[..n].to_vec();
-                for (k, &code) in self.profiles.iter().enumerate() {
-                    let local = pass.local[pass.layout.cell_of(code)];
-                    if local == NO_SLOT {
+                let l = local as usize;
+                for (h, ph) in hists[l].iter_mut().zip(&self.profile_hists[k]) {
+                    *h += ph;
+                }
+                // Elementwise, not `copy_from_slice`: profile runs
+                // average a handful of entries, where per-call
+                // `memcpy` overhead would dominate the copy itself.
+                let src = self.word_offsets[k] as usize..self.word_offsets[k + 1] as usize;
+                let mut dst = cursor[l] as usize;
+                for j in src {
+                    surv_word_idx[dst] = self.word_idx[j];
+                    surv_word_bits[dst] = self.word_bits[j];
+                    dst += 1;
+                }
+                cursor[l] = dst as u32;
+            }
+            // Per-survivor representation: nearly-empty cells take
+            // the sparse run container, the rest pack into dense
+            // chunk windows. The decision is a pure function of the
+            // plan's raw entry counts ([`sparse_cover_eligible`]),
+            // so the delta rebuild reproduces it exactly.
+            let raw_entries = |l: usize| (entry_offsets[l + 1] - entry_offsets[l]) as usize;
+            let mut dense_list: Vec<u32> = Vec::with_capacity(n);
+            let mut sparse_total = 0usize;
+            let mut sparse_count = 0usize;
+            let mut scratch_cap = 0usize;
+            for l in 0..n {
+                if crate::bitmap::sparse_cover_eligible(words, raw_entries(l)) {
+                    sparse_total += raw_entries(l);
+                    sparse_count += 1;
+                    scratch_cap = scratch_cap.max(raw_entries(l));
+                } else {
+                    dense_list.push(l as u32);
+                }
+            }
+            let mut covers: Vec<Option<Bitmap>> = vec![None; n];
+
+            // Sparse survivors: sort each one's scattered entries by
+            // word and fold duplicates into the cuboid's shared
+            // entry store (one allocation for all sparse covers of
+            // the cuboid, mirroring the dense chunk pools).
+            if sparse_count > 0 {
+                let mut store = crate::bitmap::SparseStore::with_capacity(sparse_total);
+                let mut windows: Vec<(u32, u32, u32)> = Vec::with_capacity(sparse_count);
+                let mut scratch: Vec<(u32, u64)> = Vec::with_capacity(scratch_cap);
+                for l in 0..n {
+                    if !crate::bitmap::sparse_cover_eligible(words, raw_entries(l)) {
                         continue;
                     }
-                    let l = local as usize;
-                    for (h, ph) in hists[l].iter_mut().zip(&self.profile_hists[k]) {
-                        *h += ph;
-                    }
-                    // Elementwise, not `copy_from_slice`: profile runs
-                    // average a handful of entries, where per-call
-                    // `memcpy` overhead would dominate the copy itself.
-                    let src = self.word_offsets[k] as usize..self.word_offsets[k + 1] as usize;
-                    let mut dst = cursor[l] as usize;
-                    for j in src {
-                        surv_word_idx[dst] = self.word_idx[j];
-                        surv_word_bits[dst] = self.word_bits[j];
-                        dst += 1;
-                    }
-                    cursor[l] = dst as u32;
-                }
-                // Write the covers chunk by chunk: zero a chunk, OR all
-                // of its survivors' entries while it is cache-hot, wrap
-                // its windows, move on.
-                let per_chunk = (CHUNK_WORDS / words).max(1);
-                let mut covers: Vec<Bitmap> = Vec::with_capacity(n);
-                for chunk_start in (0..n).step_by(per_chunk) {
-                    let count = per_chunk.min(n - chunk_start);
-                    let mut blocks = crate::bitmap::alloc_chunk(count * words);
-                    for li in 0..count {
-                        let window = &mut blocks[li * words..][..words];
-                        let l = chunk_start + li;
-                        let range = entry_offsets[l] as usize..entry_offsets[l + 1] as usize;
-                        for (&wi, &wb) in surv_word_idx[range.clone()]
+                    let range = entry_offsets[l] as usize..entry_offsets[l + 1] as usize;
+                    scratch.clear();
+                    scratch.extend(
+                        surv_word_idx[range.clone()]
                             .iter()
-                            .zip(&surv_word_bits[range])
-                        {
-                            window[wi as usize] |= wb;
+                            .copied()
+                            .zip(surv_word_bits[range].iter().copied()),
+                    );
+                    scratch.sort_unstable_by_key(|&(w, _)| w);
+                    let start = store.len();
+                    let mut it = scratch.iter().copied();
+                    if let Some((mut cw, mut cb)) = it.next() {
+                        for (w, b) in it {
+                            if w == cw {
+                                cb |= b;
+                            } else {
+                                store.push(cw, cb);
+                                (cw, cb) = (w, b);
+                            }
                         }
+                        store.push(cw, cb);
                     }
-                    let pool = crate::bitmap::seal_chunk(blocks);
-                    covers.extend((0..count).map(|li| {
-                        Bitmap::from_shared_pool(universe, Arc::clone(&pool), li * words)
-                    }));
+                    windows.push((l as u32, start as u32, (store.len() - start) as u32));
                 }
-                (covers, hists)
-            });
+                let store = store.seal();
+                for (l, start, entries) in windows {
+                    covers[l as usize] = Some(Bitmap::from_sparse_store(
+                        universe,
+                        Arc::clone(&store),
+                        start as usize,
+                        entries as usize,
+                    ));
+                }
+            }
+
+            // Dense survivors, chunk by chunk: zero a chunk, OR all
+            // of its survivors' entries while it is cache-hot, wrap
+            // its windows, move on.
+            let per_chunk = (CHUNK_WORDS / words).max(1);
+            for chunk in dense_list.chunks(per_chunk) {
+                let count = chunk.len();
+                let mut blocks = crate::bitmap::alloc_chunk(count * words);
+                for (li, &l) in chunk.iter().enumerate() {
+                    let window = &mut blocks[li * words..][..words];
+                    let l = l as usize;
+                    let range = entry_offsets[l] as usize..entry_offsets[l + 1] as usize;
+                    for (&wi, &wb) in surv_word_idx[range.clone()]
+                        .iter()
+                        .zip(&surv_word_bits[range])
+                    {
+                        window[wi as usize] |= wb;
+                    }
+                }
+                let pool = crate::bitmap::seal_chunk(blocks);
+                for (li, &l) in chunk.iter().enumerate() {
+                    covers[l as usize] = Some(Bitmap::from_shared_pool(
+                        universe,
+                        Arc::clone(&pool),
+                        li * words,
+                    ));
+                }
+            }
+            (covers, hists)
+        });
 
         // Scatter each cuboid's covers into the global slot order.
         let mut slots: Vec<Option<CandidateGroup>> = Vec::with_capacity(self.slot_descs.len());
@@ -355,7 +433,7 @@ impl CubePlan {
                 let hist64 = hist.map(u64::from);
                 slots[slot as usize] = Some(CandidateGroup {
                     desc: self.slot_descs[slot as usize],
-                    cover,
+                    cover: cover.expect("every survivor got a cover"),
                     stats: RatingStats::from_histogram(hist64),
                 });
             }

@@ -29,7 +29,9 @@
 //! are invariant under universe permutation, so a commit-major cube
 //! mines identically to a freshly collected one.
 
-use crate::bitmap::{alloc_chunk, seal_chunk, Bitmap, PooledBlocks};
+use crate::bitmap::{
+    alloc_chunk, seal_chunk, sparse_cover_eligible, Bitmap, PooledBlocks, SparseStore,
+};
 use crate::builder::{
     code_of_base_cell, CandidateGroup, CellLayout, CubeOptions, CubePlan, CuboidPass, RatingCube,
     CHUNK_WORDS, NO_SLOT,
@@ -535,25 +537,24 @@ impl ProfileSummary {
     }
 }
 
-/// Whether `prev`'s covers for new-layout survivors
-/// `chunk_start..chunk_start + count` (all unchanged, geometry-stable)
-/// are exactly consecutive windows of one shared pool — in which case
-/// that pool can back the new chunk wholesale.
+/// Whether `prev`'s covers for the new-layout dense survivors in `chunk`
+/// (all unchanged, geometry-stable) are exactly consecutive windows of
+/// one shared pool — in which case that pool can back the new chunk
+/// wholesale.
 fn wholesale_pool<'a>(
     prev: &'a RatingCube,
     prev_of: &[Option<usize>],
-    chunk_start: usize,
-    count: usize,
+    chunk: &[u32],
     words: usize,
 ) -> Option<&'a Arc<PooledBlocks>> {
-    let first = prev.groups()[prev_of[chunk_start]?].cover.shared_parts()?;
+    let first = prev.groups()[prev_of[chunk[0] as usize]?]
+        .cover
+        .shared_parts()?;
     if first.1 != 0 || first.2 != words {
         return None;
     }
-    for li in 1..count {
-        let (pool, start, w) = prev.groups()[prev_of[chunk_start + li]?]
-            .cover
-            .shared_parts()?;
+    for (li, &l) in chunk.iter().enumerate().skip(1) {
+        let (pool, start, w) = prev.groups()[prev_of[l as usize]?].cover.shared_parts()?;
         if !Arc::ptr_eq(pool, first.0) || start != li * words || w != words {
             return None;
         }
@@ -636,60 +637,152 @@ fn fill_reusing(
                 cursor[l] = dst as u32;
             }
 
+            // Same per-survivor representation decision as the scratch
+            // fill (a pure function of the plan's raw entry counts), so
+            // a delta rebuild and a from-scratch build agree on every
+            // cover's container.
+            let raw_entries =
+                |l: usize| (pass.entry_offsets[l + 1] - pass.entry_offsets[l]) as usize;
+            let mut dense_list: Vec<u32> = Vec::with_capacity(n);
+            let mut sparse_list: Vec<u32> = Vec::new();
+            for l in 0..n {
+                if sparse_cover_eligible(words, raw_entries(l)) {
+                    sparse_list.push(l as u32);
+                } else {
+                    dense_list.push(l as u32);
+                }
+            }
+            let mut covers: Vec<Option<Bitmap>> = vec![None; n];
+
+            // Full-pattern scatter of one fresh survivor (newly above
+            // the iceberg threshold this commit) into a zeroed window.
+            let scatter_fresh = |l: usize, window: &mut [u64]| {
+                let target = l as u32;
+                for (k, &code) in plan.profiles.iter().enumerate() {
+                    if pass.local[layout.cell_of(code)] != target {
+                        continue;
+                    }
+                    for j in plan.word_offsets[k] as usize..plan.word_offsets[k + 1] as usize {
+                        window[plan.word_idx[j] as usize] |= plan.word_bits[j];
+                    }
+                }
+            };
+
+            // Sparse survivors: an unchanged one whose previous cover is
+            // already sparse re-shares its entry window (the sparse
+            // analog of wholesale chunk re-sharing); anything else is
+            // re-materialized through a dense scratch word buffer and
+            // re-scanned into the cuboid's fresh entry store — the scan
+            // yields the same canonical entries as the scratch fill's
+            // sort-and-fold.
+            if !sparse_list.is_empty() {
+                let cap: usize = sparse_list.iter().map(|&l| raw_entries(l as usize)).sum();
+                let mut store = SparseStore::with_capacity(cap);
+                let mut windows: Vec<(u32, u32, u32)> = Vec::with_capacity(sparse_list.len());
+                let mut scratch = vec![0u64; words];
+                for &l in &sparse_list {
+                    let l = l as usize;
+                    if d_offsets[l + 1] == d_offsets[l] {
+                        if let Some((s, start, entries)) =
+                            prev_of[l].and_then(|pi| prev.groups()[pi].cover.sparse_parts())
+                        {
+                            covers[l] = Some(Bitmap::from_sparse_store(
+                                universe,
+                                Arc::clone(s),
+                                start,
+                                entries,
+                            ));
+                            continue;
+                        }
+                    }
+                    scratch.fill(0);
+                    if let Some(pi) = prev_of[l] {
+                        prev.groups()[pi].cover.or_into(&mut scratch);
+                        let range = d_offsets[l] as usize..d_offsets[l + 1] as usize;
+                        for (&wi, &wb) in d_word_idx[range.clone()].iter().zip(&d_word_bits[range])
+                        {
+                            scratch[wi as usize] |= wb;
+                        }
+                    } else {
+                        scatter_fresh(l, &mut scratch);
+                    }
+                    let start = store.len();
+                    for (wi, &wb) in scratch.iter().enumerate() {
+                        if wb != 0 {
+                            store.push(wi as u32, wb);
+                        }
+                    }
+                    windows.push((l as u32, start as u32, (store.len() - start) as u32));
+                }
+                let store = store.seal();
+                for (l, start, entries) in windows {
+                    covers[l as usize] = Some(Bitmap::from_sparse_store(
+                        universe,
+                        Arc::clone(&store),
+                        start as usize,
+                        entries as usize,
+                    ));
+                }
+            }
+
             let per_chunk = (CHUNK_WORDS / words).max(1);
-            let mut covers: Vec<Bitmap> = Vec::with_capacity(n);
-            for chunk_start in (0..n).step_by(per_chunk) {
-                let count = per_chunk.min(n - chunk_start);
+            for chunk in dense_list.chunks(per_chunk) {
+                let count = chunk.len();
                 // Wholesale re-share: every survivor of the chunk is
                 // unchanged (no delta bits, existed before) and the
                 // block geometry is stable, and the previous covers are
                 // exactly this chunk layout over one pool.
                 let unchanged = same_geometry
-                    && (chunk_start..chunk_start + count)
-                        .all(|l| d_offsets[l + 1] == d_offsets[l] && prev_of[l].is_some());
+                    && chunk.iter().all(|&l| {
+                        let l = l as usize;
+                        d_offsets[l + 1] == d_offsets[l] && prev_of[l].is_some()
+                    });
                 if unchanged {
-                    if let Some(pool) = wholesale_pool(prev, &prev_of, chunk_start, count, words) {
+                    if let Some(pool) = wholesale_pool(prev, &prev_of, chunk, words) {
                         let pool = Arc::clone(pool);
-                        covers.extend((0..count).map(|li| {
-                            Bitmap::from_shared_pool(universe, Arc::clone(&pool), li * words)
-                        }));
+                        for (li, &l) in chunk.iter().enumerate() {
+                            covers[l as usize] = Some(Bitmap::from_shared_pool(
+                                universe,
+                                Arc::clone(&pool),
+                                li * words,
+                            ));
+                        }
                         continue;
                     }
                 }
-                // Copy-on-write chunk: carry old covers over, OR only
-                // the delta entries; full scatter for fresh survivors.
+                // Copy-on-write chunk: carry old covers over (whatever
+                // their previous representation), OR only the delta
+                // entries; full scatter for fresh survivors.
                 let mut blocks = alloc_chunk(count * words);
-                for li in 0..count {
-                    let l = chunk_start + li;
+                for (li, &l) in chunk.iter().enumerate() {
+                    let l = l as usize;
                     let window = &mut blocks[li * words..][..words];
                     if let Some(pi) = prev_of[l] {
-                        window[..old_words].copy_from_slice(prev.groups()[pi].cover.block_slice());
+                        prev.groups()[pi]
+                            .cover
+                            .or_into(&mut window[..old_words.min(words)]);
                         let range = d_offsets[l] as usize..d_offsets[l + 1] as usize;
                         for (&wi, &wb) in d_word_idx[range.clone()].iter().zip(&d_word_bits[range])
                         {
                             window[wi as usize] |= wb;
                         }
                     } else {
-                        let target = l as u32;
-                        for (k, &code) in plan.profiles.iter().enumerate() {
-                            if pass.local[layout.cell_of(code)] != target {
-                                continue;
-                            }
-                            for j in
-                                plan.word_offsets[k] as usize..plan.word_offsets[k + 1] as usize
-                            {
-                                window[plan.word_idx[j] as usize] |= plan.word_bits[j];
-                            }
-                        }
+                        scatter_fresh(l, window);
                     }
                 }
                 let pool = seal_chunk(blocks);
-                covers.extend(
-                    (0..count).map(|li| {
-                        Bitmap::from_shared_pool(universe, Arc::clone(&pool), li * words)
-                    }),
-                );
+                for (li, &l) in chunk.iter().enumerate() {
+                    covers[l as usize] = Some(Bitmap::from_shared_pool(
+                        universe,
+                        Arc::clone(&pool),
+                        li * words,
+                    ));
+                }
             }
+            let covers: Vec<Bitmap> = covers
+                .into_iter()
+                .map(|c| c.expect("every survivor got a cover"))
+                .collect();
             (covers, hists)
         });
 
@@ -825,13 +918,28 @@ mod tests {
         assert!(delta.is_empty());
         let reused = merged.build_reusing(&delta, &prev, options, 1);
         // Geometry and survivors are unchanged, so every cover must be a
-        // wholesale re-share of the previous pools: same pool pointers.
+        // wholesale re-share of the previous storage: same pool (dense)
+        // or entry-store (sparse) pointers.
         assert_eq!(reused.len(), prev.len());
         for (new, old) in reused.groups().iter().zip(prev.groups()) {
-            let (np, ns, _) = new.cover.shared_parts().expect("pooled");
-            let (op, os, _) = old.cover.shared_parts().expect("pooled");
-            assert!(Arc::ptr_eq(np, op), "{}", new.desc);
-            assert_eq!(ns, os);
+            match (new.cover.shared_parts(), old.cover.shared_parts()) {
+                (Some((np, ns, _)), Some((op, os, _))) => {
+                    assert!(Arc::ptr_eq(np, op), "{}", new.desc);
+                    assert_eq!(ns, os);
+                }
+                (None, None) => {
+                    let (np, ns, _) = new.cover.sparse_parts().expect("sparse");
+                    let (op, os, _) = old.cover.sparse_parts().expect("sparse");
+                    assert!(Arc::ptr_eq(np, op), "{}", new.desc);
+                    assert_eq!(ns, os);
+                }
+                (n, o) => panic!(
+                    "representation flipped across an empty append for {}: {:?} vs {:?}",
+                    new.desc,
+                    n.is_some(),
+                    o.is_some()
+                ),
+            }
         }
     }
 

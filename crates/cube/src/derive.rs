@@ -1,0 +1,246 @@
+//! Deriving per-query cubes from one fused multi-query cube build.
+//!
+//! The batch-explain path (an actor's filmography, the precompute set)
+//! builds **one** combined cube over the deduped union of the batch's
+//! items and then *derives* each query's standalone cube from it instead
+//! of running the two-pass builder once per query. The derivation is
+//! exact — pinned bit-identical to [`RatingCube::build`] over the
+//! query's own universe by the property suite — because group membership
+//! of a rating is a pure function of its reviewer profile:
+//!
+//! * a time-unrestricted query's universe is the concatenation of its
+//!   items' contiguous rating ranges in ascending item order
+//!   (`ItemQuery::rating_indexes`), each of which is also one contiguous
+//!   segment of the combined universe;
+//! * a group's query cover is therefore a concatenation of bit windows
+//!   of its combined cover ([`Bitmap::or_window_into`]);
+//! * its query support is a sum of masked range popcounts
+//!   ([`Bitmap::count_range`]), and a cell reaches the query's iceberg
+//!   threshold only if it reaches the combined cube's (support only
+//!   shrinks under restriction to a sub-universe), so the combined
+//!   survivor list is a superset of every query's — dropping
+//!   under-threshold cells reproduces the standalone survivor set in the
+//!   same coarse-to-fine order;
+//! * its stats regather from the dataset's score bins over the derived
+//!   cover positions (order-independent integer adds — identical to the
+//!   scratch builder's accumulation).
+
+use crate::bitmap::Bitmap;
+use crate::builder::{CandidateGroup, RatingCube};
+use maprat_data::{Dataset, ItemId, RatingIdx, RatingStats};
+
+/// One contiguous slice of a query universe inside the combined
+/// universe: `len` positions starting at combined position
+/// `combined_start` are query positions `query_start..query_start+len`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// First position of the slice in the query's own universe.
+    pub query_start: usize,
+    /// First position of the slice in the combined universe.
+    pub combined_start: usize,
+    /// Number of positions.
+    pub len: usize,
+}
+
+/// The combined universe of a batch: the deduped ascending item union's
+/// rating indexes, plus where each item's contiguous range landed.
+#[derive(Debug, Clone)]
+pub struct CombinedUniverse {
+    rating_idx: Vec<u32>,
+    /// `(item, start, len)` per distinct item, ascending by item.
+    items: Vec<(ItemId, usize, usize)>,
+}
+
+impl CombinedUniverse {
+    /// Builds the combined universe over the deduped, ascending union of
+    /// `items` (whole-item rating ranges — the time-unrestricted case).
+    pub fn over(dataset: &Dataset, items: impl IntoIterator<Item = ItemId>) -> CombinedUniverse {
+        let mut sorted: Vec<ItemId> = items.into_iter().collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut rating_idx: Vec<u32> = Vec::new();
+        let mut placed = Vec::with_capacity(sorted.len());
+        for item in sorted {
+            let start = rating_idx.len();
+            rating_idx.extend(dataset.rating_range_for_item(item));
+            placed.push((item, start, rating_idx.len() - start));
+        }
+        CombinedUniverse {
+            rating_idx,
+            items: placed,
+        }
+    }
+
+    /// The combined rating universe, item-major ascending.
+    pub fn rating_indexes(&self) -> &[u32] {
+        &self.rating_idx
+    }
+
+    /// Number of combined positions.
+    pub fn len(&self) -> usize {
+        self.rating_idx.len()
+    }
+
+    /// Whether the combined universe is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rating_idx.is_empty()
+    }
+
+    /// Maps one query's items (ascending, deduped — the order
+    /// `ItemQuery::items` returns) to its universe: the query's rating
+    /// indexes plus the segments tiling them inside the combined
+    /// universe. Returns `None` if an item was not part of the batch
+    /// union (caller bug).
+    pub fn query_segments(&self, items: &[ItemId]) -> Option<(Vec<u32>, Vec<Segment>)> {
+        let mut rating_idx = Vec::new();
+        let mut segments = Vec::with_capacity(items.len());
+        for &item in items {
+            let pos = self
+                .items
+                .binary_search_by_key(&item, |&(i, _, _)| i)
+                .ok()?;
+            let (_, start, len) = self.items[pos];
+            if len == 0 {
+                continue;
+            }
+            segments.push(Segment {
+                query_start: rating_idx.len(),
+                combined_start: start,
+                len,
+            });
+            rating_idx.extend_from_slice(&self.rating_idx[start..start + len]);
+        }
+        Some((rating_idx, segments))
+    }
+}
+
+/// Derives one query's standalone cube from the combined batch cube.
+///
+/// `rating_idx`/`segments` come from
+/// [`CombinedUniverse::query_segments`]; the segments must tile
+/// `0..rating_idx.len()` in order. The result is bit-identical to
+/// `RatingCube::build(dataset, rating_idx, options)` with the combined
+/// cube's options (covers compare set-equal; derived covers are owned
+/// dense blocks rather than pool windows).
+pub fn derive_cube(
+    dataset: &Dataset,
+    combined: &RatingCube,
+    segments: &[Segment],
+    rating_idx: Vec<u32>,
+) -> RatingCube {
+    let universe = rating_idx.len();
+    debug_assert_eq!(universe, segments.iter().map(|s| s.len).sum::<usize>());
+    let words = universe.div_ceil(64);
+    let min_support = combined.options().min_support.max(1);
+    let bins = dataset.rating_score_bins();
+
+    let mut total_hist = [0u64; 5];
+    for &ridx in &rating_idx {
+        total_hist[usize::from(bins[RatingIdx(ridx).index()])] += 1;
+    }
+
+    let mut groups: Vec<CandidateGroup> = Vec::new();
+    for g in combined.groups() {
+        // Per-segment masked popcounts decide survival before any cover
+        // block is written; under-threshold cells cost a few popcounts.
+        let support: usize = segments
+            .iter()
+            .map(|s| g.cover.count_range(s.combined_start, s.len))
+            .sum();
+        if support < min_support {
+            continue;
+        }
+        let mut blocks = vec![0u64; words];
+        for s in segments {
+            g.cover
+                .or_window_into(s.combined_start, s.len, &mut blocks, s.query_start);
+        }
+        let cover = Bitmap::from_owned_blocks(universe, blocks);
+        let mut hist = [0u64; 5];
+        for p in cover.iter() {
+            hist[usize::from(bins[RatingIdx(rating_idx[p]).index()])] += 1;
+        }
+        debug_assert_eq!(cover.count(), support);
+        groups.push(CandidateGroup {
+            desc: g.desc,
+            cover,
+            stats: RatingStats::from_histogram(hist),
+        });
+    }
+    RatingCube::from_parts(
+        rating_idx,
+        groups,
+        RatingStats::from_histogram(total_hist),
+        combined.options().clone(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CubeOptions;
+    use maprat_data::synth::{generate, SynthConfig};
+
+    fn assert_cubes_identical(a: &RatingCube, b: &RatingCube) {
+        assert_eq!(a.rating_indexes(), b.rating_indexes());
+        assert_eq!(a.len(), b.len(), "candidate counts differ");
+        assert_eq!(a.total_stats(), b.total_stats());
+        for (ga, gb) in a.groups().iter().zip(b.groups()) {
+            assert_eq!(ga.desc, gb.desc);
+            assert_eq!(ga.stats, gb.stats, "{}", ga.desc);
+            assert_eq!(ga.cover, gb.cover, "{}", ga.desc);
+        }
+    }
+
+    #[test]
+    fn derived_cubes_match_standalone_builds() {
+        let dataset = generate(&SynthConfig::tiny(77)).unwrap();
+        let all: Vec<ItemId> = dataset.items().iter().map(|i| i.id).collect();
+        // Three overlapping queries over a five-item union.
+        let union: Vec<ItemId> = all[..5.min(all.len())].to_vec();
+        let queries: Vec<Vec<ItemId>> = vec![
+            union.clone(),
+            union[..2].to_vec(),
+            vec![union[0], union[2], union[4.min(union.len() - 1)]],
+        ];
+        for options in [
+            CubeOptions {
+                min_support: 3,
+                require_geo: true,
+                max_arity: 4,
+            },
+            CubeOptions {
+                min_support: 5,
+                require_geo: false,
+                max_arity: 3,
+            },
+        ] {
+            let combined_universe =
+                CombinedUniverse::over(&dataset, queries.iter().flatten().copied());
+            let combined = RatingCube::build(
+                &dataset,
+                combined_universe.rating_indexes().to_vec(),
+                options.clone(),
+            );
+            for q in &queries {
+                let mut q = q.clone();
+                q.sort_unstable();
+                q.dedup();
+                let (rating_idx, segments) = combined_universe
+                    .query_segments(&q)
+                    .expect("items in batch");
+                let derived = derive_cube(&dataset, &combined, &segments, rating_idx.clone());
+                let standalone = RatingCube::build(&dataset, rating_idx, options.clone());
+                assert_cubes_identical(&derived, &standalone);
+            }
+        }
+    }
+
+    #[test]
+    fn query_segments_rejects_foreign_items() {
+        let dataset = generate(&SynthConfig::tiny(78)).unwrap();
+        let all: Vec<ItemId> = dataset.items().iter().map(|i| i.id).collect();
+        let combined = CombinedUniverse::over(&dataset, all[..2].iter().copied());
+        assert!(combined.query_segments(&[all[2]]).is_none());
+    }
+}

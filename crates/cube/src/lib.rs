@@ -20,8 +20,10 @@
 pub mod bitmap;
 pub mod builder;
 pub mod delta;
+pub mod derive;
 pub mod drill;
 pub mod group;
+pub mod kernels;
 pub mod lattice;
 #[doc(hidden)]
 pub mod oracle;

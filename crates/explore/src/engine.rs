@@ -48,14 +48,15 @@
 //! and `MAPRAT_SNAPSHOT_CACHE` (default 64 entries).
 
 use crate::approx::{ApproxMode, ApproxPolicy};
-use maprat_approx::{ApproxInfo, RefineLedger, StratifiedSampler};
+use maprat_approx::{ApproxInfo, RefineLedger, StratifiedSampler, StratumCensus};
 use maprat_cache::{CacheStats, FlightError, FlightGroup, FlightOutcome, ShardedCache};
 use maprat_core::query::ItemQuery;
-use maprat_core::{Budget, Explanation, MineError, Miner, SearchSettings};
+use maprat_core::{parallel, Budget, Explanation, MineError, Miner, SearchSettings};
+use maprat_cube::derive::{derive_cube, CombinedUniverse};
 use maprat_cube::{CubeOptions, RatingCube};
 use maprat_data::{Dataset, ItemId};
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -198,6 +199,10 @@ pub enum ServedFrom {
     /// A concurrent identical request was already solving; this caller
     /// waited and shares that leader's result.
     Coalesced,
+    /// The request was solved inside a fused batch
+    /// ([`MapRatEngine::explain_batch`]): one combined cube build served
+    /// its whole batch group, and this request's cube was derived from it.
+    BatchFused,
 }
 
 impl ServedFrom {
@@ -210,6 +215,7 @@ impl ServedFrom {
             ServedFrom::SnapshotCache => "snapshot",
             ServedFrom::Cold => "miss",
             ServedFrom::Coalesced => "coalesced",
+            ServedFrom::BatchFused => "batch",
         }
     }
 }
@@ -304,6 +310,40 @@ struct CubeSnapshot {
     dataset: Arc<Dataset>,
 }
 
+/// The census memo's key: the query (which determines `R_I`) plus the
+/// sampling fraction's bits. The census itself is fraction-independent
+/// (only the cheap per-stratum allocation step reads the fraction), but
+/// keying on both keeps the memo exact under engines whose policies are
+/// reconfigured mid-flight.
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct CensusKey {
+    query: ItemQuery,
+    frac_bits: u64,
+}
+
+impl CensusKey {
+    fn of(query: &ItemQuery, frac: f64) -> Self {
+        CensusKey {
+            query: query.clone(),
+            frac_bits: frac.to_bits(),
+        }
+    }
+}
+
+/// One memoized universe for the approximate path: the matched items,
+/// `R_I`, and its stratum census, pinned to the dataset snapshot they
+/// were collected from. Repeated sampled explains of the same query
+/// (different seeds, solver settings, or re-misses after result-tier
+/// eviction) skip both the universe collection and the census pass, and
+/// the background refinement reuses `(items, universe)` for its exact
+/// re-solve.
+struct CensusEntry {
+    items: Vec<ItemId>,
+    universe: Vec<u32>,
+    census: StratumCensus,
+    dataset: Arc<Dataset>,
+}
+
 type CachedResult = Arc<Result<ExplorationResult, MineError>>;
 
 fn read_lock<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
@@ -339,6 +379,7 @@ struct EngineInner {
     dataset: RwLock<Arc<Dataset>>,
     results: ShardedCache<ExplainRequest, Result<ExplorationResult, MineError>>,
     snapshots: ShardedCache<SnapshotKey, CubeSnapshot>,
+    censuses: ShardedCache<CensusKey, CensusEntry>,
     /// Flights are keyed by request *plus* approx-mode class: an
     /// `approx=off` caller must never join a sampled leader's flight.
     flights: FlightGroup<(ExplainRequest, u8), (CachedResult, ServedFrom)>,
@@ -424,6 +465,7 @@ impl MapRatEngine {
                 dataset: RwLock::new(dataset),
                 results: ShardedCache::new(shards, per_shard),
                 snapshots: ShardedCache::new(SHARDS, snapshots.div_ceil(SHARDS)),
+                censuses: ShardedCache::new(SHARDS, snapshots.div_ceil(SHARDS)),
                 flights: FlightGroup::new(),
                 solves: AtomicU64::new(0),
                 foreground: AtomicUsize::new(0),
@@ -468,6 +510,7 @@ impl MapRatEngine {
             .unwrap_or_else(PoisonError::into_inner) = dataset;
         self.inner.results.clear();
         self.inner.snapshots.clear();
+        self.inner.censuses.clear();
     }
 
     /// Hot-swap with partition-scoped invalidation: drops only the cache
@@ -497,6 +540,10 @@ impl MapRatEngine {
             .unwrap_or_else(PoisonError::into_inner) = dataset;
         let untouched =
             |items: &[ItemId]| -> bool { !items.iter().any(|item| changed.contains(item)) };
+        // Census entries are a pure perf memo (each is additionally
+        // guarded by an `Arc::ptr_eq` dataset pin at use), but scoped
+        // invalidation keeps the tier from serving as a graveyard.
+        self.inner.censuses.retain(|_, e| untouched(&e.items));
         self.inner.results.retain(|_, result| match result {
             Ok(r) => untouched(&r.items),
             Err(_) => false,
@@ -514,6 +561,13 @@ impl MapRatEngine {
     /// Snapshot-tier telemetry.
     pub fn snapshot_stats(&self) -> Arc<CacheStats> {
         self.inner.snapshots.stats()
+    }
+
+    /// Census-memo telemetry: hits are sampled explains (or exact
+    /// refinements) that skipped the universe collection and `R_I`
+    /// census pass by reusing a memoized [`StratumCensus`].
+    pub fn census_stats(&self) -> Arc<CacheStats> {
+        self.inner.censuses.stats()
     }
 
     /// Result-tier entries currently cached (across all shards).
@@ -636,6 +690,304 @@ impl MapRatEngine {
         }
         let _ = self.lookup_or_solve(request, &Budget::unlimited(), ApproxMode::default());
         true
+    }
+
+    /// Explains a batch of related requests, fusing their cube builds:
+    /// requests that miss both cache tiers, share cube-build options and
+    /// are time-unrestricted are grouped, **one** combined cube is built
+    /// over the deduped union of their items, and each request's cube is
+    /// derived from it ([`maprat_cube::derive`]) before its own solve —
+    /// so an actor's filmography or the precompute set pays the
+    /// dataset-scan and cover-materialization cost once instead of once
+    /// per query.
+    ///
+    /// Answer-identical to issuing each request through
+    /// [`MapRatEngine::explain_opts`]: derivation is pinned bit-identical
+    /// to a standalone build, solves run with the request's own settings,
+    /// and both cache tiers are populated exactly as a standalone miss
+    /// would (so later single-request traffic hits as usual). Requests
+    /// the fused path cannot serve exactly — time-restricted queries,
+    /// universes the approximation policy may sample, requests whose
+    /// cube snapshot is already resident (re-solving from it is cheaper
+    /// than any build) — fall back to the standalone path per request.
+    /// Duplicate requests within the batch are solved once and share the
+    /// result ([`ServedFrom::Coalesced`]).
+    ///
+    /// The returned vector is index-aligned with `requests`; fused slots
+    /// are labeled [`ServedFrom::BatchFused`] (`X-MapRat-Cache: batch`).
+    pub fn explain_batch(
+        &self,
+        requests: &[ExplainRequest],
+        budget: &Budget,
+    ) -> Vec<(Arc<Result<ExplorationResult, MineError>>, ServedFrom)> {
+        let _guard = ForegroundGuard::enter(&self.inner.foreground);
+        self.batch_inner(requests, budget, ApproxMode::default())
+    }
+
+    /// Background batch warm used by the precompute scheduler: fuses the
+    /// cube builds of every request not already resident in the result
+    /// tier. Like [`MapRatEngine::warm`], it does not count as
+    /// foreground traffic. Returns how many requests were warmed.
+    pub fn warm_batch(&self, requests: &[ExplainRequest]) -> usize {
+        let missing: Vec<ExplainRequest> = requests
+            .iter()
+            .filter(|r| !self.inner.results.contains(r))
+            .cloned()
+            .collect();
+        if missing.is_empty() {
+            return 0;
+        }
+        let _ = self.batch_inner(&missing, &Budget::unlimited(), ApproxMode::default());
+        missing.len()
+    }
+
+    /// Batch serving body: result-tier probes, in-batch dedup, fused
+    /// groups, standalone fallback.
+    fn batch_inner(
+        &self,
+        requests: &[ExplainRequest],
+        budget: &Budget,
+        mode: ApproxMode,
+    ) -> Vec<(CachedResult, ServedFrom)> {
+        let mut slots: Vec<Option<(CachedResult, ServedFrom)>> =
+            requests.iter().map(|_| None).collect();
+        // In-batch coalescing: duplicates share the first occurrence's
+        // solve, mirroring what the flight group does across threads.
+        let mut first_of: HashMap<&ExplainRequest, usize> = HashMap::new();
+        let mut dupes: Vec<(usize, usize)> = Vec::new();
+        for (i, request) in requests.iter().enumerate() {
+            match first_of.entry(request) {
+                std::collections::hash_map::Entry::Occupied(e) => dupes.push((i, *e.get())),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(i);
+                }
+            }
+        }
+
+        // Result-tier probes first: a batch of warm requests never mines.
+        for (i, request) in requests.iter().enumerate() {
+            if dupes.iter().any(|&(d, _)| d == i) {
+                continue;
+            }
+            if let Some(hit) = self.inner.results.get(request) {
+                if let Some(served) = self.classify_hit_mode(&hit, mode) {
+                    slots[i] = Some((hit, served));
+                }
+            }
+        }
+
+        let dataset = self.dataset();
+        // If the policy may answer any of these universes with a sample,
+        // the fused exact build would change semantics — route through
+        // the standalone path, which owns the approximate pipeline.
+        let approx_may_engage = mode != ApproxMode::Off
+            && self
+                .inner
+                .approx
+                .should_sample(mode, dataset.ratings().len());
+
+        // Partition the misses: fused groups keyed by cube-build options
+        // (first-seen order, so processing is deterministic), the rest
+        // standalone.
+        let mut fused: Vec<((usize, bool, usize), Vec<usize>)> = Vec::new();
+        let mut standalone: Vec<usize> = Vec::new();
+        for (i, request) in requests.iter().enumerate() {
+            if slots[i].is_some() || dupes.iter().any(|&(d, _)| d == i) {
+                continue;
+            }
+            let fusable = !approx_may_engage
+                && request.query.time.is_unrestricted()
+                && request.settings.validate().is_ok()
+                && self
+                    .inner
+                    .snapshots
+                    .peek(&SnapshotKey::of(request))
+                    .is_none();
+            if !fusable {
+                standalone.push(i);
+                continue;
+            }
+            let options = (
+                request.settings.min_support,
+                request.settings.require_geo,
+                request.settings.max_arity,
+            );
+            match fused.iter_mut().find(|(o, _)| *o == options) {
+                Some((_, members)) => members.push(i),
+                None => fused.push((options, vec![i])),
+            }
+        }
+
+        for (_, group) in fused {
+            // A group of one shares nothing; the standalone path also
+            // owns coalescing with concurrent foreground flights.
+            if group.len() < 2 {
+                standalone.extend(group);
+                continue;
+            }
+            let leftover = self.solve_fused_group(requests, &group, budget, &dataset, &mut slots);
+            standalone.extend(leftover);
+        }
+
+        for i in standalone {
+            let (result, served) = self.lookup_or_solve(&requests[i], budget, mode);
+            // Approx bookkeeping parity with `explain_opts`.
+            if matches!(&*result, Ok(r) if r.approx.is_some()) {
+                self.inner.approx_served.fetch_add(1, Ordering::Relaxed);
+                if self.inner.approx.refine {
+                    self.schedule_refine(&requests[i]);
+                }
+            }
+            slots[i] = Some((result, served));
+        }
+
+        for (i, first) in dupes {
+            let (result, _) = slots[first].clone().expect("first occurrence was served");
+            slots[i] = Some((result, ServedFrom::Coalesced));
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every batch slot is served"))
+            .collect()
+    }
+
+    /// Solves one fused batch group: one combined cube build over the
+    /// union of the group's items, then a derive + solve per member,
+    /// fanned out over the worker pool ([`parallel::parallel_map`]).
+    /// Returns the members it could not serve (routed standalone by the
+    /// caller). Per-member snapshot/result caching matches
+    /// [`MapRatEngine::solve_and_cache`]'s rules exactly.
+    fn solve_fused_group(
+        &self,
+        requests: &[ExplainRequest],
+        group: &[usize],
+        budget: &Budget,
+        dataset: &Arc<Dataset>,
+        slots: &mut [Option<(CachedResult, ServedFrom)>],
+    ) -> Vec<usize> {
+        let mut leftover: Vec<usize> = Vec::new();
+        let mut members: Vec<(usize, Vec<ItemId>)> = Vec::new();
+        for &i in group {
+            let items = requests[i].query.items(dataset);
+            if items.is_empty() {
+                // The standalone path produces (and negative-caches) the
+                // proper NoMatchingItems error for this query.
+                leftover.push(i);
+                continue;
+            }
+            members.push((i, items));
+        }
+        if members.len() < 2 {
+            leftover.extend(members.into_iter().map(|(i, _)| i));
+            return leftover;
+        }
+        let settings = &requests[members[0].0].settings;
+        let options = CubeOptions {
+            min_support: settings.min_support,
+            require_geo: settings.require_geo,
+            max_arity: settings.max_arity,
+        };
+        let combined_universe = CombinedUniverse::over(
+            dataset,
+            members.iter().flat_map(|(_, it)| it.iter().copied()),
+        );
+        // One shared build — the whole point of the fused path. A panic
+        // here (chaos injection, builder bug) degrades the entire group
+        // to the standalone path, which contains panics per request.
+        let combined = match catch_unwind(AssertUnwindSafe(|| {
+            RatingCube::build(
+                dataset,
+                combined_universe.rating_indexes().to_vec(),
+                options,
+            )
+        })) {
+            Ok(cube) => cube,
+            Err(_) => {
+                leftover.extend(members.into_iter().map(|(i, _)| i));
+                return leftover;
+            }
+        };
+        // Members derive and solve independently from the shared build, so
+        // fan them out over the worker pool (the same idiom as the parallel
+        // time-slider sweep): each slot's value depends only on its member,
+        // never on scheduling, so the batch stays bit-identical for any
+        // `MAPRAT_THREADS`. Cache writes and counters happen afterwards in
+        // member order so eviction order matches the sequential story.
+        let solved = parallel::parallel_map(members.len(), parallel::num_threads(), |m| {
+            let (i, items) = &members[m];
+            let request = &requests[*i];
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                maprat_faults::maybe_panic("solver.panic");
+                let (rating_idx, segments) = combined_universe
+                    .query_segments(items)
+                    .expect("batch member items are in the union");
+                if rating_idx.is_empty() {
+                    return (None, Err(MineError::NoRatings));
+                }
+                let cube = derive_cube(dataset, &combined, &segments, rating_idx);
+                if cube.is_empty() {
+                    return (None, Err(MineError::NoCandidates));
+                }
+                let miner = Miner::new(dataset);
+                let result = miner
+                    .explain_cube_budget(
+                        &request.query,
+                        items.clone(),
+                        &cube,
+                        &request.settings,
+                        budget,
+                    )
+                    .map(|explanation| ExplorationResult {
+                        explanation,
+                        cube: cube.clone(),
+                        items: items.clone(),
+                        dataset: Arc::clone(dataset),
+                        approx: None,
+                    });
+                (Some(cube), result)
+            }));
+            match outcome {
+                Ok(solved) => solved,
+                Err(payload) => {
+                    let what = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".to_string());
+                    (
+                        None,
+                        Err(MineError::Internal(format!("batch solve panicked: {what}"))),
+                    )
+                }
+            }
+        });
+        for ((i, items), (derived, result)) in members.into_iter().zip(solved) {
+            let request = &requests[i];
+            if let Some(cube) = derived {
+                // The derived cube is bit-identical to a standalone build,
+                // so it is a valid (budget-independent) snapshot — kept
+                // even when the solve itself errored (e.g. on deadline).
+                self.inner.snapshots.put(
+                    SnapshotKey::of(request),
+                    CubeSnapshot {
+                        items,
+                        cube,
+                        dataset: Arc::clone(dataset),
+                    },
+                );
+            }
+            self.inner.solves.fetch_add(1, Ordering::Relaxed);
+            let cached = match &result {
+                Err(MineError::DeadlineExceeded) => {
+                    self.inner.deadline_expired.fetch_add(1, Ordering::Relaxed);
+                    Arc::new(result)
+                }
+                Err(MineError::Internal(_)) => Arc::new(result),
+                _ => self.inner.results.put(request.clone(), result),
+            };
+            slots[i] = Some((cached, ServedFrom::BatchFused));
+        }
+        leftover
     }
 
     /// Labels a result-tier hit: `hit` normally, `hit-preingest` when
@@ -803,19 +1155,54 @@ impl MapRatEngine {
             return None;
         }
         let miner = Miner::new(&dataset);
-        let (items, universe) = match miner.collect_universe(&request.query, &request.settings) {
-            Ok(pair) => pair,
-            // Validation and empty-universe errors are deterministic and
-            // identical to what the exact path would produce; surface them
-            // here rather than re-collecting.
-            Err(e) => return Some((Err(e), ServedFrom::Cold)),
+        // The census memo serves `(items, R_I, census)` for repeated
+        // sampled explains of one query; a hit skips the universe
+        // collection *and* the sampler's full census pass. Entries are
+        // pinned to the dataset they were collected from, so a hot-swap
+        // race can never serve shifted positions. Settings validation
+        // (which `collect_universe` would otherwise perform) stays on
+        // the hit path too.
+        if let Err(e) = request.settings.validate() {
+            return Some((Err(e), ServedFrom::Cold));
+        }
+        let census_key = CensusKey::of(&request.query, policy.sample_frac);
+        let entry = match self
+            .inner
+            .censuses
+            .get(&census_key)
+            .filter(|e| Arc::ptr_eq(&e.dataset, &dataset))
+        {
+            Some(entry) => entry,
+            None => {
+                let (items, universe) =
+                    match miner.collect_universe(&request.query, &request.settings) {
+                        Ok(pair) => pair,
+                        // Validation and empty-universe errors are
+                        // deterministic and identical to what the exact path
+                        // would produce; surface them here rather than
+                        // re-collecting.
+                        Err(e) => return Some((Err(e), ServedFrom::Cold)),
+                    };
+                let census = StratumCensus::over(&dataset, &universe);
+                self.inner.censuses.put(
+                    census_key,
+                    CensusEntry {
+                        items,
+                        universe,
+                        census,
+                        dataset: Arc::clone(&dataset),
+                    },
+                )
+            }
         };
+        let (items, universe) = (entry.items.clone(), &entry.universe);
         if !policy.should_sample(mode, universe.len()) {
             self.inner.approx_fallback.fetch_add(1, Ordering::Relaxed);
             return None;
         }
+        let threads = maprat_pool::num_threads();
         let sampler = StratifiedSampler::new(policy.sample_frac, request.settings.rhe.seed);
-        let sample = sampler.sample(&dataset, &universe);
+        let sample = sampler.sample_with_census(&dataset, universe, &entry.census, threads);
         if sample.is_exhaustive() {
             // The sample *is* the universe (tiny strata everywhere):
             // approximation would just be the exact answer with extra
@@ -852,8 +1239,14 @@ impl MapRatEngine {
             )
             .map(|mut explanation| {
                 // Bounds come from the paired validation sample so the
-                // solver's group selection cannot bias them.
-                let validation = sampler.validation().sample(&dataset, &universe);
+                // solver's group selection cannot bias them. It shares
+                // the memoized census — same fraction, different phases.
+                let validation = sampler.validation().sample_with_census(
+                    &dataset,
+                    universe,
+                    &entry.census,
+                    threads,
+                );
                 let info =
                     ApproxInfo::for_explanation(&dataset, &explanation, &sample, &validation);
                 // Report the *population* size: "N ratings explained" must
@@ -960,6 +1353,29 @@ impl MapRatEngine {
         }
     }
 
+    /// [`Miner::collect_universe`] short-circuited through the census
+    /// memo: the background refinement of a sampled entry (and any exact
+    /// cold solve of a census-memoized query) reuses the memoized
+    /// `(items, R_I)` instead of re-collecting the universe. Falls
+    /// through to the miner when no entry is pinned to the current
+    /// dataset. Semantically identical either way — the universe is a
+    /// pure function of (dataset, query), and entries pin their dataset.
+    fn collect_reusing_census(
+        &self,
+        miner: &Miner,
+        dataset: &Arc<Dataset>,
+        request: &ExplainRequest,
+    ) -> Result<(Vec<ItemId>, Vec<u32>), MineError> {
+        request.settings.validate()?;
+        let key = CensusKey::of(&request.query, self.inner.approx.sample_frac);
+        if let Some(entry) = self.inner.censuses.peek(&key) {
+            if Arc::ptr_eq(&entry.dataset, dataset) {
+                return Ok((entry.items.clone(), entry.universe.clone()));
+            }
+        }
+        miner.collect_universe(&request.query, &request.settings)
+    }
+
     /// The actual mining work of a miss: snapshot-tier lookup, cube
     /// build, budgeted solve.
     fn mine(
@@ -994,8 +1410,23 @@ impl MapRatEngine {
             None => {
                 let dataset = self.dataset();
                 let miner = Miner::new(&dataset);
-                let result = miner
-                    .build_cube(&request.query, &request.settings)
+                let result = self
+                    .collect_reusing_census(&miner, &dataset, request)
+                    .and_then(|(items, rating_idx)| {
+                        let cube = RatingCube::build(
+                            &dataset,
+                            rating_idx,
+                            CubeOptions {
+                                min_support: request.settings.min_support,
+                                require_geo: request.settings.require_geo,
+                                max_arity: request.settings.max_arity,
+                            },
+                        );
+                        if cube.is_empty() {
+                            return Err(MineError::NoCandidates);
+                        }
+                        Ok((items, cube))
+                    })
                     .and_then(|(items, cube)| {
                         self.inner.snapshots.put(
                             key.clone(),
@@ -1063,6 +1494,7 @@ impl MapRatEngine {
     pub fn clear_cache(&self) {
         self.inner.results.clear();
         self.inner.snapshots.clear();
+        self.inner.censuses.clear();
     }
 }
 
@@ -1622,6 +2054,175 @@ mod tests {
             assert!(engine.refine_now(&request));
         });
         assert_eq!(engine.serving_stats().approx_refined, 1);
+    }
+
+    #[test]
+    fn batch_explain_is_answer_identical_to_standalone() {
+        let engine = engine();
+        let dataset = engine.dataset();
+        let titles: Vec<String> = dataset
+            .items()
+            .iter()
+            .take(6)
+            .map(|it| it.title.clone())
+            .collect();
+        let requests: Vec<ExplainRequest> = titles
+            .iter()
+            .map(|t| ExplainRequest::new(ItemQuery::title(t), settings()))
+            .collect();
+        let batch = engine.explain_batch(&requests, &Budget::unlimited());
+        assert_eq!(batch.len(), requests.len());
+        // Reference answers from a fresh engine, one standalone build each.
+        let reference = MapRatEngine::new(Arc::clone(&dataset));
+        for (request, (result, served)) in requests.iter().zip(&batch) {
+            assert_eq!(
+                *served,
+                ServedFrom::BatchFused,
+                "{}",
+                request.query.describe()
+            );
+            let standalone = reference.explain(request);
+            match (&**result, &*standalone) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(
+                        format!("{:?}", a.explanation.similarity.groups),
+                        format!("{:?}", b.explanation.similarity.groups),
+                        "{}",
+                        request.query.describe()
+                    );
+                    assert_eq!(
+                        a.explanation.diversity.objective,
+                        b.explanation.diversity.objective
+                    );
+                    assert_eq!(a.explanation.num_ratings, b.explanation.num_ratings);
+                    assert_eq!(a.cube.len(), b.cube.len(), "derived cube matches");
+                }
+                (Err(a), Err(b)) => assert_eq!(format!("{a:?}"), format!("{b:?}")),
+                other => panic!("batch and standalone disagree: {other:?}"),
+            }
+            // The batch populated the result tier like a standalone miss.
+            let (shared, served) = engine.explain_traced(request);
+            assert_eq!(served, ServedFrom::ResultCache);
+            assert!(Arc::ptr_eq(&shared, result));
+        }
+        // …and the snapshot tier too: a new budget re-solves, no rebuild.
+        let resolve =
+            ExplainRequest::new(ItemQuery::title(&titles[0]), settings().with_max_groups(2));
+        let (r, served) = engine.explain_traced(&resolve);
+        assert!(r.is_ok());
+        assert_eq!(served, ServedFrom::SnapshotCache);
+    }
+
+    #[test]
+    fn batch_explain_probes_tiers_and_coalesces_duplicates() {
+        let engine = engine();
+        let warm = ExplainRequest::new(ItemQuery::title("Toy Story"), settings());
+        assert!(engine.explain(&warm).is_ok());
+        let dataset = engine.dataset();
+        let fresh: Vec<ExplainRequest> = dataset
+            .items()
+            .iter()
+            .filter(|it| it.title != "Toy Story")
+            .take(2)
+            .map(|it| ExplainRequest::new(ItemQuery::title(&it.title), settings()))
+            .collect();
+        let requests = vec![
+            warm.clone(),
+            fresh[0].clone(),
+            fresh[0].clone(),
+            fresh[1].clone(),
+        ];
+        let solves_before = engine.solve_count();
+        let batch = engine.explain_batch(&requests, &Budget::unlimited());
+        assert_eq!(batch[0].1, ServedFrom::ResultCache, "warm slot is a hit");
+        assert_eq!(batch[1].1, ServedFrom::BatchFused);
+        assert_eq!(batch[1].1.as_str(), "batch");
+        assert_eq!(batch[2].1, ServedFrom::Coalesced, "in-batch duplicate");
+        assert!(
+            Arc::ptr_eq(&batch[1].0, &batch[2].0),
+            "duplicate shares the solve"
+        );
+        assert_eq!(batch[3].1, ServedFrom::BatchFused);
+        assert_eq!(
+            engine.solve_count() - solves_before,
+            2,
+            "two fused solves: hit and duplicate never reached the miner"
+        );
+    }
+
+    #[test]
+    fn batch_routes_time_restricted_queries_standalone() {
+        use maprat_data::{TimeRange, Timestamp};
+        let engine = engine();
+        let dataset = engine.dataset();
+        let titles: Vec<String> = dataset
+            .items()
+            .iter()
+            .take(3)
+            .map(|it| it.title.clone())
+            .collect();
+        let restricted = ExplainRequest::new(
+            ItemQuery::title(&titles[0]).within(TimeRange::until(Timestamp::from_ymd(2005, 1, 1))),
+            settings(),
+        );
+        let requests = vec![
+            restricted,
+            ExplainRequest::new(ItemQuery::title(&titles[1]), settings()),
+            ExplainRequest::new(ItemQuery::title(&titles[2]), settings()),
+        ];
+        let batch = engine.explain_batch(&requests, &Budget::unlimited());
+        assert_eq!(
+            batch[0].1,
+            ServedFrom::Cold,
+            "time-restricted universes are not fusable"
+        );
+        assert_eq!(batch[1].1, ServedFrom::BatchFused);
+        assert_eq!(batch[2].1, ServedFrom::BatchFused);
+    }
+
+    #[test]
+    fn census_memo_is_shared_across_sampled_explains_and_refinement() {
+        let engine = approx_engine(usize::MAX);
+        let q = ItemQuery::title("Toy Story");
+        let first = ExplainRequest::new(q.clone(), settings());
+        let (a, _) = engine.explain_opts(&first, &Budget::unlimited(), ApproxMode::Force);
+        assert!(matches!(&*a, Ok(r) if r.approx.is_some()));
+        assert_eq!(engine.census_stats().misses(), 1, "first solve censuses");
+        // A second sampled solve of the same query (different seed → a
+        // different request, so no result-tier hit) reuses the census.
+        let mut seeded = settings();
+        seeded.rhe.seed ^= 1;
+        let second = ExplainRequest::new(q.clone(), seeded);
+        let (b, _) = engine.explain_opts(&second, &Budget::unlimited(), ApproxMode::Force);
+        assert!(matches!(&*b, Ok(r) if r.approx.is_some()));
+        assert_eq!(
+            engine.census_stats().misses(),
+            1,
+            "the census pass ran exactly once"
+        );
+        assert!(engine.census_stats().hits() >= 1);
+        // The memoized census is answer-identical to a fresh one.
+        let fresh = MapRatEngine::with_approx_policy(
+            Arc::clone(&engine.dataset()),
+            approx_policy(usize::MAX),
+        );
+        let (c, _) = fresh.explain_opts(&second, &Budget::unlimited(), ApproxMode::Force);
+        match (&*b, &*c) {
+            (Ok(x), Ok(y)) => {
+                assert_eq!(
+                    format!("{:?}", x.explanation.similarity.groups),
+                    format!("{:?}", y.explanation.similarity.groups),
+                    "memoized census must not change the sample"
+                );
+            }
+            other => panic!("both sampled solves should succeed: {other:?}"),
+        }
+        // Background refinement reuses the memoized (items, universe) for
+        // its exact re-solve and still upgrades the entry in place.
+        assert!(engine.refine_now(&first));
+        let (r, served) = engine.explain_traced(&first);
+        assert_eq!(served, ServedFrom::ResultCache);
+        assert!(matches!(&*r, Ok(res) if res.approx.is_none()));
     }
 
     #[test]

@@ -202,9 +202,13 @@ impl SchedulerInner {
             .collect();
         candidates
             .sort_by_key(|(count, request)| (std::cmp::Reverse(*count), request.fingerprint()));
-        let mut warmed = 0;
+        // Assemble up to `budget` non-resident requests, then warm them
+        // as ONE fused batch: requests sharing cube-build options pay a
+        // single combined cube build (`MapRatEngine::explain_batch`)
+        // instead of one dataset scan each.
+        let mut batch: Vec<ExplainRequest> = Vec::new();
         for (_, request) in candidates {
-            if warmed >= self.budget {
+            if batch.len() >= self.budget {
                 break;
             }
             if self.engine.foreground_inflight() > 0 {
@@ -212,11 +216,12 @@ impl SchedulerInner {
                 self.deferred.fetch_add(1, Ordering::Relaxed);
                 break;
             }
-            if self.engine.warm(&request) {
-                self.warmed.fetch_add(1, Ordering::Relaxed);
-                warmed += 1;
+            if !self.engine.cached(&request) {
+                batch.push(request);
             }
         }
+        let warmed = self.engine.warm_batch(&batch);
+        self.warmed.fetch_add(warmed as u64, Ordering::Relaxed);
         warmed
     }
 }

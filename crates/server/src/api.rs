@@ -31,8 +31,9 @@ use maprat_ingest::{
 };
 
 /// The routes the server knows, advertised in `unknown_route` errors.
-pub const AVAILABLE_ROUTES: [&str; 10] = [
+pub const AVAILABLE_ROUTES: [&str; 11] = [
     "/api/v1/explain",
+    "/api/v1/explain/batch",
     "/api/v1/stats",
     "/api/v1/ingest",
     "/api/v1/timeline",
@@ -714,6 +715,46 @@ pub fn explain_request_opts(req: &Request) -> Result<(ExplainRequest, ApproxMode
 fn parse_body(req: &Request) -> Result<Json, ApiError> {
     Json::parse(&req.body_text())
         .map_err(|e| ApiError::bad_request(format!("invalid JSON body: {e}")))
+}
+
+// ---------------------------------------------------------------------------
+// Batch explain transport
+// ---------------------------------------------------------------------------
+
+/// Largest accepted `/api/v1/explain/batch` batch: big enough for an
+/// actor's filmography or the precompute set, small enough that one
+/// request cannot monopolize the engine.
+pub const MAX_EXPLAIN_BATCH: usize = 64;
+
+/// Decodes `POST /api/v1/explain/batch`: a JSON body whose `"requests"`
+/// array holds explain requests in the canonical POST-body encoding
+/// (each as accepted by [`explain_request_from_json`]). POST-only — a
+/// batch has no flat query-string form.
+pub fn explain_batch_request(req: &Request) -> Result<Vec<ExplainRequest>, ApiError> {
+    if req.method != "POST" {
+        return Err(ApiError::method_not_allowed(&req.method)
+            .with_hint("batch explain is POST-only; send {\"requests\": [...]}"));
+    }
+    let body = parse_body(req)?;
+    let items = match body.get("requests") {
+        Some(Json::Arr(items)) => items,
+        Some(other) => {
+            return Err(ApiError::bad_request(format!(
+                "field \"requests\" must be an array, got {other}"
+            )))
+        }
+        None => return Err(ApiError::bad_request("request missing \"requests\"")),
+    };
+    if items.is_empty() {
+        return Err(ApiError::bad_request("\"requests\" must not be empty"));
+    }
+    if items.len() > MAX_EXPLAIN_BATCH {
+        return Err(ApiError::bad_request(format!(
+            "batch of {} requests exceeds the limit of {MAX_EXPLAIN_BATCH}",
+            items.len()
+        )));
+    }
+    items.iter().map(explain_request_from_json).collect()
 }
 
 // ---------------------------------------------------------------------------

@@ -110,6 +110,7 @@ impl AppState {
             "/" | "/index.html" => Response::html(html::INDEX.to_string()),
             // Versioned API + legacy aliases (deprecated; same parser).
             "/api/v1/explain" | "/api/explain" => self.explain_route(req),
+            "/api/v1/explain/batch" => self.explain_batch_route(req),
             "/api/v1/stats" => self.stats_route(req),
             "/api/v1/ingest" => self.ingest_route(req),
             "/api/v1/timeline" | "/api/timeline" => self.timeline_route(req),
@@ -159,6 +160,58 @@ impl AppState {
             Err(e) => ApiError::from_mine(e).into_response(),
         };
         response.with_header("X-MapRat-Cache", served.as_str())
+    }
+
+    /// `POST /api/v1/explain/batch` — explains several related requests in
+    /// one call, letting the engine fuse compatible cube builds
+    /// (`MapRatEngine::explain_batch`). The `"results"` array is
+    /// index-aligned with the request's `"requests"`; each slot carries
+    /// its own `"cache"` label (`batch` for fused members) and either the
+    /// explain `"result"` or a structured `"error"`, so one failing
+    /// member never fails its neighbours.
+    fn explain_batch_route(&self, req: &Request) -> Response {
+        let requests = match api::explain_batch_request(req) {
+            Ok(r) => r,
+            Err(e) => return e.into_response(),
+        };
+        let budget = match deadline_budget(req) {
+            Ok(b) => b,
+            Err(e) => return e.into_response(),
+        };
+        if let Some(scheduler) = &self.scheduler {
+            for request in &requests {
+                scheduler.record(request);
+            }
+        }
+        // Admission control mirrors the single route: past the watermark
+        // a batch is admitted only if every member can answer from cache.
+        if self.engine.foreground_inflight() >= self.shed_watermark
+            && requests.iter().any(|r| !self.engine.cached(r))
+        {
+            self.shed_requests.fetch_add(1, Ordering::Relaxed);
+            return ApiError::overloaded(self.engine.foreground_inflight(), self.shed_watermark)
+                .into_response()
+                .with_header("Retry-After", "1");
+        }
+        let outcomes = self.engine.explain_batch(&requests, &budget);
+        let results: Vec<Json> = outcomes
+            .iter()
+            .map(|(result, served)| {
+                let cache = ("cache", Json::str(served.as_str().to_string()));
+                match &**result {
+                    Ok(r) => {
+                        let mut body = ExplainResponse::from_explanation(&r.explanation);
+                        if let Some(info) = &r.approx {
+                            body = body.with_approx(info);
+                        }
+                        Json::obj([cache, ("result", body.to_json())])
+                    }
+                    Err(e) => Json::obj([cache, ("error", ApiError::from_mine(e).to_json())]),
+                }
+            })
+            .collect();
+        Response::json(Json::obj([("results", Json::Arr(results))]).render())
+            .with_header("X-MapRat-Cache", "batch")
     }
 
     /// `POST /api/v1/ingest` — commits a batch of live ratings: validates
@@ -546,6 +599,11 @@ mod tests {
     }
 
     fn post(port: u16, target: &str, body: &str) -> (u16, String) {
+        let (status, _, body) = post_full(port, target, body);
+        (status, body)
+    }
+
+    fn post_full(port: u16, target: &str, body: &str) -> (u16, String, String) {
         let mut stream = TcpStream::connect(("127.0.0.1", port)).unwrap();
         write!(
             stream,
@@ -554,8 +612,7 @@ mod tests {
             body
         )
         .unwrap();
-        let (status, _, body) = read_response(&mut stream);
-        (status, body)
+        read_response(&mut stream)
     }
 
     fn read_response(stream: &mut TcpStream) -> (u16, String, String) {
@@ -1086,6 +1143,108 @@ mod tests {
             get_full(s.port(), "/api/v1/explain?q=Toy+Story&coverage=0.1&geo=0");
         assert_eq!(status, 200);
         assert_eq!(cache_header(&head).as_deref(), Some("miss"));
+    }
+
+    /// One batch member in the canonical POST-body encoding.
+    fn batch_member(title: &str) -> String {
+        format!(
+            r#"{{"query":{{"terms":[{{"field":"title","value":"{title}"}}]}},"settings":{{"min_coverage":0.1,"require_geo":false}}}}"#
+        )
+    }
+
+    #[test]
+    fn batch_explain_fuses_and_matches_single_route() {
+        let s = server(); // fresh engine → every member is a cold solve
+        let titles = ["Toy Story", "Jaws", "Forrest Gump"];
+        let members: Vec<String> = titles.iter().map(|t| batch_member(t)).collect();
+        let body = format!(r#"{{"requests":[{}]}}"#, members.join(","));
+        let (status, head, reply) = post_full(s.port(), "/api/v1/explain/batch", &body);
+        assert_eq!(status, 200, "{reply}");
+        assert_eq!(cache_header(&head).as_deref(), Some("batch"));
+        let v = Json::parse(&reply).unwrap();
+        let results = v.get("results").unwrap();
+        assert_eq!(results.len().unwrap(), titles.len());
+        for (i, title) in titles.iter().enumerate() {
+            let slot = results.at(i).unwrap();
+            assert_eq!(
+                slot.get("cache").unwrap().as_str(),
+                Some("batch"),
+                "same-settings cold members fuse: {reply}"
+            );
+            // Each slot must be byte-identical to the single-route answer
+            // (served from the cache the batch populated).
+            let query = title.replace(' ', "+");
+            let (get_status, get_head, get_body) = get_full(
+                s.port(),
+                &format!("/api/v1/explain?q={query}&coverage=0.1&geo=0"),
+            );
+            assert_eq!(get_status, 200, "{get_body}");
+            assert_eq!(cache_header(&get_head).as_deref(), Some("hit"));
+            assert_eq!(
+                slot.get("result").unwrap().render(),
+                get_body,
+                "slot {i} diverges from the single route"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_slots_fail_independently() {
+        let s = server();
+        let body = format!(
+            r#"{{"requests":[{},{}]}}"#,
+            batch_member("Toy Story"),
+            batch_member("No Such Movie")
+        );
+        let (status, reply) = post(s.port(), "/api/v1/explain/batch", &body);
+        assert_eq!(status, 200, "one bad member never fails the batch: {reply}");
+        let v = Json::parse(&reply).unwrap();
+        let results = v.get("results").unwrap();
+        let good = results.at(0).unwrap();
+        assert!(good.get("result").is_some(), "{reply}");
+        assert!(good.get("error").is_none());
+        let bad = results.at(1).unwrap();
+        assert!(bad.get("result").is_none());
+        // The error slot carries the canonical ApiError body.
+        let err = ApiError::from_json(bad.get("error").unwrap()).unwrap();
+        assert_eq!(err.code, "not_found", "{reply}");
+        assert!(err.message.contains("No Such Movie"), "{reply}");
+    }
+
+    #[test]
+    fn batch_transport_is_validated() {
+        let s = server();
+        // Batch is POST-only.
+        let (status, body) = get(s.port(), "/api/v1/explain/batch");
+        assert_eq!(status, 405, "{body}");
+        assert_eq!(error_code(&body), "method_not_allowed");
+        // The "requests" array is required, non-empty, and an array.
+        let (status, body) = post(s.port(), "/api/v1/explain/batch", "{}");
+        assert_eq!(status, 400, "{body}");
+        assert!(body.contains("requests"), "{body}");
+        let (status, _) = post(s.port(), "/api/v1/explain/batch", r#"{"requests":[]}"#);
+        assert_eq!(status, 400);
+        let (status, body) = post(s.port(), "/api/v1/explain/batch", r#"{"requests":3}"#);
+        assert_eq!(status, 400);
+        assert!(body.contains("array"), "{body}");
+        // A malformed member names itself via the shared explain parser.
+        let (status, body) = post(
+            s.port(),
+            "/api/v1/explain/batch",
+            r#"{"requests":[{"settings":{}}]}"#,
+        );
+        assert_eq!(status, 400, "{body}");
+        // Oversized batches are refused outright.
+        let too_many: Vec<String> = (0..=api::MAX_EXPLAIN_BATCH)
+            .map(|_| batch_member("Toy Story"))
+            .collect();
+        let (status, body) = post(
+            s.port(),
+            "/api/v1/explain/batch",
+            &format!(r#"{{"requests":[{}]}}"#, too_many.join(",")),
+        );
+        assert_eq!(status, 400, "{body}");
+        assert!(body.contains("limit"), "{body}");
     }
 
     #[test]
